@@ -1,0 +1,36 @@
+//! Figure 2 / Table 1 benchmark: time to *construct* each rewriting on
+//! prefixes of the three sequences (the sizes themselves are printed by the
+//! `experiments fig2` binary and pinned by tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obda_bench::{paper_system, prefix_query, FIG2_STRATEGIES};
+use std::hint::black_box;
+
+fn bench_rewriting_construction(c: &mut Criterion) {
+    let sys = paper_system();
+    let mut group = c.benchmark_group("fig2_rewriting_construction");
+    group.sample_size(10);
+    for seq in 0..3 {
+        for n in [4usize, 8] {
+            let q = prefix_query(&sys, seq, n);
+            for strategy in FIG2_STRATEGIES {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{strategy}"),
+                        format!("seq{}_n{}", seq + 1, n),
+                    ),
+                    &q,
+                    |b, q| {
+                        b.iter(|| {
+                            black_box(sys.rewrite_complete(black_box(q), strategy).unwrap())
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriting_construction);
+criterion_main!(benches);

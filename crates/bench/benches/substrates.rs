@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the substrates: ontology saturation, canonical-model
+//! construction, homomorphism search, and the two NDL evaluators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obda_bench::{dataset, paper_system, prefix_query};
+use obda_chase::homomorphism::HomSearch;
+use obda_chase::model::{word_bound, CanonicalModel};
+use obda_ndl::eval::{evaluate, EvalOptions};
+use obda_ndl::linear_eval::evaluate_linear;
+use obda_ndl::skinny::to_skinny;
+use obda::Strategy;
+use std::hint::black_box;
+
+fn bench_saturation(c: &mut Criterion) {
+    let sys = paper_system();
+    c.bench_function("taxonomy_saturation", |b| {
+        b.iter(|| black_box(sys.ontology().taxonomy()))
+    });
+}
+
+fn bench_chase(c: &mut Criterion) {
+    let sys = paper_system();
+    let q = prefix_query(&sys, 0, 5);
+    let data = dataset(&sys, 1, 0.02);
+    let bound = word_bound(sys.taxonomy(), q.num_vars());
+    c.bench_function("canonical_model_build", |b| {
+        b.iter(|| black_box(CanonicalModel::new(sys.ontology(), &data, bound)))
+    });
+    let model = CanonicalModel::new(sys.ontology(), &data, bound);
+    c.bench_function("hom_search_exists", |b| {
+        b.iter(|| black_box(HomSearch::new(&model, &q).exists(&[])))
+    });
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let sys = paper_system();
+    let q = prefix_query(&sys, 0, 5);
+    let data = dataset(&sys, 1, 0.02);
+    let lin = sys.rewrite(&q, Strategy::Lin).unwrap();
+    c.bench_function("eval_bottom_up_lin", |b| {
+        b.iter(|| black_box(evaluate(&lin, &data, &EvalOptions::default()).unwrap()))
+    });
+    c.bench_function("eval_linear_reachability", |b| {
+        b.iter(|| black_box(evaluate_linear(&lin, &data, &EvalOptions::default()).unwrap()))
+    });
+}
+
+fn bench_skinny(c: &mut Criterion) {
+    let sys = paper_system();
+    let q = prefix_query(&sys, 0, 8);
+    let log = sys.rewrite_complete(&q, Strategy::Log).unwrap();
+    c.bench_function("skinny_transform_log8", |b| {
+        b.iter(|| black_box(to_skinny(&log)))
+    });
+}
+
+criterion_group!(benches, bench_saturation, bench_chase, bench_evaluators, bench_skinny);
+criterion_main!(benches);

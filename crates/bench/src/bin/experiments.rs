@@ -1,0 +1,205 @@
+//! Regenerates every table and figure of the paper's experimental section.
+//!
+//! ```text
+//! experiments [fig1] [fig2] [table2] [table3] [table4] [table5] [all]
+//!             [--scale S] [--max-atoms N] [--timeout-secs T] [--csv DIR]
+//! ```
+//!
+//! * `fig1`   — the complexity landscape of Figure 1(a);
+//! * `fig2`   — rewriting sizes (Figure 2 / Table 1): number of clauses
+//!   per algorithm for prefixes 1–15 of the three sequences;
+//! * `table2` — the generated datasets (scaled by `--scale`);
+//! * `table3/4/5` — evaluation time / #answers / #generated-tuples per
+//!   algorithm per dataset for sequences 1/2/3;
+//! * defaults: `--scale 0.05 --max-atoms 15 --timeout-secs 10`.
+//!
+//! Absolute numbers differ from the paper (different machine, a naive
+//! in-process datalog engine instead of RDFox, scaled data); the *shapes*
+//! — who blows up, who stays linear, who wins where — are the target.
+
+use obda_bench::{
+    dataset, dataset_configs, evaluate_cell, paper_system, prefix_query, render_table,
+    rewriting_clauses, EVAL_STRATEGIES, FIG2_STRATEGIES,
+};
+use obda_datagen::sequences::SEQUENCES;
+use std::time::Duration;
+
+struct Config {
+    scale: f64,
+    max_atoms: usize,
+    timeout: Duration,
+    csv_dir: Option<String>,
+    sections: Vec<String>,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        scale: 0.05,
+        max_atoms: 15,
+        timeout: Duration::from_secs(10),
+        csv_dir: None,
+        sections: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => cfg.scale = numeric_arg(&mut args, "--scale"),
+            "--max-atoms" => cfg.max_atoms = numeric_arg(&mut args, "--max-atoms"),
+            "--timeout-secs" => {
+                cfg.timeout = Duration::from_secs(numeric_arg(&mut args, "--timeout-secs"));
+            }
+            "--csv" => cfg.csv_dir = Some(args.next().expect("--csv takes a directory")),
+            section => cfg.sections.push(section.to_owned()),
+        }
+    }
+    if cfg.sections.is_empty() {
+        cfg.sections.push("all".to_owned());
+    }
+    cfg
+}
+
+fn numeric_arg<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> T {
+    let Some(value) = args.next() else {
+        eprintln!("error: {flag} takes a value");
+        std::process::exit(2);
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid value `{value}` for {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn wants(cfg: &Config, section: &str) -> bool {
+    cfg.sections.iter().any(|s| s == section || s == "all")
+}
+
+fn main() {
+    let cfg = parse_args();
+    if let Some(dir) = &cfg.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    if wants(&cfg, "fig1") {
+        fig1();
+    }
+    if wants(&cfg, "fig2") {
+        fig2(&cfg);
+    }
+    if wants(&cfg, "table2") {
+        table2(&cfg);
+    }
+    for (i, name) in ["table3", "table4", "table5"].iter().enumerate() {
+        if wants(&cfg, name) {
+            evaluation_table(&cfg, i);
+        }
+    }
+}
+
+fn fig1() {
+    println!("== Figure 1(a): combined complexity of OMQ answering ==\n");
+    println!("{}", obda::complexity::landscape_table());
+}
+
+fn fig2(cfg: &Config) {
+    let sys = paper_system();
+    println!("== Figure 2 / Table 1: rewriting sizes (number of clauses) ==");
+    println!("   (TwUCQ ≈ Rapid/Clipper, Presto-like ≈ Presto; “-” = cap exceeded)\n");
+    for (s, word) in SEQUENCES.iter().enumerate() {
+        println!("Sequence {}: {word}", s + 1);
+        let mut header: Vec<String> = vec!["atoms".into()];
+        header.extend(FIG2_STRATEGIES.iter().map(|st| st.to_string()));
+        let mut rows = Vec::new();
+        let mut csv = String::from("atoms,TwUCQ,PrestoLike,Lin,Log,Tw\n");
+        for n in 1..=cfg.max_atoms.min(word.len()) {
+            let q = prefix_query(&sys, s, n);
+            let mut row = vec![n.to_string()];
+            let mut csv_row = vec![n.to_string()];
+            for strategy in FIG2_STRATEGIES {
+                let cell = match rewriting_clauses(&sys, &q, strategy) {
+                    Some(c) => c.to_string(),
+                    None => "-".to_owned(),
+                };
+                row.push(cell.clone());
+                csv_row.push(cell);
+            }
+            csv.push_str(&csv_row.join(","));
+            csv.push('\n');
+            rows.push(row);
+        }
+        println!("{}", render_table(&header, &rows));
+        if let Some(dir) = &cfg.csv_dir {
+            std::fs::write(format!("{dir}/fig2_seq{}.csv", s + 1), csv).expect("write csv");
+        }
+    }
+}
+
+fn table2(cfg: &Config) {
+    let sys = paper_system();
+    println!(
+        "== Table 2: Erdős–Rényi datasets (scale {} of the paper's sizes) ==\n",
+        cfg.scale
+    );
+    let header: Vec<String> =
+        ["dataset", "V", "p", "q", "avg degree", "atoms"].map(String::from).to_vec();
+    let mut rows = Vec::new();
+    for (i, c) in dataset_configs(cfg.scale).iter().enumerate() {
+        let d = c.generate(sys.ontology());
+        rows.push(vec![
+            format!("{}.ttl", i + 1),
+            c.vertices.to_string(),
+            format!("{:.3}", c.edge_prob),
+            format!("{:.3}", c.label_prob),
+            format!("{:.1}", c.avg_degree()),
+            d.num_atoms().to_string(),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+}
+
+fn evaluation_table(cfg: &Config, seq: usize) {
+    let sys = paper_system();
+    println!(
+        "== Table {}: evaluation over the datasets, sequence {} ({}) ==",
+        seq + 3,
+        seq + 1,
+        SEQUENCES[seq]
+    );
+    println!("   cells: seconds/answers/generated-tuples; “>limit” = timeout or tuple cap\n");
+    let max_tuples = 50_000_000;
+    for ds in 0..4 {
+        let data = dataset(&sys, ds, cfg.scale);
+        println!(
+            "dataset {}.ttl (scaled: {} individuals, {} atoms)",
+            ds + 1,
+            data.num_individuals(),
+            data.num_atoms()
+        );
+        let mut header: Vec<String> = vec!["atoms".into()];
+        header.extend(EVAL_STRATEGIES.iter().map(|st| st.to_string()));
+        let mut rows = Vec::new();
+        let mut csv = String::from("atoms,strategy,seconds,answers,generated,clauses\n");
+        for n in 1..=cfg.max_atoms.min(SEQUENCES[seq].len()) {
+            let q = prefix_query(&sys, seq, n);
+            let mut row = vec![n.to_string()];
+            for strategy in EVAL_STRATEGIES {
+                let cell = evaluate_cell(&sys, &q, &data, strategy, cfg.timeout, max_tuples);
+                row.push(cell.render());
+                csv.push_str(&format!(
+                    "{n},{strategy},{:.6},{},{},{}\n",
+                    cell.time.as_secs_f64(),
+                    cell.answers.map_or("-".into(), |v| v.to_string()),
+                    cell.generated.map_or("-".into(), |v| v.to_string()),
+                    cell.clauses.map_or("-".into(), |v| v.to_string()),
+                ));
+            }
+            rows.push(row);
+        }
+        println!("{}", render_table(&header, &rows));
+        if let Some(dir) = &cfg.csv_dir {
+            std::fs::write(format!("{dir}/table{}_ds{}.csv", seq + 3, ds + 1), csv)
+                .expect("write csv");
+        }
+    }
+}

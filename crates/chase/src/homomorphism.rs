@@ -1,0 +1,316 @@
+//! Homomorphism search from CQs into canonical models.
+//!
+//! `T, A ⊨ q(a)` iff `C_{T,A} ⊨ q(a)` iff there is a homomorphism from `q`
+//! into the canonical model sending the answer variables to `a`. The search
+//! is a straightforward backtracking over query variables in a
+//! connectivity-respecting order, with candidate generation along role atoms
+//! (so only one unconstrained enumeration per connected component).
+
+use crate::model::{CanonicalModel, Element};
+use obda_cq::query::{Atom, Cq, Var};
+use obda_owlql::util::FxHashSet;
+use obda_owlql::vocab::Role;
+
+/// A homomorphism, as a total assignment of elements to query variables.
+pub type Homomorphism = Vec<Element>;
+
+/// The search engine. Construct once per (model, query) pair and run
+/// [`HomSearch::exists`] or [`HomSearch::all_answer_tuples`].
+pub struct HomSearch<'m, 'q> {
+    model: &'m CanonicalModel,
+    q: &'q Cq,
+    /// Variable processing order: each variable after the first of its
+    /// component has a Gaifman neighbour earlier in the order.
+    order: Vec<Var>,
+    /// For each position in `order`, an optional anchoring atom
+    /// `(role, anchor)` meaning candidates are `̺`-successors of `h(anchor)`.
+    anchors: Vec<Option<(Role, Var)>>,
+    /// Cached full element list, used for unanchored variables.
+    all_elements: Vec<Element>,
+    /// Variables that must map to labelled nulls (used by tree-witness
+    /// checks, where `h⁻¹(a) = t_r` forces the interior onto the anonymous
+    /// part).
+    require_null: Vec<Var>,
+}
+
+impl<'m, 'q> HomSearch<'m, 'q> {
+    /// Prepares the search for query `q` over `model`.
+    pub fn new(model: &'m CanonicalModel, q: &'q Cq) -> Self {
+        let n = q.num_vars();
+        let mut order: Vec<Var> = Vec::with_capacity(n);
+        let mut anchors: Vec<Option<(Role, Var)>> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        // Repeatedly: place a variable adjacent to a placed one (with its
+        // anchoring role atom); otherwise start a new component.
+        while order.len() < n {
+            let mut anchored = None;
+            'outer: for &atom in q.atoms() {
+                if let Atom::Prop(_, u, v) = atom {
+                    for (from, to) in [(u, v), (v, u)] {
+                        if placed[from.0 as usize] && !placed[to.0 as usize] {
+                            let role =
+                                atom.role_between(from, to).expect("atom relates from to");
+                            anchored = Some((to, Some((role, from))));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            let (var, anchor) = anchored.unwrap_or_else(|| {
+                let fresh = (0..n as u32).map(Var).find(|v| !placed[v.0 as usize]);
+                (fresh.expect("unplaced variable exists"), None)
+            });
+            placed[var.0 as usize] = true;
+            order.push(var);
+            anchors.push(anchor);
+        }
+        let all_elements = model.elements();
+        HomSearch { model, q, order, anchors, all_elements, require_null: Vec::new() }
+    }
+
+    /// Requires the given variables to map to labelled nulls (not
+    /// individuals).
+    pub fn require_null(mut self, vars: impl IntoIterator<Item = Var>) -> Self {
+        self.require_null.extend(vars);
+        self
+    }
+
+    /// Candidate elements for the variable at `pos` given the partial
+    /// assignment.
+    fn candidates(&self, pos: usize, h: &[Option<Element>]) -> Vec<Element> {
+        match self.anchors[pos] {
+            Some((role, anchor)) => {
+                let base = h[anchor.0 as usize].expect("anchor assigned before dependant");
+                self.model.role_successors(role, base)
+            }
+            None => self.all_elements.clone(),
+        }
+    }
+
+    /// Whether extending the assignment with `var ↦ e` keeps all atoms whose
+    /// variables are now fully assigned satisfied.
+    fn consistent(&self, var: Var, e: Element, h: &[Option<Element>]) -> bool {
+        if self.q.is_answer_var(var) && e.as_const().is_none() {
+            return false;
+        }
+        if self.require_null.contains(&var) && e.as_const().is_some() {
+            return false;
+        }
+        for &atom in self.q.atoms() {
+            match atom {
+                Atom::Class(c, z) if z == var
+                    && !self.model.satisfies_class(c, e) => {
+                        return false;
+                    }
+                Atom::Prop(p, z, z2) => {
+                    let role = Role::direct(p);
+                    let img = |v: Var| -> Option<Element> {
+                        if v == var { Some(e) } else { h[v.0 as usize] }
+                    };
+                    if (z == var || z2 == var) && img(z).is_some() && img(z2).is_some() {
+                        let (a, b) = (img(z).expect("assigned"), img(z2).expect("assigned"));
+                        if !self.model.satisfies_role(role, a, b) {
+                            return false;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    fn search(
+        &self,
+        pos: usize,
+        h: &mut Vec<Option<Element>>,
+        on_complete: &mut dyn FnMut(&[Option<Element>]) -> bool,
+    ) -> bool {
+        if pos == self.order.len() {
+            return on_complete(h);
+        }
+        let var = self.order[pos];
+        if let Some(e) = h[var.0 as usize] {
+            // Pre-fixed variable: just validate it.
+            if self.consistent_prefixed(var, e, h) {
+                return self.search(pos + 1, h, on_complete);
+            }
+            return false;
+        }
+        for e in self.candidates(pos, h) {
+            if self.consistent(var, e, h) {
+                h[var.0 as usize] = Some(e);
+                if self.search(pos + 1, h, on_complete) {
+                    h[var.0 as usize] = None;
+                    return true;
+                }
+                h[var.0 as usize] = None;
+            }
+        }
+        false
+    }
+
+    fn consistent_prefixed(&self, var: Var, e: Element, h: &[Option<Element>]) -> bool {
+        if !self.model.contains(e) {
+            return false;
+        }
+        // Temporarily treat var as newly assigned for atom checking.
+        self.consistent(var, e, h)
+    }
+
+    /// Whether a homomorphism extending `fixed` exists.
+    pub fn exists(&self, fixed: &[(Var, Element)]) -> bool {
+        let mut h: Vec<Option<Element>> = vec![None; self.q.num_vars()];
+        for &(v, e) in fixed {
+            h[v.0 as usize] = Some(e);
+        }
+        self.search(0, &mut h, &mut |_| true)
+    }
+
+    /// All answer tuples: projections of homomorphisms to the answer
+    /// variables (which always map to individuals).
+    pub fn all_answer_tuples(&self) -> FxHashSet<Vec<obda_owlql::abox::ConstId>> {
+        let mut out = FxHashSet::default();
+        let mut h: Vec<Option<Element>> = vec![None; self.q.num_vars()];
+        let answer_vars = self.q.answer_vars().to_vec();
+        self.search(0, &mut h, &mut |assignment| {
+            let tuple: Vec<_> = answer_vars
+                .iter()
+                .map(|&v| {
+                    assignment[v.0 as usize]
+                        .expect("complete assignment")
+                        .as_const()
+                        .expect("answer variables map to individuals")
+                })
+                .collect();
+            out.insert(tuple);
+            false // keep searching for more tuples
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::word_bound;
+    use obda_cq::parse_cq;
+    use obda_owlql::parser::{parse_data, parse_ontology};
+
+    fn setup(
+        onto: &str,
+        data: &str,
+        query: &str,
+    ) -> (obda_owlql::Ontology, CanonicalModel, Cq, obda_owlql::DataInstance) {
+        let o = parse_ontology(onto).unwrap();
+        let d = parse_data(data, &o).unwrap();
+        let q = parse_cq(query, &o).unwrap();
+        let bound = word_bound(&o.taxonomy(), q.num_vars());
+        let m = CanonicalModel::new(&o, &d, bound);
+        (o, m, q, d)
+    }
+
+    #[test]
+    fn hom_into_data_part() {
+        let (_, m, q, d) = setup(
+            "Class A\nProperty R\n",
+            "R(a, b)\nA(b)\n",
+            "q(x) :- R(x, y), A(y)",
+        );
+        let s = HomSearch::new(&m, &q);
+        assert!(s.exists(&[]));
+        let answers = s.all_answer_tuples();
+        let a = d.get_constant("a").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&vec![a]));
+    }
+
+    #[test]
+    fn hom_into_anonymous_part() {
+        let (_, m, q, _) = setup(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf B\n",
+            "A(a)\n",
+            "q(x) :- P(x, y), B(y)",
+        );
+        let s = HomSearch::new(&m, &q);
+        assert!(s.exists(&[]));
+        assert_eq!(s.all_answer_tuples().len(), 1);
+    }
+
+    #[test]
+    fn answer_variable_cannot_be_null() {
+        let (_, m, q, _) = setup(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf B\n",
+            "A(a)\n",
+            "q(x, y) :- P(x, y), B(y)",
+        );
+        let s = HomSearch::new(&m, &q);
+        // y would have to be the null a·P, so there is no certain answer.
+        assert!(s.all_answer_tuples().is_empty());
+    }
+
+    #[test]
+    fn boolean_query_deep_in_tree() {
+        let (_, m, q, _) = setup(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf exists S\n\
+             exists S- SubClassOf B\n",
+            "A(a)\n",
+            "q() :- P(x, y), S(y, z), B(z)",
+        );
+        let s = HomSearch::new(&m, &q);
+        assert!(s.exists(&[]));
+    }
+
+    #[test]
+    fn no_hom_when_label_missing() {
+        let (_, m, q, _) = setup(
+            "A SubClassOf exists P\nClass B\n",
+            "A(a)\n",
+            "q() :- P(x, y), B(y)",
+        );
+        let s = HomSearch::new(&m, &q);
+        assert!(!s.exists(&[]));
+    }
+
+    #[test]
+    fn fixed_assignment_respected() {
+        let (_, m, q, d) = setup(
+            "Property R\n",
+            "R(a, b)\nR(c, b)\n",
+            "q(x) :- R(x, y)",
+        );
+        let s = HomSearch::new(&m, &q);
+        let a = d.get_constant("a").unwrap();
+        let c = d.get_constant("c").unwrap();
+        let b = d.get_constant("b").unwrap();
+        let x = q.get_var("x").unwrap();
+        assert!(s.exists(&[(x, Element::Const(a))]));
+        assert!(s.exists(&[(x, Element::Const(c))]));
+        assert!(!s.exists(&[(x, Element::Const(b))]));
+        assert_eq!(s.all_answer_tuples().len(), 2);
+    }
+
+    #[test]
+    fn disconnected_query_components() {
+        let (_, m, q, _) = setup(
+            "Class A\nClass B\n",
+            "A(a)\nB(b)\n",
+            "q() :- A(x), B(y)",
+        );
+        let s = HomSearch::new(&m, &q);
+        assert!(s.exists(&[]));
+    }
+
+    #[test]
+    fn self_loop_atom_needs_reflexivity_or_data() {
+        let (_, m, q, _) = setup("Property R\nClass A\n", "A(a)\nR(a, a)\n", "q() :- R(x, x)");
+        assert!(HomSearch::new(&m, &q).exists(&[]));
+        let (_, m2, q2, _) = setup("Reflexive R\nClass A\n", "A(a)\n", "q() :- R(x, x)");
+        assert!(HomSearch::new(&m2, &q2).exists(&[]));
+        let (_, m3, q3, _) = setup("Property R\nClass A\n", "A(a)\nR(a, b)\n", "q() :- R(x, x)");
+        assert!(!HomSearch::new(&m3, &q3).exists(&[]));
+    }
+}

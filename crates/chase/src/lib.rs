@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # obda-chase
+//!
+//! Canonical models (the chase) for OWL 2 QL knowledge bases, homomorphism
+//! search, and a certain-answer oracle.
+//!
+//! The canonical model `C_{T,A}` satisfies `T, A ⊨ q(a)` iff
+//! `C_{T,A} ⊨ q(a)` for every CQ; this crate materialises it up to the
+//! chase-locality bound and decides entailment by backtracking homomorphism
+//! search. The oracle in [`answer`] is the ground truth against which every
+//! NDL-rewriting in the workspace is validated.
+//!
+//! ## Example
+//!
+//! ```
+//! use obda_owlql::parser::{parse_ontology, parse_data};
+//! use obda_cq::parse_cq;
+//! use obda_chase::certain_answers;
+//!
+//! let o = parse_ontology(
+//!     "Professor SubClassOf exists teaches\n\
+//!      exists teaches- SubClassOf Course\n",
+//! ).unwrap();
+//! let d = parse_data("Professor(ada)", &o).unwrap();
+//! let q = parse_cq("q(x) :- teaches(x, y), Course(y)", &o).unwrap();
+//! let answers = certain_answers(&o, &q, &d);
+//! assert_eq!(answers.tuples().len(), 1);
+//! ```
+
+pub mod answer;
+pub mod homomorphism;
+pub mod linear_walk;
+pub mod model;
+
+pub use answer::{certain_answers, entails, CertainAnswers};
+pub use homomorphism::HomSearch;
+pub use linear_walk::linear_boolean_entails;
+pub use model::{word_bound, CanonicalModel, Element};

@@ -1,0 +1,280 @@
+//! Lazy canonical-model walking for linear Boolean CQs.
+//!
+//! The materialising oracle in [`crate::answer`] builds the word arena up
+//! front, which is infeasible for the deep, branchy canonical models of the
+//! fixed ontologies `T†`/`T‡` of Section 5. For *linear* Boolean CQs there
+//! is a cheaper strategy matching the NL upper bound for CQ evaluation: walk
+//! the query path over the canonical model, growing null words lazily and
+//! pruning by the query's role constraints at every step, deduplicating
+//! `(position, element)` states.
+//!
+//! The walk starts from an anchor variable assumed to map to an
+//! *individual* (pass a variable whose class constraints only hold at
+//! individuals, e.g. the `A(u₀)` anchor of the `q_w` queries of Thm 22).
+
+use crate::model::word_bound;
+use obda_cq::gaifman::Gaifman;
+use obda_cq::query::{Cq, Var};
+use obda_owlql::abox::{ConstId, DataInstance};
+use obda_owlql::axiom::ClassExpr;
+use obda_owlql::ontology::Ontology;
+use obda_owlql::saturation::Taxonomy;
+use obda_owlql::util::FxHashSet;
+use obda_owlql::vocab::Role;
+use obda_owlql::words::word_transition;
+
+/// A lazily-represented canonical-model element: an individual or a null
+/// with an explicit word.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum LazyElem {
+    Const(ConstId),
+    Null(ConstId, Vec<Role>),
+}
+
+struct Walker<'a> {
+    ontology: &'a Ontology,
+    taxonomy: &'a Taxonomy,
+    completed: &'a DataInstance,
+    q: &'a Cq,
+    /// Maximum word length explored (chase locality bound).
+    max_len: usize,
+}
+
+impl Walker<'_> {
+    fn applicable(&self, c: ConstId, role: Role) -> bool {
+        self.completed
+            .has_class_atom(self.ontology.exists_class(role), c)
+    }
+
+    fn is_letter(&self, role: Role) -> bool {
+        !self.taxonomy.is_reflexive(role)
+    }
+
+    /// Whether the element satisfies all class atoms and self-loops of `v`.
+    fn satisfies_local(&self, v: Var, e: &LazyElem) -> bool {
+        match e {
+            LazyElem::Const(c) => {
+                self.q
+                    .class_atoms_on(v)
+                    .all(|a| self.completed.has_class_atom(a, *c))
+                    && self
+                        .q
+                        .roles_between(v, v)
+                        .all(|r| self.completed.has_role_atom(r, *c, *c)
+                            || self.taxonomy.is_reflexive(r))
+            }
+            LazyElem::Null(_, w) => {
+                let last = *w.last().expect("nulls have nonempty words");
+                self.q.class_atoms_on(v).all(|a| {
+                    self.taxonomy
+                        .sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
+                }) && self.q.roles_between(v, v).all(|r| self.taxonomy.is_reflexive(r))
+            }
+        }
+    }
+
+    /// The `̺`-successors of `e` in the canonical model, lazily.
+    fn successors(&self, e: &LazyElem, role: Role) -> Vec<LazyElem> {
+        let mut out = Vec::new();
+        if self.taxonomy.is_reflexive(role) {
+            out.push(e.clone());
+        }
+        match e {
+            LazyElem::Const(c) => {
+                for (a, b) in self.completed.role_pairs(role) {
+                    if a == *c {
+                        out.push(LazyElem::Const(b));
+                    }
+                }
+                for sigma in self.taxonomy.sub_roles(role) {
+                    if self.is_letter(sigma) && self.applicable(*c, sigma) {
+                        out.push(LazyElem::Null(*c, vec![sigma]));
+                    }
+                }
+            }
+            LazyElem::Null(c, w) => {
+                let last = *w.last().expect("nonempty");
+                // Upwards: ̺(e, parent) iff last ⊑ ̺⁻.
+                if self.taxonomy.sub_role(last, role.inv()) {
+                    if w.len() == 1 {
+                        out.push(LazyElem::Const(*c));
+                    } else {
+                        out.push(LazyElem::Null(*c, w[..w.len() - 1].to_vec()));
+                    }
+                }
+                // Downwards: children via allowed transitions.
+                if w.len() < self.max_len {
+                    for sigma in self.taxonomy.sub_roles(role) {
+                        if self.is_letter(sigma) && word_transition(self.taxonomy, last, sigma)
+                        {
+                            let mut w2 = w.clone();
+                            w2.push(sigma);
+                            out.push(LazyElem::Null(*c, w2));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Decides `T, A ⊨ q` for a connected **linear Boolean** CQ, walking the
+/// canonical model lazily from `anchor` (which must map to an individual for
+/// the query to hold — its constraints are checked against individuals
+/// only).
+///
+/// # Panics
+/// Panics if `q` is not linear or `anchor` is not a variable of `q`.
+pub fn linear_boolean_entails(
+    ontology: &Ontology,
+    q: &Cq,
+    data: &DataInstance,
+    anchor: Var,
+) -> bool {
+    let g = Gaifman::new(q);
+    assert!(g.is_linear(), "query must be linear");
+    assert!((anchor.0 as usize) < q.num_vars(), "anchor must be a query variable");
+    let taxonomy = ontology.taxonomy();
+    if !data.is_consistent(&taxonomy) {
+        return true;
+    }
+    let completed = data.complete(&taxonomy);
+    let walker = Walker {
+        ontology,
+        taxonomy: &taxonomy,
+        completed: &completed,
+        q,
+        max_len: word_bound(&taxonomy, q.num_vars()).max(q.num_vars()),
+    };
+
+    // Orient the path: BFS order from the anchor covers both directions.
+    // The two directions are independent only *given the anchor element*,
+    // so run the DP once per initial anchor element.
+    let dist = g.bfs_distances(anchor);
+    let mut order: Vec<Var> = q.vars().collect();
+    order.sort_by_key(|v| dist[v.0 as usize]);
+
+    let initial: Vec<LazyElem> = completed
+        .individuals()
+        .map(LazyElem::Const)
+        .filter(|e| walker.satisfies_local(anchor, e))
+        .collect();
+    'anchors: for start in initial {
+        let mut states: Vec<FxHashSet<LazyElem>> = vec![FxHashSet::default(); q.num_vars()];
+        states[anchor.0 as usize].insert(start);
+        for &v in order.iter().skip(1) {
+            // The unique already-processed neighbour.
+            let prev = g
+                .neighbours(v)
+                .find(|u| dist[u.0 as usize] < dist[v.0 as usize])
+                .expect("path order has an earlier neighbour");
+            let roles: Vec<Role> = q.roles_between(prev, v).collect();
+            let mut next: FxHashSet<LazyElem> = FxHashSet::default();
+            for e in &states[prev.0 as usize] {
+                // Candidates along the first constraining atom, then filter
+                // by the rest.
+                let Some(&first) = roles.first() else { continue };
+                for cand in walker.successors(e, first) {
+                    if !walker.satisfies_local(v, &cand) {
+                        continue;
+                    }
+                    let all_roles_ok =
+                        roles.iter().skip(1).all(|&r| walker.successors(e, r).contains(&cand));
+                    if all_roles_ok {
+                        next.insert(cand);
+                    }
+                }
+            }
+            if next.is_empty() {
+                continue 'anchors;
+            }
+            states[v.0 as usize] = next;
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::{certain_answers, CertainAnswers};
+    use obda_cq::parse_cq;
+    use obda_owlql::parser::{parse_data, parse_ontology};
+
+    #[test]
+    fn agrees_with_arena_oracle_on_finite_models() {
+        let o = parse_ontology(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf exists S\n\
+             exists S- SubClassOf B\n",
+        )
+        .unwrap();
+        let q = parse_cq("q() :- A(x), P(x, y), S(y, z), B(z)", &o).unwrap();
+        let d = parse_data("A(a)\n", &o).unwrap();
+        let anchor = q.get_var("x").unwrap();
+        assert!(linear_boolean_entails(&o, &q, &d, anchor));
+        assert_eq!(certain_answers(&o, &q, &d), CertainAnswers::Boolean(true));
+        let d2 = parse_data("B(b)\n", &o).unwrap();
+        assert!(!linear_boolean_entails(&o, &q, &d2, anchor));
+        assert_eq!(certain_answers(&o, &q, &d2), CertainAnswers::Boolean(false));
+    }
+
+    #[test]
+    fn walks_deep_into_infinite_models() {
+        // An infinite chain: the query needs depth 6, far beyond what the
+        // data contains.
+        let o = parse_ontology(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf exists P\n\
+             exists P- SubClassOf B\n",
+        )
+        .unwrap();
+        let q = parse_cq(
+            "q() :- A(x0), P(x0, x1), P(x1, x2), P(x2, x3), P(x3, x4), P(x4, x5), P(x5, x6), B(x6)",
+            &o,
+        )
+        .unwrap();
+        let d = parse_data("A(a)\n", &o).unwrap();
+        let anchor = q.get_var("x0").unwrap();
+        assert!(linear_boolean_entails(&o, &q, &d, anchor));
+    }
+
+    #[test]
+    fn descends_and_reascends() {
+        // The path goes down into the anonymous part and back up:
+        // P(x, y) ∧ S(z, y) with both x and z mapping to the individual.
+        let o = parse_ontology(
+            "A SubClassOf exists R\n\
+             R SubPropertyOf P\n\
+             R SubPropertyOf S\n\
+             Class B\n",
+        )
+        .unwrap();
+        let q = parse_cq("q() :- A(x), P(x, y), S(z, y), A(z)", &o).unwrap();
+        let d = parse_data("A(a)\n", &o).unwrap();
+        let anchor = q.get_var("x").unwrap();
+        assert!(linear_boolean_entails(&o, &q, &d, anchor));
+        let oracle = certain_answers(&o, &q, &d);
+        assert_eq!(oracle, CertainAnswers::Boolean(true));
+    }
+
+    #[test]
+    fn respects_multi_role_edges() {
+        let o = parse_ontology(
+            "A SubClassOf exists P\n\
+             Property S\n",
+        )
+        .unwrap();
+        // P and S must hold together between x and y; only P does.
+        let q = parse_cq("q() :- A(x), P(x, y), S(x, y)", &o).unwrap();
+        let d = parse_data("A(a)\n", &o).unwrap();
+        let anchor = q.get_var("x").unwrap();
+        assert!(!linear_boolean_entails(&o, &q, &d, anchor));
+        let d2 = parse_data("A(a)\nP(a, b)\nS(a, b)\n", &o).unwrap();
+        assert!(linear_boolean_entails(&o, &q, &d2, anchor));
+    }
+}

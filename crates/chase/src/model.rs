@@ -1,0 +1,384 @@
+//! Canonical models `C_{T,A}` (the chase).
+//!
+//! Following Section 2 of the paper, the domain of `C_{T,A}` consists of the
+//! individuals `ind(A)` and the witnesses (labelled nulls) `a̺₁…̺ₙ` such
+//! that `̺₁…̺ₙ ∈ W_T` and `T, A ⊨ ∃y ̺₁(a, y)`. Atoms hold as follows:
+//!
+//! * `A(u)` for an individual iff `T, A ⊨ A(u)`; for a null `w̺` iff
+//!   `T ⊨ ∃y ̺(y,x) → A(x)`;
+//! * `P(u,v)` iff (i) both are individuals and `T, A ⊨ P(u,v)`, or (ii)
+//!   `u = v` and `T ⊨ P(x,x)`, or (iii) `T ⊨ ̺(x,y) → P(x,y)` and `v = u̺`
+//!   or `u = v̺⁻`.
+//!
+//! The model is materialised only up to a word-length bound; by a chase
+//! locality argument (see [`word_bound`]) a bound of
+//! `min(depth(T), #roles + #query variables)` suffices for answering any CQ.
+
+use obda_owlql::abox::{ConstId, DataInstance};
+use obda_owlql::axiom::ClassExpr;
+use obda_owlql::ontology::Ontology;
+use obda_owlql::saturation::Taxonomy;
+use obda_owlql::vocab::{ClassId, Role};
+use obda_owlql::words::{ontology_depth, WordArena, WordId};
+
+/// An element of a canonical model: an individual or a labelled null
+/// `a · w` with `w ∈ W_T` nonempty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    /// An individual constant.
+    Const(ConstId),
+    /// The labelled null `a · w` (the word is never ε).
+    Null(ConstId, WordId),
+}
+
+impl Element {
+    /// The initial individual of the element.
+    pub fn root(self) -> ConstId {
+        match self {
+            Element::Const(a) | Element::Null(a, _) => a,
+        }
+    }
+
+    /// The constant, if this element is an individual.
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Element::Const(a) => Some(a),
+            Element::Null(..) => None,
+        }
+    }
+}
+
+/// A materialised canonical model (up to a word-length bound).
+#[derive(Debug)]
+pub struct CanonicalModel {
+    taxonomy: Taxonomy,
+    arena: WordArena,
+    /// The input data completed for the ontology.
+    completed: DataInstance,
+    /// `exists_class` lookup per role index, for applicability tests.
+    exists_class: Vec<ClassId>,
+}
+
+/// The word-length bound sufficient for answering a CQ with `num_vars`
+/// variables: a minimal `W_T`-word reaching any given last letter has
+/// pairwise-distinct letters (repeats can be pumped out), so length
+/// `≤ #roles`, and a connected match extends at most `num_vars` levels
+/// below its shallowest element.
+pub fn word_bound(taxonomy: &Taxonomy, num_vars: usize) -> usize {
+    let locality = taxonomy.num_roles() + num_vars;
+    match ontology_depth(taxonomy) {
+        Some(d) => d.min(locality),
+        None => locality,
+    }
+}
+
+impl CanonicalModel {
+    /// Materialises the canonical model of `(T, A)` with nulls up to word
+    /// length `bound`.
+    pub fn new(ontology: &Ontology, data: &DataInstance, bound: usize) -> Self {
+        let taxonomy = ontology.taxonomy();
+        let arena = WordArena::new(&taxonomy, bound);
+        let completed = data.complete(&taxonomy);
+        let exists_class = (0..taxonomy.num_roles())
+            .map(|i| ontology.exists_class(Role::from_index(i)))
+            .collect();
+        CanonicalModel { taxonomy, arena, completed, exists_class }
+    }
+
+    /// The canonical model of the single-atom instance `{A̺(a)}`, used for
+    /// tree-witness checks (Section 3.4).
+    pub fn for_generator(ontology: &Ontology, role: Role, bound: usize) -> Self {
+        let mut data = DataInstance::new();
+        let a = data.constant("a");
+        data.add_class_atom(ontology.exists_class(role), a);
+        CanonicalModel::new(ontology, &data, bound)
+    }
+
+    /// The saturated taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The word arena (anonymous-part skeleton).
+    pub fn arena(&self) -> &WordArena {
+        &self.arena
+    }
+
+    /// The completed data instance.
+    pub fn completed(&self) -> &DataInstance {
+        &self.completed
+    }
+
+    /// Whether `T, A ⊨ ∃y ̺(a, y)`: the null `a̺` is generated.
+    pub fn applicable(&self, a: ConstId, role: Role) -> bool {
+        self.completed.has_class_atom(self.exists_class[role.index()], a)
+    }
+
+    /// Whether `element` belongs to the (materialised part of the) domain.
+    pub fn contains(&self, element: Element) -> bool {
+        match element {
+            Element::Const(a) => (a.0 as usize) < self.completed.num_individuals(),
+            Element::Null(a, w) => {
+                !w.is_epsilon()
+                    && self
+                        .arena
+                        .first_letter(w)
+                        .is_some_and(|first| self.applicable(a, first))
+            }
+        }
+    }
+
+    /// Whether `A(element)` holds in the model.
+    pub fn satisfies_class(&self, class: ClassId, element: Element) -> bool {
+        match element {
+            Element::Const(a) => self.completed.has_class_atom(class, a),
+            Element::Null(_, w) => {
+                let last = self.arena.last_letter(w).expect("nulls have nonempty words");
+                self.taxonomy
+                    .sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(class))
+            }
+        }
+    }
+
+    /// Whether `̺(u, v)` holds in the model.
+    pub fn satisfies_role(&self, role: Role, u: Element, v: Element) -> bool {
+        // (ii) self-loop via reflexivity.
+        if u == v && self.taxonomy.is_reflexive(role) {
+            return true;
+        }
+        match (u, v) {
+            // (i) both individuals.
+            (Element::Const(a), Element::Const(b)) => self.completed.has_role_atom(role, a, b),
+            // (iii) v = u · σ with σ ⊑ ̺.
+            (_, Element::Null(b, wv)) if Some(u) == self.parent_of(Element::Null(b, wv)) => {
+                let sigma = self.arena.last_letter(wv).expect("nonempty");
+                self.taxonomy.sub_role(sigma, role)
+            }
+            // (iii) u = v · σ with σ ⊑ ̺⁻.
+            (Element::Null(a, wu), _) if Some(v) == self.parent_of(Element::Null(a, wu)) => {
+                let sigma = self.arena.last_letter(wu).expect("nonempty");
+                self.taxonomy.sub_role(sigma, role.inv())
+            }
+            _ => false,
+        }
+    }
+
+    /// The tree-parent of a null (`a` for `a̺`, `a·w` for `a·w̺`); `None`
+    /// for individuals.
+    pub fn parent_of(&self, element: Element) -> Option<Element> {
+        match element {
+            Element::Const(_) => None,
+            Element::Null(a, w) => {
+                let p = self.arena.parent(w).expect("nonempty");
+                Some(if p.is_epsilon() { Element::Const(a) } else { Element::Null(a, p) })
+            }
+        }
+    }
+
+    /// The materialised children of `element` in the anonymous forest.
+    pub fn children_of(&self, element: Element) -> Vec<Element> {
+        match element {
+            Element::Const(a) => self
+                .arena
+                .children(WordId::EPSILON)
+                .iter()
+                .filter(|&&(r, _)| self.applicable(a, r))
+                .map(|&(_, w)| Element::Null(a, w))
+                .collect(),
+            Element::Null(a, w) => self
+                .arena
+                .children(w)
+                .iter()
+                .map(|&(_, w2)| Element::Null(a, w2))
+                .collect(),
+        }
+    }
+
+    /// The elements `v` with `̺(u, v)` (within the materialised bound).
+    pub fn role_successors(&self, role: Role, u: Element) -> Vec<Element> {
+        let mut out = Vec::new();
+        if self.taxonomy.is_reflexive(role) {
+            out.push(u);
+        }
+        if let Element::Const(a) = u {
+            for (x, y) in self.completed.role_pairs(role) {
+                if x == a {
+                    out.push(Element::Const(y));
+                }
+            }
+        }
+        // Children v = u · σ with σ ⊑ ̺.
+        for child in self.children_of(u) {
+            if let Element::Null(_, w) = child {
+                let sigma = self.arena.last_letter(w).expect("nonempty");
+                if self.taxonomy.sub_role(sigma, role) {
+                    out.push(child);
+                }
+            }
+        }
+        // Parent, when u = parent · σ with σ ⊑ ̺⁻.
+        if let Element::Null(_, w) = u {
+            let sigma = self.arena.last_letter(w).expect("nonempty");
+            if self.taxonomy.sub_role(sigma, role.inv()) {
+                out.push(self.parent_of(u).expect("null has a parent"));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All materialised elements (individuals first, then nulls).
+    pub fn elements(&self) -> Vec<Element> {
+        let mut out: Vec<Element> =
+            self.completed.individuals().map(Element::Const).collect();
+        for a in self.completed.individuals() {
+            // Depth-first over generated nulls.
+            let mut stack: Vec<Element> = self.children_of(Element::Const(a));
+            while let Some(e) = stack.pop() {
+                out.push(e);
+                stack.extend(self.children_of(e));
+            }
+        }
+        out
+    }
+
+    /// Renders an element like `a` or `a·P·S-`.
+    pub fn display(&self, element: Element, ontology: &Ontology) -> String {
+        match element {
+            Element::Const(a) => self.completed.constant_name(a).to_owned(),
+            Element::Null(a, w) => format!(
+                "{}·{}",
+                self.completed.constant_name(a),
+                self.arena.display(w, ontology.vocab())
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_owlql::parser::{parse_data, parse_ontology};
+
+    fn model(onto: &str, data: &str, bound: usize) -> (Ontology, CanonicalModel, DataInstance) {
+        let o = parse_ontology(onto).unwrap();
+        let d = parse_data(data, &o).unwrap();
+        let m = CanonicalModel::new(&o, &d, bound);
+        (o, m, d)
+    }
+
+    #[test]
+    fn generates_single_witness() {
+        let (o, m, d) = model(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf B\n",
+            "A(a)\n",
+            3,
+        );
+        let a = d.get_constant("a").unwrap();
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        assert!(m.applicable(a, p));
+        let children = m.children_of(Element::Const(a));
+        assert_eq!(children.len(), 1);
+        let null = children[0];
+        // B holds at the null (∃P⁻ ⊑ B), and P(a, null) holds.
+        let b = v.get_class("B").unwrap();
+        assert!(m.satisfies_class(b, null));
+        assert!(m.satisfies_role(p, Element::Const(a), null));
+        assert!(m.satisfies_role(p.inv(), null, Element::Const(a)));
+        assert!(!m.satisfies_role(p, null, Element::Const(a)));
+        assert_eq!(m.parent_of(null), Some(Element::Const(a)));
+        assert_eq!(m.role_successors(p, Element::Const(a)), vec![null]);
+        assert_eq!(m.display(null, &o), "a·P");
+    }
+
+    #[test]
+    fn no_witness_when_edge_would_be_needed_elsewhere() {
+        // B(a) does not generate a P-witness.
+        let (_, m, d) = model("A SubClassOf exists P\nClass B\n", "B(a)\n", 3);
+        let a = d.get_constant("a").unwrap();
+        assert!(m.children_of(Element::Const(a)).is_empty());
+    }
+
+    #[test]
+    fn data_edges_and_role_hierarchy() {
+        let (o, m, d) = model("P SubPropertyOf S\n", "P(a, b)\n", 2);
+        let v = o.vocab();
+        let a = Element::Const(d.get_constant("a").unwrap());
+        let b = Element::Const(d.get_constant("b").unwrap());
+        let p = Role::direct(v.get_prop("P").unwrap());
+        let s = Role::direct(v.get_prop("S").unwrap());
+        assert!(m.satisfies_role(p, a, b));
+        assert!(m.satisfies_role(s, a, b));
+        assert!(m.satisfies_role(s.inv(), b, a));
+        assert!(!m.satisfies_role(s, b, a));
+    }
+
+    #[test]
+    fn reflexive_self_loops() {
+        let (o, m, d) = model("Reflexive P\nClass A\n", "A(a)\n", 2);
+        let a = Element::Const(d.get_constant("a").unwrap());
+        let p = Role::direct(o.vocab().get_prop("P").unwrap());
+        assert!(m.satisfies_role(p, a, a));
+    }
+
+    #[test]
+    fn infinite_chain_materialised_to_bound() {
+        let (_, m, d) = model(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf exists P\n",
+            "A(a)\n",
+            4,
+        );
+        let a = d.get_constant("a").unwrap();
+        // Chain a·P, a·P·P, … of length exactly 4.
+        let mut depth = 0;
+        let mut frontier = vec![Element::Const(a)];
+        while !frontier.is_empty() {
+            let next: Vec<Element> =
+                frontier.iter().flat_map(|&e| m.children_of(e)).collect();
+            if next.is_empty() {
+                break;
+            }
+            depth += 1;
+            frontier = next;
+        }
+        assert_eq!(depth, 4);
+        assert_eq!(m.elements().len(), 1 + 4);
+    }
+
+    #[test]
+    fn generator_model_roots_at_a_rho() {
+        let o = parse_ontology(
+            "exists P- SubClassOf exists S\n\
+             exists S- SubClassOf B\n",
+        )
+        .unwrap();
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        let m = CanonicalModel::for_generator(&o, p, 3);
+        let a = m.completed().get_constant("a").unwrap();
+        let kids = m.children_of(Element::Const(a));
+        assert_eq!(kids.len(), 1); // only a·P
+        let grand = m.children_of(kids[0]);
+        assert_eq!(grand.len(), 1); // a·P·S
+        let b = v.get_class("B").unwrap();
+        assert!(m.satisfies_class(b, grand[0]));
+    }
+
+    #[test]
+    fn word_bound_respects_finite_depth() {
+        let o = parse_ontology("A SubClassOf exists P\n").unwrap();
+        let tx = o.taxonomy();
+        assert_eq!(word_bound(&tx, 10), 1);
+        let o2 = parse_ontology(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf exists P\n",
+        )
+        .unwrap();
+        let tx2 = o2.taxonomy();
+        assert_eq!(word_bound(&tx2, 3), 2 + 3); // 2 roles + 3 vars
+    }
+}

@@ -1,0 +1,156 @@
+//! The `obda` command-line tool: classify, rewrite and answer
+//! ontology-mediated queries from text files.
+//!
+//! ```text
+//! obda classify --ontology o.owlql --query q.cq
+//! obda rewrite  --ontology o.owlql --query q.cq [--strategy tw]
+//! obda answer   --ontology o.owlql --query q.cq --data d.abox
+//!               [--strategy adaptive] [--oracle] [--timeout-secs N]
+//! ```
+//!
+//! Strategies: `lin`, `log`, `tw`, `twstar`, `ucq`, `twucq`, `presto`,
+//! `adaptive` (default).
+
+use obda::{ObdaSystem, Strategy};
+use obda_ndl::eval::EvalOptions;
+use obda_ndl::program::ProgramDisplay;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    command: String,
+    ontology: Option<String>,
+    query: Option<String>,
+    data: Option<String>,
+    strategy: Strategy,
+    oracle: bool,
+    timeout: Option<Duration>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: obda <classify|rewrite|answer> --ontology FILE --query FILE \
+         [--data FILE] [--strategy NAME] [--oracle] [--timeout-secs N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "lin" => Strategy::Lin,
+        "log" => Strategy::Log,
+        "tw" => Strategy::Tw,
+        "twstar" | "tw*" => Strategy::TwStar,
+        "ucq" | "perfectref" => Strategy::Ucq,
+        "twucq" => Strategy::TwUcq,
+        "presto" | "prestolike" => Strategy::PrestoLike,
+        "adaptive" => Strategy::Adaptive,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let mut args = Args {
+        command,
+        ontology: None,
+        query: None,
+        data: None,
+        strategy: Strategy::Adaptive,
+        oracle: false,
+        timeout: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--ontology" => args.ontology = Some(argv.next()?),
+            "--query" => args.query = Some(argv.next()?),
+            "--data" => args.data = Some(argv.next()?),
+            "--strategy" => args.strategy = parse_strategy(&argv.next()?)?,
+            "--oracle" => args.oracle = true,
+            "--timeout-secs" => {
+                args.timeout = Some(Duration::from_secs(argv.next()?.parse().ok()?));
+            }
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let read = |path: &Option<String>, what: &str| -> Result<String, String> {
+        let path = path.as_ref().ok_or_else(|| format!("missing --{what}"))?;
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let system =
+        ObdaSystem::from_text(&read(&args.ontology, "ontology")?).map_err(|e| e.to_string())?;
+    let query = system
+        .parse_query(read(&args.query, "query")?.trim())
+        .map_err(|e| e.to_string())?;
+
+    match args.command.as_str() {
+        "classify" => {
+            let cell = system.classify(&query);
+            println!("depth:       {:?}", cell.depth);
+            println!("query class: {:?}", cell.query);
+            println!("complexity:  {}", cell.complexity);
+            println!(
+                "rewritings:  poly NDL = {}, PE = {:?}, poly FO iff {}",
+                cell.succinctness.poly_ndl, cell.succinctness.pe, cell.succinctness.poly_fo_iff
+            );
+            Ok(())
+        }
+        "rewrite" => {
+            let rewriting = system.rewrite(&query, args.strategy).map_err(|e| e.to_string())?;
+            eprintln!(
+                "# strategy {}: {} clauses, {} predicates",
+                args.strategy,
+                rewriting.program.num_clauses(),
+                rewriting.program.num_preds()
+            );
+            print!("{}", ProgramDisplay { program: &rewriting.program });
+            Ok(())
+        }
+        "answer" => {
+            let data = system
+                .parse_data(&read(&args.data, "data")?)
+                .map_err(|e| e.to_string())?;
+            let opts = EvalOptions { timeout: args.timeout, max_tuples: None };
+            let result = system
+                .answer_with_options(&query, &data, args.strategy, &opts)
+                .map_err(|e| e.to_string())?;
+            for tuple in &result.answers {
+                let names: Vec<&str> =
+                    tuple.iter().map(|&c| data.constant_name(c)).collect();
+                println!("({})", names.join(", "));
+            }
+            eprintln!(
+                "# {} answers, {} tuples materialised, strategy {}",
+                result.stats.num_answers, result.stats.generated_tuples, args.strategy
+            );
+            if args.oracle {
+                let oracle = system.certain_answers(&query, &data).tuples();
+                if oracle == result.answers {
+                    eprintln!("# oracle agrees ✓");
+                } else {
+                    return Err("oracle DISAGREES with the rewriting".into());
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

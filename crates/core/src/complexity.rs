@@ -1,0 +1,270 @@
+//! The complexity and succinctness landscape of Figure 1.
+//!
+//! Figure 1(a) charts the combined complexity of OMQ answering by ontology
+//! depth and query topology; Figure 1(b) charts the size of PE-, NDL- and
+//! FO-rewritings. This module transcribes both as total functions and
+//! classifies concrete OMQs into their cells.
+
+use obda_cq::gaifman::Gaifman;
+use obda_cq::query::Cq;
+use obda_cq::treedec::TreeDecomposition;
+use obda_owlql::words::ontology_depth;
+use obda_owlql::Ontology;
+use std::fmt;
+
+/// The ontology-depth coordinate of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepthBound {
+    /// Depth `≤ d` for the given finite `d`.
+    Bounded(usize),
+    /// Infinite depth (`W_T` is infinite).
+    Unbounded,
+}
+
+/// The query-topology coordinate of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Tree-shaped with at most `ℓ` leaves.
+    BoundedLeaves(usize),
+    /// Tree-shaped, unboundedly many leaves (treewidth 1).
+    Trees,
+    /// Treewidth at most `t` (for `t ≥ 2`).
+    BoundedTreewidth(usize),
+    /// Arbitrary CQs (unbounded treewidth).
+    Arbitrary,
+}
+
+/// Combined complexity of OMQ answering (Figure 1(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Complexity {
+    /// Nondeterministic logarithmic space.
+    Nl,
+    /// Logspace-reducible to context-free language recognition.
+    LogCfl,
+    /// NP-complete.
+    Np,
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Complexity::Nl => write!(f, "NL"),
+            Complexity::LogCfl => write!(f, "LOGCFL"),
+            Complexity::Np => write!(f, "NP"),
+        }
+    }
+}
+
+/// The combined complexity of answering OMQs in the given cell
+/// (Figure 1(a)).
+pub fn combined_complexity(depth: DepthBound, class: QueryClass) -> Complexity {
+    match (depth, class) {
+        (DepthBound::Bounded(_), QueryClass::BoundedLeaves(_)) => Complexity::Nl,
+        (DepthBound::Bounded(_), QueryClass::Trees)
+        | (DepthBound::Bounded(_), QueryClass::BoundedTreewidth(_)) => Complexity::LogCfl,
+        (DepthBound::Bounded(_), QueryClass::Arbitrary) => Complexity::Np,
+        (DepthBound::Unbounded, QueryClass::BoundedLeaves(_)) => Complexity::LogCfl,
+        (DepthBound::Unbounded, _) => Complexity::Np,
+    }
+}
+
+/// Size of positive-existential rewritings in a Figure 1(b) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeSize {
+    /// Polynomial-size PE-rewritings exist.
+    Poly,
+    /// Polynomial-size `Π_k`-PE rewritings exist (matrix of `∧`/`∨` depth `k`).
+    PolyPi(usize),
+    /// No polynomial-size PE-rewritings (superpolynomial lower bounds).
+    SuperPoly,
+}
+
+/// The succinctness facts of one Figure 1(b) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Succinctness {
+    /// Whether polynomial-size NDL-rewritings exist.
+    pub poly_ndl: bool,
+    /// Size of PE-rewritings.
+    pub pe: PeSize,
+    /// The complexity-theoretic condition equivalent to the existence of
+    /// polynomial-size FO-rewritings.
+    pub poly_fo_iff: &'static str,
+}
+
+/// The rewriting-size landscape (Figure 1(b); the `Π₂`/`Π₄`/PE subregions
+/// for small depths follow Kikot et al., LICS 2014).
+pub fn rewriting_size(depth: DepthBound, class: QueryClass) -> Succinctness {
+    match (depth, class) {
+        (DepthBound::Bounded(_), QueryClass::BoundedLeaves(_)) => Succinctness {
+            poly_ndl: true,
+            pe: PeSize::SuperPoly,
+            poly_fo_iff: "NL/poly ⊆ NC¹",
+        },
+        (DepthBound::Bounded(_), QueryClass::Trees)
+        | (DepthBound::Bounded(_), QueryClass::BoundedTreewidth(_)) => Succinctness {
+            poly_ndl: true,
+            pe: PeSize::SuperPoly,
+            poly_fo_iff: "LOGCFL/poly ⊆ NC¹",
+        },
+        (DepthBound::Bounded(d), QueryClass::Arbitrary) => Succinctness {
+            poly_ndl: true,
+            pe: match d {
+                0 => PeSize::Poly,
+                1 => PeSize::PolyPi(2),
+                2 => PeSize::PolyPi(4),
+                _ => PeSize::Poly,
+            },
+            poly_fo_iff: "NP/poly ⊆ NC¹",
+        },
+        (DepthBound::Unbounded, QueryClass::BoundedLeaves(_)) => Succinctness {
+            poly_ndl: true,
+            pe: PeSize::SuperPoly,
+            poly_fo_iff: "NL/poly ⊆ NC¹",
+        },
+        (DepthBound::Unbounded, _) => Succinctness {
+            poly_ndl: false,
+            pe: PeSize::SuperPoly,
+            poly_fo_iff: "NP/poly ⊆ NC¹",
+        },
+    }
+}
+
+/// Where a concrete OMQ sits in the landscape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmqClassification {
+    /// Ontology depth.
+    pub depth: DepthBound,
+    /// Query topology (the most specific class).
+    pub query: QueryClass,
+    /// Combined complexity of the cell.
+    pub complexity: Complexity,
+    /// Succinctness facts of the cell.
+    pub succinctness: Succinctness,
+}
+
+/// Classifies an OMQ into its Figure 1 cell.
+pub fn classify(ontology: &Ontology, query: &Cq) -> OmqClassification {
+    let taxonomy = ontology.taxonomy();
+    let depth = match ontology_depth(&taxonomy) {
+        Some(d) => DepthBound::Bounded(d),
+        None => DepthBound::Unbounded,
+    };
+    let g = Gaifman::new(query);
+    let qclass = if g.is_tree() {
+        QueryClass::BoundedLeaves(g.num_leaves())
+    } else {
+        let width = TreeDecomposition::min_fill(query).width();
+        QueryClass::BoundedTreewidth(width)
+    };
+    OmqClassification {
+        depth,
+        query: qclass,
+        complexity: combined_complexity(depth, qclass),
+        succinctness: rewriting_size(depth, qclass),
+    }
+}
+
+/// Renders the Figure 1(a) landscape as a text table (used by the
+/// `experiments fig1` subcommand).
+pub fn landscape_table() -> String {
+    let depths = [
+        ("depth 0", DepthBound::Bounded(0)),
+        ("depth d", DepthBound::Bounded(5)),
+        ("depth ∞", DepthBound::Unbounded),
+    ];
+    let classes = [
+        ("≤ℓ leaves", QueryClass::BoundedLeaves(3)),
+        ("trees", QueryClass::Trees),
+        ("treewidth ≤t", QueryClass::BoundedTreewidth(3)),
+        ("arbitrary", QueryClass::Arbitrary),
+    ];
+    let mut out = String::from("ontology \\ query | ≤ℓ leaves | trees | treewidth ≤t | arbitrary\n");
+    for (dn, d) in depths {
+        out.push_str(&format!("{dn:<16} |"));
+        for (_, c) in classes {
+            out.push_str(&format!(" {:<9} |", combined_complexity(d, c).to_string()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_cq::parse_cq;
+    use obda_owlql::parse_ontology;
+
+    #[test]
+    fn figure_1a_cells() {
+        use Complexity::*;
+        use DepthBound::*;
+        use QueryClass::*;
+        // The three tractable classes.
+        assert_eq!(combined_complexity(Bounded(1), BoundedLeaves(2)), Nl);
+        assert_eq!(combined_complexity(Bounded(3), BoundedTreewidth(2)), LogCfl);
+        assert_eq!(combined_complexity(Bounded(3), Trees), LogCfl);
+        assert_eq!(combined_complexity(Unbounded, BoundedLeaves(5)), LogCfl);
+        // The hard cells.
+        assert_eq!(combined_complexity(Unbounded, Trees), Np);
+        assert_eq!(combined_complexity(Unbounded, BoundedTreewidth(2)), Np);
+        assert_eq!(combined_complexity(Bounded(1), Arbitrary), Np);
+        assert_eq!(combined_complexity(Unbounded, Arbitrary), Np);
+    }
+
+    #[test]
+    fn figure_1b_cells() {
+        use DepthBound::*;
+        use QueryClass::*;
+        let c = rewriting_size(Bounded(1), BoundedLeaves(2));
+        assert!(c.poly_ndl);
+        assert_eq!(c.pe, PeSize::SuperPoly);
+        assert!(c.poly_fo_iff.contains("NL/poly"));
+        let c = rewriting_size(Bounded(2), Trees);
+        assert!(c.poly_ndl);
+        assert!(c.poly_fo_iff.contains("LOGCFL/poly"));
+        let c = rewriting_size(Unbounded, Trees);
+        assert!(!c.poly_ndl);
+        assert!(c.poly_fo_iff.contains("NP/poly"));
+        assert_eq!(rewriting_size(Bounded(1), Arbitrary).pe, PeSize::PolyPi(2));
+        assert_eq!(rewriting_size(Bounded(2), Arbitrary).pe, PeSize::PolyPi(4));
+    }
+
+    #[test]
+    fn classifies_the_paper_workload() {
+        // The Fig. 2 OMQs live in OMQ(1, 1, 2): depth 1, linear queries.
+        let o = parse_ontology(
+            "P SubPropertyOf S\n\
+             P SubPropertyOf R-\n",
+        )
+        .unwrap();
+        let q = parse_cq("q(x0, x2) :- R(x0, x1), S(x1, x2)", &o).unwrap();
+        let c = classify(&o, &q);
+        assert_eq!(c.depth, DepthBound::Bounded(1));
+        assert_eq!(c.query, QueryClass::BoundedLeaves(2));
+        assert_eq!(c.complexity, Complexity::Nl);
+    }
+
+    #[test]
+    fn classifies_infinite_depth_and_cycles() {
+        let o = parse_ontology(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf exists P\n",
+        )
+        .unwrap();
+        let q = parse_cq("q() :- P(x, y), P(y, z), P(z, x)", &o).unwrap();
+        let c = classify(&o, &q);
+        assert_eq!(c.depth, DepthBound::Unbounded);
+        assert!(matches!(c.query, QueryClass::BoundedTreewidth(2)));
+        assert_eq!(c.complexity, Complexity::Np);
+    }
+
+    #[test]
+    fn landscape_renders() {
+        let t = landscape_table();
+        assert!(t.contains("LOGCFL"));
+        assert!(t.contains("NL"));
+        assert!(t.contains("NP"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

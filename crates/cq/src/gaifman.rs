@@ -1,0 +1,267 @@
+//! Gaifman graphs and query-shape analysis.
+//!
+//! The Gaifman graph of a CQ has the query variables as vertices and an edge
+//! `{u, v}` whenever some binary atom mentions both. A CQ is *connected* /
+//! *tree-shaped* / *linear* when its Gaifman graph is connected / a tree / a
+//! tree with two leaves.
+
+use crate::query::{Atom, Cq, Var};
+
+/// The Gaifman graph of a CQ, with adjacency lists over variable indices.
+#[derive(Debug, Clone)]
+pub struct Gaifman {
+    /// `adj[v]` — neighbours of variable `v` (deduplicated, self-loops
+    /// dropped), sorted.
+    adj: Vec<Vec<u32>>,
+    /// Variables with a self-loop atom `P(z, z)`.
+    self_loops: Vec<bool>,
+}
+
+impl Gaifman {
+    /// Builds the Gaifman graph of `q`.
+    pub fn new(q: &Cq) -> Self {
+        let n = q.num_vars();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut self_loops = vec![false; n];
+        for &atom in q.atoms() {
+            if let Atom::Prop(_, u, v) = atom {
+                if u == v {
+                    self_loops[u.0 as usize] = true;
+                } else {
+                    adj[u.0 as usize].push(v.0);
+                    adj[v.0 as usize].push(u.0);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Gaifman { adj, self_loops }
+    }
+
+    /// Number of vertices (query variables).
+    pub fn num_vars(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbours(&self, v: Var) -> impl Iterator<Item = Var> + '_ {
+        self.adj[v.0 as usize].iter().map(|&u| Var(u))
+    }
+
+    /// Degree of `v` (self-loops not counted).
+    pub fn degree(&self, v: Var) -> usize {
+        self.adj[v.0 as usize].len()
+    }
+
+    /// Whether variable `v` has a self-loop atom.
+    pub fn has_self_loop(&self, v: Var) -> bool {
+        self.self_loops[v.0 as usize]
+    }
+
+    /// The undirected edges `{u, v}` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Var, Var)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            list.iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (Var(u as u32), Var(v)))
+        })
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether the graph is connected (vacuously true when empty).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vars();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v as usize);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Whether the graph is a tree (connected and acyclic).
+    pub fn is_tree(&self) -> bool {
+        let n = self.num_vars();
+        n > 0 && self.is_connected() && self.num_edges() == n - 1
+    }
+
+    /// Number of leaves of a tree-shaped graph: vertices of degree 1
+    /// (a single isolated vertex counts as one leaf).
+    pub fn num_leaves(&self) -> usize {
+        if self.num_vars() == 1 {
+            return 1;
+        }
+        (0..self.num_vars()).filter(|&v| self.adj[v].len() == 1).count()
+    }
+
+    /// Whether the graph is linear: a tree with at most two leaves (a path).
+    pub fn is_linear(&self) -> bool {
+        self.is_tree() && self.num_leaves() <= 2
+    }
+
+    /// BFS distances from `root` (`u32::MAX` for unreachable vertices).
+    pub fn bfs_distances(&self, root: Var) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.num_vars()];
+        dist[root.0 as usize] = 0;
+        let mut queue = std::collections::VecDeque::from([root.0 as usize]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u] + 1;
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The connected components as sorted vertex lists.
+    pub fn components(&self) -> Vec<Vec<Var>> {
+        let n = self.num_vars();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = vec![];
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(u) = stack.pop() {
+                comp.push(Var(u as u32));
+                for &v in &self.adj[u] {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        stack.push(v as usize);
+                    }
+                }
+            }
+            comp.sort();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+/// Summary of a query's topology, used to pick rewriting strategies and to
+/// classify OMQs into the paper's tractable classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Whether the Gaifman graph is connected.
+    pub connected: bool,
+    /// Whether it is a tree.
+    pub tree: bool,
+    /// Number of leaves if a tree.
+    pub leaves: Option<usize>,
+    /// Treewidth upper bound from the min-fill heuristic (exact for trees).
+    pub treewidth: usize,
+}
+
+impl Shape {
+    /// Analyses the shape of `q`.
+    pub fn of(q: &Cq) -> Shape {
+        let g = Gaifman::new(q);
+        let tree = g.is_tree();
+        Shape {
+            connected: g.is_connected(),
+            tree,
+            leaves: tree.then(|| g.num_leaves()),
+            treewidth: crate::treedec::TreeDecomposition::min_fill(q).width(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+    use obda_owlql::parse_ontology;
+
+    fn graph(src: &str) -> (Cq, Gaifman) {
+        let o = parse_ontology("Property R\nProperty S\nClass A\n").unwrap();
+        let q = parse_cq(src, &o).unwrap();
+        let g = Gaifman::new(&q);
+        (q, g)
+    }
+
+    #[test]
+    fn path_is_linear() {
+        let (q, g) = graph("q(x0, x3) :- R(x0, x1), S(x1, x2), R(x2, x3)");
+        assert!(g.is_connected());
+        assert!(g.is_tree());
+        assert!(g.is_linear());
+        assert_eq!(g.num_leaves(), 2);
+        assert_eq!(g.num_edges(), 3);
+        let x0 = q.get_var("x0").unwrap();
+        let dist = g.bfs_distances(x0);
+        for (name, d) in [("x0", 0), ("x1", 1), ("x2", 2), ("x3", 3)] {
+            assert_eq!(dist[q.get_var(name).unwrap().0 as usize], d);
+        }
+    }
+
+    #[test]
+    fn star_is_tree_not_linear() {
+        let (_, g) = graph("q() :- R(c, l1), R(c, l2), R(c, l3)");
+        assert!(g.is_tree());
+        assert!(!g.is_linear());
+        assert_eq!(g.num_leaves(), 3);
+    }
+
+    #[test]
+    fn cycle_is_not_tree() {
+        let (_, g) = graph("q() :- R(x, y), R(y, z), R(z, x)");
+        assert!(g.is_connected());
+        assert!(!g.is_tree());
+    }
+
+    #[test]
+    fn self_loops_and_multi_edges_collapse() {
+        let (q, g) = graph("q() :- R(x, y), S(x, y), R(x, x)");
+        assert_eq!(g.num_edges(), 1);
+        let x = q.get_var("x").unwrap();
+        assert!(g.has_self_loop(x));
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let (_, g) = graph("q() :- R(x, y), S(u, v)");
+        assert!(!g.is_connected());
+        assert_eq!(g.components().len(), 2);
+    }
+
+    #[test]
+    fn single_var_query() {
+        let (_, g) = graph("q(x) :- A(x)");
+        assert!(g.is_tree());
+        assert_eq!(g.num_leaves(), 1);
+        assert!(g.is_linear());
+    }
+
+    #[test]
+    fn shape_summary() {
+        let o = parse_ontology("Property R\n").unwrap();
+        let q = parse_cq("q(x) :- R(x, y), R(y, z)", &o).unwrap();
+        let s = Shape::of(&q);
+        assert!(s.connected && s.tree);
+        assert_eq!(s.leaves, Some(2));
+        assert_eq!(s.treewidth, 1);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # obda-cq
+//!
+//! Conjunctive queries for ontology-mediated querying: query representation
+//! and parsing, Gaifman-graph shape analysis (tree-shaped, linear, number of
+//! leaves), tree decompositions, and the tree-splitting lemmas (Lemma 10 and
+//! Lemma 14 of Bienvenu et al., PODS 2017) used by the optimal
+//! NDL-rewritings.
+//!
+//! ## Example
+//!
+//! ```
+//! use obda_owlql::parse_ontology;
+//! use obda_cq::{parse_cq, Gaifman, TreeDecomposition};
+//!
+//! let o = parse_ontology("Property R\nProperty S\n").unwrap();
+//! let q = parse_cq("q(x0, x3) :- R(x0, x1), S(x1, x2), R(x2, x3)", &o).unwrap();
+//! let g = Gaifman::new(&q);
+//! assert!(g.is_linear());
+//! let td = TreeDecomposition::for_tree(&q);
+//! assert_eq!(td.width(), 1);
+//! ```
+
+pub mod gaifman;
+pub mod parser;
+pub mod query;
+pub mod split;
+pub mod treedec;
+
+pub use gaifman::{Gaifman, Shape};
+pub use parser::parse_cq;
+pub use query::{Atom, Cq, Var};
+pub use split::{centroid, split_decomposition, SplitNode};
+pub use treedec::TreeDecomposition;

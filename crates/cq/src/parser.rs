@@ -1,0 +1,145 @@
+//! Textual syntax for conjunctive queries.
+//!
+//! ```text
+//! q(x, y) :- R(x, z), A(z), S(z, y)
+//! q() :- A(x)                         # Boolean query
+//! ```
+//!
+//! Predicate names resolve against an ontology's vocabulary; unary atoms are
+//! class atoms, binary atoms property atoms.
+
+use crate::query::Cq;
+use obda_owlql::ontology::Ontology;
+use obda_owlql::parser::ParseError;
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line: 1, message: message.into() })
+}
+
+/// Parses a CQ, resolving predicates against `ontology`'s vocabulary.
+pub fn parse_cq(text: &str, ontology: &Ontology) -> Result<Cq, ParseError> {
+    let text = text.trim();
+    let Some((head, body)) = text.split_once(":-") else {
+        return err("expected `q(vars) :- atoms`");
+    };
+    let mut q = Cq::new();
+
+    // Head: `q(x, y)`.
+    let head = head.trim();
+    let Some(open) = head.find('(') else {
+        return err("missing `(` in query head");
+    };
+    let Some(close) = head.rfind(')') else {
+        return err("missing `)` in query head");
+    };
+    let args = head[open + 1..close].trim();
+    if !args.is_empty() {
+        for name in args.split(',').map(str::trim) {
+            if name.is_empty() {
+                return err("empty answer variable name");
+            }
+            let v = q.var(name);
+            q.add_answer_var(v);
+        }
+    }
+
+    // Body: a comma-separated list of atoms. Split at commas that are
+    // outside parentheses.
+    let body = body.trim();
+    if body.is_empty() {
+        return err("empty query body");
+    }
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut parts = Vec::new();
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(body[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(body[start..].trim());
+
+    let vocab = ontology.vocab();
+    for part in parts {
+        let Some(open) = part.find('(') else {
+            return err(format!("expected atom, got `{part}`"));
+        };
+        let Some(close) = part.rfind(')') else {
+            return err(format!("missing `)` in atom `{part}`"));
+        };
+        let pred = part[..open].trim();
+        let args: Vec<&str> = part[open + 1..close].split(',').map(str::trim).collect();
+        match args.as_slice() {
+            [z] if !z.is_empty() => {
+                let Some(class) = vocab.get_class(pred) else {
+                    return err(format!("unknown class `{pred}`"));
+                };
+                let v = q.var(z);
+                q.add_class_atom(class, v);
+            }
+            [z, z2] if !z.is_empty() && !z2.is_empty() => {
+                let Some(prop) = vocab.get_prop(pred) else {
+                    return err(format!("unknown property `{pred}`"));
+                };
+                let v = q.var(z);
+                let v2 = q.var(z2);
+                q.add_prop_atom(prop, v, v2);
+            }
+            _ => return err(format!("atom `{part}` must have 1 or 2 arguments")),
+        }
+    }
+
+    // Answer variables must occur in the body.
+    for &x in q.answer_vars() {
+        let occurs = q.atoms().iter().any(|a| a.vars().any(|v| v == x));
+        if !occurs {
+            return err(format!(
+                "answer variable `{}` does not occur in the body",
+                q.var_name(x)
+            ));
+        }
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_owlql::parse_ontology;
+
+    #[test]
+    fn parses_and_roundtrips() {
+        let o = parse_ontology("Class A\nProperty R\nProperty S\n").unwrap();
+        let q = parse_cq("q(x, y) :- R(x, z), A(z), S(z, y)", &o).unwrap();
+        assert_eq!(q.answer_vars().len(), 2);
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.to_text(o.vocab()), "q(x, y) :- R(x, z), A(z), S(z, y)");
+        let q2 = parse_cq(&q.to_text(o.vocab()), &o).unwrap();
+        assert_eq!(q2.num_atoms(), 3);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let o = parse_ontology("Class A\n").unwrap();
+        let q = parse_cq("q() :- A(x)", &o).unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.num_vars(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let o = parse_ontology("Class A\nProperty R\n").unwrap();
+        assert!(parse_cq("q(x) R(x, y)", &o).is_err());
+        assert!(parse_cq("q(x) :- ", &o).is_err());
+        assert!(parse_cq("q(x) :- B(x)", &o).is_err());
+        assert!(parse_cq("q(x) :- Q(x, y)", &o).is_err());
+        assert!(parse_cq("q(w) :- A(x)", &o).is_err());
+        assert!(parse_cq("q(x) :- R(x, y, z)", &o).is_err());
+    }
+}

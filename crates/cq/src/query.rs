@@ -1,0 +1,221 @@
+//! Conjunctive queries.
+//!
+//! A CQ `q(x) = ∃y φ(x, y)` is a conjunction of atoms `A(z)` / `P(z, z′)`
+//! over variables `var(q) = x ∪ y`; we follow the paper in assuming CQs
+//! contain no constants and often treating a CQ as its set of atoms.
+
+use obda_owlql::vocab::{ClassId, Interner, PropId, Role, Vocab};
+
+/// A query variable, interned per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// An atom of a CQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `A(z)`.
+    Class(ClassId, Var),
+    /// `P(z, z′)`.
+    Prop(PropId, Var, Var),
+}
+
+impl Atom {
+    /// The variables of the atom (one or two entries).
+    pub fn vars(self) -> impl Iterator<Item = Var> {
+        let (a, b) = match self {
+            Atom::Class(_, z) => (z, None),
+            Atom::Prop(_, z, z2) => (z, Some(z2)),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Views a binary atom as a role atom `̺(u, v)`: returns the role if the
+    /// atom relates `u` to `v` in that order (possibly via the inverse).
+    pub fn role_between(self, u: Var, v: Var) -> Option<Role> {
+        match self {
+            Atom::Prop(p, a, b) if (a, b) == (u, v) => Some(Role::direct(p)),
+            Atom::Prop(p, a, b) if (a, b) == (v, u) => Some(Role::inverse_of(p)),
+            _ => None,
+        }
+    }
+}
+
+/// A conjunctive query with named, interned variables.
+#[derive(Debug, Clone, Default)]
+pub struct Cq {
+    vars: Interner,
+    answer_vars: Vec<Var>,
+    atoms: Vec<Atom>,
+}
+
+impl Cq {
+    /// Creates an empty (Boolean, atomless) query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a variable by name.
+    pub fn var(&mut self, name: &str) -> Var {
+        Var(self.vars.intern(name))
+    }
+
+    /// Looks up a variable by name.
+    pub fn get_var(&self, name: &str) -> Option<Var> {
+        self.vars.get(name).map(Var)
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        self.vars.name(v.0)
+    }
+
+    /// Declares `v` an answer variable (idempotent, order-preserving).
+    pub fn add_answer_var(&mut self, v: Var) {
+        if !self.answer_vars.contains(&v) {
+            self.answer_vars.push(v);
+        }
+    }
+
+    /// Adds an atom `A(z)`.
+    pub fn add_class_atom(&mut self, class: ClassId, z: Var) {
+        let atom = Atom::Class(class, z);
+        if !self.atoms.contains(&atom) {
+            self.atoms.push(atom);
+        }
+    }
+
+    /// Adds an atom `P(z, z′)`.
+    pub fn add_prop_atom(&mut self, prop: PropId, z: Var, z2: Var) {
+        let atom = Atom::Prop(prop, z, z2);
+        if !self.atoms.contains(&atom) {
+            self.atoms.push(atom);
+        }
+    }
+
+    /// Adds an atom `̺(z, z′)` (stored as `P(z,z′)` or `P(z′,z)`).
+    pub fn add_role_atom(&mut self, role: Role, z: Var, z2: Var) {
+        if role.inverse {
+            self.add_prop_atom(role.prop, z2, z);
+        } else {
+            self.add_prop_atom(role.prop, z, z2);
+        }
+    }
+
+    /// The atoms, in insertion order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The answer variables `x`, in declaration order.
+    pub fn answer_vars(&self) -> &[Var] {
+        &self.answer_vars
+    }
+
+    /// Whether `v` is an answer variable.
+    pub fn is_answer_var(&self, v: Var) -> bool {
+        self.answer_vars.contains(&v)
+    }
+
+    /// All variables (interned), in interning order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> {
+        self.vars.ids().map(Var)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of atoms `|q|`.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the query is Boolean (`x = ∅`).
+    pub fn is_boolean(&self) -> bool {
+        self.answer_vars.is_empty()
+    }
+
+    /// The existentially quantified variables `y = var(q) \ x`.
+    pub fn existential_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars().filter(|v| !self.is_answer_var(*v))
+    }
+
+    /// The class atoms on variable `z`.
+    pub fn class_atoms_on(&self, z: Var) -> impl Iterator<Item = ClassId> + '_ {
+        self.atoms.iter().filter_map(move |&a| match a {
+            Atom::Class(c, v) if v == z => Some(c),
+            _ => None,
+        })
+    }
+
+    /// The roles `̺` with `̺(u, v) ∈ q` (both orientations of `P`-atoms).
+    pub fn roles_between(&self, u: Var, v: Var) -> impl Iterator<Item = Role> + '_ {
+        self.atoms.iter().filter_map(move |&a| a.role_between(u, v))
+    }
+
+    /// Renders the query in the textual syntax.
+    pub fn to_text(&self, vocab: &Vocab) -> String {
+        let head_args: Vec<&str> = self.answer_vars.iter().map(|&v| self.var_name(v)).collect();
+        let body: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|&a| match a {
+                Atom::Class(c, z) => format!("{}({})", vocab.class_name(c), self.var_name(z)),
+                Atom::Prop(p, z, z2) => format!(
+                    "{}({}, {})",
+                    vocab.prop_name(p),
+                    self.var_name(z),
+                    self.var_name(z2)
+                ),
+            })
+            .collect();
+        format!("q({}) :- {}", head_args.join(", "), body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_owlql::parse_ontology;
+
+    #[test]
+    fn build_and_inspect() {
+        let o = parse_ontology("Class A\nProperty R\n").unwrap();
+        let v = o.vocab();
+        let a = v.get_class("A").unwrap();
+        let r = v.get_prop("R").unwrap();
+        let mut q = Cq::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.add_answer_var(x);
+        q.add_prop_atom(r, x, y);
+        q.add_class_atom(a, y);
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(q.num_atoms(), 2);
+        assert!(!q.is_boolean());
+        assert!(q.is_answer_var(x));
+        assert_eq!(q.existential_vars().collect::<Vec<_>>(), vec![y]);
+        assert_eq!(q.class_atoms_on(y).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(
+            q.roles_between(y, x).collect::<Vec<_>>(),
+            vec![Role::inverse_of(r)]
+        );
+        assert_eq!(q.to_text(v), "q(x) :- R(x, y), A(y)");
+    }
+
+    #[test]
+    fn duplicate_atoms_ignored() {
+        let o = parse_ontology("Property R\n").unwrap();
+        let r = o.vocab().get_prop("R").unwrap();
+        let mut q = Cq::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.add_prop_atom(r, x, y);
+        q.add_role_atom(Role::inverse_of(r), y, x); // same stored atom
+        assert_eq!(q.num_atoms(), 1);
+        q.add_answer_var(x);
+        q.add_answer_var(x);
+        assert_eq!(q.answer_vars().len(), 1);
+    }
+}

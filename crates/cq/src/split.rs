@@ -1,0 +1,341 @@
+//! Tree-splitting machinery: Lemma 10 and Lemma 14 of the paper.
+//!
+//! * **Lemma 14**: every tree of size `n` has a node splitting it into
+//!   subtrees of size `≤ ⌈n/2⌉` (the classical centroid).
+//! * **Lemma 10**: every subtree `D` of a tree `T` with at most two
+//!   *boundary* nodes (nodes with a `T`-edge leaving `D`) has a node `t`
+//!   splitting it into subtrees of size `≤ n/2` and degree `≤ 2`, plus
+//!   possibly one subtree of size `< n − 1` and degree 1.
+//!
+//! [`split_decomposition`] applies Lemma 10 recursively, producing the set
+//! `𝔇` of subtrees with the predecessor relation `≺` and splitting-node
+//! function `σ` that drive the `Log` rewriting (Section 3.2).
+
+/// A node of the recursive splitting tree `𝔇`.
+#[derive(Debug, Clone)]
+pub struct SplitNode {
+    /// The nodes of the subtree `D` (sorted indices into the host tree).
+    pub nodes: Vec<usize>,
+    /// The splitting node `σ(D)` (a member of `nodes`).
+    pub sigma: usize,
+    /// The subtrees `D′ ≺ D` produced by removing `σ(D)`.
+    pub children: Vec<SplitNode>,
+}
+
+impl SplitNode {
+    /// Size `|D|` (number of host-tree nodes).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over this node and all descendants (pre-order).
+    pub fn iter(&self) -> Vec<&SplitNode> {
+        let mut out = vec![self];
+        let mut i = 0;
+        while i < out.len() {
+            for c in &out[i].children {
+                out.push(c);
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// The boundary nodes of `D` in the host tree: members of `D` with a
+/// neighbour outside `D`.
+pub fn boundary(adj: &[Vec<usize>], in_d: &[bool], nodes: &[usize]) -> Vec<usize> {
+    nodes
+        .iter()
+        .copied()
+        .filter(|&u| adj[u].iter().any(|&v| !in_d[v]))
+        .collect()
+}
+
+/// Connected components of `D \ {t}` within the host tree.
+fn components_without(
+    adj: &[Vec<usize>],
+    in_d: &[bool],
+    nodes: &[usize],
+    t: usize,
+) -> Vec<Vec<usize>> {
+    let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    seen.insert(t);
+    let mut comps = Vec::new();
+    for &s in nodes {
+        if seen.contains(&s) {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![s];
+        seen.insert(s);
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for &v in &adj[u] {
+                if in_d[v] && !seen.contains(&v) {
+                    seen.insert(v);
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// The classical centroid (Lemma 14): a node of `D` whose removal leaves
+/// components of size `≤ ⌈n/2⌉`, found by minimising the largest component.
+pub fn centroid(adj: &[Vec<usize>], nodes: &[usize]) -> usize {
+    debug_assert!(!nodes.is_empty());
+    let mut in_d = vec![false; adj.len()];
+    for &u in nodes {
+        in_d[u] = true;
+    }
+    let best = nodes
+        .iter()
+        .copied()
+        .min_by_key(|&t| {
+            components_without(adj, &in_d, nodes, t)
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0)
+        })
+        .expect("nonempty");
+    best
+}
+
+/// Simple path between two nodes of `D` (inclusive), via BFS restricted to
+/// `D`.
+fn path_within(adj: &[Vec<usize>], in_d: &[bool], from: usize, to: usize) -> Vec<usize> {
+    let mut prev: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    prev.insert(from, from);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            break;
+        }
+        for &v in &adj[u] {
+            if in_d[v] && !prev.contains_key(&v) {
+                prev.insert(v, u);
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[&cur];
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// Chooses the splitting node `σ(D)` per Lemma 10.
+///
+/// For `deg(D) ≤ 1` the centroid suffices. For `deg(D) = 2` we walk the
+/// path `π` between the two boundary nodes: with `p(t)` the number of
+/// `D`-nodes strictly on the first-boundary side of `t`, we take the last
+/// `t ∈ π` with `p(t) ≤ n/2`; then both path-side components have size
+/// `≤ n/2` and everything hanging off `t` has degree 1.
+pub fn lemma10_split(adj: &[Vec<usize>], nodes: &[usize]) -> usize {
+    let mut in_d = vec![false; adj.len()];
+    for &u in nodes {
+        in_d[u] = true;
+    }
+    let bnd = boundary(adj, &in_d, nodes);
+    debug_assert!(bnd.len() <= 2, "Lemma 10 requires deg(D) ≤ 2");
+    if bnd.len() < 2 {
+        return centroid(adj, nodes);
+    }
+    let n = nodes.len();
+    let pi = path_within(adj, &in_d, bnd[0], bnd[1]);
+    // Subtree sizes hanging off each path node (within D, excluding the
+    // path itself): size of components of D − π containing a neighbour.
+    let on_path: std::collections::HashSet<usize> = pi.iter().copied().collect();
+    let hang = |t: usize| -> usize {
+        // BFS from t's non-path neighbours inside D, not crossing the path.
+        let mut seen: std::collections::HashSet<usize> = on_path.clone();
+        let mut count = 0usize;
+        let mut stack: Vec<usize> =
+            adj[t].iter().copied().filter(|&v| in_d[v] && !on_path.contains(&v)).collect();
+        for &s in &stack {
+            seen.insert(s);
+        }
+        while let Some(u) = stack.pop() {
+            count += 1;
+            for &v in &adj[u] {
+                if in_d[v] && !seen.contains(&v) {
+                    seen.insert(v);
+                    stack.push(v);
+                }
+            }
+        }
+        count
+    };
+    let mut p = 0usize; // nodes strictly before the current path node
+    let mut chosen = pi[0];
+    for (i, &t) in pi.iter().enumerate() {
+        if 2 * p <= n {
+            chosen = t;
+        } else {
+            break;
+        }
+        // Advance: t itself plus everything hanging off it.
+        let _ = i;
+        p += 1 + hang(t);
+    }
+    chosen
+}
+
+/// Recursively splits the host tree (given by adjacency over `0..n`) into
+/// the set `𝔇` with `≺` and `σ`, starting from the whole tree (degree 0).
+pub fn split_decomposition(n: usize, adj: &[Vec<usize>]) -> SplitNode {
+    let nodes: Vec<usize> = (0..n).collect();
+    split_rec(adj, nodes)
+}
+
+fn split_rec(adj: &[Vec<usize>], nodes: Vec<usize>) -> SplitNode {
+    if nodes.len() == 1 {
+        let sigma = nodes[0];
+        return SplitNode { nodes, sigma, children: Vec::new() };
+    }
+    let sigma = lemma10_split(adj, &nodes);
+    let mut in_d = vec![false; adj.len()];
+    for &u in &nodes {
+        in_d[u] = true;
+    }
+    let children = components_without(adj, &in_d, &nodes, sigma)
+        .into_iter()
+        .map(|comp| split_rec(adj, comp))
+        .collect();
+    SplitNode { nodes, sigma, children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_adj(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn centroid_of_path() {
+        let adj = path_adj(7);
+        let c = centroid(&adj, &(0..7).collect::<Vec<_>>());
+        // Middle of the path: components ≤ ⌈7/2⌉.
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn centroid_of_star() {
+        // Star with centre 0.
+        let adj = vec![vec![1, 2, 3, 4], vec![0], vec![0], vec![0], vec![0]];
+        assert_eq!(centroid(&adj, &[0, 1, 2, 3, 4]), 0);
+    }
+
+    /// Checks the Lemma 10 guarantees along the whole recursion.
+    fn check_split(adj: &[Vec<usize>], node: &SplitNode, depth_budget: usize) {
+        assert!(node.nodes.contains(&node.sigma));
+        let n = node.size();
+        let mut in_d = vec![false; adj.len()];
+        for &u in &node.nodes {
+            in_d[u] = true;
+        }
+        let deg = boundary(adj, &in_d, &node.nodes).len();
+        assert!(deg <= 2, "degree invariant violated: {deg}");
+        let mut child_total = 0;
+        let mut exceptional = 0;
+        for c in &node.children {
+            child_total += c.size();
+            let mut in_c = vec![false; adj.len()];
+            for &u in &c.nodes {
+                in_c[u] = true;
+            }
+            let cdeg = boundary(adj, &in_c, &c.nodes).len();
+            if 2 * c.size() > n {
+                exceptional += 1;
+                assert!(c.size() < n - 1, "exceptional subtree too large");
+                assert!(cdeg == 1, "exceptional subtree must have degree 1");
+            }
+            assert!(cdeg <= 2);
+            check_split(adj, c, depth_budget.saturating_sub(1));
+        }
+        if n > 1 {
+            assert_eq!(child_total, n - 1, "children must partition D − σ(D)");
+            assert!(exceptional <= 1, "at most one exceptional subtree");
+        }
+    }
+
+    #[test]
+    fn split_decomposition_of_paths() {
+        for n in 1..=20 {
+            let adj = path_adj(n);
+            let d = split_decomposition(n, &adj);
+            assert_eq!(d.size(), n);
+            check_split(&adj, &d, n);
+        }
+    }
+
+    #[test]
+    fn split_decomposition_of_caterpillar() {
+        // Path 0-1-2-3-4 with pendants 5,6,7 on node 2.
+        let adj = vec![
+            vec![1],
+            vec![0, 2],
+            vec![1, 3, 5, 6, 7],
+            vec![2, 4],
+            vec![3],
+            vec![2],
+            vec![2],
+            vec![2],
+        ];
+        let d = split_decomposition(8, &adj);
+        check_split(&adj, &d, 8);
+    }
+
+    #[test]
+    fn split_decomposition_of_binary_tree() {
+        // Complete binary tree on 15 nodes (1-indexed heap layout shifted).
+        let n = 15;
+        let mut adj = vec![Vec::new(); n];
+        for i in 1..n {
+            let p = (i - 1) / 2;
+            adj[i].push(p);
+            adj[p].push(i);
+        }
+        let d = split_decomposition(n, &adj);
+        check_split(&adj, &d, n);
+        // 𝔇 contains at least one subtree per host node (each is the σ of
+        // exactly one subtree).
+        assert!(d.iter().len() >= n);
+    }
+
+    #[test]
+    fn recursion_halves_degree_two_subtrees() {
+        // Every non-exceptional subtree must have size ≤ n/2; verify the
+        // recursion depth on a long path is logarithmic-ish plus the
+        // exceptional chains.
+        let n = 64;
+        let adj = path_adj(n);
+        let d = split_decomposition(n, &adj);
+        fn max_depth(node: &SplitNode) -> usize {
+            1 + node.children.iter().map(max_depth).max().unwrap_or(0)
+        }
+        assert!(max_depth(&d) <= 2 * 7, "depth {} too large", max_depth(&d));
+    }
+}

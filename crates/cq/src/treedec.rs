@@ -1,0 +1,315 @@
+//! Tree decompositions of Gaifman graphs.
+//!
+//! A tree decomposition of a graph `G = (V, E)` is a tree `T` with a bag
+//! `λ(t) ⊆ V` per node such that every vertex and every edge is covered by
+//! some bag, and the bags containing any fixed vertex form a subtree. Its
+//! width is `max |λ(t)| − 1`; the treewidth of a CQ is the treewidth of its
+//! Gaifman graph.
+//!
+//! We provide the natural width-1 decomposition for tree-shaped queries and
+//! a min-fill elimination heuristic for the general case (exact on trees,
+//! an upper bound otherwise — sufficient for the `Log` rewriting, whose
+//! correctness is independent of the width achieved).
+
+use crate::gaifman::Gaifman;
+use crate::query::{Cq, Var};
+
+/// A tree decomposition: bags plus tree adjacency between bag indices.
+#[derive(Debug, Clone)]
+pub struct TreeDecomposition {
+    bags: Vec<Vec<Var>>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl TreeDecomposition {
+    /// The natural decomposition of a tree-shaped query: one bag per Gaifman
+    /// edge (plus singleton bags for isolated variables), bags chained along
+    /// the tree. Falls back to [`TreeDecomposition::min_fill`] when the
+    /// query is not tree-shaped.
+    pub fn for_tree(q: &Cq) -> Self {
+        let g = Gaifman::new(q);
+        if !g.is_tree() || g.num_edges() == 0 {
+            return Self::min_fill(q);
+        }
+        // Root a DFS at variable 0; bag per tree edge (parent, child); the
+        // bag of edge (p, v) attaches to the bag of edge (gp, p).
+        let n = q.num_vars();
+        let mut bags = Vec::with_capacity(n - 1);
+        let mut adj: Vec<Vec<usize>> = Vec::with_capacity(n - 1);
+        let mut bag_of_vertex = vec![usize::MAX; n]; // bag of edge (parent(v), v)
+        let mut stack = vec![(Var(0), None::<Var>)];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        while let Some((v, parent)) = stack.pop() {
+            if let Some(p) = parent {
+                let id = bags.len();
+                bags.push(vec![p, v]);
+                adj.push(Vec::new());
+                bag_of_vertex[v.0 as usize] = id;
+                let parent_bag = bag_of_vertex[p.0 as usize];
+                if parent_bag != usize::MAX {
+                    adj[id].push(parent_bag);
+                    adj[parent_bag].push(id);
+                }
+            }
+            for u in g.neighbours(v) {
+                if !seen[u.0 as usize] {
+                    seen[u.0 as usize] = true;
+                    stack.push((u, Some(v)));
+                }
+            }
+        }
+        // The root has no incident bag of its own; its first child's bag
+        // already contains it, and the bags of its other children were
+        // attached to nothing — link them to the first child's bag.
+        let root_bags: Vec<usize> = (0..bags.len())
+            .filter(|&i| bags[i][0] == Var(0))
+            .collect();
+        for w in root_bags.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        TreeDecomposition { bags, adj }
+    }
+
+    /// Min-fill elimination-ordering heuristic. Exact (width 1) on forests;
+    /// an upper bound in general.
+    pub fn min_fill(q: &Cq) -> Self {
+        let g = Gaifman::new(q);
+        let n = q.num_vars();
+        if n == 0 {
+            return TreeDecomposition { bags: vec![Vec::new()], adj: vec![Vec::new()] };
+        }
+        let mut nbr: Vec<std::collections::BTreeSet<u32>> = (0..n)
+            .map(|v| g.neighbours(Var(v as u32)).map(|u| u.0).collect())
+            .collect();
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut order = Vec::with_capacity(n);
+        let mut bags: Vec<Vec<Var>> = Vec::with_capacity(n);
+        let mut position = vec![usize::MAX; n];
+        for step in 0..n {
+            // Pick the alive vertex with minimum fill-in (ties: min degree).
+            let v = (0..n)
+                .filter(|&v| alive[v])
+                .min_by_key(|&v| {
+                    let ns: Vec<u32> = nbr[v].iter().copied().collect();
+                    let mut fill = 0usize;
+                    for (i, &a) in ns.iter().enumerate() {
+                        for &b in &ns[i + 1..] {
+                            if !nbr[a as usize].contains(&b) {
+                                fill += 1;
+                            }
+                        }
+                    }
+                    (fill, ns.len())
+                })
+                .expect("an alive vertex exists");
+            let mut bag: Vec<Var> = vec![Var(v as u32)];
+            bag.extend(nbr[v].iter().map(|&u| Var(u)));
+            bag.sort();
+            bags.push(bag);
+            position[v] = step;
+            order.push(v);
+            // Connect the neighbourhood into a clique and remove v.
+            let ns: Vec<u32> = nbr[v].iter().copied().collect();
+            for (i, &a) in ns.iter().enumerate() {
+                for &b in &ns[i + 1..] {
+                    nbr[a as usize].insert(b);
+                    nbr[b as usize].insert(a);
+                }
+            }
+            for &u in &ns {
+                nbr[u as usize].remove(&(v as u32));
+            }
+            alive[v] = false;
+        }
+        // Tree structure: the bag of v connects to the bag of the
+        // earliest-eliminated other vertex in it; component roots are
+        // chained together so the result is a single tree.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (i, &v) in order.iter().enumerate() {
+            let next = bags[i]
+                .iter()
+                .filter(|&&u| u.0 as usize != v)
+                .map(|&u| position[u.0 as usize])
+                .min();
+            match next {
+                Some(j) => {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+                None => roots.push(i),
+            }
+        }
+        for w in roots.windows(2) {
+            adj[w[0]].push(w[1]);
+            adj[w[1]].push(w[0]);
+        }
+        TreeDecomposition { bags, adj }
+    }
+
+    /// The bags.
+    pub fn bags(&self) -> &[Vec<Var>] {
+        &self.bags
+    }
+
+    /// The bag of tree node `t`.
+    pub fn bag(&self, t: usize) -> &[Var] {
+        &self.bags[t]
+    }
+
+    /// Tree adjacency between bag indices.
+    pub fn tree_adj(&self) -> &[Vec<usize>] {
+        &self.adj
+    }
+
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The width: `max |λ(t)| − 1`.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Validates the three tree-decomposition conditions against `q`.
+    pub fn validate(&self, q: &Cq) -> Result<(), String> {
+        let n = self.num_nodes();
+        // The tree is a tree: connected with n − 1 edges.
+        let edge_count: usize = self.adj.iter().map(Vec::len).sum::<usize>() / 2;
+        if n == 0 {
+            return Err("decomposition has no nodes".into());
+        }
+        if edge_count != n - 1 {
+            return Err(format!("tree has {edge_count} edges for {n} nodes"));
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        if count != n {
+            return Err("tree is disconnected".into());
+        }
+        // Vertex and edge coverage.
+        for v in q.vars() {
+            if !self.bags.iter().any(|b| b.contains(&v)) {
+                return Err(format!("variable #{} not covered", v.0));
+            }
+        }
+        let g = Gaifman::new(q);
+        for (u, v) in g.edges() {
+            if !self.bags.iter().any(|b| b.contains(&u) && b.contains(&v)) {
+                return Err(format!("edge ({}, {}) not covered", u.0, v.0));
+            }
+        }
+        // Connected-subtree condition per vertex.
+        for v in q.vars() {
+            let holders: Vec<usize> =
+                (0..n).filter(|&t| self.bags[t].contains(&v)).collect();
+            if holders.is_empty() {
+                continue;
+            }
+            let mut seen = vec![false; n];
+            let mut stack = vec![holders[0]];
+            seen[holders[0]] = true;
+            let mut reached = 1;
+            while let Some(t) = stack.pop() {
+                for &t2 in &self.adj[t] {
+                    if !seen[t2] && self.bags[t2].contains(&v) {
+                        seen[t2] = true;
+                        reached += 1;
+                        stack.push(t2);
+                    }
+                }
+            }
+            if reached != holders.len() {
+                return Err(format!("bags of variable #{} are not connected", v.0));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+    use obda_owlql::parse_ontology;
+
+    fn ontology() -> obda_owlql::Ontology {
+        parse_ontology("Property R\nProperty S\nClass A\n").unwrap()
+    }
+
+    #[test]
+    fn chain_decomposition_of_example_8() {
+        let o = ontology();
+        let q = parse_cq(
+            "q(x0, x7) :- R(x0, x1), S(x1, x2), R(x2, x3), R(x3, x4), S(x4, x5), R(x5, x6), R(x6, x7)",
+            &o,
+        )
+        .unwrap();
+        let td = TreeDecomposition::for_tree(&q);
+        assert_eq!(td.num_nodes(), 7);
+        assert_eq!(td.width(), 1);
+        td.validate(&q).unwrap();
+    }
+
+    #[test]
+    fn min_fill_on_cycle() {
+        let o = ontology();
+        let q = parse_cq("q() :- R(x, y), R(y, z), R(z, w), R(w, x)", &o).unwrap();
+        let td = TreeDecomposition::min_fill(&q);
+        td.validate(&q).unwrap();
+        assert_eq!(td.width(), 2); // a 4-cycle has treewidth 2
+    }
+
+    #[test]
+    fn min_fill_on_clique() {
+        let o = ontology();
+        let q = parse_cq("q() :- R(x, y), R(y, z), R(x, z)", &o).unwrap();
+        let td = TreeDecomposition::min_fill(&q);
+        td.validate(&q).unwrap();
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn star_decomposition() {
+        let o = ontology();
+        let q = parse_cq("q() :- R(c, a), R(c, b), R(c, d)", &o).unwrap();
+        let td = TreeDecomposition::for_tree(&q);
+        td.validate(&q).unwrap();
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn disconnected_query() {
+        let o = ontology();
+        let q = parse_cq("q() :- R(x, y), S(u, v), A(w)", &o).unwrap();
+        let td = TreeDecomposition::min_fill(&q);
+        td.validate(&q).unwrap();
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn single_variable() {
+        let o = ontology();
+        let q = parse_cq("q(x) :- A(x)", &o).unwrap();
+        let td = TreeDecomposition::for_tree(&q);
+        td.validate(&q).unwrap();
+        assert_eq!(td.width(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The W\[1\]-hardness reduction of Theorem 16: `PartitionedClique` to OMQ
+//! answering with bounded-depth ontologies and tree-shaped CQs
+//! (parameter: number of leaves).
+//!
+//! Given `G = (V, E)` partitioned into `V₁, …, V_p`, the ontology `T_G`
+//! grows branches of `p` blocks of length `2M` (one vertex selection per
+//! partition, with `S`/`Y` markers for the selected vertex and its
+//! neighbours), and the CQ `q_G` — a star with `p − 1` branches checking
+//! evenly-spaced `YY` markers — holds at `{A(a)}` iff `G` has a clique
+//! with one vertex per partition.
+
+use obda_cq::query::Cq;
+use obda_owlql::abox::DataInstance;
+use obda_owlql::axiom::{Axiom, ClassExpr};
+use obda_owlql::vocab::{Role, Vocab};
+use obda_owlql::Ontology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A graph with vertices `0..num_vertices` partitioned into groups.
+#[derive(Debug, Clone)]
+pub struct PartitionedGraph {
+    /// Number of vertices `M`.
+    pub num_vertices: usize,
+    /// Undirected edges.
+    pub edges: Vec<(usize, usize)>,
+    /// `partition[v]` ∈ `0..p`.
+    pub partition: Vec<usize>,
+    /// Number of partitions `p`.
+    pub num_parts: usize,
+}
+
+impl PartitionedGraph {
+    /// A random partitioned graph.
+    pub fn random(num_vertices: usize, num_parts: usize, edge_prob: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partition: Vec<usize> = (0..num_vertices)
+            .map(|v| {
+                if v < num_parts {
+                    v // every partition nonempty
+                } else {
+                    rng.gen_range(0..num_parts)
+                }
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for u in 0..num_vertices {
+            for v in u + 1..num_vertices {
+                if rng.gen_bool(edge_prob) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        PartitionedGraph { num_vertices, edges, partition, num_parts }
+    }
+
+    fn adjacent(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Brute force: a clique with one vertex per partition?
+    pub fn has_partitioned_clique(&self) -> bool {
+        let groups: Vec<Vec<usize>> = (0..self.num_parts)
+            .map(|i| {
+                (0..self.num_vertices).filter(|&v| self.partition[v] == i).collect()
+            })
+            .collect();
+        fn search(g: &PartitionedGraph, groups: &[Vec<usize>], chosen: &mut Vec<usize>) -> bool {
+            if chosen.len() == groups.len() {
+                return true;
+            }
+            for &v in &groups[chosen.len()] {
+                if chosen.iter().all(|&u| g.adjacent(u, v)) {
+                    chosen.push(v);
+                    if search(g, groups, chosen) {
+                        chosen.pop();
+                        return true;
+                    }
+                    chosen.pop();
+                }
+            }
+            false
+        }
+        search(self, &groups, &mut Vec::new())
+    }
+}
+
+/// The reduction output `(T_G, q_G, {A(a)})`.
+pub struct CliqueOmq {
+    /// The ontology of depth `Θ(p·M)`.
+    pub ontology: Ontology,
+    /// The star CQ with `p − 1` branches.
+    pub query: Cq,
+    /// The data instance `{A(a)}`.
+    pub data: DataInstance,
+}
+
+/// Builds the Theorem 16 reduction. Paper vertex `v_j` (1-based) is our
+/// vertex `j − 1`.
+///
+/// One adjustment to the paper's presentation: the homomorphism given in
+/// the proof of Theorem 16 crosses the block edges at positions `2j + 1`
+/// and `2j + 2`, which overflows a block of length `2M` when `j = M`. We
+/// use blocks of length `B = 2M + 2` with the `S`/`Y` marks at positions
+/// `{2j + 1, 2j + 2}`; the distance between a vertex's marks in
+/// consecutive blocks is then `B − 2`, so the query uses
+/// `U^{B−2}·(YY·U^{B−2})^i·SS` branches and the evenly-spaced-parity
+/// argument of the proof goes through verbatim.
+pub fn clique_to_omq(g: &PartitionedGraph) -> CliqueOmq {
+    let m = g.num_vertices;
+    let b = 2 * m + 2; // block length
+    let p = g.num_parts;
+    let mut vocab = Vocab::new();
+    let s = vocab.prop("S");
+    let y = vocab.prop("Y");
+    let u = vocab.prop("U");
+    let a = vocab.class("A");
+    let b_cls = vocab.class("B");
+    let pad = vocab.prop("Pad");
+    let l_role =
+        |vocab: &mut Vocab, k: usize, j: usize| vocab.prop(&format!("L{k}_{j}"));
+
+    let mut axioms = Vec::new();
+    // A(x) → ∃y L¹_j(x, y) for v_j ∈ V₁.
+    for j in 1..=m {
+        if g.partition[j - 1] == 0 {
+            let l1 = l_role(&mut vocab, 1, j);
+            axioms.push(Axiom::SubClass(
+                ClassExpr::Class(a),
+                ClassExpr::Exists(Role::direct(l1)),
+            ));
+        }
+    }
+    for j in 1..=m {
+        // ∃z L^k_j(z, x) → ∃y L^{k+1}_j(x, y), 1 ≤ k < B.
+        for k in 1..b {
+            let lk = l_role(&mut vocab, k, j);
+            let lk1 = l_role(&mut vocab, k + 1, j);
+            axioms.push(Axiom::SubClass(
+                ClassExpr::Exists(Role::inverse_of(lk)),
+                ClassExpr::Exists(Role::direct(lk1)),
+            ));
+        }
+        // ∃z L^B_j(z, x) → ∃y L¹_{j′}(x, y) for v_j ∈ V_i, v_{j′} ∈ V_{i+1}.
+        let i = g.partition[j - 1];
+        if i + 1 < p {
+            let l2m = l_role(&mut vocab, b, j);
+            for j_prime in 1..=m {
+                if g.partition[j_prime - 1] == i + 1 {
+                    let l1 = l_role(&mut vocab, 1, j_prime);
+                    axioms.push(Axiom::SubClass(
+                        ClassExpr::Exists(Role::inverse_of(l2m)),
+                        ClassExpr::Exists(Role::direct(l1)),
+                    ));
+                }
+            }
+        }
+        // Markers: L^k_j ⊑ S⁻ for k ∈ {2j+1, 2j+2}; L^k_j ⊑ Y⁻ for
+        // {v_j, v_{j′}} ∈ E, k ∈ {2j′+1, 2j′+2}; L^k_j ⊑ U⁻ for all k.
+        for k in 1..=b {
+            let lk = l_role(&mut vocab, k, j);
+            axioms.push(Axiom::SubRole(Role::direct(lk), Role::inverse_of(u)));
+            if k == 2 * j + 1 || k == 2 * j + 2 {
+                axioms.push(Axiom::SubRole(Role::direct(lk), Role::inverse_of(s)));
+            }
+            for j_prime in 1..=m {
+                if g.adjacent(j - 1, j_prime - 1) && (k == 2 * j_prime + 1 || k == 2 * j_prime + 2)
+                {
+                    axioms.push(Axiom::SubRole(Role::direct(lk), Role::inverse_of(y)));
+                }
+            }
+        }
+        // ∃z L^B_j(z, x) → B(x) for v_j ∈ V_p.
+        if g.partition[j - 1] == p - 1 {
+            let l2m = l_role(&mut vocab, b, j);
+            axioms.push(Axiom::SubClass(
+                ClassExpr::Exists(Role::inverse_of(l2m)),
+                ClassExpr::Class(b_cls),
+            ));
+        }
+    }
+    // B(x) → ∃y (U(x,y) ∧ U(y,x)): via the padding role.
+    axioms.push(Axiom::SubClass(ClassExpr::Class(b_cls), ClassExpr::Exists(Role::direct(pad))));
+    axioms.push(Axiom::SubRole(Role::direct(pad), Role::direct(u)));
+    axioms.push(Axiom::SubRole(Role::direct(pad), Role::inverse_of(u)));
+
+    let ontology = Ontology::new(vocab, axioms);
+
+    // q_G: B(y) ∧ ⋀_{1≤i<p} (U^{B−2} · (YY · U^{B−2})^i · SS)(y, z_i).
+    let vocab = ontology.vocab();
+    let s = vocab.get_prop("S").expect("S exists");
+    let y_prop = vocab.get_prop("Y").expect("Y exists");
+    let u_prop = vocab.get_prop("U").expect("U exists");
+    let b_class = vocab.get_class("B").expect("B exists");
+    let mut query = Cq::new();
+    let centre = query.var("y");
+    query.add_class_atom(b_class, centre);
+    for i in 1..p {
+        let mut letters: Vec<obda_owlql::PropId> = Vec::new();
+        letters.extend(std::iter::repeat_n(u_prop, b - 2));
+        for _ in 0..i {
+            letters.push(y_prop);
+            letters.push(y_prop);
+            letters.extend(std::iter::repeat_n(u_prop, b - 2));
+        }
+        letters.push(s);
+        letters.push(s);
+        let mut prev = centre;
+        for (step, &prop) in letters.iter().enumerate() {
+            let next = query.var(&format!("b{i}_{step}"));
+            query.add_prop_atom(prop, prev, next);
+            prev = next;
+        }
+    }
+
+    let mut data = DataInstance::new();
+    let a_const = data.constant("a");
+    data.add_class_atom(ontology.vocab().get_class("A").expect("A exists"), a_const);
+
+    CliqueOmq { ontology, query, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_chase::homomorphism::HomSearch;
+    use obda_chase::model::CanonicalModel;
+    use obda_cq::gaifman::Gaifman;
+    use obda_owlql::words::ontology_depth;
+
+    fn omq_answer(g: &PartitionedGraph) -> bool {
+        let r = clique_to_omq(g);
+        // Branch length in q_G is B·(i+1); the canonical tree has depth
+        // p·B + 1, which bounds all matches.
+        let bound = (2 * g.num_vertices + 2) * g.num_parts + 2;
+        let model = CanonicalModel::new(&r.ontology, &r.data, bound);
+        HomSearch::new(&model, &r.query).exists(&[])
+    }
+
+    #[test]
+    fn paper_example() {
+        // p = 3, V₁ = {v1, v2}, V₂ = {v3}, V₃ = {v4, v5},
+        // E = {{v1,v3}, {v3,v5}}: v1–v3–v5 is NOT a triangle (v1, v5 not
+        // adjacent), so no partitioned clique.
+        let g = PartitionedGraph {
+            num_vertices: 5,
+            edges: vec![(0, 2), (2, 4)],
+            partition: vec![0, 0, 1, 2, 2],
+            num_parts: 3,
+        };
+        assert!(!g.has_partitioned_clique());
+        assert!(!omq_answer(&g));
+        // Adding {v1, v5} completes the triangle.
+        let mut g2 = g.clone();
+        g2.edges.push((0, 4));
+        assert!(g2.has_partitioned_clique());
+        assert!(omq_answer(&g2));
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let g = PartitionedGraph {
+            num_vertices: 3,
+            edges: vec![(0, 1), (1, 2)],
+            partition: vec![0, 1, 2],
+            num_parts: 3,
+        };
+        let r = clique_to_omq(&g);
+        let gg = Gaifman::new(&r.query);
+        assert!(gg.is_tree());
+        assert_eq!(gg.num_leaves(), g.num_parts - 1, "p − 1 branches");
+        assert!(r.query.is_boolean());
+        let d = ontology_depth(&r.ontology.taxonomy()).expect("finite depth");
+        assert_eq!(d, (2 * g.num_vertices + 2) * g.num_parts + 1);
+    }
+
+    #[test]
+    fn random_graphs_agree_with_brute_force() {
+        for seed in 0..4 {
+            let g = PartitionedGraph::random(4, 2, 0.5, seed);
+            assert_eq!(
+                omq_answer(&g),
+                g.has_partitioned_clique(),
+                "seed {seed}: edges {:?} partition {:?}",
+                g.edges,
+                g.partition
+            );
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The W\[2\]-hardness reduction of Theorem 15: `p-HittingSet` to OMQ
+//! answering with bounded-depth ontologies and tree-shaped CQs
+//! (parameter: ontology depth).
+//!
+//! Given a hypergraph `H = (V, E)` and `k`, the ontology `T^k_H` grows a
+//! tree of depth `k` whose branches choose `k` vertices in increasing
+//! order, with `E`-membership "pendants", and the star-shaped Boolean CQ
+//! `q^k_H` holds at `{V⁰₀(a)}` iff `H` has a hitting set of size `k`.
+//!
+//! The module also ships a brute-force hitting-set solver so the reduction
+//! is *tested*, not just constructed.
+
+use obda_cq::query::Cq;
+use obda_owlql::abox::DataInstance;
+use obda_owlql::axiom::{Axiom, ClassExpr};
+use obda_owlql::vocab::{Role, Vocab};
+use obda_owlql::Ontology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A hypergraph with vertices `0..num_vertices`.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Hyperedges as sorted vertex lists.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// A random hypergraph with edges of size `≤ max_edge` (at least 1).
+    pub fn random(num_vertices: usize, num_edges: usize, max_edge: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = (0..num_edges)
+            .map(|_| {
+                let size = rng.gen_range(1..=max_edge.min(num_vertices));
+                let mut e: Vec<usize> = Vec::new();
+                while e.len() < size {
+                    let v = rng.gen_range(0..num_vertices);
+                    if !e.contains(&v) {
+                        e.push(v);
+                    }
+                }
+                e.sort_unstable();
+                e
+            })
+            .collect();
+        Hypergraph { num_vertices, edges }
+    }
+
+    /// Brute force: does a hitting set of size exactly `k` exist?
+    /// (Equivalently, of size ≤ `k`, since supersets remain hitting.)
+    pub fn has_hitting_set(&self, k: usize) -> bool {
+        if k > self.num_vertices {
+            return false;
+        }
+        let mut chosen = Vec::with_capacity(k);
+        self.search(0, k, &mut chosen)
+    }
+
+    fn search(&self, from: usize, k: usize, chosen: &mut Vec<usize>) -> bool {
+        if chosen.len() == k {
+            return self
+                .edges
+                .iter()
+                .all(|e| e.iter().any(|v| chosen.contains(v)));
+        }
+        for v in from..self.num_vertices {
+            chosen.push(v);
+            if self.search(v + 1, k, chosen) {
+                chosen.pop();
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+}
+
+/// The reduction output: `(T^k_H, q^k_H, {V⁰₀(a)})`.
+pub struct HittingSetOmq {
+    /// The ontology of depth `Θ(k)`.
+    pub ontology: Ontology,
+    /// The star-shaped Boolean CQ (one ray per hyperedge).
+    pub query: Cq,
+    /// The single-atom data instance.
+    pub data: DataInstance,
+}
+
+/// Builds the Theorem 15 reduction for `(H, k)`.
+///
+/// Vertices are numbered `1..=n` as in the paper (index 0 is the root
+/// marker `V⁰₀`).
+pub fn hitting_set_to_omq(h: &Hypergraph, k: usize) -> HittingSetOmq {
+    assert!(k >= 1, "the parameter k must be positive");
+    let n = h.num_vertices;
+    let m = h.edges.len();
+    let mut vocab = Vocab::new();
+    let p = vocab.prop("P");
+    // Classes V^l_i for 0 ≤ l ≤ k, 0 ≤ i ≤ n and E^l_j for 0 ≤ l ≤ k,
+    // 1 ≤ j ≤ m; auxiliary roles υ^l_i and η^l_j.
+    let v_class = |vocab: &mut Vocab, l: usize, i: usize| vocab.class(&format!("V{l}_{i}"));
+    let e_class = |vocab: &mut Vocab, l: usize, j: usize| vocab.class(&format!("E{l}_{j}"));
+    let upsilon = |vocab: &mut Vocab, l: usize, i: usize| vocab.prop(&format!("u{l}_{i}"));
+    let eta = |vocab: &mut Vocab, l: usize, j: usize| vocab.prop(&format!("e{l}_{j}"));
+
+    let mut axioms = Vec::new();
+    for l in 1..=k {
+        // V^{l-1}_i(x) → ∃z υ^l_{i′}(x, z);  υ^l_{i′} ⊑ P⁻;
+        // ∃υ^l_{i′}⁻ ⊑ V^l_{i′}   (for 0 ≤ i < i′ ≤ n).
+        for i_prime in 1..=n {
+            let ups = upsilon(&mut vocab, l, i_prime);
+            axioms.push(Axiom::SubRole(Role::direct(ups), Role::inverse_of(p)));
+            let vli = v_class(&mut vocab, l, i_prime);
+            axioms.push(Axiom::SubClass(
+                ClassExpr::Exists(Role::inverse_of(ups)),
+                ClassExpr::Class(vli),
+            ));
+            for i in 0..i_prime {
+                let prev = v_class(&mut vocab, l - 1, i);
+                axioms.push(Axiom::SubClass(
+                    ClassExpr::Class(prev),
+                    ClassExpr::Exists(Role::direct(ups)),
+                ));
+            }
+        }
+        // V^l_i ⊑ E^l_j for v_i ∈ e_j (paper numbering: vertex i is our
+        // index i−1).
+        for (j, edge) in h.edges.iter().enumerate() {
+            for &vtx in edge {
+                let vli = v_class(&mut vocab, l, vtx + 1);
+                let elj = e_class(&mut vocab, l, j + 1);
+                axioms.push(Axiom::SubClass(ClassExpr::Class(vli), ClassExpr::Class(elj)));
+            }
+        }
+        // E^l_j(x) → ∃z η^l_j(x,z);  η^l_j ⊑ P;  ∃η^l_j⁻ ⊑ E^{l-1}_j.
+        for j in 1..=m {
+            let et = eta(&mut vocab, l, j);
+            let elj = e_class(&mut vocab, l, j);
+            let prev = e_class(&mut vocab, l - 1, j);
+            axioms.push(Axiom::SubClass(
+                ClassExpr::Class(elj),
+                ClassExpr::Exists(Role::direct(et)),
+            ));
+            axioms.push(Axiom::SubRole(Role::direct(et), Role::direct(p)));
+            axioms.push(Axiom::SubClass(
+                ClassExpr::Exists(Role::inverse_of(et)),
+                ClassExpr::Class(prev),
+            ));
+        }
+    }
+    let root = v_class(&mut vocab, 0, 0);
+    let ontology = Ontology::new(vocab, axioms);
+
+    // q^k_H: a star with one ray of P-atoms per hyperedge:
+    // P(y, z^{k-1}_j), P(z^l_j, z^{l-1}_j) for 1 ≤ l < k, E⁰_j(z⁰_j).
+    let vocab = ontology.vocab();
+    let p = vocab.get_prop("P").expect("P exists");
+    let mut query = Cq::new();
+    let y = query.var("y");
+    for j in 1..=m {
+        let mut prev = y;
+        for l in (0..k).rev() {
+            let z = query.var(&format!("z{l}_{j}"));
+            query.add_prop_atom(p, prev, z);
+            prev = z;
+        }
+        let e0 = vocab.get_class(&format!("E0_{j}")).expect("E0_j exists");
+        query.add_class_atom(e0, prev);
+    }
+
+    let mut data = DataInstance::new();
+    let a = data.constant("a");
+    data.add_class_atom(root, a);
+
+    HittingSetOmq { ontology, query, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_chase::answer::{certain_answers, CertainAnswers};
+    use obda_cq::gaifman::Gaifman;
+    use obda_owlql::words::ontology_depth;
+
+    fn omq_answer(h: &Hypergraph, k: usize) -> bool {
+        let r = hitting_set_to_omq(h, k);
+        certain_answers(&r.ontology, &r.query, &r.data) == CertainAnswers::Boolean(true)
+    }
+
+    #[test]
+    fn paper_example() {
+        // H = ({1,2,3}, {e1={1,3}, e2={2,3}, e3={1,2}}): {1,2} is a hitting
+        // set of size 2 (the black homomorphism of the paper's figure).
+        let h = Hypergraph {
+            num_vertices: 3,
+            edges: vec![vec![0, 2], vec![1, 2], vec![0, 1]],
+        };
+        assert!(h.has_hitting_set(2));
+        assert!(!h.has_hitting_set(1));
+        assert!(omq_answer(&h, 2));
+        assert!(!omq_answer(&h, 1));
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let h = Hypergraph { num_vertices: 3, edges: vec![vec![0, 1], vec![2]] };
+        let r = hitting_set_to_omq(&h, 2);
+        let g = Gaifman::new(&r.query);
+        assert!(g.is_tree(), "q^k_H is tree-shaped");
+        assert!(r.query.is_boolean());
+        // Depth is Θ(k): the υ-chain has length k, the η-pendants extend it.
+        let d = ontology_depth(&r.ontology.taxonomy()).expect("finite depth");
+        assert!(d >= 2, "depth {d}");
+        assert!(d <= 2 * 2 + 1, "depth {d}");
+    }
+
+    #[test]
+    fn random_hypergraphs_agree_with_brute_force() {
+        for seed in 0..6 {
+            let h = Hypergraph::random(4, 3, 3, seed);
+            for k in 1..=3 {
+                assert_eq!(
+                    omq_answer(&h, k),
+                    h.has_hitting_set(k),
+                    "seed {seed}, k {k}, edges {:?}",
+                    h.edges
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # obda-datagen
+//!
+//! Workload generators for the experiments and hardness results of Bienvenu
+//! et al. (PODS 2017):
+//!
+//! * [`sequences`] — the Example 11 ontology and the three `{R,S}`-word
+//!   query sequences of Figure 2 / Table 1;
+//! * [`erdos`] — the Erdős–Rényi datasets of Table 2;
+//! * [`hitting_set`] — the W\[2\]-hardness reduction of Theorem 15;
+//! * [`clique`] — the W\[1\]-hardness reduction of Theorem 16;
+//! * [`sat`] — the fixed-ontology NP-hardness reduction of Theorem 17 with
+//!   a DPLL oracle, and Theorem 19's singleton FO-rewriting;
+//! * [`logcfl`] — the hardest-LOGCFL-language reduction of Theorem 22.
+//!
+//! Every reduction ships an independent brute-force solver so that the
+//! constructions are *tested* against ground truth, not just emitted.
+
+pub mod clique;
+pub mod erdos;
+pub mod hitting_set;
+pub mod logcfl;
+pub mod pe_trees;
+pub mod sat;
+pub mod sequences;
+
+pub use clique::{clique_to_omq, CliqueOmq, PartitionedGraph};
+pub use erdos::{ErdosRenyi, TABLE_2};
+pub use hitting_set::{hitting_set_to_omq, HittingSetOmq, Hypergraph};
+pub use logcfl::{in_b0, in_l, parse_word, t_double_dagger, word_to_query};
+pub use pe_trees::{alpha_for, f_phi, phi_k, q_bar_phi, theorem_28_pe_query, tree_instance};
+pub use sat::{sat_data, sat_query, t_dagger, Cnf};
+pub use sequences::{example_11_ontology, sequence_prefixes, word_query, SEQUENCES};

@@ -1,0 +1,348 @@
+//! The LOGCFL-hardness reduction of Theorem 22: the hardest LOGCFL language
+//! `L` (Greibach / Sudborough) to OMQ answering with the fixed ontology
+//! `T‡` and linear Boolean CQs.
+//!
+//! * `B₀` is the two-bracket Dyck language over `Σ₀ = {a₁, b₁, a₂, b₂}`;
+//! * `L` is the set of block strings `[x₁y₁z₁]…[x_ky_kz_k]` where picking
+//!   one `#`-separated *choice* per block yields a word of `B₀`;
+//! * the ontology `T‡` (axioms (11) and (16)–(21) of Appendix C.4,
+//!   decomposed into OWL 2 QL with auxiliary roles) and the translation
+//!   `w ↦ q_w` satisfy `w ∈ L` iff `T‡, {A(a)} ⊨ q_w`.
+
+use obda_cq::query::Cq;
+use obda_owlql::abox::DataInstance;
+use obda_owlql::parser::parse_ontology;
+use obda_owlql::Ontology;
+
+/// A symbol of the alphabet `Σ = Σ₀ ∪ {[, ], #}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `a₁`
+    A1,
+    /// `b₁`
+    B1,
+    /// `a₂`
+    A2,
+    /// `b₂`
+    B2,
+    /// `[`
+    Open,
+    /// `]`
+    Close,
+    /// `#`
+    Hash,
+}
+
+impl Sym {
+    /// The suffix used in the `R_c` / `S_c` predicate names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Sym::A1 => "a1",
+            Sym::B1 => "b1",
+            Sym::A2 => "a2",
+            Sym::B2 => "b2",
+            Sym::Open => "ob",
+            Sym::Close => "cb",
+            Sym::Hash => "hash",
+        }
+    }
+}
+
+/// Parses a word like `"[a1a2#b2b1][b2b1]"`.
+pub fn parse_word(text: &str) -> Vec<Sym> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => out.push(Sym::Open),
+            ']' => out.push(Sym::Close),
+            '#' => out.push(Sym::Hash),
+            'a' | 'b' => {
+                let idx = chars.next().expect("a/b is followed by 1 or 2");
+                out.push(match (c, idx) {
+                    ('a', '1') => Sym::A1,
+                    ('a', '2') => Sym::A2,
+                    ('b', '1') => Sym::B1,
+                    ('b', '2') => Sym::B2,
+                    other => panic!("unexpected letter {other:?}"),
+                });
+            }
+            other => panic!("unexpected character {other:?}"),
+        }
+    }
+    out
+}
+
+/// Membership in `B₀`: the two-bracket Dyck language
+/// (`S → SS | ε | a₁Sb₁ | a₂Sb₂`).
+pub fn in_b0(word: &[Sym]) -> bool {
+    let mut stack = Vec::new();
+    for &c in word {
+        match c {
+            Sym::A1 | Sym::A2 => stack.push(c),
+            Sym::B1 => {
+                if stack.pop() != Some(Sym::A1) {
+                    return false;
+                }
+            }
+            Sym::B2 => {
+                if stack.pop() != Some(Sym::A2) {
+                    return false;
+                }
+            }
+            _ => return false, // only Σ₀ symbols belong to B₀
+        }
+    }
+    stack.is_empty()
+}
+
+/// Whether the word is *block-formed*: begins with `[`, ends with `]`,
+/// brackets alternate properly, and no block is empty.
+pub fn block_formed(word: &[Sym]) -> bool {
+    if word.first() != Some(&Sym::Open) || word.last() != Some(&Sym::Close) {
+        return false;
+    }
+    let mut inside = false;
+    let mut content = 0usize;
+    for (i, &c) in word.iter().enumerate() {
+        match c {
+            Sym::Open => {
+                if inside {
+                    return false;
+                }
+                inside = true;
+                content = 0;
+            }
+            Sym::Close => {
+                if !inside || content == 0 {
+                    return false;
+                }
+                inside = false;
+                // A non-final `]` must be followed by `[`.
+                if i + 1 < word.len() && word[i + 1] != Sym::Open {
+                    return false;
+                }
+            }
+            _ => {
+                if !inside {
+                    return false;
+                }
+                content += 1;
+            }
+        }
+    }
+    !inside
+}
+
+/// Membership in the hardest language `L` (brute force over the per-block
+/// choices; fine at test scale).
+pub fn in_l(word: &[Sym]) -> bool {
+    if !block_formed(word) {
+        return false;
+    }
+    // Split into blocks and their `#`-separated choices.
+    let mut blocks: Vec<Vec<Vec<Sym>>> = Vec::new();
+    let mut current: Vec<Vec<Sym>> = vec![Vec::new()];
+    for &c in word {
+        match c {
+            Sym::Open => current = vec![Vec::new()],
+            Sym::Close => blocks.push(std::mem::take(&mut current)),
+            Sym::Hash => current.push(Vec::new()),
+            letter => current.last_mut().expect("inside a block").push(letter),
+        }
+    }
+    fn search(blocks: &[Vec<Vec<Sym>>], acc: &mut Vec<Sym>) -> bool {
+        let Some((first, rest)) = blocks.split_first() else {
+            return in_b0(acc);
+        };
+        for choice in first {
+            let len = acc.len();
+            acc.extend(choice.iter().copied());
+            if search(rest, acc) {
+                return true;
+            }
+            acc.truncate(len);
+        }
+        false
+    }
+    search(&blocks, &mut Vec::new())
+}
+
+/// The fixed ontology `T‡` (Appendix C.4, decomposed into OWL 2 QL).
+pub fn t_double_dagger() -> Ontology {
+    let mut text = String::from("A SubClassOf D\n");
+    // (11): the B₀ skeleton, for i = 1, 2.
+    for i in [1, 2] {
+        text.push_str(&format!(
+            "D SubClassOf exists v1{i}\n\
+             v1{i} SubPropertyOf R_a{i}\n\
+             v1{i} SubPropertyOf S_b{i}-\n\
+             exists v1{i}- SubClassOf exists v2{i}\n\
+             v2{i} SubPropertyOf S_a{i}\n\
+             v2{i} SubPropertyOf R_b{i}-\n\
+             exists v2{i}- SubClassOf D\n"
+        ));
+    }
+    // (17): D → [ self-pair.
+    text.push_str(
+        "D SubClassOf exists g1\n\
+         g1 SubPropertyOf R_ob\n\
+         g1 SubPropertyOf S_ob-\n",
+    );
+    // (18): D → [ then # with an F-continuation.
+    text.push_str(
+        "D SubClassOf exists g2\n\
+         g2 SubPropertyOf R_ob\n\
+         g2 SubPropertyOf S_hash-\n\
+         exists g2- SubClassOf exists g3\n\
+         g3 SubPropertyOf S_ob\n\
+         g3 SubPropertyOf R_hash-\n\
+         exists g3- SubClassOf F\n",
+    );
+    // (19): D → ] self-pair.
+    text.push_str(
+        "D SubClassOf exists g4\n\
+         g4 SubPropertyOf R_cb\n\
+         g4 SubPropertyOf S_cb-\n",
+    );
+    // (20): D → # then ] with an F-continuation.
+    text.push_str(
+        "D SubClassOf exists g5\n\
+         g5 SubPropertyOf R_hash\n\
+         g5 SubPropertyOf S_cb-\n\
+         exists g5- SubClassOf exists g6\n\
+         g6 SubPropertyOf S_hash\n\
+         g6 SubPropertyOf R_cb-\n\
+         exists g6- SubClassOf F\n",
+    );
+    // (21): F consumes any Σ₀ ∪ {#} symbol.
+    for c in ["a1", "b1", "a2", "b2", "hash"] {
+        text.push_str(&format!(
+            "F SubClassOf exists f_{c}\n\
+             f_{c} SubPropertyOf R_{c}\n\
+             f_{c} SubPropertyOf S_{c}-\n"
+        ));
+    }
+    // The error marker E never holds anywhere.
+    text.push_str("Class E\n");
+    parse_ontology(&text).expect("T‡ parses")
+}
+
+/// The linear Boolean CQ `q_w` for a word `w = c₀…cₙ`:
+/// `A(u₀) ∧ R_{c₀}(u₀, v₀) ∧ S_{c₀}(v₀, u₁) ∧ … ∧ A(u_{n+1})`
+/// for block-formed words; otherwise a prefix ending in the never-satisfied
+/// error marker `E`.
+pub fn word_to_query(ontology: &Ontology, word: &[Sym]) -> Cq {
+    let vocab = ontology.vocab();
+    let a = vocab.get_class("A").expect("A exists");
+    let e = vocab.get_class("E").expect("E exists");
+    let mut q = Cq::new();
+    let mut u = q.var("u0");
+    q.add_class_atom(a, u);
+    if !block_formed(word) {
+        q.add_class_atom(e, u);
+        return q;
+    }
+    for (i, c) in word.iter().enumerate() {
+        let r = vocab.get_prop(&format!("R_{}", c.tag())).expect("R_c exists");
+        let s = vocab.get_prop(&format!("S_{}", c.tag())).expect("S_c exists");
+        let v = q.var(&format!("v{i}"));
+        let u_next = q.var(&format!("u{}", i + 1));
+        q.add_prop_atom(r, u, v);
+        q.add_prop_atom(s, v, u_next);
+        u = u_next;
+    }
+    q.add_class_atom(a, u);
+    q
+}
+
+/// The data instance `{A(a)}`.
+pub fn logcfl_data(ontology: &Ontology) -> DataInstance {
+    let mut data = DataInstance::new();
+    let a = data.constant("a");
+    data.add_class_atom(ontology.vocab().get_class("A").expect("A exists"), a);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_chase::linear_walk::linear_boolean_entails;
+    use obda_cq::gaifman::Gaifman;
+    use obda_owlql::words::ontology_depth;
+
+    fn omq_answer(word: &str) -> bool {
+        let o = t_double_dagger();
+        let w = parse_word(word);
+        let q = word_to_query(&o, &w);
+        let d = logcfl_data(&o);
+        let anchor = q.get_var("u0").expect("u0 exists");
+        linear_boolean_entails(&o, &q, &d, anchor)
+    }
+
+    #[test]
+    fn b0_membership() {
+        assert!(in_b0(&parse_word("")));
+        assert!(in_b0(&parse_word("a1b1")));
+        assert!(in_b0(&parse_word("a1a2b2b1")));
+        assert!(in_b0(&parse_word("a1b1a2b2")));
+        assert!(!in_b0(&parse_word("a1b2")));
+        assert!(!in_b0(&parse_word("a1a2b1b2")));
+        assert!(!in_b0(&parse_word("a1")));
+        assert!(!in_b0(&parse_word("b1a1")));
+    }
+
+    #[test]
+    fn block_formedness() {
+        assert!(block_formed(&parse_word("[a1b1]")));
+        assert!(block_formed(&parse_word("[a1#b1][a2]")));
+        assert!(!block_formed(&parse_word("a1b1")));
+        assert!(!block_formed(&parse_word("[a1b1")));
+        assert!(!block_formed(&parse_word("[]")));
+        assert!(!block_formed(&parse_word("[a1]b1[a2]")));
+    }
+
+    #[test]
+    fn paper_membership_examples_12_to_15() {
+        assert!(!in_l(&parse_word("[a1a2#b2b1]")));
+        assert!(in_l(&parse_word("[a1a2#b2b1][b2b1]")));
+        assert!(!in_l(&parse_word("[a1a2#b2b1][a1b1]")));
+        assert!(in_l(&parse_word("[#a1a2#b2b1][a1b1]")));
+    }
+
+    #[test]
+    fn t_double_dagger_is_infinite_depth() {
+        assert_eq!(ontology_depth(&t_double_dagger().taxonomy()), None);
+    }
+
+    #[test]
+    fn queries_are_linear_boolean() {
+        let o = t_double_dagger();
+        let w = parse_word("[a1b1]");
+        let q = word_to_query(&o, &w);
+        assert!(q.is_boolean());
+        assert!(Gaifman::new(&q).is_linear());
+        assert_eq!(q.num_atoms(), 2 + 2 * w.len());
+    }
+
+    #[test]
+    fn omq_agrees_with_language_on_paper_examples() {
+        for (word, expected) in [
+            ("[a1a2#b2b1]", false),
+            ("[a1a2#b2b1][b2b1]", true),
+            ("[a1a2#b2b1][a1b1]", false),
+            ("[#a1a2#b2b1][a1b1]", true),
+            ("[a1b1]", true),
+            ("[a2#a1][b2#b1]", true),
+            ("[a1][b2]", false),
+        ] {
+            assert_eq!(omq_answer(word), expected, "word {word}");
+            assert_eq!(in_l(&parse_word(word)), expected, "language check {word}");
+        }
+    }
+
+    #[test]
+    fn non_block_formed_queries_are_false() {
+        assert!(!omq_answer("a1b1"));
+    }
+}

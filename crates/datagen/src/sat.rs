@@ -1,0 +1,232 @@
+//! The fixed-ontology NP-hardness reduction of Theorem 17 (and the
+//! polynomial FO-rewriting of Theorem 19): SAT to OMQ answering with the
+//! fixed infinite-depth ontology `T†` and tree-shaped Boolean CQs.
+//!
+//! `(T†, {A(a)})` generates an infinite binary tree whose depth-`n` nodes
+//! represent all `2ⁿ` truth assignments; the star-shaped CQ `q_φ` maps into
+//! it iff `φ` is satisfiable. A small DPLL solver provides the independent
+//! oracle.
+
+use obda_cq::query::Cq;
+use obda_owlql::abox::DataInstance;
+use obda_owlql::parser::parse_ontology;
+use obda_owlql::Ontology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A CNF formula: clauses of nonzero literals; literal `±v` is variable
+/// `v − 1` (1-based, DIMACS-style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of propositional variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// A random CNF with clauses of size ≤ 3.
+    pub fn random(num_vars: usize, num_clauses: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                let size = rng.gen_range(1..=3usize.min(num_vars));
+                let mut c = Vec::new();
+                while c.len() < size {
+                    let v = rng.gen_range(1..=num_vars) as i32;
+                    let lit = if rng.gen_bool(0.5) { v } else { -v };
+                    if !c.contains(&lit) && !c.contains(&-lit) {
+                        c.push(lit);
+                    }
+                }
+                c
+            })
+            .collect();
+        Cnf { num_vars, clauses }
+    }
+
+    /// DPLL satisfiability (unit propagation + splitting).
+    pub fn satisfiable(&self) -> bool {
+        fn dpll(clauses: &[Vec<i32>]) -> bool {
+            let mut clauses = clauses.to_vec();
+            // Unit propagation.
+            loop {
+                if clauses.is_empty() {
+                    return true;
+                }
+                if clauses.iter().any(Vec::is_empty) {
+                    return false;
+                }
+                let Some(unit) = clauses.iter().find(|c| c.len() == 1).map(|c| c[0]) else {
+                    break;
+                };
+                clauses = assign(&clauses, unit);
+            }
+            let lit = clauses[0][0];
+            dpll(&assign(&clauses, lit)) || dpll(&assign(&clauses, -lit))
+        }
+        fn assign(clauses: &[Vec<i32>], lit: i32) -> Vec<Vec<i32>> {
+            clauses
+                .iter()
+                .filter(|c| !c.contains(&lit))
+                .map(|c| c.iter().copied().filter(|&l| l != -lit).collect())
+                .collect()
+        }
+        dpll(&self.clauses)
+    }
+}
+
+/// The fixed ontology `T†` of Theorem 17 (decomposed into OWL 2 QL axioms
+/// with the auxiliary roles `υ±`, `η±`, `η0` of Appendix C.1).
+pub fn t_dagger() -> Ontology {
+    parse_ontology(
+        "A SubClassOf exists uplus\n\
+         uplus SubPropertyOf Pplus-\n\
+         uplus SubPropertyOf Pzero-\n\
+         exists uplus- SubClassOf Bminus\n\
+         exists uplus- SubClassOf A\n\
+         Bminus SubClassOf exists etaminus\n\
+         etaminus SubPropertyOf Pminus\n\
+         exists etaminus- SubClassOf Bzero\n\
+         A SubClassOf exists uminus\n\
+         uminus SubPropertyOf Pminus-\n\
+         uminus SubPropertyOf Pzero-\n\
+         exists uminus- SubClassOf Bplus\n\
+         exists uminus- SubClassOf A\n\
+         Bplus SubClassOf exists etaplus\n\
+         etaplus SubPropertyOf Pplus\n\
+         exists etaplus- SubClassOf Bzero\n\
+         Bzero SubClassOf exists etazero\n\
+         etazero SubPropertyOf Pplus\n\
+         etazero SubPropertyOf Pminus\n\
+         etazero SubPropertyOf Pzero\n\
+         exists etazero- SubClassOf Bzero\n",
+    )
+    .expect("T† parses")
+}
+
+/// The Boolean star CQ `q_φ`: centre `A(y)`, one ray per clause encoding
+/// its literals with `P₊ / P₋ / P₀`, ending in `B₀`.
+pub fn sat_query(ontology: &Ontology, cnf: &Cnf) -> Cq {
+    let vocab = ontology.vocab();
+    let a = vocab.get_class("A").expect("A exists");
+    let b0 = vocab.get_class("Bzero").expect("Bzero exists");
+    let p_plus = vocab.get_prop("Pplus").expect("Pplus exists");
+    let p_minus = vocab.get_prop("Pminus").expect("Pminus exists");
+    let p_zero = vocab.get_prop("Pzero").expect("Pzero exists");
+    let mut q = Cq::new();
+    let y = q.var("y");
+    q.add_class_atom(a, y);
+    for (j, clause) in cnf.clauses.iter().enumerate() {
+        // z^k_j = y; atoms P_sign(z^l_j, z^{l-1}_j) for l = k..1.
+        let mut upper = y;
+        for l in (0..cnf.num_vars).rev() {
+            let var_1based = (l + 1) as i32;
+            let prop = if clause.contains(&var_1based) {
+                p_plus
+            } else if clause.contains(&-var_1based) {
+                p_minus
+            } else {
+                p_zero
+            };
+            let lower = q.var(&format!("z{l}_{j}"));
+            q.add_prop_atom(prop, upper, lower);
+            upper = lower;
+        }
+        q.add_class_atom(b0, upper);
+    }
+    q
+}
+
+/// The data instance `{A(a)}`.
+pub fn sat_data(ontology: &Ontology) -> DataInstance {
+    let mut data = DataInstance::new();
+    let a = data.constant("a");
+    data.add_class_atom(ontology.vocab().get_class("A").expect("A exists"), a);
+    data
+}
+
+/// Theorem 19's polynomial FO-rewriting, specialised to the single-constant
+/// case used in the hardness proof: over a data instance with one constant,
+/// `T†, A ⊨ q_φ` iff `A(a) ∈ A` and `φ` is satisfiable.
+///
+/// (Over ≥ 2 constants the theorem appeals to the polynomial-size rewriting
+/// of [25, Cor. 14], which is outside this reproduction's scope; the
+/// interesting — and NP-hard — case is the singleton one.)
+pub fn theorem_19_singleton_rewriting(ontology: &Ontology, cnf: &Cnf, data: &DataInstance) -> bool {
+    assert_eq!(data.num_individuals(), 1, "the singleton-case rewriting");
+    let a_class = ontology.vocab().get_class("A").expect("A exists");
+    let a = data.individuals().next().expect("one individual");
+    data.has_class_atom(a_class, a) && cnf.satisfiable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_chase::homomorphism::HomSearch;
+    use obda_chase::model::CanonicalModel;
+    use obda_cq::gaifman::Gaifman;
+    use obda_owlql::words::ontology_depth;
+
+    /// Chase-based oracle with an explicit word bound: `q_φ` maps within
+    /// depth 2k + 2 of the root (the assignment point at depth ≤ k plus the
+    /// sink rays).
+    fn omq_answer(cnf: &Cnf) -> bool {
+        let o = t_dagger();
+        let q = sat_query(&o, cnf);
+        let d = sat_data(&o);
+        let bound = 2 * cnf.num_vars + 2;
+        let model = CanonicalModel::new(&o, &d, bound);
+        HomSearch::new(&model, &q).exists(&[])
+    }
+
+    #[test]
+    fn t_dagger_has_infinite_depth() {
+        assert_eq!(ontology_depth(&t_dagger().taxonomy()), None);
+    }
+
+    #[test]
+    fn paper_example_p1_or_p2_and_not_p1() {
+        // φ = (p1 ∨ p2) ∧ ¬p1 is satisfiable (p1 = f, p2 = t).
+        let cnf = Cnf { num_vars: 2, clauses: vec![vec![1, 2], vec![-1]] };
+        assert!(cnf.satisfiable());
+        assert!(omq_answer(&cnf));
+    }
+
+    #[test]
+    fn unsatisfiable_formula() {
+        let cnf = Cnf { num_vars: 1, clauses: vec![vec![1], vec![-1]] };
+        assert!(!cnf.satisfiable());
+        assert!(!omq_answer(&cnf));
+    }
+
+    #[test]
+    fn query_is_tree_shaped() {
+        let o = t_dagger();
+        let cnf = Cnf { num_vars: 3, clauses: vec![vec![1, -2], vec![2, 3], vec![-3]] };
+        let q = sat_query(&o, &cnf);
+        assert!(Gaifman::new(&q).is_tree());
+        assert!(q.is_boolean());
+        assert_eq!(q.num_atoms(), 3 * 3 + 3 + 1); // k·m role atoms, m B₀'s, A(y)
+    }
+
+    #[test]
+    fn random_cnfs_agree_with_dpll() {
+        for seed in 0..8 {
+            let cnf = Cnf::random(3, 3, seed);
+            assert_eq!(
+                omq_answer(&cnf),
+                cnf.satisfiable(),
+                "seed {seed}, clauses {:?}",
+                cnf.clauses
+            );
+            // Theorem 19's singleton rewriting agrees too.
+            let o = t_dagger();
+            let d = sat_data(&o);
+            assert_eq!(
+                theorem_19_singleton_rewriting(&o, &cnf, &d),
+                cnf.satisfiable()
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The experimental workload of Section 6 / Appendix D: the Example 11
+//! ontology and the three sequences of linear CQs over `{R, S}`.
+//!
+//! Every prefix of a sequence yields an OMQ in `OMQ(1, 1, 2)` — the
+//! intersection of all three tractable classes — on which the standard
+//! rewriting engines blow up exponentially (Fig. 2 / Table 1).
+
+use obda_cq::query::Cq;
+use obda_owlql::parser::parse_ontology;
+use obda_owlql::Ontology;
+
+/// The three sequences of Figure 2 (15 letters each).
+pub const SEQUENCES: [&str; 3] = [
+    "RRSRSRSRRSRRSSR", // Sequence 1
+    "SRRRRRSRSRRRRRR", // Sequence 2
+    "SRRSSRSRSRRSRRS", // Sequence 3
+];
+
+/// The ontology of Example 11: `P ⊑ S`, `P ⊑ R⁻` (normalisation adds
+/// `A̺ ↔ ∃̺` for every role).
+pub fn example_11_ontology() -> Ontology {
+    parse_ontology(
+        "P SubPropertyOf S\n\
+         P SubPropertyOf R-\n",
+    )
+    .expect("the Example 11 ontology parses")
+}
+
+/// The linear CQ for a word over `{R, S}`:
+/// `q(x₀, xₙ) ← ̺₁(x₀, x₁) ∧ … ∧ ̺ₙ(xₙ₋₁, xₙ)`.
+///
+/// # Panics
+/// Panics on letters other than `R`/`S` or an empty word.
+pub fn word_query(ontology: &Ontology, word: &str) -> Cq {
+    assert!(!word.is_empty(), "the word must be nonempty");
+    let vocab = ontology.vocab();
+    let r = vocab.get_prop("R").expect("ontology has R");
+    let s = vocab.get_prop("S").expect("ontology has S");
+    let mut q = Cq::new();
+    let n = word.len();
+    let first = q.var("x0");
+    let last = q.var(&format!("x{n}"));
+    q.add_answer_var(first);
+    q.add_answer_var(last);
+    let mut prev = first;
+    for (i, c) in word.chars().enumerate() {
+        let next = if i + 1 == n { last } else { q.var(&format!("x{}", i + 1)) };
+        match c {
+            'R' => q.add_prop_atom(r, prev, next),
+            'S' => q.add_prop_atom(s, prev, next),
+            other => panic!("unexpected letter {other:?} (sequences use R and S)"),
+        }
+        prev = next;
+    }
+    q
+}
+
+/// All prefixes (1 to 15 atoms) of a sequence, as in Table 1.
+pub fn sequence_prefixes(ontology: &Ontology, sequence: &str) -> Vec<Cq> {
+    (1..=sequence.len())
+        .map(|n| word_query(ontology, &sequence[..n]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_cq::gaifman::Gaifman;
+    use obda_owlql::words::ontology_depth;
+
+    #[test]
+    fn ontology_is_in_omq_1_1_2() {
+        let o = example_11_ontology();
+        assert_eq!(ontology_depth(&o.taxonomy()), Some(1));
+    }
+
+    #[test]
+    fn queries_are_linear() {
+        let o = example_11_ontology();
+        for seq in SEQUENCES {
+            for (i, q) in sequence_prefixes(&o, seq).iter().enumerate() {
+                assert_eq!(q.num_atoms(), i + 1);
+                let g = Gaifman::new(q);
+                assert!(g.is_linear(), "prefix {} of {seq}", i + 1);
+                assert_eq!(q.answer_vars().len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn example_8_is_prefix_7_of_its_word() {
+        let o = example_11_ontology();
+        let q = word_query(&o, "RSRRSRR");
+        assert_eq!(
+            q.to_text(o.vocab()),
+            "q(x0, x7) :- R(x0, x1), S(x1, x2), R(x2, x3), R(x3, x4), S(x4, x5), R(x5, x6), R(x6, x7)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected letter")]
+    fn rejects_bad_letters() {
+        let o = example_11_ontology();
+        word_query(&o, "RXS");
+    }
+}

@@ -1,0 +1,556 @@
+//! Bottom-up evaluation of NDL queries over data instances.
+//!
+//! This is the workspace's stand-in for the RDFox engine used in the
+//! paper's experiments: it materialises every IDB predicate in dependency
+//! order with hash joins, without magic sets or program optimisation, so
+//! that the relative costs of different rewritings have the same cause as in
+//! the paper (the number of materialised tuples). It reports both answers
+//! and the total number of generated tuples, as Tables 3–5 do.
+
+use crate::analysis::topological_order;
+use crate::program::{BodyAtom, Clause, CVar, NdlQuery, PredId, PredKind, Program};
+use obda_owlql::abox::{ConstId, DataInstance};
+use obda_owlql::util::{FxHashMap, FxHashSet};
+use std::time::{Duration, Instant};
+
+/// Evaluation limits.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions {
+    /// Wall-clock budget; `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// Cap on total generated tuples; `None` = unlimited.
+    pub max_tuples: Option<usize>,
+}
+
+/// Evaluation metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Total tuples materialised across all IDB predicates.
+    pub generated_tuples: usize,
+    /// Number of answers (tuples in the goal relation).
+    pub num_answers: usize,
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The wall-clock budget was exhausted.
+    Timeout,
+    /// The tuple cap was exceeded.
+    TupleLimit,
+    /// The program is recursive.
+    Recursive,
+    /// A clause cannot be range-restricted (e.g. an equality between two
+    /// never-bound variables).
+    Unsafe(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Timeout => write!(f, "evaluation timed out"),
+            EvalError::TupleLimit => write!(f, "tuple limit exceeded"),
+            EvalError::Recursive => write!(f, "program is recursive"),
+            EvalError::Unsafe(msg) => write!(f, "unsafe clause: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The result of evaluating `(Π, G)` over a data instance.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The goal relation, sorted.
+    pub answers: Vec<Vec<ConstId>>,
+    /// Metrics.
+    pub stats: EvalStats,
+}
+
+type Row = Vec<u32>;
+type Relation = FxHashSet<Row>;
+
+const UNBOUND: u32 = u32::MAX;
+
+/// Materialises the EDB relation of a predicate from the data instance.
+fn edb_relation(kind: PredKind, data: &DataInstance) -> Relation {
+    let mut rel = Relation::default();
+    match kind {
+        PredKind::EdbClass(c) => {
+            for (class, a) in data.class_atoms() {
+                if class == c {
+                    rel.insert(vec![a.0]);
+                }
+            }
+        }
+        PredKind::EdbProp(p) => {
+            for (prop, a, b) in data.prop_atoms() {
+                if prop == p {
+                    rel.insert(vec![a.0, b.0]);
+                }
+            }
+        }
+        PredKind::Top => {
+            for a in data.individuals() {
+                rel.insert(vec![a.0]);
+            }
+        }
+        PredKind::Idb => unreachable!("IDB relations are computed, not loaded"),
+    }
+    rel
+}
+
+/// Greedy join order for a clause body: equalities as soon as one side is
+/// bound, otherwise the predicate atom with the most bound variables.
+fn join_order(clause: &Clause) -> Result<Vec<usize>, EvalError> {
+    let mut remaining: Vec<usize> = (0..clause.body.len()).collect();
+    let mut bound: FxHashSet<CVar> = FxHashSet::default();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        // Equality with a bound side first.
+        if let Some(pos) = remaining.iter().position(|&i| match &clause.body[i] {
+            BodyAtom::Eq(a, b) => bound.contains(a) || bound.contains(b),
+            _ => false,
+        }) {
+            let i = remaining.remove(pos);
+            for v in clause.body[i].vars() {
+                bound.insert(v);
+            }
+            order.push(i);
+            continue;
+        }
+        // Otherwise the predicate atom with the most bound variables,
+        // breaking ties towards the fewest *unbound* variables (keeps the
+        // first join of a clause on a small binary relation instead of a
+        // wide intermediate predicate).
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &i)| matches!(clause.body[i], BodyAtom::Pred(..)))
+            .max_by_key(|&(_, &i)| {
+                let vars = clause.body[i].vars();
+                let bound_count = vars.iter().filter(|v| bound.contains(v)).count();
+                let unbound: std::collections::BTreeSet<_> =
+                    vars.iter().filter(|v| !bound.contains(v)).collect();
+                (bound_count, std::cmp::Reverse(unbound.len()))
+            });
+        match best {
+            Some((pos, _)) => {
+                let i = remaining.remove(pos);
+                for v in clause.body[i].vars() {
+                    bound.insert(v);
+                }
+                order.push(i);
+            }
+            None => {
+                return Err(EvalError::Unsafe(
+                    "equality between variables that are never bound".into(),
+                ));
+            }
+        }
+    }
+    Ok(order)
+}
+
+struct Engine<'a> {
+    program: &'a Program,
+    data: &'a DataInstance,
+    relations: Vec<Option<Relation>>,
+    deadline: Option<Instant>,
+    max_tuples: Option<usize>,
+    generated: usize,
+    ticks: u32,
+}
+
+impl<'a> Engine<'a> {
+    fn check_budget(&mut self) -> Result<(), EvalError> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(4096) {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    return Err(EvalError::Timeout);
+                }
+            }
+        }
+        if let Some(cap) = self.max_tuples {
+            if self.generated > cap {
+                return Err(EvalError::TupleLimit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes the relation of `p` out of the engine (materialising an EDB
+    /// relation on first use); the caller must put it back with
+    /// [`Engine::restore`].
+    fn take_relation(&mut self, p: PredId) -> Relation {
+        let idx = p.0 as usize;
+        match self.relations[idx].take() {
+            Some(rel) => rel,
+            // IDB predicates are evaluated in dependency order, so an
+            // untouched slot can only mean "no clauses" (empty relation).
+            None => match self.program.pred(p).kind {
+                PredKind::Idb => Relation::default(),
+                kind => edb_relation(kind, self.data),
+            },
+        }
+    }
+
+    fn restore(&mut self, p: PredId, rel: Relation) {
+        self.relations[p.0 as usize] = Some(rel);
+    }
+
+    /// Evaluates one clause, inserting derived head rows into `out`.
+    fn eval_clause(&mut self, clause: &Clause, out: &mut Relation) -> Result<(), EvalError> {
+        let order = join_order(clause)?;
+        let mut bindings: Vec<Row> = vec![vec![UNBOUND; clause.num_vars as usize]];
+        let mut bound: FxHashSet<CVar> = FxHashSet::default();
+        for &i in &order {
+            if bindings.is_empty() {
+                break;
+            }
+            match &clause.body[i] {
+                BodyAtom::Eq(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let mut next = Vec::with_capacity(bindings.len());
+                    for mut binding in bindings {
+                        self.check_budget()?;
+                        let va = binding[a.0 as usize];
+                        let vb = binding[b.0 as usize];
+                        match (va == UNBOUND, vb == UNBOUND) {
+                            (false, false) => {
+                                if va == vb {
+                                    next.push(binding);
+                                }
+                            }
+                            (false, true) => {
+                                binding[b.0 as usize] = va;
+                                next.push(binding);
+                            }
+                            (true, false) => {
+                                binding[a.0 as usize] = vb;
+                                next.push(binding);
+                            }
+                            (true, true) => unreachable!("join order binds one side first"),
+                        }
+                    }
+                    bindings = next;
+                    bound.insert(a);
+                    bound.insert(b);
+                }
+                BodyAtom::Pred(p, args) => {
+                    let p = *p;
+                    let args = args.clone();
+                    let bound_positions: Vec<usize> = (0..args.len())
+                        .filter(|&k| bound.contains(&args[k]))
+                        .collect();
+                    // Index the relation on the bound positions.
+                    let rel = self.take_relation(p);
+                    let mut index: FxHashMap<Vec<u32>, Vec<&Row>> = FxHashMap::default();
+                    for row in rel.iter() {
+                        let key: Vec<u32> =
+                            bound_positions.iter().map(|&k| row[k]).collect();
+                        index.entry(key).or_default().push(row);
+                    }
+                    let mut next = Vec::new();
+                    let mut failure = None;
+                    for binding in &bindings {
+                        if let Err(e) = self.check_budget() {
+                            failure = Some(e);
+                            break;
+                        }
+                        // Intermediate join results count against the tuple
+                        // budget too — a join can explode without ever
+                        // reaching the head.
+                        if let Some(cap) = self.max_tuples {
+                            if next.len() > cap {
+                                failure = Some(EvalError::TupleLimit);
+                                break;
+                            }
+                        }
+                        let key: Vec<u32> = bound_positions
+                            .iter()
+                            .map(|&k| binding[args[k].0 as usize])
+                            .collect();
+                        let Some(rows) = index.get(&key) else { continue };
+                        'rows: for row in rows {
+                            let mut extended = binding.clone();
+                            for (k, &var) in args.iter().enumerate() {
+                                let slot = &mut extended[var.0 as usize];
+                                if *slot == UNBOUND {
+                                    *slot = row[k];
+                                } else if *slot != row[k] {
+                                    continue 'rows;
+                                }
+                            }
+                            next.push(extended);
+                        }
+                    }
+                    drop(index);
+                    self.restore(p, rel);
+                    if let Some(e) = failure {
+                        return Err(e);
+                    }
+                    bindings = next;
+                    for &v in &args {
+                        bound.insert(v);
+                    }
+                }
+            }
+        }
+        for binding in bindings {
+            let row: Row = clause
+                .head_args
+                .iter()
+                .map(|&v| {
+                    let val = binding[v.0 as usize];
+                    debug_assert_ne!(val, UNBOUND, "head variable left unbound");
+                    val
+                })
+                .collect();
+            if out.insert(row) {
+                self.generated += 1;
+            }
+            self.check_budget()?;
+        }
+        Ok(())
+    }
+}
+
+/// The IDB predicates reachable from the goal through clause bodies.
+fn reachable_from_goal(query: &NdlQuery) -> Vec<bool> {
+    let mut reachable = vec![false; query.program.num_preds()];
+    reachable[query.goal.0 as usize] = true;
+    let mut stack = vec![query.goal];
+    while let Some(p) = stack.pop() {
+        for c in query.program.clauses_for(p) {
+            for a in &c.body {
+                if let BodyAtom::Pred(q, _) = a {
+                    if !reachable[q.0 as usize] {
+                        reachable[q.0 as usize] = true;
+                        stack.push(*q);
+                    }
+                }
+            }
+        }
+    }
+    reachable
+}
+
+/// Evaluates `(Π, G)` over `data`, materialising all goal-reachable IDB
+/// predicates in dependency order (the naive strategy the paper attributes
+/// to RDFox — every predicate of the program is materialised in full, with
+/// no magic sets; unreachable predicates cannot affect the answer and are
+/// skipped).
+pub fn evaluate(
+    query: &NdlQuery,
+    data: &DataInstance,
+    opts: &EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    let order = topological_order(&query.program).ok_or(EvalError::Recursive)?;
+    let reachable = reachable_from_goal(query);
+    let mut engine = Engine {
+        program: &query.program,
+        data,
+        relations: vec![None; query.program.num_preds()],
+        deadline: opts.timeout.map(|t| Instant::now() + t),
+        max_tuples: opts.max_tuples,
+        generated: 0,
+        ticks: 0,
+    };
+    for p in order {
+        if !reachable[p.0 as usize] {
+            continue;
+        }
+        let mut rel = Relation::default();
+        for clause in query.program.clauses() {
+            if clause.head == p {
+                engine.eval_clause(clause, &mut rel)?;
+            }
+        }
+        engine.relations[p.0 as usize] = Some(rel);
+    }
+    let goal_rel = engine.relations[query.goal.0 as usize]
+        .take()
+        .unwrap_or_default();
+    let mut answers: Vec<Vec<ConstId>> = goal_rel
+        .into_iter()
+        .map(|row| row.into_iter().map(ConstId).collect())
+        .collect();
+    answers.sort();
+    let stats = EvalStats { generated_tuples: engine.generated, num_answers: answers.len() };
+    Ok(EvalResult { answers, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Clause, CVar};
+    use obda_owlql::parser::{parse_data, parse_ontology};
+    use obda_owlql::Ontology;
+
+    fn setup() -> (Ontology, DataInstance) {
+        let o = parse_ontology("Class A\nClass B\nProperty R\nProperty S\n").unwrap();
+        let d = parse_data(
+            "R(a, b)\nR(b, c)\nS(c, d)\nA(b)\nA(c)\nB(d)\n",
+            &o,
+        )
+        .unwrap();
+        (o, d)
+    }
+
+    #[test]
+    fn simple_join() {
+        let (o, d) = setup();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let a = p.edb_class(v.get_class("A").unwrap(), v);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        // G(x) ← R(x, y) ∧ A(y): answers a, b.
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![
+                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(a, vec![CVar(1)]),
+            ],
+            num_vars: 2,
+        });
+        let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
+        let name = |c: ConstId| d.constant_name(c).to_owned();
+        let names: Vec<String> = res.answers.iter().map(|t| name(t[0])).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(res.stats.num_answers, 2);
+        assert_eq!(res.stats.generated_tuples, 2);
+    }
+
+    #[test]
+    fn chained_idb_predicates() {
+        let (o, d) = setup();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let s = p.edb_prop(v.get_prop("S").unwrap(), v);
+        let h = p.add_pred("H", 2, PredKind::Idb);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        // H(x, z) ← R(x, y) ∧ R(y, z); G(x) ← H(x, z) ∧ S(z, w).
+        p.add_clause(Clause {
+            head: h,
+            head_args: vec![CVar(0), CVar(2)],
+            body: vec![
+                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(r, vec![CVar(1), CVar(2)]),
+            ],
+            num_vars: 3,
+        });
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![
+                BodyAtom::Pred(h, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(s, vec![CVar(1), CVar(2)]),
+            ],
+            num_vars: 3,
+        });
+        let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
+        assert_eq!(res.answers.len(), 1); // only a: R(a,b), R(b,c), S(c,d)
+        assert_eq!(res.stats.generated_tuples, 2); // H(a,c) and G(a)
+    }
+
+    #[test]
+    fn equality_atoms() {
+        let (o, d) = setup();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let a = p.edb_class(v.get_class("A").unwrap(), v);
+        let g = p.add_pred("G", 2, PredKind::Idb);
+        // G(x, y) ← A(x) ∧ (x = y): diagonal over A.
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0), CVar(1)],
+            body: vec![BodyAtom::Pred(a, vec![CVar(0)]), BodyAtom::Eq(CVar(0), CVar(1))],
+            num_vars: 2,
+        });
+        let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
+        assert_eq!(res.answers.len(), 2);
+        for t in &res.answers {
+            assert_eq!(t[0], t[1]);
+        }
+    }
+
+    #[test]
+    fn top_predicate_is_active_domain() {
+        let (o, d) = setup();
+        let _ = o;
+        let mut p = Program::new();
+        let top = p.edb_top();
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(top, vec![CVar(0)])],
+            num_vars: 1,
+        });
+        let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
+        assert_eq!(res.answers.len(), d.num_individuals());
+    }
+
+    #[test]
+    fn unsafe_equality_rejected() {
+        let (o, d) = setup();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let a = p.edb_class(v.get_class("A").unwrap(), v);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        // G(y) ← A(x) ∧ (y = z): y and z are never bound.
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(1)],
+            body: vec![BodyAtom::Pred(a, vec![CVar(0)]), BodyAtom::Eq(CVar(1), CVar(2))],
+            num_vars: 3,
+        });
+        let err = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap_err();
+        assert!(matches!(err, EvalError::Unsafe(_)));
+    }
+
+    #[test]
+    fn tuple_limit_enforced() {
+        let (o, d) = setup();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let g = p.add_pred("G", 2, PredKind::Idb);
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0), CVar(1)],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)])],
+            num_vars: 2,
+        });
+        let opts = EvalOptions { max_tuples: Some(1), ..Default::default() };
+        assert_eq!(
+            evaluate(&NdlQuery::new(p, g), &d, &opts).unwrap_err(),
+            EvalError::TupleLimit
+        );
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let (o, _) = setup();
+        let v = o.vocab();
+        let d = parse_data("R(a, a)\nR(a, b)\n", &o).unwrap();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        // G(x) ← R(x, x).
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(0)])],
+            num_vars: 1,
+        });
+        let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
+        assert_eq!(res.answers.len(), 1);
+        assert_eq!(d.constant_name(res.answers[0][0]), "a");
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # obda-ndl
+//!
+//! Nonrecursive datalog (NDL) for ontology-mediated query rewriting:
+//!
+//! * program representation with OWL 2 QL data-vocabulary EDB bindings
+//!   ([`program`]);
+//! * structural analysis — nonrecursiveness, depth, linearity, width,
+//!   weight functions, skinny depth ([`analysis`], Section 3.1 of Bienvenu
+//!   et al., PODS 2017);
+//! * the Huffman-based skinny transformation of Lemma 5 ([`skinny`]);
+//! * the `*`-transformation to arbitrary data instances and Lemma 3's
+//!   linearity-preserving variant ([`star`]);
+//! * two evaluators: a bottom-up materialising engine ([`eval`], the
+//!   stand-in for RDFox in the experiments) and Theorem 2's
+//!   reachability-based evaluator for linear programs ([`linear_eval`]).
+
+pub mod analysis;
+pub mod eval;
+pub mod linear_eval;
+pub mod program;
+pub mod skinny;
+pub mod star;
+
+pub use analysis::{analyze, Analysis};
+pub use eval::{evaluate, EvalError, EvalOptions, EvalResult, EvalStats};
+pub use linear_eval::evaluate_linear;
+pub use program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program, ProgramDisplay};
+pub use skinny::to_skinny;
+pub use star::{linear_star_transform, star_transform};

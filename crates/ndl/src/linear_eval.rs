@@ -1,0 +1,346 @@
+//! Reachability-based evaluation of *linear* NDL queries (Theorem 2).
+//!
+//! Theorem 2 of the paper shows that evaluating linear NDL queries of
+//! bounded width is NL-complete: deciding `Π, A ⊨ G(a)` reduces to finding
+//! a path in the *grounding graph* `G` from the set `X` of ground IDB atoms
+//! derivable by IDB-free clauses to `G(a)`, where `G` has an edge from
+//! `Q(c)` to `Q′(c′)` whenever a ground clause instance derives the latter
+//! from the former using EDB atoms of the instance.
+//!
+//! This module implements that evaluation strategy directly as a forward
+//! breadth-first search over derived ground atoms (the worklist never holds
+//! more than the ground atoms of the grounding graph). It is cross-checked
+//! against the bottom-up materialising evaluator in tests and used as an
+//! evaluator ablation in the benchmark suite.
+
+use crate::analysis::is_linear;
+use crate::eval::{EvalError, EvalOptions, EvalResult, EvalStats};
+use crate::program::{BodyAtom, Clause, NdlQuery, PredId, PredKind, Program};
+use obda_owlql::abox::{ConstId, DataInstance};
+use obda_owlql::util::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+type Row = Vec<u32>;
+
+const UNBOUND: u32 = u32::MAX;
+
+/// Evaluates a linear NDL query by forward reachability over ground IDB
+/// atoms (Theorem 2's strategy).
+///
+/// Returns [`EvalError::Unsafe`] if the program is not linear.
+pub fn evaluate_linear(
+    query: &NdlQuery,
+    data: &DataInstance,
+    opts: &EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    if !is_linear(&query.program) {
+        return Err(EvalError::Unsafe("program is not linear".into()));
+    }
+    let program = &query.program;
+    let deadline = opts.timeout.map(|t| Instant::now() + t);
+
+    // Pre-materialise EDB relations with a per-predicate index used by the
+    // per-clause joins.
+    let mut edb: FxHashMap<PredId, Vec<Row>> = FxHashMap::default();
+    for p in program.pred_ids() {
+        match program.pred(p).kind {
+            PredKind::EdbClass(c) => {
+                let rows = data
+                    .class_atoms()
+                    .filter(|&(class, _)| class == c)
+                    .map(|(_, a)| vec![a.0])
+                    .collect();
+                edb.insert(p, rows);
+            }
+            PredKind::EdbProp(pr) => {
+                let rows = data
+                    .prop_atoms()
+                    .filter(|&(prop, _, _)| prop == pr)
+                    .map(|(_, a, b)| vec![a.0, b.0])
+                    .collect();
+                edb.insert(p, rows);
+            }
+            PredKind::Top => {
+                edb.insert(p, data.individuals().map(|a| vec![a.0]).collect());
+            }
+            PredKind::Idb => {}
+        }
+    }
+
+    // Derived ground atoms per IDB predicate, plus a worklist.
+    let mut derived: FxHashMap<PredId, FxHashSet<Row>> = FxHashMap::default();
+    let mut queue: VecDeque<(PredId, Row)> = VecDeque::new();
+    let mut generated = 0usize;
+    let mut ticks = 0u32;
+
+    let push = |p: PredId,
+                    row: Row,
+                    derived: &mut FxHashMap<PredId, FxHashSet<Row>>,
+                    queue: &mut VecDeque<(PredId, Row)>,
+                    generated: &mut usize| {
+        if derived.entry(p).or_default().insert(row.clone()) {
+            *generated += 1;
+            queue.push_back((p, row));
+        }
+    };
+
+    // Seed: clauses without IDB body atoms.
+    for clause in program.clauses() {
+        let idb_atom = clause.body.iter().position(
+            |a| matches!(a, BodyAtom::Pred(p, _) if program.is_idb(*p)),
+        );
+        if idb_atom.is_none() {
+            for row in ground_clause(program, clause, None, &edb, deadline, &mut ticks)? {
+                push(clause.head, row, &mut derived, &mut queue, &mut generated);
+            }
+        }
+    }
+
+    // Propagate: a derived atom Q(c) fires every clause with Q in the body.
+    while let Some((p, row)) = queue.pop_front() {
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                return Err(EvalError::Timeout);
+            }
+        }
+        if let Some(cap) = opts.max_tuples {
+            if generated > cap {
+                return Err(EvalError::TupleLimit);
+            }
+        }
+        for clause in program.clauses() {
+            let has_p = clause
+                .body
+                .iter()
+                .any(|a| matches!(a, BodyAtom::Pred(q, _) if *q == p && program.is_idb(*q)));
+            if !has_p {
+                continue;
+            }
+            for out in
+                ground_clause(program, clause, Some((p, &row)), &edb, deadline, &mut ticks)?
+            {
+                push(clause.head, out, &mut derived, &mut queue, &mut generated);
+            }
+        }
+    }
+
+    let mut answers: Vec<Vec<ConstId>> = derived
+        .remove(&query.goal)
+        .unwrap_or_default()
+        .into_iter()
+        .map(|row| row.into_iter().map(ConstId).collect())
+        .collect();
+    answers.sort();
+    let stats = EvalStats { generated_tuples: generated, num_answers: answers.len() };
+    Ok(EvalResult { answers, stats })
+}
+
+/// Grounds one clause: if `idb_fact` is provided, the clause's (unique) IDB
+/// atom is bound to it; all remaining atoms are EDB or equalities and are
+/// joined naively. Returns the derived head rows.
+fn ground_clause(
+    program: &Program,
+    clause: &Clause,
+    idb_fact: Option<(PredId, &Row)>,
+    edb: &FxHashMap<PredId, Vec<Row>>,
+    deadline: Option<Instant>,
+    ticks: &mut u32,
+) -> Result<Vec<Row>, EvalError> {
+    let mut bindings: Vec<Row> = vec![vec![UNBOUND; clause.num_vars as usize]];
+    // Bind the IDB atom first, if any.
+    let mut skip_index = usize::MAX;
+    if let Some((p, fact)) = idb_fact {
+        let pos = clause
+            .body
+            .iter()
+            .position(|a| matches!(a, BodyAtom::Pred(q, _) if *q == p))
+            .expect("caller checked the clause uses p");
+        skip_index = pos;
+        if let BodyAtom::Pred(_, args) = &clause.body[pos] {
+            let mut binding = vec![UNBOUND; clause.num_vars as usize];
+            let mut ok = true;
+            for (k, &var) in args.iter().enumerate() {
+                let slot = &mut binding[var.0 as usize];
+                if *slot == UNBOUND {
+                    *slot = fact[k];
+                } else if *slot != fact[k] {
+                    ok = false;
+                    break;
+                }
+            }
+            bindings = if ok { vec![binding] } else { Vec::new() };
+        }
+    }
+
+    // Remaining atoms, equalities deferred until a side is bound.
+    let mut remaining: Vec<usize> =
+        (0..clause.body.len()).filter(|&i| i != skip_index).collect();
+    while !remaining.is_empty() && !bindings.is_empty() {
+        *ticks = ticks.wrapping_add(1);
+        if (*ticks).is_multiple_of(1024) {
+            if let Some(d) = deadline {
+                if Instant::now() > d {
+                    return Err(EvalError::Timeout);
+                }
+            }
+        }
+        // Prefer an equality with a bound side, then any predicate atom.
+        let next = remaining
+            .iter()
+            .position(|&i| match &clause.body[i] {
+                BodyAtom::Eq(a, b) => {
+                    bindings[0][a.0 as usize] != UNBOUND || bindings[0][b.0 as usize] != UNBOUND
+                }
+                _ => false,
+            })
+            .or_else(|| {
+                remaining
+                    .iter()
+                    .position(|&i| matches!(clause.body[i], BodyAtom::Pred(..)))
+            });
+        let Some(pos) = next else {
+            return Err(EvalError::Unsafe(
+                "equality between variables that are never bound".into(),
+            ));
+        };
+        let i = remaining.remove(pos);
+        match &clause.body[i] {
+            BodyAtom::Eq(a, b) => {
+                let mut next_b = Vec::with_capacity(bindings.len());
+                for mut binding in bindings {
+                    let va = binding[a.0 as usize];
+                    let vb = binding[b.0 as usize];
+                    match (va == UNBOUND, vb == UNBOUND) {
+                        (false, false) if va == vb => next_b.push(binding),
+                        (false, false) => {}
+                        (false, true) => {
+                            binding[b.0 as usize] = va;
+                            next_b.push(binding);
+                        }
+                        (true, false) => {
+                            binding[a.0 as usize] = vb;
+                            next_b.push(binding);
+                        }
+                        (true, true) => unreachable!("a side is bound by choice of atom"),
+                    }
+                }
+                bindings = next_b;
+            }
+            BodyAtom::Pred(p, args) => {
+                debug_assert!(
+                    !program.is_idb(*p),
+                    "linear clause has a single IDB atom, already consumed"
+                );
+                let rows = edb.get(p).map(Vec::as_slice).unwrap_or(&[]);
+                let mut next_b = Vec::new();
+                for binding in &bindings {
+                    'rows: for row in rows {
+                        let mut extended = binding.clone();
+                        for (k, &var) in args.iter().enumerate() {
+                            let slot = &mut extended[var.0 as usize];
+                            if *slot == UNBOUND {
+                                *slot = row[k];
+                            } else if *slot != row[k] {
+                                continue 'rows;
+                            }
+                        }
+                        next_b.push(extended);
+                    }
+                }
+                bindings = next_b;
+            }
+        }
+    }
+
+    Ok(bindings
+        .into_iter()
+        .map(|binding| {
+            clause
+                .head_args
+                .iter()
+                .map(|&v| binding[v.0 as usize])
+                .collect()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::program::{CVar, Clause};
+    use obda_owlql::parser::{parse_data, parse_ontology};
+
+    /// A linear program computing 2-step R-reachability into A.
+    fn linear_query(o: &obda_owlql::Ontology) -> NdlQuery {
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let a = p.edb_class(v.get_class("A").unwrap(), v);
+        let q1 = p.add_pred("Q1", 1, PredKind::Idb);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        // Q1(x) ← R(x, y) ∧ A(y);  G(x) ← R(x, y) ∧ Q1(y).
+        p.add_clause(Clause {
+            head: q1,
+            head_args: vec![CVar(0)],
+            body: vec![
+                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(a, vec![CVar(1)]),
+            ],
+            num_vars: 2,
+        });
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![
+                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(q1, vec![CVar(1)]),
+            ],
+            num_vars: 2,
+        });
+        NdlQuery::new(p, g)
+    }
+
+    #[test]
+    fn agrees_with_bottom_up() {
+        let o = parse_ontology("Class A\nProperty R\n").unwrap();
+        let d = parse_data("R(a, b)\nR(b, c)\nR(c, c)\nA(c)\n", &o).unwrap();
+        let q = linear_query(&o);
+        let lin = evaluate_linear(&q, &d, &EvalOptions::default()).unwrap();
+        let bu = evaluate(&q, &d, &EvalOptions::default()).unwrap();
+        assert_eq!(lin.answers, bu.answers);
+        assert!(!lin.answers.is_empty());
+        assert_eq!(lin.stats.generated_tuples, bu.stats.generated_tuples);
+    }
+
+    #[test]
+    fn rejects_nonlinear() {
+        let o = parse_ontology("Class A\n").unwrap();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let a = p.edb_class(v.get_class("A").unwrap(), v);
+        let q1 = p.add_pred("Q1", 1, PredKind::Idb);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        p.add_clause(Clause {
+            head: q1,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(a, vec![CVar(0)])],
+            num_vars: 1,
+        });
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![
+                BodyAtom::Pred(q1, vec![CVar(0)]),
+                BodyAtom::Pred(q1, vec![CVar(0)]),
+            ],
+            num_vars: 1,
+        });
+        let d = parse_data("A(a)\n", &o).unwrap();
+        assert!(matches!(
+            evaluate_linear(&NdlQuery::new(p, g), &d, &EvalOptions::default()),
+            Err(EvalError::Unsafe(_))
+        ));
+    }
+}

@@ -1,0 +1,159 @@
+//! OWL 2 QL axioms and class expressions (Section 2 of the paper).
+//!
+//! An ontology is a finite set of sentences of the forms
+//!
+//! ```text
+//! ∀x (τ(x) → τ′(x))           ∀x (τ(x) ∧ τ′(x) → ⊥)
+//! ∀xy (̺(x,y) → ̺′(x,y))      ∀xy (̺(x,y) ∧ ̺′(x,y) → ⊥)
+//! ∀x ̺(x,x)                   ∀x (̺(x,x) → ⊥)
+//! ```
+//!
+//! where `τ(x) ::= ⊤ | A(x) | ∃y ̺(x,y)` and `̺(x,y) ::= P(x,y) | P(y,x)`.
+
+use crate::vocab::{ClassId, Role, Vocab};
+use std::fmt;
+
+/// A class expression `τ ::= ⊤ | A | ∃̺`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClassExpr {
+    /// The top concept `⊤`, true of every element.
+    Top,
+    /// A named class `A`.
+    Class(ClassId),
+    /// An existential restriction `∃y ̺(x, y)`.
+    Exists(Role),
+}
+
+impl ClassExpr {
+    /// A dense index for this expression, given the vocabulary sizes.
+    ///
+    /// Layout: `0` = ⊤, `1..=#classes` = named classes,
+    /// the rest = existential restrictions via [`Role::index`].
+    pub fn index(self, num_classes: usize) -> usize {
+        match self {
+            ClassExpr::Top => 0,
+            ClassExpr::Class(c) => 1 + c.0 as usize,
+            ClassExpr::Exists(r) => 1 + num_classes + r.index(),
+        }
+    }
+
+    /// Total number of dense indices for a vocabulary.
+    pub fn index_count(num_classes: usize, num_props: usize) -> usize {
+        1 + num_classes + 2 * num_props
+    }
+
+    /// Reconstructs a class expression from its dense index.
+    pub fn from_index(index: usize, num_classes: usize) -> Self {
+        if index == 0 {
+            ClassExpr::Top
+        } else if index <= num_classes {
+            ClassExpr::Class(ClassId((index - 1) as u32))
+        } else {
+            ClassExpr::Exists(Role::from_index(index - 1 - num_classes))
+        }
+    }
+
+    /// Renders the expression using `vocab` for names.
+    pub fn display(self, vocab: &Vocab) -> String {
+        match self {
+            ClassExpr::Top => "Thing".to_owned(),
+            ClassExpr::Class(c) => vocab.class_name(c).to_owned(),
+            ClassExpr::Exists(r) => format!("exists {}", vocab.role_name(r)),
+        }
+    }
+}
+
+/// An OWL 2 QL axiom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axiom {
+    /// `∀x (τ(x) → τ′(x))` — class inclusion.
+    SubClass(ClassExpr, ClassExpr),
+    /// `∀x (τ(x) ∧ τ′(x) → ⊥)` — class disjointness.
+    DisjointClasses(ClassExpr, ClassExpr),
+    /// `∀xy (̺(x,y) → ̺′(x,y))` — role inclusion.
+    SubRole(Role, Role),
+    /// `∀xy (̺(x,y) ∧ ̺′(x,y) → ⊥)` — role disjointness.
+    DisjointRoles(Role, Role),
+    /// `∀x ̺(x,x)` — reflexivity.
+    Reflexive(Role),
+    /// `∀x (̺(x,x) → ⊥)` — irreflexivity.
+    Irreflexive(Role),
+}
+
+impl Axiom {
+    /// Whether this axiom mentions `⊥` (a negative constraint).
+    pub fn is_negative(self) -> bool {
+        matches!(
+            self,
+            Axiom::DisjointClasses(..) | Axiom::DisjointRoles(..) | Axiom::Irreflexive(..)
+        )
+    }
+
+    /// Renders the axiom in the textual ontology syntax.
+    pub fn display(self, vocab: &Vocab) -> String {
+        match self {
+            Axiom::SubClass(lhs, rhs) => {
+                format!("{} SubClassOf {}", lhs.display(vocab), rhs.display(vocab))
+            }
+            Axiom::DisjointClasses(lhs, rhs) => {
+                format!("{} DisjointWith {}", lhs.display(vocab), rhs.display(vocab))
+            }
+            Axiom::SubRole(lhs, rhs) => {
+                format!("{} SubPropertyOf {}", vocab.role_name(lhs), vocab.role_name(rhs))
+            }
+            Axiom::DisjointRoles(lhs, rhs) => {
+                format!(
+                    "{} DisjointPropertyWith {}",
+                    vocab.role_name(lhs),
+                    vocab.role_name(rhs)
+                )
+            }
+            Axiom::Reflexive(r) => format!("Reflexive {}", vocab.role_name(r)),
+            Axiom::Irreflexive(r) => format!("Irreflexive {}", vocab.role_name(r)),
+        }
+    }
+}
+
+/// Pretty-printer for a slice of axioms.
+pub struct AxiomsDisplay<'a> {
+    /// Vocabulary used to resolve names.
+    pub vocab: &'a Vocab,
+    /// Axioms to print, one per line.
+    pub axioms: &'a [Axiom],
+}
+
+impl fmt::Display for AxiomsDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ax in self.axioms {
+            writeln!(f, "{}", ax.display(self.vocab))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn class_expr_index_roundtrip() {
+        let num_classes = 3;
+        let num_props = 2;
+        for i in 0..ClassExpr::index_count(num_classes, num_props) {
+            let e = ClassExpr::from_index(i, num_classes);
+            assert_eq!(e.index(num_classes), i);
+        }
+    }
+
+    #[test]
+    fn axiom_display() {
+        let mut v = Vocab::new();
+        let a = v.class("A");
+        let p = v.prop("P");
+        let ax = Axiom::SubClass(ClassExpr::Class(a), ClassExpr::Exists(Role::inverse_of(p)));
+        assert_eq!(ax.display(&v), "A SubClassOf exists P-");
+        assert!(!ax.is_negative());
+        assert!(Axiom::Irreflexive(Role::direct(p)).is_negative());
+    }
+}

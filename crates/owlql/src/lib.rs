@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # obda-owlql
+//!
+//! OWL 2 QL ontologies for ontology-based data access, following Section 2 of
+//! *“The Complexity of Ontology-Based Data Access with OWL 2 QL and Bounded
+//! Treewidth Queries”* (Bienvenu et al., PODS 2017).
+//!
+//! This crate provides:
+//!
+//! * interned vocabularies of classes, properties and roles ([`vocab`]);
+//! * OWL 2 QL axioms and class expressions ([`axiom`]);
+//! * normalised ontologies with the `A̺ ↔ ∃̺` normalisation ([`ontology`]);
+//! * the saturated entailment closure ([`saturation::Taxonomy`]) answering
+//!   `T ⊨ τ ⊑ τ′`, `T ⊨ ̺ ⊑ ̺′`, reflexivity, disjointness and
+//!   unsatisfiability queries;
+//! * the word set `W_T`, ontology depth, and the interned word arena used by
+//!   canonical models and rewritings ([`words`]);
+//! * data instances (ABoxes) with completion and consistency checking
+//!   ([`abox`]);
+//! * a textual syntax ([`parser`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use obda_owlql::parser::{parse_ontology, parse_data};
+//! use obda_owlql::words::ontology_depth;
+//!
+//! let ontology = parse_ontology(
+//!     "Professor SubClassOf exists teaches\n\
+//!      exists teaches- SubClassOf Course\n",
+//! ).unwrap();
+//! let taxonomy = ontology.taxonomy();
+//! assert_eq!(ontology_depth(&taxonomy), Some(1));
+//!
+//! let data = parse_data("Professor(ada)", &ontology).unwrap();
+//! let completed = data.complete(&taxonomy);
+//! assert!(completed.num_atoms() > data.num_atoms());
+//! ```
+
+pub mod abox;
+pub mod axiom;
+pub mod ontology;
+pub mod parser;
+pub mod saturation;
+pub mod util;
+pub mod vocab;
+pub mod words;
+
+pub use abox::{ConstId, DataInstance};
+pub use axiom::{Axiom, ClassExpr};
+pub use ontology::Ontology;
+pub use parser::{parse_data, parse_ontology, ParseError};
+pub use saturation::Taxonomy;
+pub use vocab::{ClassId, PropId, Role, Vocab};
+pub use words::{ontology_depth, WordArena, WordId};

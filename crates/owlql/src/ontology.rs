@@ -1,0 +1,183 @@
+//! Ontologies (TBoxes) and normalisation.
+//!
+//! Following Section 2 of the paper, every ontology is brought into *normal
+//! form*: for each role `̺ ∈ R_T` a fresh named class `A̺` is introduced
+//! together with the axioms `A̺(x) ↔ ∃y ̺(x,y)`. Rewriting algorithms assume
+//! the normal form throughout.
+
+use crate::axiom::{Axiom, ClassExpr};
+use crate::saturation::Taxonomy;
+use crate::util::FxHashMap;
+use crate::vocab::{ClassId, Role, Vocab};
+
+/// An OWL 2 QL ontology over an interned vocabulary.
+///
+/// Construct via [`Ontology::new`] (normalises eagerly) or parse from text
+/// with [`crate::parser::parse_ontology`].
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    vocab: Vocab,
+    /// All axioms, including the normalisation axioms `A̺ ↔ ∃̺`.
+    axioms: Vec<Axiom>,
+    /// Number of axioms the user supplied (prefix of `axioms`).
+    num_user_axioms: usize,
+    /// The class `A̺` for each role `̺`, introduced during normalisation.
+    exists_class: FxHashMap<Role, ClassId>,
+    /// Roles for which a user axiom has `∃̺` on the right-hand side.
+    generating_user_axiom: bool,
+}
+
+impl Ontology {
+    /// Builds a normalised ontology from user axioms.
+    ///
+    /// Normalisation interns, for every role `̺` over a property of the
+    /// vocabulary, a class named `exists:̺` and adds `A̺ ↔ ∃̺`. Normalising
+    /// over the full vocabulary (a superset of `R_T`) is harmless and keeps
+    /// every query/data property available to the rewriters.
+    pub fn new(mut vocab: Vocab, user_axioms: Vec<Axiom>) -> Self {
+        let num_user_axioms = user_axioms.len();
+        let mut axioms = user_axioms;
+        let generating_user_axiom = axioms
+            .iter()
+            .any(|ax| matches!(ax, Axiom::SubClass(_, ClassExpr::Exists(_))));
+        let mut exists_class = FxHashMap::default();
+        let roles: Vec<Role> = vocab.roles().collect();
+        for role in roles {
+            let name = format!("exists:{}", vocab.role_name(role));
+            let class = vocab.class(&name);
+            exists_class.insert(role, class);
+            axioms.push(Axiom::SubClass(ClassExpr::Class(class), ClassExpr::Exists(role)));
+            axioms.push(Axiom::SubClass(ClassExpr::Exists(role), ClassExpr::Class(class)));
+        }
+        Ontology { vocab, axioms, num_user_axioms, exists_class, generating_user_axiom }
+    }
+
+    /// The empty ontology over an empty vocabulary.
+    pub fn empty() -> Self {
+        Ontology::new(Vocab::new(), Vec::new())
+    }
+
+    /// The vocabulary (classes include the normalisation classes `A̺`).
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// All axioms including normalisation axioms.
+    pub fn axioms(&self) -> &[Axiom] {
+        &self.axioms
+    }
+
+    /// The axioms supplied by the user (without normalisation axioms).
+    pub fn user_axioms(&self) -> &[Axiom] {
+        &self.axioms[..self.num_user_axioms]
+    }
+
+    /// The normalisation class `A̺` for role `̺`.
+    ///
+    /// # Panics
+    /// Panics if `̺` is not over a property of this ontology's vocabulary.
+    pub fn exists_class(&self, role: Role) -> ClassId {
+        self.exists_class[&role]
+    }
+
+    /// Whether `class` is one of the normalisation classes `A̺`, and if so
+    /// for which role.
+    pub fn role_of_exists_class(&self, class: ClassId) -> Option<Role> {
+        // The map is tiny (2 · #props entries); a linear scan is fine and
+        // avoids maintaining a second map.
+        self.exists_class
+            .iter()
+            .find(|&(_, &c)| c == class)
+            .map(|(&r, _)| r)
+    }
+
+    /// Whether any *user* axiom has an existential on the right-hand side.
+    ///
+    /// Per the paper's footnote, an ontology is of depth 0 when the only
+    /// `∃`-generating axioms are the normalisation axioms.
+    pub fn has_generating_user_axiom(&self) -> bool {
+        self.generating_user_axiom
+    }
+
+    /// Whether the ontology contains negative constraints (axioms with `⊥`).
+    pub fn has_negative_axioms(&self) -> bool {
+        self.axioms.iter().any(|ax| ax.is_negative())
+    }
+
+    /// Computes the saturated taxonomy (entailment closure) of the ontology.
+    pub fn taxonomy(&self) -> Taxonomy {
+        Taxonomy::new(self)
+    }
+
+    /// The size `|T|` of the ontology: total number of symbols in user
+    /// axioms (each predicate or connective counts as one symbol).
+    pub fn size(&self) -> usize {
+        self.user_axioms()
+            .iter()
+            .map(|ax| match ax {
+                Axiom::SubClass(..) | Axiom::DisjointClasses(..) => 3,
+                Axiom::SubRole(..) | Axiom::DisjointRoles(..) => 3,
+                Axiom::Reflexive(..) | Axiom::Irreflexive(..) => 2,
+            })
+            .sum()
+    }
+
+    /// Renders the user axioms in the textual syntax.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for ax in self.user_axioms() {
+            out.push_str(&ax.display(&self.vocab));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::PropId;
+
+    fn sample() -> Ontology {
+        let mut v = Vocab::new();
+        let a = v.class("A");
+        let p = v.prop("P");
+        Ontology::new(
+            v,
+            vec![Axiom::SubClass(ClassExpr::Class(a), ClassExpr::Exists(Role::direct(p)))],
+        )
+    }
+
+    #[test]
+    fn normalisation_adds_exists_classes() {
+        let o = sample();
+        let p = PropId(0);
+        let ap = o.exists_class(Role::direct(p));
+        let api = o.exists_class(Role::inverse_of(p));
+        assert_ne!(ap, api);
+        assert_eq!(o.vocab().class_name(ap), "exists:P");
+        assert_eq!(o.vocab().class_name(api), "exists:P-");
+        assert_eq!(o.role_of_exists_class(ap), Some(Role::direct(p)));
+        assert_eq!(o.role_of_exists_class(ClassId(0)), None);
+        // One user axiom plus two normalisation axioms per role.
+        assert_eq!(o.axioms().len(), 1 + 4);
+        assert_eq!(o.user_axioms().len(), 1);
+        assert!(o.has_generating_user_axiom());
+    }
+
+    #[test]
+    fn depth_zero_flag() {
+        let mut v = Vocab::new();
+        let a = v.class("A");
+        let b = v.class("B");
+        v.prop("P");
+        let o = Ontology::new(v, vec![Axiom::SubClass(ClassExpr::Class(a), ClassExpr::Class(b))]);
+        assert!(!o.has_generating_user_axiom());
+    }
+
+    #[test]
+    fn size_counts_symbols() {
+        let o = sample();
+        assert_eq!(o.size(), 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! Textual syntax for ontologies and data instances.
+//!
+//! Ontology syntax (one axiom or declaration per line, `#` starts a comment):
+//!
+//! ```text
+//! Class Extra                       # declare a class not used in axioms
+//! Property helper                   # declare a property not used in axioms
+//! Professor SubClassOf exists teaches
+//! exists teaches- SubClassOf Course
+//! teaches SubPropertyOf involvedIn
+//! A DisjointWith B
+//! P DisjointPropertyWith S-
+//! Reflexive knows
+//! Irreflexive properPartOf
+//! ```
+//!
+//! A role is a property name with an optional trailing `-` for the inverse;
+//! a class expression is `Thing`, a class name, or `exists <role>`.
+//!
+//! Data syntax (one ground atom per line): `A(a)` and `P(a, b)`.
+
+use crate::abox::DataInstance;
+use crate::axiom::{Axiom, ClassExpr};
+use crate::ontology::Ontology;
+use crate::vocab::{Role, Vocab};
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn is_name(token: &str) -> bool {
+    !token.is_empty()
+        && token
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == ':' || c == '.')
+}
+
+/// Parses a role token `P` or `P-`, interning the property name.
+fn parse_role_mut(vocab: &mut Vocab, token: &str, line: usize) -> Result<Role, ParseError> {
+    let (name, inverse) = match token.strip_suffix('-') {
+        Some(base) => (base, true),
+        None => (token, false),
+    };
+    if !is_name(name) {
+        return err(line, format!("invalid property name `{token}`"));
+    }
+    Ok(Role { prop: vocab.prop(name), inverse })
+}
+
+/// Parses a role token against an existing vocabulary (no interning).
+pub fn resolve_role(vocab: &Vocab, token: &str) -> Option<Role> {
+    let (name, inverse) = match token.strip_suffix('-') {
+        Some(base) => (base, true),
+        None => (token, false),
+    };
+    vocab.get_prop(name).map(|prop| Role { prop, inverse })
+}
+
+fn parse_class_expr_mut(
+    vocab: &mut Vocab,
+    tokens: &[&str],
+    line: usize,
+) -> Result<ClassExpr, ParseError> {
+    match tokens {
+        ["Thing"] => Ok(ClassExpr::Top),
+        ["exists", role] => Ok(ClassExpr::Exists(parse_role_mut(vocab, role, line)?)),
+        [name] if is_name(name) && *name != "exists" => Ok(ClassExpr::Class(vocab.class(name))),
+        _ => err(line, format!("invalid class expression `{}`", tokens.join(" "))),
+    }
+}
+
+/// Parses an ontology from its textual syntax and normalises it.
+pub fn parse_ontology(text: &str) -> Result<Ontology, ParseError> {
+    let mut vocab = Vocab::new();
+    let mut axioms = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens.as_slice() {
+            ["Class", name] if is_name(name) => {
+                vocab.class(name);
+            }
+            ["Property", name] if is_name(name) => {
+                vocab.prop(name);
+            }
+            ["Reflexive", role] => {
+                axioms.push(Axiom::Reflexive(parse_role_mut(&mut vocab, role, line_no)?));
+            }
+            ["Irreflexive", role] => {
+                axioms.push(Axiom::Irreflexive(parse_role_mut(&mut vocab, role, line_no)?));
+            }
+            [lhs, "SubPropertyOf", rhs] => {
+                let l = parse_role_mut(&mut vocab, lhs, line_no)?;
+                let r = parse_role_mut(&mut vocab, rhs, line_no)?;
+                axioms.push(Axiom::SubRole(l, r));
+            }
+            [lhs, "DisjointPropertyWith", rhs] => {
+                let l = parse_role_mut(&mut vocab, lhs, line_no)?;
+                let r = parse_role_mut(&mut vocab, rhs, line_no)?;
+                axioms.push(Axiom::DisjointRoles(l, r));
+            }
+            _ => {
+                // Class-level axioms: split on the keyword.
+                let keyword_pos = tokens
+                    .iter()
+                    .position(|&t| t == "SubClassOf" || t == "DisjointWith");
+                let Some(pos) = keyword_pos else {
+                    return err(line_no, format!("unrecognised axiom `{}`", line.trim()));
+                };
+                let lhs = parse_class_expr_mut(&mut vocab, &tokens[..pos], line_no)?;
+                let rhs = parse_class_expr_mut(&mut vocab, &tokens[pos + 1..], line_no)?;
+                match tokens[pos] {
+                    "SubClassOf" => axioms.push(Axiom::SubClass(lhs, rhs)),
+                    _ => axioms.push(Axiom::DisjointClasses(lhs, rhs)),
+                }
+            }
+        }
+    }
+    Ok(Ontology::new(vocab, axioms))
+}
+
+/// Parses a data instance, resolving predicate names against the ontology's
+/// vocabulary (declare extra predicates in the ontology with `Class` /
+/// `Property` lines).
+pub fn parse_data(text: &str, ontology: &Ontology) -> Result<DataInstance, ParseError> {
+    let vocab = ontology.vocab();
+    let mut data = DataInstance::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(open) = line.find('(') else {
+            return err(line_no, format!("expected `Pred(args)`, got `{line}`"));
+        };
+        let Some(close) = line.rfind(')') else {
+            return err(line_no, "missing closing parenthesis");
+        };
+        let pred = line[..open].trim();
+        let args: Vec<&str> = line[open + 1..close].split(',').map(str::trim).collect();
+        match args.as_slice() {
+            [a] => {
+                let Some(class) = vocab.get_class(pred) else {
+                    return err(line_no, format!("unknown class `{pred}`"));
+                };
+                let ca = data.constant(a);
+                data.add_class_atom(class, ca);
+            }
+            [a, b] => {
+                let Some(prop) = vocab.get_prop(pred) else {
+                    return err(line_no, format!("unknown property `{pred}`"));
+                };
+                let ca = data.constant(a);
+                let cb = data.constant(b);
+                data.add_prop_atom(prop, ca, cb);
+            }
+            _ => return err(line_no, format!("atom `{pred}` must have 1 or 2 arguments")),
+        }
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_axiom_forms() {
+        let o = parse_ontology(
+            "# a comment\n\
+             Class Extra\n\
+             Property helper\n\
+             A SubClassOf B   # trailing comment\n\
+             A SubClassOf exists P\n\
+             exists P- SubClassOf B\n\
+             Thing SubClassOf A\n\
+             A DisjointWith exists S\n\
+             P SubPropertyOf S-\n\
+             P DisjointPropertyWith Q\n\
+             Reflexive R\n\
+             Irreflexive Q\n",
+        )
+        .unwrap();
+        assert_eq!(o.user_axioms().len(), 9);
+        assert!(o.vocab().get_class("Extra").is_some());
+        assert!(o.vocab().get_prop("helper").is_some());
+        // Round-trip: re-parsing the printed user axioms gives the same set.
+        let printed = o.to_text();
+        let o2 = parse_ontology(&printed).unwrap();
+        assert_eq!(o2.user_axioms().len(), o.user_axioms().len());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_ontology("A SubClassOf").is_err());
+        assert!(parse_ontology("A LikesClass B").is_err());
+        assert!(parse_ontology("exists SubClassOf B").is_err());
+        let e = parse_ontology("ok SubClassOf fine\nbroken line here\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn parses_data() {
+        let o = parse_ontology("A SubClassOf exists P\nClass B\n").unwrap();
+        let d = parse_data("A(a)\nB(b)\nP(a, b)\n# note\n\nP(b,b)\n", &o).unwrap();
+        assert_eq!(d.num_individuals(), 2);
+        assert_eq!(d.num_atoms(), 4);
+        let a = d.get_constant("a").unwrap();
+        let b = d.get_constant("b").unwrap();
+        assert!(d.has_class_atom(o.vocab().get_class("A").unwrap(), a));
+        assert!(d.has_prop_atom(o.vocab().get_prop("P").unwrap(), b, b));
+        assert!(parse_data("Unknown(a)", &o).is_err());
+        assert!(parse_data("A(a, b, c)", &o).is_err());
+        assert!(parse_data("A a", &o).is_err());
+    }
+
+    #[test]
+    fn resolve_role_handles_inverse() {
+        let o = parse_ontology("Property P\n").unwrap();
+        let v = o.vocab();
+        let p = v.get_prop("P").unwrap();
+        assert_eq!(resolve_role(v, "P"), Some(Role::direct(p)));
+        assert_eq!(resolve_role(v, "P-"), Some(Role::inverse_of(p)));
+        assert_eq!(resolve_role(v, "Q"), None);
+    }
+}

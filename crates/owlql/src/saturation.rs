@@ -1,0 +1,464 @@
+//! Entailment by saturation.
+//!
+//! OWL 2 QL entailment of inclusions between class expressions and between
+//! roles reduces to reachability in a saturated inclusion digraph. The
+//! [`Taxonomy`] precomputes the full closure with bitsets (the number of
+//! class expressions is `1 + #classes + 2·#props`, small in practice) and
+//! answers entailment queries in O(1).
+
+use crate::axiom::{Axiom, ClassExpr};
+use crate::ontology::Ontology;
+use crate::util::BitSet;
+use crate::vocab::Role;
+
+/// The saturated entailment closure of an ontology.
+///
+/// Provides `T ⊨ τ ⊑ τ′`, `T ⊨ ̺ ⊑ ̺′`, reflexivity, disjointness and
+/// unsatisfiability queries.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    num_classes: usize,
+    num_props: usize,
+    /// `role_sub[r]` = set of role indices `s` with `T ⊨ r ⊑ s`.
+    role_sub: Vec<BitSet>,
+    /// Reflexive roles (by role index; `P` reflexive iff `P⁻` reflexive).
+    refl: BitSet,
+    /// `class_sub[τ]` = set of expression indices `τ′` with `T ⊨ τ ⊑ τ′`.
+    class_sub: Vec<BitSet>,
+    /// Disjointness seeds `(τ, τ′)` from the axioms (unordered pairs stored
+    /// both ways).
+    class_disjoint: Vec<(ClassExpr, ClassExpr)>,
+    /// Role-disjointness seeds.
+    role_disjoint: Vec<(Role, Role)>,
+    /// Irreflexivity seeds.
+    irrefl_seeds: Vec<Role>,
+    /// Class expressions unsatisfiable w.r.t. the ontology.
+    unsat_classes: BitSet,
+    /// Roles unsatisfiable w.r.t. the ontology.
+    unsat_roles: BitSet,
+}
+
+impl Taxonomy {
+    /// Saturates `ontology`. Called by [`Ontology::taxonomy`].
+    pub fn new(ontology: &Ontology) -> Self {
+        let num_classes = ontology.vocab().num_classes();
+        let num_props = ontology.vocab().num_props();
+        let num_roles = 2 * num_props;
+        let num_exprs = ClassExpr::index_count(num_classes, num_props);
+
+        // 1. Role inclusion closure: edges r → s and r⁻ → s⁻ per axiom.
+        let mut role_edges: Vec<Vec<usize>> = vec![Vec::new(); num_roles];
+        for ax in ontology.axioms() {
+            if let Axiom::SubRole(r, s) = *ax {
+                role_edges[r.index()].push(s.index());
+                role_edges[r.inv().index()].push(s.inv().index());
+            }
+        }
+        let role_sub = reflexive_transitive_closure(num_roles, &role_edges);
+
+        // 2. Reflexivity: refl(r) and r ⊑ s entail refl(s); refl(P) ⟺ refl(P⁻).
+        let mut refl = BitSet::new(num_roles);
+        for ax in ontology.axioms() {
+            if let Axiom::Reflexive(r) = *ax {
+                for s in role_sub[r.index()].iter() {
+                    refl.insert(s);
+                    refl.insert(Role::from_index(s).inv().index());
+                }
+            }
+        }
+
+        // 3. Class expression closure.
+        let mut class_edges: Vec<Vec<usize>> = vec![Vec::new(); num_exprs];
+        let idx = |e: ClassExpr| e.index(num_classes);
+        for ax in ontology.axioms() {
+            if let Axiom::SubClass(lhs, rhs) = *ax {
+                class_edges[idx(lhs)].push(idx(rhs));
+            }
+        }
+        for r in 0..num_roles {
+            for s in role_sub[r].iter() {
+                if s != r {
+                    class_edges[idx(ClassExpr::Exists(Role::from_index(r)))]
+                        .push(idx(ClassExpr::Exists(Role::from_index(s))));
+                }
+            }
+        }
+        for r in refl.iter() {
+            class_edges[idx(ClassExpr::Top)].push(idx(ClassExpr::Exists(Role::from_index(r))));
+        }
+        // τ ⊑ ⊤ for every τ.
+        for (e, edges) in class_edges.iter_mut().enumerate() {
+            if e != idx(ClassExpr::Top) {
+                edges.push(idx(ClassExpr::Top));
+            }
+        }
+        let class_sub = reflexive_transitive_closure(num_exprs, &class_edges);
+
+        // 4. Disjointness seeds.
+        let mut class_disjoint = Vec::new();
+        let mut role_disjoint = Vec::new();
+        let mut irrefl_seeds = Vec::new();
+        for ax in ontology.axioms() {
+            match *ax {
+                Axiom::DisjointClasses(a, b) => class_disjoint.push((a, b)),
+                Axiom::DisjointRoles(r, s) => role_disjoint.push((r, s)),
+                Axiom::Irreflexive(r) => irrefl_seeds.push(r),
+                _ => {}
+            }
+        }
+
+        let mut tx = Taxonomy {
+            num_classes,
+            num_props,
+            role_sub,
+            refl,
+            class_sub,
+            class_disjoint,
+            role_disjoint,
+            irrefl_seeds,
+            unsat_classes: BitSet::new(num_exprs),
+            unsat_roles: BitSet::new(num_roles),
+        };
+        tx.compute_unsat(ontology);
+        tx
+    }
+
+    fn expr_index(&self, e: ClassExpr) -> usize {
+        e.index(self.num_classes)
+    }
+
+    /// `T ⊨ ∀x (τ(x) → τ′(x))`.
+    pub fn sub_class(&self, sub: ClassExpr, sup: ClassExpr) -> bool {
+        self.class_sub[self.expr_index(sub)].contains(self.expr_index(sup))
+    }
+
+    /// `T ⊨ ∀xy (̺(x,y) → ̺′(x,y))`.
+    pub fn sub_role(&self, sub: Role, sup: Role) -> bool {
+        self.role_sub[sub.index()].contains(sup.index())
+    }
+
+    /// `T ⊨ ∀x ̺(x,x)`.
+    pub fn is_reflexive(&self, role: Role) -> bool {
+        self.refl.contains(role.index())
+    }
+
+    /// `T ⊨ ∀x (̺(x,x) → ⊥)` — by entailment, not just as a seed axiom.
+    pub fn is_irreflexive(&self, role: Role) -> bool {
+        // ̺ irreflexive iff some irreflexivity seed σ has ̺ ⊑ σ or ̺ ⊑ σ⁻
+        // (σ(x,x) ≡ σ⁻(x,x)), or ̺ ⊑ σ, ̺ ⊑ σ′ for role-disjoint (σ, σ′)
+        // modulo inverses.
+        if self
+            .irrefl_seeds
+            .iter()
+            .any(|&s| self.sub_role(role, s) || self.sub_role(role, s.inv()))
+        {
+            return true;
+        }
+        self.role_disjoint.iter().any(|&(s, t)| {
+            (self.sub_role(role, s) || self.sub_role(role, s.inv()))
+                && (self.sub_role(role, t) || self.sub_role(role, t.inv()))
+        })
+    }
+
+    /// `T ⊨ ∀x (τ(x) ∧ τ′(x) → ⊥)`.
+    pub fn disjoint_classes(&self, a: ClassExpr, b: ClassExpr) -> bool {
+        if self.is_unsat_class(a) || self.is_unsat_class(b) {
+            return true;
+        }
+        self.class_disjoint.iter().any(|&(c, d)| {
+            (self.sub_class(a, c) && self.sub_class(b, d))
+                || (self.sub_class(a, d) && self.sub_class(b, c))
+        })
+    }
+
+    /// `T ⊨ ∀xy (̺(x,y) ∧ ̺′(x,y) → ⊥)`.
+    pub fn disjoint_roles(&self, r: Role, s: Role) -> bool {
+        if self.is_unsat_role(r) || self.is_unsat_role(s) {
+            return true;
+        }
+        self.role_disjoint.iter().any(|&(c, d)| {
+            (self.sub_role(r, c) && self.sub_role(s, d))
+                || (self.sub_role(r, d) && self.sub_role(s, c))
+        })
+    }
+
+    /// Whether `τ` is unsatisfiable w.r.t. the ontology (no model has a
+    /// `τ`-element).
+    pub fn is_unsat_class(&self, e: ClassExpr) -> bool {
+        self.unsat_classes.contains(self.expr_index(e))
+    }
+
+    /// Whether `̺` is unsatisfiable w.r.t. the ontology (no model has a
+    /// `̺`-edge).
+    pub fn is_unsat_role(&self, role: Role) -> bool {
+        self.unsat_roles.contains(role.index())
+    }
+
+    /// All `τ′` with `T ⊨ τ ⊑ τ′` (including `τ` itself and `⊤`).
+    pub fn super_classes(&self, e: ClassExpr) -> impl Iterator<Item = ClassExpr> + '_ {
+        self.class_sub[self.expr_index(e)]
+            .iter()
+            .map(|i| ClassExpr::from_index(i, self.num_classes))
+    }
+
+    /// All `τ` with `T ⊨ τ ⊑ τ′` for the given `τ′` (including itself).
+    pub fn sub_classes(&self, sup: ClassExpr) -> impl Iterator<Item = ClassExpr> + '_ {
+        let sup_idx = self.expr_index(sup);
+        (0..self.class_sub.len()).filter_map(move |i| {
+            if self.class_sub[i].contains(sup_idx) {
+                Some(ClassExpr::from_index(i, self.num_classes))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// All roles `̺` with `T ⊨ ̺ ⊑ σ` for the given `σ` (including itself).
+    pub fn sub_roles(&self, sup: Role) -> impl Iterator<Item = Role> + '_ {
+        let sup_idx = sup.index();
+        (0..self.role_sub.len()).filter_map(move |i| {
+            if self.role_sub[i].contains(sup_idx) {
+                Some(Role::from_index(i))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// All roles `σ` with `T ⊨ ̺ ⊑ σ` (including `̺` itself).
+    pub fn super_roles(&self, role: Role) -> impl Iterator<Item = Role> + '_ {
+        self.role_sub[role.index()].iter().map(Role::from_index)
+    }
+
+    /// Number of roles (`2·#props`).
+    pub fn num_roles(&self) -> usize {
+        2 * self.num_props
+    }
+
+    /// Unsatisfiability fixpoint (used for consistency checking in the
+    /// presence of `⊥`-axioms).
+    fn compute_unsat(&mut self, _ontology: &Ontology) {
+        loop {
+            let mut changed = false;
+
+            // A role is unsatisfiable if entailed both reflexive and
+            // irreflexive, if two of its super-roles are disjoint (it would
+            // be self-disjoint), or if the type of either endpoint of a
+            // ̺-edge is unsatisfiable.
+            for i in 0..self.num_roles() {
+                if self.unsat_roles.contains(i) {
+                    continue;
+                }
+                let r = Role::from_index(i);
+                let self_disjoint = self.role_disjoint.iter().any(|&(c, d)| {
+                    self.sub_role(r, c) && self.sub_role(r, d)
+                });
+                let refl_irrefl = self.is_reflexive(r) && self.is_irreflexive(r);
+                let endpoint_unsat = self.is_unsat_class_raw(ClassExpr::Exists(r))
+                    || self.is_unsat_class_raw(ClassExpr::Exists(r.inv()));
+                let super_unsat = self.role_sub[i]
+                    .iter()
+                    .any(|s| s != i && self.unsat_roles.contains(s));
+                if self_disjoint || refl_irrefl || endpoint_unsat || super_unsat {
+                    self.unsat_roles.insert(i);
+                    changed = true;
+                }
+            }
+
+            // A class expression is unsatisfiable if two of its super-classes
+            // are disjoint, if a super-class is unsatisfiable, or if it is
+            // `∃̺` for an unsatisfiable `̺`.
+            for i in 0..self.class_sub.len() {
+                if self.unsat_classes.contains(i) {
+                    continue;
+                }
+                let e = ClassExpr::from_index(i, self.num_classes);
+                let pair_disjoint = self.class_disjoint.iter().any(|&(c, d)| {
+                    self.sub_class(e, c) && self.sub_class(e, d)
+                });
+                let super_unsat = self.class_sub[i]
+                    .iter()
+                    .any(|s| s != i && self.unsat_classes.contains(s));
+                let role_unsat = match e {
+                    ClassExpr::Exists(r) => self.unsat_roles.contains(r.index()),
+                    _ => false,
+                };
+                if pair_disjoint || super_unsat || role_unsat {
+                    self.unsat_classes.insert(i);
+                    changed = true;
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn is_unsat_class_raw(&self, e: ClassExpr) -> bool {
+        self.unsat_classes.contains(self.expr_index(e))
+    }
+}
+
+/// Reflexive-transitive closure of a digraph given as adjacency lists,
+/// returned as per-node reachability bitsets.
+fn reflexive_transitive_closure(n: usize, edges: &[Vec<usize>]) -> Vec<BitSet> {
+    let mut closure: Vec<BitSet> = (0..n)
+        .map(|i| {
+            let mut b = BitSet::new(n);
+            b.insert(i);
+            b
+        })
+        .collect();
+    // Repeated relaxation; the graphs here are tiny, so simplicity wins over
+    // a Tarjan-SCC-based closure.
+    loop {
+        let mut changed = false;
+        for u in 0..n {
+            for &v in &edges[u] {
+                if u != v {
+                    let (a, b) = if u < v {
+                        let (lo, hi) = closure.split_at_mut(v);
+                        (&mut lo[u], &hi[0])
+                    } else {
+                        let (lo, hi) = closure.split_at_mut(u);
+                        (&mut hi[0], &lo[v])
+                    };
+                    changed |= a.union_with(b);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    closure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ontology;
+
+    #[test]
+    fn example_11_entailments() {
+        // The ontology of Example 11: P ⊑ S, P ⊑ R⁻ (plus normalisation).
+        let o = parse_ontology(
+            "P SubPropertyOf S\n\
+             P SubPropertyOf R-\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        let s = Role::direct(v.get_prop("S").unwrap());
+        let r = Role::direct(v.get_prop("R").unwrap());
+        assert!(tx.sub_role(p, s));
+        assert!(tx.sub_role(p, r.inv()));
+        assert!(tx.sub_role(p.inv(), s.inv()));
+        assert!(tx.sub_role(p.inv(), r));
+        assert!(!tx.sub_role(s, p));
+        // ∃P ⊑ ∃S and ∃P⁻ ⊑ ∃R.
+        assert!(tx.sub_class(ClassExpr::Exists(p), ClassExpr::Exists(s)));
+        assert!(tx.sub_class(ClassExpr::Exists(p.inv()), ClassExpr::Exists(r)));
+        assert!(!tx.sub_class(ClassExpr::Exists(s), ClassExpr::Exists(p)));
+        // Normalisation: A_P ≡ ∃P.
+        let ap = ClassExpr::Class(o.exists_class(p));
+        assert!(tx.sub_class(ap, ClassExpr::Exists(p)));
+        assert!(tx.sub_class(ClassExpr::Exists(p), ap));
+    }
+
+    #[test]
+    fn chained_class_inclusions() {
+        let o = parse_ontology(
+            "A SubClassOf B\n\
+             B SubClassOf exists P\n\
+             exists P- SubClassOf C\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        let v = o.vocab();
+        let a = ClassExpr::Class(v.get_class("A").unwrap());
+        let c = ClassExpr::Class(v.get_class("C").unwrap());
+        let p = Role::direct(v.get_prop("P").unwrap());
+        assert!(tx.sub_class(a, ClassExpr::Exists(p)));
+        assert!(tx.sub_class(ClassExpr::Exists(p.inv()), c));
+        assert!(tx.sub_class(a, ClassExpr::Top));
+        assert!(!tx.sub_class(a, c));
+    }
+
+    #[test]
+    fn reflexivity_propagates_up() {
+        let o = parse_ontology(
+            "Reflexive P\n\
+             P SubPropertyOf S\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        let s = Role::direct(v.get_prop("S").unwrap());
+        assert!(tx.is_reflexive(p));
+        assert!(tx.is_reflexive(p.inv()));
+        assert!(tx.is_reflexive(s));
+        // refl(r) entails ⊤ ⊑ ∃r.
+        assert!(tx.sub_class(ClassExpr::Top, ClassExpr::Exists(s)));
+    }
+
+    #[test]
+    fn disjointness_and_unsat() {
+        let o = parse_ontology(
+            "A DisjointWith B\n\
+             C SubClassOf A\n\
+             C SubClassOf B\n\
+             D SubClassOf C\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        let v = o.vocab();
+        let c = ClassExpr::Class(v.get_class("C").unwrap());
+        let d = ClassExpr::Class(v.get_class("D").unwrap());
+        let a = ClassExpr::Class(v.get_class("A").unwrap());
+        let b = ClassExpr::Class(v.get_class("B").unwrap());
+        assert!(tx.disjoint_classes(a, b));
+        assert!(tx.is_unsat_class(c));
+        assert!(tx.is_unsat_class(d));
+        assert!(!tx.is_unsat_class(a));
+    }
+
+    #[test]
+    fn unsat_propagates_through_roles() {
+        // ∃P⁻ forces both A and B, which are disjoint, so P itself is
+        // unsatisfiable and so is anything forced to have a P-successor.
+        let o = parse_ontology(
+            "A DisjointWith B\n\
+             exists P- SubClassOf A\n\
+             exists P- SubClassOf B\n\
+             C SubClassOf exists P\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        let c = ClassExpr::Class(v.get_class("C").unwrap());
+        assert!(tx.is_unsat_role(p));
+        assert!(tx.is_unsat_class(ClassExpr::Exists(p)));
+        assert!(tx.is_unsat_class(c));
+    }
+
+    #[test]
+    fn irreflexive_entailment() {
+        let o = parse_ontology(
+            "Irreflexive S\n\
+             P SubPropertyOf S-\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        let s = Role::direct(v.get_prop("S").unwrap());
+        assert!(tx.is_irreflexive(s));
+        assert!(tx.is_irreflexive(p));
+        assert!(!tx.is_reflexive(p));
+    }
+}

@@ -1,0 +1,252 @@
+//! Interned vocabulary symbols: class names, property names, and roles.
+//!
+//! All symbolic names are interned to dense `u32` identifiers so that the
+//! reasoning and evaluation engines can use vectors and bitsets instead of
+//! string maps on their hot paths.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A string interner mapping names to dense indices.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its index (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the index of `name` without interning it.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all interned indices in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = u32> {
+        0..self.names.len() as u32
+    }
+}
+
+/// Identifier of a named class (unary predicate) `A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Identifier of a named object property (binary predicate) `P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PropId(pub u32);
+
+/// A role `̺ ::= P | P⁻`: a named property or its inverse.
+///
+/// Roles satisfy `P⁻⁻ = P`, which the representation makes definitional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Role {
+    /// The underlying named property.
+    pub prop: PropId,
+    /// Whether the role is the inverse `P⁻` of the property.
+    pub inverse: bool,
+}
+
+impl Role {
+    /// The direct role `P`.
+    pub fn direct(prop: PropId) -> Self {
+        Role { prop, inverse: false }
+    }
+
+    /// The inverse role `P⁻`.
+    pub fn inverse_of(prop: PropId) -> Self {
+        Role { prop, inverse: true }
+    }
+
+    /// The inverse of this role (`P ↦ P⁻`, `P⁻ ↦ P`).
+    pub fn inv(self) -> Self {
+        Role { prop: self.prop, inverse: !self.inverse }
+    }
+
+    /// A dense index in `0..2·#props`, suitable for vector-indexed tables.
+    ///
+    /// Direct roles occupy even slots, inverse roles odd slots.
+    pub fn index(self) -> usize {
+        (self.prop.0 as usize) * 2 + usize::from(self.inverse)
+    }
+
+    /// Reconstructs a role from the dense index produced by [`Role::index`].
+    pub fn from_index(index: usize) -> Self {
+        Role {
+            prop: PropId((index / 2) as u32),
+            inverse: index % 2 == 1,
+        }
+    }
+}
+
+/// The vocabulary of an ontology: interners for class and property names.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    classes: Interner,
+    props: Interner,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a class name.
+    pub fn class(&mut self, name: &str) -> ClassId {
+        ClassId(self.classes.intern(name))
+    }
+
+    /// Interns a property name.
+    pub fn prop(&mut self, name: &str) -> PropId {
+        PropId(self.props.intern(name))
+    }
+
+    /// Looks up a class name without interning.
+    pub fn get_class(&self, name: &str) -> Option<ClassId> {
+        self.classes.get(name).map(ClassId)
+    }
+
+    /// Looks up a property name without interning.
+    pub fn get_prop(&self, name: &str) -> Option<PropId> {
+        self.props.get(name).map(PropId)
+    }
+
+    /// The name of a class.
+    pub fn class_name(&self, id: ClassId) -> &str {
+        self.classes.name(id.0)
+    }
+
+    /// The name of a property.
+    pub fn prop_name(&self, id: PropId) -> &str {
+        self.props.name(id.0)
+    }
+
+    /// Renders a role as `P` or `P-`.
+    pub fn role_name(&self, role: Role) -> String {
+        if role.inverse {
+            format!("{}-", self.prop_name(role.prop))
+        } else {
+            self.prop_name(role.prop).to_owned()
+        }
+    }
+
+    /// Number of named classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of named properties.
+    pub fn num_props(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Iterates over all class identifiers.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> {
+        self.classes.ids().map(ClassId)
+    }
+
+    /// Iterates over all property identifiers.
+    pub fn prop_ids(&self) -> impl Iterator<Item = PropId> {
+        self.props.ids().map(PropId)
+    }
+
+    /// Iterates over all roles (each property and its inverse).
+    pub fn roles(&self) -> impl Iterator<Item = Role> {
+        (0..self.props.len() * 2).map(Role::from_index)
+    }
+}
+
+/// Displays a role given a vocabulary, for use in error messages and dumps.
+pub struct RoleDisplay<'a> {
+    pub(crate) vocab: &'a Vocab,
+    pub(crate) role: Role,
+}
+
+impl fmt::Display for RoleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vocab.prop_name(self.role.prop))?;
+        if self.role.inverse {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_dedups() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("a"), a);
+        assert_eq!(i.name(a), "a");
+        assert_eq!(i.get("b"), Some(b));
+        assert_eq!(i.get("c"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn role_inverse_is_involutive() {
+        let r = Role::direct(PropId(3));
+        assert_eq!(r.inv().inv(), r);
+        assert_ne!(r.inv(), r);
+    }
+
+    #[test]
+    fn role_index_roundtrip() {
+        for p in 0..5u32 {
+            for inv in [false, true] {
+                let r = Role { prop: PropId(p), inverse: inv };
+                assert_eq!(Role::from_index(r.index()), r);
+            }
+        }
+    }
+
+    #[test]
+    fn vocab_names() {
+        let mut v = Vocab::new();
+        let a = v.class("A");
+        let p = v.prop("P");
+        assert_eq!(v.class_name(a), "A");
+        assert_eq!(v.prop_name(p), "P");
+        assert_eq!(v.role_name(Role::inverse_of(p)), "P-");
+        assert_eq!(v.roles().count(), 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! The word set `W_T`, ontology depth, and the word arena.
+//!
+//! A witness (labelled null) of the canonical model has the form
+//! `a ̺₁…̺ₙ` where the word `̺₁…̺ₙ` belongs to `W_T`: every letter `̺ᵢ`
+//! satisfies `T ⊭ ̺ᵢ(x,x)`, and consecutive letters satisfy
+//! `T ⊨ ∃x ̺ᵢ(x,y) → ∃z ̺ᵢ₊₁(y,z)` but `T ⊭ ̺ᵢ(x,y) → ̺ᵢ₊₁(y,x)`.
+//!
+//! The *depth* of an ontology is the maximal length of a word in `W_T`
+//! (∞ when `W_T` is infinite, i.e. the transition digraph has a cycle).
+//!
+//! [`WordArena`] materialises the prefix-closed tree of `W_T`-words up to a
+//! length bound and interns each word as a dense [`WordId`]; the arena is
+//! shared by the canonical-model construction and by the type domains of the
+//! Lin/Log rewritings.
+
+use crate::axiom::ClassExpr;
+use crate::saturation::Taxonomy;
+use crate::vocab::{Role, Vocab};
+
+/// Identifier of a word in a [`WordArena`]. `WordId::EPSILON` is the empty
+/// word ε (not itself a member of `W_T`, but used as the "mapped to an
+/// individual" type value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WordId(pub u32);
+
+impl WordId {
+    /// The empty word ε.
+    pub const EPSILON: WordId = WordId(0);
+
+    /// Whether this is the empty word.
+    pub fn is_epsilon(self) -> bool {
+        self == WordId::EPSILON
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WordNode {
+    parent: WordId,
+    /// Last letter; meaningless for ε.
+    letter: Role,
+    len: u32,
+    children: Vec<(Role, WordId)>,
+}
+
+/// The transition structure of `W_T` plus an interned prefix tree of words
+/// up to a length bound.
+#[derive(Debug, Clone)]
+pub struct WordArena {
+    nodes: Vec<WordNode>,
+    /// `letters[i]` — whether role index `i` may appear in a word
+    /// (`T ⊭ ̺(x,x)`).
+    letters: Vec<bool>,
+    /// `transitions[i]` — role indices that may follow role index `i`.
+    transitions: Vec<Vec<usize>>,
+    max_len: usize,
+}
+
+impl WordArena {
+    /// Builds the arena of all `W_T` words of length ≤ `max_len`.
+    ///
+    /// The ε node is always present. For infinite-depth ontologies the bound
+    /// keeps the arena finite; callers choose the bound from the query size
+    /// (chase locality) or the ontology depth.
+    pub fn new(taxonomy: &Taxonomy, max_len: usize) -> Self {
+        let num_roles = taxonomy.num_roles();
+        let letters: Vec<bool> = (0..num_roles)
+            .map(|i| !taxonomy.is_reflexive(Role::from_index(i)))
+            .collect();
+        let transitions: Vec<Vec<usize>> = (0..num_roles)
+            .map(|i| {
+                let r = Role::from_index(i);
+                (0..num_roles)
+                    .filter(|&j| {
+                        let s = Role::from_index(j);
+                        letters[j] && word_transition(taxonomy, r, s)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut arena = WordArena {
+            nodes: vec![WordNode {
+                parent: WordId::EPSILON,
+                letter: Role::from_index(0),
+                len: 0,
+                children: Vec::new(),
+            }],
+            letters,
+            transitions,
+            max_len,
+        };
+
+        // Breadth-first expansion of the prefix tree.
+        let mut frontier = vec![WordId::EPSILON];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for &w in &frontier {
+                let succ: Vec<usize> = if w.is_epsilon() {
+                    (0..arena.letters.len()).filter(|&i| arena.letters[i]).collect()
+                } else {
+                    arena.transitions[arena.nodes[w.0 as usize].letter.index()].clone()
+                };
+                for i in succ {
+                    let id = WordId(arena.nodes.len() as u32);
+                    let len = arena.nodes[w.0 as usize].len + 1;
+                    arena.nodes.push(WordNode {
+                        parent: w,
+                        letter: Role::from_index(i),
+                        len,
+                        children: Vec::new(),
+                    });
+                    arena.nodes[w.0 as usize].children.push((Role::from_index(i), id));
+                    next.push(id);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        arena
+    }
+
+    /// Number of words in the arena (including ε).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena contains only ε.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The length bound the arena was built with.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The length of word `w`.
+    pub fn word_len(&self, w: WordId) -> usize {
+        self.nodes[w.0 as usize].len as usize
+    }
+
+    /// The last letter of `w`, or `None` for ε.
+    pub fn last_letter(&self, w: WordId) -> Option<Role> {
+        if w.is_epsilon() {
+            None
+        } else {
+            Some(self.nodes[w.0 as usize].letter)
+        }
+    }
+
+    /// The first letter of `w`, or `None` for ε.
+    pub fn first_letter(&self, w: WordId) -> Option<Role> {
+        let mut cur = w;
+        let mut letter = None;
+        while !cur.is_epsilon() {
+            let node = &self.nodes[cur.0 as usize];
+            letter = Some(node.letter);
+            cur = node.parent;
+        }
+        letter
+    }
+
+    /// The word `w` without its last letter, or `None` for ε.
+    pub fn parent(&self, w: WordId) -> Option<WordId> {
+        if w.is_epsilon() {
+            None
+        } else {
+            Some(self.nodes[w.0 as usize].parent)
+        }
+    }
+
+    /// The word `w·̺`, if it is in the arena.
+    pub fn extend(&self, w: WordId, role: Role) -> Option<WordId> {
+        self.nodes[w.0 as usize]
+            .children
+            .iter()
+            .find(|&&(r, _)| r == role)
+            .map(|&(_, id)| id)
+    }
+
+    /// The extensions of `w` by one letter present in the arena.
+    pub fn children(&self, w: WordId) -> &[(Role, WordId)] {
+        &self.nodes[w.0 as usize].children
+    }
+
+    /// Iterates over all word ids, ε first, in breadth-first order.
+    pub fn iter(&self) -> impl Iterator<Item = WordId> {
+        (0..self.nodes.len() as u32).map(WordId)
+    }
+
+    /// The letters of `w` from first to last.
+    pub fn letters_of(&self, w: WordId) -> Vec<Role> {
+        let mut out = Vec::with_capacity(self.word_len(w));
+        let mut cur = w;
+        while !cur.is_epsilon() {
+            let node = &self.nodes[cur.0 as usize];
+            out.push(node.letter);
+            cur = node.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Interns the word with the given letters, returning `None` if it is
+    /// not a `W_T`-word within the length bound.
+    pub fn word_of(&self, letters: &[Role]) -> Option<WordId> {
+        let mut cur = WordId::EPSILON;
+        for &r in letters {
+            cur = self.extend(cur, r)?;
+        }
+        Some(cur)
+    }
+
+    /// Whether role index `i` may appear as a letter.
+    pub fn is_letter(&self, role: Role) -> bool {
+        self.letters[role.index()]
+    }
+
+    /// Renders `w` like `P·S-·R`.
+    pub fn display(&self, w: WordId, vocab: &Vocab) -> String {
+        if w.is_epsilon() {
+            return "ε".to_owned();
+        }
+        self.letters_of(w)
+            .iter()
+            .map(|&r| vocab.role_name(r))
+            .collect::<Vec<_>>()
+            .join("·")
+    }
+}
+
+/// Whether letter `s` may follow letter `r` in a `W_T`-word:
+/// `T ⊨ ∃x r(x,y) → ∃z s(y,z)` but `T ⊭ r(x,y) → s(y,x)`.
+pub fn word_transition(taxonomy: &Taxonomy, r: Role, s: Role) -> bool {
+    taxonomy.sub_class(ClassExpr::Exists(r.inv()), ClassExpr::Exists(s))
+        && !taxonomy.sub_role(r, s.inv())
+}
+
+/// The depth of an ontology: the maximal length of a `W_T`-word, `None` when
+/// `W_T` is infinite, `Some(0)` when `W_T` is empty.
+///
+/// Note the paper's footnote: normalisation axioms alone put every
+/// non-reflexive role into `W_T` as a length-1 word, so an ontology whose
+/// user axioms have no `∃` on the right-hand side ("depth 0" in the paper)
+/// reports depth 1 here whenever its vocabulary has a property. Rewriters
+/// only need an upper bound, so this is harmless; use
+/// [`crate::ontology::Ontology::has_generating_user_axiom`] for the paper's
+/// depth-0 test.
+pub fn ontology_depth(taxonomy: &Taxonomy) -> Option<usize> {
+    let num_roles = taxonomy.num_roles();
+    let letters: Vec<bool> = (0..num_roles)
+        .map(|i| !taxonomy.is_reflexive(Role::from_index(i)))
+        .collect();
+    if !letters.iter().any(|&l| l) {
+        return Some(0);
+    }
+    // Longest path in the transition DAG over allowed letters; a cycle means
+    // infinite depth. Depth-first search with colouring.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let succ = |i: usize| -> Vec<usize> {
+        let r = Role::from_index(i);
+        (0..num_roles)
+            .filter(|&j| letters[j] && word_transition(taxonomy, r, Role::from_index(j)))
+            .collect()
+    };
+    let mut marks = vec![Mark::White; num_roles];
+    let mut longest = vec![0usize; num_roles]; // longest path (in edges) from node
+
+    fn dfs(
+        i: usize,
+        marks: &mut [Mark],
+        longest: &mut [usize],
+        succ: &dyn Fn(usize) -> Vec<usize>,
+    ) -> Option<usize> {
+        match marks[i] {
+            Mark::Grey => return None, // cycle
+            Mark::Black => return Some(longest[i]),
+            Mark::White => {}
+        }
+        marks[i] = Mark::Grey;
+        let mut best = 0;
+        for j in succ(i) {
+            let sub = dfs(j, marks, longest, succ)?;
+            best = best.max(sub + 1);
+        }
+        marks[i] = Mark::Black;
+        longest[i] = best;
+        Some(best)
+    }
+
+    let mut depth = 0usize;
+    for (i, _) in letters.iter().enumerate().filter(|&(_, &l)| l) {
+        {
+            match dfs(i, &mut marks, &mut longest, &succ) {
+                None => return None,
+                Some(d) => depth = depth.max(d + 1),
+            }
+        }
+    }
+    Some(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ontology;
+    use crate::vocab::Role;
+
+    #[test]
+    fn example_11_depth_one() {
+        let o = parse_ontology(
+            "P SubPropertyOf S\n\
+             P SubPropertyOf R-\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        // No axiom entails ∃̺⁻ ⊑ ∃σ beyond trivial ones; words have length 1.
+        assert_eq!(ontology_depth(&tx), Some(1));
+        let arena = WordArena::new(&tx, 3);
+        // ε + 6 length-1 words (P, P⁻, R, R⁻, S, S⁻).
+        assert_eq!(arena.len(), 7);
+    }
+
+    #[test]
+    fn chain_gives_depth_two() {
+        let o = parse_ontology(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf exists S\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        assert_eq!(ontology_depth(&tx), Some(2));
+        let arena = WordArena::new(&tx, 5);
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        let s = Role::direct(v.get_prop("S").unwrap());
+        let ps = arena.word_of(&[p, s]).expect("P·S is a W_T word");
+        assert_eq!(arena.word_len(ps), 2);
+        assert_eq!(arena.first_letter(ps), Some(p));
+        assert_eq!(arena.last_letter(ps), Some(s));
+        assert_eq!(arena.letters_of(ps), vec![p, s]);
+        assert_eq!(arena.display(ps, v), "P·S");
+        // S·P is not a word: no transition from S to P.
+        assert_eq!(arena.word_of(&[s, p]), None);
+    }
+
+    #[test]
+    fn inverse_transition_excluded() {
+        // A ⊑ ∃P and ∃P⁻ ⊑ ∃P⁻ would yield the backwards step P then P⁻,
+        // but T ⊨ P(x,y) → P(x,y) blocks the roundtrip P·P⁻.
+        let o = parse_ontology("A SubClassOf exists P\n").unwrap();
+        let tx = o.taxonomy();
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        assert!(!word_transition(&tx, p, p.inv()));
+        assert_eq!(ontology_depth(&tx), Some(1));
+    }
+
+    #[test]
+    fn cycle_means_infinite_depth() {
+        let o = parse_ontology(
+            "A SubClassOf exists P\n\
+             exists P- SubClassOf exists S\n\
+             exists S- SubClassOf exists P\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        assert_eq!(ontology_depth(&tx), None);
+        // The arena is still finite under the bound.
+        let arena = WordArena::new(&tx, 4);
+        assert!(arena.len() > 4);
+        for w in arena.iter() {
+            assert!(arena.word_len(w) <= 4);
+        }
+    }
+
+    #[test]
+    fn reflexive_roles_are_not_letters() {
+        let o = parse_ontology(
+            "Reflexive P\n\
+             A SubClassOf exists P\n",
+        )
+        .unwrap();
+        let tx = o.taxonomy();
+        let v = o.vocab();
+        let p = Role::direct(v.get_prop("P").unwrap());
+        let arena = WordArena::new(&tx, 2);
+        assert!(!arena.is_letter(p));
+        assert!(!arena.is_letter(p.inv()));
+        assert_eq!(ontology_depth(&tx), Some(0));
+    }
+
+    #[test]
+    fn empty_vocab_depth_zero() {
+        let o = parse_ontology("").unwrap();
+        assert_eq!(ontology_depth(&o.taxonomy()), Some(0));
+        let arena = WordArena::new(&o.taxonomy(), 3);
+        assert!(arena.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Ontology-mediated queries and the rewriter interface.
+
+use obda_cq::query::Cq;
+use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, Program};
+use obda_ndl::star::{linear_star_transform, star_transform};
+use obda_owlql::axiom::ClassExpr;
+use obda_owlql::ontology::Ontology;
+use obda_owlql::saturation::Taxonomy;
+use obda_owlql::vocab::Role;
+use std::fmt;
+
+/// An ontology-mediated query `Q(x) = (T, q(x))`.
+#[derive(Debug, Clone, Copy)]
+pub struct Omq<'a> {
+    /// The ontology `T` (normalised).
+    pub ontology: &'a Ontology,
+    /// The CQ `q(x)`.
+    pub query: &'a Cq,
+}
+
+/// Why a rewriter refused an OMQ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The rewriter requires a tree-shaped CQ.
+    NotTreeShaped,
+    /// The rewriter requires a connected CQ.
+    NotConnected,
+    /// The rewriter requires an ontology of finite depth.
+    InfiniteDepth,
+    /// A resource cap was exceeded (the baseline rewriters blow up
+    /// exponentially by design).
+    TooLarge(usize),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::NotTreeShaped => write!(f, "query is not tree-shaped"),
+            RewriteError::NotConnected => write!(f, "query is not connected"),
+            RewriteError::InfiniteDepth => write!(f, "ontology has infinite depth"),
+            RewriteError::TooLarge(n) => write!(f, "rewriting exceeded the cap of {n} clauses"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// A rewriter producing NDL-rewritings over **complete** data instances.
+///
+/// Use [`rewrite_arbitrary`] to obtain a rewriting over arbitrary instances
+/// via the `*`-transformation (Lemma 3's linear variant is applied when the
+/// produced program is linear, preserving the NL evaluation bound).
+pub trait Rewriter {
+    /// A short display name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Produces an NDL-rewriting of `omq` over complete data instances.
+    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError>;
+}
+
+/// Rewrites over arbitrary data instances: applies the rewriter and then the
+/// `*`-transformation (the linear variant when the program is linear).
+pub fn rewrite_arbitrary(
+    rewriter: &dyn Rewriter,
+    omq: &Omq<'_>,
+    taxonomy: &Taxonomy,
+) -> Result<NdlQuery, RewriteError> {
+    let complete = rewriter.rewrite_complete(omq)?;
+    let vocab = omq.ontology.vocab();
+    let starred = if obda_ndl::analysis::is_linear(&complete.program) {
+        linear_star_transform(&complete, taxonomy, vocab)
+    } else {
+        star_transform(&complete, taxonomy, vocab)
+    };
+    Ok(starred)
+}
+
+/// Adds the inconsistency clauses of Section 2's final remark: if the
+/// left-hand side of a `⊥`-axiom holds somewhere in the data, every tuple of
+/// constants is an answer. Works on rewritings over **complete** instances
+/// (the `*`-transformation then lifts them to arbitrary ones).
+pub fn add_inconsistency_clauses(query: &mut NdlQuery, taxonomy: &Taxonomy, omq: &Omq<'_>) {
+    let vocab = omq.ontology.vocab();
+    let arity = query.arity() as u32;
+    let goal = query.goal;
+    let program = &mut query.program;
+    let top = program.edb_top();
+
+    // Each answer variable ranges over the active domain; one extra variable
+    // (or two) witnesses the violated constraint.
+    let emit = |program: &mut Program, violation: Vec<BodyAtom>, extra_vars: u32| {
+        let head_args: Vec<CVar> = (0..arity).map(CVar).collect();
+        let mut body = violation;
+        for &v in &head_args {
+            body.push(BodyAtom::Pred(top, vec![v]));
+        }
+        program.add_clause(Clause {
+            head: goal,
+            head_args,
+            body,
+            num_vars: arity + extra_vars,
+        });
+    };
+
+    let class_atom = |program: &mut Program, e: ClassExpr, z: CVar, fresh: CVar| -> Option<(BodyAtom, bool)> {
+        match e {
+            ClassExpr::Top => Some((BodyAtom::Pred(program.edb_top(), vec![z]), false)),
+            ClassExpr::Class(c) => {
+                Some((BodyAtom::Pred(program.edb_class(c, vocab), vec![z]), false))
+            }
+            ClassExpr::Exists(r) => Some((program.role_atom(r, z, fresh, vocab), true)),
+        }
+    };
+
+    for ax in omq.ontology.axioms() {
+        match *ax {
+            obda_owlql::axiom::Axiom::DisjointClasses(e1, e2) => {
+                let z = CVar(arity);
+                let f1 = CVar(arity + 1);
+                let f2 = CVar(arity + 2);
+                let (a1, _) = class_atom(program, e1, z, f1).expect("class atom");
+                let (a2, _) = class_atom(program, e2, z, f2).expect("class atom");
+                emit(program, vec![a1, a2], 3);
+            }
+            obda_owlql::axiom::Axiom::DisjointRoles(r1, r2) => {
+                let z1 = CVar(arity);
+                let z2 = CVar(arity + 1);
+                let a1 = program.role_atom(r1, z1, z2, vocab);
+                let a2 = program.role_atom(r2, z1, z2, vocab);
+                emit(program, vec![a1, a2], 2);
+            }
+            obda_owlql::axiom::Axiom::Irreflexive(r) => {
+                let z = CVar(arity);
+                let a = program.role_atom(r, z, z, vocab);
+                emit(program, vec![a], 1);
+            }
+            _ => {}
+        }
+    }
+    let _ = taxonomy;
+}
+
+/// Common helper: map a role to the class expression `∃̺` check used by
+/// type-compatibility tests.
+pub fn exists(role: Role) -> ClassExpr {
+    ClassExpr::Exists(role)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_cq::parse_cq;
+    use obda_owlql::parse_ontology;
+
+    #[test]
+    fn errors_display() {
+        assert!(RewriteError::NotTreeShaped.to_string().contains("tree"));
+        assert!(RewriteError::TooLarge(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn omq_construction() {
+        let o = parse_ontology("Class A\n").unwrap();
+        let q = parse_cq("q(x) :- A(x)", &o).unwrap();
+        let omq = Omq { ontology: &o, query: &q };
+        assert_eq!(omq.query.num_atoms(), 1);
+    }
+}

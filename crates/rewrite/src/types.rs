@@ -1,0 +1,366 @@
+//! Types (variable-to-word maps) and the `At` atom sets shared by the `Lin`
+//! and `Log` rewritings (Sections 3.2–3.3).
+//!
+//! A *type* is a partial map `w` from query variables to `W_T`-words,
+//! `w(z) = w` meaning `z` is mapped to an element `a·w` of the canonical
+//! model and `w(z) = ε` that `z` is mapped to an individual.
+
+use obda_cq::query::{Atom, Cq, Var};
+use obda_ndl::program::{BodyAtom, CVar, Program};
+use obda_owlql::axiom::ClassExpr;
+use obda_owlql::ontology::Ontology;
+use obda_owlql::saturation::Taxonomy;
+use obda_owlql::vocab::Role;
+use obda_owlql::words::{WordArena, WordId};
+use std::collections::BTreeMap;
+
+/// A type: a partial map from query variables to words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TypeMap {
+    entries: BTreeMap<Var, WordId>,
+}
+
+impl TypeMap {
+    /// The empty type ε.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Sets `z ↦ w`.
+    pub fn set(&mut self, z: Var, w: WordId) {
+        self.entries.insert(z, w);
+    }
+
+    /// Looks up `w(z)`.
+    pub fn get(&self, z: Var) -> Option<WordId> {
+        self.entries.get(&z).copied()
+    }
+
+    /// The domain of the type.
+    pub fn domain(&self) -> impl Iterator<Item = Var> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Whether `z ∈ dom(w)`.
+    pub fn contains(&self, z: Var) -> bool {
+        self.entries.contains_key(&z)
+    }
+
+    /// The union `w ∪ s`; panics if the types disagree on a shared variable.
+    pub fn union(&self, other: &TypeMap) -> TypeMap {
+        let mut out = self.clone();
+        for (&z, &w) in &other.entries {
+            if let Some(existing) = out.get(z) {
+                assert_eq!(existing, w, "types disagree on a shared variable");
+            }
+            out.set(z, w);
+        }
+        out
+    }
+
+    /// The restriction of the type to `vars`.
+    pub fn restrict(&self, vars: &[Var]) -> TypeMap {
+        let mut out = TypeMap::empty();
+        for (&z, &w) in &self.entries {
+            if vars.contains(&z) {
+                out.set(z, w);
+            }
+        }
+        out
+    }
+
+    /// Whether the types agree on their common domain.
+    pub fn agrees_with(&self, other: &TypeMap) -> bool {
+        self.entries
+            .iter()
+            .all(|(&z, &w)| other.get(z).is_none_or(|w2| w2 == w))
+    }
+
+    /// Renders the type like `{x3 ↦ ε, x4 ↦ P-}` for debugging and
+    /// predicate naming.
+    pub fn display(&self, q: &Cq, arena: &WordArena, ontology: &Ontology) -> String {
+        let parts: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(&z, &w)| {
+                format!("{}↦{}", q.var_name(z), arena.display(w, ontology.vocab()))
+            })
+            .collect();
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Shared context for type enumeration and compatibility checks.
+pub struct TypeCtx<'a> {
+    /// The ontology (normalised).
+    pub ontology: &'a Ontology,
+    /// Its saturation.
+    pub taxonomy: &'a Taxonomy,
+    /// The word arena materialised up to the ontology depth.
+    pub arena: &'a WordArena,
+    /// The CQ being rewritten.
+    pub q: &'a Cq,
+}
+
+impl TypeCtx<'_> {
+    /// The candidate words for variable `z`: ε always; a nonempty word `w`
+    /// only if `z` is existentially quantified, every class atom `A(z) ∈ q`
+    /// is implied by the last letter (`T ⊨ ∃y ̺(y,x) → A(x)`), and every
+    /// self-loop `P(z,z) ∈ q` has `T ⊨ P(x,x)`.
+    pub fn candidate_words(&self, z: Var) -> Vec<WordId> {
+        let mut out = vec![WordId::EPSILON];
+        if self.q.is_answer_var(z) {
+            return out;
+        }
+        let classes: Vec<_> = self.q.class_atoms_on(z).collect();
+        let self_loops: Vec<Role> = self.q.roles_between(z, z).collect();
+        for w in self.arena.iter().skip(1) {
+            let last = self.arena.last_letter(w).expect("nonempty");
+            let classes_ok = classes.iter().all(|&a| {
+                self.taxonomy
+                    .sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
+            });
+            let loops_ok = self_loops.iter().all(|&r| self.taxonomy.is_reflexive(r));
+            if classes_ok && loops_ok {
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    /// Conditions (i)–(iii) for a binary atom `̺(y, z) ∈ q` under words
+    /// `w(y) = wy`, `w(z) = wz`:
+    /// (i) both ε; (ii) equal words and `T ⊨ ̺(x,x)`; (iii) some `σ ⊑ ̺`
+    /// with `wz = wy·σ`, or some `σ ⊑ ̺⁻` with `wy = wz·σ`.
+    pub fn edge_compatible(&self, role: Role, wy: WordId, wz: WordId) -> bool {
+        if wy.is_epsilon() && wz.is_epsilon() {
+            return true;
+        }
+        if wy == wz && self.taxonomy.is_reflexive(role) {
+            return true;
+        }
+        if self.arena.parent(wz) == Some(wy) {
+            let sigma = self.arena.last_letter(wz).expect("nonempty");
+            if self.taxonomy.sub_role(sigma, role) {
+                return true;
+            }
+        }
+        if self.arena.parent(wy) == Some(wz) {
+            let sigma = self.arena.last_letter(wy).expect("nonempty");
+            if self.taxonomy.sub_role(sigma, role.inv()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the type is compatible on the given variable set: per-variable
+    /// conditions (answer variables map to ε, class atoms and self-loops are
+    /// satisfied — guaranteed when words come from [`TypeCtx::candidate_words`])
+    /// and condition (i)–(iii) for every `q`-atom with both variables in
+    /// `vars ∩ dom`.
+    pub fn compatible_on(&self, t: &TypeMap, vars: &[Var]) -> bool {
+        for &z in vars {
+            let Some(w) = t.get(z) else { continue };
+            if self.q.is_answer_var(z) && !w.is_epsilon() {
+                return false;
+            }
+            if !w.is_epsilon() {
+                let last = self.arena.last_letter(w).expect("nonempty");
+                for a in self.q.class_atoms_on(z) {
+                    if !self
+                        .taxonomy
+                        .sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
+                    {
+                        return false;
+                    }
+                }
+                for r in self.q.roles_between(z, z) {
+                    if !self.taxonomy.is_reflexive(r) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for &atom in self.q.atoms() {
+            if let Atom::Prop(p, y, z) = atom {
+                if y == z {
+                    continue; // self-loops handled above
+                }
+                if vars.contains(&y) && vars.contains(&z) {
+                    if let (Some(wy), Some(wz)) = (t.get(y), t.get(z)) {
+                        if !self.edge_compatible(Role::direct(p), wy, wz) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerates all types over `vars` (total on `vars`) that are
+    /// compatible on `vars` and agree with `base` on shared variables.
+    pub fn enumerate_types(&self, vars: &[Var], base: &TypeMap) -> Vec<TypeMap> {
+        let mut out: Vec<TypeMap> = vec![TypeMap::empty()];
+        for &z in vars {
+            let candidates: Vec<WordId> = match base.get(z) {
+                Some(w) => vec![w],
+                None => self.candidate_words(z),
+            };
+            let mut next = Vec::new();
+            for t in &out {
+                for &w in &candidates {
+                    let mut t2 = t.clone();
+                    t2.set(z, w);
+                    next.push(t2);
+                }
+            }
+            out = next;
+        }
+        out.retain(|t| self.compatible_on(t, vars));
+        out
+    }
+
+    /// The conjunction `At^t` over the atoms of `q` whose variables lie in
+    /// `dom(t)` (Section 3.2):
+    ///
+    /// (a) `A(z)` for `t(z) = ε`, and `P(y,z)` when both sides are ε;
+    /// (b) `y = z` for `P(y,z) ∈ q` with a non-ε side;
+    /// (c) `A̺(z)` when `t(z)` starts with `̺`.
+    ///
+    /// `cvar` maps query variables to clause variables.
+    pub fn type_atoms(
+        &self,
+        program: &mut Program,
+        t: &TypeMap,
+        cvar: &dyn Fn(Var) -> CVar,
+    ) -> Vec<BodyAtom> {
+        let vocab = self.ontology.vocab();
+        let mut atoms = Vec::new();
+        for &atom in self.q.atoms() {
+            match atom {
+                Atom::Class(a, z) => {
+                    if t.get(z) == Some(WordId::EPSILON) {
+                        let p = program.edb_class(a, vocab);
+                        atoms.push(BodyAtom::Pred(p, vec![cvar(z)]));
+                    }
+                }
+                Atom::Prop(p, y, z) => {
+                    let (Some(wy), Some(wz)) = (t.get(y), t.get(z)) else { continue };
+                    if wy.is_epsilon() && wz.is_epsilon() {
+                        let pe = program.edb_prop(p, vocab);
+                        atoms.push(BodyAtom::Pred(pe, vec![cvar(y), cvar(z)]));
+                    } else if y != z {
+                        atoms.push(BodyAtom::Eq(cvar(y), cvar(z)));
+                    }
+                }
+            }
+        }
+        // (c): existence of the witness a·̺….
+        for z in t.domain() {
+            let w = t.get(z).expect("domain");
+            if let Some(first) = self.arena.first_letter(w) {
+                let a_rho = self.ontology.exists_class(first);
+                let p = program.edb_class(a_rho, vocab);
+                atoms.push(BodyAtom::Pred(p, vec![cvar(z)]));
+            }
+        }
+        atoms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_cq::parse_cq;
+    use obda_owlql::parse_ontology;
+    use obda_owlql::words::WordArena;
+
+    /// Example 11's ontology and Example 8's query.
+    fn fixture() -> (Ontology, Cq) {
+        let o = parse_ontology(
+            "P SubPropertyOf S\n\
+             P SubPropertyOf R-\n",
+        )
+        .unwrap();
+        let q = parse_cq(
+            "q(x0, x7) :- R(x0, x1), S(x1, x2), R(x2, x3), R(x3, x4), S(x4, x5), R(x5, x6), R(x6, x7)",
+            &o,
+        )
+        .unwrap();
+        (o, q)
+    }
+
+    #[test]
+    fn example_11_compatible_types_for_bag() {
+        // Bag {x3, x4}: the two contributing types of Example 11 are
+        // s1 = {x3 ↦ ε, x4 ↦ ε} and s2 = {x3 ↦ ε, x4 ↦ P⁻}; additionally
+        // {x3 ↦ P, x4 ↦ ε}, {x3 ↦ ε, x4 ↦ R} and {x3 ↦ R⁻, x4 ↦ ε} are
+        // compatible but never derivable.
+        let (o, q) = fixture();
+        let tx = o.taxonomy();
+        let arena = WordArena::new(&tx, 1);
+        let ctx = TypeCtx { ontology: &o, taxonomy: &tx, arena: &arena, q: &q };
+        let x3 = q.get_var("x3").unwrap();
+        let x4 = q.get_var("x4").unwrap();
+        let types = ctx.enumerate_types(&[x3, x4], &TypeMap::empty());
+        assert_eq!(types.len(), 5, "Example 11 lists exactly five compatible types");
+        // s2 is among them: x3 ↦ ε, x4 ↦ P⁻ (edge R(x3,x4) via condition
+        // (iii): x3 = x4's parent? No — x4 = x3·P⁻?? P⁻ ⊑ R so R(x3, x3·P⁻)).
+        let p = obda_owlql::parser::resolve_role(o.vocab(), "P-").unwrap();
+        let w_pinv = arena.word_of(&[p]).unwrap();
+        assert!(types.iter().any(|t| t.get(x3) == Some(WordId::EPSILON)
+            && t.get(x4) == Some(w_pinv)));
+    }
+
+    #[test]
+    fn answer_vars_forced_to_epsilon() {
+        let (o, q) = fixture();
+        let tx = o.taxonomy();
+        let arena = WordArena::new(&tx, 1);
+        let ctx = TypeCtx { ontology: &o, taxonomy: &tx, arena: &arena, q: &q };
+        let x0 = q.get_var("x0").unwrap();
+        assert_eq!(ctx.candidate_words(x0), vec![WordId::EPSILON]);
+        let x1 = q.get_var("x1").unwrap();
+        assert!(ctx.candidate_words(x1).len() > 1);
+    }
+
+    #[test]
+    fn union_and_restrict() {
+        let mut a = TypeMap::empty();
+        a.set(Var(0), WordId::EPSILON);
+        let mut b = TypeMap::empty();
+        b.set(Var(1), WordId(1));
+        let u = a.union(&b);
+        assert_eq!(u.domain().count(), 2);
+        let r = u.restrict(&[Var(1)]);
+        assert_eq!(r.get(Var(1)), Some(WordId(1)));
+        assert!(!r.contains(Var(0)));
+        assert!(a.agrees_with(&u));
+    }
+
+    use obda_cq::query::Var;
+
+    #[test]
+    fn type_atoms_of_example_11() {
+        // For s2 = {x3 ↦ ε, x4 ↦ P⁻}: At = AP-(x4) ∧ (x3 = x4).
+        let (o, q) = fixture();
+        let tx = o.taxonomy();
+        let arena = WordArena::new(&tx, 1);
+        let ctx = TypeCtx { ontology: &o, taxonomy: &tx, arena: &arena, q: &q };
+        let x3 = q.get_var("x3").unwrap();
+        let x4 = q.get_var("x4").unwrap();
+        let p_inv = obda_owlql::parser::resolve_role(o.vocab(), "P-").unwrap();
+        let mut t = TypeMap::empty();
+        t.set(x3, WordId::EPSILON);
+        t.set(x4, arena.word_of(&[p_inv]).unwrap());
+        let mut program = Program::new();
+        let atoms = ctx.type_atoms(&mut program, &t, &|v| CVar(v.0));
+        // One equality (for R(x3,x4)) and one A_{P⁻} atom.
+        let eqs = atoms.iter().filter(|a| matches!(a, BodyAtom::Eq(..))).count();
+        let preds = atoms.iter().filter(|a| matches!(a, BodyAtom::Pred(..))).count();
+        assert_eq!(eqs, 1);
+        assert_eq!(preds, 1);
+    }
+}

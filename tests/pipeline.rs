@@ -1,0 +1,119 @@
+//! End-to-end scenarios through the `ObdaSystem` facade.
+
+use obda::{Complexity, ObdaSystem, Strategy};
+
+const UNIVERSITY: &str = "\
+Professor SubClassOf Faculty
+Faculty SubClassOf exists worksFor
+exists worksFor- SubClassOf Department
+Professor SubClassOf exists teaches
+exists teaches- SubClassOf Course
+teaches SubPropertyOf involvedIn
+GradStudent SubClassOf exists enrolledIn
+enrolledIn SubPropertyOf involvedIn
+exists enrolledIn- SubClassOf Course
+";
+
+#[test]
+fn university_scenario() {
+    let sys = ObdaSystem::from_text(UNIVERSITY).unwrap();
+    let data = sys
+        .parse_data(
+            "Professor(ada)\n\
+             Professor(alan)\n\
+             teaches(alan, logic)\n\
+             GradStudent(kurt)\n\
+             enrolledIn(kurt, logic)\n",
+        )
+        .unwrap();
+
+    // Everyone involved in a course, even through anonymous witnesses.
+    let q = sys.parse_query("q(x) :- involvedIn(x, y), Course(y)").unwrap();
+    let oracle = sys.certain_answers(&q, &data).tuples();
+    assert_eq!(oracle.len(), 3, "ada (anonymous course), alan, kurt");
+    for strategy in Strategy::ALL {
+        let res = sys.answer(&q, &data, strategy).unwrap();
+        assert_eq!(res.answers, oracle, "{strategy}");
+    }
+
+    // Professors work for some department in every model.
+    let q2 = sys.parse_query("q(x) :- worksFor(x, d), Department(d)").unwrap();
+    let res = sys.answer(&q2, &data, Strategy::Tw).unwrap();
+    assert_eq!(res.answers.len(), 2);
+
+    // But no specific department is named.
+    let q3 = sys.parse_query("q(x, d) :- worksFor(x, d)").unwrap();
+    let res = sys.answer(&q3, &data, Strategy::Tw).unwrap();
+    assert!(res.answers.is_empty());
+}
+
+#[test]
+fn classification_matches_strategy_applicability() {
+    let sys = ObdaSystem::from_text(UNIVERSITY).unwrap();
+    let q = sys.parse_query("q(x) :- teaches(x, y), Course(y)").unwrap();
+    let cell = sys.classify(&q);
+    assert_eq!(cell.complexity, Complexity::Nl);
+    assert!(sys.rewrite(&q, Strategy::Lin).is_ok());
+    assert!(sys.rewrite(&q, Strategy::Log).is_ok());
+    assert!(sys.rewrite(&q, Strategy::Tw).is_ok());
+}
+
+#[test]
+fn infinite_depth_ontology_routes_to_tw() {
+    let sys = ObdaSystem::from_text(
+        "Person SubClassOf exists hasParent\n\
+         exists hasParent- SubClassOf Person\n\
+         exists hasParent- SubClassOf exists hasParent\n",
+    )
+    .unwrap();
+    let q = sys
+        .parse_query("q(x) :- hasParent(x, y), hasParent(y, z)")
+        .unwrap();
+    assert!(sys.rewrite(&q, Strategy::Lin).is_err());
+    assert!(sys.rewrite(&q, Strategy::Log).is_err());
+    let data = sys.parse_data("Person(ada)\nhasParent(eve, adam)\n").unwrap();
+    let res = sys.answer(&q, &data, Strategy::Tw).unwrap();
+    let oracle = sys.certain_answers(&q, &data).tuples();
+    assert_eq!(res.answers, oracle);
+    assert_eq!(res.answers.len(), 3, "ada, eve and adam all have grandparents");
+    // Adaptive falls back to Tw/Tw*.
+    let res2 = sys.answer(&q, &data, Strategy::Adaptive).unwrap();
+    assert_eq!(res2.answers, oracle);
+}
+
+#[test]
+fn negative_constraints_and_inconsistency() {
+    let sys = ObdaSystem::from_text(
+        "Cat DisjointWith Dog\n\
+         Cat SubClassOf exists hasOwner\n\
+         exists hasOwner- SubClassOf Owner\n",
+    )
+    .unwrap();
+    let q = sys.parse_query("q(x) :- hasOwner(x, y), Owner(y)").unwrap();
+    let consistent = sys.parse_data("Cat(tom)\nDog(rex)\n").unwrap();
+    let res = sys.answer(&q, &consistent, Strategy::Tw).unwrap();
+    assert_eq!(res.answers.len(), 1, "only tom");
+
+    let inconsistent = sys.parse_data("Cat(tom)\nDog(tom)\nDog(rex)\n").unwrap();
+    for strategy in Strategy::ALL {
+        let res = sys.answer(&q, &inconsistent, strategy).unwrap();
+        assert_eq!(res.answers.len(), 2, "{strategy}: everything is entailed");
+    }
+    let oracle = sys.certain_answers(&q, &inconsistent).tuples();
+    assert_eq!(oracle.len(), 2);
+}
+
+#[test]
+fn reflexive_roles_through_the_pipeline() {
+    let sys = ObdaSystem::from_text(
+        "Reflexive knows\n\
+         Class Spy\n",
+    )
+    .unwrap();
+    let q = sys.parse_query("q(x) :- knows(x, x), Spy(x)").unwrap();
+    let data = sys.parse_data("Spy(mata)\n").unwrap();
+    for strategy in [Strategy::Lin, Strategy::Log, Strategy::Tw] {
+        let res = sys.answer(&q, &data, strategy).unwrap();
+        assert_eq!(res.answers.len(), 1, "{strategy}");
+    }
+}

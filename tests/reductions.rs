@@ -1,0 +1,69 @@
+//! Larger randomized runs of the Section 4/5 hardness reductions against
+//! their brute-force oracles.
+
+use obda_chase::homomorphism::HomSearch;
+use obda_chase::linear_walk::linear_boolean_entails;
+use obda_chase::model::CanonicalModel;
+use obda_datagen::clique::{clique_to_omq, PartitionedGraph};
+use obda_datagen::hitting_set::{hitting_set_to_omq, Hypergraph};
+use obda_datagen::logcfl::{in_l, logcfl_data, parse_word, t_double_dagger, word_to_query};
+use obda_datagen::sat::{sat_data, sat_query, t_dagger, Cnf};
+use obda_chase::answer::{certain_answers, CertainAnswers};
+
+#[test]
+fn theorem_15_hitting_set_sweep() {
+    for seed in 0..10 {
+        let h = Hypergraph::random(5, 4, 3, 100 + seed);
+        for k in 1..=3 {
+            let r = hitting_set_to_omq(&h, k);
+            let entailed =
+                certain_answers(&r.ontology, &r.query, &r.data) == CertainAnswers::Boolean(true);
+            assert_eq!(entailed, h.has_hitting_set(k), "seed {seed} k {k}");
+        }
+    }
+}
+
+#[test]
+fn theorem_16_partitioned_clique_sweep() {
+    for seed in 0..6 {
+        let g = PartitionedGraph::random(4, 2, 0.4, 200 + seed);
+        let r = clique_to_omq(&g);
+        let bound = (2 * g.num_vertices + 2) * g.num_parts + 2;
+        let model = CanonicalModel::new(&r.ontology, &r.data, bound);
+        let entailed = HomSearch::new(&model, &r.query).exists(&[]);
+        assert_eq!(entailed, g.has_partitioned_clique(), "seed {seed}");
+    }
+}
+
+#[test]
+fn theorem_17_sat_sweep() {
+    for seed in 0..10 {
+        let cnf = Cnf::random(4, 4, 300 + seed);
+        let o = t_dagger();
+        let q = sat_query(&o, &cnf);
+        let d = sat_data(&o);
+        let model = CanonicalModel::new(&o, &d, 2 * cnf.num_vars + 2);
+        let entailed = HomSearch::new(&model, &q).exists(&[]);
+        assert_eq!(entailed, cnf.satisfiable(), "seed {seed} {:?}", cnf.clauses);
+    }
+}
+
+#[test]
+fn theorem_22_logcfl_words() {
+    let o = t_double_dagger();
+    let d = logcfl_data(&o);
+    for word in [
+        "[a1b1][a2b2]",
+        "[a1#a2][b1#b2]",
+        "[a1a1][b1b1]",
+        "[a1a1][b1b2]",
+        "[a1#][#b1]",
+        "[#a1b1a2#][a2#b2][b2#a1b1]",
+    ] {
+        let w = parse_word(word);
+        let q = word_to_query(&o, &w);
+        let anchor = q.get_var("u0").unwrap();
+        let entailed = linear_boolean_entails(&o, &q, &d, anchor);
+        assert_eq!(entailed, in_l(&w), "word {word}");
+    }
+}
