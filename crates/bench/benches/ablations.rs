@@ -8,8 +8,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use obda::Strategy;
 use obda_bench::{dataset, paper_system, prefix_query};
-use obda_ndl::eval::{evaluate, EvalOptions};
+use obda_ndl::eval::{evaluate_on, EvalOptions};
 use obda_ndl::skinny::to_skinny;
+use obda_ndl::storage::Database;
 use obda_rewrite::log::LogRewriter;
 use obda_rewrite::omq::{Omq, Rewriter};
 use std::hint::black_box;
@@ -17,6 +18,7 @@ use std::hint::black_box;
 fn bench_splitting_strategies(c: &mut Criterion) {
     let sys = paper_system();
     let data = dataset(&sys, 1, 0.04);
+    let db = Database::new(&data);
     let mut group = c.benchmark_group("ablation_splitting_strategy");
     group.sample_size(10);
     for n in [5usize, 9] {
@@ -29,9 +31,7 @@ fn bench_splitting_strategies(c: &mut Criterion) {
                 BenchmarkId::new(format!("{strategy}"), format!("n{n}")),
                 &rewriting,
                 |b, rw| {
-                    b.iter(|| {
-                        black_box(evaluate(rw, &data, &EvalOptions::default()).unwrap())
-                    })
+                    b.iter(|| black_box(evaluate_on(rw, &db, &EvalOptions::default()).unwrap()))
                 },
             );
         }
@@ -42,16 +42,17 @@ fn bench_splitting_strategies(c: &mut Criterion) {
 fn bench_skinny_on_off(c: &mut Criterion) {
     let sys = paper_system();
     let data = dataset(&sys, 1, 0.04);
+    let db = Database::new(&data);
     let q = prefix_query(&sys, 0, 7);
     let log = sys.rewrite(&q, Strategy::Log).unwrap();
     let skinny = to_skinny(&log);
     let mut group = c.benchmark_group("ablation_skinny");
     group.sample_size(10);
     group.bench_function("log_plain", |b| {
-        b.iter(|| black_box(evaluate(&log, &data, &EvalOptions::default()).unwrap()))
+        b.iter(|| black_box(evaluate_on(&log, &db, &EvalOptions::default()).unwrap()))
     });
     group.bench_function("log_skinny", |b| {
-        b.iter(|| black_box(evaluate(&skinny, &data, &EvalOptions::default()).unwrap()))
+        b.iter(|| black_box(evaluate_on(&skinny, &db, &EvalOptions::default()).unwrap()))
     });
     group.finish();
 }

@@ -15,15 +15,10 @@ fn bench_rewriting_construction(c: &mut Criterion) {
             let q = prefix_query(&sys, seq, n);
             for strategy in FIG2_STRATEGIES {
                 group.bench_with_input(
-                    BenchmarkId::new(
-                        format!("{strategy}"),
-                        format!("seq{}_n{}", seq + 1, n),
-                    ),
+                    BenchmarkId::new(format!("{strategy}"), format!("seq{}_n{}", seq + 1, n)),
                     &q,
                     |b, q| {
-                        b.iter(|| {
-                            black_box(sys.rewrite_complete(black_box(q), strategy).unwrap())
-                        })
+                        b.iter(|| black_box(sys.rewrite_complete(black_box(q), strategy).unwrap()))
                     },
                 );
             }

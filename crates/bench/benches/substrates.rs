@@ -1,21 +1,22 @@
 //! Micro-benchmarks of the substrates: ontology saturation, canonical-model
-//! construction, homomorphism search, and the two NDL evaluators.
+//! construction, homomorphism search, and the two NDL evaluators — plus the
+//! head-to-head of the indexed join path against the seed hash-set engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use obda::Strategy;
 use obda_bench::{dataset, paper_system, prefix_query};
 use obda_chase::homomorphism::HomSearch;
 use obda_chase::model::{word_bound, CanonicalModel};
-use obda_ndl::eval::{evaluate, EvalOptions};
-use obda_ndl::linear_eval::evaluate_linear;
+use obda_ndl::eval::{evaluate_on, EvalOptions};
+use obda_ndl::linear_eval::evaluate_linear_on;
+use obda_ndl::reference::evaluate_reference;
 use obda_ndl::skinny::to_skinny;
-use obda::Strategy;
+use obda_ndl::storage::Database;
 use std::hint::black_box;
 
 fn bench_saturation(c: &mut Criterion) {
     let sys = paper_system();
-    c.bench_function("taxonomy_saturation", |b| {
-        b.iter(|| black_box(sys.ontology().taxonomy()))
-    });
+    c.bench_function("taxonomy_saturation", |b| b.iter(|| black_box(sys.ontology().taxonomy())));
 }
 
 fn bench_chase(c: &mut Criterion) {
@@ -36,23 +37,48 @@ fn bench_evaluators(c: &mut Criterion) {
     let sys = paper_system();
     let q = prefix_query(&sys, 0, 5);
     let data = dataset(&sys, 1, 0.02);
+    let db = Database::new(&data);
     let lin = sys.rewrite(&q, Strategy::Lin).unwrap();
     c.bench_function("eval_bottom_up_lin", |b| {
-        b.iter(|| black_box(evaluate(&lin, &data, &EvalOptions::default()).unwrap()))
+        b.iter(|| black_box(evaluate_on(&lin, &db, &EvalOptions::default()).unwrap()))
     });
     c.bench_function("eval_linear_reachability", |b| {
-        b.iter(|| black_box(evaluate_linear(&lin, &data, &EvalOptions::default()).unwrap()))
+        b.iter(|| black_box(evaluate_linear_on(&lin, &db, &EvalOptions::default()).unwrap()))
     });
+}
+
+/// Indexed join path over the shared columnar [`Database`] vs the seed
+/// hash-set engine (which rebuilds its relations and per-clause join
+/// indexes on every call), on a Sequence-2 workload.
+fn bench_storage_substrate(c: &mut Criterion) {
+    let sys = paper_system();
+    let q = prefix_query(&sys, 1, 5); // sequence 2
+    let data = dataset(&sys, 1, 0.02);
+    let db = Database::new(&data);
+    let tw = sys.rewrite(&q, Strategy::Tw).unwrap();
+    let mut group = c.benchmark_group("storage_substrate_seq2");
+    group.bench_function("indexed_database", |b| {
+        b.iter(|| black_box(evaluate_on(&tw, &db, &EvalOptions::default()).unwrap()))
+    });
+    group.bench_function("hashset_reference", |b| {
+        b.iter(|| black_box(evaluate_reference(&tw, &data, &EvalOptions::default()).unwrap()))
+    });
+    group.finish();
 }
 
 fn bench_skinny(c: &mut Criterion) {
     let sys = paper_system();
     let q = prefix_query(&sys, 0, 8);
     let log = sys.rewrite_complete(&q, Strategy::Log).unwrap();
-    c.bench_function("skinny_transform_log8", |b| {
-        b.iter(|| black_box(to_skinny(&log)))
-    });
+    c.bench_function("skinny_transform_log8", |b| b.iter(|| black_box(to_skinny(&log))));
 }
 
-criterion_group!(benches, bench_saturation, bench_chase, bench_evaluators, bench_skinny);
+criterion_group!(
+    benches,
+    bench_saturation,
+    bench_chase,
+    bench_evaluators,
+    bench_storage_substrate,
+    bench_skinny
+);
 criterion_main!(benches);

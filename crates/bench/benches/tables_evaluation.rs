@@ -4,12 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use obda_bench::{dataset, paper_system, prefix_query, EVAL_STRATEGIES};
-use obda_ndl::eval::{evaluate, EvalOptions};
+use obda_ndl::eval::{evaluate_on, EvalOptions};
+use obda_ndl::storage::Database;
 use std::hint::black_box;
 
 fn bench_evaluation(c: &mut Criterion) {
     let sys = paper_system();
     let data = dataset(&sys, 1, 0.04); // dataset 2.ttl at laptop scale
+    let db = Database::new(&data); // built once, shared across every strategy
     let mut group = c.benchmark_group("tables_evaluation_ds2");
     group.sample_size(10);
     for n in [3usize, 7] {
@@ -21,9 +23,7 @@ fn bench_evaluation(c: &mut Criterion) {
                 &rewriting,
                 |b, rw| {
                     b.iter(|| {
-                        black_box(
-                            evaluate(black_box(rw), &data, &EvalOptions::default()).unwrap(),
-                        )
+                        black_box(evaluate_on(black_box(rw), &db, &EvalOptions::default()).unwrap())
                     })
                 },
             );

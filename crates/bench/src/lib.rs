@@ -11,20 +11,16 @@ use obda::{ObdaSystem, Strategy};
 use obda_cq::query::Cq;
 use obda_datagen::erdos::ErdosRenyi;
 use obda_datagen::sequences::{example_11_ontology, word_query, SEQUENCES};
-use obda_ndl::eval::{evaluate, EvalError, EvalOptions};
+use obda_ndl::eval::{EvalError, EvalOptions};
+use obda_ndl::storage::Database;
 use obda_owlql::abox::DataInstance;
 use std::time::{Duration, Instant};
 
 /// The rewriting algorithms compared in Figure 2 / Table 1 (column order of
 /// the paper, with our stand-ins: `TwUCQ` ≈ Rapid/Clipper, `Presto-like` ≈
 /// Presto).
-pub const FIG2_STRATEGIES: [Strategy; 5] = [
-    Strategy::TwUcq,
-    Strategy::PrestoLike,
-    Strategy::Lin,
-    Strategy::Log,
-    Strategy::Tw,
-];
+pub const FIG2_STRATEGIES: [Strategy; 5] =
+    [Strategy::TwUcq, Strategy::PrestoLike, Strategy::Lin, Strategy::Log, Strategy::Tw];
 
 /// The algorithms evaluated in Tables 3–5 (Appendix D.3).
 pub const EVAL_STRATEGIES: [Strategy; 6] = [
@@ -73,36 +69,35 @@ pub fn prefix_query(system: &ObdaSystem, seq: usize, n: usize) -> Cq {
 /// Number of clauses of the strategy's rewriting (over complete instances,
 /// as the paper counts them), or `None` if the rewriter refuses/overflows.
 pub fn rewriting_clauses(system: &ObdaSystem, query: &Cq, strategy: Strategy) -> Option<usize> {
-    system
-        .rewrite_complete(query, strategy)
-        .ok()
-        .map(|rw| rw.program.num_clauses())
+    system.rewrite_complete(query, strategy).ok().map(|rw| rw.program.num_clauses())
 }
 
-/// Rewrites (over arbitrary instances) and evaluates with limits, measuring
-/// wall-clock evaluation time.
+/// Rewrites (over arbitrary instances) and evaluates with limits over a
+/// pre-built [`Database`], measuring wall-clock evaluation time. The
+/// database is built once per dataset by the caller and shared across every
+/// strategy and query size.
 pub fn evaluate_cell(
     system: &ObdaSystem,
     query: &Cq,
-    data: &DataInstance,
+    db: &Database,
     strategy: Strategy,
     timeout: Duration,
     max_tuples: usize,
 ) -> EvalCell {
-    let Ok(rewriting) = system.rewrite(query, strategy) else {
+    let Ok(prepared) = system.prepare(query, strategy) else {
         return EvalCell { time: Duration::ZERO, answers: None, generated: None, clauses: None };
     };
-    let clauses = Some(rewriting.program.num_clauses());
+    let clauses = Some(prepared.num_clauses());
     let opts = EvalOptions { timeout: Some(timeout), max_tuples: Some(max_tuples) };
     let start = Instant::now();
-    match evaluate(&rewriting, data, &opts) {
+    match prepared.execute(db, &opts) {
         Ok(res) => EvalCell {
             time: start.elapsed(),
             answers: Some(res.stats.num_answers),
             generated: Some(res.stats.generated_tuples),
             clauses,
         },
-        Err(EvalError::Timeout | EvalError::TupleLimit) => {
+        Err(EvalError::Timeout(_) | EvalError::TupleLimit(_)) => {
             EvalCell { time: start.elapsed(), answers: None, generated: None, clauses }
         }
         Err(e) => panic!("unexpected evaluation error: {e}"),
@@ -111,9 +106,7 @@ pub fn evaluate_cell(
 
 /// Generates dataset `idx` (0-based, Table 2 row) scaled by `scale`.
 pub fn dataset(system: &ObdaSystem, idx: usize, scale: f64) -> DataInstance {
-    obda_datagen::erdos::TABLE_2[idx]
-        .scaled(scale)
-        .generate(system.ontology())
+    obda_datagen::erdos::TABLE_2[idx].scaled(scale).generate(system.ontology())
 }
 
 /// The scaled dataset configurations.
@@ -131,12 +124,7 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     out.push_str(&fmt_row(header, &widths));
     out.push('\n');
@@ -165,9 +153,16 @@ mod tests {
         let sys = paper_system();
         let q = prefix_query(&sys, 0, 3);
         let d = dataset(&sys, 0, 0.02);
-        let cell = evaluate_cell(&sys, &q, &d, Strategy::Tw, Duration::from_secs(20), 10_000_000);
+        let db = Database::new(&d);
+        let before = Database::build_count();
+        let cell = evaluate_cell(&sys, &q, &db, Strategy::Tw, Duration::from_secs(20), 10_000_000);
         assert!(cell.answers.is_some());
         assert!(cell.render().contains('/'));
+        // Evaluating more cells over the same database must not reload it.
+        let cell2 =
+            evaluate_cell(&sys, &q, &db, Strategy::Lin, Duration::from_secs(20), 10_000_000);
+        assert_eq!(cell.answers, cell2.answers);
+        assert_eq!(Database::build_count(), before, "database built once per dataset");
     }
 
     #[test]

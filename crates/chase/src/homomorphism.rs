@@ -48,8 +48,7 @@ impl<'m, 'q> HomSearch<'m, 'q> {
                 if let Atom::Prop(_, u, v) = atom {
                     for (from, to) in [(u, v), (v, u)] {
                         if placed[from.0 as usize] && !placed[to.0 as usize] {
-                            let role =
-                                atom.role_between(from, to).expect("atom relates from to");
+                            let role = atom.role_between(from, to).expect("atom relates from to");
                             anchored = Some((to, Some((role, from))));
                             break 'outer;
                         }
@@ -98,14 +97,17 @@ impl<'m, 'q> HomSearch<'m, 'q> {
         }
         for &atom in self.q.atoms() {
             match atom {
-                Atom::Class(c, z) if z == var
-                    && !self.model.satisfies_class(c, e) => {
-                        return false;
-                    }
+                Atom::Class(c, z) if z == var && !self.model.satisfies_class(c, e) => {
+                    return false;
+                }
                 Atom::Prop(p, z, z2) => {
                     let role = Role::direct(p);
                     let img = |v: Var| -> Option<Element> {
-                        if v == var { Some(e) } else { h[v.0 as usize] }
+                        if v == var {
+                            Some(e)
+                        } else {
+                            h[v.0 as usize]
+                        }
                     };
                     if (z == var || z2 == var) && img(z).is_some() && img(z2).is_some() {
                         let (a, b) = (img(z).expect("assigned"), img(z2).expect("assigned"));
@@ -212,11 +214,8 @@ mod tests {
 
     #[test]
     fn hom_into_data_part() {
-        let (_, m, q, d) = setup(
-            "Class A\nProperty R\n",
-            "R(a, b)\nA(b)\n",
-            "q(x) :- R(x, y), A(y)",
-        );
+        let (_, m, q, d) =
+            setup("Class A\nProperty R\n", "R(a, b)\nA(b)\n", "q(x) :- R(x, y), A(y)");
         let s = HomSearch::new(&m, &q);
         assert!(s.exists(&[]));
         let answers = s.all_answer_tuples();
@@ -266,22 +265,15 @@ mod tests {
 
     #[test]
     fn no_hom_when_label_missing() {
-        let (_, m, q, _) = setup(
-            "A SubClassOf exists P\nClass B\n",
-            "A(a)\n",
-            "q() :- P(x, y), B(y)",
-        );
+        let (_, m, q, _) =
+            setup("A SubClassOf exists P\nClass B\n", "A(a)\n", "q() :- P(x, y), B(y)");
         let s = HomSearch::new(&m, &q);
         assert!(!s.exists(&[]));
     }
 
     #[test]
     fn fixed_assignment_respected() {
-        let (_, m, q, d) = setup(
-            "Property R\n",
-            "R(a, b)\nR(c, b)\n",
-            "q(x) :- R(x, y)",
-        );
+        let (_, m, q, d) = setup("Property R\n", "R(a, b)\nR(c, b)\n", "q(x) :- R(x, y)");
         let s = HomSearch::new(&m, &q);
         let a = d.get_constant("a").unwrap();
         let c = d.get_constant("c").unwrap();
@@ -295,11 +287,7 @@ mod tests {
 
     #[test]
     fn disconnected_query_components() {
-        let (_, m, q, _) = setup(
-            "Class A\nClass B\n",
-            "A(a)\nB(b)\n",
-            "q() :- A(x), B(y)",
-        );
+        let (_, m, q, _) = setup("Class A\nClass B\n", "A(a)\nB(b)\n", "q() :- A(x), B(y)");
         let s = HomSearch::new(&m, &q);
         assert!(s.exists(&[]));
     }

@@ -42,8 +42,7 @@ struct Walker<'a> {
 
 impl Walker<'_> {
     fn applicable(&self, c: ConstId, role: Role) -> bool {
-        self.completed
-            .has_class_atom(self.ontology.exists_class(role), c)
+        self.completed.has_class_atom(self.ontology.exists_class(role), c)
     }
 
     fn is_letter(&self, role: Role) -> bool {
@@ -54,20 +53,15 @@ impl Walker<'_> {
     fn satisfies_local(&self, v: Var, e: &LazyElem) -> bool {
         match e {
             LazyElem::Const(c) => {
-                self.q
-                    .class_atoms_on(v)
-                    .all(|a| self.completed.has_class_atom(a, *c))
-                    && self
-                        .q
-                        .roles_between(v, v)
-                        .all(|r| self.completed.has_role_atom(r, *c, *c)
-                            || self.taxonomy.is_reflexive(r))
+                self.q.class_atoms_on(v).all(|a| self.completed.has_class_atom(a, *c))
+                    && self.q.roles_between(v, v).all(|r| {
+                        self.completed.has_role_atom(r, *c, *c) || self.taxonomy.is_reflexive(r)
+                    })
             }
             LazyElem::Null(_, w) => {
                 let last = *w.last().expect("nulls have nonempty words");
                 self.q.class_atoms_on(v).all(|a| {
-                    self.taxonomy
-                        .sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
+                    self.taxonomy.sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
                 }) && self.q.roles_between(v, v).all(|r| self.taxonomy.is_reflexive(r))
             }
         }
@@ -105,8 +99,7 @@ impl Walker<'_> {
                 // Downwards: children via allowed transitions.
                 if w.len() < self.max_len {
                     for sigma in self.taxonomy.sub_roles(role) {
-                        if self.is_letter(sigma) && word_transition(self.taxonomy, last, sigma)
-                        {
+                        if self.is_letter(sigma) && word_transition(self.taxonomy, last, sigma) {
                             let mut w2 = w.clone();
                             w2.push(sigma);
                             out.push(LazyElem::Null(*c, w2));

@@ -79,9 +79,8 @@ impl CanonicalModel {
         let taxonomy = ontology.taxonomy();
         let arena = WordArena::new(&taxonomy, bound);
         let completed = data.complete(&taxonomy);
-        let exists_class = (0..taxonomy.num_roles())
-            .map(|i| ontology.exists_class(Role::from_index(i)))
-            .collect();
+        let exists_class =
+            (0..taxonomy.num_roles()).map(|i| ontology.exists_class(Role::from_index(i))).collect();
         CanonicalModel { taxonomy, arena, completed, exists_class }
     }
 
@@ -120,10 +119,7 @@ impl CanonicalModel {
             Element::Const(a) => (a.0 as usize) < self.completed.num_individuals(),
             Element::Null(a, w) => {
                 !w.is_epsilon()
-                    && self
-                        .arena
-                        .first_letter(w)
-                        .is_some_and(|first| self.applicable(a, first))
+                    && self.arena.first_letter(w).is_some_and(|first| self.applicable(a, first))
             }
         }
     }
@@ -134,8 +130,7 @@ impl CanonicalModel {
             Element::Const(a) => self.completed.has_class_atom(class, a),
             Element::Null(_, w) => {
                 let last = self.arena.last_letter(w).expect("nulls have nonempty words");
-                self.taxonomy
-                    .sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(class))
+                self.taxonomy.sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(class))
             }
         }
     }
@@ -185,12 +180,9 @@ impl CanonicalModel {
                 .filter(|&&(r, _)| self.applicable(a, r))
                 .map(|&(_, w)| Element::Null(a, w))
                 .collect(),
-            Element::Null(a, w) => self
-                .arena
-                .children(w)
-                .iter()
-                .map(|&(_, w2)| Element::Null(a, w2))
-                .collect(),
+            Element::Null(a, w) => {
+                self.arena.children(w).iter().map(|&(_, w2)| Element::Null(a, w2)).collect()
+            }
         }
     }
 
@@ -230,8 +222,7 @@ impl CanonicalModel {
 
     /// All materialised elements (individuals first, then nulls).
     pub fn elements(&self) -> Vec<Element> {
-        let mut out: Vec<Element> =
-            self.completed.individuals().map(Element::Const).collect();
+        let mut out: Vec<Element> = self.completed.individuals().map(Element::Const).collect();
         for a in self.completed.individuals() {
             // Depth-first over generated nulls.
             let mut stack: Vec<Element> = self.children_of(Element::Const(a));
@@ -337,8 +328,7 @@ mod tests {
         let mut depth = 0;
         let mut frontier = vec![Element::Const(a)];
         while !frontier.is_empty() {
-            let next: Vec<Element> =
-                frontier.iter().flat_map(|&e| m.children_of(e)).collect();
+            let next: Vec<Element> = frontier.iter().flat_map(|&e| m.children_of(e)).collect();
             if next.is_empty() {
                 break;
             }

@@ -1,0 +1,204 @@
+#![warn(missing_docs)]
+
+//! In-tree stand-in for the `criterion` crate so the benches build and run
+//! without network access.
+//!
+//! Implements the subset the workspace uses — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`], [`criterion_main!`]
+//! — with a simple measurement loop: warm up briefly, then time
+//! `sample_size` samples and report min / mean / max per-iteration time.
+//! No statistical analysis, plots, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepts harness CLI arguments (`cargo bench` passes `--bench`);
+    /// everything is ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, name: name.to_owned(), sample_size: 20 }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier made of a function name and a parameter label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Times closures handed to benchmark functions.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures the routine: a short warm-up, then `sample_size` timed
+    /// samples of adaptively many iterations each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration estimate.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~10ms per sample, capped at 1000 iterations.
+        let iters =
+            (Duration::from_millis(10).as_nanos() / estimate.as_nanos()).clamp(1, 1000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().unwrap();
+    let max = bencher.samples.iter().max().unwrap();
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        format_duration(*min),
+        format_duration(mean),
+        format_duration(*max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let input = 21u32;
+        g.bench_with_input(BenchmarkId::new("double", "21"), &input, |b, &i| {
+            b.iter(|| black_box(i * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(1500)).ends_with("ms"));
+    }
+}

@@ -84,9 +84,8 @@ fn run(args: &Args) -> Result<(), String> {
     };
     let system =
         ObdaSystem::from_text(&read(&args.ontology, "ontology")?).map_err(|e| e.to_string())?;
-    let query = system
-        .parse_query(read(&args.query, "query")?.trim())
-        .map_err(|e| e.to_string())?;
+    let query =
+        system.parse_query(read(&args.query, "query")?.trim()).map_err(|e| e.to_string())?;
 
     match args.command.as_str() {
         "classify" => {
@@ -112,16 +111,13 @@ fn run(args: &Args) -> Result<(), String> {
             Ok(())
         }
         "answer" => {
-            let data = system
-                .parse_data(&read(&args.data, "data")?)
-                .map_err(|e| e.to_string())?;
+            let data = system.parse_data(&read(&args.data, "data")?).map_err(|e| e.to_string())?;
             let opts = EvalOptions { timeout: args.timeout, max_tuples: None };
             let result = system
                 .answer_with_options(&query, &data, args.strategy, &opts)
                 .map_err(|e| e.to_string())?;
             for tuple in &result.answers {
-                let names: Vec<&str> =
-                    tuple.iter().map(|&c| data.constant_name(c)).collect();
+                let names: Vec<&str> = tuple.iter().map(|&c| data.constant_name(c)).collect();
                 println!("({})", names.join(", "));
             }
             eprintln!(

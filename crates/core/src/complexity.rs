@@ -95,17 +95,15 @@ pub struct Succinctness {
 /// for small depths follow Kikot et al., LICS 2014).
 pub fn rewriting_size(depth: DepthBound, class: QueryClass) -> Succinctness {
     match (depth, class) {
-        (DepthBound::Bounded(_), QueryClass::BoundedLeaves(_)) => Succinctness {
-            poly_ndl: true,
-            pe: PeSize::SuperPoly,
-            poly_fo_iff: "NL/poly ⊆ NC¹",
-        },
+        (DepthBound::Bounded(_), QueryClass::BoundedLeaves(_)) => {
+            Succinctness { poly_ndl: true, pe: PeSize::SuperPoly, poly_fo_iff: "NL/poly ⊆ NC¹" }
+        }
         (DepthBound::Bounded(_), QueryClass::Trees)
-        | (DepthBound::Bounded(_), QueryClass::BoundedTreewidth(_)) => Succinctness {
-            poly_ndl: true,
-            pe: PeSize::SuperPoly,
-            poly_fo_iff: "LOGCFL/poly ⊆ NC¹",
-        },
+        | (DepthBound::Bounded(_), QueryClass::BoundedTreewidth(_)) => {
+            Succinctness {
+                poly_ndl: true, pe: PeSize::SuperPoly, poly_fo_iff: "LOGCFL/poly ⊆ NC¹"
+            }
+        }
         (DepthBound::Bounded(d), QueryClass::Arbitrary) => Succinctness {
             poly_ndl: true,
             pe: match d {
@@ -116,16 +114,12 @@ pub fn rewriting_size(depth: DepthBound, class: QueryClass) -> Succinctness {
             },
             poly_fo_iff: "NP/poly ⊆ NC¹",
         },
-        (DepthBound::Unbounded, QueryClass::BoundedLeaves(_)) => Succinctness {
-            poly_ndl: true,
-            pe: PeSize::SuperPoly,
-            poly_fo_iff: "NL/poly ⊆ NC¹",
-        },
-        (DepthBound::Unbounded, _) => Succinctness {
-            poly_ndl: false,
-            pe: PeSize::SuperPoly,
-            poly_fo_iff: "NP/poly ⊆ NC¹",
-        },
+        (DepthBound::Unbounded, QueryClass::BoundedLeaves(_)) => {
+            Succinctness { poly_ndl: true, pe: PeSize::SuperPoly, poly_fo_iff: "NL/poly ⊆ NC¹" }
+        }
+        (DepthBound::Unbounded, _) => {
+            Succinctness { poly_ndl: false, pe: PeSize::SuperPoly, poly_fo_iff: "NP/poly ⊆ NC¹" }
+        }
     }
 }
 
@@ -178,7 +172,8 @@ pub fn landscape_table() -> String {
         ("treewidth ≤t", QueryClass::BoundedTreewidth(3)),
         ("arbitrary", QueryClass::Arbitrary),
     ];
-    let mut out = String::from("ontology \\ query | ≤ℓ leaves | trees | treewidth ≤t | arbitrary\n");
+    let mut out =
+        String::from("ontology \\ query | ≤ℓ leaves | trees | treewidth ≤t | arbitrary\n");
     for (dn, d) in depths {
         out.push_str(&format!("{dn:<16} |"));
         for (_, c) in classes {

@@ -44,7 +44,7 @@ pub use complexity::{
     classify, combined_complexity, rewriting_size, Complexity, DepthBound, OmqClassification,
     PeSize, QueryClass, Succinctness,
 };
-pub use pipeline::{ObdaError, ObdaSystem, Strategy};
+pub use pipeline::{ObdaError, ObdaSystem, PreparedOmq, Strategy};
 
 // Substrate re-exports.
 pub use obda_chase as chase;

@@ -3,8 +3,11 @@
 use crate::complexity::{classify, OmqClassification};
 use obda_chase::answer::{certain_answers, CertainAnswers};
 use obda_cq::query::Cq;
-use obda_ndl::eval::{evaluate, EvalError, EvalOptions, EvalResult};
+use obda_ndl::analysis::{analyze, Analysis};
+use obda_ndl::eval::{evaluate, evaluate_on, EvalError, EvalOptions, EvalResult};
+use obda_ndl::linear_eval::evaluate_linear_on;
 use obda_ndl::program::NdlQuery;
+use obda_ndl::storage::Database;
 use obda_owlql::abox::DataInstance;
 use obda_owlql::parser::ParseError;
 use obda_owlql::saturation::Taxonomy;
@@ -159,11 +162,7 @@ impl ObdaSystem {
     }
 
     /// Produces an NDL-rewriting over **complete** data instances.
-    pub fn rewrite_complete(
-        &self,
-        query: &Cq,
-        strategy: Strategy,
-    ) -> Result<NdlQuery, ObdaError> {
+    pub fn rewrite_complete(&self, query: &Cq, strategy: Strategy) -> Result<NdlQuery, ObdaError> {
         let omq = Omq { ontology: &self.ontology, query };
         let rewritten = match strategy {
             Strategy::Lin => LinRewriter::default().rewrite_complete(&omq)?,
@@ -228,6 +227,96 @@ impl ObdaSystem {
     pub fn certain_answers(&self, query: &Cq, data: &DataInstance) -> CertainAnswers {
         certain_answers(&self.ontology, query, data)
     }
+
+    /// Rewrites once and caches the rewriting together with its structural
+    /// analysis and goal metadata, for repeated execution over pre-built
+    /// [`Database`]s.
+    pub fn prepare(&self, query: &Cq, strategy: Strategy) -> Result<PreparedOmq, ObdaError> {
+        let rewriting = self.rewrite(query, strategy)?;
+        let analysis = analyze(&rewriting);
+        Ok(PreparedOmq { query: query.clone(), strategy, analysis, rewriting })
+    }
+}
+
+/// A rewritten OMQ ready for repeated evaluation: the NDL rewriting, its
+/// structural [`Analysis`], and the goal metadata, computed once by
+/// [`ObdaSystem::prepare`] and reused across data instances.
+#[derive(Debug, Clone)]
+pub struct PreparedOmq {
+    query: Cq,
+    strategy: Strategy,
+    analysis: Analysis,
+    rewriting: NdlQuery,
+}
+
+impl PreparedOmq {
+    /// The original conjunctive query.
+    pub fn query(&self) -> &Cq {
+        &self.query
+    }
+
+    /// The strategy that produced the rewriting.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The cached NDL rewriting (over arbitrary instances).
+    pub fn rewriting(&self) -> &NdlQuery {
+        &self.rewriting
+    }
+
+    /// The cached structural analysis of the rewriting.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Goal arity (number of answer variables).
+    pub fn goal_arity(&self) -> usize {
+        self.rewriting.arity()
+    }
+
+    /// Number of clauses of the rewriting.
+    pub fn num_clauses(&self) -> usize {
+        self.rewriting.program.num_clauses()
+    }
+
+    /// Evaluates the cached rewriting over a pre-built [`Database`] with
+    /// the bottom-up materialising engine.
+    pub fn execute(&self, db: &Database, opts: &EvalOptions) -> Result<EvalResult, EvalError> {
+        evaluate_on(&self.rewriting, db, opts)
+    }
+
+    /// Evaluates with Theorem 2's reachability engine (the rewriting must
+    /// be linear — see [`PreparedOmq::analysis`]).
+    pub fn execute_linear(
+        &self,
+        db: &Database,
+        opts: &EvalOptions,
+    ) -> Result<EvalResult, EvalError> {
+        evaluate_linear_on(&self.rewriting, db, opts)
+    }
+
+    /// Validates the rewriting against the chase oracle on one data
+    /// instance: evaluates over `db` (which must be built from `data`) and
+    /// compares with the certain answers. Returns the evaluation result on
+    /// agreement.
+    pub fn validate_against_oracle(
+        &self,
+        system: &ObdaSystem,
+        data: &DataInstance,
+        db: &Database,
+    ) -> Result<EvalResult, ObdaError> {
+        let res = self.execute(db, &EvalOptions::default())?;
+        let oracle = system.certain_answers(&self.query, data).tuples();
+        if res.answers != oracle {
+            return Err(ObdaError::Eval(EvalError::Unsafe(format!(
+                "rewriting disagrees with the chase oracle: {} answers vs {} certain",
+                res.answers.len(),
+                oracle.len()
+            ))));
+        }
+        Ok(res)
+    }
 }
 
 #[cfg(test)]
@@ -246,9 +335,7 @@ mod tests {
     fn end_to_end_all_strategies_agree() {
         let sys = system();
         let q = sys.parse_query("q(x0, x3) :- R(x0, x1), S(x1, x2), R(x2, x3)").unwrap();
-        let d = sys
-            .parse_data("P(w, a)\nR(a, b)\nR(b, c)\nS(c, d)\nR(d, e)\n")
-            .unwrap();
+        let d = sys.parse_data("P(w, a)\nR(a, b)\nR(b, c)\nS(c, d)\nR(d, e)\n").unwrap();
         let oracle = sys.certain_answers(&q, &d).tuples();
         for strategy in Strategy::ALL {
             let res = sys.answer(&q, &d, strategy).unwrap();
@@ -279,6 +366,43 @@ mod tests {
         let q = sys.parse_query("q(x0, x2) :- R(x0, x1), R(x1, x2)").unwrap();
         let c = sys.classify(&q);
         assert_eq!(c.complexity.to_string(), "NL");
+    }
+
+    #[test]
+    fn prepared_omq_executes_on_shared_database() {
+        let sys = system();
+        let q = sys.parse_query("q(x0, x3) :- R(x0, x1), S(x1, x2), R(x2, x3)").unwrap();
+        let d = sys.parse_data("P(w, a)\nR(a, b)\nR(b, c)\nS(c, d)\nR(d, e)\n").unwrap();
+        let db = Database::new(&d);
+        let before = Database::build_count();
+        let oracle = sys.certain_answers(&q, &d).tuples();
+        for strategy in Strategy::ALL {
+            let prepared = sys.prepare(&q, strategy).unwrap();
+            assert_eq!(prepared.strategy(), strategy);
+            assert_eq!(prepared.goal_arity(), 2);
+            assert!(prepared.num_clauses() > 0);
+            assert!(prepared.analysis().nonrecursive);
+            let res = prepared.execute(&db, &EvalOptions::default()).unwrap();
+            assert_eq!(res.answers, oracle, "strategy {strategy}");
+            // Linear rewritings also run on Theorem 2's engine, over the
+            // very same database.
+            if prepared.analysis().linear {
+                let lin = prepared.execute_linear(&db, &EvalOptions::default()).unwrap();
+                assert_eq!(lin.answers, oracle, "linear strategy {strategy}");
+            }
+        }
+        assert_eq!(Database::build_count(), before, "execute must not rebuild");
+    }
+
+    #[test]
+    fn prepared_omq_validates_against_oracle() {
+        let sys = system();
+        let q = sys.parse_query("q(x0, x2) :- R(x0, x1), S(x1, x2)").unwrap();
+        let d = sys.parse_data("P(w, a)\nR(a, b)\nS(b, c)\n").unwrap();
+        let db = Database::new(&d);
+        let prepared = sys.prepare(&q, Strategy::Tw).unwrap();
+        let res = prepared.validate_against_oracle(&sys, &d, &db).unwrap();
+        assert_eq!(res.answers.len(), res.stats.num_answers);
     }
 
     #[test]

@@ -63,9 +63,7 @@ impl Gaifman {
     /// The undirected edges `{u, v}` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (Var, Var)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
-            list.iter()
-                .filter(move |&&v| (u as u32) < v)
-                .map(move |&v| (Var(u as u32), Var(v)))
+            list.iter().filter(move |&&v| (u as u32) < v).map(move |&v| (Var(u as u32), Var(v)))
         })
     }
 

@@ -99,10 +99,7 @@ pub fn parse_cq(text: &str, ontology: &Ontology) -> Result<Cq, ParseError> {
     for &x in q.answer_vars() {
         let occurs = q.atoms().iter().any(|a| a.vars().any(|v| v == x));
         if !occurs {
-            return err(format!(
-                "answer variable `{}` does not occur in the body",
-                q.var_name(x)
-            ));
+            return err(format!("answer variable `{}` does not occur in the body", q.var_name(x)));
         }
     }
     Ok(q)

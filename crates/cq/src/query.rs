@@ -162,12 +162,9 @@ impl Cq {
             .iter()
             .map(|&a| match a {
                 Atom::Class(c, z) => format!("{}({})", vocab.class_name(c), self.var_name(z)),
-                Atom::Prop(p, z, z2) => format!(
-                    "{}({}, {})",
-                    vocab.prop_name(p),
-                    self.var_name(z),
-                    self.var_name(z2)
-                ),
+                Atom::Prop(p, z, z2) => {
+                    format!("{}({}, {})", vocab.prop_name(p), self.var_name(z), self.var_name(z2))
+                }
             })
             .collect();
         format!("q({}) :- {}", head_args.join(", "), body.join(", "))
@@ -197,10 +194,7 @@ mod tests {
         assert!(q.is_answer_var(x));
         assert_eq!(q.existential_vars().collect::<Vec<_>>(), vec![y]);
         assert_eq!(q.class_atoms_on(y).collect::<Vec<_>>(), vec![a]);
-        assert_eq!(
-            q.roles_between(y, x).collect::<Vec<_>>(),
-            vec![Role::inverse_of(r)]
-        );
+        assert_eq!(q.roles_between(y, x).collect::<Vec<_>>(), vec![Role::inverse_of(r)]);
         assert_eq!(q.to_text(v), "q(x) :- R(x, y), A(y)");
     }
 

@@ -45,11 +45,7 @@ impl SplitNode {
 /// The boundary nodes of `D` in the host tree: members of `D` with a
 /// neighbour outside `D`.
 pub fn boundary(adj: &[Vec<usize>], in_d: &[bool], nodes: &[usize]) -> Vec<usize> {
-    nodes
-        .iter()
-        .copied()
-        .filter(|&u| adj[u].iter().any(|&v| !in_d[v]))
-        .collect()
+    nodes.iter().copied().filter(|&u| adj[u].iter().any(|&v| !in_d[v])).collect()
 }
 
 /// Connected components of `D \ {t}` within the host tree.
@@ -96,11 +92,7 @@ pub fn centroid(adj: &[Vec<usize>], nodes: &[usize]) -> usize {
         .iter()
         .copied()
         .min_by_key(|&t| {
-            components_without(adj, &in_d, nodes, t)
-                .iter()
-                .map(Vec::len)
-                .max()
-                .unwrap_or(0)
+            components_without(adj, &in_d, nodes, t).iter().map(Vec::len).max().unwrap_or(0)
         })
         .expect("nonempty");
     best

@@ -62,9 +62,7 @@ impl TreeDecomposition {
         // The root has no incident bag of its own; its first child's bag
         // already contains it, and the bags of its other children were
         // attached to nothing — link them to the first child's bag.
-        let root_bags: Vec<usize> = (0..bags.len())
-            .filter(|&i| bags[i][0] == Var(0))
-            .collect();
+        let root_bags: Vec<usize> = (0..bags.len()).filter(|&i| bags[i][0] == Var(0)).collect();
         for w in root_bags.windows(2) {
             let (a, b) = (w[0], w[1]);
             if !adj[a].contains(&b) {
@@ -83,9 +81,8 @@ impl TreeDecomposition {
         if n == 0 {
             return TreeDecomposition { bags: vec![Vec::new()], adj: vec![Vec::new()] };
         }
-        let mut nbr: Vec<std::collections::BTreeSet<u32>> = (0..n)
-            .map(|v| g.neighbours(Var(v as u32)).map(|u| u.0).collect())
-            .collect();
+        let mut nbr: Vec<std::collections::BTreeSet<u32>> =
+            (0..n).map(|v| g.neighbours(Var(v as u32)).map(|u| u.0).collect()).collect();
         let mut alive: Vec<bool> = vec![true; n];
         let mut order = Vec::with_capacity(n);
         let mut bags: Vec<Vec<Var>> = Vec::with_capacity(n);
@@ -218,8 +215,7 @@ impl TreeDecomposition {
         }
         // Connected-subtree condition per vertex.
         for v in q.vars() {
-            let holders: Vec<usize> =
-                (0..n).filter(|&t| self.bags[t].contains(&v)).collect();
+            let holders: Vec<usize> = (0..n).filter(|&t| self.bags[t].contains(&v)).collect();
             if holders.is_empty() {
                 continue;
             }

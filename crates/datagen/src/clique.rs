@@ -61,9 +61,7 @@ impl PartitionedGraph {
     /// Brute force: a clique with one vertex per partition?
     pub fn has_partitioned_clique(&self) -> bool {
         let groups: Vec<Vec<usize>> = (0..self.num_parts)
-            .map(|i| {
-                (0..self.num_vertices).filter(|&v| self.partition[v] == i).collect()
-            })
+            .map(|i| (0..self.num_vertices).filter(|&v| self.partition[v] == i).collect())
             .collect();
         fn search(g: &PartitionedGraph, groups: &[Vec<usize>], chosen: &mut Vec<usize>) -> bool {
             if chosen.len() == groups.len() {
@@ -117,18 +115,14 @@ pub fn clique_to_omq(g: &PartitionedGraph) -> CliqueOmq {
     let a = vocab.class("A");
     let b_cls = vocab.class("B");
     let pad = vocab.prop("Pad");
-    let l_role =
-        |vocab: &mut Vocab, k: usize, j: usize| vocab.prop(&format!("L{k}_{j}"));
+    let l_role = |vocab: &mut Vocab, k: usize, j: usize| vocab.prop(&format!("L{k}_{j}"));
 
     let mut axioms = Vec::new();
     // A(x) → ∃y L¹_j(x, y) for v_j ∈ V₁.
     for j in 1..=m {
         if g.partition[j - 1] == 0 {
             let l1 = l_role(&mut vocab, 1, j);
-            axioms.push(Axiom::SubClass(
-                ClassExpr::Class(a),
-                ClassExpr::Exists(Role::direct(l1)),
-            ));
+            axioms.push(Axiom::SubClass(ClassExpr::Class(a), ClassExpr::Exists(Role::direct(l1))));
         }
     }
     for j in 1..=m {

@@ -40,11 +40,7 @@ impl ErdosRenyi {
     /// rescaled to keep the average degree), for laptop-scale runs.
     pub fn scaled(self, factor: f64) -> ErdosRenyi {
         let vertices = ((self.vertices as f64 * factor).round() as usize).max(8);
-        ErdosRenyi {
-            vertices,
-            edge_prob: (self.edge_prob / factor).min(1.0),
-            ..self
-        }
+        ErdosRenyi { vertices, edge_prob: (self.edge_prob / factor).min(1.0), ..self }
     }
 
     /// The average out-degree `V · p` reported in Table 2 (the paper quotes
@@ -62,8 +58,7 @@ impl ErdosRenyi {
         let ap_inv = ontology.exists_class(obda_owlql::Role::inverse_of(p));
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut data = DataInstance::new();
-        let consts: Vec<_> =
-            (0..self.vertices).map(|i| data.constant(&format!("v{i}"))).collect();
+        let consts: Vec<_> = (0..self.vertices).map(|i| data.constant(&format!("v{i}"))).collect();
         // Directed R-edges: sample the number of successors per vertex from
         // the binomial via independent trials (kept simple; V is moderate).
         for &u in &consts {
@@ -104,10 +99,10 @@ mod tests {
     #[test]
     fn atom_counts_track_parameters() {
         let o = example_11_ontology();
-        let sparse = ErdosRenyi { vertices: 100, edge_prob: 0.01, label_prob: 0.01, seed: 7 }
-            .generate(&o);
-        let dense = ErdosRenyi { vertices: 100, edge_prob: 0.2, label_prob: 0.2, seed: 7 }
-            .generate(&o);
+        let sparse =
+            ErdosRenyi { vertices: 100, edge_prob: 0.01, label_prob: 0.01, seed: 7 }.generate(&o);
+        let dense =
+            ErdosRenyi { vertices: 100, edge_prob: 0.2, label_prob: 0.2, seed: 7 }.generate(&o);
         assert!(dense.num_atoms() > 5 * sparse.num_atoms());
     }
 

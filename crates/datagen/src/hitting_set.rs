@@ -60,10 +60,7 @@ impl Hypergraph {
 
     fn search(&self, from: usize, k: usize, chosen: &mut Vec<usize>) -> bool {
         if chosen.len() == k {
-            return self
-                .edges
-                .iter()
-                .all(|e| e.iter().any(|v| chosen.contains(v)));
+            return self.edges.iter().all(|e| e.iter().any(|v| chosen.contains(v)));
         }
         for v in from..self.num_vertices {
             chosen.push(v);
@@ -138,10 +135,8 @@ pub fn hitting_set_to_omq(h: &Hypergraph, k: usize) -> HittingSetOmq {
             let et = eta(&mut vocab, l, j);
             let elj = e_class(&mut vocab, l, j);
             let prev = e_class(&mut vocab, l - 1, j);
-            axioms.push(Axiom::SubClass(
-                ClassExpr::Class(elj),
-                ClassExpr::Exists(Role::direct(et)),
-            ));
+            axioms
+                .push(Axiom::SubClass(ClassExpr::Class(elj), ClassExpr::Exists(Role::direct(et))));
             axioms.push(Axiom::SubRole(Role::direct(et), Role::direct(p)));
             axioms.push(Axiom::SubClass(
                 ClassExpr::Exists(Role::inverse_of(et)),
@@ -192,10 +187,7 @@ mod tests {
     fn paper_example() {
         // H = ({1,2,3}, {e1={1,3}, e2={2,3}, e3={1,2}}): {1,2} is a hitting
         // set of size 2 (the black homomorphism of the paper's figure).
-        let h = Hypergraph {
-            num_vertices: 3,
-            edges: vec![vec![0, 2], vec![1, 2], vec![0, 1]],
-        };
+        let h = Hypergraph { num_vertices: 3, edges: vec![vec![0, 2], vec![1, 2], vec![0, 1]] };
         assert!(h.has_hitting_set(2));
         assert!(!h.has_hitting_set(1));
         assert!(omq_answer(&h, 2));

@@ -17,7 +17,7 @@
 
 use crate::sat::Cnf;
 use obda_cq::query::Cq;
-use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, PredKind, Program};
+use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredKind, Program};
 use obda_owlql::abox::{ConstId, DataInstance};
 use obda_owlql::Ontology;
 
@@ -249,11 +249,7 @@ pub fn theorem_28_pe_query(ontology: &Ontology, k: usize) -> NdlQuery {
             head_args: vec![CVar(0), CVar(1), CVar(2), CVar(3)],
             body: std::iter::once(BodyAtom::Pred(eb0, vec![CVar(pos)]))
                 // The other variables still need bindings; `⊤` them.
-                .chain(
-                    (0..4u32)
-                        .filter(|&v| v != pos)
-                        .map(|v| BodyAtom::Pred(top, vec![CVar(v)])),
-                )
+                .chain((0..4u32).filter(|&v| v != pos).map(|v| BodyAtom::Pred(top, vec![CVar(v)])))
                 .collect(),
             num_vars: 4,
         });
@@ -335,10 +331,8 @@ mod tests {
         // Figure 3: φ = χ₁ ∧ χ₂ ∧ χ₃ ∧ χ₄ with χ₁ = p₁ ∨ ¬p₃ ∨ p₄,
         // χ₂ = ¬p₃ ∨ p₄ (the figure's ∧ is a typo for a clause), χ₃ = p₁,
         // χ₄ = ¬p₃ ∨ ¬p₄, and α = (0,1,1,0).
-        let cnf = Cnf {
-            num_vars: 4,
-            clauses: vec![vec![1, -3, 4], vec![-3, 4], vec![1], vec![-3, -4]],
-        };
+        let cnf =
+            Cnf { num_vars: 4, clauses: vec![vec![1, -3, 4], vec![-3, 4], vec![1], vec![-3, -4]] };
         let alpha = [false, true, true, false];
         assert!(f_phi(&cnf, &alpha)); // χ₁ ∧ χ₄ is satisfiable
         assert!(entails_qbar(&cnf, &alpha));
@@ -351,10 +345,7 @@ mod tests {
     fn lemma_26_detects_unsatisfiable_remainders() {
         // φ = p₁ ∧ ¬p₁ ∧ (p₁ ∨ p₂) ∧ ¬p₂: any α keeping both χ₁ and χ₂
         // is unsatisfiable.
-        let cnf = Cnf {
-            num_vars: 2,
-            clauses: vec![vec![1], vec![-1], vec![1, 2], vec![-2]],
-        };
+        let cnf = Cnf { num_vars: 2, clauses: vec![vec![1], vec![-1], vec![1, 2], vec![-2]] };
         assert!(!f_phi(&cnf, &[false; 4]));
         assert!(!entails_qbar(&cnf, &[false, false, true, true]));
         // Removing only χ₁ still leaves ¬p₁ ∧ (p₁ ∨ p₂) ∧ ¬p₂ — unsat.
@@ -395,12 +386,7 @@ mod tests {
             let data = tree_instance(&o, &alpha);
             let res = evaluate(&q, &data, &EvalOptions::default()).unwrap();
             let a = data.get_constant("a").unwrap();
-            assert_eq!(
-                res.answers.contains(&vec![a]),
-                expected,
-                "ψ = {:?}",
-                psi.clauses
-            );
+            assert_eq!(res.answers.contains(&vec![a]), expected, "ψ = {:?}", psi.clauses);
         }
     }
 }

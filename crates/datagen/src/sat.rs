@@ -223,10 +223,7 @@ mod tests {
             // Theorem 19's singleton rewriting agrees too.
             let o = t_dagger();
             let d = sat_data(&o);
-            assert_eq!(
-                theorem_19_singleton_rewriting(&o, &cnf, &d),
-                cnf.satisfiable()
-            );
+            assert_eq!(theorem_19_singleton_rewriting(&o, &cnf, &d), cnf.satisfiable());
         }
     }
 }

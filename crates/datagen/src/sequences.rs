@@ -57,9 +57,7 @@ pub fn word_query(ontology: &Ontology, word: &str) -> Cq {
 
 /// All prefixes (1 to 15 atoms) of a sequence, as in Table 1.
 pub fn sequence_prefixes(ontology: &Ontology, sequence: &str) -> Vec<Cq> {
-    (1..=sequence.len())
-        .map(|n| word_query(ontology, &sequence[..n]))
-        .collect()
+    (1..=sequence.len()).map(|n| word_query(ontology, &sequence[..n])).collect()
 }
 
 #[cfg(test)]

@@ -168,10 +168,7 @@ pub fn width(program: &Program) -> usize {
 /// Whether the program is linear: at most one IDB body atom per clause.
 pub fn is_linear(program: &Program) -> bool {
     program.clauses().iter().all(|c| {
-        c.body
-            .iter()
-            .filter(|a| matches!(a, BodyAtom::Pred(p, _) if program.is_idb(*p)))
-            .count()
+        c.body.iter().filter(|a| matches!(a, BodyAtom::Pred(p, _) if program.is_idb(*p))).count()
             <= 1
     })
 }
@@ -207,10 +204,7 @@ pub fn analyze(query: &NdlQuery) -> Analysis {
     let nonrecursive = topological_order(program).is_some();
     let d = depth(query).unwrap_or(usize::MAX);
     let nu = weight_function(program);
-    let goal_weight = nu
-        .as_ref()
-        .and_then(|m| m.get(&query.goal).copied())
-        .unwrap_or(u64::MAX);
+    let goal_weight = nu.as_ref().and_then(|m| m.get(&query.goal).copied()).unwrap_or(u64::MAX);
     let e = max_edb_atoms(program);
     let skinny_depth = if nonrecursive {
         2 * d + ceil_log2(goal_weight) + ceil_log2(e as u64)
@@ -232,7 +226,7 @@ pub fn analyze(query: &NdlQuery) -> Analysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{Clause, CVar, PredKind};
+    use crate::program::{CVar, Clause, PredKind};
     use obda_owlql::vocab::{ClassId, PropId, Vocab};
 
     fn vocab() -> Vocab {
@@ -254,10 +248,7 @@ mod tests {
         p.add_clause(Clause {
             head: g,
             head_args: vec![CVar(0)],
-            body: vec![
-                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
-                BodyAtom::Pred(q, vec![CVar(0)]),
-            ],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)]), BodyAtom::Pred(q, vec![CVar(0)])],
             num_vars: 2,
         });
         p.add_clause(Clause {
@@ -291,10 +282,7 @@ mod tests {
         p.add_clause(Clause {
             head: q,
             head_args: vec![CVar(0)],
-            body: vec![
-                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
-                BodyAtom::Pred(g, vec![CVar(1)]),
-            ],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)]), BodyAtom::Pred(g, vec![CVar(1)])],
             num_vars: 2,
         });
         p.add_clause(Clause {
@@ -325,10 +313,7 @@ mod tests {
         p.add_clause(Clause {
             head: g,
             head_args: vec![CVar(0)],
-            body: vec![
-                BodyAtom::Pred(q, vec![CVar(0)]),
-                BodyAtom::Pred(q, vec![CVar(0)]),
-            ],
+            body: vec![BodyAtom::Pred(q, vec![CVar(0)]), BodyAtom::Pred(q, vec![CVar(0)])],
             num_vars: 1,
         });
         let nu = weight_function(&p).unwrap();

@@ -2,15 +2,26 @@
 //!
 //! This is the workspace's stand-in for the RDFox engine used in the
 //! paper's experiments: it materialises every IDB predicate in dependency
-//! order with hash joins, without magic sets or program optimisation, so
-//! that the relative costs of different rewritings have the same cause as in
-//! the paper (the number of materialised tuples). It reports both answers
-//! and the total number of generated tuples, as Tables 3–5 do.
+//! order, without magic sets or program optimisation, so that the relative
+//! costs of different rewritings have the same cause as in the paper (the
+//! number of materialised tuples). It reports both answers and the total
+//! number of generated tuples, as Tables 3–5 do.
+//!
+//! Clauses are evaluated as bound-pattern-specialised index-nested-loop
+//! joins over the shared [`Database`] of [`crate::storage`]: for every
+//! predicate atom the greedy [`join_order`] determines which argument
+//! positions are bound by the time the atom is reached, and the engine
+//! probes the relation's lazy [`crate::storage::ColumnIndex`] on the first
+//! bound column (falling back to a scan when no position is bound),
+//! verifying the remaining positions against each candidate row. The
+//! original per-call hash-set engine survives as [`crate::reference`] for
+//! differential tests and benchmarks.
 
 use crate::analysis::topological_order;
-use crate::program::{BodyAtom, Clause, CVar, NdlQuery, PredId, PredKind, Program};
+use crate::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
+use crate::storage::{Database, Relation};
 use obda_owlql::abox::{ConstId, DataInstance};
-use obda_owlql::util::{FxHashMap, FxHashSet};
+use obda_owlql::util::FxHashSet;
 use std::time::{Duration, Instant};
 
 /// Evaluation limits.
@@ -23,21 +34,28 @@ pub struct EvalOptions {
 }
 
 /// Evaluation metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EvalStats {
     /// Total tuples materialised across all IDB predicates.
     pub generated_tuples: usize,
     /// Number of answers (tuples in the goal relation).
     pub num_answers: usize,
+    /// Wall-clock time spent evaluating.
+    pub duration: Duration,
+    /// Tuples materialised per predicate, indexed by [`PredId`] (zero for
+    /// EDB predicates; empty when the evaluator does not track it).
+    pub per_predicate: Vec<usize>,
 }
 
 /// Evaluation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
-    /// The wall-clock budget was exhausted.
-    Timeout,
-    /// The tuple cap was exceeded.
-    TupleLimit,
+    /// The wall-clock budget was exhausted; carries the partial stats at
+    /// the moment evaluation was interrupted.
+    Timeout(EvalStats),
+    /// The tuple cap was exceeded; carries the partial stats at the moment
+    /// evaluation was interrupted.
+    TupleLimit(EvalStats),
     /// The program is recursive.
     Recursive,
     /// A clause cannot be range-restricted (e.g. an equality between two
@@ -48,8 +66,12 @@ pub enum EvalError {
 impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EvalError::Timeout => write!(f, "evaluation timed out"),
-            EvalError::TupleLimit => write!(f, "tuple limit exceeded"),
+            EvalError::Timeout(stats) => {
+                write!(f, "evaluation timed out after {} tuples", stats.generated_tuples)
+            }
+            EvalError::TupleLimit(stats) => {
+                write!(f, "tuple limit exceeded after {} tuples", stats.generated_tuples)
+            }
             EvalError::Recursive => write!(f, "program is recursive"),
             EvalError::Unsafe(msg) => write!(f, "unsafe clause: {msg}"),
         }
@@ -67,42 +89,49 @@ pub struct EvalResult {
     pub stats: EvalStats,
 }
 
-type Row = Vec<u32>;
-type Relation = FxHashSet<Row>;
+pub(crate) type Row = Vec<u32>;
 
-const UNBOUND: u32 = u32::MAX;
+pub(crate) const UNBOUND: u32 = u32::MAX;
 
-/// Materialises the EDB relation of a predicate from the data instance.
-fn edb_relation(kind: PredKind, data: &DataInstance) -> Relation {
-    let mut rel = Relation::default();
-    match kind {
-        PredKind::EdbClass(c) => {
-            for (class, a) in data.class_atoms() {
-                if class == c {
-                    rel.insert(vec![a.0]);
-                }
-            }
-        }
-        PredKind::EdbProp(p) => {
-            for (prop, a, b) in data.prop_atoms() {
-                if prop == p {
-                    rel.insert(vec![a.0, b.0]);
-                }
-            }
-        }
-        PredKind::Top => {
-            for a in data.individuals() {
-                rel.insert(vec![a.0]);
-            }
-        }
-        PredKind::Idb => unreachable!("IDB relations are computed, not loaded"),
+/// Internal interruption reason raised deep inside join loops; partial
+/// statistics are attached at the `evaluate_on` boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Halt {
+    Timeout,
+    TupleLimit,
+    Unsafe(String),
+}
+
+/// Wall-clock budget, checked *inside* join loops (every 1024 ticks) so a
+/// single long-running clause cannot overshoot the deadline.
+pub(crate) struct Budget {
+    deadline: Option<Instant>,
+    ticks: u32,
+}
+
+impl Budget {
+    pub(crate) fn new(timeout: Option<Duration>) -> Self {
+        Budget { deadline: timeout.map(|t| Instant::now() + t), ticks: 0 }
     }
-    rel
+
+    #[inline]
+    pub(crate) fn tick(&mut self) -> Result<(), Halt> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(1024) {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    return Err(Halt::Timeout);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Greedy join order for a clause body: equalities as soon as one side is
-/// bound, otherwise the predicate atom with the most bound variables.
-fn join_order(clause: &Clause) -> Result<Vec<usize>, EvalError> {
+/// bound (a constant side is always bound), otherwise the predicate atom
+/// with the most bound variables.
+pub(crate) fn join_order(clause: &Clause) -> Result<Vec<usize>, String> {
     let mut remaining: Vec<usize> = (0..clause.body.len()).collect();
     let mut bound: FxHashSet<CVar> = FxHashSet::default();
     let mut order = Vec::with_capacity(remaining.len());
@@ -110,6 +139,7 @@ fn join_order(clause: &Clause) -> Result<Vec<usize>, EvalError> {
         // Equality with a bound side first.
         if let Some(pos) = remaining.iter().position(|&i| match &clause.body[i] {
             BodyAtom::Eq(a, b) => bound.contains(a) || bound.contains(b),
+            BodyAtom::EqConst(..) => true,
             _ => false,
         }) {
             let i = remaining.remove(pos);
@@ -143,182 +173,185 @@ fn join_order(clause: &Clause) -> Result<Vec<usize>, EvalError> {
                 order.push(i);
             }
             None => {
-                return Err(EvalError::Unsafe(
-                    "equality between variables that are never bound".into(),
-                ));
+                return Err("equality between variables that are never bound".into());
             }
         }
     }
     Ok(order)
 }
 
-struct Engine<'a> {
-    program: &'a Program,
-    data: &'a DataInstance,
-    relations: Vec<Option<Relation>>,
-    deadline: Option<Instant>,
-    max_tuples: Option<usize>,
-    generated: usize,
-    ticks: u32,
+/// The relation of a predicate: EDB relations live in the database, IDB
+/// relations in the engine's materialisation table.
+pub(crate) fn relation<'r>(
+    program: &Program,
+    db: &'r Database,
+    idb: &'r [Relation],
+    p: PredId,
+) -> &'r Relation {
+    match program.pred(p).kind {
+        PredKind::Idb => &idb[p.0 as usize],
+        kind => db.relation(kind),
+    }
 }
 
-impl<'a> Engine<'a> {
-    fn check_budget(&mut self) -> Result<(), EvalError> {
-        self.ticks = self.ticks.wrapping_add(1);
-        if self.ticks.is_multiple_of(4096) {
-            if let Some(d) = self.deadline {
-                if Instant::now() > d {
-                    return Err(EvalError::Timeout);
-                }
-            }
-        }
-        if let Some(cap) = self.max_tuples {
-            if self.generated > cap {
-                return Err(EvalError::TupleLimit);
-            }
-        }
-        Ok(())
-    }
+struct Counters {
+    generated: usize,
+    per_pred: Vec<usize>,
+    max_tuples: Option<usize>,
+}
 
-    /// Takes the relation of `p` out of the engine (materialising an EDB
-    /// relation on first use); the caller must put it back with
-    /// [`Engine::restore`].
-    fn take_relation(&mut self, p: PredId) -> Relation {
-        let idx = p.0 as usize;
-        match self.relations[idx].take() {
-            Some(rel) => rel,
-            // IDB predicates are evaluated in dependency order, so an
-            // untouched slot can only mean "no clauses" (empty relation).
-            None => match self.program.pred(p).kind {
-                PredKind::Idb => Relation::default(),
-                kind => edb_relation(kind, self.data),
-            },
+impl Counters {
+    #[inline]
+    fn cap_ok(&self, pending: usize) -> Result<(), Halt> {
+        match self.max_tuples {
+            // Intermediate join results count against the tuple budget too
+            // — a join can explode without ever reaching the head.
+            Some(cap) if self.generated + pending > cap => Err(Halt::TupleLimit),
+            _ => Ok(()),
         }
     }
+}
 
-    fn restore(&mut self, p: PredId, rel: Relation) {
-        self.relations[p.0 as usize] = Some(rel);
-    }
-
-    /// Evaluates one clause, inserting derived head rows into `out`.
-    fn eval_clause(&mut self, clause: &Clause, out: &mut Relation) -> Result<(), EvalError> {
-        let order = join_order(clause)?;
-        let mut bindings: Vec<Row> = vec![vec![UNBOUND; clause.num_vars as usize]];
-        let mut bound: FxHashSet<CVar> = FxHashSet::default();
-        for &i in &order {
-            if bindings.is_empty() {
-                break;
-            }
-            match &clause.body[i] {
-                BodyAtom::Eq(a, b) => {
-                    let (a, b) = (*a, *b);
-                    let mut next = Vec::with_capacity(bindings.len());
-                    for mut binding in bindings {
-                        self.check_budget()?;
-                        let va = binding[a.0 as usize];
-                        let vb = binding[b.0 as usize];
-                        match (va == UNBOUND, vb == UNBOUND) {
-                            (false, false) => {
-                                if va == vb {
-                                    next.push(binding);
-                                }
-                            }
-                            (false, true) => {
-                                binding[b.0 as usize] = va;
+/// Evaluates one clause by index-nested-loop joins, inserting derived head
+/// rows into `out`.
+fn eval_clause(
+    program: &Program,
+    db: &Database,
+    idb: &[Relation],
+    budget: &mut Budget,
+    counters: &mut Counters,
+    clause: &Clause,
+    out: &mut Relation,
+) -> Result<(), Halt> {
+    let order = join_order(clause).map_err(Halt::Unsafe)?;
+    let mut bindings: Vec<Row> = vec![vec![UNBOUND; clause.num_vars as usize]];
+    let mut bound: FxHashSet<CVar> = FxHashSet::default();
+    for &i in &order {
+        if bindings.is_empty() {
+            break;
+        }
+        match &clause.body[i] {
+            BodyAtom::Eq(a, b) => {
+                let (a, b) = (*a, *b);
+                let mut next = Vec::with_capacity(bindings.len());
+                for mut binding in bindings {
+                    budget.tick()?;
+                    let va = binding[a.0 as usize];
+                    let vb = binding[b.0 as usize];
+                    match (va == UNBOUND, vb == UNBOUND) {
+                        (false, false) => {
+                            if va == vb {
                                 next.push(binding);
                             }
-                            (true, false) => {
-                                binding[a.0 as usize] = vb;
-                                next.push(binding);
-                            }
-                            (true, true) => unreachable!("join order binds one side first"),
                         }
+                        (false, true) => {
+                            binding[b.0 as usize] = va;
+                            next.push(binding);
+                        }
+                        (true, false) => {
+                            binding[a.0 as usize] = vb;
+                            next.push(binding);
+                        }
+                        (true, true) => unreachable!("join order binds one side first"),
                     }
-                    bindings = next;
-                    bound.insert(a);
-                    bound.insert(b);
                 }
-                BodyAtom::Pred(p, args) => {
-                    let p = *p;
-                    let args = args.clone();
-                    let bound_positions: Vec<usize> = (0..args.len())
-                        .filter(|&k| bound.contains(&args[k]))
-                        .collect();
-                    // Index the relation on the bound positions.
-                    let rel = self.take_relation(p);
-                    let mut index: FxHashMap<Vec<u32>, Vec<&Row>> = FxHashMap::default();
-                    for row in rel.iter() {
-                        let key: Vec<u32> =
-                            bound_positions.iter().map(|&k| row[k]).collect();
-                        index.entry(key).or_default().push(row);
+                bindings = next;
+                bound.insert(a);
+                bound.insert(b);
+            }
+            BodyAtom::EqConst(a, c) => {
+                let (a, c) = (*a, c.0);
+                let mut next = Vec::with_capacity(bindings.len());
+                for mut binding in bindings {
+                    budget.tick()?;
+                    let va = binding[a.0 as usize];
+                    if va == UNBOUND {
+                        binding[a.0 as usize] = c;
+                        next.push(binding);
+                    } else if va == c {
+                        next.push(binding);
                     }
-                    let mut next = Vec::new();
-                    let mut failure = None;
-                    for binding in &bindings {
-                        if let Err(e) = self.check_budget() {
-                            failure = Some(e);
-                            break;
+                }
+                bindings = next;
+                bound.insert(a);
+            }
+            BodyAtom::Pred(p, args) => {
+                let rel = relation(program, db, idb, *p);
+                let bound_positions: Vec<usize> =
+                    (0..args.len()).filter(|&k| bound.contains(&args[k])).collect();
+                let mut next = Vec::new();
+                // Extends `binding` with `row`, verifying every position
+                // (both the remaining bound columns and repeated variables).
+                let extend = |binding: &Row,
+                              row: &[u32],
+                              next: &mut Vec<Row>,
+                              budget: &mut Budget|
+                 -> Result<(), Halt> {
+                    budget.tick()?;
+                    let mut extended = binding.clone();
+                    for (k, &var) in args.iter().enumerate() {
+                        let slot = &mut extended[var.0 as usize];
+                        if *slot == UNBOUND {
+                            *slot = row[k];
+                        } else if *slot != row[k] {
+                            return Ok(());
                         }
-                        // Intermediate join results count against the tuple
-                        // budget too — a join can explode without ever
-                        // reaching the head.
-                        if let Some(cap) = self.max_tuples {
-                            if next.len() > cap {
-                                failure = Some(EvalError::TupleLimit);
-                                break;
+                    }
+                    next.push(extended);
+                    counters.cap_ok(next.len())
+                };
+                match bound_positions.first() {
+                    // No bound position: scan the whole relation.
+                    None => {
+                        for binding in &bindings {
+                            budget.tick()?;
+                            for row in rel.rows() {
+                                extend(binding, row, &mut next, budget)?;
                             }
                         }
-                        let key: Vec<u32> = bound_positions
-                            .iter()
-                            .map(|&k| binding[args[k].0 as usize])
-                            .collect();
-                        let Some(rows) = index.get(&key) else { continue };
-                        'rows: for row in rows {
-                            let mut extended = binding.clone();
-                            for (k, &var) in args.iter().enumerate() {
-                                let slot = &mut extended[var.0 as usize];
-                                if *slot == UNBOUND {
-                                    *slot = row[k];
-                                } else if *slot != row[k] {
-                                    continue 'rows;
-                                }
+                    }
+                    // Probe the lazy index on the first bound column; the
+                    // remaining bound columns are verified per candidate.
+                    Some(&col) => {
+                        let index = rel.column_index(col);
+                        for binding in &bindings {
+                            budget.tick()?;
+                            let key = binding[args[col].0 as usize];
+                            for &row_id in index.probe(key) {
+                                extend(binding, rel.row(row_id as usize), &mut next, budget)?;
                             }
-                            next.push(extended);
                         }
                     }
-                    drop(index);
-                    self.restore(p, rel);
-                    if let Some(e) = failure {
-                        return Err(e);
-                    }
-                    bindings = next;
-                    for &v in &args {
-                        bound.insert(v);
-                    }
+                }
+                bindings = next;
+                for &v in args {
+                    bound.insert(v);
                 }
             }
         }
-        for binding in bindings {
-            let row: Row = clause
-                .head_args
-                .iter()
-                .map(|&v| {
-                    let val = binding[v.0 as usize];
-                    debug_assert_ne!(val, UNBOUND, "head variable left unbound");
-                    val
-                })
-                .collect();
-            if out.insert(row) {
-                self.generated += 1;
-            }
-            self.check_budget()?;
-        }
-        Ok(())
     }
+    for binding in bindings {
+        budget.tick()?;
+        let row: Row = clause
+            .head_args
+            .iter()
+            .map(|&v| {
+                let val = binding[v.0 as usize];
+                debug_assert_ne!(val, UNBOUND, "head variable left unbound");
+                val
+            })
+            .collect();
+        if out.insert_if_new(&row) {
+            counters.generated += 1;
+            counters.per_pred[clause.head.0 as usize] += 1;
+            counters.cap_ok(0)?;
+        }
+    }
+    Ok(())
 }
 
 /// The IDB predicates reachable from the goal through clause bodies.
-fn reachable_from_goal(query: &NdlQuery) -> Vec<bool> {
+pub(crate) fn reachable_from_goal(query: &NdlQuery) -> Vec<bool> {
     let mut reachable = vec![false; query.program.num_preds()];
     reachable[query.goal.0 as usize] = true;
     let mut stack = vec![query.goal];
@@ -337,65 +370,99 @@ fn reachable_from_goal(query: &NdlQuery) -> Vec<bool> {
     reachable
 }
 
-/// Evaluates `(Π, G)` over `data`, materialising all goal-reachable IDB
-/// predicates in dependency order (the naive strategy the paper attributes
-/// to RDFox — every predicate of the program is materialised in full, with
-/// no magic sets; unreachable predicates cannot affect the answer and are
-/// skipped).
-pub fn evaluate(
+/// Evaluates `(Π, G)` over a pre-built [`Database`], materialising all
+/// goal-reachable IDB predicates in dependency order (the naive strategy
+/// the paper attributes to RDFox — every predicate of the program is
+/// materialised in full, with no magic sets; unreachable predicates cannot
+/// affect the answer and are skipped).
+///
+/// The database is shared: EDB column indexes built here stay cached for
+/// later evaluations over the same data.
+pub fn evaluate_on(
     query: &NdlQuery,
-    data: &DataInstance,
+    db: &Database,
     opts: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
-    let order = topological_order(&query.program).ok_or(EvalError::Recursive)?;
+    let start = Instant::now();
+    let program = &query.program;
+    let order = topological_order(program).ok_or(EvalError::Recursive)?;
     let reachable = reachable_from_goal(query);
-    let mut engine = Engine {
-        program: &query.program,
-        data,
-        relations: vec![None; query.program.num_preds()],
-        deadline: opts.timeout.map(|t| Instant::now() + t),
-        max_tuples: opts.max_tuples,
+    let mut idb: Vec<Relation> = program
+        .pred_ids()
+        .map(|p| match program.pred(p).kind {
+            PredKind::Idb => Relation::new(program.pred(p).arity),
+            _ => Relation::new(0),
+        })
+        .collect();
+    let mut budget = Budget::new(opts.timeout);
+    let mut counters = Counters {
         generated: 0,
-        ticks: 0,
+        per_pred: vec![0; program.num_preds()],
+        max_tuples: opts.max_tuples,
+    };
+    let stats_at = |counters: &Counters, num_answers: usize, start: Instant| EvalStats {
+        generated_tuples: counters.generated,
+        num_answers,
+        duration: start.elapsed(),
+        per_predicate: counters.per_pred.clone(),
     };
     for p in order {
         if !reachable[p.0 as usize] {
             continue;
         }
-        let mut rel = Relation::default();
-        for clause in query.program.clauses() {
+        let mut out = Relation::new(program.pred(p).arity);
+        for clause in program.clauses() {
             if clause.head == p {
-                engine.eval_clause(clause, &mut rel)?;
+                if let Err(halt) =
+                    eval_clause(program, db, &idb, &mut budget, &mut counters, clause, &mut out)
+                {
+                    let goal_answers = counters.per_pred[query.goal.0 as usize];
+                    return Err(match halt {
+                        Halt::Timeout => {
+                            EvalError::Timeout(stats_at(&counters, goal_answers, start))
+                        }
+                        Halt::TupleLimit => {
+                            EvalError::TupleLimit(stats_at(&counters, goal_answers, start))
+                        }
+                        Halt::Unsafe(msg) => EvalError::Unsafe(msg),
+                    });
+                }
             }
         }
-        engine.relations[p.0 as usize] = Some(rel);
+        idb[p.0 as usize] = out;
     }
-    let goal_rel = engine.relations[query.goal.0 as usize]
-        .take()
-        .unwrap_or_default();
-    let mut answers: Vec<Vec<ConstId>> = goal_rel
-        .into_iter()
-        .map(|row| row.into_iter().map(ConstId).collect())
-        .collect();
+    let goal_rel = std::mem::replace(&mut idb[query.goal.0 as usize], Relation::new(0));
+    let mut answers: Vec<Vec<ConstId>> =
+        goal_rel.rows().map(|row| row.iter().copied().map(ConstId).collect()).collect();
     answers.sort();
-    let stats = EvalStats { generated_tuples: engine.generated, num_answers: answers.len() };
+    let stats = stats_at(&counters, answers.len(), start);
     Ok(EvalResult { answers, stats })
+}
+
+/// Evaluates `(Π, G)` over `data`, building a throwaway [`Database`] first.
+///
+/// Callers evaluating many queries over the same data should build the
+/// [`Database`] once and use [`evaluate_on`], which shares the loaded
+/// relations and their indexes across evaluations.
+pub fn evaluate(
+    query: &NdlQuery,
+    data: &DataInstance,
+    opts: &EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    let db = Database::new(data);
+    evaluate_on(query, &db, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{Clause, CVar};
+    use crate::program::{CVar, Clause};
     use obda_owlql::parser::{parse_data, parse_ontology};
     use obda_owlql::Ontology;
 
     fn setup() -> (Ontology, DataInstance) {
         let o = parse_ontology("Class A\nClass B\nProperty R\nProperty S\n").unwrap();
-        let d = parse_data(
-            "R(a, b)\nR(b, c)\nS(c, d)\nA(b)\nA(c)\nB(d)\n",
-            &o,
-        )
-        .unwrap();
+        let d = parse_data("R(a, b)\nR(b, c)\nS(c, d)\nA(b)\nA(c)\nB(d)\n", &o).unwrap();
         (o, d)
     }
 
@@ -411,10 +478,7 @@ mod tests {
         p.add_clause(Clause {
             head: g,
             head_args: vec![CVar(0)],
-            body: vec![
-                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
-                BodyAtom::Pred(a, vec![CVar(1)]),
-            ],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)]), BodyAtom::Pred(a, vec![CVar(1)])],
             num_vars: 2,
         });
         let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
@@ -423,6 +487,8 @@ mod tests {
         assert_eq!(names, vec!["a", "b"]);
         assert_eq!(res.stats.num_answers, 2);
         assert_eq!(res.stats.generated_tuples, 2);
+        assert_eq!(res.stats.per_predicate[g.0 as usize], 2);
+        assert!(res.stats.duration > Duration::ZERO);
     }
 
     #[test]
@@ -528,10 +594,41 @@ mod tests {
             num_vars: 2,
         });
         let opts = EvalOptions { max_tuples: Some(1), ..Default::default() };
-        assert_eq!(
-            evaluate(&NdlQuery::new(p, g), &d, &opts).unwrap_err(),
-            EvalError::TupleLimit
-        );
+        let err = evaluate(&NdlQuery::new(p, g), &d, &opts).unwrap_err();
+        assert!(matches!(err, EvalError::TupleLimit(_)));
+    }
+
+    #[test]
+    fn tuple_limit_carries_partial_stats() {
+        let (o, d) = setup();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let h = p.add_pred("H", 2, PredKind::Idb);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        // H copies R (2 tuples, within budget); G's join then trips the cap.
+        p.add_clause(Clause {
+            head: h,
+            head_args: vec![CVar(0), CVar(1)],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)])],
+            num_vars: 2,
+        });
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(h, vec![CVar(0), CVar(1)])],
+            num_vars: 2,
+        });
+        let opts = EvalOptions { max_tuples: Some(3), ..Default::default() };
+        let err = evaluate(&NdlQuery::new(p, g), &d, &opts).unwrap_err();
+        match err {
+            EvalError::TupleLimit(stats) => {
+                assert_eq!(stats.generated_tuples, 2, "H was fully materialised");
+                assert_eq!(stats.per_predicate[h.0 as usize], 2);
+                assert_eq!(stats.per_predicate[g.0 as usize], 0);
+            }
+            other => panic!("expected TupleLimit, got {other:?}"),
+        }
     }
 
     #[test]
@@ -552,5 +649,104 @@ mod tests {
         let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
         assert_eq!(res.answers.len(), 1);
         assert_eq!(d.constant_name(res.answers[0][0]), "a");
+    }
+
+    #[test]
+    fn shared_database_reused_across_evaluations() {
+        let (o, d) = setup();
+        let v = o.vocab();
+        let db = Database::new(&d);
+        let before = Database::build_count();
+        for class in ["A", "B"] {
+            let mut p = Program::new();
+            let c = p.edb_class(v.get_class(class).unwrap(), v);
+            let g = p.add_pred("G", 1, PredKind::Idb);
+            p.add_clause(Clause {
+                head: g,
+                head_args: vec![CVar(0)],
+                body: vec![BodyAtom::Pred(c, vec![CVar(0)])],
+                num_vars: 1,
+            });
+            evaluate_on(&NdlQuery::new(p, g), &db, &EvalOptions::default()).unwrap();
+        }
+        assert_eq!(Database::build_count(), before, "evaluate_on must not rebuild");
+    }
+
+    // --- join_order edge cases -------------------------------------------
+
+    #[test]
+    fn join_order_rejects_never_bound_equality() {
+        let clause = Clause {
+            head: PredId(0),
+            head_args: vec![],
+            body: vec![BodyAtom::Eq(CVar(0), CVar(1))],
+            num_vars: 2,
+        };
+        assert!(join_order(&clause).is_err());
+    }
+
+    #[test]
+    fn join_order_counts_constants_as_bound() {
+        // (x = a) seeds the bindings, so (y = x) becomes orderable.
+        let clause = Clause {
+            head: PredId(0),
+            head_args: vec![CVar(1)],
+            body: vec![BodyAtom::Eq(CVar(1), CVar(0)), BodyAtom::EqConst(CVar(0), ConstId(7))],
+            num_vars: 2,
+        };
+        assert_eq!(join_order(&clause).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn join_order_handles_all_equality_body() {
+        // x = a, y = x, z = y: orderable front to back from the constant.
+        let clause = Clause {
+            head: PredId(0),
+            head_args: vec![CVar(2)],
+            body: vec![
+                BodyAtom::EqConst(CVar(0), ConstId(3)),
+                BodyAtom::Eq(CVar(1), CVar(0)),
+                BodyAtom::Eq(CVar(2), CVar(1)),
+            ],
+            num_vars: 3,
+        };
+        assert_eq!(join_order(&clause).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_equality_clause_evaluates_from_constant() {
+        let (o, d) = setup();
+        let _ = o;
+        let g_const = d.individuals().next().unwrap();
+        let mut p = Program::new();
+        let g = p.add_pred("G", 2, PredKind::Idb);
+        // G(x, y) ← (x = a) ∧ (y = x): the single row (a, a).
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0), CVar(1)],
+            body: vec![BodyAtom::EqConst(CVar(0), g_const), BodyAtom::Eq(CVar(1), CVar(0))],
+            num_vars: 2,
+        });
+        let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
+        assert_eq!(res.answers, vec![vec![g_const, g_const]]);
+    }
+
+    #[test]
+    fn eq_const_filters_bound_variable() {
+        let (o, d) = setup();
+        let v = o.vocab();
+        let b_const = d.individuals().find(|&c| d.constant_name(c) == "b").unwrap();
+        let mut p = Program::new();
+        let a = p.edb_class(v.get_class("A").unwrap(), v);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        // G(x) ← A(x) ∧ (x = b): A = {b, c}, so only b survives.
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(a, vec![CVar(0)]), BodyAtom::EqConst(CVar(0), b_const)],
+            num_vars: 1,
+        });
+        let res = evaluate(&NdlQuery::new(p, g), &d, &EvalOptions::default()).unwrap();
+        assert_eq!(res.answers, vec![vec![b_const]]);
     }
 }

@@ -12,20 +12,30 @@
 //! * the Huffman-based skinny transformation of Lemma 5 ([`skinny`]);
 //! * the `*`-transformation to arbitrary data instances and Lemma 3's
 //!   linearity-preserving variant ([`star`]);
-//! * two evaluators: a bottom-up materialising engine ([`eval`], the
-//!   stand-in for RDFox in the experiments) and Theorem 2's
-//!   reachability-based evaluator for linear programs ([`linear_eval`]).
+//! * a shared indexed relation storage layer ([`storage`]): columnar
+//!   relations with lazy per-column hash indexes, loaded once per data
+//!   instance into a [`Database`] reused across evaluations;
+//! * two evaluators over that storage: a bottom-up materialising engine
+//!   ([`eval`], the stand-in for RDFox in the experiments, using
+//!   index-nested-loop joins) and Theorem 2's reachability-based evaluator
+//!   for linear programs ([`linear_eval`]);
+//! * the original per-call hash-set engine ([`reference`]), kept for
+//!   differential tests and as the benchmark baseline.
 
 pub mod analysis;
 pub mod eval;
 pub mod linear_eval;
 pub mod program;
+pub mod reference;
 pub mod skinny;
 pub mod star;
+pub mod storage;
 
 pub use analysis::{analyze, Analysis};
-pub use eval::{evaluate, EvalError, EvalOptions, EvalResult, EvalStats};
-pub use linear_eval::evaluate_linear;
+pub use eval::{evaluate, evaluate_on, EvalError, EvalOptions, EvalResult, EvalStats};
+pub use linear_eval::{evaluate_linear, evaluate_linear_on};
 pub use program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program, ProgramDisplay};
+pub use reference::evaluate_reference;
 pub use skinny::to_skinny;
 pub use star::{linear_star_transform, star_transform};
+pub use storage::{ColumnIndex, Database, Relation};

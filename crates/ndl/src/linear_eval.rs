@@ -9,104 +9,92 @@
 //!
 //! This module implements that evaluation strategy directly as a forward
 //! breadth-first search over derived ground atoms (the worklist never holds
-//! more than the ground atoms of the grounding graph). It is cross-checked
-//! against the bottom-up materialising evaluator in tests and used as an
-//! evaluator ablation in the benchmark suite.
+//! more than the ground atoms of the grounding graph). EDB atoms are
+//! resolved against the same shared [`Database`] as the bottom-up engine,
+//! probing the lazy per-column indexes when a join position is already
+//! bound. It is cross-checked against the bottom-up materialising evaluator
+//! in tests and used as an evaluator ablation in the benchmark suite.
 
 use crate::analysis::is_linear;
-use crate::eval::{EvalError, EvalOptions, EvalResult, EvalStats};
-use crate::program::{BodyAtom, Clause, NdlQuery, PredId, PredKind, Program};
+use crate::eval::{Budget, EvalError, EvalOptions, EvalResult, EvalStats, Halt, Row, UNBOUND};
+use crate::program::{BodyAtom, Clause, NdlQuery, PredId, Program};
+use crate::storage::Database;
 use obda_owlql::abox::{ConstId, DataInstance};
 use obda_owlql::util::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 use std::time::Instant;
 
-type Row = Vec<u32>;
-
-const UNBOUND: u32 = u32::MAX;
-
 /// Evaluates a linear NDL query by forward reachability over ground IDB
-/// atoms (Theorem 2's strategy).
+/// atoms (Theorem 2's strategy), resolving EDB atoms against a pre-built
+/// [`Database`].
 ///
 /// Returns [`EvalError::Unsafe`] if the program is not linear.
-pub fn evaluate_linear(
+pub fn evaluate_linear_on(
     query: &NdlQuery,
-    data: &DataInstance,
+    db: &Database,
     opts: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
     if !is_linear(&query.program) {
         return Err(EvalError::Unsafe("program is not linear".into()));
     }
+    let start = Instant::now();
     let program = &query.program;
-    let deadline = opts.timeout.map(|t| Instant::now() + t);
-
-    // Pre-materialise EDB relations with a per-predicate index used by the
-    // per-clause joins.
-    let mut edb: FxHashMap<PredId, Vec<Row>> = FxHashMap::default();
-    for p in program.pred_ids() {
-        match program.pred(p).kind {
-            PredKind::EdbClass(c) => {
-                let rows = data
-                    .class_atoms()
-                    .filter(|&(class, _)| class == c)
-                    .map(|(_, a)| vec![a.0])
-                    .collect();
-                edb.insert(p, rows);
-            }
-            PredKind::EdbProp(pr) => {
-                let rows = data
-                    .prop_atoms()
-                    .filter(|&(prop, _, _)| prop == pr)
-                    .map(|(_, a, b)| vec![a.0, b.0])
-                    .collect();
-                edb.insert(p, rows);
-            }
-            PredKind::Top => {
-                edb.insert(p, data.individuals().map(|a| vec![a.0]).collect());
-            }
-            PredKind::Idb => {}
-        }
-    }
+    let mut budget = Budget::new(opts.timeout);
 
     // Derived ground atoms per IDB predicate, plus a worklist.
     let mut derived: FxHashMap<PredId, FxHashSet<Row>> = FxHashMap::default();
     let mut queue: VecDeque<(PredId, Row)> = VecDeque::new();
     let mut generated = 0usize;
-    let mut ticks = 0u32;
+    let mut per_pred = vec![0usize; program.num_preds()];
 
     let push = |p: PredId,
-                    row: Row,
-                    derived: &mut FxHashMap<PredId, FxHashSet<Row>>,
-                    queue: &mut VecDeque<(PredId, Row)>,
-                    generated: &mut usize| {
+                row: Row,
+                derived: &mut FxHashMap<PredId, FxHashSet<Row>>,
+                queue: &mut VecDeque<(PredId, Row)>,
+                generated: &mut usize,
+                per_pred: &mut [usize]| {
         if derived.entry(p).or_default().insert(row.clone()) {
             *generated += 1;
+            per_pred[p.0 as usize] += 1;
             queue.push_back((p, row));
         }
     };
 
+    let stats_at = |generated: usize, per_pred: &[usize], num_answers: usize| EvalStats {
+        generated_tuples: generated,
+        num_answers,
+        duration: start.elapsed(),
+        per_predicate: per_pred.to_vec(),
+    };
+    let interrupt = |halt: Halt, generated: usize, per_pred: &[usize]| match halt {
+        Halt::Timeout => EvalError::Timeout(stats_at(generated, per_pred, 0)),
+        Halt::TupleLimit => EvalError::TupleLimit(stats_at(generated, per_pred, 0)),
+        Halt::Unsafe(msg) => EvalError::Unsafe(msg),
+    };
+
     // Seed: clauses without IDB body atoms.
     for clause in program.clauses() {
-        let idb_atom = clause.body.iter().position(
-            |a| matches!(a, BodyAtom::Pred(p, _) if program.is_idb(*p)),
-        );
+        let idb_atom = clause
+            .body
+            .iter()
+            .position(|a| matches!(a, BodyAtom::Pred(p, _) if program.is_idb(*p)));
         if idb_atom.is_none() {
-            for row in ground_clause(program, clause, None, &edb, deadline, &mut ticks)? {
-                push(clause.head, row, &mut derived, &mut queue, &mut generated);
+            let rows = ground_clause(program, clause, None, db, &mut budget)
+                .map_err(|h| interrupt(h, generated, &per_pred))?;
+            for row in rows {
+                push(clause.head, row, &mut derived, &mut queue, &mut generated, &mut per_pred);
             }
         }
     }
 
     // Propagate: a derived atom Q(c) fires every clause with Q in the body.
     while let Some((p, row)) = queue.pop_front() {
-        if let Some(d) = deadline {
-            if Instant::now() > d {
-                return Err(EvalError::Timeout);
-            }
+        if let Err(h) = budget.tick() {
+            return Err(interrupt(h, generated, &per_pred));
         }
         if let Some(cap) = opts.max_tuples {
             if generated > cap {
-                return Err(EvalError::TupleLimit);
+                return Err(interrupt(Halt::TupleLimit, generated, &per_pred));
             }
         }
         for clause in program.clauses() {
@@ -117,10 +105,10 @@ pub fn evaluate_linear(
             if !has_p {
                 continue;
             }
-            for out in
-                ground_clause(program, clause, Some((p, &row)), &edb, deadline, &mut ticks)?
-            {
-                push(clause.head, out, &mut derived, &mut queue, &mut generated);
+            let rows = ground_clause(program, clause, Some((p, &row)), db, &mut budget)
+                .map_err(|h| interrupt(h, generated, &per_pred))?;
+            for out in rows {
+                push(clause.head, out, &mut derived, &mut queue, &mut generated, &mut per_pred);
             }
         }
     }
@@ -132,21 +120,32 @@ pub fn evaluate_linear(
         .map(|row| row.into_iter().map(ConstId).collect())
         .collect();
     answers.sort();
-    let stats = EvalStats { generated_tuples: generated, num_answers: answers.len() };
+    let stats = stats_at(generated, &per_pred, answers.len());
     Ok(EvalResult { answers, stats })
+}
+
+/// Evaluates a linear NDL query over `data`, building a throwaway
+/// [`Database`] first; see [`evaluate_linear_on`].
+pub fn evaluate_linear(
+    query: &NdlQuery,
+    data: &DataInstance,
+    opts: &EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    let db = Database::new(data);
+    evaluate_linear_on(query, &db, opts)
 }
 
 /// Grounds one clause: if `idb_fact` is provided, the clause's (unique) IDB
 /// atom is bound to it; all remaining atoms are EDB or equalities and are
-/// joined naively. Returns the derived head rows.
+/// joined against the database, probing the relation's column index when a
+/// position is already bound. Returns the derived head rows.
 fn ground_clause(
     program: &Program,
     clause: &Clause,
     idb_fact: Option<(PredId, &Row)>,
-    edb: &FxHashMap<PredId, Vec<Row>>,
-    deadline: Option<Instant>,
-    ticks: &mut u32,
-) -> Result<Vec<Row>, EvalError> {
+    db: &Database,
+    budget: &mut Budget,
+) -> Result<Vec<Row>, Halt> {
     let mut bindings: Vec<Row> = vec![vec![UNBOUND; clause.num_vars as usize]];
     // Bind the IDB atom first, if any.
     let mut skip_index = usize::MAX;
@@ -174,35 +173,25 @@ fn ground_clause(
     }
 
     // Remaining atoms, equalities deferred until a side is bound.
-    let mut remaining: Vec<usize> =
-        (0..clause.body.len()).filter(|&i| i != skip_index).collect();
+    let mut remaining: Vec<usize> = (0..clause.body.len()).filter(|&i| i != skip_index).collect();
     while !remaining.is_empty() && !bindings.is_empty() {
-        *ticks = ticks.wrapping_add(1);
-        if (*ticks).is_multiple_of(1024) {
-            if let Some(d) = deadline {
-                if Instant::now() > d {
-                    return Err(EvalError::Timeout);
-                }
-            }
-        }
-        // Prefer an equality with a bound side, then any predicate atom.
+        budget.tick()?;
+        // Prefer an equality with a bound side (a constant side is always
+        // bound), then any predicate atom.
         let next = remaining
             .iter()
             .position(|&i| match &clause.body[i] {
                 BodyAtom::Eq(a, b) => {
                     bindings[0][a.0 as usize] != UNBOUND || bindings[0][b.0 as usize] != UNBOUND
                 }
+                BodyAtom::EqConst(..) => true,
                 _ => false,
             })
             .or_else(|| {
-                remaining
-                    .iter()
-                    .position(|&i| matches!(clause.body[i], BodyAtom::Pred(..)))
+                remaining.iter().position(|&i| matches!(clause.body[i], BodyAtom::Pred(..)))
             });
         let Some(pos) = next else {
-            return Err(EvalError::Unsafe(
-                "equality between variables that are never bound".into(),
-            ));
+            return Err(Halt::Unsafe("equality between variables that are never bound".into()));
         };
         let i = remaining.remove(pos);
         match &clause.body[i] {
@@ -227,25 +216,63 @@ fn ground_clause(
                 }
                 bindings = next_b;
             }
+            BodyAtom::EqConst(a, c) => {
+                let c = c.0;
+                let mut next_b = Vec::with_capacity(bindings.len());
+                for mut binding in bindings {
+                    let va = binding[a.0 as usize];
+                    if va == UNBOUND {
+                        binding[a.0 as usize] = c;
+                        next_b.push(binding);
+                    } else if va == c {
+                        next_b.push(binding);
+                    }
+                }
+                bindings = next_b;
+            }
             BodyAtom::Pred(p, args) => {
                 debug_assert!(
                     !program.is_idb(*p),
                     "linear clause has a single IDB atom, already consumed"
                 );
-                let rows = edb.get(p).map(Vec::as_slice).unwrap_or(&[]);
+                let rel = db.relation(program.pred(*p).kind);
+                // All bindings at this stage share the same bound-variable
+                // pattern, so probe on the first position bound in any.
+                let probe_col =
+                    (0..args.len()).find(|&k| bindings[0][args[k].0 as usize] != UNBOUND);
                 let mut next_b = Vec::new();
-                for binding in &bindings {
-                    'rows: for row in rows {
-                        let mut extended = binding.clone();
-                        for (k, &var) in args.iter().enumerate() {
-                            let slot = &mut extended[var.0 as usize];
-                            if *slot == UNBOUND {
-                                *slot = row[k];
-                            } else if *slot != row[k] {
-                                continue 'rows;
+                let extend = |binding: &Row, row: &[u32], next_b: &mut Vec<Row>| {
+                    let mut extended = binding.clone();
+                    for (k, &var) in args.iter().enumerate() {
+                        let slot = &mut extended[var.0 as usize];
+                        if *slot == UNBOUND {
+                            *slot = row[k];
+                        } else if *slot != row[k] {
+                            return;
+                        }
+                    }
+                    next_b.push(extended);
+                };
+                match probe_col {
+                    None => {
+                        for binding in &bindings {
+                            budget.tick()?;
+                            for row in rel.rows() {
+                                budget.tick()?;
+                                extend(binding, row, &mut next_b);
                             }
                         }
-                        next_b.push(extended);
+                    }
+                    Some(col) => {
+                        let index = rel.column_index(col);
+                        for binding in &bindings {
+                            budget.tick()?;
+                            let key = binding[args[col].0 as usize];
+                            for &row_id in index.probe(key) {
+                                budget.tick()?;
+                                extend(binding, rel.row(row_id as usize), &mut next_b);
+                            }
+                        }
                     }
                 }
                 bindings = next_b;
@@ -255,21 +282,15 @@ fn ground_clause(
 
     Ok(bindings
         .into_iter()
-        .map(|binding| {
-            clause
-                .head_args
-                .iter()
-                .map(|&v| binding[v.0 as usize])
-                .collect()
-        })
+        .map(|binding| clause.head_args.iter().map(|&v| binding[v.0 as usize]).collect())
         .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::evaluate;
-    use crate::program::{CVar, Clause};
+    use crate::eval::{evaluate, evaluate_on};
+    use crate::program::{CVar, Clause, PredKind};
     use obda_owlql::parser::{parse_data, parse_ontology};
 
     /// A linear program computing 2-step R-reachability into A.
@@ -284,10 +305,7 @@ mod tests {
         p.add_clause(Clause {
             head: q1,
             head_args: vec![CVar(0)],
-            body: vec![
-                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
-                BodyAtom::Pred(a, vec![CVar(1)]),
-            ],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)]), BodyAtom::Pred(a, vec![CVar(1)])],
             num_vars: 2,
         });
         p.add_clause(Clause {
@@ -315,6 +333,20 @@ mod tests {
     }
 
     #[test]
+    fn both_evaluators_share_one_database() {
+        let o = parse_ontology("Class A\nProperty R\n").unwrap();
+        let d = parse_data("R(a, b)\nR(b, c)\nR(c, c)\nA(c)\n", &o).unwrap();
+        let q = linear_query(&o);
+        let db = Database::new(&d);
+        let before = Database::build_count();
+        let lin = evaluate_linear_on(&q, &db, &EvalOptions::default()).unwrap();
+        let bu = evaluate_on(&q, &db, &EvalOptions::default()).unwrap();
+        assert_eq!(Database::build_count(), before, "no rebuild for either engine");
+        assert_eq!(lin.answers, bu.answers);
+        assert_eq!(lin.stats.per_predicate, bu.stats.per_predicate);
+    }
+
+    #[test]
     fn rejects_nonlinear() {
         let o = parse_ontology("Class A\n").unwrap();
         let v = o.vocab();
@@ -331,10 +363,7 @@ mod tests {
         p.add_clause(Clause {
             head: g,
             head_args: vec![CVar(0)],
-            body: vec![
-                BodyAtom::Pred(q1, vec![CVar(0)]),
-                BodyAtom::Pred(q1, vec![CVar(0)]),
-            ],
+            body: vec![BodyAtom::Pred(q1, vec![CVar(0)]), BodyAtom::Pred(q1, vec![CVar(0)])],
             num_vars: 1,
         });
         let d = parse_data("A(a)\n", &o).unwrap();

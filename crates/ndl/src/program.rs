@@ -10,6 +10,7 @@
 //! EDB predicates are bound to the OWL 2 QL data vocabulary (a class or a
 //! property), plus the active-domain predicate `⊤`.
 
+use obda_owlql::abox::ConstId;
 use obda_owlql::vocab::{ClassId, PropId, Role, Vocab};
 use std::fmt;
 
@@ -41,6 +42,9 @@ pub enum BodyAtom {
     Pred(PredId, Vec<CVar>),
     /// `(z = z′)`.
     Eq(CVar, CVar),
+    /// `(z = a)` for a data constant `a`. The constant side is always
+    /// bound, so evaluation can seed a clause from an all-equality body.
+    EqConst(CVar, ConstId),
 }
 
 impl BodyAtom {
@@ -49,6 +53,7 @@ impl BodyAtom {
         match self {
             BodyAtom::Pred(_, args) => args.clone(),
             BodyAtom::Eq(a, b) => vec![*a, *b],
+            BodyAtom::EqConst(a, _) => vec![*a],
         }
     }
 }
@@ -71,8 +76,7 @@ impl Clause {
     /// variables must occur in a body predicate atom or be equated to one,
     /// and variable indices must be in range).
     fn validate(&self) -> Result<(), String> {
-        let in_range =
-            |v: CVar| -> bool { v.0 < self.num_vars };
+        let in_range = |v: CVar| -> bool { v.0 < self.num_vars };
         for &v in &self.head_args {
             if !in_range(v) {
                 return Err(format!("head variable {} out of range", v.0));
@@ -198,9 +202,8 @@ impl Program {
 
     /// Looks up an EDB predicate for a class, declaring it on first use.
     pub fn edb_class(&mut self, class: ClassId, vocab: &Vocab) -> PredId {
-        if let Some(id) = self
-            .pred_ids()
-            .find(|&id| self.preds[id.0 as usize].kind == PredKind::EdbClass(class))
+        if let Some(id) =
+            self.pred_ids().find(|&id| self.preds[id.0 as usize].kind == PredKind::EdbClass(class))
         {
             return id;
         }
@@ -209,9 +212,8 @@ impl Program {
 
     /// Looks up an EDB predicate for a property, declaring it on first use.
     pub fn edb_prop(&mut self, prop: PropId, vocab: &Vocab) -> PredId {
-        if let Some(id) = self
-            .pred_ids()
-            .find(|&id| self.preds[id.0 as usize].kind == PredKind::EdbProp(prop))
+        if let Some(id) =
+            self.pred_ids().find(|&id| self.preds[id.0 as usize].kind == PredKind::EdbProp(prop))
         {
             return id;
         }
@@ -293,6 +295,7 @@ impl fmt::Display for ProgramDisplay<'_> {
                         format!("{}({})", self.program.pred(*p).name, args.join(", "))
                     }
                     BodyAtom::Eq(a, b) => format!("{} = {}", var(*a), var(*b)),
+                    BodyAtom::EqConst(a, c) => format!("{} = #{}", var(*a), c.0),
                 })
                 .collect();
             writeln!(f, "{}", body.join(", "))?;
@@ -322,10 +325,7 @@ mod tests {
         p.add_clause(Clause {
             head: g,
             head_args: vec![CVar(0)],
-            body: vec![
-                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
-                BodyAtom::Pred(a, vec![CVar(1)]),
-            ],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)]), BodyAtom::Pred(a, vec![CVar(1)])],
             num_vars: 2,
         });
         assert_eq!(p.num_clauses(), 1);

@@ -16,7 +16,7 @@
 //!    which telescopes to the `d + log ν(G)` depth bound.
 
 use crate::analysis::weight_function;
-use crate::program::{BodyAtom, Clause, CVar, NdlQuery, PredId, PredKind, Program};
+use crate::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
 use obda_owlql::util::FxHashMap;
 
 /// Eliminates equality atoms from a clause by unifying variables.
@@ -46,17 +46,16 @@ pub fn eliminate_equalities(clause: &Clause) -> Clause {
         }
     }
     let subst = |v: CVar, parent: &mut Vec<u32>| CVar(find(parent, v.0));
-    let head_args: Vec<CVar> =
-        clause.head_args.iter().map(|&v| subst(v, &mut parent)).collect();
+    let head_args: Vec<CVar> = clause.head_args.iter().map(|&v| subst(v, &mut parent)).collect();
     let body: Vec<BodyAtom> = clause
         .body
         .iter()
         .filter(|a| !matches!(a, BodyAtom::Eq(..)))
         .map(|a| match a {
-            BodyAtom::Pred(p, args) => BodyAtom::Pred(
-                *p,
-                args.iter().map(|&v| subst(v, &mut parent)).collect(),
-            ),
+            BodyAtom::Pred(p, args) => {
+                BodyAtom::Pred(*p, args.iter().map(|&v| subst(v, &mut parent)).collect())
+            }
+            BodyAtom::EqConst(v, c) => BodyAtom::EqConst(subst(*v, &mut parent), *c),
             BodyAtom::Eq(..) => unreachable!("filtered"),
         })
         .collect();
@@ -91,7 +90,7 @@ pub fn to_skinny(query: &NdlQuery) -> NdlQuery {
     }
     let map_atom = |a: &BodyAtom, pred_map: &FxHashMap<PredId, PredId>| match a {
         BodyAtom::Pred(p, args) => BodyAtom::Pred(pred_map[p], args.clone()),
-        BodyAtom::Eq(a, b) => BodyAtom::Eq(*a, *b),
+        other => other.clone(),
     };
 
     let mut fresh_counter = 0usize;
@@ -115,9 +114,9 @@ pub fn to_skinny(query: &NdlQuery) -> NdlQuery {
 
         // Binarise each side; each returns a single replacement atom.
         let build_side = |atoms: Vec<BodyAtom>,
-                              weights: Vec<u64>,
-                              rebuilt: &mut Program,
-                              fresh_counter: &mut usize|
+                          weights: Vec<u64>,
+                          rebuilt: &mut Program,
+                          fresh_counter: &mut usize|
          -> Option<BodyAtom> {
             match atoms.len() {
                 0 => None,
@@ -144,7 +143,7 @@ pub fn to_skinny(query: &NdlQuery) -> NdlQuery {
             .iter()
             .map(|a| match a {
                 BodyAtom::Pred(p, _) => nu.get(p).copied().unwrap_or(1).max(1),
-                BodyAtom::Eq(..) => 1,
+                BodyAtom::Eq(..) | BodyAtom::EqConst(..) => 1,
             })
             .collect();
         let e_side = build_side(edb_atoms, edb_weights, &mut rebuilt, &mut fresh_counter);
@@ -181,7 +180,7 @@ fn huffman_binarise(
         let idx = nodes.len();
         let mapped = match &item.atom {
             BodyAtom::Pred(p, args) => BodyAtom::Pred(pred_map[p], args.clone()),
-            BodyAtom::Eq(a, b) => BodyAtom::Eq(*a, *b),
+            other => other.clone(),
         };
         nodes.push((mapped, item.weight));
         heap.push((Reverse(item.weight), Reverse(idx), idx));
@@ -268,8 +267,7 @@ mod tests {
     #[test]
     fn preserves_answers() {
         let o = parse_ontology("Class A\nProperty R\n").unwrap();
-        let d = parse_data("A(a)\nA(b)\nA(c)\nR(a, b)\nR(b, c)\nR(c, a)\nR(a, a)\n", &o)
-            .unwrap();
+        let d = parse_data("A(a)\nA(b)\nA(c)\nR(a, b)\nR(b, c)\nR(c, a)\nR(a, a)\n", &o).unwrap();
         let q = wide_query();
         let s = to_skinny(&q);
         let r1 = evaluate(&q, &d, &EvalOptions::default()).unwrap();

@@ -20,7 +20,7 @@
 //! atoms that imply `Eᵢ` under `T`, keeping the program linear at width
 //! `≤ w + 1`.
 
-use crate::program::{BodyAtom, Clause, CVar, NdlQuery, PredId, PredKind, Program};
+use crate::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
 use obda_owlql::axiom::ClassExpr;
 use obda_owlql::saturation::Taxonomy;
 use obda_owlql::util::FxHashMap;
@@ -71,10 +71,7 @@ fn implying_atoms(
             if taxonomy.is_reflexive(target) {
                 let top = program.edb_top();
                 out.push((
-                    vec![
-                        BodyAtom::Pred(top, vec![args[0]]),
-                        BodyAtom::Eq(args[0], args[1]),
-                    ],
+                    vec![BodyAtom::Pred(top, vec![args[0]]), BodyAtom::Eq(args[0], args[1])],
                     false,
                 ));
             }
@@ -114,7 +111,7 @@ pub fn star_transform(query: &NdlQuery, taxonomy: &Taxonomy, vocab: &Vocab) -> N
                 .iter()
                 .map(|a| match a {
                     BodyAtom::Pred(p, args) => BodyAtom::Pred(pred_map[p], args.clone()),
-                    BodyAtom::Eq(a, b) => BodyAtom::Eq(*a, *b),
+                    other => other.clone(),
                 })
                 .collect(),
             num_vars: c.num_vars,
@@ -129,8 +126,7 @@ pub fn star_transform(query: &NdlQuery, taxonomy: &Taxonomy, vocab: &Vocab) -> N
         let arity = info.arity as u32;
         let args: Vec<CVar> = (0..arity).map(CVar).collect();
         let fresh = CVar(arity);
-        for (body, uses_fresh) in
-            implying_atoms(&mut out, info.kind, &args, fresh, taxonomy, vocab)
+        for (body, uses_fresh) in implying_atoms(&mut out, info.kind, &args, fresh, taxonomy, vocab)
         {
             out.add_clause(Clause {
                 head: pred_map[&p],
@@ -176,7 +172,7 @@ pub fn linear_star_transform(query: &NdlQuery, taxonomy: &Taxonomy, vocab: &Voca
                 BodyAtom::Pred(p, args) => {
                     edb_atoms.push((query.program.pred(*p).kind, args.clone()));
                 }
-                BodyAtom::Eq(a, b) => equalities.push(BodyAtom::Eq(*a, *b)),
+                eq @ (BodyAtom::Eq(..) | BodyAtom::EqConst(..)) => equalities.push(eq.clone()),
             }
         }
 
@@ -196,8 +192,7 @@ pub fn linear_star_transform(query: &NdlQuery, taxonomy: &Taxonomy, vocab: &Voca
         // ordered query); chain predicates keep them as parameters so that
         // the width bound `w + 1` of Lemma 3 holds.
         let head_info = query.program.pred(c.head).clone();
-        let param_vars: Vec<CVar> =
-            c.head_args[head_info.arity - head_info.num_params..].to_vec();
+        let param_vars: Vec<CVar> = c.head_args[head_info.arity - head_info.num_params..].to_vec();
 
         // The chain starts from the IDB atom (or from the first EDB atom).
         let mut num_vars = c.num_vars;
@@ -223,11 +218,8 @@ pub fn linear_star_transform(query: &NdlQuery, taxonomy: &Taxonomy, vocab: &Voca
                 .copied()
                 .filter(|v| needed_after[i + 1].contains(v) && !param_vars.contains(v))
                 .collect();
-            let stage_params: Vec<CVar> = param_vars
-                .iter()
-                .copied()
-                .filter(|v| bound.contains(v))
-                .collect();
+            let stage_params: Vec<CVar> =
+                param_vars.iter().copied().filter(|v| bound.contains(v)).collect();
             let num_stage_params = stage_params.len();
             keep.extend(stage_params);
             let name = format!("{}~{}", query.program.pred(c.head).name, fresh_counter);
@@ -239,12 +231,7 @@ pub fn linear_star_transform(query: &NdlQuery, taxonomy: &Taxonomy, vocab: &Voca
                     body.push(prev_atom.clone());
                 }
                 body.extend(variant);
-                out.add_clause(Clause {
-                    head: stage,
-                    head_args: keep.clone(),
-                    body,
-                    num_vars,
-                });
+                out.add_clause(Clause { head: stage, head_args: keep.clone(), body, num_vars });
             }
             prev = Some((BodyAtom::Pred(stage, keep.clone()), keep));
         }
@@ -280,10 +267,7 @@ pub fn star_overhead(original: &NdlQuery, starred: &NdlQuery) -> usize {
 /// Declares every class and property of the vocabulary as EDB predicates of
 /// a fresh program (helper for tests and rewriters).
 pub fn declare_vocab(program: &mut Program, vocab: &Vocab) -> (Vec<PredId>, Vec<PredId>) {
-    let classes: Vec<PredId> = vocab
-        .class_ids()
-        .map(|c| program.edb_class(c, vocab))
-        .collect();
+    let classes: Vec<PredId> = vocab.class_ids().map(|c| program.edb_class(c, vocab)).collect();
     let props: Vec<PredId> = vocab.prop_ids().map(|p| program.edb_prop(p, vocab)).collect();
     (classes, props)
 }
@@ -306,10 +290,7 @@ mod tests {
         p.add_clause(Clause {
             head: g,
             head_args: vec![CVar(0)],
-            body: vec![
-                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
-                BodyAtom::Pred(b, vec![CVar(1)]),
-            ],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)]), BodyAtom::Pred(b, vec![CVar(1)])],
             num_vars: 2,
         });
         NdlQuery::new(p, g)

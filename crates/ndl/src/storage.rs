@@ -1,0 +1,349 @@
+//! Shared indexed relation storage for the evaluators.
+//!
+//! The seed engine re-scanned the whole [`DataInstance`] to rebuild every
+//! EDB relation on every `evaluate` call and stored relations as
+//! `FxHashSet<Vec<u32>>` — one heap allocation per row and a fresh join
+//! index per clause atom. This module replaces that substrate:
+//!
+//! * [`Relation`] — a columnar relation: one flat row-major `Vec<u32>`
+//!   arena plus an arity, no per-row allocation, with exact hash-based
+//!   deduplication and *lazy* per-column hash indexes (built at most once,
+//!   cached inside the relation, shared by every clause and every
+//!   evaluation that probes the same column);
+//! * [`Database`] — every EDB relation of a data instance, built **once**
+//!   via the grouped-access APIs of `obda_owlql::abox` and then shared by
+//!   all evaluations (`evaluate_on`, `evaluate_linear_on`) and all
+//!   rewriting strategies of the experiment harness.
+
+use crate::program::PredKind;
+use obda_owlql::abox::DataInstance;
+use obda_owlql::util::{FxHashMap, FxHasher};
+use obda_owlql::vocab::{ClassId, PropId};
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+fn hash_row(row: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    for &v in row {
+        h.write_u32(v);
+    }
+    h.finish()
+}
+
+/// A hash index over one column of a [`Relation`]: value → row numbers.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnIndex {
+    map: FxHashMap<u32, Vec<u32>>,
+}
+
+impl ColumnIndex {
+    /// The rows whose indexed column equals `key`.
+    pub fn probe(&self, key: u32) -> &[u32] {
+        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A columnar relation: `num_rows` rows of `arity` values in one flat
+/// row-major arena.
+#[derive(Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    num_rows: usize,
+    data: Vec<u32>,
+    /// Exact dedup: row hash → candidate row numbers. Built lazily by the
+    /// first [`Relation::insert_if_new`]; plain [`Relation::push`] loading
+    /// of already-distinct rows never pays for it.
+    dedup: Option<FxHashMap<u64, Vec<u32>>>,
+    /// Lazily built per-column indexes, invalidated on mutation.
+    indexes: Vec<OnceLock<ColumnIndex>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            num_rows: 0,
+            data: Vec::new(),
+            dedup: None,
+            indexes: (0..arity).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// An empty relation with room for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        let mut r = Relation::new(arity);
+        r.data.reserve(rows * arity);
+        r
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over the rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> {
+        // `chunks_exact(0)` panics, so arity-0 relations (Boolean goals)
+        // yield `num_rows` empty rows explicitly.
+        let arity = self.arity;
+        (0..self.num_rows).map(move |i| &self.data[i * arity..i * arity + arity])
+    }
+
+    /// Appends a row without checking for duplicates (bulk loading of rows
+    /// known to be distinct, e.g. from a set-backed [`DataInstance`]).
+    pub fn push(&mut self, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.invalidate_indexes();
+        if let Some(dedup) = &mut self.dedup {
+            dedup.entry(hash_row(row)).or_default().push(self.num_rows as u32);
+        }
+        self.data.extend_from_slice(row);
+        self.num_rows += 1;
+    }
+
+    /// Inserts a row unless an equal row is already present; returns
+    /// whether the row is new. Exact: hash collisions are resolved by
+    /// comparing the stored rows.
+    pub fn insert_if_new(&mut self, row: &[u32]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        if self.dedup.is_none() {
+            let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            for i in 0..self.num_rows {
+                map.entry(hash_row(self.row(i))).or_default().push(i as u32);
+            }
+            self.dedup = Some(map);
+        }
+        let h = hash_row(row);
+        let candidates = self.dedup.as_mut().unwrap().entry(h).or_default();
+        if candidates
+            .iter()
+            .any(|&i| &self.data[i as usize * self.arity..(i as usize + 1) * self.arity] == row)
+        {
+            return false;
+        }
+        candidates.push(self.num_rows as u32);
+        self.invalidate_indexes();
+        self.data.extend_from_slice(row);
+        self.num_rows += 1;
+        true
+    }
+
+    /// Whether an equal row is present (linear scan unless dedup metadata
+    /// exists; used by tests and the linear evaluator's seed check).
+    pub fn contains(&self, row: &[u32]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        if let Some(dedup) = &self.dedup {
+            let Some(candidates) = dedup.get(&hash_row(row)) else { return false };
+            return candidates.iter().any(|&i| self.row(i as usize) == row);
+        }
+        self.rows().any(|r| r == row)
+    }
+
+    /// The hash index of a column, built on first use and cached until the
+    /// relation is mutated.
+    pub fn column_index(&self, col: usize) -> &ColumnIndex {
+        assert!(col < self.arity, "column {col} out of range for arity {}", self.arity);
+        self.indexes[col].get_or_init(|| {
+            let mut map: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+            for i in 0..self.num_rows {
+                map.entry(self.row(i)[col]).or_default().push(i as u32);
+            }
+            ColumnIndex { map }
+        })
+    }
+
+    fn invalidate_indexes(&mut self) {
+        for slot in &mut self.indexes {
+            if slot.get().is_some() {
+                *slot = OnceLock::new();
+            }
+        }
+    }
+}
+
+/// How many [`Database`]s have been built in this process — used by the
+/// experiment harness to assert that dataset loading is amortised (at most
+/// one build per dataset, shared across all strategies).
+static DATABASE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Every EDB relation of a data instance, loaded and indexed once, shared
+/// across evaluations.
+#[derive(Debug)]
+pub struct Database {
+    classes: FxHashMap<ClassId, Relation>,
+    props: FxHashMap<PropId, Relation>,
+    /// The active domain `⊤` (all individuals), arity 1.
+    universe: Relation,
+    empty_unary: Relation,
+    empty_binary: Relation,
+    num_atoms: usize,
+}
+
+impl Database {
+    /// Loads a data instance: one pass over the class atoms, one over the
+    /// property atoms, one over the individuals.
+    pub fn new(data: &DataInstance) -> Self {
+        DATABASE_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let mut classes = FxHashMap::default();
+        for (c, members) in data.members_by_class() {
+            let mut rel = Relation::with_capacity(1, members.len());
+            for a in members {
+                rel.push(&[a.0]);
+            }
+            classes.insert(c, rel);
+        }
+        let mut props = FxHashMap::default();
+        for (p, pairs) in data.pairs_by_prop() {
+            let mut rel = Relation::with_capacity(2, pairs.len());
+            for (a, b) in pairs {
+                rel.push(&[a.0, b.0]);
+            }
+            props.insert(p, rel);
+        }
+        let mut universe = Relation::with_capacity(1, data.num_individuals());
+        for a in data.individuals() {
+            universe.push(&[a.0]);
+        }
+        Database {
+            classes,
+            props,
+            universe,
+            empty_unary: Relation::new(1),
+            empty_binary: Relation::new(2),
+            num_atoms: data.num_atoms(),
+        }
+    }
+
+    /// The relation of an EDB predicate kind.
+    ///
+    /// # Panics
+    /// Panics on [`PredKind::Idb`]: IDB relations are computed by the
+    /// evaluators, not stored.
+    pub fn relation(&self, kind: PredKind) -> &Relation {
+        match kind {
+            PredKind::EdbClass(c) => self.classes.get(&c).unwrap_or(&self.empty_unary),
+            PredKind::EdbProp(p) => self.props.get(&p).unwrap_or(&self.empty_binary),
+            PredKind::Top => &self.universe,
+            PredKind::Idb => panic!("IDB relations are computed, not stored"),
+        }
+    }
+
+    /// Number of individuals (rows of `⊤`).
+    pub fn num_individuals(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Number of atoms loaded.
+    pub fn num_atoms(&self) -> usize {
+        self.num_atoms
+    }
+
+    /// Total [`Database`] builds in this process (monotone counter).
+    pub fn build_count() -> usize {
+        DATABASE_BUILDS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_owlql::parser::{parse_data, parse_ontology};
+
+    #[test]
+    fn columnar_relation_roundtrip() {
+        let mut r = Relation::new(2);
+        r.push(&[1, 2]);
+        r.push(&[3, 4]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(1), &[3, 4]);
+        assert_eq!(r.rows().count(), 2);
+        assert!(r.contains(&[1, 2]));
+        assert!(!r.contains(&[2, 1]));
+    }
+
+    #[test]
+    fn insert_if_new_deduplicates_exactly() {
+        let mut r = Relation::new(2);
+        assert!(r.insert_if_new(&[1, 2]));
+        assert!(!r.insert_if_new(&[1, 2]));
+        assert!(r.insert_if_new(&[2, 1]));
+        assert_eq!(r.len(), 2);
+        // Mixed with push-loaded rows: dedup still exact.
+        let mut s = Relation::new(1);
+        s.push(&[7]);
+        assert!(!s.insert_if_new(&[7]));
+        assert!(s.insert_if_new(&[8]));
+        s.push(&[9]);
+        assert!(!s.insert_if_new(&[9]));
+    }
+
+    #[test]
+    fn arity_zero_relations_hold_the_empty_row() {
+        let mut r = Relation::new(0);
+        assert!(r.is_empty());
+        assert!(r.insert_if_new(&[]));
+        assert!(!r.insert_if_new(&[]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows().next(), Some(&[][..]));
+    }
+
+    #[test]
+    fn column_index_probes_and_invalidates() {
+        let mut r = Relation::new(2);
+        r.push(&[1, 10]);
+        r.push(&[1, 20]);
+        r.push(&[2, 10]);
+        let idx = r.column_index(0);
+        assert_eq!(idx.probe(1), &[0, 1]);
+        assert_eq!(idx.probe(9), &[] as &[u32]);
+        assert_eq!(idx.num_keys(), 2);
+        assert_eq!(r.column_index(1).probe(10), &[0, 2]);
+        // Mutation invalidates; the rebuilt index sees the new row.
+        r.push(&[1, 30]);
+        assert_eq!(r.column_index(0).probe(1), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn database_loads_every_relation_once() {
+        let o = parse_ontology("Class A\nProperty P\nProperty Q\n").unwrap();
+        let d = parse_data("P(x, y)\nP(y, z)\nA(x)\n", &o).unwrap();
+        let before = Database::build_count();
+        let db = Database::new(&d);
+        assert_eq!(Database::build_count(), before + 1);
+        let v = o.vocab();
+        let p = db.relation(PredKind::EdbProp(v.get_prop("P").unwrap()));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.arity(), 2);
+        let a = db.relation(PredKind::EdbClass(v.get_class("A").unwrap()));
+        assert_eq!(a.len(), 1);
+        // Missing EDB relations resolve to shared empties of the right arity.
+        let q = db.relation(PredKind::EdbProp(v.get_prop("Q").unwrap()));
+        assert!(q.is_empty());
+        assert_eq!(q.arity(), 2);
+        assert_eq!(db.relation(PredKind::Top).len(), 3);
+        assert_eq!(db.num_individuals(), 3);
+        assert_eq!(db.num_atoms(), 3);
+    }
+}

@@ -112,6 +112,48 @@ impl DataInstance {
             .collect()
     }
 
+    /// The individuals of each class, grouped: one scan over the class
+    /// atoms instead of one scan per class. Classes without members are
+    /// absent from the map.
+    pub fn members_by_class(&self) -> FxHashMap<ClassId, Vec<ConstId>> {
+        let mut out: FxHashMap<ClassId, Vec<ConstId>> = FxHashMap::default();
+        for &(c, a) in &self.class_atoms {
+            out.entry(c).or_default().push(a);
+        }
+        out
+    }
+
+    /// The `(a, b)` pairs of each property, grouped: one scan over the
+    /// property atoms instead of one scan per property. Properties without
+    /// edges are absent from the map.
+    pub fn pairs_by_prop(&self) -> FxHashMap<PropId, Vec<(ConstId, ConstId)>> {
+        let mut out: FxHashMap<PropId, Vec<(ConstId, ConstId)>> = FxHashMap::default();
+        for &(p, a, b) in &self.prop_atoms {
+            out.entry(p).or_default().push((a, b));
+        }
+        out
+    }
+
+    /// Per-property adjacency by subject: `out[p][a]` lists every `b` with
+    /// `P(a, b) ∈ A`.
+    pub fn objects_by_subject(&self) -> FxHashMap<PropId, FxHashMap<ConstId, Vec<ConstId>>> {
+        let mut out: FxHashMap<PropId, FxHashMap<ConstId, Vec<ConstId>>> = FxHashMap::default();
+        for &(p, a, b) in &self.prop_atoms {
+            out.entry(p).or_default().entry(a).or_default().push(b);
+        }
+        out
+    }
+
+    /// Per-property adjacency by object: `out[p][b]` lists every `a` with
+    /// `P(a, b) ∈ A`.
+    pub fn subjects_by_object(&self) -> FxHashMap<PropId, FxHashMap<ConstId, Vec<ConstId>>> {
+        let mut out: FxHashMap<PropId, FxHashMap<ConstId, Vec<ConstId>>> = FxHashMap::default();
+        for &(p, a, b) in &self.prop_atoms {
+            out.entry(p).or_default().entry(b).or_default().push(a);
+        }
+        out
+    }
+
     /// Completes the instance for an ontology: adds every atom `S(a)` with
     /// `T, A ⊨ S(a)` (Section 2's completeness notion).
     ///
@@ -260,6 +302,41 @@ mod tests {
         assert!(a.has_role_atom(Role::inverse_of(PropId(0)), y, x));
         assert!(!a.has_role_atom(Role::direct(PropId(0)), y, x));
         assert_eq!(a.role_pairs(Role::inverse_of(PropId(0))), vec![(y, x)]);
+    }
+
+    #[test]
+    fn grouped_indexes_cover_every_atom() {
+        let o = parse_ontology("Class A\nClass B\nProperty P\nProperty Q\n").unwrap();
+        let d = parse_data("P(x, y)\nP(x, z)\nQ(y, x)\nA(x)\nA(y)\n", &o).unwrap();
+        let v = o.vocab();
+        let (a, p, q) =
+            (v.get_class("A").unwrap(), v.get_prop("P").unwrap(), v.get_prop("Q").unwrap());
+        let (x, y, z) = (
+            d.get_constant("x").unwrap(),
+            d.get_constant("y").unwrap(),
+            d.get_constant("z").unwrap(),
+        );
+
+        let classes = d.members_by_class();
+        let mut members = classes[&a].clone();
+        members.sort();
+        assert_eq!(members, vec![x, y]);
+        assert!(!classes.contains_key(&v.get_class("B").unwrap()));
+
+        let props = d.pairs_by_prop();
+        assert_eq!(props[&p].len(), 2);
+        assert_eq!(props[&q], vec![(y, x)]);
+        assert_eq!(props.values().map(Vec::len).sum::<usize>() + classes[&a].len(), d.num_atoms());
+
+        let fwd = d.objects_by_subject();
+        let mut objs = fwd[&p][&x].clone();
+        objs.sort();
+        assert_eq!(objs, vec![y, z]);
+        assert!(!fwd[&p].contains_key(&y));
+
+        let bwd = d.subjects_by_object();
+        assert_eq!(bwd[&p][&y], vec![x]);
+        assert_eq!(bwd[&q][&x], vec![y]);
     }
 
     #[test]

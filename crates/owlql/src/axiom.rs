@@ -102,11 +102,7 @@ impl Axiom {
                 format!("{} SubPropertyOf {}", vocab.role_name(lhs), vocab.role_name(rhs))
             }
             Axiom::DisjointRoles(lhs, rhs) => {
-                format!(
-                    "{} DisjointPropertyWith {}",
-                    vocab.role_name(lhs),
-                    vocab.role_name(rhs)
-                )
+                format!("{} DisjointPropertyWith {}", vocab.role_name(lhs), vocab.role_name(rhs))
             }
             Axiom::Reflexive(r) => format!("Reflexive {}", vocab.role_name(r)),
             Axiom::Irreflexive(r) => format!("Irreflexive {}", vocab.role_name(r)),
@@ -134,7 +130,6 @@ impl fmt::Display for AxiomsDisplay<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn class_expr_index_roundtrip() {

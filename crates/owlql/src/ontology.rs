@@ -37,9 +37,8 @@ impl Ontology {
     pub fn new(mut vocab: Vocab, user_axioms: Vec<Axiom>) -> Self {
         let num_user_axioms = user_axioms.len();
         let mut axioms = user_axioms;
-        let generating_user_axiom = axioms
-            .iter()
-            .any(|ax| matches!(ax, Axiom::SubClass(_, ClassExpr::Exists(_))));
+        let generating_user_axiom =
+            axioms.iter().any(|ax| matches!(ax, Axiom::SubClass(_, ClassExpr::Exists(_))));
         let mut exists_class = FxHashMap::default();
         let roles: Vec<Role> = vocab.roles().collect();
         for role in roles {
@@ -85,10 +84,7 @@ impl Ontology {
     pub fn role_of_exists_class(&self, class: ClassId) -> Option<Role> {
         // The map is tiny (2 · #props entries); a linear scan is fine and
         // avoids maintaining a second map.
-        self.exists_class
-            .iter()
-            .find(|&(_, &c)| c == class)
-            .map(|(&r, _)| r)
+        self.exists_class.iter().find(|&(_, &c)| c == class).map(|(&r, _)| r)
     }
 
     /// Whether any *user* axiom has an existential on the right-hand side.

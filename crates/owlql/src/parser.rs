@@ -49,9 +49,7 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 
 fn is_name(token: &str) -> bool {
     !token.is_empty()
-        && token
-            .chars()
-            .all(|c| c.is_alphanumeric() || c == '_' || c == ':' || c == '.')
+        && token.chars().all(|c| c.is_alphanumeric() || c == '_' || c == ':' || c == '.')
 }
 
 /// Parses a role token `P` or `P-`, interning the property name.
@@ -127,9 +125,8 @@ pub fn parse_ontology(text: &str) -> Result<Ontology, ParseError> {
             }
             _ => {
                 // Class-level axioms: split on the keyword.
-                let keyword_pos = tokens
-                    .iter()
-                    .position(|&t| t == "SubClassOf" || t == "DisjointWith");
+                let keyword_pos =
+                    tokens.iter().position(|&t| t == "SubClassOf" || t == "DisjointWith");
                 let Some(pos) = keyword_pos else {
                     return err(line_no, format!("unrecognised axiom `{}`", line.trim()));
                 };

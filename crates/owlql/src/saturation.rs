@@ -147,10 +147,7 @@ impl Taxonomy {
         // ̺ irreflexive iff some irreflexivity seed σ has ̺ ⊑ σ or ̺ ⊑ σ⁻
         // (σ(x,x) ≡ σ⁻(x,x)), or ̺ ⊑ σ, ̺ ⊑ σ′ for role-disjoint (σ, σ′)
         // modulo inverses.
-        if self
-            .irrefl_seeds
-            .iter()
-            .any(|&s| self.sub_role(role, s) || self.sub_role(role, s.inv()))
+        if self.irrefl_seeds.iter().any(|&s| self.sub_role(role, s) || self.sub_role(role, s.inv()))
         {
             return true;
         }
@@ -250,15 +247,15 @@ impl Taxonomy {
                     continue;
                 }
                 let r = Role::from_index(i);
-                let self_disjoint = self.role_disjoint.iter().any(|&(c, d)| {
-                    self.sub_role(r, c) && self.sub_role(r, d)
-                });
+                let self_disjoint = self
+                    .role_disjoint
+                    .iter()
+                    .any(|&(c, d)| self.sub_role(r, c) && self.sub_role(r, d));
                 let refl_irrefl = self.is_reflexive(r) && self.is_irreflexive(r);
                 let endpoint_unsat = self.is_unsat_class_raw(ClassExpr::Exists(r))
                     || self.is_unsat_class_raw(ClassExpr::Exists(r.inv()));
-                let super_unsat = self.role_sub[i]
-                    .iter()
-                    .any(|s| s != i && self.unsat_roles.contains(s));
+                let super_unsat =
+                    self.role_sub[i].iter().any(|s| s != i && self.unsat_roles.contains(s));
                 if self_disjoint || refl_irrefl || endpoint_unsat || super_unsat {
                     self.unsat_roles.insert(i);
                     changed = true;
@@ -273,12 +270,12 @@ impl Taxonomy {
                     continue;
                 }
                 let e = ClassExpr::from_index(i, self.num_classes);
-                let pair_disjoint = self.class_disjoint.iter().any(|&(c, d)| {
-                    self.sub_class(e, c) && self.sub_class(e, d)
-                });
-                let super_unsat = self.class_sub[i]
+                let pair_disjoint = self
+                    .class_disjoint
                     .iter()
-                    .any(|s| s != i && self.unsat_classes.contains(s));
+                    .any(|&(c, d)| self.sub_class(e, c) && self.sub_class(e, d));
+                let super_unsat =
+                    self.class_sub[i].iter().any(|s| s != i && self.unsat_classes.contains(s));
                 let role_unsat = match e {
                     ClassExpr::Exists(r) => self.unsat_roles.contains(r.index()),
                     _ => false,

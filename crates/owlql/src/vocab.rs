@@ -104,10 +104,7 @@ impl Role {
 
     /// Reconstructs a role from the dense index produced by [`Role::index`].
     pub fn from_index(index: usize) -> Self {
-        Role {
-            prop: PropId((index / 2) as u32),
-            inverse: index % 2 == 1,
-        }
+        Role { prop: PropId((index / 2) as u32), inverse: index % 2 == 1 }
     }
 }
 

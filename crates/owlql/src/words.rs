@@ -63,9 +63,8 @@ impl WordArena {
     /// (chase locality) or the ontology depth.
     pub fn new(taxonomy: &Taxonomy, max_len: usize) -> Self {
         let num_roles = taxonomy.num_roles();
-        let letters: Vec<bool> = (0..num_roles)
-            .map(|i| !taxonomy.is_reflexive(Role::from_index(i)))
-            .collect();
+        let letters: Vec<bool> =
+            (0..num_roles).map(|i| !taxonomy.is_reflexive(Role::from_index(i))).collect();
         let transitions: Vec<Vec<usize>> = (0..num_roles)
             .map(|i| {
                 let r = Role::from_index(i);
@@ -173,11 +172,7 @@ impl WordArena {
 
     /// The word `w·̺`, if it is in the arena.
     pub fn extend(&self, w: WordId, role: Role) -> Option<WordId> {
-        self.nodes[w.0 as usize]
-            .children
-            .iter()
-            .find(|&&(r, _)| r == role)
-            .map(|&(_, id)| id)
+        self.nodes[w.0 as usize].children.iter().find(|&&(r, _)| r == role).map(|&(_, id)| id)
     }
 
     /// The extensions of `w` by one letter present in the arena.
@@ -223,11 +218,7 @@ impl WordArena {
         if w.is_epsilon() {
             return "ε".to_owned();
         }
-        self.letters_of(w)
-            .iter()
-            .map(|&r| vocab.role_name(r))
-            .collect::<Vec<_>>()
-            .join("·")
+        self.letters_of(w).iter().map(|&r| vocab.role_name(r)).collect::<Vec<_>>().join("·")
     }
 }
 
@@ -250,9 +241,8 @@ pub fn word_transition(taxonomy: &Taxonomy, r: Role, s: Role) -> bool {
 /// depth-0 test.
 pub fn ontology_depth(taxonomy: &Taxonomy) -> Option<usize> {
     let num_roles = taxonomy.num_roles();
-    let letters: Vec<bool> = (0..num_roles)
-        .map(|i| !taxonomy.is_reflexive(Role::from_index(i)))
-        .collect();
+    let letters: Vec<bool> =
+        (0..num_roles).map(|i| !taxonomy.is_reflexive(Role::from_index(i))).collect();
     if !letters.iter().any(|&l| l) {
         return Some(0);
     }

@@ -25,7 +25,9 @@ fn vocab() -> Vocab {
 fn expr(i: u8, flip: bool) -> ClassExpr {
     match i % 3 {
         0 => ClassExpr::Class(obda_owlql::ClassId((i as u32 / 3) % NC)),
-        1 => ClassExpr::Exists(Role { prop: obda_owlql::PropId((i as u32 / 3) % NP), inverse: flip }),
+        1 => {
+            ClassExpr::Exists(Role { prop: obda_owlql::PropId((i as u32 / 3) % NP), inverse: flip })
+        }
         _ => ClassExpr::Top,
     }
 }

@@ -96,6 +96,15 @@ pub fn estimate_cost(query: &NdlQuery, stats: &DataStats) -> f64 {
                             }
                         }
                     }
+                    BodyAtom::EqConst(a, _) => {
+                        // Pinning a variable to one constant filters like a
+                        // join on an already-seen variable.
+                        if seen_vars.contains(a) {
+                            clause_size *= selectivity;
+                        } else {
+                            seen_vars.push(*a);
+                        }
+                    }
                 }
             }
             estimate += clause_size;

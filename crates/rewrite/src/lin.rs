@@ -13,7 +13,7 @@ use crate::omq::{Omq, RewriteError, Rewriter};
 use crate::types::{TypeCtx, TypeMap};
 use obda_cq::gaifman::Gaifman;
 use obda_cq::query::Var;
-use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, Program};
+use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, Program};
 use obda_owlql::util::FxHashMap;
 use obda_owlql::words::{ontology_depth, WordArena};
 
@@ -48,16 +48,11 @@ impl Rewriter for LinRewriter {
         let ctx = TypeCtx { ontology: omq.ontology, taxonomy: &taxonomy, arena: &arena, q };
 
         // Slices by BFS distance from the root.
-        let root = self
-            .root
-            .or_else(|| q.answer_vars().first().copied())
-            .unwrap_or(Var(0));
+        let root = self.root.or_else(|| q.answer_vars().first().copied()).unwrap_or(Var(0));
         let dist = g.bfs_distances(root);
         let max_dist = dist.iter().copied().max().unwrap_or(0) as usize;
         let slices: Vec<Vec<Var>> = (0..=max_dist)
-            .map(|n| {
-                q.vars().filter(|v| dist[v.0 as usize] == n as u32).collect()
-            })
+            .map(|n| q.vars().filter(|v| dist[v.0 as usize] == n as u32).collect())
             .collect();
 
         // x^n: answer variables occurring in q_n (the atoms whose variables
@@ -84,11 +79,8 @@ impl Rewriter for LinRewriter {
         // Head arguments of G^w_n: the slice's existential variables then
         // the answer variables of q_n (parameters).
         let head_vars = |n: usize| -> Vec<Var> {
-            let mut vars: Vec<Var> = slices[n]
-                .iter()
-                .copied()
-                .filter(|v| !q.is_answer_var(*v))
-                .collect();
+            let mut vars: Vec<Var> =
+                slices[n].iter().copied().filter(|v| !q.is_answer_var(*v)).collect();
             vars.extend(xs[n].iter().copied());
             vars
         };
@@ -109,10 +101,8 @@ impl Rewriter for LinRewriter {
         // Upper slices: G^w_n ← At^{w∪s}(z^n, z^{n+1}) ∧ G^s_{n+1}.
         for n in (0..max_dist).rev() {
             let candidates = ctx.enumerate_types(&slices[n], &TypeMap::empty());
-            let child_types: Vec<(TypeMap, obda_ndl::program::PredId)> = defined[n + 1]
-                .iter()
-                .map(|(t, &p)| (t.clone(), p))
-                .collect();
+            let child_types: Vec<(TypeMap, obda_ndl::program::PredId)> =
+                defined[n + 1].iter().map(|(t, &p)| (t.clone(), p)).collect();
             for w in candidates {
                 let mut pid = None;
                 for (s, child_pid) in &child_types {
@@ -278,11 +268,8 @@ mod tests {
         let tx = o.taxonomy();
         let rw = rewrite_arbitrary(&LinRewriter::default(), &omq, &tx).unwrap();
         assert!(is_linear(&rw.program), "Lemma 3 preserves linearity");
-        let d = parse_data(
-            "P(w1, a)\nR(a, b)\nP(w2, b)\nR(b, c)\nR(c, e)\nR(e, f)\nS(f, g)\n",
-            &o,
-        )
-        .unwrap();
+        let d = parse_data("P(w1, a)\nR(a, b)\nP(w2, b)\nR(b, c)\nR(c, e)\nR(e, f)\nS(f, g)\n", &o)
+            .unwrap();
         let res = evaluate(&rw, &d, &EvalOptions::default()).unwrap();
         let oracle = certain_answers(&o, &q, &d);
         assert_eq!(res.answers, oracle.tuples());

@@ -15,7 +15,7 @@ use obda_cq::gaifman::Gaifman;
 use obda_cq::query::Var;
 use obda_cq::split::{boundary, split_decomposition, SplitNode};
 use obda_cq::treedec::TreeDecomposition;
-use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, PredId, Program};
+use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, Program};
 use obda_owlql::util::FxHashMap;
 use obda_owlql::words::{ontology_depth, WordArena};
 
@@ -79,10 +79,7 @@ impl Rewriter for LogRewriter {
         // Flatten the split tree in pre-order and precompute per-node facts.
         let flattened: Vec<&SplitNode> = split.iter();
         let index_of = |node: &SplitNode| -> usize {
-            flattened
-                .iter()
-                .position(|&n| std::ptr::eq(n, node))
-                .expect("node from the same tree")
+            flattened.iter().position(|&n| std::ptr::eq(n, node)).expect("node from the same tree")
         };
         let mut info = Vec::with_capacity(flattened.len());
         for node in &flattened {
@@ -118,11 +115,8 @@ impl Rewriter for LogRewriter {
             }
             qd_vars.sort();
             qd_vars.dedup();
-            let answer_vars: Vec<Var> = qd_vars
-                .iter()
-                .copied()
-                .filter(|&v| q.is_answer_var(v))
-                .collect();
+            let answer_vars: Vec<Var> =
+                qd_vars.iter().copied().filter(|&v| q.is_answer_var(v)).collect();
             let children: Vec<usize> = node.children.iter().map(&index_of).collect();
             let mut bag: Vec<Var> = td.bag(node.sigma).to_vec();
             bag.sort();
@@ -199,11 +193,7 @@ impl Builder<'_> {
             let heads = self.head_vars(node);
             let id = *pid.get_or_insert_with(|| {
                 self.program.add_idb_with_params(
-                    format!(
-                        "L{}_{}",
-                        node,
-                        w.display(q, self.arena_display, omq.ontology)
-                    ),
+                    format!("L{}_{}", node, w.display(q, self.arena_display, omq.ontology)),
                     heads.len(),
                     self.info[node].answer_vars.len(),
                 )
@@ -305,11 +295,8 @@ mod tests {
         let omq = Omq { ontology: &o, query: &q };
         let tx = o.taxonomy();
         let rw = rewrite_arbitrary(&LogRewriter::default(), &omq, &tx).unwrap();
-        let d = parse_data(
-            "P(w1, a)\nR(a, b)\nP(w2, b)\nR(b, c)\nR(c, e)\nR(e, f)\nS(f, g)\n",
-            &o,
-        )
-        .unwrap();
+        let d = parse_data("P(w1, a)\nR(a, b)\nP(w2, b)\nR(b, c)\nR(c, e)\nR(e, f)\nS(f, g)\n", &o)
+            .unwrap();
         let res = evaluate(&rw, &d, &EvalOptions::default()).unwrap();
         let oracle = certain_answers(&o, &q, &d);
         assert_eq!(res.answers, oracle.tuples());

@@ -1,7 +1,7 @@
 //! Ontology-mediated queries and the rewriter interface.
 
 use obda_cq::query::Cq;
-use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, Program};
+use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, Program};
 use obda_ndl::star::{linear_star_transform, star_transform};
 use obda_owlql::axiom::ClassExpr;
 use obda_owlql::ontology::Ontology;
@@ -94,23 +94,19 @@ pub fn add_inconsistency_clauses(query: &mut NdlQuery, taxonomy: &Taxonomy, omq:
         for &v in &head_args {
             body.push(BodyAtom::Pred(top, vec![v]));
         }
-        program.add_clause(Clause {
-            head: goal,
-            head_args,
-            body,
-            num_vars: arity + extra_vars,
-        });
+        program.add_clause(Clause { head: goal, head_args, body, num_vars: arity + extra_vars });
     };
 
-    let class_atom = |program: &mut Program, e: ClassExpr, z: CVar, fresh: CVar| -> Option<(BodyAtom, bool)> {
-        match e {
-            ClassExpr::Top => Some((BodyAtom::Pred(program.edb_top(), vec![z]), false)),
-            ClassExpr::Class(c) => {
-                Some((BodyAtom::Pred(program.edb_class(c, vocab), vec![z]), false))
+    let class_atom =
+        |program: &mut Program, e: ClassExpr, z: CVar, fresh: CVar| -> Option<(BodyAtom, bool)> {
+            match e {
+                ClassExpr::Top => Some((BodyAtom::Pred(program.edb_top(), vec![z]), false)),
+                ClassExpr::Class(c) => {
+                    Some((BodyAtom::Pred(program.edb_class(c, vocab), vec![z]), false))
+                }
+                ClassExpr::Exists(r) => Some((program.role_atom(r, z, fresh, vocab), true)),
             }
-            ClassExpr::Exists(r) => Some((program.role_atom(r, z, fresh, vocab), true)),
-        }
-    };
+        };
 
     for ax in omq.ontology.axioms() {
         match *ax {

@@ -22,7 +22,7 @@ use crate::omq::{Omq, RewriteError, Rewriter};
 use crate::tree_witness::{tree_witnesses, TreeWitness};
 use obda_chase::answer::{certain_answers, CertainAnswers};
 use obda_cq::query::{Atom, Var};
-use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, PredId, PredKind, Program};
+use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
 use obda_owlql::axiom::ClassExpr;
 use obda_owlql::util::FxHashMap;
 use obda_owlql::vocab::Role;
@@ -71,10 +71,8 @@ impl Rewriter for TwUcqRewriter {
         let num_answer = q.answer_vars().len();
         let goal = program.add_idb_with_params("G", num_answer, num_answer);
 
-        let tws: Vec<TreeWitness> = tree_witnesses(omq, self.cap)
-            .into_iter()
-            .filter(|t| !t.roots.is_empty())
-            .collect();
+        let tws: Vec<TreeWitness> =
+            tree_witnesses(omq, self.cap).into_iter().filter(|t| !t.roots.is_empty()).collect();
 
         // Enumerate independent sets, then all generator combinations.
         let mut stack: Vec<(usize, Vec<usize>)> = vec![(0, Vec::new())];
@@ -103,9 +101,9 @@ impl Rewriter for TwUcqRewriter {
                 }
             }
             for next in from..tws.len() {
-                let compatible = chosen.iter().all(|&j| {
-                    tws[j].atoms.intersection(&tws[next].atoms).next().is_none()
-                });
+                let compatible = chosen
+                    .iter()
+                    .all(|&j| tws[j].atoms.intersection(&tws[next].atoms).next().is_none());
                 if compatible {
                     let mut c2 = chosen.clone();
                     c2.push(next);
@@ -146,8 +144,7 @@ fn emit_ucq_clause(
 ) {
     let q = omq.query;
     let vocab = omq.ontology.vocab().clone();
-    let covered: BTreeSet<usize> =
-        chosen.iter().flat_map(|t| t.atoms.iter().copied()).collect();
+    let covered: BTreeSet<usize> = chosen.iter().flat_map(|t| t.atoms.iter().copied()).collect();
     let mut cvars: FxHashMap<Var, CVar> = FxHashMap::default();
     let mut next = 0u32;
     let alloc = |v: Var, cvars: &mut FxHashMap<Var, CVar>, next: &mut u32| -> CVar {
@@ -238,10 +235,8 @@ impl Rewriter for PrestoLikeRewriter {
         // Tree-witness predicates also consult the generator classes A̺,
         // which must be derived over arbitrary instances — route them
         // through views as well.
-        let tws: Vec<TreeWitness> = tree_witnesses(omq, self.cap)
-            .into_iter()
-            .filter(|t| !t.roots.is_empty())
-            .collect();
+        let tws: Vec<TreeWitness> =
+            tree_witnesses(omq, self.cap).into_iter().filter(|t| !t.roots.is_empty()).collect();
         let mut used_classes = used_classes;
         for t in &tws {
             for &rho in &t.generators {
@@ -263,12 +258,7 @@ impl Rewriter for PrestoLikeRewriter {
                     }
                     ClassExpr::Top => continue,
                 };
-                program.add_clause(Clause {
-                    head: view,
-                    head_args: vec![CVar(0)],
-                    body,
-                    num_vars,
-                });
+                program.add_clause(Clause { head: view, head_args: vec![CVar(0)], body, num_vars });
             }
         }
         for p in used_props {
@@ -288,10 +278,7 @@ impl Rewriter for PrestoLikeRewriter {
                 program.add_clause(Clause {
                     head: view,
                     head_args: vec![CVar(0), CVar(1)],
-                    body: vec![
-                        BodyAtom::Pred(top, vec![CVar(0)]),
-                        BodyAtom::Eq(CVar(0), CVar(1)),
-                    ],
+                    body: vec![BodyAtom::Pred(top, vec![CVar(0)]), BodyAtom::Eq(CVar(0), CVar(1))],
                     num_vars: 2,
                 });
             }
@@ -340,9 +327,9 @@ impl Rewriter for PrestoLikeRewriter {
                 &prop_views,
             );
             for next in from..tws.len() {
-                let compatible = chosen.iter().all(|&j| {
-                    tws[j].atoms.intersection(&tws[next].atoms).next().is_none()
-                });
+                let compatible = chosen
+                    .iter()
+                    .all(|&j| tws[j].atoms.intersection(&tws[next].atoms).next().is_none());
                 if compatible {
                     let mut c2 = chosen.clone();
                     c2.push(next);
@@ -425,12 +412,12 @@ impl PrestoLikeRewriter {
         // contain answer variables, so each answer variable occurs in an
         // uncovered atom or as a tree-witness root.
         let bound: Vec<CVar> = body.iter().flat_map(|a| a.vars()).collect();
-        let head_args: Vec<CVar> =
-            q.answer_vars().iter().map(|&v| cvars[&v]).collect();
+        let head_args: Vec<CVar> = q.answer_vars().iter().map(|&v| cvars[&v]).collect();
         if (body.is_empty() || head_args.iter().any(|c| !bound.contains(c)))
-            && (!q.is_boolean() || body.is_empty()) {
-                return; // degenerate combination, contributes nothing new
-            }
+            && (!q.is_boolean() || body.is_empty())
+        {
+            return; // degenerate combination, contributes nothing new
+        }
         program.add_clause(Clause { head: goal, head_args, body, num_vars: next });
     }
 }
@@ -460,11 +447,8 @@ mod tests {
         .unwrap();
         let omq = Omq { ontology: &o, query: &q };
         let rw = PrestoLikeRewriter::default().rewrite_complete(&omq).unwrap();
-        let d = parse_data(
-            "P(w1, a)\nR(a, b)\nP(w2, b)\nR(b, c)\nR(c, e)\nR(e, f)\nS(f, g)\n",
-            &o,
-        )
-        .unwrap();
+        let d = parse_data("P(w1, a)\nR(a, b)\nP(w2, b)\nR(b, c)\nR(c, e)\nR(e, f)\nS(f, g)\n", &o)
+            .unwrap();
         let res = evaluate(&rw, &d, &EvalOptions::default()).unwrap();
         let oracle = certain_answers(&o, &q, &d);
         assert_eq!(res.answers, oracle.tuples());
@@ -531,11 +515,7 @@ mod tw_ucq_tests {
         .unwrap();
         let omq = Omq { ontology: &o, query: &q };
         let rw = TwUcqRewriter::default().rewrite_complete(&omq).unwrap();
-        assert_eq!(
-            rw.program.num_clauses(),
-            9,
-            "Appendix A.6.1 lists exactly 9 CQs"
-        );
+        assert_eq!(rw.program.num_clauses(), 9, "Appendix A.6.1 lists exactly 9 CQs");
     }
 
     #[test]

@@ -71,11 +71,7 @@ fn connected_existential_subsets(q: &Cq, cap: usize) -> Vec<BTreeSet<Var>> {
 /// Builds the sub-CQ `q_t` as a standalone [`Cq`] whose answer variables are
 /// `t_r`; returns it together with the variable correspondence
 /// (host variable → sub-CQ variable).
-fn build_qt(
-    q: &Cq,
-    atoms: &BTreeSet<usize>,
-    roots: &BTreeSet<Var>,
-) -> (Cq, Vec<(Var, Var)>) {
+fn build_qt(q: &Cq, atoms: &BTreeSet<usize>, roots: &BTreeSet<Var>) -> (Cq, Vec<(Var, Var)>) {
     let mut sub = Cq::new();
     let mut map: Vec<(Var, Var)> = Vec::new();
     let lookup = |sub: &mut Cq, map: &mut Vec<(Var, Var)>, v: Var, name: &str| -> Var {
@@ -137,15 +133,10 @@ pub fn tree_witnesses(omq: &Omq<'_>, cap: usize) -> Vec<TreeWitness> {
         let (qt, map) = build_qt(q, &atoms, &roots);
         let mut generators = Vec::new();
         for &(role, ref model) in &models {
-            let a = model
-                .completed()
-                .get_constant("a")
-                .expect("generator model has the individual a");
-            let null_vars: Vec<Var> = map
-                .iter()
-                .filter(|&&(hv, _)| interior.contains(&hv))
-                .map(|&(_, sv)| sv)
-                .collect();
+            let a =
+                model.completed().get_constant("a").expect("generator model has the individual a");
+            let null_vars: Vec<Var> =
+                map.iter().filter(|&&(hv, _)| interior.contains(&hv)).map(|&(_, sv)| sv).collect();
             let fixed: Vec<(Var, Element)> = map
                 .iter()
                 .filter(|&&(hv, _)| roots.contains(&hv))

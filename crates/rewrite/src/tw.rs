@@ -14,7 +14,7 @@ use obda_chase::answer::{certain_answers, CertainAnswers};
 use obda_cq::gaifman::Gaifman;
 use obda_cq::query::{Atom, Cq, Var};
 use obda_cq::split::centroid;
-use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, PredId, Program};
+use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, Program};
 use obda_owlql::util::FxHashMap;
 use std::collections::BTreeSet;
 
@@ -107,19 +107,13 @@ impl Builder<'_> {
         let name = format!("T{}", self.counter);
         self.counter += 1;
         let heads = Self::head_order(key);
-        let pid = self
-            .program
-            .add_idb_with_params(name, heads.len(), heads.len());
+        let pid = self.program.add_idb_with_params(name, heads.len(), heads.len());
         self.memo.insert(key.clone(), pid);
 
         let q = self.omq.query;
         let (atoms, answers) = key;
-        let vars: BTreeSet<Var> = atoms
-            .iter()
-            .flat_map(|&i| q.atoms()[i].vars())
-            .collect();
-        let existential: Vec<Var> =
-            vars.iter().copied().filter(|v| !answers.contains(v)).collect();
+        let vars: BTreeSet<Var> = atoms.iter().flat_map(|&i| q.atoms()[i].vars()).collect();
+        let existential: Vec<Var> = vars.iter().copied().filter(|v| !answers.contains(v)).collect();
 
         if existential.is_empty() {
             // Base case: G_q(x) ← q(x).
@@ -140,8 +134,7 @@ impl Builder<'_> {
         let sub_omq = Omq { ontology: self.omq.ontology, query: &sub_cq.cq };
         for tw in tree_witnesses(&sub_omq, self.cap) {
             // Translate back to host variables.
-            let interior: BTreeSet<Var> =
-                tw.interior.iter().map(|&v| sub_cq.to_host[&v]).collect();
+            let interior: BTreeSet<Var> = tw.interior.iter().map(|&v| sub_cq.to_host[&v]).collect();
             let roots: BTreeSet<Var> = tw.roots.iter().map(|&v| sub_cq.to_host[&v]).collect();
             if !interior.contains(&zq) || roots.is_empty() {
                 continue;
@@ -157,12 +150,7 @@ impl Builder<'_> {
         pid
     }
 
-    fn choose_zq(
-        &self,
-        atoms: &BTreeSet<usize>,
-        vars: &BTreeSet<Var>,
-        existential: &[Var],
-    ) -> Var {
+    fn choose_zq(&self, atoms: &BTreeSet<usize>, vars: &BTreeSet<Var>, existential: &[Var]) -> Var {
         let q = self.omq.query;
         if vars.len() == 2 {
             return existential[0];
@@ -173,8 +161,7 @@ impl Builder<'_> {
         // Centroid of the subquery's Gaifman tree. Build adjacency over the
         // subquery's variables (indices into a dense renumbering).
         let dense: Vec<Var> = vars.iter().copied().collect();
-        let index: FxHashMap<Var, usize> =
-            dense.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let index: FxHashMap<Var, usize> = dense.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); dense.len()];
         for &i in atoms {
             if let Atom::Prop(_, u, v) = q.atoms()[i] {
@@ -316,10 +303,8 @@ impl Builder<'_> {
         }
         for child in &child_keys {
             let child_pid = self.generate(child);
-            let args: Vec<CVar> = Self::head_order(child)
-                .iter()
-                .map(|&v| alloc(v, &mut cvars, &mut next))
-                .collect();
+            let args: Vec<CVar> =
+                Self::head_order(child).iter().map(|&v| alloc(v, &mut cvars, &mut next)).collect();
             body.push(BodyAtom::Pred(child_pid, args));
         }
         // z_q might not occur in any atom or child (single-variable
@@ -361,9 +346,7 @@ impl Builder<'_> {
             loop {
                 let mut grew = false;
                 for &i in &rest {
-                    if !comp.contains(&i)
-                        && q.atoms()[i].vars().any(|v| comp_vars.contains(&v))
-                    {
+                    if !comp.contains(&i) && q.atoms()[i].vars().any(|v| comp_vars.contains(&v)) {
                         comp.insert(i);
                         comp_vars.extend(q.atoms()[i].vars());
                         grew = true;
@@ -426,9 +409,9 @@ impl Builder<'_> {
         let mut to_host: FxHashMap<Var, Var> = FxHashMap::default();
         let mut from_host: FxHashMap<Var, Var> = FxHashMap::default();
         let lookup = |cq: &mut Cq,
-                          to_host: &mut FxHashMap<Var, Var>,
-                          from_host: &mut FxHashMap<Var, Var>,
-                          v: Var|
+                      to_host: &mut FxHashMap<Var, Var>,
+                      from_host: &mut FxHashMap<Var, Var>,
+                      v: Var|
          -> Var {
             if let Some(&sv) = from_host.get(&v) {
                 return sv;
@@ -494,11 +477,8 @@ mod tests {
         let omq = Omq { ontology: &o, query: &q };
         let tx = o.taxonomy();
         let rw = rewrite_arbitrary(&TwRewriter::default(), &omq, &tx).unwrap();
-        let d = parse_data(
-            "P(w1, a)\nR(a, b)\nP(w2, b)\nR(b, c)\nR(c, e)\nR(e, f)\nS(f, g)\n",
-            &o,
-        )
-        .unwrap();
+        let d = parse_data("P(w1, a)\nR(a, b)\nP(w2, b)\nR(b, c)\nR(c, e)\nR(e, f)\nS(f, g)\n", &o)
+            .unwrap();
         let res = evaluate(&rw, &d, &EvalOptions::default()).unwrap();
         let oracle = certain_answers(&o, &q, &d);
         assert_eq!(res.answers, oracle.tuples());

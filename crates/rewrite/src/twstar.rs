@@ -8,7 +8,7 @@
 //! transformation; applied to `Tw` rewritings it yields the `Tw*` variant
 //! of Tables 3–5.
 
-use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, PredId, PredKind, Program};
+use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
 use obda_owlql::util::FxHashMap;
 
 /// Inlines IDB predicates with a single defining clause used at most
@@ -34,22 +34,13 @@ fn find_inline_target(program: &Program, goal: PredId, max_uses: usize) -> Optio
             continue;
         }
         // Self-recursive definitions cannot be inlined.
-        if defs[0]
-            .body
-            .iter()
-            .any(|a| matches!(a, BodyAtom::Pred(q, _) if *q == p))
-        {
+        if defs[0].body.iter().any(|a| matches!(a, BodyAtom::Pred(q, _) if *q == p)) {
             continue;
         }
         let uses: usize = program
             .clauses()
             .iter()
-            .map(|c| {
-                c.body
-                    .iter()
-                    .filter(|a| matches!(a, BodyAtom::Pred(q, _) if *q == p))
-                    .count()
-            })
+            .map(|c| c.body.iter().filter(|a| matches!(a, BodyAtom::Pred(q, _) if *q == p)).count())
             .sum();
         if uses >= 1 && uses <= max_uses {
             return Some(p);
@@ -60,21 +51,15 @@ fn find_inline_target(program: &Program, goal: PredId, max_uses: usize) -> Optio
 
 /// Substitutes the unique definition of `target` into every use site.
 fn inline_pred(program: &Program, target: PredId) -> Program {
-    let def = program
-        .clauses_for(target)
-        .next()
-        .expect("target has a definition")
-        .clone();
+    let def = program.clauses_for(target).next().expect("target has a definition").clone();
     let mut out = clone_preds(program);
     for clause in program.clauses() {
         if clause.head == target {
             continue; // the definition itself disappears
         }
         let mut new_clause = clause.clone();
-        while let Some(pos) = new_clause
-            .body
-            .iter()
-            .position(|a| matches!(a, BodyAtom::Pred(q, _) if *q == target))
+        while let Some(pos) =
+            new_clause.body.iter().position(|a| matches!(a, BodyAtom::Pred(q, _) if *q == target))
         {
             let BodyAtom::Pred(_, args) = new_clause.body.remove(pos) else {
                 unreachable!("position matched a predicate atom");
@@ -111,6 +96,7 @@ fn inline_pred(program: &Program, target: PredId) -> Program {
                         BodyAtom::Pred(*q, a.iter().map(|v| subst[v]).collect())
                     }
                     BodyAtom::Eq(a, b) => BodyAtom::Eq(subst[a], subst[b]),
+                    BodyAtom::EqConst(a, c) => BodyAtom::EqConst(subst[a], *c),
                 };
                 new_clause.body.push(mapped);
             }
@@ -220,11 +206,7 @@ mod tests {
         let inlined = inline_single_definitions(&q, 2);
         // P13 is gone; G has the expanded 3-atom clause.
         assert_eq!(inlined.program.num_clauses(), 2);
-        assert!(inlined
-            .program
-            .clauses()
-            .iter()
-            .all(|c| c.head == inlined.goal));
+        assert!(inlined.program.clauses().iter().all(|c| c.head == inlined.goal));
 
         // Semantics preserved.
         let o = parse_ontology("Class AP\nProperty S\nProperty R\n").unwrap();

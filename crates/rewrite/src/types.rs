@@ -71,9 +71,7 @@ impl TypeMap {
 
     /// Whether the types agree on their common domain.
     pub fn agrees_with(&self, other: &TypeMap) -> bool {
-        self.entries
-            .iter()
-            .all(|(&z, &w)| other.get(z).is_none_or(|w2| w2 == w))
+        self.entries.iter().all(|(&z, &w)| other.get(z).is_none_or(|w2| w2 == w))
     }
 
     /// Renders the type like `{x3 ↦ ε, x4 ↦ P-}` for debugging and
@@ -82,9 +80,7 @@ impl TypeMap {
         let parts: Vec<String> = self
             .entries
             .iter()
-            .map(|(&z, &w)| {
-                format!("{}↦{}", q.var_name(z), arena.display(w, ontology.vocab()))
-            })
+            .map(|(&z, &w)| format!("{}↦{}", q.var_name(z), arena.display(w, ontology.vocab())))
             .collect();
         format!("{{{}}}", parts.join(","))
     }
@@ -117,8 +113,7 @@ impl TypeCtx<'_> {
         for w in self.arena.iter().skip(1) {
             let last = self.arena.last_letter(w).expect("nonempty");
             let classes_ok = classes.iter().all(|&a| {
-                self.taxonomy
-                    .sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
+                self.taxonomy.sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
             });
             let loops_ok = self_loops.iter().all(|&r| self.taxonomy.is_reflexive(r));
             if classes_ok && loops_ok {
@@ -168,9 +163,7 @@ impl TypeCtx<'_> {
             if !w.is_epsilon() {
                 let last = self.arena.last_letter(w).expect("nonempty");
                 for a in self.q.class_atoms_on(z) {
-                    if !self
-                        .taxonomy
-                        .sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
+                    if !self.taxonomy.sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
                     {
                         return false;
                     }
@@ -310,8 +303,9 @@ mod tests {
         // (iii): x3 = x4's parent? No — x4 = x3·P⁻?? P⁻ ⊑ R so R(x3, x3·P⁻)).
         let p = obda_owlql::parser::resolve_role(o.vocab(), "P-").unwrap();
         let w_pinv = arena.word_of(&[p]).unwrap();
-        assert!(types.iter().any(|t| t.get(x3) == Some(WordId::EPSILON)
-            && t.get(x4) == Some(w_pinv)));
+        assert!(types
+            .iter()
+            .any(|t| t.get(x3) == Some(WordId::EPSILON) && t.get(x4) == Some(w_pinv)));
     }
 
     #[test]

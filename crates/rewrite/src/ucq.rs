@@ -18,7 +18,7 @@
 
 use crate::omq::{Omq, RewriteError, Rewriter};
 use obda_cq::query::{Atom, Var};
-use obda_ndl::program::{BodyAtom, Clause, CVar, NdlQuery, Program};
+use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, Program};
 use obda_owlql::axiom::{Axiom, ClassExpr};
 use obda_owlql::util::FxHashSet;
 use obda_owlql::vocab::{ClassId, Role};
@@ -97,10 +97,8 @@ fn canonicalise(atoms: &BTreeSet<UAtom>, num_answer: u32) -> Disjunct {
             map.push((v, n));
             n
         };
-        current = current
-            .iter()
-            .map(|a| a.rename(&mut |v| rename(v, &mut map, &mut next)))
-            .collect();
+        current =
+            current.iter().map(|a| a.rename(&mut |v| rename(v, &mut map, &mut next))).collect();
     }
     current.into_iter().collect()
 }
@@ -160,10 +158,7 @@ impl Rewriter for UcqRewriter {
             let fresh = max_var + 1;
             let unbound = |v: u32, without: UAtom| -> bool {
                 v >= num_answer
-                    && cq
-                        .iter()
-                        .filter(|&&a| a != without)
-                        .all(|a| a.vars().all(|u| u != v))
+                    && cq.iter().filter(|&&a| a != without).all(|a| a.vars().all(|u| u != v))
                     && without.vars().filter(|&u| u == v).count() == 1
             };
 
@@ -225,10 +220,12 @@ impl Rewriter for UcqRewriter {
                                     let mut next: BTreeSet<UAtom> = cq
                                         .iter()
                                         .map(|a| {
-                                            a.rename(&mut |v| if v == t2.max(t) {
-                                                t2.min(t)
-                                            } else {
-                                                v
+                                            a.rename(&mut |v| {
+                                                if v == t2.max(t) {
+                                                    t2.min(t)
+                                                } else {
+                                                    v
+                                                }
                                             })
                                         })
                                         .collect();
@@ -254,10 +251,8 @@ impl Rewriter for UcqRewriter {
             for (ai, &g1) in atoms.iter().enumerate() {
                 for &g2 in &atoms[ai + 1..] {
                     if let Some(unifier) = mgu(g1, g2, num_answer) {
-                        let next: BTreeSet<UAtom> = cq
-                            .iter()
-                            .map(|a| a.rename(&mut |v| resolve(&unifier, v)))
-                            .collect();
+                        let next: BTreeSet<UAtom> =
+                            cq.iter().map(|a| a.rename(&mut |v| resolve(&unifier, v))).collect();
                         push_disjunct(next, num_answer, &mut seen, &mut queue);
                     }
                 }
@@ -417,11 +412,7 @@ mod tests {
         .map(|src| {
             let q = parse_cq(src, &o).unwrap();
             let omq = Omq { ontology: &o, query: &q };
-            UcqRewriter::default()
-                .rewrite_complete(&omq)
-                .unwrap()
-                .program
-                .num_clauses()
+            UcqRewriter::default().rewrite_complete(&omq).unwrap().program.num_clauses()
         })
         .collect();
         assert!(sizes[1] > 2 * sizes[0], "{sizes:?}");

@@ -18,14 +18,10 @@ use obda_datagen::logcfl::{in_l, logcfl_data, parse_word, t_double_dagger, word_
 fn main() {
     // ----- Theorem 15: hitting sets ------------------------------------
     println!("Theorem 15 (W[2]-hardness): hitting set as OMQ answering");
-    let h = Hypergraph {
-        num_vertices: 3,
-        edges: vec![vec![0, 2], vec![1, 2], vec![0, 1]],
-    };
+    let h = Hypergraph { num_vertices: 3, edges: vec![vec![0, 2], vec![1, 2], vec![0, 1]] };
     for k in 1..=2 {
         let r = hitting_set_to_omq(&h, k);
-        let omq =
-            certain_answers(&r.ontology, &r.query, &r.data) == CertainAnswers::Boolean(true);
+        let omq = certain_answers(&r.ontology, &r.query, &r.data) == CertainAnswers::Boolean(true);
         println!(
             "  k = {k}: OMQ {omq}, brute force {} (ontology depth grows with k, {} axioms)",
             h.has_hitting_set(k),
@@ -42,11 +38,14 @@ fn main() {
         partition: vec![0, 0, 1, 2, 2],
         num_parts: 3,
     };
-    for (label, graph) in [("paper example", g.clone()), ("with the closing edge", {
-        let mut g2 = g;
-        g2.edges.push((0, 4));
-        g2
-    })] {
+    for (label, graph) in [
+        ("paper example", g.clone()),
+        ("with the closing edge", {
+            let mut g2 = g;
+            g2.edges.push((0, 4));
+            g2
+        }),
+    ] {
         let r = clique_to_omq(&graph);
         let bound = (2 * graph.num_vertices + 2) * graph.num_parts + 2;
         let model = CanonicalModel::new(&r.ontology, &r.data, bound);
@@ -64,12 +63,7 @@ fn main() {
     println!("\nTheorem 22 (LOGCFL-hardness): word problems with the fixed ontology T‡");
     let ontology = t_double_dagger();
     let data = logcfl_data(&ontology);
-    for word in [
-        "[a1a2#b2b1]",
-        "[a1a2#b2b1][b2b1]",
-        "[a1a2#b2b1][a1b1]",
-        "[#a1a2#b2b1][a1b1]",
-    ] {
+    for word in ["[a1a2#b2b1]", "[a1a2#b2b1][b2b1]", "[a1a2#b2b1][a1b1]", "[#a1a2#b2b1][a1b1]"] {
         let w = parse_word(word);
         let q = word_to_query(&ontology, &w);
         let anchor = q.get_var("u0").expect("u0 exists");

@@ -51,8 +51,7 @@ fn main() {
             result.stats.generated_tuples,
         );
         for tuple in &result.answers {
-            let names: Vec<&str> =
-                tuple.iter().map(|&c| data.constant_name(c)).collect();
+            let names: Vec<&str> = tuple.iter().map(|&c| data.constant_name(c)).collect();
             println!("      answer: ({})", names.join(", "));
         }
     }

@@ -26,10 +26,7 @@ fn main() {
         ),
         (
             "all four 2-clauses over p1, p2 (unsat)",
-            Cnf {
-                num_vars: 2,
-                clauses: vec![vec![1, 2], vec![1, -2], vec![-1, 2], vec![-1, -2]],
-            },
+            Cnf { num_vars: 2, clauses: vec![vec![1, 2], vec![1, -2], vec![-1, 2], vec![-1, -2]] },
         ),
     ];
 

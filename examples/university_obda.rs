@@ -48,9 +48,7 @@ fn main() {
     for (label, text) in queries {
         let query = system.parse_query(text).expect("query parses");
         let cell = system.classify(&query);
-        let result = system
-            .answer(&query, &data, Strategy::Adaptive)
-            .expect("evaluation succeeds");
+        let result = system.answer(&query, &data, Strategy::Adaptive).expect("evaluation succeeds");
         println!("{label} [{:?}, {}]:", cell.query, cell.complexity);
         if result.answers.is_empty() {
             println!("  (no certain answers)");
@@ -62,18 +60,15 @@ fn main() {
     }
 
     // The adaptive rewriter reports which strategy its cost model picked.
-    let query = system
-        .parse_query("q(x) :- involvedIn(x, y), Course(y)")
-        .expect("query parses");
+    let query = system.parse_query("q(x) :- involvedIn(x, y), Course(y)").expect("query parses");
     let adaptive = AdaptiveRewriter { stats: DataStats::of(&data) };
     let omq = Omq { ontology: system.ontology(), query: &query };
     let (_, winner, cost) = adaptive.rewrite_with_report(&omq).expect("a strategy applies");
     println!("\nadaptive choice: {winner} (estimated cost {cost:.1})");
 
     // Consistency: kurt cannot be both faculty and a student.
-    let inconsistent = system
-        .parse_data("Professor(kurt)\nGradStudent(kurt)\n")
-        .expect("data parses");
+    let inconsistent =
+        system.parse_data("Professor(kurt)\nGradStudent(kurt)\n").expect("data parses");
     let q = system.parse_query("q(x) :- Course(x)").expect("query parses");
     let res = system.answer(&q, &inconsistent, Strategy::Tw).expect("evaluation succeeds");
     println!(

@@ -121,8 +121,7 @@ fn figure_2_shape_lin_log_tw_linear_baselines_exponential() {
     }
     // Super-linear growth of the tree-witness UCQ baseline: increments
     // accelerate.
-    let incs: Vec<isize> =
-        counts.windows(2).map(|p| p[1][3] as isize - p[0][3] as isize).collect();
+    let incs: Vec<isize> = counts.windows(2).map(|p| p[1][3] as isize - p[0][3] as isize).collect();
     assert!(
         incs.last().unwrap() > incs.first().unwrap(),
         "TwUCQ increments {incs:?} should accelerate"
@@ -137,9 +136,7 @@ fn all_three_sequences_answer_consistently() {
     // strategies agree with the oracle.
     let sys = system();
     let d = sys
-        .parse_data(
-            "R(a, b)\nR(b, c)\nS(c, d)\nR(d, e)\nP(p1, a)\nP(c, p2)\nS(e, f)\nR(f, g)\n",
-        )
+        .parse_data("R(a, b)\nR(b, c)\nS(c, d)\nR(d, e)\nP(p1, a)\nP(c, p2)\nS(e, f)\nR(f, g)\n")
         .unwrap();
     for seq in SEQUENCES {
         for n in 1..=6 {

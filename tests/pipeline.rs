@@ -66,9 +66,7 @@ fn infinite_depth_ontology_routes_to_tw() {
          exists hasParent- SubClassOf exists hasParent\n",
     )
     .unwrap();
-    let q = sys
-        .parse_query("q(x) :- hasParent(x, y), hasParent(y, z)")
-        .unwrap();
+    let q = sys.parse_query("q(x) :- hasParent(x, y), hasParent(y, z)").unwrap();
     assert!(sys.rewrite(&q, Strategy::Lin).is_err());
     assert!(sys.rewrite(&q, Strategy::Log).is_err());
     let data = sys.parse_data("Person(ada)\nhasParent(eve, adam)\n").unwrap();

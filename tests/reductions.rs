@@ -1,6 +1,7 @@
 //! Larger randomized runs of the Section 4/5 hardness reductions against
 //! their brute-force oracles.
 
+use obda_chase::answer::{certain_answers, CertainAnswers};
 use obda_chase::homomorphism::HomSearch;
 use obda_chase::linear_walk::linear_boolean_entails;
 use obda_chase::model::CanonicalModel;
@@ -8,7 +9,6 @@ use obda_datagen::clique::{clique_to_omq, PartitionedGraph};
 use obda_datagen::hitting_set::{hitting_set_to_omq, Hypergraph};
 use obda_datagen::logcfl::{in_l, logcfl_data, parse_word, t_double_dagger, word_to_query};
 use obda_datagen::sat::{sat_data, sat_query, t_dagger, Cnf};
-use obda_chase::answer::{certain_answers, CertainAnswers};
 
 #[test]
 fn theorem_15_hitting_set_sweep() {

@@ -119,8 +119,12 @@ fn build_data(atoms: &[(u8, u8, u8)], ontology: &Ontology) -> DataInstance {
 }
 
 fn axiom_spec() -> impl Strategy<Value = AxiomSpec> {
-    (0u8..6, 0u8..12, 0u8..12, any::<bool>())
-        .prop_map(|(kind, a, b, flip)| AxiomSpec { kind, a, b, flip })
+    (0u8..6, 0u8..12, 0u8..12, any::<bool>()).prop_map(|(kind, a, b, flip)| AxiomSpec {
+        kind,
+        a,
+        b,
+        flip,
+    })
 }
 
 fn query_spec() -> impl Strategy<Value = QuerySpec> {
