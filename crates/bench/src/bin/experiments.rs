@@ -178,7 +178,7 @@ fn evaluation_table(cfg: &Config, seq: usize) {
         let mut header: Vec<String> = vec!["atoms".into()];
         header.extend(EVAL_STRATEGIES.iter().map(|st| st.to_string()));
         let mut rows = Vec::new();
-        let mut csv = String::from("atoms,strategy,seconds,answers,generated,clauses\n");
+        let mut csv = String::from("atoms,strategy,seconds,answers,generated,clauses,outcome\n");
         for n in 1..=cfg.max_atoms.min(SEQUENCES[seq].len()) {
             let q = prefix_query(&sys, seq, n);
             let mut row = vec![n.to_string()];
@@ -186,11 +186,12 @@ fn evaluation_table(cfg: &Config, seq: usize) {
                 let cell = evaluate_cell(&sys, &q, &db, strategy, cfg.timeout, max_tuples);
                 row.push(cell.render());
                 csv.push_str(&format!(
-                    "{n},{strategy},{:.6},{},{},{}\n",
+                    "{n},{strategy},{:.6},{},{},{},{}\n",
                     cell.time.as_secs_f64(),
                     cell.answers.map_or("-".into(), |v| v.to_string()),
                     cell.generated.map_or("-".into(), |v| v.to_string()),
                     cell.clauses.map_or("-".into(), |v| v.to_string()),
+                    cell.outcome.tag(),
                 ));
             }
             rows.push(row);

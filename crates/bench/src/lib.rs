@@ -7,11 +7,12 @@
 //! micro-benchmarks and ablations. The `experiments` binary prints the
 //! tables; the benches in `benches/` measure the same workloads.
 
+use obda::budget::BudgetSpec;
 use obda::{ObdaSystem, Strategy};
 use obda_cq::query::Cq;
 use obda_datagen::erdos::ErdosRenyi;
 use obda_datagen::sequences::{example_11_ontology, word_query, SEQUENCES};
-use obda_ndl::eval::{EvalError, EvalOptions};
+use obda_ndl::eval::EvalError;
 use obda_ndl::storage::Database;
 use obda_owlql::abox::DataInstance;
 use std::time::{Duration, Instant};
@@ -32,6 +33,34 @@ pub const EVAL_STRATEGIES: [Strategy; 6] = [
     Strategy::TwStar,
 ];
 
+/// How a table cell's pipeline run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Rewriting and evaluation both finished within the budget.
+    Completed,
+    /// The rewriter tripped the resource budget (size or wall clock).
+    RewriteBudget,
+    /// The rewriter refused structurally (cap, unsupported shape).
+    RewriteRefused,
+    /// Evaluation tripped the resource budget (timeout or tuple cap).
+    EvalBudget,
+    /// Evaluation failed for a non-budget reason.
+    EvalFailed,
+}
+
+impl CellOutcome {
+    /// Short tag for tables and CSV.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CellOutcome::Completed => "ok",
+            CellOutcome::RewriteBudget => "rw>budget",
+            CellOutcome::RewriteRefused => "rw-fail",
+            CellOutcome::EvalBudget => ">limit",
+            CellOutcome::EvalFailed => "eval-fail",
+        }
+    }
+}
+
 /// One measured cell of an evaluation table.
 #[derive(Debug, Clone)]
 pub struct EvalCell {
@@ -43,15 +72,17 @@ pub struct EvalCell {
     pub generated: Option<usize>,
     /// Rewriting size in clauses, or `None` if the rewriter gave up.
     pub clauses: Option<usize>,
+    /// How the run ended (budget exhaustion is recorded, never panicked).
+    pub outcome: CellOutcome,
 }
 
 impl EvalCell {
-    /// Renders the cell like `0.123s/42/1001` or `>T`.
+    /// Renders the cell like `0.123/42/1001`, or the outcome tag when the
+    /// strategy did not complete (`rw>budget`, `rw-fail`, `>limit`, …).
     pub fn render(&self) -> String {
         match (self.answers, self.generated) {
             (Some(a), Some(g)) => format!("{:.3}/{a}/{g}", self.time.as_secs_f64()),
-            _ if self.clauses.is_none() => "rw-fail".to_owned(),
-            _ => ">limit".to_owned(),
+            _ => self.outcome.tag().to_owned(),
         }
     }
 }
@@ -84,23 +115,56 @@ pub fn evaluate_cell(
     timeout: Duration,
     max_tuples: usize,
 ) -> EvalCell {
-    let Ok(prepared) = system.prepare(query, strategy) else {
-        return EvalCell { time: Duration::ZERO, answers: None, generated: None, clauses: None };
+    // One budget covers the whole cell: a rewriter that blows up is recorded
+    // as `rw>budget` instead of hanging the table run.
+    let spec = BudgetSpec {
+        timeout: Some(timeout),
+        max_tuples: Some(max_tuples as u64),
+        ..BudgetSpec::unlimited()
+    };
+    let mut budget = spec.start();
+    let start = Instant::now();
+    let prepared = match system.prepare_budgeted(query, strategy, &mut budget) {
+        Ok(p) => p,
+        Err(e) => {
+            let outcome = if e.is_budget() {
+                CellOutcome::RewriteBudget
+            } else {
+                CellOutcome::RewriteRefused
+            };
+            return EvalCell {
+                time: start.elapsed(),
+                answers: None,
+                generated: None,
+                clauses: None,
+                outcome,
+            };
+        }
     };
     let clauses = Some(prepared.num_clauses());
-    let opts = EvalOptions { timeout: Some(timeout), max_tuples: Some(max_tuples) };
     let start = Instant::now();
-    match prepared.execute(db, &opts) {
+    match prepared.execute_budgeted(db, &mut budget) {
         Ok(res) => EvalCell {
             time: start.elapsed(),
             answers: Some(res.stats.num_answers),
             generated: Some(res.stats.generated_tuples),
             clauses,
+            outcome: CellOutcome::Completed,
         },
-        Err(EvalError::Timeout(_) | EvalError::TupleLimit(_)) => {
-            EvalCell { time: start.elapsed(), answers: None, generated: None, clauses }
-        }
-        Err(e) => panic!("unexpected evaluation error: {e}"),
+        Err(EvalError::Timeout(_) | EvalError::TupleLimit(_)) => EvalCell {
+            time: start.elapsed(),
+            answers: None,
+            generated: None,
+            clauses,
+            outcome: CellOutcome::EvalBudget,
+        },
+        Err(_) => EvalCell {
+            time: start.elapsed(),
+            answers: None,
+            generated: None,
+            clauses,
+            outcome: CellOutcome::EvalFailed,
+        },
     }
 }
 
@@ -163,6 +227,22 @@ mod tests {
             evaluate_cell(&sys, &q, &db, Strategy::Lin, Duration::from_secs(20), 10_000_000);
         assert_eq!(cell.answers, cell2.answers);
         assert_eq!(Database::build_count(), before, "database built once per dataset");
+    }
+
+    #[test]
+    fn budget_trips_are_recorded_not_panicked() {
+        let sys = paper_system();
+        let q = prefix_query(&sys, 0, 3);
+        let d = dataset(&sys, 0, 0.02);
+        let db = Database::new(&d);
+        // Zero wall clock: the rewriter trips before emitting anything.
+        let cell = evaluate_cell(&sys, &q, &db, Strategy::Tw, Duration::ZERO, 10_000_000);
+        assert_eq!(cell.outcome, CellOutcome::RewriteBudget);
+        assert_eq!(cell.render(), "rw>budget");
+        // Tiny tuple cap: rewriting fits, evaluation trips.
+        let cell = evaluate_cell(&sys, &q, &db, Strategy::Tw, Duration::from_secs(30), 1);
+        assert_eq!(cell.outcome, CellOutcome::EvalBudget);
+        assert_eq!(cell.render(), ">limit");
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Shared resource budgets for every stage of the OBDA pipeline.
+//!
+//! The paper's central message is that the *size* of rewritings varies
+//! wildly with the OMQ class: UCQ-rewritings are exponential in general
+//! while the Lin/Log/Tw NDL-rewritings are polynomial. A production
+//! system therefore cannot assume any single stage terminates quickly —
+//! saturation, chase materialisation, rewriting and evaluation all need
+//! a way to stop early and report *how far they got*. This crate is the
+//! bottom of the dependency graph: a [`Budget`] couples a wall-clock
+//! deadline with per-resource caps and is threaded by `&mut` through
+//! `obda-owlql`, `obda-chase`, `obda-rewrite` and `obda-ndl`.
+//!
+//! Checking is amortised: [`Budget::tick`] only consults the clock every
+//! `TICK_CHECK_INTERVAL` calls, so it is cheap enough for inner loops.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many [`Budget::tick`] calls go between wall-clock checks.
+pub const TICK_CHECK_INTERVAL: u64 = 1024;
+
+/// The kind of resource whose cap was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The wall-clock deadline passed.
+    Time,
+    /// The cap on abstract work steps (loop iterations) was hit.
+    Steps,
+    /// The cap on emitted clauses/disjuncts (rewriting) was hit.
+    Clauses,
+    /// The cap on derived tuples (evaluation) was hit.
+    Tuples,
+    /// The cap on materialised chase elements (canonical model) was hit.
+    ChaseElements,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Time => write!(f, "wall-clock time"),
+            Resource::Steps => write!(f, "work steps"),
+            Resource::Clauses => write!(f, "clauses"),
+            Resource::Tuples => write!(f, "tuples"),
+            Resource::ChaseElements => write!(f, "chase elements"),
+        }
+    }
+}
+
+/// A typed "out of budget" signal, carrying how much was spent on the
+/// exhausted resource and what the cap was. For [`Resource::Time`] the
+/// numbers are milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    pub resource: Resource,
+    /// Amount spent when the budget tripped (ms for `Time`).
+    pub spent: u64,
+    /// The configured cap (ms for `Time`).
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resource {
+            Resource::Time => {
+                write!(f, "budget exceeded: {}ms elapsed of {}ms allowed", self.spent, self.limit)
+            }
+            r => write!(f, "budget exceeded: {} {} of {} allowed", self.spent, r, self.limit),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A declarative budget: what the caps *are*, independent of when the
+/// clock starts. Produced by CLI flags or API callers; call
+/// [`BudgetSpec::start`] to begin the countdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// Wall-clock allowance across the whole pipeline run.
+    pub timeout: Option<Duration>,
+    /// Cap on abstract work steps (inner-loop iterations).
+    pub max_steps: Option<u64>,
+    /// Cap on clauses emitted by a rewriter.
+    pub max_clauses: Option<u64>,
+    /// Cap on tuples derived by an evaluator.
+    pub max_tuples: Option<u64>,
+    /// Cap on chase elements materialised by the canonical model.
+    pub max_chase_elements: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// A spec with no caps at all.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when no cap is configured.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Starts the countdown: converts the relative timeout into an
+    /// absolute deadline and zeroes all counters.
+    pub fn start(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        b.deadline = self.timeout.map(|t| Instant::now() + t);
+        b.timeout = self.timeout;
+        b.max_steps = self.max_steps;
+        b.max_clauses = self.max_clauses;
+        b.max_tuples = self.max_tuples;
+        b.max_chase_elements = self.max_chase_elements;
+        b
+    }
+}
+
+/// A running budget: an optional absolute deadline plus per-resource
+/// caps and spent counters. Pass `&mut Budget` down through pipeline
+/// stages; each stage charges the resources it consumes.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    /// The original relative allowance, kept for error reporting.
+    timeout: Option<Duration>,
+    started: Instant,
+    steps: u64,
+    max_steps: Option<u64>,
+    clauses: u64,
+    max_clauses: Option<u64>,
+    tuples: u64,
+    max_tuples: Option<u64>,
+    chase_elements: u64,
+    max_chase_elements: Option<u64>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never trips. All budgeted entry points degrade to
+    /// their unbudgeted behaviour when handed this.
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            timeout: None,
+            started: Instant::now(),
+            steps: 0,
+            max_steps: None,
+            clauses: 0,
+            max_clauses: None,
+            tuples: 0,
+            max_tuples: None,
+            chase_elements: 0,
+            max_chase_elements: None,
+        }
+    }
+
+    /// A budget with only a wall-clock allowance.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        BudgetSpec { timeout: Some(timeout), ..BudgetSpec::default() }.start()
+    }
+
+    /// Builder-style cap setters.
+    pub fn max_steps(mut self, cap: u64) -> Self {
+        self.max_steps = Some(cap);
+        self
+    }
+
+    pub fn max_clauses(mut self, cap: u64) -> Self {
+        self.max_clauses = Some(cap);
+        self
+    }
+
+    pub fn max_tuples(mut self, cap: u64) -> Self {
+        self.max_tuples = Some(cap);
+        self
+    }
+
+    pub fn max_chase_elements(mut self, cap: u64) -> Self {
+        self.max_chase_elements = Some(cap);
+        self
+    }
+
+    /// True when nothing can ever trip this budget.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_steps.is_none()
+            && self.max_clauses.is_none()
+            && self.max_tuples.is_none()
+            && self.max_chase_elements.is_none()
+    }
+
+    /// A fresh budget with the *same absolute deadline* but zeroed
+    /// size counters. Used by the fallback ladder: each strategy
+    /// attempt gets the full clause/tuple caps while all attempts race
+    /// the one shared wall clock.
+    pub fn renew(&self) -> Self {
+        Budget {
+            deadline: self.deadline,
+            timeout: self.timeout,
+            started: self.started,
+            steps: 0,
+            max_steps: self.max_steps,
+            clauses: 0,
+            max_clauses: self.max_clauses,
+            tuples: 0,
+            max_tuples: self.max_tuples,
+            chase_elements: 0,
+            max_chase_elements: self.max_chase_elements,
+        }
+    }
+
+    fn time_error(&self) -> BudgetExceeded {
+        BudgetExceeded {
+            resource: Resource::Time,
+            spent: self.started.elapsed().as_millis() as u64,
+            limit: self.timeout.map_or(0, |t| t.as_millis() as u64),
+        }
+    }
+
+    /// Checks the wall clock *now*, regardless of the tick counter.
+    pub fn check_time(&self) -> Result<(), BudgetExceeded> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(self.time_error()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Counts one unit of abstract work. Checks the step cap on every
+    /// call and the wall clock every [`TICK_CHECK_INTERVAL`] calls, so
+    /// this is cheap enough for inner loops.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), BudgetExceeded> {
+        self.steps += 1;
+        if let Some(cap) = self.max_steps {
+            if self.steps > cap {
+                return Err(BudgetExceeded {
+                    resource: Resource::Steps,
+                    spent: self.steps,
+                    limit: cap,
+                });
+            }
+        }
+        if self.deadline.is_some() && self.steps.is_multiple_of(TICK_CHECK_INTERVAL) {
+            self.check_time()?;
+        }
+        Ok(())
+    }
+
+    /// Charges `n` emitted clauses/disjuncts against the clause cap.
+    pub fn charge_clauses(&mut self, n: u64) -> Result<(), BudgetExceeded> {
+        self.clauses += n;
+        match self.max_clauses {
+            Some(cap) if self.clauses > cap => {
+                Err(BudgetExceeded { resource: Resource::Clauses, spent: self.clauses, limit: cap })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Charges `n` derived tuples against the tuple cap.
+    pub fn charge_tuples(&mut self, n: u64) -> Result<(), BudgetExceeded> {
+        self.tuples += n;
+        match self.max_tuples {
+            Some(cap) if self.tuples > cap => {
+                Err(BudgetExceeded { resource: Resource::Tuples, spent: self.tuples, limit: cap })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Errors (without charging) when `pending` more tuples would trip
+    /// the cap. Lets join loops bail out before materialising an
+    /// oversized intermediate delta.
+    pub fn check_tuple_headroom(&self, pending: u64) -> Result<(), BudgetExceeded> {
+        match self.max_tuples {
+            Some(cap) if self.tuples + pending > cap => Err(BudgetExceeded {
+                resource: Resource::Tuples,
+                spent: self.tuples + pending,
+                limit: cap,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Would charging `pending` more tuples trip the cap?
+    pub fn tuples_would_exceed(&self, pending: u64) -> bool {
+        self.check_tuple_headroom(pending).is_err()
+    }
+
+    /// Charges `n` materialised chase elements against the chase cap.
+    pub fn charge_chase_elements(&mut self, n: u64) -> Result<(), BudgetExceeded> {
+        self.chase_elements += n;
+        match self.max_chase_elements {
+            Some(cap) if self.chase_elements > cap => Err(BudgetExceeded {
+                resource: Resource::ChaseElements,
+                spent: self.chase_elements,
+                limit: cap,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Spent-so-far accessors, used for partial statistics in errors.
+    pub fn spent_steps(&self) -> u64 {
+        self.steps
+    }
+
+    pub fn spent_clauses(&self) -> u64 {
+        self.clauses
+    }
+
+    pub fn spent_tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    pub fn spent_chase_elements(&self) -> u64 {
+        self.chase_elements
+    }
+
+    /// Time elapsed since this budget (or its ancestor, for
+    /// [`Budget::renew`]) was started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.tick().unwrap();
+        }
+        b.charge_clauses(1 << 40).unwrap();
+        b.charge_tuples(1 << 40).unwrap();
+        b.charge_chase_elements(1 << 40).unwrap();
+        assert!(b.is_unlimited());
+    }
+
+    #[test]
+    fn step_cap_trips_with_partial_spend() {
+        let mut b = Budget::unlimited().max_steps(10);
+        for _ in 0..10 {
+            b.tick().unwrap();
+        }
+        let err = b.tick().unwrap_err();
+        assert_eq!(err.resource, Resource::Steps);
+        assert_eq!(err.limit, 10);
+        assert_eq!(err.spent, 11);
+    }
+
+    #[test]
+    fn clause_cap_trips() {
+        let mut b = Budget::unlimited().max_clauses(100);
+        b.charge_clauses(60).unwrap();
+        let err = b.charge_clauses(60).unwrap_err();
+        assert_eq!(err.resource, Resource::Clauses);
+        assert_eq!(err.spent, 120);
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let b = Budget::with_timeout(Duration::from_secs(0));
+        let err = b.check_time().unwrap_err();
+        assert_eq!(err.resource, Resource::Time);
+    }
+
+    #[test]
+    fn renew_resets_counters_but_keeps_deadline() {
+        let mut b = Budget::with_timeout(Duration::from_secs(3600)).max_clauses(10);
+        b.charge_clauses(10).unwrap();
+        assert!(b.charge_clauses(1).is_err());
+        let mut fresh = b.renew();
+        assert_eq!(fresh.spent_clauses(), 0);
+        assert_eq!(fresh.deadline(), b.deadline());
+        fresh.charge_clauses(10).unwrap();
+    }
+
+    #[test]
+    fn tuples_would_exceed_is_a_dry_run() {
+        let mut b = Budget::unlimited().max_tuples(5);
+        b.charge_tuples(3).unwrap();
+        assert!(!b.tuples_would_exceed(2));
+        assert!(b.tuples_would_exceed(3));
+        assert_eq!(b.spent_tuples(), 3);
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let spec = BudgetSpec {
+            timeout: Some(Duration::from_secs(5)),
+            max_clauses: Some(7),
+            ..BudgetSpec::default()
+        };
+        assert!(!spec.is_unlimited());
+        let b = spec.start();
+        assert!(b.deadline().is_some());
+        assert!(!b.is_unlimited());
+        assert!(BudgetSpec::unlimited().is_unlimited());
+    }
+}

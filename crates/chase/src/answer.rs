@@ -6,7 +6,8 @@
 //! against; it is not meant to be fast on large data.
 
 use crate::homomorphism::HomSearch;
-use crate::model::{word_bound, CanonicalModel};
+use crate::model::{word_bound, CanonicalModel, ChaseError};
+use obda_budget::Budget;
 use obda_cq::query::Cq;
 use obda_owlql::abox::{ConstId, DataInstance};
 use obda_owlql::ontology::Ontology;
@@ -38,10 +39,32 @@ impl CertainAnswers {
 /// If `(T, A)` is inconsistent, every tuple over `ind(A)` is a certain
 /// answer (and a Boolean query holds).
 pub fn certain_answers(ontology: &Ontology, q: &Cq, data: &DataInstance) -> CertainAnswers {
-    let taxonomy = ontology.taxonomy();
+    match certain_answers_budgeted(ontology, q, data, &mut Budget::unlimited()) {
+        Ok(ans) => ans,
+        Err(_) => unreachable!("an unlimited budget never trips"),
+    }
+}
+
+/// Like [`certain_answers`], but every phase — saturation, word-arena
+/// expansion, data completion and homomorphism search — draws on the given
+/// [`Budget`]. A cyclic (infinite-depth) ontology makes the bounded
+/// materialisation exponential in the locality bound; under a budget the
+/// oracle returns a typed [`ChaseError`] with partial statistics instead
+/// of hanging or exhausting memory.
+pub fn certain_answers_budgeted(
+    ontology: &Ontology,
+    q: &Cq,
+    data: &DataInstance,
+    budget: &mut Budget,
+) -> Result<CertainAnswers, ChaseError> {
+    let interrupted = |e: obda_budget::BudgetExceeded, b: &Budget| ChaseError {
+        exceeded: e,
+        elements: b.spent_chase_elements() as usize,
+    };
+    let taxonomy = ontology.taxonomy_budgeted(budget).map_err(|e| interrupted(e, budget))?;
     if !data.is_consistent(&taxonomy) {
         if q.is_boolean() {
-            return CertainAnswers::Boolean(true);
+            return Ok(CertainAnswers::Boolean(true));
         }
         let individuals: Vec<ConstId> = data.individuals().collect();
         let mut tuples = vec![Vec::new()];
@@ -49,6 +72,7 @@ pub fn certain_answers(ontology: &Ontology, q: &Cq, data: &DataInstance) -> Cert
             let mut next = Vec::new();
             for t in &tuples {
                 for &c in &individuals {
+                    budget.tick().map_err(|e| interrupted(e, budget))?;
                     let mut t2: Vec<ConstId> = t.clone();
                     t2.push(c);
                     next.push(t2);
@@ -56,19 +80,21 @@ pub fn certain_answers(ontology: &Ontology, q: &Cq, data: &DataInstance) -> Cert
             }
             tuples = next;
         }
-        return CertainAnswers::Tuples(tuples);
+        return Ok(CertainAnswers::Tuples(tuples));
     }
 
     let bound = word_bound(&taxonomy, q.num_vars());
-    let model = CanonicalModel::new(ontology, data, bound);
+    let model = CanonicalModel::new_budgeted(ontology, data, bound, budget)?;
     let search = HomSearch::new(&model, q);
     if q.is_boolean() {
-        CertainAnswers::Boolean(search.exists(&[]))
+        let found = search.try_exists(&[], budget).map_err(|e| interrupted(e, budget))?;
+        Ok(CertainAnswers::Boolean(found))
     } else {
-        let set: FxHashSet<Vec<ConstId>> = search.all_answer_tuples();
+        let set: FxHashSet<Vec<ConstId>> =
+            search.try_all_answer_tuples(budget).map_err(|e| interrupted(e, budget))?;
         let mut tuples: Vec<Vec<ConstId>> = set.into_iter().collect();
         tuples.sort();
-        CertainAnswers::Tuples(tuples)
+        Ok(CertainAnswers::Tuples(tuples))
     }
 }
 

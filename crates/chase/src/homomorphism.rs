@@ -7,6 +7,7 @@
 //! (so only one unconstrained enumeration per connected component).
 
 use crate::model::{CanonicalModel, Element};
+use obda_budget::{Budget, BudgetExceeded};
 use obda_cq::query::{Atom, Cq, Var};
 use obda_owlql::util::FxHashSet;
 use obda_owlql::vocab::Role;
@@ -126,30 +127,32 @@ impl<'m, 'q> HomSearch<'m, 'q> {
         &self,
         pos: usize,
         h: &mut Vec<Option<Element>>,
+        budget: &mut Budget,
         on_complete: &mut dyn FnMut(&[Option<Element>]) -> bool,
-    ) -> bool {
+    ) -> Result<bool, BudgetExceeded> {
+        budget.tick()?;
         if pos == self.order.len() {
-            return on_complete(h);
+            return Ok(on_complete(h));
         }
         let var = self.order[pos];
         if let Some(e) = h[var.0 as usize] {
             // Pre-fixed variable: just validate it.
             if self.consistent_prefixed(var, e, h) {
-                return self.search(pos + 1, h, on_complete);
+                return self.search(pos + 1, h, budget, on_complete);
             }
-            return false;
+            return Ok(false);
         }
         for e in self.candidates(pos, h) {
             if self.consistent(var, e, h) {
                 h[var.0 as usize] = Some(e);
-                if self.search(pos + 1, h, on_complete) {
+                if self.search(pos + 1, h, budget, on_complete)? {
                     h[var.0 as usize] = None;
-                    return true;
+                    return Ok(true);
                 }
                 h[var.0 as usize] = None;
             }
         }
-        false
+        Ok(false)
     }
 
     fn consistent_prefixed(&self, var: Var, e: Element, h: &[Option<Element>]) -> bool {
@@ -162,20 +165,46 @@ impl<'m, 'q> HomSearch<'m, 'q> {
 
     /// Whether a homomorphism extending `fixed` exists.
     pub fn exists(&self, fixed: &[(Var, Element)]) -> bool {
+        match self.try_exists(fixed, &mut Budget::unlimited()) {
+            Ok(found) => found,
+            Err(_) => unreachable!("an unlimited budget never trips"),
+        }
+    }
+
+    /// Like [`HomSearch::exists`], but ticks the budget at every search
+    /// node so backtracking over a large model respects the shared
+    /// deadline.
+    pub fn try_exists(
+        &self,
+        fixed: &[(Var, Element)],
+        budget: &mut Budget,
+    ) -> Result<bool, BudgetExceeded> {
         let mut h: Vec<Option<Element>> = vec![None; self.q.num_vars()];
         for &(v, e) in fixed {
             h[v.0 as usize] = Some(e);
         }
-        self.search(0, &mut h, &mut |_| true)
+        self.search(0, &mut h, budget, &mut |_| true)
     }
 
     /// All answer tuples: projections of homomorphisms to the answer
     /// variables (which always map to individuals).
     pub fn all_answer_tuples(&self) -> FxHashSet<Vec<obda_owlql::abox::ConstId>> {
+        match self.try_all_answer_tuples(&mut Budget::unlimited()) {
+            Ok(out) => out,
+            Err(_) => unreachable!("an unlimited budget never trips"),
+        }
+    }
+
+    /// Like [`HomSearch::all_answer_tuples`], but budgeted: every search
+    /// node ticks against the shared deadline and step cap.
+    pub fn try_all_answer_tuples(
+        &self,
+        budget: &mut Budget,
+    ) -> Result<FxHashSet<Vec<obda_owlql::abox::ConstId>>, BudgetExceeded> {
         let mut out = FxHashSet::default();
         let mut h: Vec<Option<Element>> = vec![None; self.q.num_vars()];
         let answer_vars = self.q.answer_vars().to_vec();
-        self.search(0, &mut h, &mut |assignment| {
+        self.search(0, &mut h, budget, &mut |assignment| {
             let tuple: Vec<_> = answer_vars
                 .iter()
                 .map(|&v| {
@@ -187,8 +216,8 @@ impl<'m, 'q> HomSearch<'m, 'q> {
                 .collect();
             out.insert(tuple);
             false // keep searching for more tuples
-        });
-        out
+        })?;
+        Ok(out)
     }
 }
 

@@ -33,7 +33,7 @@ pub mod homomorphism;
 pub mod linear_walk;
 pub mod model;
 
-pub use answer::{certain_answers, entails, CertainAnswers};
+pub use answer::{certain_answers, certain_answers_budgeted, entails, CertainAnswers};
 pub use homomorphism::HomSearch;
 pub use linear_walk::linear_boolean_entails;
-pub use model::{word_bound, CanonicalModel, Element};
+pub use model::{word_bound, CanonicalModel, ChaseError, Element};

@@ -14,12 +14,33 @@
 //! locality argument (see [`word_bound`]) a bound of
 //! `min(depth(T), #roles + #query variables)` suffices for answering any CQ.
 
+use obda_budget::{Budget, BudgetExceeded};
 use obda_owlql::abox::{ConstId, DataInstance};
 use obda_owlql::axiom::ClassExpr;
 use obda_owlql::ontology::Ontology;
 use obda_owlql::saturation::Taxonomy;
 use obda_owlql::vocab::{ClassId, Role};
 use obda_owlql::words::{ontology_depth, WordArena, WordId};
+
+/// Bounded materialisation ran out of budget. Carries how much of the
+/// model had been built, so callers can report partial progress instead
+/// of silently hanging on cyclic (infinite-depth) ontologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseError {
+    /// The budget trip that interrupted materialisation.
+    pub exceeded: BudgetExceeded,
+    /// Chase elements (interned words plus individuals) materialised
+    /// before the trip.
+    pub elements: usize,
+}
+
+impl std::fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chase interrupted after {} elements: {}", self.elements, self.exceeded)
+    }
+}
+
+impl std::error::Error for ChaseError {}
 
 /// An element of a canonical model: an individual or a labelled null
 /// `a · w` with `w ∈ W_T` nonempty.
@@ -76,21 +97,62 @@ impl CanonicalModel {
     /// Materialises the canonical model of `(T, A)` with nulls up to word
     /// length `bound`.
     pub fn new(ontology: &Ontology, data: &DataInstance, bound: usize) -> Self {
-        let taxonomy = ontology.taxonomy();
-        let arena = WordArena::new(&taxonomy, bound);
-        let completed = data.complete(&taxonomy);
+        match Self::new_budgeted(ontology, data, bound, &mut Budget::unlimited()) {
+            Ok(m) => m,
+            Err(_) => unreachable!("an unlimited budget never trips"),
+        }
+    }
+
+    /// Like [`CanonicalModel::new`], but charges the budget one *chase
+    /// element* per interned word and per individual, and ticks through
+    /// saturation and data completion. For a cyclic ontology the word tree
+    /// is exponential in `bound`, so this is the guard that turns would-be
+    /// OOM/hang into a typed [`ChaseError`] with partial statistics.
+    pub fn new_budgeted(
+        ontology: &Ontology,
+        data: &DataInstance,
+        bound: usize,
+        budget: &mut Budget,
+    ) -> Result<Self, ChaseError> {
+        let interrupted = |e: BudgetExceeded, b: &Budget| ChaseError {
+            exceeded: e,
+            elements: b.spent_chase_elements() as usize,
+        };
+        let taxonomy = ontology.taxonomy_budgeted(budget).map_err(|e| interrupted(e, budget))?;
+        let arena = WordArena::new_budgeted(&taxonomy, bound, budget)
+            .map_err(|e| interrupted(e, budget))?;
+        budget
+            .charge_chase_elements(data.num_individuals() as u64)
+            .map_err(|e| interrupted(e, budget))?;
+        let completed =
+            data.complete_budgeted(&taxonomy, budget).map_err(|e| interrupted(e, budget))?;
         let exists_class =
             (0..taxonomy.num_roles()).map(|i| ontology.exists_class(Role::from_index(i))).collect();
-        CanonicalModel { taxonomy, arena, completed, exists_class }
+        Ok(CanonicalModel { taxonomy, arena, completed, exists_class })
     }
 
     /// The canonical model of the single-atom instance `{A̺(a)}`, used for
     /// tree-witness checks (Section 3.4).
     pub fn for_generator(ontology: &Ontology, role: Role, bound: usize) -> Self {
+        match Self::for_generator_budgeted(ontology, role, bound, &mut Budget::unlimited()) {
+            Ok(m) => m,
+            Err(_) => unreachable!("an unlimited budget never trips"),
+        }
+    }
+
+    /// Budgeted [`CanonicalModel::for_generator`]: on a cyclic ontology the
+    /// generator's anonymous subtree is exponential in `bound`, so callers
+    /// inside budgeted rewriting must use this form.
+    pub fn for_generator_budgeted(
+        ontology: &Ontology,
+        role: Role,
+        bound: usize,
+        budget: &mut Budget,
+    ) -> Result<Self, ChaseError> {
         let mut data = DataInstance::new();
         let a = data.constant("a");
         data.add_class_atom(ontology.exists_class(role), a);
-        CanonicalModel::new(ontology, &data, bound)
+        CanonicalModel::new_budgeted(ontology, &data, bound, budget)
     }
 
     /// The saturated taxonomy.

@@ -6,13 +6,28 @@
 //! obda rewrite  --ontology o.owlql --query q.cq [--strategy tw]
 //! obda answer   --ontology o.owlql --query q.cq --data d.abox
 //!               [--strategy adaptive] [--oracle] [--timeout-secs N]
+//!               [--budget-secs N] [--budget-clauses N] [--budget-tuples N]
+//!               [--budget-steps N] [--budget-chase N] [--no-fallback]
 //! ```
 //!
 //! Strategies: `lin`, `log`, `tw`, `twstar`, `ucq`, `twucq`, `presto`,
 //! `adaptive` (default).
+//!
+//! Exit codes:
+//!
+//! | code | meaning                                                   |
+//! |------|-----------------------------------------------------------|
+//! | 0    | success                                                   |
+//! | 1    | internal error (I/O, invariant violation)                 |
+//! | 2    | usage error (unknown command, flag or flag value)         |
+//! | 3    | parse error in the ontology, query or data file           |
+//! | 4    | rewriting refused structurally (not a budget trip)        |
+//! | 5    | evaluation failed (not a budget trip)                     |
+//! | 6    | resource budget exhausted (every fallback attempt, too)   |
+//! | 7    | oracle disagreement (`--oracle`)                          |
 
-use obda::{ObdaSystem, Strategy};
-use obda_ndl::eval::EvalOptions;
+use obda::budget::BudgetSpec;
+use obda::{ObdaError, ObdaSystem, Strategy};
 use obda_ndl::program::ProgramDisplay;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,13 +39,16 @@ struct Args {
     data: Option<String>,
     strategy: Strategy,
     oracle: bool,
-    timeout: Option<Duration>,
+    no_fallback: bool,
+    spec: BudgetSpec,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: obda <classify|rewrite|answer> --ontology FILE --query FILE \
-         [--data FILE] [--strategy NAME] [--oracle] [--timeout-secs N]"
+        "usage: obda <classify|rewrite|answer> --ontology FILE --query FILE\n\
+         \x20      [--data FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
+         \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
+         \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]"
     );
     ExitCode::from(2)
 }
@@ -52,6 +70,9 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 fn parse_args() -> Option<Args> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next()?;
+    if !matches!(command.as_str(), "classify" | "rewrite" | "answer") {
+        return None;
+    }
     let mut args = Args {
         command,
         ontology: None,
@@ -59,7 +80,8 @@ fn parse_args() -> Option<Args> {
         data: None,
         strategy: Strategy::Adaptive,
         oracle: false,
-        timeout: None,
+        no_fallback: false,
+        spec: BudgetSpec::unlimited(),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -68,24 +90,89 @@ fn parse_args() -> Option<Args> {
             "--data" => args.data = Some(argv.next()?),
             "--strategy" => args.strategy = parse_strategy(&argv.next()?)?,
             "--oracle" => args.oracle = true,
-            "--timeout-secs" => {
-                args.timeout = Some(Duration::from_secs(argv.next()?.parse().ok()?));
+            "--no-fallback" => args.no_fallback = true,
+            // Both spellings feed the unified budget: the wall clock covers
+            // rewriting as well as evaluation.
+            "--timeout-secs" | "--budget-secs" => {
+                let secs: f64 = argv.next()?.parse().ok()?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return None;
+                }
+                args.spec.timeout = Some(Duration::from_secs_f64(secs));
             }
+            "--budget-clauses" => args.spec.max_clauses = Some(argv.next()?.parse().ok()?),
+            "--budget-tuples" => args.spec.max_tuples = Some(argv.next()?.parse().ok()?),
+            "--budget-steps" => args.spec.max_steps = Some(argv.next()?.parse().ok()?),
+            "--budget-chase" => args.spec.max_chase_elements = Some(argv.next()?.parse().ok()?),
             _ => return None,
         }
     }
     Some(args)
 }
 
-fn run(args: &Args) -> Result<(), String> {
-    let read = |path: &Option<String>, what: &str| -> Result<String, String> {
-        let path = path.as_ref().ok_or_else(|| format!("missing --{what}"))?;
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+/// A CLI failure, classified for the exit code.
+enum CliError {
+    /// I/O or other internal failure — exit 1.
+    Internal(String),
+    /// Malformed ontology/query/data input — exit 3.
+    Parse(String),
+    /// Rewriting refused structurally — exit 4.
+    Rewrite(String),
+    /// Evaluation failed for a non-budget reason — exit 5.
+    Eval(String),
+    /// A resource budget was exhausted — exit 6.
+    Budget(String),
+    /// The rewriting disagrees with the chase oracle — exit 7.
+    Oracle(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Internal(_) => 1,
+            CliError::Parse(_) => 3,
+            CliError::Rewrite(_) => 4,
+            CliError::Eval(_) => 5,
+            CliError::Budget(_) => 6,
+            CliError::Oracle(_) => 7,
+        })
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Internal(m)
+            | CliError::Parse(m)
+            | CliError::Rewrite(m)
+            | CliError::Eval(m)
+            | CliError::Budget(m)
+            | CliError::Oracle(m) => m,
+        }
+    }
+}
+
+impl From<ObdaError> for CliError {
+    fn from(e: ObdaError) -> Self {
+        let msg = e.to_string();
+        if e.is_budget() {
+            return CliError::Budget(msg);
+        }
+        match e {
+            ObdaError::Parse(_) => CliError::Parse(msg),
+            ObdaError::Rewrite(_) => CliError::Rewrite(msg),
+            ObdaError::Eval(_) => CliError::Eval(msg),
+            ObdaError::Chase(_) => CliError::Budget(msg),
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), CliError> {
+    let read = |path: &Option<String>, what: &str| -> Result<String, CliError> {
+        let path = path.as_ref().ok_or_else(|| CliError::Internal(format!("missing --{what}")))?;
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Internal(format!("cannot read {path}: {e}")))
     };
-    let system =
-        ObdaSystem::from_text(&read(&args.ontology, "ontology")?).map_err(|e| e.to_string())?;
-    let query =
-        system.parse_query(read(&args.query, "query")?.trim()).map_err(|e| e.to_string())?;
+    let system = ObdaSystem::from_text(&read(&args.ontology, "ontology")?)?;
+    let query = system.parse_query(read(&args.query, "query")?.trim())?;
 
     match args.command.as_str() {
         "classify" => {
@@ -100,7 +187,8 @@ fn run(args: &Args) -> Result<(), String> {
             Ok(())
         }
         "rewrite" => {
-            let rewriting = system.rewrite(&query, args.strategy).map_err(|e| e.to_string())?;
+            let mut budget = args.spec.start();
+            let rewriting = system.rewrite_budgeted(&query, args.strategy, &mut budget)?;
             eprintln!(
                 "# strategy {}: {} clauses, {} predicates",
                 args.strategy,
@@ -111,30 +199,60 @@ fn run(args: &Args) -> Result<(), String> {
             Ok(())
         }
         "answer" => {
-            let data = system.parse_data(&read(&args.data, "data")?).map_err(|e| e.to_string())?;
-            let opts = EvalOptions { timeout: args.timeout, max_tuples: None };
-            let result = system
-                .answer_with_options(&query, &data, args.strategy, &opts)
-                .map_err(|e| e.to_string())?;
+            let data = system.parse_data(&read(&args.data, "data")?)?;
+            let (result, strategy_used) = if args.no_fallback {
+                let res = system.answer_with_budget(&query, &data, args.strategy, &args.spec)?;
+                (res, args.strategy)
+            } else {
+                let report = system.answer_with_fallback(&query, &data, args.strategy, &args.spec);
+                eprint!("{report}");
+                match report.winning_strategy() {
+                    Some(winner) => match report.into_result() {
+                        Some(res) => (res, winner),
+                        None => {
+                            return Err(CliError::Internal("winner without a result".into()));
+                        }
+                    },
+                    None => {
+                        if report.all_exhausted() {
+                            return Err(CliError::Budget(format!(
+                                "budget exhausted: all {} strategies tripped the budget",
+                                report.attempts.len()
+                            )));
+                        }
+                        let err = report.final_error().ok_or_else(|| {
+                            CliError::Budget(
+                                "the deadline passed before any strategy could run".into(),
+                            )
+                        })?;
+                        return Err(err.into());
+                    }
+                }
+            };
             for tuple in &result.answers {
                 let names: Vec<&str> = tuple.iter().map(|&c| data.constant_name(c)).collect();
                 println!("({})", names.join(", "));
             }
             eprintln!(
                 "# {} answers, {} tuples materialised, strategy {}",
-                result.stats.num_answers, result.stats.generated_tuples, args.strategy
+                result.stats.num_answers, result.stats.generated_tuples, strategy_used
             );
             if args.oracle {
-                let oracle = system.certain_answers(&query, &data).tuples();
+                let mut budget = args.spec.start();
+                let oracle = system.certain_answers_budgeted(&query, &data, &mut budget)?.tuples();
                 if oracle == result.answers {
                     eprintln!("# oracle agrees ✓");
                 } else {
-                    return Err("oracle DISAGREES with the rewriting".into());
+                    return Err(CliError::Oracle(format!(
+                        "oracle DISAGREES with the rewriting: {} answers vs {} certain",
+                        result.answers.len(),
+                        oracle.len()
+                    )));
                 }
             }
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        _ => unreachable!("parse_args admits only known commands"),
     }
 }
 
@@ -144,9 +262,9 @@ fn main() -> ExitCode {
     };
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            e.exit_code()
         }
     }
 }

@@ -44,9 +44,12 @@ pub use complexity::{
     classify, combined_complexity, rewriting_size, Complexity, DepthBound, OmqClassification,
     PeSize, QueryClass, Succinctness,
 };
-pub use pipeline::{ObdaError, ObdaSystem, PreparedOmq, Strategy};
+pub use pipeline::{
+    Attempt, AttemptOutcome, ObdaError, ObdaSystem, PipelineReport, PreparedOmq, Strategy,
+};
 
 // Substrate re-exports.
+pub use obda_budget as budget;
 pub use obda_chase as chase;
 pub use obda_cq as cq;
 pub use obda_datagen as datagen;

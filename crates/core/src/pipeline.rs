@@ -1,11 +1,15 @@
 //! The end-to-end OBDA pipeline: parse, classify, rewrite, evaluate.
 
 use crate::complexity::{classify, OmqClassification};
-use obda_chase::answer::{certain_answers, CertainAnswers};
+use obda_budget::{Budget, BudgetSpec};
+use obda_chase::answer::{certain_answers, certain_answers_budgeted, CertainAnswers};
+use obda_chase::model::ChaseError;
 use obda_cq::query::Cq;
 use obda_ndl::analysis::{analyze, Analysis};
-use obda_ndl::eval::{evaluate, evaluate_on, EvalError, EvalOptions, EvalResult};
-use obda_ndl::linear_eval::evaluate_linear_on;
+use obda_ndl::eval::{
+    evaluate, evaluate_on, evaluate_on_budgeted, EvalError, EvalOptions, EvalResult,
+};
+use obda_ndl::linear_eval::{evaluate_linear_on, evaluate_linear_on_budgeted};
 use obda_ndl::program::NdlQuery;
 use obda_ndl::storage::Database;
 use obda_owlql::abox::DataInstance;
@@ -19,6 +23,7 @@ use obda_rewrite::{
     LinRewriter, LogRewriter, PrestoLikeRewriter, TwRewriter, TwUcqRewriter, UcqRewriter,
 };
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// The rewriting strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +65,21 @@ impl Strategy {
     pub fn produces_arbitrary(self) -> bool {
         matches!(self, Strategy::Ucq | Strategy::PrestoLike)
     }
+
+    /// The degradation ladder starting from this strategy: the strategy
+    /// itself, then the polynomial strategies in decreasing generality
+    /// (`Tw`, `Tw*`, `Log`, `Lin`), deduplicated. The exponential baselines
+    /// never appear as fallbacks — they are what the ladder degrades *away*
+    /// from.
+    pub fn fallback_ladder(self) -> Vec<Strategy> {
+        let mut ladder = vec![self];
+        for s in [Strategy::Tw, Strategy::TwStar, Strategy::Log, Strategy::Lin] {
+            if !ladder.contains(&s) {
+                ladder.push(s);
+            }
+        }
+        ladder
+    }
 }
 
 impl fmt::Display for Strategy {
@@ -87,6 +107,23 @@ pub enum ObdaError {
     Rewrite(RewriteError),
     /// Evaluation failed.
     Eval(EvalError),
+    /// The chase oracle was interrupted by a resource budget.
+    Chase(ChaseError),
+}
+
+impl ObdaError {
+    /// Whether this error reports resource-budget exhaustion (as opposed to
+    /// malformed input, a structural refusal, or an internal invariant).
+    pub fn is_budget(&self) -> bool {
+        match self {
+            ObdaError::Parse(_) => false,
+            ObdaError::Rewrite(e) => e.is_budget(),
+            ObdaError::Eval(e) => {
+                matches!(e, EvalError::Timeout(_) | EvalError::TupleLimit(_))
+            }
+            ObdaError::Chase(_) => true,
+        }
+    }
 }
 
 impl fmt::Display for ObdaError {
@@ -95,6 +132,7 @@ impl fmt::Display for ObdaError {
             ObdaError::Parse(e) => write!(f, "{e}"),
             ObdaError::Rewrite(e) => write!(f, "{e}"),
             ObdaError::Eval(e) => write!(f, "{e}"),
+            ObdaError::Chase(e) => write!(f, "{e}"),
         }
     }
 }
@@ -114,6 +152,120 @@ impl From<RewriteError> for ObdaError {
 impl From<EvalError> for ObdaError {
     fn from(e: EvalError) -> Self {
         ObdaError::Eval(e)
+    }
+}
+impl From<ChaseError> for ObdaError {
+    fn from(e: ChaseError) -> Self {
+        ObdaError::Chase(e)
+    }
+}
+
+/// One strategy attempt inside [`ObdaSystem::answer_with_fallback`].
+#[derive(Debug)]
+pub struct Attempt {
+    /// The strategy tried.
+    pub strategy: Strategy,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Clauses of the rewriting (final on success, partial on a budgeted
+    /// rewrite failure, absent otherwise).
+    pub clauses: Option<usize>,
+    /// Wall-clock time spent on this attempt.
+    pub duration: Duration,
+}
+
+/// The outcome of one fallback-ladder attempt.
+#[derive(Debug)]
+pub enum AttemptOutcome {
+    /// The strategy produced answers within its budget.
+    Success(EvalResult),
+    /// Rewriting failed (refusal or budget trip).
+    RewriteFailed(RewriteError),
+    /// Rewriting succeeded but evaluation failed.
+    EvalFailed(EvalError),
+}
+
+/// A structured account of a fallback run: every strategy attempted, in
+/// order, and which one (if any) won.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// The attempts, in ladder order.
+    pub attempts: Vec<Attempt>,
+    /// Index into `attempts` of the successful one, if any.
+    pub winner: Option<usize>,
+}
+
+impl PipelineReport {
+    /// The winning attempt's evaluation result, if any strategy succeeded.
+    pub fn result(&self) -> Option<&EvalResult> {
+        let w = self.winner?;
+        match &self.attempts[w].outcome {
+            AttemptOutcome::Success(res) => Some(res),
+            _ => None,
+        }
+    }
+
+    /// Consumes the report, returning the winning attempt's evaluation
+    /// result, if any strategy succeeded.
+    pub fn into_result(self) -> Option<EvalResult> {
+        let w = self.winner?;
+        self.attempts.into_iter().nth(w).and_then(|a| match a.outcome {
+            AttemptOutcome::Success(res) => Some(res),
+            _ => None,
+        })
+    }
+
+    /// The winning strategy, if any.
+    pub fn winning_strategy(&self) -> Option<Strategy> {
+        Some(self.attempts[self.winner?].strategy)
+    }
+
+    /// Whether every attempt failed on a resource budget (no structural
+    /// refusal and no success) — the "the problem instance is too big for
+    /// the budget" verdict.
+    pub fn all_exhausted(&self) -> bool {
+        self.winner.is_none()
+            && self.attempts.iter().all(|a| match &a.outcome {
+                AttemptOutcome::Success(_) => false,
+                AttemptOutcome::RewriteFailed(e) => e.is_budget(),
+                AttemptOutcome::EvalFailed(e) => {
+                    matches!(e, EvalError::Timeout(_) | EvalError::TupleLimit(_))
+                }
+            })
+    }
+
+    /// The last attempt's error as an [`ObdaError`], when no strategy won.
+    pub fn final_error(&self) -> Option<ObdaError> {
+        if self.winner.is_some() {
+            return None;
+        }
+        match &self.attempts.last()?.outcome {
+            AttemptOutcome::Success(_) => None,
+            AttemptOutcome::RewriteFailed(e) => Some(ObdaError::Rewrite(e.clone())),
+            AttemptOutcome::EvalFailed(e) => Some(ObdaError::Eval(e.clone())),
+        }
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.attempts.iter().enumerate() {
+            let verdict = match &a.outcome {
+                AttemptOutcome::Success(res) => {
+                    format!("ok ({} answers)", res.answers.len())
+                }
+                AttemptOutcome::RewriteFailed(e) => format!("rewrite failed: {e}"),
+                AttemptOutcome::EvalFailed(e) => format!("eval failed: {e}"),
+            };
+            let marker = if Some(i) == self.winner { "*" } else { " " };
+            writeln!(
+                f,
+                "{marker} {}: {verdict} [{:.1} ms]",
+                a.strategy,
+                a.duration.as_secs_f64() * 1e3
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -163,19 +315,33 @@ impl ObdaSystem {
 
     /// Produces an NDL-rewriting over **complete** data instances.
     pub fn rewrite_complete(&self, query: &Cq, strategy: Strategy) -> Result<NdlQuery, ObdaError> {
+        self.rewrite_complete_budgeted(query, strategy, &mut Budget::unlimited())
+    }
+
+    /// Budgeted [`ObdaSystem::rewrite_complete`]: the chosen rewriter ticks
+    /// and charges the shared [`Budget`] as it works.
+    pub fn rewrite_complete_budgeted(
+        &self,
+        query: &Cq,
+        strategy: Strategy,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, ObdaError> {
+        // Fail fast when the deadline has already passed, instead of letting
+        // a small rewriting slip through before the first amortised check.
+        budget.check_time().map_err(|e| RewriteError::from_budget(e, 0, 0))?;
         let omq = Omq { ontology: &self.ontology, query };
         let rewritten = match strategy {
-            Strategy::Lin => LinRewriter::default().rewrite_complete(&omq)?,
-            Strategy::Log => LogRewriter::default().rewrite_complete(&omq)?,
-            Strategy::Tw => TwRewriter::default().rewrite_complete(&omq)?,
+            Strategy::Lin => LinRewriter::default().rewrite_budgeted(&omq, budget)?,
+            Strategy::Log => LogRewriter::default().rewrite_budgeted(&omq, budget)?,
+            Strategy::Tw => TwRewriter::default().rewrite_budgeted(&omq, budget)?,
             Strategy::TwStar => {
-                let tw = TwRewriter::default().rewrite_complete(&omq)?;
+                let tw = TwRewriter::default().rewrite_budgeted(&omq, budget)?;
                 inline_single_definitions(&tw, 2)
             }
-            Strategy::Ucq => UcqRewriter::default().rewrite_complete(&omq)?,
-            Strategy::TwUcq => TwUcqRewriter::default().rewrite_complete(&omq)?,
-            Strategy::PrestoLike => PrestoLikeRewriter::default().rewrite_complete(&omq)?,
-            Strategy::Adaptive => AdaptiveRewriter::default().rewrite_complete(&omq)?,
+            Strategy::Ucq => UcqRewriter::default().rewrite_budgeted(&omq, budget)?,
+            Strategy::TwUcq => TwUcqRewriter::default().rewrite_budgeted(&omq, budget)?,
+            Strategy::PrestoLike => PrestoLikeRewriter::default().rewrite_budgeted(&omq, budget)?,
+            Strategy::Adaptive => AdaptiveRewriter::default().rewrite_budgeted(&omq, budget)?,
         };
         Ok(rewritten)
     }
@@ -183,8 +349,19 @@ impl ObdaSystem {
     /// Produces an NDL-rewriting over **arbitrary** data instances,
     /// including the inconsistency clauses for `⊥`-axioms.
     pub fn rewrite(&self, query: &Cq, strategy: Strategy) -> Result<NdlQuery, ObdaError> {
+        self.rewrite_budgeted(query, strategy, &mut Budget::unlimited())
+    }
+
+    /// Budgeted [`ObdaSystem::rewrite`]: the rewriter and the
+    /// `*`-transformation's clause growth both draw on the budget.
+    pub fn rewrite_budgeted(
+        &self,
+        query: &Cq,
+        strategy: Strategy,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, ObdaError> {
         let omq = Omq { ontology: &self.ontology, query };
-        let mut complete = self.rewrite_complete(query, strategy)?;
+        let mut complete = self.rewrite_complete_budgeted(query, strategy, budget)?;
         if self.ontology.has_negative_axioms() {
             add_inconsistency_clauses(&mut complete, &self.taxonomy, &omq);
         }
@@ -197,6 +374,12 @@ impl ObdaSystem {
         } else {
             obda_ndl::star::star_transform(&complete, &self.taxonomy, vocab)
         };
+        let before = complete.program.num_clauses();
+        let after = starred.program.num_clauses();
+        budget.charge_clauses(after.saturating_sub(before) as u64).map_err(|e| {
+            let atoms = starred.program.clauses().iter().map(|c| c.body.len()).sum();
+            ObdaError::Rewrite(RewriteError::from_budget(e, after, atoms))
+        })?;
         Ok(starred)
     }
 
@@ -222,17 +405,113 @@ impl ObdaSystem {
         Ok(evaluate(&rewriting, data, options)?)
     }
 
+    /// Answers the OMQ under a unified resource budget covering *both* the
+    /// rewriting and the evaluation stage. A trip in either stage surfaces
+    /// as a typed [`ObdaError`] carrying partial statistics.
+    pub fn answer_with_budget(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        strategy: Strategy,
+        spec: &BudgetSpec,
+    ) -> Result<EvalResult, ObdaError> {
+        let mut budget = spec.start();
+        let rewriting = self.rewrite_budgeted(query, strategy, &mut budget)?;
+        let db = Database::new(data);
+        Ok(evaluate_on_budgeted(&rewriting, &db, &mut budget)?)
+    }
+
+    /// Answers the OMQ with graceful degradation: tries `preferred` under
+    /// the budget; when it exceeds its rewriting or evaluation budget (or
+    /// is structurally inapplicable), automatically retries each strategy
+    /// on the [`Strategy::fallback_ladder`]. Every attempt gets fresh
+    /// counters but the *same* absolute wall-clock deadline, so the whole
+    /// run respects the spec's timeout. Always terminates; the report lists
+    /// every attempt and the winner, if any.
+    pub fn answer_with_fallback(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        preferred: Strategy,
+        spec: &BudgetSpec,
+    ) -> PipelineReport {
+        let master = spec.start();
+        let db = Database::new(data);
+        let mut attempts = Vec::new();
+        let mut winner = None;
+        for strategy in preferred.fallback_ladder() {
+            let mut budget = master.renew();
+            if budget.check_time().is_err() {
+                break; // the global deadline has passed: stop trying
+            }
+            let start = Instant::now();
+            let (outcome, clauses) = match self.rewrite_budgeted(query, strategy, &mut budget) {
+                Err(e) => {
+                    // Only rewrite errors can arise here; represent any
+                    // other failure as a zero-size refusal to keep the
+                    // report total.
+                    let re = match e {
+                        ObdaError::Rewrite(re) => re,
+                        _ => RewriteError::TooLarge(0),
+                    };
+                    let clauses = match &re {
+                        RewriteError::BudgetExceeded { clauses, .. } => Some(*clauses),
+                        _ => None,
+                    };
+                    (AttemptOutcome::RewriteFailed(re), clauses)
+                }
+                Ok(rewriting) => {
+                    let n = rewriting.program.num_clauses();
+                    match evaluate_on_budgeted(&rewriting, &db, &mut budget) {
+                        Ok(res) => (AttemptOutcome::Success(res), Some(n)),
+                        Err(e) => (AttemptOutcome::EvalFailed(e), Some(n)),
+                    }
+                }
+            };
+            let success = matches!(outcome, AttemptOutcome::Success(_));
+            attempts.push(Attempt { strategy, outcome, clauses, duration: start.elapsed() });
+            if success {
+                winner = Some(attempts.len() - 1);
+                break;
+            }
+        }
+        PipelineReport { attempts, winner }
+    }
+
     /// Certain answers via the chase oracle (ground truth; slow on large
     /// data).
     pub fn certain_answers(&self, query: &Cq, data: &DataInstance) -> CertainAnswers {
         certain_answers(&self.ontology, query, data)
     }
 
+    /// Budgeted chase oracle: a cyclic ontology or large instance trips the
+    /// budget instead of hanging or exhausting memory.
+    pub fn certain_answers_budgeted(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        budget: &mut Budget,
+    ) -> Result<CertainAnswers, ObdaError> {
+        Ok(certain_answers_budgeted(&self.ontology, query, data, budget)?)
+    }
+
     /// Rewrites once and caches the rewriting together with its structural
     /// analysis and goal metadata, for repeated execution over pre-built
     /// [`Database`]s.
     pub fn prepare(&self, query: &Cq, strategy: Strategy) -> Result<PreparedOmq, ObdaError> {
-        let rewriting = self.rewrite(query, strategy)?;
+        self.prepare_budgeted(query, strategy, &mut Budget::unlimited())
+    }
+
+    /// Budgeted [`ObdaSystem::prepare`]: the rewriting stage draws on the
+    /// budget; the prepared query can then be executed with
+    /// [`PreparedOmq::execute_budgeted`] against the same (renewed) budget.
+    pub fn prepare_budgeted(
+        &self,
+        query: &Cq,
+        strategy: Strategy,
+        budget: &mut Budget,
+    ) -> Result<PreparedOmq, ObdaError> {
+        let rewriting = self.rewrite_budgeted(query, strategy, budget)?;
         let analysis = analyze(&rewriting);
         Ok(PreparedOmq { query: query.clone(), strategy, analysis, rewriting })
     }
@@ -286,6 +565,16 @@ impl PreparedOmq {
         evaluate_on(&self.rewriting, db, opts)
     }
 
+    /// [`PreparedOmq::execute`] drawing on a shared [`Budget`] instead of
+    /// per-call [`EvalOptions`].
+    pub fn execute_budgeted(
+        &self,
+        db: &Database,
+        budget: &mut Budget,
+    ) -> Result<EvalResult, EvalError> {
+        evaluate_on_budgeted(&self.rewriting, db, budget)
+    }
+
     /// Evaluates with Theorem 2's reachability engine (the rewriting must
     /// be linear — see [`PreparedOmq::analysis`]).
     pub fn execute_linear(
@@ -294,6 +583,15 @@ impl PreparedOmq {
         opts: &EvalOptions,
     ) -> Result<EvalResult, EvalError> {
         evaluate_linear_on(&self.rewriting, db, opts)
+    }
+
+    /// [`PreparedOmq::execute_linear`] drawing on a shared [`Budget`].
+    pub fn execute_linear_budgeted(
+        &self,
+        db: &Database,
+        budget: &mut Budget,
+    ) -> Result<EvalResult, EvalError> {
+        evaluate_linear_on_budgeted(&self.rewriting, db, budget)
     }
 
     /// Validates the rewriting against the chase oracle on one data

@@ -13,7 +13,15 @@ use obda_owlql::ontology::Ontology;
 use obda_owlql::parser::ParseError;
 
 fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line: 1, message: message.into() })
+    Err(ParseError::new(1, message))
+}
+
+/// An error at the 1-based character column where `frag` starts inside
+/// `text` (queries are single-line, so the line is always 1).
+fn err_at<T>(text: &str, frag: &str, message: impl Into<String>) -> Result<T, ParseError> {
+    let offset = (frag.as_ptr() as usize).saturating_sub(text.as_ptr() as usize);
+    let column = text.get(..offset).map_or(1, |prefix| prefix.chars().count() + 1);
+    Err(ParseError::at(1, column, message))
 }
 
 /// Parses a CQ, resolving predicates against `ontology`'s vocabulary.
@@ -32,6 +40,9 @@ pub fn parse_cq(text: &str, ontology: &Ontology) -> Result<Cq, ParseError> {
     let Some(close) = head.rfind(')') else {
         return err("missing `)` in query head");
     };
+    if close < open {
+        return err_at(text, &head[close..], "`)` before `(` in query head");
+    }
     let args = head[open + 1..close].trim();
     if !args.is_empty() {
         for name in args.split(',').map(str::trim) {
@@ -68,30 +79,33 @@ pub fn parse_cq(text: &str, ontology: &Ontology) -> Result<Cq, ParseError> {
     let vocab = ontology.vocab();
     for part in parts {
         let Some(open) = part.find('(') else {
-            return err(format!("expected atom, got `{part}`"));
+            return err_at(text, part, format!("expected atom, got `{part}`"));
         };
         let Some(close) = part.rfind(')') else {
-            return err(format!("missing `)` in atom `{part}`"));
+            return err_at(text, part, format!("missing `)` in atom `{part}`"));
         };
+        if close < open {
+            return err_at(text, part, format!("`)` before `(` in atom `{part}`"));
+        }
         let pred = part[..open].trim();
         let args: Vec<&str> = part[open + 1..close].split(',').map(str::trim).collect();
         match args.as_slice() {
             [z] if !z.is_empty() => {
                 let Some(class) = vocab.get_class(pred) else {
-                    return err(format!("unknown class `{pred}`"));
+                    return err_at(text, part, format!("unknown class `{pred}`"));
                 };
                 let v = q.var(z);
                 q.add_class_atom(class, v);
             }
             [z, z2] if !z.is_empty() && !z2.is_empty() => {
                 let Some(prop) = vocab.get_prop(pred) else {
-                    return err(format!("unknown property `{pred}`"));
+                    return err_at(text, part, format!("unknown property `{pred}`"));
                 };
                 let v = q.var(z);
                 let v2 = q.var(z2);
                 q.add_prop_atom(prop, v, v2);
             }
-            _ => return err(format!("atom `{part}` must have 1 or 2 arguments")),
+            _ => return err_at(text, part, format!("atom `{part}` must have 1 or 2 arguments")),
         }
     }
 
@@ -138,5 +152,47 @@ mod tests {
         assert!(parse_cq("q(x) :- Q(x, y)", &o).is_err());
         assert!(parse_cq("q(w) :- A(x)", &o).is_err());
         assert!(parse_cq("q(x) :- R(x, y, z)", &o).is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_parens_without_panicking() {
+        let o = parse_ontology("Class A\nProperty R\n").unwrap();
+        // `)` before `(` used to produce an inverted slice range.
+        assert!(parse_cq("q)x( :- A(x)", &o).is_err());
+        assert!(parse_cq("q(x) :- A)x(", &o).is_err());
+        // Errors point at the offending fragment.
+        let e = parse_cq("q(x) :- A(x), nonsense", &o).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.column > 1, "column should point into the body, got {}", e.column);
+    }
+
+    use proptest::prelude::*;
+
+    /// Near-valid CQ syntax fragments, so the fuzzer gets past the `:-`
+    /// split and exercises head/atom parsing.
+    const TOKENS: [&str; 14] =
+        ["q", "A", "R", "x", "y", "(", ")", ",", ":-", ":", "-", " ", "\n", "é"];
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512 })]
+
+        #[test]
+        fn parse_cq_never_panics_on_arbitrary_bytes(
+            bytes in prop::collection::vec(any::<u8>(), 0..120),
+        ) {
+            let o = parse_ontology("Class A\nProperty R\n").unwrap();
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = parse_cq(&text, &o);
+        }
+
+        #[test]
+        fn parse_cq_never_panics_on_token_soup(
+            picks in prop::collection::vec(0usize..TOKENS.len(), 0..30),
+        ) {
+            let o = parse_ontology("Class A\nProperty R\n").unwrap();
+            let text: String =
+                picks.iter().map(|&i| TOKENS[i % TOKENS.len()]).collect();
+            let _ = parse_cq(&text, &o);
+        }
     }
 }

@@ -88,6 +88,8 @@ pub fn centroid(adj: &[Vec<usize>], nodes: &[usize]) -> usize {
     for &u in nodes {
         in_d[u] = true;
     }
+    // `nodes` is nonempty (asserted above), so `min_by_key` yields a value.
+    #[allow(clippy::expect_used)]
     let best = nodes
         .iter()
         .copied()

@@ -89,6 +89,8 @@ impl TreeDecomposition {
         let mut position = vec![usize::MAX; n];
         for step in 0..n {
             // Pick the alive vertex with minimum fill-in (ties: min degree).
+            // `step < n` vertices have been eliminated, so one is alive.
+            #[allow(clippy::expect_used)]
             let v = (0..n)
                 .filter(|&v| alive[v])
                 .min_by_key(|&v| {

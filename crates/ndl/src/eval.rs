@@ -20,17 +20,34 @@
 use crate::analysis::topological_order;
 use crate::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
 use crate::storage::{Database, Relation};
+use obda_budget::{Budget, BudgetExceeded, Resource};
 use obda_owlql::abox::{ConstId, DataInstance};
 use obda_owlql::util::FxHashSet;
 use std::time::{Duration, Instant};
 
-/// Evaluation limits.
+/// Evaluation limits. A convenience facade over [`Budget`]: callers that
+/// only need a timeout and a tuple cap keep using this; callers sharing
+/// a budget across pipeline stages use the `*_budgeted` entry points.
 #[derive(Debug, Clone, Default)]
 pub struct EvalOptions {
     /// Wall-clock budget; `None` = unlimited.
     pub timeout: Option<Duration>,
     /// Cap on total generated tuples; `None` = unlimited.
     pub max_tuples: Option<usize>,
+}
+
+impl EvalOptions {
+    /// Starts a [`Budget`] enforcing exactly these options.
+    pub fn to_budget(&self) -> Budget {
+        let mut b = match self.timeout {
+            Some(t) => Budget::with_timeout(t),
+            None => Budget::unlimited(),
+        };
+        if let Some(cap) = self.max_tuples {
+            b = b.max_tuples(cap as u64);
+        }
+        b
+    }
 }
 
 /// Evaluation metrics.
@@ -97,34 +114,24 @@ pub(crate) const UNBOUND: u32 = u32::MAX;
 /// statistics are attached at the `evaluate_on` boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Halt {
-    Timeout,
-    TupleLimit,
+    /// The shared [`Budget`] tripped (deadline, step cap or tuple cap).
+    Budget(BudgetExceeded),
     Unsafe(String),
 }
 
-/// Wall-clock budget, checked *inside* join loops (every 1024 ticks) so a
-/// single long-running clause cannot overshoot the deadline.
-pub(crate) struct Budget {
-    deadline: Option<Instant>,
-    ticks: u32,
+impl From<BudgetExceeded> for Halt {
+    fn from(e: BudgetExceeded) -> Self {
+        Halt::Budget(e)
+    }
 }
 
-impl Budget {
-    pub(crate) fn new(timeout: Option<Duration>) -> Self {
-        Budget { deadline: timeout.map(|t| Instant::now() + t), ticks: 0 }
-    }
-
-    #[inline]
-    pub(crate) fn tick(&mut self) -> Result<(), Halt> {
-        self.ticks = self.ticks.wrapping_add(1);
-        if self.ticks.is_multiple_of(1024) {
-            if let Some(d) = self.deadline {
-                if Instant::now() > d {
-                    return Err(Halt::Timeout);
-                }
-            }
-        }
-        Ok(())
+/// Maps a budget trip onto the legacy [`EvalError`] taxonomy: tuple-cap
+/// trips become [`EvalError::TupleLimit`], everything else (deadline,
+/// step cap) becomes [`EvalError::Timeout`].
+pub(crate) fn budget_error(e: BudgetExceeded, stats: EvalStats) -> EvalError {
+    match e.resource {
+        Resource::Tuples => EvalError::TupleLimit(stats),
+        _ => EvalError::Timeout(stats),
     }
 }
 
@@ -197,19 +204,6 @@ pub(crate) fn relation<'r>(
 struct Counters {
     generated: usize,
     per_pred: Vec<usize>,
-    max_tuples: Option<usize>,
-}
-
-impl Counters {
-    #[inline]
-    fn cap_ok(&self, pending: usize) -> Result<(), Halt> {
-        match self.max_tuples {
-            // Intermediate join results count against the tuple budget too
-            // — a join can explode without ever reaching the head.
-            Some(cap) if self.generated + pending > cap => Err(Halt::TupleLimit),
-            _ => Ok(()),
-        }
-    }
 }
 
 /// Evaluates one clause by index-nested-loop joins, inserting derived head
@@ -298,7 +292,11 @@ fn eval_clause(
                         }
                     }
                     next.push(extended);
-                    counters.cap_ok(next.len())
+                    // Intermediate join results count against the tuple
+                    // budget too — a join can explode without ever
+                    // reaching the head.
+                    budget.check_tuple_headroom(next.len() as u64)?;
+                    Ok(())
                 };
                 match bound_positions.first() {
                     // No bound position: scan the whole relation.
@@ -344,7 +342,7 @@ fn eval_clause(
         if out.insert_if_new(&row) {
             counters.generated += 1;
             counters.per_pred[clause.head.0 as usize] += 1;
-            counters.cap_ok(0)?;
+            budget.charge_tuples(1)?;
         }
     }
     Ok(())
@@ -383,6 +381,17 @@ pub fn evaluate_on(
     db: &Database,
     opts: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
+    evaluate_on_budgeted(query, db, &mut opts.to_budget())
+}
+
+/// Like [`evaluate_on`], but draws on a caller-supplied [`Budget`] shared
+/// with other pipeline stages: time, steps and tuples charged here count
+/// against the same allowance as rewriting or chase construction.
+pub fn evaluate_on_budgeted(
+    query: &NdlQuery,
+    db: &Database,
+    budget: &mut Budget,
+) -> Result<EvalResult, EvalError> {
     let start = Instant::now();
     let program = &query.program;
     let order = topological_order(program).ok_or(EvalError::Recursive)?;
@@ -394,12 +403,7 @@ pub fn evaluate_on(
             _ => Relation::new(0),
         })
         .collect();
-    let mut budget = Budget::new(opts.timeout);
-    let mut counters = Counters {
-        generated: 0,
-        per_pred: vec![0; program.num_preds()],
-        max_tuples: opts.max_tuples,
-    };
+    let mut counters = Counters { generated: 0, per_pred: vec![0; program.num_preds()] };
     let stats_at = |counters: &Counters, num_answers: usize, start: Instant| EvalStats {
         generated_tuples: counters.generated,
         num_answers,
@@ -414,15 +418,12 @@ pub fn evaluate_on(
         for clause in program.clauses() {
             if clause.head == p {
                 if let Err(halt) =
-                    eval_clause(program, db, &idb, &mut budget, &mut counters, clause, &mut out)
+                    eval_clause(program, db, &idb, budget, &mut counters, clause, &mut out)
                 {
                     let goal_answers = counters.per_pred[query.goal.0 as usize];
                     return Err(match halt {
-                        Halt::Timeout => {
-                            EvalError::Timeout(stats_at(&counters, goal_answers, start))
-                        }
-                        Halt::TupleLimit => {
-                            EvalError::TupleLimit(stats_at(&counters, goal_answers, start))
+                        Halt::Budget(e) => {
+                            budget_error(e, stats_at(&counters, goal_answers, start))
                         }
                         Halt::Unsafe(msg) => EvalError::Unsafe(msg),
                     });

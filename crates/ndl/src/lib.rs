@@ -32,8 +32,10 @@ pub mod star;
 pub mod storage;
 
 pub use analysis::{analyze, Analysis};
-pub use eval::{evaluate, evaluate_on, EvalError, EvalOptions, EvalResult, EvalStats};
-pub use linear_eval::{evaluate_linear, evaluate_linear_on};
+pub use eval::{
+    evaluate, evaluate_on, evaluate_on_budgeted, EvalError, EvalOptions, EvalResult, EvalStats,
+};
+pub use linear_eval::{evaluate_linear, evaluate_linear_on, evaluate_linear_on_budgeted};
 pub use program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program, ProgramDisplay};
 pub use reference::evaluate_reference;
 pub use skinny::to_skinny;

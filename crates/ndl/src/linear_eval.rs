@@ -16,9 +16,12 @@
 //! in tests and used as an evaluator ablation in the benchmark suite.
 
 use crate::analysis::is_linear;
-use crate::eval::{Budget, EvalError, EvalOptions, EvalResult, EvalStats, Halt, Row, UNBOUND};
+use crate::eval::{
+    budget_error, EvalError, EvalOptions, EvalResult, EvalStats, Halt, Row, UNBOUND,
+};
 use crate::program::{BodyAtom, Clause, NdlQuery, PredId, Program};
 use crate::storage::Database;
+use obda_budget::Budget;
 use obda_owlql::abox::{ConstId, DataInstance};
 use obda_owlql::util::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
@@ -34,12 +37,21 @@ pub fn evaluate_linear_on(
     db: &Database,
     opts: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
+    evaluate_linear_on_budgeted(query, db, &mut opts.to_budget())
+}
+
+/// Like [`evaluate_linear_on`], but draws on a caller-supplied [`Budget`]
+/// shared with other pipeline stages.
+pub fn evaluate_linear_on_budgeted(
+    query: &NdlQuery,
+    db: &Database,
+    budget: &mut Budget,
+) -> Result<EvalResult, EvalError> {
     if !is_linear(&query.program) {
         return Err(EvalError::Unsafe("program is not linear".into()));
     }
     let start = Instant::now();
     let program = &query.program;
-    let mut budget = Budget::new(opts.timeout);
 
     // Derived ground atoms per IDB predicate, plus a worklist.
     let mut derived: FxHashMap<PredId, FxHashSet<Row>> = FxHashMap::default();
@@ -52,12 +64,16 @@ pub fn evaluate_linear_on(
                 derived: &mut FxHashMap<PredId, FxHashSet<Row>>,
                 queue: &mut VecDeque<(PredId, Row)>,
                 generated: &mut usize,
-                per_pred: &mut [usize]| {
+                per_pred: &mut [usize],
+                budget: &mut Budget|
+     -> Result<(), Halt> {
         if derived.entry(p).or_default().insert(row.clone()) {
             *generated += 1;
             per_pred[p.0 as usize] += 1;
             queue.push_back((p, row));
+            budget.charge_tuples(1)?;
         }
+        Ok(())
     };
 
     let stats_at = |generated: usize, per_pred: &[usize], num_answers: usize| EvalStats {
@@ -67,8 +83,7 @@ pub fn evaluate_linear_on(
         per_predicate: per_pred.to_vec(),
     };
     let interrupt = |halt: Halt, generated: usize, per_pred: &[usize]| match halt {
-        Halt::Timeout => EvalError::Timeout(stats_at(generated, per_pred, 0)),
-        Halt::TupleLimit => EvalError::TupleLimit(stats_at(generated, per_pred, 0)),
+        Halt::Budget(e) => budget_error(e, stats_at(generated, per_pred, 0)),
         Halt::Unsafe(msg) => EvalError::Unsafe(msg),
     };
 
@@ -79,10 +94,19 @@ pub fn evaluate_linear_on(
             .iter()
             .position(|a| matches!(a, BodyAtom::Pred(p, _) if program.is_idb(*p)));
         if idb_atom.is_none() {
-            let rows = ground_clause(program, clause, None, db, &mut budget)
+            let rows = ground_clause(program, clause, None, db, budget)
                 .map_err(|h| interrupt(h, generated, &per_pred))?;
             for row in rows {
-                push(clause.head, row, &mut derived, &mut queue, &mut generated, &mut per_pred);
+                push(
+                    clause.head,
+                    row,
+                    &mut derived,
+                    &mut queue,
+                    &mut generated,
+                    &mut per_pred,
+                    budget,
+                )
+                .map_err(|h| interrupt(h, generated, &per_pred))?;
             }
         }
     }
@@ -90,12 +114,7 @@ pub fn evaluate_linear_on(
     // Propagate: a derived atom Q(c) fires every clause with Q in the body.
     while let Some((p, row)) = queue.pop_front() {
         if let Err(h) = budget.tick() {
-            return Err(interrupt(h, generated, &per_pred));
-        }
-        if let Some(cap) = opts.max_tuples {
-            if generated > cap {
-                return Err(interrupt(Halt::TupleLimit, generated, &per_pred));
-            }
+            return Err(interrupt(h.into(), generated, &per_pred));
         }
         for clause in program.clauses() {
             let has_p = clause
@@ -105,10 +124,19 @@ pub fn evaluate_linear_on(
             if !has_p {
                 continue;
             }
-            let rows = ground_clause(program, clause, Some((p, &row)), db, &mut budget)
+            let rows = ground_clause(program, clause, Some((p, &row)), db, budget)
                 .map_err(|h| interrupt(h, generated, &per_pred))?;
             for out in rows {
-                push(clause.head, out, &mut derived, &mut queue, &mut generated, &mut per_pred);
+                push(
+                    clause.head,
+                    out,
+                    &mut derived,
+                    &mut queue,
+                    &mut generated,
+                    &mut per_pred,
+                    budget,
+                )
+                .map_err(|h| interrupt(h, generated, &per_pred))?;
             }
         }
     }

@@ -163,11 +163,26 @@ impl DataInstance {
     /// is needed because class atoms never derive role atoms between
     /// individuals.
     pub fn complete(&self, taxonomy: &Taxonomy) -> DataInstance {
+        match self.complete_budgeted(taxonomy, &mut obda_budget::Budget::unlimited()) {
+            Ok(out) => out,
+            Err(_) => unreachable!("an unlimited budget never trips"),
+        }
+    }
+
+    /// Like [`DataInstance::complete`], but ticks a shared [`obda_budget::Budget`]
+    /// per derived atom so completion over large instances respects the
+    /// pipeline deadline.
+    pub fn complete_budgeted(
+        &self,
+        taxonomy: &Taxonomy,
+        budget: &mut obda_budget::Budget,
+    ) -> Result<DataInstance, obda_budget::BudgetExceeded> {
         let mut out = self.clone();
         // Role closure: ̺(a,b) and ̺ ⊑ σ give σ(a,b); reflexive σ gives
         // σ(a,a) for every individual.
         for (p, a, b) in self.prop_atoms.iter().copied().collect::<Vec<_>>() {
             for s in taxonomy.super_roles(Role::direct(p)) {
+                budget.tick()?;
                 out.add_role_atom(s, a, b);
             }
         }
@@ -175,6 +190,7 @@ impl DataInstance {
             let r = Role::from_index(i);
             if taxonomy.is_reflexive(r) && !r.inverse {
                 for a in self.individuals() {
+                    budget.tick()?;
                     out.add_prop_atom(r.prop, a, a);
                 }
             }
@@ -195,13 +211,14 @@ impl DataInstance {
         for (a, exprs) in basic {
             for e in exprs {
                 for sup in taxonomy.super_classes(e) {
+                    budget.tick()?;
                     if let ClassExpr::Class(c) = sup {
                         out.add_class_atom(c, a);
                     }
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Whether the instance is complete for the taxonomy: completion adds no

@@ -105,6 +105,15 @@ impl Ontology {
         Taxonomy::new(self)
     }
 
+    /// Computes the taxonomy under a resource budget; see
+    /// [`Taxonomy::new_budgeted`].
+    pub fn taxonomy_budgeted(
+        &self,
+        budget: &mut obda_budget::Budget,
+    ) -> Result<Taxonomy, obda_budget::BudgetExceeded> {
+        Taxonomy::new_budgeted(self, budget)
+    }
+
     /// The size `|T|` of the ontology: total number of symbols in user
     /// axioms (each predicate or connective counts as one symbol).
     pub fn size(&self) -> usize {

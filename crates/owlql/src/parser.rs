@@ -26,25 +26,44 @@ use crate::vocab::{Role, Vocab};
 use std::error::Error;
 use std::fmt;
 
-/// A parse error with a 1-based line number.
+/// A parse error with a 1-based line and column position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line of the offending input.
     pub line: usize,
+    /// 1-based column (best effort; `1` when only the line is known).
+    pub column: usize,
     /// Human-readable description.
     pub message: String,
 }
 
+impl ParseError {
+    /// Builds an error positioned at the start of `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, column: 1, message: message.into() }
+    }
+
+    /// Builds an error at an explicit line/column position.
+    pub fn at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError { line, column, message: message.into() }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(f, "parse error at line {}, column {}: {}", self.line, self.column, self.message)
     }
 }
 
 impl Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError::new(line, message))
+}
+
+/// The 1-based character column of byte offset `pos` within `line`.
+fn column_of(line: &str, pos: usize) -> usize {
+    line.get(..pos).map_or(1, |prefix| prefix.chars().count() + 1)
 }
 
 fn is_name(token: &str) -> bool {
@@ -158,14 +177,30 @@ pub fn parse_data(text: &str, ontology: &Ontology) -> Result<DataInstance, Parse
         if line.is_empty() {
             continue;
         }
+        // Byte offset of the trimmed slice within the raw line, for columns.
+        let base = line.as_ptr() as usize - raw.as_ptr() as usize;
         let Some(open) = line.find('(') else {
             return err(line_no, format!("expected `Pred(args)`, got `{line}`"));
         };
         let Some(close) = line.rfind(')') else {
-            return err(line_no, "missing closing parenthesis");
+            return Err(ParseError::at(
+                line_no,
+                column_of(raw, base + open),
+                "missing closing parenthesis",
+            ));
         };
+        if close < open {
+            return Err(ParseError::at(line_no, column_of(raw, base + close), "`)` before `(`"));
+        }
         let pred = line[..open].trim();
         let args: Vec<&str> = line[open + 1..close].split(',').map(str::trim).collect();
+        if args.iter().any(|a| a.is_empty()) {
+            return Err(ParseError::at(
+                line_no,
+                column_of(raw, base + open),
+                format!("empty argument in atom `{pred}`"),
+            ));
+        }
         match args.as_slice() {
             [a] => {
                 let Some(class) = vocab.get_class(pred) else {
@@ -182,7 +217,13 @@ pub fn parse_data(text: &str, ontology: &Ontology) -> Result<DataInstance, Parse
                 let cb = data.constant(b);
                 data.add_prop_atom(prop, ca, cb);
             }
-            _ => return err(line_no, format!("atom `{pred}` must have 1 or 2 arguments")),
+            _ => {
+                return Err(ParseError::at(
+                    line_no,
+                    column_of(raw, base + open),
+                    format!("atom `{pred}` must have 1 or 2 arguments"),
+                ))
+            }
         }
     }
     Ok(data)
@@ -241,6 +282,88 @@ mod tests {
         assert!(parse_data("Unknown(a)", &o).is_err());
         assert!(parse_data("A(a, b, c)", &o).is_err());
         assert!(parse_data("A a", &o).is_err());
+    }
+
+    use proptest::prelude::*;
+
+    /// Token pool biased toward near-valid ontology/data syntax, so the
+    /// fuzzer reaches deep parser paths, not just the first reject.
+    const TOKENS: [&str; 18] = [
+        "A",
+        "B",
+        "P",
+        "exists",
+        "SubClassOf",
+        "SubPropertyOf",
+        "DisjointWith",
+        "Thing",
+        "Class",
+        "Property",
+        "Reflexive",
+        "-",
+        "(",
+        ")",
+        ",",
+        "#",
+        "\n",
+        "é",
+    ];
+
+    fn assemble(picks: &[(usize, bool)]) -> String {
+        let mut s = String::new();
+        for &(i, space) in picks {
+            s.push_str(TOKENS[i % TOKENS.len()]);
+            if space {
+                s.push(' ');
+            }
+        }
+        s
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512 })]
+
+        #[test]
+        fn parse_ontology_never_panics_on_arbitrary_bytes(
+            bytes in prop::collection::vec(any::<u8>(), 0..160),
+        ) {
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = parse_ontology(&text);
+        }
+
+        #[test]
+        fn parse_ontology_never_panics_on_token_soup(
+            picks in prop::collection::vec((0usize..TOKENS.len(), any::<bool>()), 0..40),
+        ) {
+            let _ = parse_ontology(&assemble(&picks));
+        }
+
+        #[test]
+        fn parse_data_never_panics_on_arbitrary_bytes(
+            bytes in prop::collection::vec(any::<u8>(), 0..160),
+        ) {
+            let o = parse_ontology("A SubClassOf exists P\nClass B\n").unwrap();
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = parse_data(&text, &o);
+        }
+
+        #[test]
+        fn parse_data_never_panics_on_token_soup(
+            picks in prop::collection::vec((0usize..TOKENS.len(), any::<bool>()), 0..40),
+        ) {
+            let o = parse_ontology("A SubClassOf exists P\nClass B\n").unwrap();
+            let _ = parse_data(&assemble(&picks), &o);
+        }
+    }
+
+    #[test]
+    fn data_parser_rejects_inverted_parens_without_panicking() {
+        let o = parse_ontology("Class A\n").unwrap();
+        let e = parse_data(") A(x", &o).unwrap_err();
+        assert!(e.to_string().contains("before"));
+        assert!(parse_data("A()", &o).is_err());
+        let e = parse_data("A(x)\nB(", &o).unwrap_err();
+        assert_eq!(e.line, 2);
     }
 
     #[test]

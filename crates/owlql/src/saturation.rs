@@ -10,6 +10,7 @@ use crate::axiom::{Axiom, ClassExpr};
 use crate::ontology::Ontology;
 use crate::util::BitSet;
 use crate::vocab::Role;
+use obda_budget::{Budget, BudgetExceeded};
 
 /// The saturated entailment closure of an ontology.
 ///
@@ -41,6 +42,17 @@ pub struct Taxonomy {
 impl Taxonomy {
     /// Saturates `ontology`. Called by [`Ontology::taxonomy`].
     pub fn new(ontology: &Ontology) -> Self {
+        match Self::new_budgeted(ontology, &mut Budget::unlimited()) {
+            Ok(tx) => tx,
+            Err(_) => unreachable!("an unlimited budget never trips"),
+        }
+    }
+
+    /// Saturates `ontology` under a resource budget: the closure and
+    /// unsatisfiability fixpoints tick the budget per relaxation step, so
+    /// adversarially large ontologies stop early instead of monopolising
+    /// the deadline shared with the rest of the pipeline.
+    pub fn new_budgeted(ontology: &Ontology, budget: &mut Budget) -> Result<Self, BudgetExceeded> {
         let num_classes = ontology.vocab().num_classes();
         let num_props = ontology.vocab().num_props();
         let num_roles = 2 * num_props;
@@ -54,7 +66,7 @@ impl Taxonomy {
                 role_edges[r.inv().index()].push(s.inv().index());
             }
         }
-        let role_sub = reflexive_transitive_closure(num_roles, &role_edges);
+        let role_sub = reflexive_transitive_closure(num_roles, &role_edges, budget)?;
 
         // 2. Reflexivity: refl(r) and r ⊑ s entail refl(s); refl(P) ⟺ refl(P⁻).
         let mut refl = BitSet::new(num_roles);
@@ -92,7 +104,7 @@ impl Taxonomy {
                 edges.push(idx(ClassExpr::Top));
             }
         }
-        let class_sub = reflexive_transitive_closure(num_exprs, &class_edges);
+        let class_sub = reflexive_transitive_closure(num_exprs, &class_edges, budget)?;
 
         // 4. Disjointness seeds.
         let mut class_disjoint = Vec::new();
@@ -119,8 +131,8 @@ impl Taxonomy {
             unsat_classes: BitSet::new(num_exprs),
             unsat_roles: BitSet::new(num_roles),
         };
-        tx.compute_unsat(ontology);
-        tx
+        tx.compute_unsat(ontology, budget)?;
+        Ok(tx)
     }
 
     fn expr_index(&self, e: ClassExpr) -> usize {
@@ -234,7 +246,11 @@ impl Taxonomy {
 
     /// Unsatisfiability fixpoint (used for consistency checking in the
     /// presence of `⊥`-axioms).
-    fn compute_unsat(&mut self, _ontology: &Ontology) {
+    fn compute_unsat(
+        &mut self,
+        _ontology: &Ontology,
+        budget: &mut Budget,
+    ) -> Result<(), BudgetExceeded> {
         loop {
             let mut changed = false;
 
@@ -243,6 +259,7 @@ impl Taxonomy {
             // be self-disjoint), or if the type of either endpoint of a
             // ̺-edge is unsatisfiable.
             for i in 0..self.num_roles() {
+                budget.tick()?;
                 if self.unsat_roles.contains(i) {
                     continue;
                 }
@@ -266,6 +283,7 @@ impl Taxonomy {
             // are disjoint, if a super-class is unsatisfiable, or if it is
             // `∃̺` for an unsatisfiable `̺`.
             for i in 0..self.class_sub.len() {
+                budget.tick()?;
                 if self.unsat_classes.contains(i) {
                     continue;
                 }
@@ -290,6 +308,7 @@ impl Taxonomy {
                 break;
             }
         }
+        Ok(())
     }
 
     fn is_unsat_class_raw(&self, e: ClassExpr) -> bool {
@@ -299,7 +318,11 @@ impl Taxonomy {
 
 /// Reflexive-transitive closure of a digraph given as adjacency lists,
 /// returned as per-node reachability bitsets.
-fn reflexive_transitive_closure(n: usize, edges: &[Vec<usize>]) -> Vec<BitSet> {
+fn reflexive_transitive_closure(
+    n: usize,
+    edges: &[Vec<usize>],
+    budget: &mut Budget,
+) -> Result<Vec<BitSet>, BudgetExceeded> {
     let mut closure: Vec<BitSet> = (0..n)
         .map(|i| {
             let mut b = BitSet::new(n);
@@ -313,6 +336,7 @@ fn reflexive_transitive_closure(n: usize, edges: &[Vec<usize>]) -> Vec<BitSet> {
         let mut changed = false;
         for u in 0..n {
             for &v in &edges[u] {
+                budget.tick()?;
                 if u != v {
                     let (a, b) = if u < v {
                         let (lo, hi) = closure.split_at_mut(v);
@@ -329,7 +353,7 @@ fn reflexive_transitive_closure(n: usize, edges: &[Vec<usize>]) -> Vec<BitSet> {
             break;
         }
     }
-    closure
+    Ok(closure)
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 use crate::axiom::ClassExpr;
 use crate::saturation::Taxonomy;
 use crate::vocab::{Role, Vocab};
+use obda_budget::{Budget, BudgetExceeded};
 
 /// Identifier of a word in a [`WordArena`]. `WordId::EPSILON` is the empty
 /// word ε (not itself a member of `W_T`, but used as the "mapped to an
@@ -62,6 +63,22 @@ impl WordArena {
     /// keeps the arena finite; callers choose the bound from the query size
     /// (chase locality) or the ontology depth.
     pub fn new(taxonomy: &Taxonomy, max_len: usize) -> Self {
+        match Self::new_budgeted(taxonomy, max_len, &mut Budget::unlimited()) {
+            Ok(arena) => arena,
+            Err(_) => unreachable!("an unlimited budget never trips"),
+        }
+    }
+
+    /// Like [`WordArena::new`], but charges one *chase element* to the
+    /// budget per interned word. For cyclic (infinite-depth) ontologies the
+    /// prefix tree grows exponentially with the bound, so this is the
+    /// choke-point that lets bounded materialisation stop early instead of
+    /// exhausting memory.
+    pub fn new_budgeted(
+        taxonomy: &Taxonomy,
+        max_len: usize,
+        budget: &mut Budget,
+    ) -> Result<Self, BudgetExceeded> {
         let num_roles = taxonomy.num_roles();
         let letters: Vec<bool> =
             (0..num_roles).map(|i| !taxonomy.is_reflexive(Role::from_index(i))).collect();
@@ -100,6 +117,8 @@ impl WordArena {
                     arena.transitions[arena.nodes[w.0 as usize].letter.index()].clone()
                 };
                 for i in succ {
+                    budget.tick()?;
+                    budget.charge_chase_elements(1)?;
                     let id = WordId(arena.nodes.len() as u32);
                     let len = arena.nodes[w.0 as usize].len + 1;
                     arena.nodes.push(WordNode {
@@ -117,7 +136,7 @@ impl WordArena {
                 break;
             }
         }
-        arena
+        Ok(arena)
     }
 
     /// Number of words in the arena (including ε).

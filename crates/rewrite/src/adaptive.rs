@@ -14,6 +14,7 @@ use crate::log::LogRewriter;
 use crate::omq::{Omq, RewriteError, Rewriter};
 use crate::tw::TwRewriter;
 use crate::twstar::inline_single_definitions;
+use obda_budget::Budget;
 use obda_ndl::analysis::topological_order;
 use obda_ndl::program::{BodyAtom, NdlQuery, PredId, PredKind};
 use obda_owlql::abox::DataInstance;
@@ -131,21 +132,35 @@ impl AdaptiveRewriter {
         &self,
         omq: &Omq<'_>,
     ) -> Result<(NdlQuery, &'static str, f64), RewriteError> {
-        let candidates: Vec<(&'static str, Result<NdlQuery, RewriteError>)> = vec![
-            ("Lin", LinRewriter::default().rewrite_complete(omq)),
-            ("Log", LogRewriter::default().rewrite_complete(omq)),
-            ("Tw", TwRewriter::default().rewrite_complete(omq)),
-            (
-                "Tw*",
+        self.rewrite_with_report_budgeted(omq, &mut Budget::unlimited())
+    }
+
+    /// Budgeted [`Self::rewrite_with_report`]: each candidate strategy draws
+    /// on a renewed copy of the budget (same deadline, fresh counters), so a
+    /// blow-up in one strategy cannot starve the others; a budget trip in
+    /// one candidate counts as that candidate failing, and only if *every*
+    /// candidate fails is the last error returned.
+    pub fn rewrite_with_report_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<(NdlQuery, &'static str, f64), RewriteError> {
+        type Attempt = fn(&Omq<'_>, &mut Budget) -> Result<NdlQuery, RewriteError>;
+        let candidates: [(&'static str, Attempt); 4] = [
+            ("Lin", |omq, b| LinRewriter::default().rewrite_budgeted(omq, b)),
+            ("Log", |omq, b| LogRewriter::default().rewrite_budgeted(omq, b)),
+            ("Tw", |omq, b| TwRewriter::default().rewrite_budgeted(omq, b)),
+            ("Tw*", |omq, b| {
                 TwRewriter::default()
-                    .rewrite_complete(omq)
-                    .map(|q| inline_single_definitions(&q, 2)),
-            ),
+                    .rewrite_budgeted(omq, b)
+                    .map(|q| inline_single_definitions(&q, 2))
+            }),
         ];
         let mut best: Option<(NdlQuery, &'static str, f64)> = None;
         let mut last_err = RewriteError::NotTreeShaped;
-        for (name, result) in candidates {
-            match result {
+        for (name, attempt) in candidates {
+            let mut candidate_budget = budget.renew();
+            match attempt(omq, &mut candidate_budget) {
                 Ok(q) => {
                     let cost = estimate_cost(&q, &self.stats);
                     if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
@@ -164,8 +179,12 @@ impl Rewriter for AdaptiveRewriter {
         "Adaptive"
     }
 
-    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError> {
-        self.rewrite_with_report(omq).map(|(q, _, _)| q)
+    fn rewrite_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, RewriteError> {
+        self.rewrite_with_report_budgeted(omq, budget).map(|(q, _, _)| q)
     }
 }
 

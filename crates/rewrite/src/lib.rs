@@ -28,8 +28,11 @@ pub mod types;
 
 pub use lin::LinRewriter;
 pub use log::LogRewriter;
-pub use omq::{add_inconsistency_clauses, rewrite_arbitrary, Omq, RewriteError, Rewriter};
-pub use tree_witness::{tree_witnesses, TreeWitness};
+pub use omq::{
+    add_inconsistency_clauses, rewrite_arbitrary, rewrite_arbitrary_budgeted, Omq, RewriteError,
+    Rewriter,
+};
+pub use tree_witness::{tree_witnesses, tree_witnesses_budgeted, TreeWitness};
 pub use tw::TwRewriter;
 pub mod ucq;
 pub use ucq::UcqRewriter;

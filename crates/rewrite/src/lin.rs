@@ -9,8 +9,9 @@
 //! Each clause links one slice to the next, so the program is linear of
 //! width `≤ 2ℓ` with `≤ |q|·|T|^{2dℓ}` predicates.
 
-use crate::omq::{Omq, RewriteError, Rewriter};
+use crate::omq::{charge_clause, tick_rewrite, Omq, RewriteError, Rewriter};
 use crate::types::{TypeCtx, TypeMap};
+use obda_budget::Budget;
 use obda_cq::gaifman::Gaifman;
 use obda_cq::query::Var;
 use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, Program};
@@ -31,7 +32,11 @@ impl Rewriter for LinRewriter {
         "Lin"
     }
 
-    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError> {
+    fn rewrite_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, RewriteError> {
         let q = omq.query;
         let g = Gaifman::new(q);
         if !g.is_connected() {
@@ -40,11 +45,15 @@ impl Rewriter for LinRewriter {
         if !g.is_tree() {
             return Err(RewriteError::NotTreeShaped);
         }
-        let taxonomy = omq.ontology.taxonomy();
+        let taxonomy = omq
+            .ontology
+            .taxonomy_budgeted(budget)
+            .map_err(|e| RewriteError::from_budget(e, 0, 0))?;
         let Some(depth) = ontology_depth(&taxonomy) else {
             return Err(RewriteError::InfiniteDepth);
         };
-        let arena = WordArena::new(&taxonomy, depth);
+        let arena = WordArena::new_budgeted(&taxonomy, depth, budget)
+            .map_err(|e| RewriteError::from_budget(e, 0, 0))?;
         let ctx = TypeCtx { ontology: omq.ontology, taxonomy: &taxonomy, arena: &arena, q };
 
         // Slices by BFS distance from the root.
@@ -87,6 +96,7 @@ impl Rewriter for LinRewriter {
 
         // Bottom slice M: G^w_M(z^M_∃, x^M) ← At^w(z^M).
         for t in ctx.enumerate_types(&slices[max_dist], &TypeMap::empty()) {
+            tick_rewrite(budget, &program)?;
             let heads = head_vars(max_dist);
             let pid = program.add_idb_with_params(
                 format!("G{}_{}", max_dist, t.display(q, &arena, omq.ontology)),
@@ -94,6 +104,7 @@ impl Rewriter for LinRewriter {
                 xs[max_dist].len(),
             );
             let clause = build_clause(&ctx, &mut program, pid, &heads, &t, None);
+            charge_clause(budget, &program)?;
             program.add_clause(clause);
             defined[max_dist].insert(t, pid);
         }
@@ -106,6 +117,7 @@ impl Rewriter for LinRewriter {
             for w in candidates {
                 let mut pid = None;
                 for (s, child_pid) in &child_types {
+                    tick_rewrite(budget, &program)?;
                     let union = w.union(s);
                     let mut both: Vec<Var> = slices[n].clone();
                     both.extend(slices[n + 1].iter().copied());
@@ -129,6 +141,7 @@ impl Rewriter for LinRewriter {
                         &union,
                         Some((*child_pid, &child_heads)),
                     );
+                    charge_clause(budget, &program)?;
                     program.add_clause(clause);
                 }
                 if let Some(id) = pid {
@@ -145,6 +158,7 @@ impl Rewriter for LinRewriter {
         );
         let top_types: Vec<obda_ndl::program::PredId> = defined[0].values().copied().collect();
         for pid in top_types {
+            charge_clause(budget, &program)?;
             let heads = head_vars(0);
             // Clause variables: answer vars ∪ slice-0 heads.
             let mut cvars: FxHashMap<Var, CVar> = FxHashMap::default();

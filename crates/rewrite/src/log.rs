@@ -9,8 +9,9 @@
 //! type `s` over the splitting bag `λ(σ(D))` and recurses into the subtrees
 //! `D′ ≺ D`.
 
-use crate::omq::{Omq, RewriteError, Rewriter};
+use crate::omq::{charge_clause, tick_rewrite, Omq, RewriteError, Rewriter};
 use crate::types::{TypeCtx, TypeMap};
+use obda_budget::Budget;
 use obda_cq::gaifman::Gaifman;
 use obda_cq::query::Var;
 use obda_cq::split::{boundary, split_decomposition, SplitNode};
@@ -52,6 +53,7 @@ struct Builder<'a> {
     program: Program,
     memo: FxHashMap<(usize, TypeMap), Option<PredId>>,
     arena_display: &'a WordArena,
+    budget: &'a mut Budget,
 }
 
 impl Rewriter for LogRewriter {
@@ -59,13 +61,21 @@ impl Rewriter for LogRewriter {
         "Log"
     }
 
-    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError> {
+    fn rewrite_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, RewriteError> {
         let q = omq.query;
-        let taxonomy = omq.ontology.taxonomy();
+        let taxonomy = omq
+            .ontology
+            .taxonomy_budgeted(budget)
+            .map_err(|e| RewriteError::from_budget(e, 0, 0))?;
         let Some(depth) = ontology_depth(&taxonomy) else {
             return Err(RewriteError::InfiniteDepth);
         };
-        let arena = WordArena::new(&taxonomy, depth);
+        let arena = WordArena::new_budgeted(&taxonomy, depth, budget)
+            .map_err(|e| RewriteError::from_budget(e, 0, 0))?;
         let ctx = TypeCtx { ontology: omq.ontology, taxonomy: &taxonomy, arena: &arena, q };
 
         let g = Gaifman::new(q);
@@ -78,6 +88,8 @@ impl Rewriter for LogRewriter {
 
         // Flatten the split tree in pre-order and precompute per-node facts.
         let flattened: Vec<&SplitNode> = split.iter();
+        // Every node handed to `index_of` comes from `flattened` itself.
+        #[allow(clippy::expect_used)]
         let index_of = |node: &SplitNode| -> usize {
             flattened.iter().position(|&n| std::ptr::eq(n, node)).expect("node from the same tree")
         };
@@ -129,11 +141,12 @@ impl Rewriter for LogRewriter {
             program: Program::new(),
             memo: FxHashMap::default(),
             arena_display: &arena,
+            budget,
         };
 
         // The root subtree is T itself with ∂T = ∅ and x_T = x; its
         // predicate is the goal.
-        let root_pid = builder.generate(0, &TypeMap::empty(), omq);
+        let root_pid = builder.generate(0, &TypeMap::empty(), omq)?;
         let goal = match root_pid {
             Some(p) => p,
             None => {
@@ -157,11 +170,16 @@ impl Builder<'_> {
         vars
     }
 
-    /// Generates (memoised) the predicate `G^w_D`, returning `None` when no
-    /// clause can define it.
-    fn generate(&mut self, node: usize, w: &TypeMap, omq: &Omq<'_>) -> Option<PredId> {
+    /// Generates (memoised) the predicate `G^w_D`, returning `Ok(None)`
+    /// when no clause can define it and an error when the budget trips.
+    fn generate(
+        &mut self,
+        node: usize,
+        w: &TypeMap,
+        omq: &Omq<'_>,
+    ) -> Result<Option<PredId>, RewriteError> {
         if let Some(&cached) = self.memo.get(&(node, w.clone())) {
-            return cached;
+            return Ok(cached);
         }
         // Break potential reentrancy (there is none — the recursion follows
         // the finite split tree — but the memo entry also dedups names).
@@ -173,13 +191,14 @@ impl Builder<'_> {
         let types = self.ctx.enumerate_types(&bag, w);
         let mut pid: Option<PredId> = None;
         for s in types {
+            tick_rewrite(self.budget, &self.program)?;
             let union = s.union(&w.restrict_outside(&bag));
             // Resolve children first.
             let mut child_atoms: Vec<(PredId, Vec<Var>)> = Vec::new();
             let mut ok = true;
             for &c in &children {
                 let cw = union.restrict(&self.info[c].boundary_vars);
-                match self.generate(c, &cw, omq) {
+                match self.generate(c, &cw, omq)? {
                     Some(cp) => child_atoms.push((cp, self.head_vars(c))),
                     None => {
                         ok = false;
@@ -199,10 +218,11 @@ impl Builder<'_> {
                 )
             });
             let clause = self.build_clause(id, &heads, &s, &child_atoms, omq);
+            charge_clause(self.budget, &self.program)?;
             self.program.add_clause(clause);
         }
         self.memo.insert((node, w.clone()), pid);
-        pid
+        Ok(pid)
     }
 
     fn build_clause(

@@ -1,5 +1,6 @@
 //! Ontology-mediated queries and the rewriter interface.
 
+use obda_budget::{Budget, BudgetExceeded};
 use obda_cq::query::Cq;
 use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, Program};
 use obda_ndl::star::{linear_star_transform, star_transform};
@@ -30,6 +31,30 @@ pub enum RewriteError {
     /// A resource cap was exceeded (the baseline rewriters blow up
     /// exponentially by design).
     TooLarge(usize),
+    /// The shared pipeline [`Budget`] tripped mid-rewriting; carries the
+    /// partial size of the rewriting built so far.
+    BudgetExceeded {
+        /// The budget trip that interrupted the rewriter.
+        exceeded: BudgetExceeded,
+        /// Clauses emitted before the trip.
+        clauses: usize,
+        /// Body atoms emitted before the trip.
+        atoms: usize,
+    },
+}
+
+impl RewriteError {
+    /// Wraps a budget trip together with the partial size of the rewriting
+    /// at the moment it was interrupted.
+    pub fn from_budget(exceeded: BudgetExceeded, clauses: usize, atoms: usize) -> Self {
+        RewriteError::BudgetExceeded { exceeded, clauses, atoms }
+    }
+
+    /// Whether this error is a budget/resource trip (as opposed to a
+    /// structural refusal such as a non-tree-shaped query).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, RewriteError::TooLarge(_) | RewriteError::BudgetExceeded { .. })
+    }
 }
 
 impl fmt::Display for RewriteError {
@@ -39,6 +64,10 @@ impl fmt::Display for RewriteError {
             RewriteError::NotConnected => write!(f, "query is not connected"),
             RewriteError::InfiniteDepth => write!(f, "ontology has infinite depth"),
             RewriteError::TooLarge(n) => write!(f, "rewriting exceeded the cap of {n} clauses"),
+            RewriteError::BudgetExceeded { exceeded, clauses, atoms } => write!(
+                f,
+                "rewriting interrupted after {clauses} clauses / {atoms} atoms: {exceeded}"
+            ),
         }
     }
 }
@@ -54,8 +83,53 @@ pub trait Rewriter {
     /// A short display name (used in experiment tables).
     fn name(&self) -> &'static str;
 
-    /// Produces an NDL-rewriting of `omq` over complete data instances.
-    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError>;
+    /// Produces an NDL-rewriting of `omq` over complete data instances,
+    /// ticking the shared [`Budget`] through its work loops and charging
+    /// the clauses/atoms it emits. Aborts with
+    /// [`RewriteError::BudgetExceeded`] (carrying the partial rewriting
+    /// size) when the budget trips.
+    fn rewrite_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, RewriteError>;
+
+    /// Produces an NDL-rewriting of `omq` over complete data instances,
+    /// without resource limits.
+    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError> {
+        self.rewrite_budgeted(omq, &mut Budget::unlimited())
+    }
+}
+
+/// Charges a finished rewriting's clauses and body atoms against the
+/// budget. Rewriters with polynomial output call this once at the end;
+/// exponential ones additionally check in-loop.
+pub fn charge_query(budget: &mut Budget, query: &NdlQuery) -> Result<(), RewriteError> {
+    let clauses = query.program.clauses().len();
+    let atoms: usize = query.program.clauses().iter().map(|c| c.body.len()).sum();
+    budget
+        .charge_clauses(clauses as u64)
+        .map_err(|e| RewriteError::from_budget(e, clauses, atoms))?;
+    budget.check_time().map_err(|e| RewriteError::from_budget(e, clauses, atoms))
+}
+
+/// Ticks the budget inside a rewriter work loop, reporting the partial
+/// program size on a trip.
+pub fn tick_rewrite(budget: &mut Budget, program: &Program) -> Result<(), RewriteError> {
+    budget.tick().map_err(|e| {
+        let clauses = program.clauses().len();
+        let atoms = program.clauses().iter().map(|c| c.body.len()).sum();
+        RewriteError::from_budget(e, clauses, atoms)
+    })
+}
+
+/// Charges one emitted clause against the budget inside a rewriter loop.
+pub fn charge_clause(budget: &mut Budget, program: &Program) -> Result<(), RewriteError> {
+    budget.charge_clauses(1).map_err(|e| {
+        let clauses = program.clauses().len();
+        let atoms = program.clauses().iter().map(|c| c.body.len()).sum();
+        RewriteError::from_budget(e, clauses, atoms)
+    })
 }
 
 /// Rewrites over arbitrary data instances: applies the rewriter and then the
@@ -65,13 +139,31 @@ pub fn rewrite_arbitrary(
     omq: &Omq<'_>,
     taxonomy: &Taxonomy,
 ) -> Result<NdlQuery, RewriteError> {
-    let complete = rewriter.rewrite_complete(omq)?;
+    rewrite_arbitrary_budgeted(rewriter, omq, taxonomy, &mut Budget::unlimited())
+}
+
+/// Budgeted [`rewrite_arbitrary`]: the rewriter itself and the clauses
+/// added by the `*`-transformation all charge the shared budget.
+pub fn rewrite_arbitrary_budgeted(
+    rewriter: &dyn Rewriter,
+    omq: &Omq<'_>,
+    taxonomy: &Taxonomy,
+    budget: &mut Budget,
+) -> Result<NdlQuery, RewriteError> {
+    let complete = rewriter.rewrite_budgeted(omq, budget)?;
     let vocab = omq.ontology.vocab();
     let starred = if obda_ndl::analysis::is_linear(&complete.program) {
         linear_star_transform(&complete, taxonomy, vocab)
     } else {
         star_transform(&complete, taxonomy, vocab)
     };
+    // Charge the delta added by the star transformation.
+    let before = complete.program.clauses().len();
+    let after = starred.program.clauses().len();
+    let atoms: usize = starred.program.clauses().iter().map(|c| c.body.len()).sum();
+    budget
+        .charge_clauses(after.saturating_sub(before) as u64)
+        .map_err(|e| RewriteError::from_budget(e, after, atoms))?;
     Ok(starred)
 }
 
@@ -114,7 +206,11 @@ pub fn add_inconsistency_clauses(query: &mut NdlQuery, taxonomy: &Taxonomy, omq:
                 let z = CVar(arity);
                 let f1 = CVar(arity + 1);
                 let f2 = CVar(arity + 2);
+                // Disjointness axioms only mention class expressions, for
+                // which `class_atom` always produces an atom.
+                #[allow(clippy::expect_used)]
                 let (a1, _) = class_atom(program, e1, z, f1).expect("class atom");
+                #[allow(clippy::expect_used)]
                 let (a2, _) = class_atom(program, e2, z, f2).expect("class atom");
                 emit(program, vec![a1, a2], 3);
             }

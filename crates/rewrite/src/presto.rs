@@ -18,9 +18,10 @@
 //! Boolean queries additionally get the fully-anonymous clauses
 //! `G ← A(z)` for `T, {A(a)} ⊨ q`.
 
-use crate::omq::{Omq, RewriteError, Rewriter};
-use crate::tree_witness::{tree_witnesses, TreeWitness};
-use obda_chase::answer::{certain_answers, CertainAnswers};
+use crate::omq::{charge_clause, tick_rewrite, Omq, RewriteError, Rewriter};
+use crate::tree_witness::{tree_witnesses_budgeted, TreeWitness};
+use obda_budget::Budget;
+use obda_chase::answer::{certain_answers_budgeted, CertainAnswers};
 use obda_cq::query::{Atom, Var};
 use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
 use obda_owlql::axiom::ClassExpr;
@@ -64,15 +65,28 @@ impl Rewriter for TwUcqRewriter {
         "TwUCQ"
     }
 
-    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError> {
+    fn rewrite_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, RewriteError> {
         let q = omq.query;
         let vocab = omq.ontology.vocab();
         let mut program = Program::new();
         let num_answer = q.answer_vars().len();
         let goal = program.add_idb_with_params("G", num_answer, num_answer);
 
-        let tws: Vec<TreeWitness> =
-            tree_witnesses(omq, self.cap).into_iter().filter(|t| !t.roots.is_empty()).collect();
+        let tws: Vec<TreeWitness> = tree_witnesses_budgeted(omq, self.cap, budget)
+            .map_err(|e| {
+                RewriteError::from_budget(
+                    e,
+                    program.num_clauses(),
+                    program.clauses().iter().map(|c| c.body.len()).sum(),
+                )
+            })?
+            .into_iter()
+            .filter(|t| !t.roots.is_empty())
+            .collect();
 
         // Enumerate independent sets, then all generator combinations.
         let mut stack: Vec<(usize, Vec<usize>)> = vec![(0, Vec::new())];
@@ -85,6 +99,7 @@ impl Rewriter for TwUcqRewriter {
                 if emitted > self.cap {
                     return Err(RewriteError::TooLarge(self.cap));
                 }
+                charge_clause(budget, &program)?;
                 emit_ucq_clause(&mut program, goal, omq, &chosen_tws, &combo);
                 // Next generator combination (odometer).
                 let mut pos = 0;
@@ -114,10 +129,18 @@ impl Rewriter for TwUcqRewriter {
 
         if q.is_boolean() {
             for class in vocab.class_ids().collect::<Vec<_>>() {
+                tick_rewrite(budget, &program)?;
                 let mut data = obda_owlql::DataInstance::new();
                 let a = data.constant("a");
                 data.add_class_atom(class, a);
-                if certain_answers(omq.ontology, q, &data) == CertainAnswers::Boolean(true) {
+                let entailed =
+                    certain_answers_budgeted(omq.ontology, q, &data, budget).map_err(|e| {
+                        let clauses = program.clauses().len();
+                        let atoms = program.clauses().iter().map(|c| c.body.len()).sum();
+                        RewriteError::from_budget(e.exceeded, clauses, atoms)
+                    })?;
+                if entailed == CertainAnswers::Boolean(true) {
+                    charge_clause(budget, &program)?;
                     let p = program.edb_class(class, vocab);
                     program.add_clause(Clause {
                         head: goal,
@@ -181,6 +204,8 @@ fn emit_ucq_clause(
         let a_rho = omq.ontology.exists_class(rho);
         let p = program.edb_class(a_rho, &vocab);
         let mut roots = t.roots.iter();
+        // Root-less witnesses are filtered out at collection time.
+        #[allow(clippy::expect_used)]
         let z0 = *roots.next().expect("t_r nonempty");
         let cz0 = alloc(z0, &mut cvars, &mut next);
         body.push(BodyAtom::Pred(p, vec![cz0]));
@@ -202,11 +227,18 @@ impl Rewriter for PrestoLikeRewriter {
         "PrestoLike"
     }
 
-    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError> {
+    fn rewrite_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, RewriteError> {
         // The views make the program a rewriting over arbitrary instances,
         // hence in particular over complete ones.
         let q = omq.query;
-        let taxonomy = omq.ontology.taxonomy();
+        let taxonomy = omq
+            .ontology
+            .taxonomy_budgeted(budget)
+            .map_err(|e| RewriteError::from_budget(e, 0, 0))?;
         let vocab = omq.ontology.vocab();
         let mut program = Program::new();
         let num_answer = q.answer_vars().len();
@@ -235,8 +267,17 @@ impl Rewriter for PrestoLikeRewriter {
         // Tree-witness predicates also consult the generator classes A̺,
         // which must be derived over arbitrary instances — route them
         // through views as well.
-        let tws: Vec<TreeWitness> =
-            tree_witnesses(omq, self.cap).into_iter().filter(|t| !t.roots.is_empty()).collect();
+        let tws: Vec<TreeWitness> = tree_witnesses_budgeted(omq, self.cap, budget)
+            .map_err(|e| {
+                RewriteError::from_budget(
+                    e,
+                    program.num_clauses(),
+                    program.clauses().iter().map(|c| c.body.len()).sum(),
+                )
+            })?
+            .into_iter()
+            .filter(|t| !t.roots.is_empty())
+            .collect();
         let mut used_classes = used_classes;
         for t in &tws {
             for &rho in &t.generators {
@@ -258,6 +299,7 @@ impl Rewriter for PrestoLikeRewriter {
                     }
                     ClassExpr::Top => continue,
                 };
+                charge_clause(budget, &program)?;
                 program.add_clause(Clause { head: view, head_args: vec![CVar(0)], body, num_vars });
             }
         }
@@ -266,6 +308,7 @@ impl Rewriter for PrestoLikeRewriter {
             prop_views.insert(p, view);
             for sub in taxonomy.sub_roles(Role::direct(p)).collect::<Vec<_>>() {
                 let body = vec![program.role_atom(sub, CVar(0), CVar(1), vocab)];
+                charge_clause(budget, &program)?;
                 program.add_clause(Clause {
                     head: view,
                     head_args: vec![CVar(0), CVar(1)],
@@ -297,6 +340,7 @@ impl Rewriter for PrestoLikeRewriter {
                 for k in 1..roots.len() {
                     body.push(BodyAtom::Eq(CVar(k as u32), CVar(z0 as u32)));
                 }
+                charge_clause(budget, &program)?;
                 program.add_clause(Clause {
                     head: w,
                     head_args: (0..roots.len() as u32).map(CVar).collect(),
@@ -317,6 +361,7 @@ impl Rewriter for PrestoLikeRewriter {
             if emitted > self.cap {
                 return Err(RewriteError::TooLarge(self.cap));
             }
+            charge_clause(budget, &program)?;
             self.emit_top_clause(
                 &mut program,
                 goal,
@@ -341,10 +386,18 @@ impl Rewriter for PrestoLikeRewriter {
         // Boolean fully-anonymous matches.
         if q.is_boolean() {
             for class in vocab.class_ids().collect::<Vec<_>>() {
+                tick_rewrite(budget, &program)?;
                 let mut data = obda_owlql::DataInstance::new();
                 let a = data.constant("a");
                 data.add_class_atom(class, a);
-                if certain_answers(omq.ontology, q, &data) == CertainAnswers::Boolean(true) {
+                let entailed =
+                    certain_answers_budgeted(omq.ontology, q, &data, budget).map_err(|e| {
+                        let clauses = program.clauses().len();
+                        let atoms = program.clauses().iter().map(|c| c.body.len()).sum();
+                        RewriteError::from_budget(e.exceeded, clauses, atoms)
+                    })?;
+                if entailed == CertainAnswers::Boolean(true) {
+                    charge_clause(budget, &program)?;
                     let p = program.edb_class(class, vocab);
                     program.add_clause(Clause {
                         head: goal,
@@ -425,6 +478,7 @@ impl PrestoLikeRewriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obda_chase::certain_answers;
     use obda_cq::parse_cq;
     use obda_ndl::eval::{evaluate, EvalOptions};
     use obda_owlql::parser::{parse_data, parse_ontology};

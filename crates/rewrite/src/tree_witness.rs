@@ -13,6 +13,7 @@
 //! `O(|q|^ℓ)` of them.
 
 use crate::omq::Omq;
+use obda_budget::{Budget, BudgetExceeded};
 use obda_chase::homomorphism::HomSearch;
 use obda_chase::model::{word_bound, CanonicalModel, Element};
 use obda_cq::gaifman::Gaifman;
@@ -106,7 +107,25 @@ fn build_qt(q: &Cq, atoms: &BTreeSet<usize>, roots: &BTreeSet<Var>) -> (Cq, Vec<
 /// Enumerates all tree witnesses of the OMQ (with a safety cap on interior
 /// candidates; the cap is generous for bounded-leaf queries).
 pub fn tree_witnesses(omq: &Omq<'_>, cap: usize) -> Vec<TreeWitness> {
+    match tree_witnesses_budgeted(omq, cap, &mut Budget::unlimited()) {
+        Ok(tws) => tws,
+        Err(_) => unreachable!("an unlimited budget never trips"),
+    }
+}
+
+/// Budgeted [`tree_witnesses`]: the generator models' materialisation and
+/// the folding homomorphism searches all draw on `budget`, so a cyclic
+/// ontology whose anonymous subtrees are exponential trips the budget
+/// instead of hanging the rewriter.
+pub fn tree_witnesses_budgeted(
+    omq: &Omq<'_>,
+    cap: usize,
+    budget: &mut Budget,
+) -> Result<Vec<TreeWitness>, BudgetExceeded> {
     let q = omq.query;
+    if q.existential_vars().next().is_none() {
+        return Ok(Vec::new()); // no interior candidates, skip the models
+    }
     let g = Gaifman::new(q);
     let taxonomy = omq.ontology.taxonomy();
     // One generator model per role, shared across all interior subsets
@@ -116,10 +135,15 @@ pub fn tree_witnesses(omq: &Omq<'_>, cap: usize) -> Vec<TreeWitness> {
         .ontology
         .vocab()
         .roles()
-        .map(|role| (role, CanonicalModel::for_generator(omq.ontology, role, bound)))
-        .collect();
+        .map(|role| {
+            CanonicalModel::for_generator_budgeted(omq.ontology, role, bound, budget)
+                .map(|m| (role, m))
+                .map_err(|e| e.exceeded)
+        })
+        .collect::<Result<_, _>>()?;
     let mut out = Vec::new();
     for interior in connected_existential_subsets(q, cap) {
+        budget.tick()?;
         // t_r: outside neighbours of the interior.
         let roots: BTreeSet<Var> = interior
             .iter()
@@ -133,6 +157,8 @@ pub fn tree_witnesses(omq: &Omq<'_>, cap: usize) -> Vec<TreeWitness> {
         let (qt, map) = build_qt(q, &atoms, &roots);
         let mut generators = Vec::new();
         for &(role, ref model) in &models {
+            // `for_generator` seeds every model with the individual `a`.
+            #[allow(clippy::expect_used)]
             let a =
                 model.completed().get_constant("a").expect("generator model has the individual a");
             let null_vars: Vec<Var> =
@@ -146,7 +172,7 @@ pub fn tree_witnesses(omq: &Omq<'_>, cap: usize) -> Vec<TreeWitness> {
             // of the generator model (whose anonymous part is exactly the
             // subtree below a·̺ and its `W_T`-continuations).
             let search = HomSearch::new(model, &qt).require_null(null_vars);
-            if search.exists(&fixed) {
+            if search.try_exists(&fixed, budget)? {
                 generators.push(role);
             }
         }
@@ -154,7 +180,7 @@ pub fn tree_witnesses(omq: &Omq<'_>, cap: usize) -> Vec<TreeWitness> {
             out.push(TreeWitness { roots, interior, atoms, generators });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

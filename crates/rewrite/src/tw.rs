@@ -8,9 +8,10 @@
 //! clause per tree witness `t` with `z_q ∈ t_i` and generator `̺` that folds
 //! `q_t` into the anonymous part below an `A̺`-individual.
 
-use crate::omq::{Omq, RewriteError, Rewriter};
-use crate::tree_witness::{tree_witnesses, TreeWitness};
-use obda_chase::answer::{certain_answers, CertainAnswers};
+use crate::omq::{charge_clause, tick_rewrite, Omq, RewriteError, Rewriter};
+use crate::tree_witness::{tree_witnesses_budgeted, TreeWitness};
+use obda_budget::Budget;
+use obda_chase::answer::{certain_answers_budgeted, CertainAnswers};
 use obda_cq::gaifman::Gaifman;
 use obda_cq::query::{Atom, Cq, Var};
 use obda_cq::split::centroid;
@@ -42,6 +43,7 @@ struct Builder<'a> {
     memo: FxHashMap<SubKey, PredId>,
     cap: usize,
     counter: usize,
+    budget: &'a mut Budget,
 }
 
 impl Rewriter for TwRewriter {
@@ -49,7 +51,11 @@ impl Rewriter for TwRewriter {
         "Tw"
     }
 
-    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError> {
+    fn rewrite_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, RewriteError> {
         let q = omq.query;
         let g = Gaifman::new(q);
         if !g.is_connected() {
@@ -64,21 +70,30 @@ impl Rewriter for TwRewriter {
             memo: FxHashMap::default(),
             cap: self.tree_witness_cap,
             counter: 0,
+            budget,
         };
         let all_atoms: BTreeSet<usize> = (0..q.num_atoms()).collect();
         let answers: BTreeSet<Var> = q.answer_vars().iter().copied().collect();
-        let goal = builder.generate(&(all_atoms, answers));
+        let goal = builder.generate(&(all_atoms, answers))?;
 
         // Boolean queries additionally match entirely inside the anonymous
         // part: G_{q₀} ← A(z) whenever T, {A(a)} ⊨ q₀.
         if q.is_boolean() {
             let vocab = builder.omq.ontology.vocab().clone();
             for class in vocab.class_ids() {
+                tick_rewrite(builder.budget, &builder.program)?;
                 let mut data = obda_owlql::DataInstance::new();
                 let a = data.constant("a");
                 data.add_class_atom(class, a);
-                if certain_answers(omq.ontology, q, &data) == CertainAnswers::Boolean(true) {
+                let entailed = certain_answers_budgeted(omq.ontology, q, &data, builder.budget)
+                    .map_err(|e| {
+                        let clauses = builder.program.clauses().len();
+                        let atoms = builder.program.clauses().iter().map(|c| c.body.len()).sum();
+                        RewriteError::from_budget(e.exceeded, clauses, atoms)
+                    })?;
+                if entailed == CertainAnswers::Boolean(true) {
                     let p = builder.program.edb_class(class, &vocab);
+                    charge_clause(builder.budget, &builder.program)?;
                     builder.program.add_clause(Clause {
                         head: goal,
                         head_args: vec![],
@@ -100,10 +115,11 @@ impl Builder<'_> {
     }
 
     /// Generates (memoised) the predicate `G_q` for the subquery.
-    fn generate(&mut self, key: &SubKey) -> PredId {
+    fn generate(&mut self, key: &SubKey) -> Result<PredId, RewriteError> {
         if let Some(&p) = self.memo.get(key) {
-            return p;
+            return Ok(p);
         }
+        tick_rewrite(self.budget, &self.program)?;
         let name = format!("T{}", self.counter);
         self.counter += 1;
         let heads = Self::head_order(key);
@@ -117,8 +133,8 @@ impl Builder<'_> {
 
         if existential.is_empty() {
             // Base case: G_q(x) ← q(x).
-            self.emit_base_clause(pid, &heads, atoms);
-            return pid;
+            self.emit_base_clause(pid, &heads, atoms)?;
+            return Ok(pid);
         }
 
         // Choose the splitting vertex z_q (Lemma 14; prefer an existential
@@ -126,13 +142,21 @@ impl Builder<'_> {
         let zq = self.choose_zq(atoms, &vars, &existential);
 
         // Clause 1: z_q stays on an individual.
-        self.emit_split_clause(pid, &heads, key, zq);
+        self.emit_split_clause(pid, &heads, key, zq)?;
 
         // Clause 2: one clause per tree witness containing z_q, per
         // generator.
         let sub_cq = self.materialise_subquery(key);
         let sub_omq = Omq { ontology: self.omq.ontology, query: &sub_cq.cq };
-        for tw in tree_witnesses(&sub_omq, self.cap) {
+        let tws = tree_witnesses_budgeted(&sub_omq, self.cap, self.budget).map_err(|e| {
+            RewriteError::from_budget(
+                e,
+                self.program.num_clauses(),
+                self.program.clauses().iter().map(|c| c.body.len()).sum(),
+            )
+        })?;
+        for tw in tws {
+            tick_rewrite(self.budget, &self.program)?;
             // Translate back to host variables.
             let interior: BTreeSet<Var> = tw.interior.iter().map(|&v| sub_cq.to_host[&v]).collect();
             let roots: BTreeSet<Var> = tw.roots.iter().map(|&v| sub_cq.to_host[&v]).collect();
@@ -145,9 +169,9 @@ impl Builder<'_> {
                 atoms: tw.atoms.iter().map(|&i| sub_cq.atom_map[i]).collect(),
                 generators: tw.generators.clone(),
             };
-            self.emit_tree_witness_clauses(pid, &heads, key, &tw_host);
+            self.emit_tree_witness_clauses(pid, &heads, key, &tw_host)?;
         }
-        pid
+        Ok(pid)
     }
 
     fn choose_zq(&self, atoms: &BTreeSet<usize>, vars: &BTreeSet<Var>, existential: &[Var]) -> Var {
@@ -156,6 +180,8 @@ impl Builder<'_> {
             return existential[0];
         }
         if vars.len() == 1 {
+            // Guarded by the length check on the line above.
+            #[allow(clippy::expect_used)]
             return *vars.iter().next().expect("nonempty");
         }
         // Centroid of the subquery's Gaifman tree. Build adjacency over the
@@ -179,7 +205,12 @@ impl Builder<'_> {
     }
 
     /// `G_q(x) ← q(x)` for subqueries without existential variables.
-    fn emit_base_clause(&mut self, pid: PredId, heads: &[Var], atoms: &BTreeSet<usize>) {
+    fn emit_base_clause(
+        &mut self,
+        pid: PredId,
+        heads: &[Var],
+        atoms: &BTreeSet<usize>,
+    ) -> Result<(), RewriteError> {
         let q = self.omq.query;
         let vocab = self.omq.ontology.vocab().clone();
         let mut cvars: FxHashMap<Var, CVar> = FxHashMap::default();
@@ -211,12 +242,20 @@ impl Builder<'_> {
             }
         }
         let head_args: Vec<CVar> = heads.iter().map(|&v| cvars[&v]).collect();
+        charge_clause(self.budget, &self.program)?;
         self.program.add_clause(Clause { head: pid, head_args, body, num_vars: next });
+        Ok(())
     }
 
     /// Clause 1: `G_q(x) ← S(z_q)-atoms ∧ ⋀ G_{qᵢ}(xᵢ)` over the subqueries
     /// hanging off `z_q`'s neighbours.
-    fn emit_split_clause(&mut self, pid: PredId, heads: &[Var], key: &SubKey, zq: Var) {
+    fn emit_split_clause(
+        &mut self,
+        pid: PredId,
+        heads: &[Var],
+        key: &SubKey,
+        zq: Var,
+    ) -> Result<(), RewriteError> {
         let q = self.omq.query;
         let vocab = self.omq.ontology.vocab().clone();
         let (atoms, answers) = key;
@@ -302,7 +341,7 @@ impl Builder<'_> {
             }
         }
         for child in &child_keys {
-            let child_pid = self.generate(child);
+            let child_pid = self.generate(child)?;
             let args: Vec<CVar> =
                 Self::head_order(child).iter().map(|&v| alloc(v, &mut cvars, &mut next)).collect();
             body.push(BodyAtom::Pred(child_pid, args));
@@ -317,7 +356,9 @@ impl Builder<'_> {
                 body.push(BodyAtom::Pred(top, vec![c]));
             }
         }
+        charge_clause(self.budget, &self.program)?;
         self.program.add_clause(Clause { head: pid, head_args, body, num_vars: next });
+        Ok(())
     }
 
     /// Clause 2: `G_q(x) ← A̺(z₀) ∧ (z = z₀ …) ∧ ⋀ G_{q^t_k}(x^t_k)`.
@@ -327,7 +368,7 @@ impl Builder<'_> {
         heads: &[Var],
         key: &SubKey,
         tw: &TreeWitness,
-    ) {
+    ) -> Result<(), RewriteError> {
         let q = self.omq.query;
         let vocab = self.omq.ontology.vocab().clone();
         let (atoms, answers) = key;
@@ -365,8 +406,11 @@ impl Builder<'_> {
             comp_keys.push((comp, sub_answers));
         }
 
+        // Callers filter out root-less tree witnesses before this point.
+        #[allow(clippy::expect_used)]
         let z0 = *tw.roots.iter().next().expect("t_r nonempty");
         for &rho in &tw.generators {
+            tick_rewrite(self.budget, &self.program)?;
             let a_rho = self.omq.ontology.exists_class(rho);
             let mut cvars: FxHashMap<Var, CVar> = FxHashMap::default();
             let mut next = 0u32;
@@ -388,7 +432,7 @@ impl Builder<'_> {
                 body.push(BodyAtom::Eq(cz, cz0));
             }
             for child in &comp_keys {
-                let child_pid = self.generate(child);
+                let child_pid = self.generate(child)?;
                 let args: Vec<CVar> = Self::head_order(child)
                     .iter()
                     .map(|&v| alloc(v, &mut cvars, &mut next))
@@ -396,8 +440,10 @@ impl Builder<'_> {
                 body.push(BodyAtom::Pred(child_pid, args));
             }
             let head_args: Vec<CVar> = heads.iter().map(|&v| cvars[&v]).collect();
+            charge_clause(self.budget, &self.program)?;
             self.program.add_clause(Clause { head: pid, head_args, body, num_vars: next });
         }
+        Ok(())
     }
 
     /// Builds a standalone [`Cq`] for a subquery, with maps in both
@@ -454,6 +500,7 @@ struct SubCq {
 mod tests {
     use super::*;
     use crate::omq::rewrite_arbitrary;
+    use obda_chase::certain_answers;
     use obda_cq::parse_cq;
     use obda_ndl::eval::{evaluate, EvalOptions};
     use obda_owlql::parser::{parse_data, parse_ontology};

@@ -51,6 +51,9 @@ fn find_inline_target(program: &Program, goal: PredId, max_uses: usize) -> Optio
 
 /// Substitutes the unique definition of `target` into every use site.
 fn inline_pred(program: &Program, target: PredId) -> Program {
+    // `inline_single_definitions` only calls this for predicates it has
+    // verified to have exactly one defining clause.
+    #[allow(clippy::expect_used)]
     let def = program.clauses_for(target).next().expect("target has a definition").clone();
     let mut out = clone_preds(program);
     for clause in program.clauses() {

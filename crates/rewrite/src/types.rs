@@ -111,6 +111,8 @@ impl TypeCtx<'_> {
         let classes: Vec<_> = self.q.class_atoms_on(z).collect();
         let self_loops: Vec<Role> = self.q.roles_between(z, z).collect();
         for w in self.arena.iter().skip(1) {
+            // `skip(1)` skips ε, so every remaining word has a last letter.
+            #[allow(clippy::expect_used)]
             let last = self.arena.last_letter(w).expect("nonempty");
             let classes_ok = classes.iter().all(|&a| {
                 self.taxonomy.sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
@@ -135,12 +137,16 @@ impl TypeCtx<'_> {
             return true;
         }
         if self.arena.parent(wz) == Some(wy) {
+            // A word with a parent is not ε, so it has a last letter.
+            #[allow(clippy::expect_used)]
             let sigma = self.arena.last_letter(wz).expect("nonempty");
             if self.taxonomy.sub_role(sigma, role) {
                 return true;
             }
         }
         if self.arena.parent(wy) == Some(wz) {
+            // A word with a parent is not ε, so it has a last letter.
+            #[allow(clippy::expect_used)]
             let sigma = self.arena.last_letter(wy).expect("nonempty");
             if self.taxonomy.sub_role(sigma, role.inv()) {
                 return true;
@@ -161,6 +167,8 @@ impl TypeCtx<'_> {
                 return false;
             }
             if !w.is_epsilon() {
+                // Guarded: non-ε words have a last letter.
+                #[allow(clippy::expect_used)]
                 let last = self.arena.last_letter(w).expect("nonempty");
                 for a in self.q.class_atoms_on(z) {
                     if !self.taxonomy.sub_class(ClassExpr::Exists(last.inv()), ClassExpr::Class(a))
@@ -252,6 +260,8 @@ impl TypeCtx<'_> {
         }
         // (c): existence of the witness a·̺….
         for z in t.domain() {
+            // `z` ranges over the mapping's own domain.
+            #[allow(clippy::expect_used)]
             let w = t.get(z).expect("domain");
             if let Some(first) = self.arena.first_letter(w) {
                 let a_rho = self.ontology.exists_class(first);

@@ -17,6 +17,7 @@
 //! The produced UCQ is a rewriting over **arbitrary** data instances.
 
 use crate::omq::{Omq, RewriteError, Rewriter};
+use obda_budget::Budget;
 use obda_cq::query::{Atom, Var};
 use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, Program};
 use obda_owlql::axiom::{Axiom, ClassExpr};
@@ -103,6 +104,10 @@ fn canonicalise(atoms: &BTreeSet<UAtom>, num_answer: u32) -> Disjunct {
     current.into_iter().collect()
 }
 
+fn budget_err(e: obda_budget::BudgetExceeded, seen: &FxHashSet<Disjunct>) -> RewriteError {
+    RewriteError::from_budget(e, seen.len(), seen.iter().map(|d| d.len()).sum())
+}
+
 fn push_disjunct(
     atoms: BTreeSet<UAtom>,
     num_answer: u32,
@@ -120,7 +125,11 @@ impl Rewriter for UcqRewriter {
         "UCQ"
     }
 
-    fn rewrite_complete(&self, omq: &Omq<'_>) -> Result<NdlQuery, RewriteError> {
+    fn rewrite_budgeted(
+        &self,
+        omq: &Omq<'_>,
+        budget: &mut Budget,
+    ) -> Result<NdlQuery, RewriteError> {
         // The produced UCQ is a rewriting over arbitrary instances, hence in
         // particular over complete ones.
         let q = omq.query;
@@ -148,10 +157,18 @@ impl Rewriter for UcqRewriter {
         let mut queue: Vec<Disjunct> = vec![initial.clone()];
         seen.insert(initial);
         let mut i = 0;
+        let mut charged = 0usize;
         while i < queue.len() {
             if seen.len() > self.cap {
                 return Err(RewriteError::TooLarge(self.cap));
             }
+            // Charge the disjuncts minted since the last iteration: the
+            // saturation is exponential by design, so the budget must see
+            // growth as it happens, not at the end.
+            budget
+                .charge_clauses((seen.len() - charged) as u64)
+                .map_err(|e| budget_err(e, &seen))?;
+            charged = seen.len();
             let cq = queue[i].clone();
             i += 1;
             let max_var = cq.iter().flat_map(|a| a.vars()).max().unwrap_or(0);
@@ -165,6 +182,7 @@ impl Rewriter for UcqRewriter {
             // Atom-rewriting steps.
             for &g in cq.iter() {
                 for &ax in &axioms {
+                    budget.tick().map_err(|e| budget_err(e, &seen))?;
                     let apply = |replacement: Vec<UAtom>,
                                  seen: &mut FxHashSet<Disjunct>,
                                  queue: &mut Vec<Disjunct>| {
@@ -250,6 +268,7 @@ impl Rewriter for UcqRewriter {
             let atoms: Vec<UAtom> = cq.iter().copied().collect();
             for (ai, &g1) in atoms.iter().enumerate() {
                 for &g2 in &atoms[ai + 1..] {
+                    budget.tick().map_err(|e| budget_err(e, &seen))?;
                     if let Some(unifier) = mgu(g1, g2, num_answer) {
                         let next: BTreeSet<UAtom> =
                             cq.iter().map(|a| a.rename(&mut |v| resolve(&unifier, v))).collect();

@@ -1,0 +1,357 @@
+//! Fail-safe pipeline tests: unified budgets, typed errors and graceful
+//! degradation, exercised end-to-end — including an adversarial run of the
+//! `obda` binary that must always terminate with a typed exit code, never
+//! panic and never hang.
+
+use obda::budget::{Budget, BudgetSpec, Resource};
+use obda::ndl::eval::EvalError;
+use obda::ndl::storage::Database;
+use obda::{ObdaError, ObdaSystem, Strategy};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+/// An ontology whose canonical model is an infinite `R`-path (harmless
+/// here: with one property the word arena stays small).
+const CYCLIC_ONTOLOGY: &str = "A SubClassOf exists R\nexists R- SubClassOf A\n";
+
+/// A cyclic ontology whose anonymous part branches over six properties:
+/// the word tree is exponential in the arena bound (`#roles + #vars`), so
+/// unbudgeted materialisation would exhaust memory.
+fn deep_cyclic_ontology() -> String {
+    let mut text = String::from("A SubClassOf exists R1\n");
+    for i in 1..=6 {
+        for j in 1..=6 {
+            text.push_str(&format!("exists R{i}- SubClassOf exists R{j}\n"));
+        }
+    }
+    text
+}
+
+/// A role hierarchy making PerfectRef-style UCQ rewriting exponential:
+/// every chain atom `R(x_i, x_{i+1})` can independently be specialised to
+/// any of the five subproperties, giving `6^8` disjuncts.
+const EXPONENTIAL_ONTOLOGY: &str = "P1 SubPropertyOf R\n\
+                                    P2 SubPropertyOf R\n\
+                                    P3 SubPropertyOf R\n\
+                                    P4 SubPropertyOf R\n\
+                                    P5 SubPropertyOf R\n";
+
+const EXPONENTIAL_QUERY: &str = "q(x0, x8) :- R(x0, x1), R(x1, x2), R(x2, x3), R(x3, x4), \
+                                 R(x4, x5), R(x5, x6), R(x6, x7), R(x7, x8)";
+
+/// A chain matching [`EXPONENTIAL_QUERY`] through the subproperties.
+const EXPONENTIAL_DATA: &str = "P1(c0, c1)\nR(c1, c2)\nP2(c2, c3)\nR(c3, c4)\n\
+                                P3(c4, c5)\nR(c5, c6)\nP4(c6, c7)\nR(c7, c8)\n";
+
+// ---------------------------------------------------------------------------
+// Chase divergence guard
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cyclic_chase_trips_budget_with_partial_stats() {
+    let sys = ObdaSystem::from_text(&deep_cyclic_ontology()).unwrap();
+    let q = sys.parse_query("q() :- A(x)").unwrap();
+    let d = sys.parse_data("A(a)\n").unwrap();
+    let mut budget = BudgetSpec { max_chase_elements: Some(50), ..BudgetSpec::unlimited() }.start();
+    let err = sys.certain_answers_budgeted(&q, &d, &mut budget).unwrap_err();
+    let ObdaError::Chase(chase) = err else {
+        panic!("expected a chase budget error, got {err}");
+    };
+    assert_eq!(chase.exceeded.resource, Resource::ChaseElements);
+    assert!(chase.elements > 0, "partial element count must be reported");
+    assert!(ObdaError::Chase(chase).is_budget());
+}
+
+#[test]
+fn cyclic_chase_respects_wall_clock() {
+    let sys = ObdaSystem::from_text(&deep_cyclic_ontology()).unwrap();
+    let q = sys.parse_query("q() :- A(x)").unwrap();
+    let d = sys.parse_data("A(a)\n").unwrap();
+    let start = std::time::Instant::now();
+    let mut budget = Budget::with_timeout(Duration::from_millis(200));
+    let res = sys.certain_answers_budgeted(&q, &d, &mut budget);
+    assert!(res.is_err(), "the exponential word tree must trip the deadline");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "the guard must fire promptly, took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn harmless_cyclic_ontology_still_answers() {
+    // One property: the depth bound keeps the arena small, so the same
+    // budgeted path completes and agrees with the rewriting.
+    let sys = ObdaSystem::from_text(CYCLIC_ONTOLOGY).unwrap();
+    let q = sys.parse_query("q(x) :- A(x)").unwrap();
+    let d = sys.parse_data("A(a)\nR(b, a)\n").unwrap();
+    let mut budget = Budget::with_timeout(Duration::from_secs(30));
+    let oracle = sys.certain_answers_budgeted(&q, &d, &mut budget).unwrap().tuples();
+    let res = sys.answer(&q, &d, Strategy::Tw).unwrap();
+    assert_eq!(res.answers, oracle);
+    assert!(!oracle.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation budgets are consistent across engines and strategies
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eval_budget_returns_partial_stats_across_strategies() {
+    let sys = ObdaSystem::from_text("P SubPropertyOf S\nP SubPropertyOf R-\n").unwrap();
+    let q = sys.parse_query("q(x0, x3) :- R(x0, x1), S(x1, x2), R(x2, x3)").unwrap();
+    let d = sys.parse_data("P(w, a)\nR(a, b)\nR(b, c)\nS(c, d)\nR(d, e)\n").unwrap();
+    let db = Database::new(&d);
+    let oracle = sys.certain_answers(&q, &d).tuples();
+    for strategy in [Strategy::Lin, Strategy::Log, Strategy::Tw, Strategy::TwStar] {
+        let prepared = sys.prepare(&q, strategy).unwrap();
+        let mut budget = BudgetSpec { max_tuples: Some(1), ..BudgetSpec::unlimited() }.start();
+        let err = prepared.execute_budgeted(&db, &mut budget).unwrap_err();
+        let EvalError::TupleLimit(stats) = &err else {
+            panic!("strategy {strategy}: expected TupleLimit, got {err}");
+        };
+        assert_eq!(stats.num_answers, 0, "strategy {strategy}: interrupted before the goal");
+        // The linear engine reports the same typed error on the same budget.
+        if prepared.analysis().linear {
+            let mut budget = BudgetSpec { max_tuples: Some(1), ..BudgetSpec::unlimited() }.start();
+            let lin_err = prepared.execute_linear_budgeted(&db, &mut budget).unwrap_err();
+            assert!(
+                matches!(lin_err, EvalError::TupleLimit(_)),
+                "strategy {strategy}: linear engine must agree, got {lin_err}"
+            );
+        }
+        // The same prepared query still answers correctly with a fresh,
+        // unconstrained budget: tripping leaves no poisoned state.
+        let res = prepared.execute_budgeted(&db, &mut Budget::unlimited()).unwrap();
+        assert_eq!(res.answers, oracle, "strategy {strategy}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fallback ladder
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fallback_ladder_degrades_from_exponential_to_polynomial() {
+    let sys = ObdaSystem::from_text(EXPONENTIAL_ONTOLOGY).unwrap();
+    let q = sys.parse_query(EXPONENTIAL_QUERY).unwrap();
+    let d = sys.parse_data(EXPONENTIAL_DATA).unwrap();
+    // A clause budget the 6^8-disjunct UCQ cannot fit but Tw easily can.
+    let spec = BudgetSpec { max_clauses: Some(5_000), ..BudgetSpec::unlimited() };
+    let report = sys.answer_with_fallback(&q, &d, Strategy::Ucq, &spec);
+    assert!(report.winner.is_some(), "a polynomial strategy must win:\n{report}");
+    assert!(report.attempts.len() >= 2, "UCQ must have been tried and failed first");
+    assert!(
+        matches!(
+            report.attempts[0].outcome,
+            obda::AttemptOutcome::RewriteFailed(ref e) if e.is_budget()
+        ),
+        "the UCQ attempt must fail on the clause budget:\n{report}"
+    );
+    let oracle = sys.certain_answers(&q, &d).tuples();
+    assert!(!oracle.is_empty());
+    assert_eq!(report.result().unwrap().answers, oracle, "fallback answers must be correct");
+    assert_ne!(report.winning_strategy(), Some(Strategy::Ucq));
+}
+
+#[test]
+fn fallback_report_all_exhausted_when_nothing_fits() {
+    let sys = ObdaSystem::from_text("A SubClassOf exists P\n").unwrap();
+    let q = sys.parse_query("q(x) :- P(x, y)").unwrap();
+    let d = sys.parse_data("A(a)\n").unwrap();
+    let spec = BudgetSpec { max_clauses: Some(1), ..BudgetSpec::unlimited() };
+    let report = sys.answer_with_fallback(&q, &d, Strategy::Adaptive, &spec);
+    assert!(report.winner.is_none());
+    assert!(report.all_exhausted(), "every attempt tripped the clause budget:\n{report}");
+    assert!(report.final_error().is_some_and(|e| e.is_budget()));
+}
+
+#[test]
+fn adaptive_rewriter_survives_per_candidate_budget_trips() {
+    // Adaptive renews the budget per candidate: one candidate blowing its
+    // counters must not starve the next.
+    let sys = ObdaSystem::from_text(EXPONENTIAL_ONTOLOGY).unwrap();
+    let q = sys.parse_query(EXPONENTIAL_QUERY).unwrap();
+    let d = sys.parse_data(EXPONENTIAL_DATA).unwrap();
+    let spec = BudgetSpec { max_clauses: Some(5_000), ..BudgetSpec::unlimited() };
+    let res = sys.answer_with_budget(&q, &d, Strategy::Adaptive, &spec).unwrap();
+    assert_eq!(res.answers, sys.certain_answers(&q, &d).tuples());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial CLI suite: 1-second budgets, malformed inputs, cyclic and
+// exponential instances. Every run must terminate with a typed exit code.
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("obda_failsafe_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Fixture { dir }
+    }
+
+    fn file(&self, name: &str, contents: &str) -> String {
+        let path = self.dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_obda")).args(args).output().unwrap();
+    (
+        out.status.code().expect("CLI must exit, not die on a signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_rejects_unknown_commands_and_flags_with_usage() {
+    let (code, _, err) = run_cli(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage:"));
+    let (code, _, err) = run_cli(&["answer", "--frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage:"));
+    let (code, _, _) = run_cli(&["answer", "--budget-secs", "not-a-number"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn cli_reports_malformed_inputs_as_parse_errors() {
+    let fx = Fixture::new("malformed");
+    let good_onto = fx.file("o.owlql", "A SubClassOf exists R\n");
+    let good_query = fx.file("q.cq", "q(x) :- R(x, y)");
+    let good_data = fx.file("d.abox", "A(a)\n");
+    let bad_onto = fx.file("bad.owlql", "A SubClassOf SubClassOf ((\n");
+    let bad_query = fx.file("bad.cq", "q)x( :- R(x, y)");
+    let bad_data = fx.file("bad.abox", ") R(a\n");
+
+    for (o, q, d) in [
+        (&bad_onto, &good_query, &good_data),
+        (&good_onto, &bad_query, &good_data),
+        (&good_onto, &good_query, &bad_data),
+    ] {
+        let (code, _, err) =
+            run_cli(&["answer", "--ontology", o, "--query", q, "--data", d, "--budget-secs", "1"]);
+        assert_eq!(code, 3, "stderr: {err}");
+        assert!(err.contains("parse error"), "stderr: {err}");
+    }
+}
+
+#[test]
+fn cli_exponential_ucq_terminates_within_budget() {
+    let fx = Fixture::new("exponential");
+    let o = fx.file("o.owlql", EXPONENTIAL_ONTOLOGY);
+    let q = fx.file("q.cq", EXPONENTIAL_QUERY);
+    let d = fx.file("d.abox", EXPONENTIAL_DATA);
+    // Pinned to the exponential strategy with no fallback: budget exhaustion.
+    let start = std::time::Instant::now();
+    let (code, _, err) = run_cli(&[
+        "answer",
+        "--ontology",
+        &o,
+        "--query",
+        &q,
+        "--data",
+        &d,
+        "--strategy",
+        "ucq",
+        "--no-fallback",
+        "--budget-secs",
+        "1",
+        "--budget-clauses",
+        "5000",
+    ]);
+    assert_eq!(code, 6, "stderr: {err}");
+    assert!(start.elapsed() < Duration::from_secs(30), "took {:?}", start.elapsed());
+    // Same instance with the fallback ladder: a polynomial strategy answers.
+    let (code, out, err) = run_cli(&[
+        "answer",
+        "--ontology",
+        &o,
+        "--query",
+        &q,
+        "--data",
+        &d,
+        "--strategy",
+        "ucq",
+        "--budget-secs",
+        "30",
+        "--budget-clauses",
+        "5000",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(out.contains("(c0, c8)"), "stdout: {out}");
+    assert!(err.contains("rewrite failed"), "the UCQ attempt must appear in the report: {err}");
+}
+
+#[test]
+fn cli_cyclic_ontology_terminates_with_typed_outcome() {
+    let fx = Fixture::new("cyclic");
+    let o = fx.file("o.owlql", CYCLIC_ONTOLOGY);
+    let q = fx.file("q.cq", "q(x) :- A(x)");
+    let d = fx.file("d.abox", "A(a)\n");
+    // The harmless single-property cycle answers normally.
+    let (code, out, err) =
+        run_cli(&["answer", "--ontology", &o, "--query", &q, "--data", &d, "--budget-secs", "5"]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(out.contains("(a)"));
+    // The six-property cycle makes the chase oracle's word tree exponential:
+    // the chase-element budget trips (in the oracle, or already in a
+    // rewriter's generator models) instead of exhausting memory.
+    let deep = fx.file("deep.owlql", &deep_cyclic_ontology());
+    let start = std::time::Instant::now();
+    let (code, _, err) = run_cli(&[
+        "answer",
+        "--ontology",
+        &deep,
+        "--query",
+        &q,
+        "--data",
+        &d,
+        "--oracle",
+        "--budget-secs",
+        "1",
+        "--budget-chase",
+        "100",
+    ]);
+    assert_eq!(code, 6, "stderr: {err}");
+    assert!(start.elapsed() < Duration::from_secs(30), "took {:?}", start.elapsed());
+}
+
+#[test]
+fn cli_timeout_covers_the_rewriting_stage() {
+    // Tw's tree-witness computation materialises generator models; on the
+    // deep cyclic ontology only the wall clock can interrupt it, so a
+    // completed run proves `--timeout-secs` now gates rewriting.
+    let fx = Fixture::new("rewrite_timeout");
+    let o = fx.file("deep.owlql", &deep_cyclic_ontology());
+    let q = fx.file("q.cq", "q(x) :- R1(x, y), R1(y, z)");
+    let start = std::time::Instant::now();
+    let (code, _, err) = run_cli(&[
+        "rewrite",
+        "--ontology",
+        &o,
+        "--query",
+        &q,
+        "--strategy",
+        "tw",
+        "--timeout-secs",
+        "1",
+    ]);
+    assert_eq!(code, 6, "--timeout-secs must interrupt rewriting; stderr: {err}");
+    assert!(start.elapsed() < Duration::from_secs(30), "took {:?}", start.elapsed());
+}
