@@ -12,6 +12,7 @@ use obda::{ObdaSystem, Strategy};
 use obda_cq::query::Cq;
 use obda_datagen::erdos::ErdosRenyi;
 use obda_datagen::sequences::{example_11_ontology, word_query, SEQUENCES};
+use obda_ndl::engine::EngineConfig;
 use obda_ndl::eval::EvalError;
 use obda_ndl::storage::Database;
 use obda_owlql::abox::DataInstance;
@@ -115,6 +116,23 @@ pub fn evaluate_cell(
     timeout: Duration,
     max_tuples: usize,
 ) -> EvalCell {
+    evaluate_cell_with(system, query, db, strategy, timeout, max_tuples, None)
+}
+
+/// [`evaluate_cell`] with an optional [`EngineConfig`]: `Some(cfg)` routes
+/// evaluation through the parallel, goal-directed engine (pruning and
+/// worker threads per `cfg`, all workers drawing on the cell's shared
+/// budget); `None` keeps the sequential indexed engine the tables use.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_cell_with(
+    system: &ObdaSystem,
+    query: &Cq,
+    db: &Database,
+    strategy: Strategy,
+    timeout: Duration,
+    max_tuples: usize,
+    engine: Option<&EngineConfig>,
+) -> EvalCell {
     // One budget covers the whole cell: a rewriter that blows up is recorded
     // as `rw>budget` instead of hanging the table run.
     let spec = BudgetSpec {
@@ -143,7 +161,11 @@ pub fn evaluate_cell(
     };
     let clauses = Some(prepared.num_clauses());
     let start = Instant::now();
-    match prepared.execute_budgeted(db, &mut budget) {
+    let run = match engine {
+        Some(cfg) => prepared.execute_engine_budgeted(db, &mut budget, cfg),
+        None => prepared.execute_budgeted(db, &mut budget),
+    };
+    match run {
         Ok(res) => EvalCell {
             time: start.elapsed(),
             answers: Some(res.stats.num_answers),
@@ -243,6 +265,37 @@ mod tests {
         let cell = evaluate_cell(&sys, &q, &db, Strategy::Tw, Duration::from_secs(30), 1);
         assert_eq!(cell.outcome, CellOutcome::EvalBudget);
         assert_eq!(cell.render(), ">limit");
+    }
+
+    #[test]
+    fn engine_cell_agrees_with_sequential_cell() {
+        let sys = paper_system();
+        let q = prefix_query(&sys, 0, 3);
+        let d = dataset(&sys, 0, 0.02);
+        let db = Database::new(&d);
+        let seq = evaluate_cell(&sys, &q, &db, Strategy::Tw, Duration::from_secs(20), 10_000_000);
+        for cfg in [
+            EngineConfig { threads: 1, prune: true, ..EngineConfig::default() },
+            EngineConfig { threads: 4, prune: true, ..EngineConfig::default() },
+            EngineConfig { threads: 4, prune: false, ..EngineConfig::default() },
+        ] {
+            let cell = evaluate_cell_with(
+                &sys,
+                &q,
+                &db,
+                Strategy::Tw,
+                Duration::from_secs(20),
+                10_000_000,
+                Some(&cfg),
+            );
+            assert_eq!(cell.outcome, CellOutcome::Completed);
+            assert_eq!(cell.answers, seq.answers);
+            if cfg.prune {
+                assert!(cell.generated <= seq.generated, "pruning must not add work");
+            } else {
+                assert_eq!(cell.generated, seq.generated);
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! `TICK_CHECK_INTERVAL` calls, so it is cheap enough for inner loops.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How many [`Budget::tick`] calls go between wall-clock checks.
@@ -330,6 +332,249 @@ impl Budget {
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
     }
+
+    /// Snapshots this budget into an atomic [`SharedBudget`] that worker
+    /// threads can charge concurrently through [`WorkerBudget`] handles.
+    /// The shared counters are seeded with this budget's spent amounts,
+    /// so caps stay cumulative across the sequential/parallel boundary.
+    /// Fold the spend back with [`Budget::absorb`] once the workers join.
+    pub fn share(&self) -> SharedBudget {
+        SharedBudget {
+            deadline: self.deadline,
+            timeout: self.timeout,
+            started: self.started,
+            max_steps: self.max_steps,
+            max_tuples: self.max_tuples,
+            steps: AtomicU64::new(self.steps),
+            tuples: AtomicU64::new(self.tuples),
+            poisoned: AtomicBool::new(false),
+            first_trip: Mutex::new(None),
+        }
+    }
+
+    /// Copies the steps/tuples spent through `shared` back into this
+    /// budget, completing a [`Budget::share`] round-trip.
+    pub fn absorb(&mut self, shared: &SharedBudget) {
+        self.steps = shared.spent_steps();
+        self.tuples = shared.spent_tuples();
+    }
+}
+
+/// How many locally buffered [`WorkerBudget::tick`] calls go between
+/// flushes to the shared atomic counters.
+pub const WORKER_FLUSH_INTERVAL: u64 = 64;
+
+/// An atomic snapshot of a [`Budget`] for a scoped worker pool: the
+/// deadline plus step/tuple caps enforced through shared counters, so the
+/// whole pool races one allowance. Clause and chase-element caps are not
+/// carried — parallel evaluation only charges steps and tuples.
+///
+/// The first cap trip *poisons* the pool: every subsequent check on any
+/// worker returns that same [`BudgetExceeded`], so all threads stop with
+/// one consistent typed error.
+#[derive(Debug)]
+pub struct SharedBudget {
+    deadline: Option<Instant>,
+    timeout: Option<Duration>,
+    started: Instant,
+    max_steps: Option<u64>,
+    max_tuples: Option<u64>,
+    steps: AtomicU64,
+    tuples: AtomicU64,
+    poisoned: AtomicBool,
+    first_trip: Mutex<Option<BudgetExceeded>>,
+}
+
+impl SharedBudget {
+    fn time_error(&self) -> BudgetExceeded {
+        BudgetExceeded {
+            resource: Resource::Time,
+            spent: self.started.elapsed().as_millis() as u64,
+            limit: self.timeout.map_or(0, |t| t.as_millis() as u64),
+        }
+    }
+
+    /// Records the first budget trip and poisons the pool. Later trips
+    /// keep the original error so every worker reports the same cause.
+    pub fn trip(&self, e: BudgetExceeded) -> BudgetExceeded {
+        let mut slot = match self.first_trip.lock() {
+            Ok(s) => s,
+            // A worker panicked holding the lock; the pool is going down
+            // anyway, so just report the local error.
+            Err(_) => return e,
+        };
+        let first = *slot.get_or_insert(e);
+        self.poisoned.store(true, Ordering::Release);
+        first
+    }
+
+    /// The error another worker tripped on, if any.
+    pub fn tripped(&self) -> Option<BudgetExceeded> {
+        if !self.poisoned.load(Ordering::Acquire) {
+            return None;
+        }
+        self.first_trip.lock().ok().and_then(|s| *s)
+    }
+
+    /// Checks the wall clock *now*; a deadline miss poisons the pool.
+    pub fn check_time(&self) -> Result<(), BudgetExceeded> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(self.trip(self.time_error())),
+            _ => Ok(()),
+        }
+    }
+
+    /// Charges `n` work steps against the shared step cap and, on
+    /// [`TICK_CHECK_INTERVAL`] boundaries, the wall clock. Also fails
+    /// fast when another worker already poisoned the pool.
+    pub fn charge_steps(&self, n: u64) -> Result<(), BudgetExceeded> {
+        if let Some(e) = self.tripped() {
+            return Err(e);
+        }
+        let before = self.steps.fetch_add(n, Ordering::Relaxed);
+        let after = before + n;
+        if let Some(cap) = self.max_steps {
+            if after > cap {
+                return Err(self.trip(BudgetExceeded {
+                    resource: Resource::Steps,
+                    spent: after,
+                    limit: cap,
+                }));
+            }
+        }
+        if self.deadline.is_some() && before / TICK_CHECK_INTERVAL != after / TICK_CHECK_INTERVAL {
+            self.check_time()?;
+        }
+        Ok(())
+    }
+
+    /// Charges `n` derived tuples against the shared tuple cap.
+    pub fn charge_tuples(&self, n: u64) -> Result<(), BudgetExceeded> {
+        if let Some(e) = self.tripped() {
+            return Err(e);
+        }
+        let after = self.tuples.fetch_add(n, Ordering::Relaxed) + n;
+        match self.max_tuples {
+            Some(cap) if after > cap => Err(self.trip(BudgetExceeded {
+                resource: Resource::Tuples,
+                spent: after,
+                limit: cap,
+            })),
+            _ => Ok(()),
+        }
+    }
+
+    /// Errors (without charging) when `pending` more tuples would trip
+    /// the cap. The check is advisory under concurrency — the hard stop
+    /// is [`SharedBudget::charge_tuples`] — but it still bounds how far
+    /// past the cap an oversized intermediate delta can grow.
+    pub fn check_tuple_headroom(&self, pending: u64) -> Result<(), BudgetExceeded> {
+        if let Some(e) = self.tripped() {
+            return Err(e);
+        }
+        match self.max_tuples {
+            Some(cap) if self.tuples.load(Ordering::Relaxed) + pending > cap => {
+                Err(self.trip(BudgetExceeded {
+                    resource: Resource::Tuples,
+                    spent: self.tuples.load(Ordering::Relaxed) + pending,
+                    limit: cap,
+                }))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    pub fn spent_steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    pub fn spent_tuples(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+}
+
+/// A per-thread facade over a [`SharedBudget`] that amortises the atomic
+/// traffic: ticks accumulate in a plain local counter and are flushed to
+/// the shared counters every [`WORKER_FLUSH_INTERVAL`] calls (and on
+/// drop), so the hot join loop pays one relaxed `fetch_add` per batch.
+#[derive(Debug)]
+pub struct WorkerBudget<'a> {
+    shared: &'a SharedBudget,
+    local_steps: u64,
+}
+
+impl<'a> WorkerBudget<'a> {
+    pub fn new(shared: &'a SharedBudget) -> Self {
+        WorkerBudget { shared, local_steps: 0 }
+    }
+
+    /// Pushes locally buffered ticks to the shared counters and runs the
+    /// cap/clock/poison checks.
+    pub fn flush(&mut self) -> Result<(), BudgetExceeded> {
+        let n = std::mem::take(&mut self.local_steps);
+        // Flush even when n == 0: the poison check must still run so a
+        // worker spinning without ticking notices a tripped pool.
+        self.shared.charge_steps(n)
+    }
+
+    /// The shared budget this worker charges against.
+    pub fn shared(&self) -> &'a SharedBudget {
+        self.shared
+    }
+}
+
+impl Drop for WorkerBudget<'_> {
+    fn drop(&mut self) {
+        if self.local_steps > 0 {
+            self.shared.charge_steps(self.local_steps).ok();
+        }
+    }
+}
+
+/// The budget surface evaluation inner loops need, implemented both by
+/// the exclusive [`Budget`] and by the per-thread [`WorkerBudget`]. Lets
+/// one generic join kernel serve the sequential and parallel engines.
+pub trait BudgetOps {
+    /// Counts one unit of abstract work; see [`Budget::tick`].
+    fn tick(&mut self) -> Result<(), BudgetExceeded>;
+    /// Charges `n` derived tuples against the tuple cap.
+    fn charge_tuples(&mut self, n: u64) -> Result<(), BudgetExceeded>;
+    /// Errors when `pending` more tuples would trip the cap.
+    fn check_tuple_headroom(&self, pending: u64) -> Result<(), BudgetExceeded>;
+}
+
+impl BudgetOps for Budget {
+    #[inline]
+    fn tick(&mut self) -> Result<(), BudgetExceeded> {
+        Budget::tick(self)
+    }
+
+    fn charge_tuples(&mut self, n: u64) -> Result<(), BudgetExceeded> {
+        Budget::charge_tuples(self, n)
+    }
+
+    fn check_tuple_headroom(&self, pending: u64) -> Result<(), BudgetExceeded> {
+        Budget::check_tuple_headroom(self, pending)
+    }
+}
+
+impl BudgetOps for WorkerBudget<'_> {
+    #[inline]
+    fn tick(&mut self) -> Result<(), BudgetExceeded> {
+        self.local_steps += 1;
+        if self.local_steps >= WORKER_FLUSH_INTERVAL {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn charge_tuples(&mut self, n: u64) -> Result<(), BudgetExceeded> {
+        self.shared.charge_tuples(n)
+    }
+
+    fn check_tuple_headroom(&self, pending: u64) -> Result<(), BudgetExceeded> {
+        self.shared.check_tuple_headroom(pending)
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +639,97 @@ mod tests {
         assert!(!b.tuples_would_exceed(2));
         assert!(b.tuples_would_exceed(3));
         assert_eq!(b.spent_tuples(), 3);
+    }
+
+    #[test]
+    fn shared_tuple_cap_is_cumulative_across_workers() {
+        let mut b = Budget::unlimited().max_tuples(100);
+        b.charge_tuples(40).unwrap();
+        let shared = b.share();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut w = WorkerBudget::new(&shared);
+                        let mut charged = 0u64;
+                        while w.charge_tuples(1).is_ok() {
+                            charged += 1;
+                        }
+                        charged
+                    })
+                })
+                .collect();
+            let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 60, "exactly the remaining headroom is granted");
+        });
+        let trip = shared.tripped().expect("pool is poisoned after the cap");
+        assert_eq!(trip.resource, Resource::Tuples);
+        b.absorb(&shared);
+        assert!(b.spent_tuples() > 100, "overshoot recorded, cap enforced");
+    }
+
+    #[test]
+    fn poisoned_pool_stops_every_worker_with_the_first_error() {
+        let b = Budget::unlimited().max_tuples(10);
+        let shared = b.share();
+        let mut w1 = WorkerBudget::new(&shared);
+        let first = w1.charge_tuples(11).unwrap_err();
+        assert_eq!(first.resource, Resource::Tuples);
+        // A different worker that never charged anything now fails fast
+        // with the *same* typed error on its next flush boundary.
+        let mut w2 = WorkerBudget::new(&shared);
+        let seen = w2.flush().unwrap_err();
+        assert_eq!(seen, first);
+        let mut w3 = WorkerBudget::new(&shared);
+        assert_eq!(w3.charge_tuples(1).unwrap_err(), first);
+    }
+
+    #[test]
+    fn shared_deadline_trips_workers() {
+        let b = Budget::with_timeout(Duration::from_secs(0));
+        let shared = b.share();
+        assert_eq!(shared.check_time().unwrap_err().resource, Resource::Time);
+        // Ticks notice the deadline at the next flush boundary.
+        let mut w = WorkerBudget::new(&shared);
+        let mut tripped = false;
+        for _ in 0..=(WORKER_FLUSH_INTERVAL * TICK_CHECK_INTERVAL) {
+            if BudgetOps::tick(&mut w).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "worker ticks observe the shared deadline");
+    }
+
+    #[test]
+    fn worker_ticks_flush_into_shared_steps_on_drop() {
+        let mut b = Budget::unlimited().max_steps(1_000_000);
+        b.tick().unwrap();
+        let shared = b.share();
+        {
+            let mut w = WorkerBudget::new(&shared);
+            for _ in 0..10 {
+                BudgetOps::tick(&mut w).unwrap();
+            }
+        } // drop flushes the 10 buffered ticks
+        assert_eq!(shared.spent_steps(), 11);
+        b.absorb(&shared);
+        assert_eq!(b.spent_steps(), 11);
+    }
+
+    #[test]
+    fn shared_step_cap_trips_with_typed_error() {
+        let b = Budget::unlimited().max_steps(WORKER_FLUSH_INTERVAL);
+        let shared = b.share();
+        let mut w = WorkerBudget::new(&shared);
+        let mut result = Ok(());
+        for _ in 0..=(2 * WORKER_FLUSH_INTERVAL) {
+            result = BudgetOps::tick(&mut w);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err().resource, Resource::Steps);
     }
 
     #[test]

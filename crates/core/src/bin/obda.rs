@@ -8,7 +8,13 @@
 //!               [--strategy adaptive] [--oracle] [--timeout-secs N]
 //!               [--budget-secs N] [--budget-clauses N] [--budget-tuples N]
 //!               [--budget-steps N] [--budget-chase N] [--no-fallback]
+//!               [--threads N] [--no-prune]
 //! ```
+//!
+//! `answer` evaluates with the goal-directed engine: the rewriting is
+//! relevance-pruned towards the goal (disable with `--no-prune`) and
+//! evaluated stratum-by-stratum on `--threads N` workers (default 1;
+//! `0` = one per CPU) sharing one resource budget.
 //!
 //! Strategies: `lin`, `log`, `tw`, `twstar`, `ucq`, `twucq`, `presto`,
 //! `adaptive` (default).
@@ -28,6 +34,7 @@
 
 use obda::budget::BudgetSpec;
 use obda::{ObdaError, ObdaSystem, Strategy};
+use obda_ndl::engine::EngineConfig;
 use obda_ndl::program::ProgramDisplay;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -41,6 +48,7 @@ struct Args {
     oracle: bool,
     no_fallback: bool,
     spec: BudgetSpec,
+    engine: EngineConfig,
 }
 
 fn usage() -> ExitCode {
@@ -48,7 +56,8 @@ fn usage() -> ExitCode {
         "usage: obda <classify|rewrite|answer> --ontology FILE --query FILE\n\
          \x20      [--data FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
          \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
-         \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]"
+         \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]\n\
+         \x20      [--threads N] [--no-prune]"
     );
     ExitCode::from(2)
 }
@@ -82,6 +91,7 @@ fn parse_args() -> Option<Args> {
         oracle: false,
         no_fallback: false,
         spec: BudgetSpec::unlimited(),
+        engine: EngineConfig::default(),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -104,6 +114,8 @@ fn parse_args() -> Option<Args> {
             "--budget-tuples" => args.spec.max_tuples = Some(argv.next()?.parse().ok()?),
             "--budget-steps" => args.spec.max_steps = Some(argv.next()?.parse().ok()?),
             "--budget-chase" => args.spec.max_chase_elements = Some(argv.next()?.parse().ok()?),
+            "--threads" => args.engine.threads = argv.next()?.parse().ok()?,
+            "--no-prune" => args.engine.prune = false,
             _ => return None,
         }
     }
@@ -201,10 +213,22 @@ fn run(args: &Args) -> Result<(), CliError> {
         "answer" => {
             let data = system.parse_data(&read(&args.data, "data")?)?;
             let (result, strategy_used) = if args.no_fallback {
-                let res = system.answer_with_budget(&query, &data, args.strategy, &args.spec)?;
+                let res = system.answer_with_budget_engine(
+                    &query,
+                    &data,
+                    args.strategy,
+                    &args.spec,
+                    &args.engine,
+                )?;
                 (res, args.strategy)
             } else {
-                let report = system.answer_with_fallback(&query, &data, args.strategy, &args.spec);
+                let report = system.answer_with_fallback_engine(
+                    &query,
+                    &data,
+                    args.strategy,
+                    &args.spec,
+                    &args.engine,
+                );
                 eprint!("{report}");
                 match report.winning_strategy() {
                     Some(winner) => match report.into_result() {

@@ -6,11 +6,13 @@ use obda_chase::answer::{certain_answers, certain_answers_budgeted, CertainAnswe
 use obda_chase::model::ChaseError;
 use obda_cq::query::Cq;
 use obda_ndl::analysis::{analyze, Analysis};
+use obda_ndl::engine::{evaluate_engine_on_budgeted, evaluate_pruned_on_budgeted, EngineConfig};
 use obda_ndl::eval::{
     evaluate, evaluate_on, evaluate_on_budgeted, EvalError, EvalOptions, EvalResult,
 };
 use obda_ndl::linear_eval::{evaluate_linear_on, evaluate_linear_on_budgeted};
 use obda_ndl::program::NdlQuery;
+use obda_ndl::relevance::{prune_for_goal, PruneStats, PrunedQuery};
 use obda_ndl::storage::Database;
 use obda_owlql::abox::DataInstance;
 use obda_owlql::parser::ParseError;
@@ -23,6 +25,7 @@ use obda_rewrite::{
     LinRewriter, LogRewriter, PrestoLikeRewriter, TwRewriter, TwUcqRewriter, UcqRewriter,
 };
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// The rewriting strategy to use.
@@ -421,6 +424,26 @@ impl ObdaSystem {
         Ok(evaluate_on_budgeted(&rewriting, &db, &mut budget)?)
     }
 
+    /// [`ObdaSystem::answer_with_budget`] evaluated by the parallel,
+    /// goal-directed engine configured by `cfg` (relevance pruning and
+    /// worker threads). The same unified budget covers rewriting and
+    /// evaluation; with several workers the budget is shared across all of
+    /// them, so a deadline or cap trips the whole pool with one typed
+    /// error.
+    pub fn answer_with_budget_engine(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        strategy: Strategy,
+        spec: &BudgetSpec,
+        cfg: &EngineConfig,
+    ) -> Result<EvalResult, ObdaError> {
+        let mut budget = spec.start();
+        let rewriting = self.rewrite_budgeted(query, strategy, &mut budget)?;
+        let db = Database::new(data);
+        Ok(evaluate_engine_on_budgeted(&rewriting, &db, &mut budget, cfg)?)
+    }
+
     /// Answers the OMQ with graceful degradation: tries `preferred` under
     /// the budget; when it exceeds its rewriting or evaluation budget (or
     /// is structurally inapplicable), automatically retries each strategy
@@ -434,6 +457,30 @@ impl ObdaSystem {
         data: &DataInstance,
         preferred: Strategy,
         spec: &BudgetSpec,
+    ) -> PipelineReport {
+        self.fallback_ladder_run(query, data, preferred, spec, None)
+    }
+
+    /// [`ObdaSystem::answer_with_fallback`] with every evaluation stage run
+    /// by the parallel, goal-directed engine configured by `cfg`.
+    pub fn answer_with_fallback_engine(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        preferred: Strategy,
+        spec: &BudgetSpec,
+        cfg: &EngineConfig,
+    ) -> PipelineReport {
+        self.fallback_ladder_run(query, data, preferred, spec, Some(cfg))
+    }
+
+    fn fallback_ladder_run(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        preferred: Strategy,
+        spec: &BudgetSpec,
+        engine: Option<&EngineConfig>,
     ) -> PipelineReport {
         let master = spec.start();
         let db = Database::new(data);
@@ -462,7 +509,11 @@ impl ObdaSystem {
                 }
                 Ok(rewriting) => {
                     let n = rewriting.program.num_clauses();
-                    match evaluate_on_budgeted(&rewriting, &db, &mut budget) {
+                    let eval = match engine {
+                        Some(cfg) => evaluate_engine_on_budgeted(&rewriting, &db, &mut budget, cfg),
+                        None => evaluate_on_budgeted(&rewriting, &db, &mut budget),
+                    };
+                    match eval {
                         Ok(res) => (AttemptOutcome::Success(res), Some(n)),
                         Err(e) => (AttemptOutcome::EvalFailed(e), Some(n)),
                     }
@@ -513,7 +564,13 @@ impl ObdaSystem {
     ) -> Result<PreparedOmq, ObdaError> {
         let rewriting = self.rewrite_budgeted(query, strategy, budget)?;
         let analysis = analyze(&rewriting);
-        Ok(PreparedOmq { query: query.clone(), strategy, analysis, rewriting })
+        Ok(PreparedOmq {
+            query: query.clone(),
+            strategy,
+            analysis,
+            rewriting,
+            pruned: OnceLock::new(),
+        })
     }
 }
 
@@ -526,6 +583,9 @@ pub struct PreparedOmq {
     strategy: Strategy,
     analysis: Analysis,
     rewriting: NdlQuery,
+    /// Goal-directed pruning of the rewriting, computed lazily on the
+    /// first engine execution and then reused across data instances.
+    pruned: OnceLock<PrunedQuery>,
 }
 
 impl PreparedOmq {
@@ -573,6 +633,45 @@ impl PreparedOmq {
         budget: &mut Budget,
     ) -> Result<EvalResult, EvalError> {
         evaluate_on_budgeted(&self.rewriting, db, budget)
+    }
+
+    /// The goal-directed pruning of the cached rewriting, computed on
+    /// first use and cached for the lifetime of the prepared query.
+    pub fn pruned(&self) -> &PrunedQuery {
+        self.pruned.get_or_init(|| prune_for_goal(&self.rewriting))
+    }
+
+    /// Statistics of the cached pruning pass (forces the pruning).
+    pub fn prune_stats(&self) -> PruneStats {
+        self.pruned().stats
+    }
+
+    /// Evaluates with the parallel, goal-directed engine. When
+    /// `cfg.prune` is set the pruning pass runs once per prepared query
+    /// (cached), not once per execution; per-predicate statistics are
+    /// reported against the *original* rewriting's predicate ids either
+    /// way.
+    pub fn execute_engine(
+        &self,
+        db: &Database,
+        opts: &EvalOptions,
+        cfg: &EngineConfig,
+    ) -> Result<EvalResult, EvalError> {
+        self.execute_engine_budgeted(db, &mut opts.to_budget(), cfg)
+    }
+
+    /// [`PreparedOmq::execute_engine`] drawing on a shared [`Budget`].
+    pub fn execute_engine_budgeted(
+        &self,
+        db: &Database,
+        budget: &mut Budget,
+        cfg: &EngineConfig,
+    ) -> Result<EvalResult, EvalError> {
+        if cfg.prune {
+            evaluate_pruned_on_budgeted(self.pruned(), db, budget, cfg)
+        } else {
+            evaluate_engine_on_budgeted(&self.rewriting, db, budget, cfg)
+        }
     }
 
     /// Evaluates with Theorem 2's reachability engine (the rewriting must
@@ -701,6 +800,64 @@ mod tests {
         let prepared = sys.prepare(&q, Strategy::Tw).unwrap();
         let res = prepared.validate_against_oracle(&sys, &d, &db).unwrap();
         assert_eq!(res.answers.len(), res.stats.num_answers);
+    }
+
+    #[test]
+    fn engine_paths_agree_with_oracle_for_all_strategies() {
+        let sys = system();
+        let q = sys.parse_query("q(x0, x3) :- R(x0, x1), S(x1, x2), R(x2, x3)").unwrap();
+        let d = sys.parse_data("P(w, a)\nR(a, b)\nR(b, c)\nS(c, d)\nR(d, e)\n").unwrap();
+        let db = Database::new(&d);
+        let oracle = sys.certain_answers(&q, &d).tuples();
+        let spec = BudgetSpec::default();
+        for strategy in Strategy::ALL {
+            for threads in [1, 4] {
+                for prune in [false, true] {
+                    let cfg = EngineConfig { threads, prune, ..EngineConfig::default() };
+                    let res = sys.answer_with_budget_engine(&q, &d, strategy, &spec, &cfg).unwrap();
+                    assert_eq!(res.answers, oracle, "{strategy} t={threads} prune={prune}");
+                    let prepared = sys.prepare(&q, strategy).unwrap();
+                    let pre = prepared.execute_engine(&db, &EvalOptions::default(), &cfg).unwrap();
+                    assert_eq!(pre.answers, oracle, "{strategy} prepared");
+                    // Pruning never *increases* work, and stats stay
+                    // indexed by the original rewriting's predicates.
+                    let plain = prepared.execute(&db, &EvalOptions::default()).unwrap();
+                    assert!(pre.stats.generated_tuples <= plain.stats.generated_tuples);
+                    assert_eq!(
+                        pre.stats.per_predicate.len(),
+                        prepared.rewriting().program.num_preds()
+                    );
+                }
+            }
+        }
+        assert!(!oracle.is_empty());
+    }
+
+    #[test]
+    fn prepared_pruning_is_computed_once_and_reduces_clauses() {
+        let sys = system();
+        let q = sys.parse_query("q(x0, x2) :- R(x0, x1), S(x1, x2)").unwrap();
+        let prepared = sys.prepare(&q, Strategy::Tw).unwrap();
+        let stats = prepared.prune_stats();
+        assert!(stats.clauses_after <= stats.clauses_before);
+        // The cached pruning is the same object on every access.
+        assert!(std::ptr::eq(prepared.pruned(), prepared.pruned()));
+    }
+
+    #[test]
+    fn fallback_engine_report_matches_plain_fallback() {
+        let sys = system();
+        let q = sys.parse_query("q(x0, x2) :- R(x0, x1), S(x1, x2)").unwrap();
+        let d = sys.parse_data("P(w, a)\nR(a, b)\nS(b, c)\n").unwrap();
+        let spec = BudgetSpec::default();
+        let plain = sys.answer_with_fallback(&q, &d, Strategy::Tw, &spec);
+        let cfg = EngineConfig { threads: 2, prune: true, ..EngineConfig::default() };
+        let engine = sys.answer_with_fallback_engine(&q, &d, Strategy::Tw, &spec, &cfg);
+        assert_eq!(plain.winning_strategy(), engine.winning_strategy());
+        assert_eq!(
+            plain.result().map(|r| r.answers.clone()),
+            engine.result().map(|r| r.answers.clone())
+        );
     }
 
     #[test]

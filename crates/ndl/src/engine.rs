@@ -1,0 +1,599 @@
+//! Parallel, goal-directed bottom-up evaluation.
+//!
+//! This engine layers three optimisations over the faithful
+//! materialising evaluator of [`crate::eval`]:
+//!
+//! 1. **Relevance pruning** ([`crate::relevance`]): the program is
+//!    rewritten goal-directedly before evaluation, eliminating renaming
+//!    predicates, used-once views, copy clauses and dead columns, so
+//!    strictly fewer tuples are materialised.
+//! 2. **Stratum scheduling**: the topological order is partitioned into
+//!    *strata* — level sets of the longest-path layering of the
+//!    dependency DAG — whose predicates are mutually independent. All
+//!    clauses of a stratum, with large outer scans split into row-range
+//!    chunks, form a task queue drained by a scoped-thread worker pool
+//!    (`std::thread::scope`; no external dependencies). Clauses whose
+//!    body references an already-known-empty relation are skipped
+//!    without running their joins.
+//! 3. **Shared budgets** ([`obda_budget::SharedBudget`]): the pool
+//!    races one atomic allowance; the first deadline/step/tuple trip
+//!    poisons every worker, and the engine reports the same typed
+//!    [`EvalError`] taxonomy as the sequential evaluator.
+//!
+//! Concurrency model: relations of *completed* strata (and the EDB
+//! [`Database`]) are only read — their lazy `OnceLock` column indexes
+//! make concurrent probing safe — while the current stratum's output
+//! relations are mutated behind per-predicate mutexes that workers only
+//! take to merge a finished task's buffered rows. Statistics are
+//! deterministic across thread counts: every relation is deduplicated
+//! exactly, so per-predicate counts equal the relation sizes, and
+//! answers are sorted.
+
+use crate::analysis::topological_order;
+use crate::eval::{
+    budget_error, eval_clause_into, join_order, reachable_from_goal, relation, EvalError,
+    EvalOptions, EvalResult, EvalStats, Halt, Row,
+};
+use crate::program::{BodyAtom, Clause, NdlQuery, PredId, PredKind};
+use crate::relevance::{prune_for_goal, PrunedQuery};
+use crate::storage::{Database, Relation};
+use obda_budget::{Budget, BudgetOps, SharedBudget, WorkerBudget};
+use obda_owlql::abox::ConstId;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Tuning knobs for the parallel, goal-directed engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` = one per available CPU, `1` = run the same
+    /// pruned, stratum-scheduled plan inline without spawning.
+    pub threads: usize,
+    /// Run the [`crate::relevance`] pruning pass first.
+    pub prune: bool,
+    /// Minimum relation size before a clause's outer scan is split into
+    /// per-worker row ranges. Tests lower this to exercise chunking on
+    /// small data.
+    pub chunk_min_rows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { threads: 1, prune: true, chunk_min_rows: 1024 }
+    }
+}
+
+impl EngineConfig {
+    /// A config with the given thread count and pruning enabled.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig { threads, ..EngineConfig::default() }
+    }
+
+    /// Resolves `threads = 0` to the available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+/// Evaluates `(Π, G)` over a pre-built [`Database`] with the parallel,
+/// goal-directed engine.
+pub fn evaluate_engine_on(
+    query: &NdlQuery,
+    db: &Database,
+    opts: &EvalOptions,
+    cfg: &EngineConfig,
+) -> Result<EvalResult, EvalError> {
+    evaluate_engine_on_budgeted(query, db, &mut opts.to_budget(), cfg)
+}
+
+/// Like [`evaluate_engine_on`], but drawing on a caller-supplied
+/// [`Budget`] shared with other pipeline stages.
+pub fn evaluate_engine_on_budgeted(
+    query: &NdlQuery,
+    db: &Database,
+    budget: &mut Budget,
+    cfg: &EngineConfig,
+) -> Result<EvalResult, EvalError> {
+    if cfg.prune {
+        let pruned = prune_for_goal(query);
+        evaluate_pruned_on_budgeted(&pruned, db, budget, cfg)
+    } else {
+        run(query, None, query.program.num_preds(), db, budget, cfg)
+    }
+}
+
+/// Evaluates an already-pruned query (callers that cache the
+/// [`prune_for_goal`] result across executions, e.g. `PreparedOmq`).
+/// Statistics are reported against the *original* program's predicate
+/// ids via [`PrunedQuery::origin`].
+pub fn evaluate_pruned_on_budgeted(
+    pruned: &PrunedQuery,
+    db: &Database,
+    budget: &mut Budget,
+    cfg: &EngineConfig,
+) -> Result<EvalResult, EvalError> {
+    let orig = pruned.origin.iter().map(|p| p.0 as usize + 1).max().unwrap_or(0);
+    run(&pruned.query, Some(&pruned.origin), orig, db, budget, cfg)
+}
+
+/// One unit of stratum work: a clause (optionally restricted to a row
+/// range of its outer scan) whose derived rows merge into the clause
+/// head's output relation.
+struct Task<'p> {
+    clause: &'p Clause,
+    order: Vec<usize>,
+    range: Option<(usize, usize)>,
+    /// Index into the stratum's output slots.
+    slot: usize,
+}
+
+/// Evaluates one task into `buf`, then merges the buffer into the
+/// task's output slot, charging newly inserted tuples. Generic over
+/// [`BudgetOps`] so the inline path (exclusive [`Budget`]) and the
+/// worker pool ([`WorkerBudget`]) run identical code.
+fn eval_task<B: BudgetOps>(
+    query: &NdlQuery,
+    db: &Database,
+    idb: &[Relation],
+    budget: &mut B,
+    task: &Task<'_>,
+    outs: &[Mutex<(Relation, usize)>],
+    buf: &mut Vec<Row>,
+) -> Result<(), Halt> {
+    buf.clear();
+    eval_clause_into(
+        &query.program,
+        db,
+        idb,
+        budget,
+        task.clause,
+        &task.order,
+        task.range,
+        &mut |row, budget| {
+            budget.check_tuple_headroom(buf.len() as u64 + 1)?;
+            buf.push(row);
+            Ok(())
+        },
+    )?;
+    if buf.is_empty() {
+        return Ok(());
+    }
+    let mut guard = outs[task.slot].lock().unwrap_or_else(PoisonError::into_inner);
+    let (rel, fresh) = &mut *guard;
+    for row in buf.iter() {
+        if rel.insert_if_new(row) {
+            *fresh += 1;
+            budget.charge_tuples(1)?;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)] // internal driver; bundling would just rename the args
+fn run(
+    query: &NdlQuery,
+    origin: Option<&[PredId]>,
+    orig_num_preds: usize,
+    db: &Database,
+    budget: &mut Budget,
+    cfg: &EngineConfig,
+) -> Result<EvalResult, EvalError> {
+    let start = Instant::now();
+    let program = &query.program;
+    let num_preds = program.num_preds();
+    let order = topological_order(program).ok_or(EvalError::Recursive)?;
+    let reachable = reachable_from_goal(query);
+    let threads = cfg.effective_threads().max(1);
+
+    // Longest-path layering: EDB relations sit at level 0, an IDB
+    // predicate one level above its deepest body predicate. Predicates
+    // in the same level never depend on one another, so a level is a
+    // stratum the pool can evaluate concurrently.
+    let mut level = vec![0usize; num_preds];
+    let mut num_levels = 1;
+    for &p in &order {
+        if !reachable[p.0 as usize] || !program.is_idb(p) {
+            continue;
+        }
+        let mut lv = 1;
+        for clause in program.clauses_for(p) {
+            for atom in &clause.body {
+                if let BodyAtom::Pred(q, _) = atom {
+                    if program.is_idb(*q) {
+                        lv = lv.max(level[q.0 as usize] + 1);
+                    }
+                }
+            }
+        }
+        level[p.0 as usize] = lv;
+        num_levels = num_levels.max(lv + 1);
+    }
+    let mut strata: Vec<Vec<PredId>> = vec![Vec::new(); num_levels];
+    for &p in &order {
+        if reachable[p.0 as usize] && program.is_idb(p) {
+            strata[level[p.0 as usize]].push(p);
+        }
+    }
+
+    let mut idb: Vec<Relation> = program
+        .pred_ids()
+        .map(|p| match program.pred(p).kind {
+            PredKind::Idb => Relation::new(program.pred(p).arity),
+            _ => Relation::new(0),
+        })
+        .collect();
+    // Known-empty relations let whole clauses be skipped before their
+    // joins run; IDB entries are updated as strata complete.
+    let mut empty: Vec<bool> = program
+        .pred_ids()
+        .map(|p| match program.pred(p).kind {
+            PredKind::Idb => true,
+            kind => db.relation(kind).is_empty(),
+        })
+        .collect();
+
+    let mut per_pred = vec![0usize; num_preds];
+    let map_stats = |per_pred: &[usize], num_answers: usize| {
+        let mut mapped = vec![0usize; orig_num_preds];
+        for (i, &n) in per_pred.iter().enumerate() {
+            let o = origin.map_or(i, |m| m[i].0 as usize);
+            mapped[o] += n;
+        }
+        EvalStats {
+            generated_tuples: per_pred.iter().sum(),
+            num_answers,
+            duration: start.elapsed(),
+            per_predicate: mapped,
+        }
+    };
+
+    for stratum in strata.iter().filter(|s| !s.is_empty()) {
+        let outs: Vec<Mutex<(Relation, usize)>> = stratum
+            .iter()
+            .map(|&p| Mutex::new((Relation::new(program.pred(p).arity), 0)))
+            .collect();
+        let mut tasks: Vec<Task<'_>> = Vec::new();
+        for (slot, &p) in stratum.iter().enumerate() {
+            for clause in program.clauses_for(p) {
+                if clause
+                    .body
+                    .iter()
+                    .any(|a| matches!(a, BodyAtom::Pred(q, _) if empty[q.0 as usize]))
+                {
+                    continue;
+                }
+                let order = join_order(clause).map_err(EvalError::Unsafe)?;
+                // Split a large outer scan into per-worker row ranges.
+                let outer_rows = order.first().and_then(|&i| match &clause.body[i] {
+                    BodyAtom::Pred(q, _) => Some(relation(program, db, &idb, *q).len()),
+                    _ => None,
+                });
+                match outer_rows {
+                    Some(n) if threads > 1 && n >= cfg.chunk_min_rows.max(1) => {
+                        let chunk = n.div_ceil(threads * 2).max(1);
+                        let mut lo = 0;
+                        while lo < n {
+                            let hi = (lo + chunk).min(n);
+                            tasks.push(Task {
+                                clause,
+                                order: order.clone(),
+                                range: Some((lo, hi)),
+                                slot,
+                            });
+                            lo = hi;
+                        }
+                    }
+                    _ => tasks.push(Task { clause, order, range: None, slot }),
+                }
+            }
+        }
+
+        let halt = if threads <= 1 || tasks.len() <= 1 {
+            let mut buf = Vec::new();
+            tasks
+                .iter()
+                .try_for_each(|t| eval_task(query, db, &idb, budget, t, &outs, &mut buf))
+                .err()
+        } else {
+            let shared: SharedBudget = budget.share();
+            let next = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
+            let first_halt: Mutex<Option<Halt>> = Mutex::new(None);
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(tasks.len()) {
+                    scope.spawn(|| {
+                        let mut wb = WorkerBudget::new(&shared);
+                        let mut buf = Vec::new();
+                        while !abort.load(Ordering::Relaxed) {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(t) else { break };
+                            if let Err(h) =
+                                eval_task(query, db, &idb, &mut wb, task, &outs, &mut buf)
+                            {
+                                let mut slot =
+                                    first_halt.lock().unwrap_or_else(PoisonError::into_inner);
+                                slot.get_or_insert(h);
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    });
+                }
+            });
+            budget.absorb(&shared);
+            first_halt.into_inner().unwrap_or_else(PoisonError::into_inner)
+        };
+        // Ticks amortise their cap and clock checks, so a small stratum
+        // can finish without any worker consulting them; re-check both
+        // on the exclusive budget at the stratum barrier.
+        let halt = halt
+            .or_else(|| budget.tick().and_then(|()| budget.check_time()).err().map(Halt::Budget));
+
+        // Merge completed (possibly partial, on halt) stratum output.
+        for (slot, &p) in stratum.iter().enumerate() {
+            let (rel, fresh) =
+                outs[slot].lock().map(|mut g| std::mem::take(&mut *g)).unwrap_or_default();
+            per_pred[p.0 as usize] += fresh;
+            empty[p.0 as usize] = rel.is_empty();
+            idb[p.0 as usize] = rel;
+        }
+        if let Some(halt) = halt {
+            let goal_answers = per_pred[query.goal.0 as usize];
+            return Err(match halt {
+                Halt::Budget(e) => budget_error(e, map_stats(&per_pred, goal_answers)),
+                Halt::Unsafe(msg) => EvalError::Unsafe(msg),
+            });
+        }
+    }
+
+    let goal_rel = std::mem::replace(&mut idb[query.goal.0 as usize], Relation::new(0));
+    let mut answers: Vec<Vec<ConstId>> =
+        goal_rel.rows().map(|row| row.iter().copied().map(ConstId).collect()).collect();
+    answers.sort();
+    let stats = map_stats(&per_pred, answers.len());
+    Ok(EvalResult { answers, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_on;
+    use crate::program::{CVar, Program};
+    use obda_budget::Resource;
+    use obda_owlql::parser::{parse_data, parse_ontology};
+    use std::time::Duration;
+
+    fn chain_query() -> (NdlQuery, obda_owlql::abox::DataInstance) {
+        let o = parse_ontology("Class A\nProperty R\nProperty S\n").unwrap();
+        let mut text = String::new();
+        for i in 0..200 {
+            text.push_str(&format!("R(a{}, a{})\n", i, i + 1));
+            text.push_str(&format!("S(a{}, b{})\n", i, i % 7));
+        }
+        text.push_str("A(a0)\nA(a5)\nA(a50)\n");
+        let d = parse_data(&text, &o).unwrap();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let s = p.edb_prop(v.get_prop("S").unwrap(), v);
+        let a = p.edb_class(v.get_class("A").unwrap(), v);
+        let t1 = p.add_pred("T1", 2, PredKind::Idb);
+        let t2 = p.add_pred("T2", 2, PredKind::Idb);
+        let g = p.add_pred("G", 2, PredKind::Idb);
+        // Two independent level-1 predicates joined at the goal.
+        p.add_clause(Clause {
+            head: t1,
+            head_args: vec![CVar(0), CVar(2)],
+            body: vec![
+                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(r, vec![CVar(1), CVar(2)]),
+            ],
+            num_vars: 3,
+        });
+        p.add_clause(Clause {
+            head: t2,
+            head_args: vec![CVar(0), CVar(1)],
+            body: vec![BodyAtom::Pred(s, vec![CVar(0), CVar(1)]), BodyAtom::Pred(a, vec![CVar(0)])],
+            num_vars: 2,
+        });
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0), CVar(2)],
+            body: vec![
+                BodyAtom::Pred(t1, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(t2, vec![CVar(1), CVar(2)]),
+            ],
+            num_vars: 3,
+        });
+        (NdlQuery::new(p, g), d)
+    }
+
+    #[test]
+    fn engine_matches_sequential_at_every_thread_count() {
+        let (q, d) = chain_query();
+        let db = Database::new(&d);
+        let base = evaluate_on(&q, &db, &EvalOptions::default()).unwrap();
+        for threads in [1, 2, 4, 8] {
+            for prune in [false, true] {
+                let cfg = EngineConfig { threads, prune, chunk_min_rows: 16 };
+                let res = evaluate_engine_on(&q, &db, &EvalOptions::default(), &cfg).unwrap();
+                assert_eq!(res.answers, base.answers, "threads={threads} prune={prune}");
+                assert!(res.stats.generated_tuples <= base.stats.generated_tuples);
+                if !prune {
+                    assert_eq!(res.stats.generated_tuples, base.stats.generated_tuples);
+                    assert_eq!(res.stats.per_predicate, base.stats.per_predicate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_deterministic_across_thread_counts() {
+        let (q, d) = chain_query();
+        let db = Database::new(&d);
+        let reference = evaluate_engine_on(
+            &q,
+            &db,
+            &EvalOptions::default(),
+            &EngineConfig { threads: 1, prune: true, chunk_min_rows: 8 },
+        )
+        .unwrap();
+        for threads in [2, 3, 4, 7] {
+            let res = evaluate_engine_on(
+                &q,
+                &db,
+                &EvalOptions::default(),
+                &EngineConfig { threads, prune: true, chunk_min_rows: 8 },
+            )
+            .unwrap();
+            assert_eq!(res.answers, reference.answers);
+            assert_eq!(res.stats.generated_tuples, reference.stats.generated_tuples);
+            assert_eq!(res.stats.per_predicate, reference.stats.per_predicate);
+        }
+    }
+
+    #[test]
+    fn shared_deadline_stops_all_workers_with_typed_error() {
+        let (q, d) = chain_query();
+        let db = Database::new(&d);
+        let opts = EvalOptions { timeout: Some(Duration::ZERO), ..Default::default() };
+        let err = evaluate_engine_on(
+            &q,
+            &db,
+            &opts,
+            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::Timeout(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn shared_tuple_cap_trips_the_pool() {
+        let (q, d) = chain_query();
+        let db = Database::new(&d);
+        let opts = EvalOptions { max_tuples: Some(5), ..Default::default() };
+        let err = evaluate_engine_on(
+            &q,
+            &db,
+            &opts,
+            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8 },
+        )
+        .unwrap_err();
+        match err {
+            EvalError::TupleLimit(stats) => {
+                // Concurrent charges can each overshoot by the row they
+                // were inserting when the pool tripped: cap + 1 per worker.
+                assert!(stats.generated_tuples <= 5 + 4, "cap honoured: {stats:?}")
+            }
+            other => panic!("expected TupleLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruned_stats_map_back_to_original_predicates() {
+        let o = parse_ontology("Property R\n").unwrap();
+        let d = parse_data("R(a, b)\nR(b, c)\n", &o).unwrap();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let alias = p.add_pred("ALIAS", 2, PredKind::Idb);
+        let g = p.add_pred("G", 2, PredKind::Idb);
+        p.add_clause(Clause {
+            head: alias,
+            head_args: vec![CVar(0), CVar(1)],
+            body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1)])],
+            num_vars: 2,
+        });
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0), CVar(1)],
+            body: vec![BodyAtom::Pred(alias, vec![CVar(1), CVar(0)])],
+            num_vars: 2,
+        });
+        let q = NdlQuery::new(p, g);
+        let db = Database::new(&d);
+        let base = evaluate_on(&q, &db, &EvalOptions::default()).unwrap();
+        assert_eq!(base.stats.generated_tuples, 4, "alias doubles the work");
+        let res =
+            evaluate_engine_on(&q, &db, &EvalOptions::default(), &EngineConfig::default()).unwrap();
+        assert_eq!(res.answers, base.answers);
+        assert_eq!(res.stats.generated_tuples, 2, "alias is pruned away");
+        assert_eq!(res.stats.per_predicate.len(), q.program.num_preds());
+        assert_eq!(res.stats.per_predicate[g.0 as usize], 2);
+        assert_eq!(res.stats.per_predicate[alias.0 as usize], 0);
+    }
+
+    #[test]
+    fn empty_relation_skips_clause_bodies() {
+        let o = parse_ontology("Class A\nProperty R\nProperty S\n").unwrap();
+        let d = parse_data("R(a, b)\n", &o).unwrap(); // S is empty
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let s = p.edb_prop(v.get_prop("S").unwrap(), v);
+        let g = p.add_pred("G", 2, PredKind::Idb);
+        for e in [r, s] {
+            p.add_clause(Clause {
+                head: g,
+                head_args: vec![CVar(0), CVar(1)],
+                body: vec![BodyAtom::Pred(e, vec![CVar(0), CVar(1)])],
+                num_vars: 2,
+            });
+        }
+        let q = NdlQuery::new(p, g);
+        let db = Database::new(&d);
+        let res =
+            evaluate_engine_on(&q, &db, &EvalOptions::default(), &EngineConfig::default()).unwrap();
+        assert_eq!(res.answers.len(), 1);
+    }
+
+    #[test]
+    fn recursive_program_is_rejected() {
+        let mut p = Program::new();
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        let h = p.add_pred("H", 1, PredKind::Idb);
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(h, vec![CVar(0)])],
+            num_vars: 1,
+        });
+        p.add_clause(Clause {
+            head: h,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(g, vec![CVar(0)])],
+            num_vars: 1,
+        });
+        let o = parse_ontology("Class A\n").unwrap();
+        let d = parse_data("A(a)\n", &o).unwrap();
+        let db = Database::new(&d);
+        // Pruning must not mask recursion detection.
+        let err = evaluate_engine_on(
+            &NdlQuery::new(p, g),
+            &db,
+            &EvalOptions::default(),
+            &EngineConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::Recursive));
+    }
+
+    #[test]
+    fn step_cap_maps_to_timeout_error() {
+        let (q, d) = chain_query();
+        let db = Database::new(&d);
+        let mut budget = Budget::unlimited().max_steps(10);
+        let err = evaluate_engine_on_budgeted(
+            &q,
+            &db,
+            &mut budget,
+            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::Timeout(_)));
+        let _ = Resource::Steps; // taxonomy documented in eval::budget_error
+    }
+}

@@ -20,7 +20,7 @@
 use crate::analysis::topological_order;
 use crate::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
 use crate::storage::{Database, Relation};
-use obda_budget::{Budget, BudgetExceeded, Resource};
+use obda_budget::{Budget, BudgetExceeded, BudgetOps, Resource};
 use obda_owlql::abox::{ConstId, DataInstance};
 use obda_owlql::util::FxHashSet;
 use std::time::{Duration, Instant};
@@ -60,7 +60,9 @@ pub struct EvalStats {
     /// Wall-clock time spent evaluating.
     pub duration: Duration,
     /// Tuples materialised per predicate, indexed by [`PredId`] (zero for
-    /// EDB predicates; empty when the evaluator does not track it).
+    /// EDB predicates). Populated by every evaluator; on success the counts
+    /// equal the distinct-tuple sizes of the materialised relations, so they
+    /// are deterministic regardless of clause scheduling or thread count.
     pub per_predicate: Vec<usize>,
 }
 
@@ -206,21 +208,28 @@ struct Counters {
     per_pred: Vec<usize>,
 }
 
-/// Evaluates one clause by index-nested-loop joins, inserting derived head
-/// rows into `out`.
-fn eval_clause(
+/// Evaluates one clause body by index-nested-loop joins in the given
+/// `order`, calling `emit` for every binding that satisfies the body.
+/// When `first_range = Some((lo, hi))` and the first atom of `order` is
+/// a full-scan predicate atom, only rows `lo..hi` of its relation seed
+/// the join — the parallel engine partitions large outer loops this
+/// way. Generic over [`BudgetOps`] so the sequential engine (exclusive
+/// [`Budget`]) and the worker pool (`WorkerBudget` over a shared atomic
+/// allowance) run the same kernel.
+#[allow(clippy::too_many_arguments)] // one kernel shared by both engines
+pub(crate) fn eval_clause_into<B: BudgetOps>(
     program: &Program,
     db: &Database,
     idb: &[Relation],
-    budget: &mut Budget,
-    counters: &mut Counters,
+    budget: &mut B,
     clause: &Clause,
-    out: &mut Relation,
+    order: &[usize],
+    first_range: Option<(usize, usize)>,
+    emit: &mut dyn FnMut(Row, &mut B) -> Result<(), Halt>,
 ) -> Result<(), Halt> {
-    let order = join_order(clause).map_err(Halt::Unsafe)?;
     let mut bindings: Vec<Row> = vec![vec![UNBOUND; clause.num_vars as usize]];
     let mut bound: FxHashSet<CVar> = FxHashSet::default();
-    for &i in &order {
+    for (oi, &i) in order.iter().enumerate() {
         if bindings.is_empty() {
             break;
         }
@@ -279,7 +288,7 @@ fn eval_clause(
                 let extend = |binding: &Row,
                               row: &[u32],
                               next: &mut Vec<Row>,
-                              budget: &mut Budget|
+                              budget: &mut B|
                  -> Result<(), Halt> {
                     budget.tick()?;
                     let mut extended = binding.clone();
@@ -299,12 +308,18 @@ fn eval_clause(
                     Ok(())
                 };
                 match bound_positions.first() {
-                    // No bound position: scan the whole relation.
+                    // No bound position: scan the relation — or, when
+                    // this is the partitioned first atom, just the
+                    // worker's slice of it.
                     None => {
+                        let (lo, hi) = match first_range {
+                            Some(range) if oi == 0 => range,
+                            _ => (0, rel.len()),
+                        };
                         for binding in &bindings {
                             budget.tick()?;
-                            for row in rel.rows() {
-                                extend(binding, row, &mut next, budget)?;
+                            for r in lo..hi {
+                                extend(binding, rel.row(r), &mut next, budget)?;
                             }
                         }
                     }
@@ -339,13 +354,31 @@ fn eval_clause(
                 val
             })
             .collect();
+        emit(row, budget)?;
+    }
+    Ok(())
+}
+
+/// Evaluates one clause by index-nested-loop joins, inserting derived head
+/// rows into `out`.
+fn eval_clause(
+    program: &Program,
+    db: &Database,
+    idb: &[Relation],
+    budget: &mut Budget,
+    counters: &mut Counters,
+    clause: &Clause,
+    out: &mut Relation,
+) -> Result<(), Halt> {
+    let order = join_order(clause).map_err(Halt::Unsafe)?;
+    eval_clause_into(program, db, idb, budget, clause, &order, None, &mut |row, budget| {
         if out.insert_if_new(&row) {
             counters.generated += 1;
             counters.per_pred[clause.head.0 as usize] += 1;
             budget.charge_tuples(1)?;
         }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 /// The IDB predicates reachable from the goal through clause bodies.

@@ -20,24 +20,32 @@
 //!   index-nested-loop joins) and Theorem 2's reachability-based evaluator
 //!   for linear programs ([`linear_eval`]);
 //! * the original per-call hash-set engine ([`reference`]), kept for
-//!   differential tests and as the benchmark baseline.
+//!   differential tests and as the benchmark baseline;
+//! * a goal-directed relevance-pruning pass ([`relevance`]) and a
+//!   parallel stratum-scheduled engine ([`engine`]) combining pruning
+//!   with scoped-thread evaluation under a shared [`obda_budget`]
+//!   allowance.
 
 pub mod analysis;
+pub mod engine;
 pub mod eval;
 pub mod linear_eval;
 pub mod program;
 pub mod reference;
+pub mod relevance;
 pub mod skinny;
 pub mod star;
 pub mod storage;
 
 pub use analysis::{analyze, Analysis};
+pub use engine::{evaluate_engine_on, evaluate_engine_on_budgeted, EngineConfig};
 pub use eval::{
     evaluate, evaluate_on, evaluate_on_budgeted, EvalError, EvalOptions, EvalResult, EvalStats,
 };
 pub use linear_eval::{evaluate_linear, evaluate_linear_on, evaluate_linear_on_budgeted};
 pub use program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program, ProgramDisplay};
 pub use reference::evaluate_reference;
+pub use relevance::{prune_for_goal, PruneStats, PrunedQuery};
 pub use skinny::to_skinny;
 pub use star::{linear_star_transform, star_transform};
 pub use storage::{ColumnIndex, Database, Relation};

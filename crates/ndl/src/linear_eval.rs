@@ -178,6 +178,9 @@ fn ground_clause(
     // Bind the IDB atom first, if any.
     let mut skip_index = usize::MAX;
     if let Some((p, fact)) = idb_fact {
+        // Invariant: `ground_clause` is only called with `(p, fact)` pairs
+        // discovered by scanning this clause's body for `p`.
+        #[allow(clippy::expect_used)]
         let pos = clause
             .body
             .iter()

@@ -153,6 +153,9 @@ impl Program {
     /// Panics if the clause is ill-formed, the head is an EDB predicate, or
     /// arities mismatch.
     pub fn add_clause(&mut self, clause: Clause) {
+        // Panicking here is the documented contract (see above): programs
+        // are built by our rewriters, not parsed from user input.
+        #[allow(clippy::expect_used)]
         clause.validate().expect("well-formed clause");
         let head = &self.preds[clause.head.0 as usize];
         assert!(matches!(head.kind, PredKind::Idb), "clause head must be IDB");

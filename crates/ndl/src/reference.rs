@@ -54,6 +54,7 @@ struct Engine<'a> {
     deadline: Option<Instant>,
     max_tuples: Option<usize>,
     generated: usize,
+    per_pred: Vec<usize>,
     ticks: u32,
 }
 
@@ -224,6 +225,7 @@ impl<'a> Engine<'a> {
                 .collect();
             if out.insert(row) {
                 self.generated += 1;
+                self.per_pred[clause.head.0 as usize] += 1;
             }
             self.check_budget()?;
         }
@@ -249,13 +251,14 @@ pub fn evaluate_reference(
         deadline: opts.timeout.map(|t| Instant::now() + t),
         max_tuples: opts.max_tuples,
         generated: 0,
+        per_pred: vec![0; query.program.num_preds()],
         ticks: 0,
     };
     let stats_at = |engine: &Engine, num_answers: usize| EvalStats {
         generated_tuples: engine.generated,
         num_answers,
         duration: start.elapsed(),
-        per_predicate: Vec::new(),
+        per_predicate: engine.per_pred.clone(),
     };
     for p in order {
         if !reachable[p.0 as usize] {
@@ -265,9 +268,10 @@ pub fn evaluate_reference(
         for clause in query.program.clauses() {
             if clause.head == p {
                 if let Err(halt) = engine.eval_clause(clause, &mut rel) {
+                    let goal_answers = engine.per_pred[query.goal.0 as usize];
                     return Err(match halt {
-                        Halt::Timeout => EvalError::Timeout(stats_at(&engine, 0)),
-                        Halt::TupleLimit => EvalError::TupleLimit(stats_at(&engine, 0)),
+                        Halt::Timeout => EvalError::Timeout(stats_at(&engine, goal_answers)),
+                        Halt::TupleLimit => EvalError::TupleLimit(stats_at(&engine, goal_answers)),
                         Halt::Unsafe(msg) => EvalError::Unsafe(msg),
                     });
                 }
@@ -317,6 +321,7 @@ mod tests {
         let reference = evaluate_reference(&query, &d, &opts).unwrap();
         let indexed = evaluate(&query, &d, &opts).unwrap();
         assert_eq!(reference.answers, indexed.answers);
+        assert_eq!(reference.stats.per_predicate, indexed.stats.per_predicate);
         assert_eq!(reference.stats.generated_tuples, indexed.stats.generated_tuples);
     }
 }

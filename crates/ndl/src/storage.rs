@@ -14,6 +14,26 @@
 //!   via the grouped-access APIs of `obda_owlql::abox` and then shared by
 //!   all evaluations (`evaluate_on`, `evaluate_linear_on`) and all
 //!   rewriting strategies of the experiment harness.
+//!
+//! ## Immutability contract and thread safety
+//!
+//! Mutation ([`Relation::push`], [`Relation::insert_if_new`]) requires
+//! `&mut Relation` and eagerly drops every cached [`ColumnIndex`], so a
+//! stale index can never be observed through a shared reference: creating
+//! one requires exclusive access, which ends all outstanding borrows of the
+//! old index first. Conversely, while any `&Relation` is live the relation
+//! is frozen — rows, the dedup table, and indexes cannot change.
+//!
+//! That aliasing guarantee is what makes the parallel engine in
+//! [`crate::engine`] sound. During a stratum, worker threads hold only
+//! shared references to the [`Database`] and to the relations of earlier
+//! strata; the lazy index cache is a `OnceLock` per column, so concurrent
+//! first probes of the same column race only inside `get_or_init`, which
+//! serialises initialisation and hands every thread the same index.
+//! Relations being *built* in the current stratum are each behind a
+//! `Mutex` and are only promoted to the shared, read-only set at the
+//! stratum barrier — i.e. `Relation` is `Sync` for readers and requires
+//! external exclusion for writers, exactly matching `&`/`&mut` semantics.
 
 use crate::program::PredKind;
 use obda_owlql::abox::DataInstance;
@@ -128,25 +148,25 @@ impl Relation {
     /// comparing the stored rows.
     pub fn insert_if_new(&mut self, row: &[u32]) -> bool {
         debug_assert_eq!(row.len(), self.arity);
-        if self.dedup.is_none() {
+        let h = hash_row(row);
+        // Split borrows: the dedup table is (re)built from the row arena,
+        // then held mutably while the arena is only read.
+        let (arity, data) = (self.arity, &mut self.data);
+        let dedup = self.dedup.get_or_insert_with(|| {
             let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
             for i in 0..self.num_rows {
-                map.entry(hash_row(self.row(i))).or_default().push(i as u32);
+                map.entry(hash_row(&data[i * arity..(i + 1) * arity])).or_default().push(i as u32);
             }
-            self.dedup = Some(map);
-        }
-        let h = hash_row(row);
-        let candidates = self.dedup.as_mut().unwrap().entry(h).or_default();
-        if candidates
-            .iter()
-            .any(|&i| &self.data[i as usize * self.arity..(i as usize + 1) * self.arity] == row)
-        {
+            map
+        });
+        let candidates = dedup.entry(h).or_default();
+        if candidates.iter().any(|&i| &data[i as usize * arity..(i as usize + 1) * arity] == row) {
             return false;
         }
         candidates.push(self.num_rows as u32);
-        self.invalidate_indexes();
-        self.data.extend_from_slice(row);
+        data.extend_from_slice(row);
         self.num_rows += 1;
+        self.invalidate_indexes();
         true
     }
 
@@ -163,6 +183,10 @@ impl Relation {
 
     /// The hash index of a column, built on first use and cached until the
     /// relation is mutated.
+    ///
+    /// Safe to call from several threads at once on a shared `&Relation`:
+    /// the per-column `OnceLock` serialises construction and every caller
+    /// receives the same cached index.
     pub fn column_index(&self, col: usize) -> &ColumnIndex {
         assert!(col < self.arity, "column {col} out of range for arity {}", self.arity);
         self.indexes[col].get_or_init(|| {
@@ -174,6 +198,10 @@ impl Relation {
         })
     }
 
+    /// Drops every cached column index. Called by all mutating methods
+    /// *before* the row store changes; requires `&mut self`, so no shared
+    /// reference to a stale index can survive the mutation (the borrow
+    /// checker ends those borrows before exclusive access begins).
     fn invalidate_indexes(&mut self) {
         for slot in &mut self.indexes {
             if slot.get().is_some() {

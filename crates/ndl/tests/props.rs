@@ -1,9 +1,12 @@
 //! Property tests for the storage-backed evaluators: the indexed engine
 //! agrees with the seed hash-set reference engine on random nonrecursive
-//! programs, and the linear evaluator agrees with bottom-up over a single
-//! shared [`Database`].
+//! programs, the linear evaluator agrees with bottom-up over a single
+//! shared [`Database`], and the parallel goal-directed engine agrees with
+//! both at every thread count (override the counts under test with
+//! `OBDA_TEST_THREADS=n1,n2,...`).
 
 use obda_ndl::analysis::is_linear;
+use obda_ndl::engine::{evaluate_engine_on, EngineConfig};
 use obda_ndl::eval::{evaluate_on, EvalOptions};
 use obda_ndl::linear_eval::evaluate_linear_on;
 use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredKind, Program};
@@ -124,8 +127,65 @@ fn build_program(specs: &[ClauseSpec]) -> NdlQuery {
     NdlQuery::new(p, idbs[NUM_IDB - 1])
 }
 
+/// Thread counts exercised by the differential tests: the
+/// `OBDA_TEST_THREADS` environment variable (comma-separated, as set by the
+/// CI matrix), or `1,2,4` by default.
+fn test_threads() -> Vec<usize> {
+    match std::env::var("OBDA_TEST_THREADS") {
+        Ok(spec) => spec.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// The parallel, goal-directed engine computes exactly the sequential
+    /// indexed engine's answers (and thus the reference engine's — see
+    /// `indexed_engine_agrees_with_reference`) on random programs, at every
+    /// thread count, with and without relevance pruning; per-predicate
+    /// statistics stay deterministic across thread counts.
+    #[test]
+    fn parallel_engine_agrees_with_sequential_and_reference(
+        specs in prop::collection::vec(
+            (0u8..3, prop::collection::vec((0u8..5, 0u8..4, 0u8..4), 1..4),
+             any::<bool>(), 0u8..3, 0u8..4, 0u8..4),
+            1..6,
+        ),
+        atoms in prop::collection::vec((0u8..6, 0u8..4, 0u8..4), 0..10),
+    ) {
+        let q = build_program(&specs);
+        let data = build_data(&atoms);
+        let db = Database::new(&data);
+        let opts = EvalOptions::default();
+        let sequential = evaluate_on(&q, &db, &opts).unwrap();
+        let reference = evaluate_reference(&q, &data, &opts).unwrap();
+        prop_assert_eq!(&sequential.answers, &reference.answers);
+        for prune in [false, true] {
+            let mut stats_fingerprint = None;
+            for threads in test_threads() {
+                let cfg = EngineConfig { threads, prune, chunk_min_rows: 2, ..EngineConfig::default() };
+                let res = evaluate_engine_on(&q, &db, &opts, &cfg).unwrap();
+                prop_assert_eq!(
+                    &res.answers, &sequential.answers,
+                    "threads={} prune={}", threads, prune
+                );
+                if !prune {
+                    prop_assert_eq!(&res.stats.per_predicate, &sequential.stats.per_predicate);
+                } else {
+                    prop_assert!(res.stats.generated_tuples <= sequential.stats.generated_tuples);
+                }
+                let fp = (res.stats.generated_tuples, res.stats.per_predicate.clone());
+                match &stats_fingerprint {
+                    None => stats_fingerprint = Some(fp),
+                    Some(prev) => prop_assert_eq!(
+                        prev, &fp,
+                        "stats must not depend on the thread count (prune={})", prune
+                    ),
+                }
+            }
+        }
+    }
 
     /// The indexed engine over the shared `Database` computes exactly the
     /// answers of the seed hash-set engine (which re-scans the

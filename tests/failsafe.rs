@@ -218,6 +218,28 @@ fn run_cli(args: &[&str]) -> (i32, String, String) {
 }
 
 #[test]
+fn cli_threads_and_pruning_flags_answer_identically() {
+    let fx = Fixture::new("threads");
+    let o = fx.file("o.owlql", "A SubClassOf exists R\nP SubPropertyOf R\n");
+    let q = fx.file("q.cq", "q(x) :- R(x, y)");
+    let d = fx.file("d.abox", "A(a)\nP(b, c)\nR(c, d)\n");
+    let base = ["answer", "--ontology", &o, "--query", &q, "--data", &d, "--oracle"];
+    let mut outputs = Vec::new();
+    for extra in [&[][..], &["--threads", "4"][..], &["--threads", "0", "--no-prune"][..]] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend_from_slice(extra);
+        let (code, out, err) = run_cli(&args);
+        assert_eq!(code, 0, "args {args:?}, stderr: {err}");
+        assert!(err.contains("oracle agrees"), "stderr: {err}");
+        outputs.push(out);
+    }
+    assert!(outputs.iter().all(|o| o == &outputs[0]), "answers differ across engines");
+    // A malformed thread count is a usage error.
+    let (code, _, _) = run_cli(&["answer", "--threads", "many"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
 fn cli_rejects_unknown_commands_and_flags_with_usage() {
     let (code, _, err) = run_cli(&["frobnicate"]);
     assert_eq!(code, 2);
