@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig1] [fig2] [table2] [table3] [table4] [table5]
-//!             [bencheval] [all]
+//!             [bencheval] [benchguard] [all]
 //!             [--scale S] [--max-atoms N] [--timeout-secs T] [--csv DIR]
 //!             [--threads N]
 //! ```
@@ -18,6 +18,11 @@
 //!   (pruned, `--threads` workers) over the Table 2 datasets, written as
 //!   JSON to `BENCH_eval.json` in the current directory, with every row
 //!   cross-checked against the budgeted chase oracle;
+//! * `benchguard` — re-measures the `BENCH_eval.json` cells on the current
+//!   build and fails (exit 1) if any cell derives a different tuple count
+//!   or regresses measurably in time — the guard that the compiled-out
+//!   fault-injection sites really are no-ops (run **without**
+//!   `--features faults`; not part of `all`);
 //! * defaults: `--scale 0.05 --max-atoms 15 --timeout-secs 10 --threads 4`.
 //!
 //! Absolute numbers differ from the paper (different machine, a naive
@@ -110,6 +115,156 @@ fn main() {
     if wants(&cfg, "bencheval") {
         bencheval(&cfg);
     }
+    // Deliberately not part of `all`: the guard asserts (and can exit
+    // non-zero), while `all` regenerates documentation artefacts.
+    if cfg.sections.iter().any(|s| s == "benchguard") {
+        benchguard(&cfg);
+    }
+}
+
+/// One committed `BENCH_eval.json` cell, keyed by (dataset, sequence,
+/// atoms, strategy), with the baseline numbers of the `pruned` engine.
+struct BaselineCell {
+    dataset: String,
+    sequence: usize,
+    atoms: usize,
+    strategy: String,
+    pruned_secs: f64,
+    pruned_generated: u64,
+}
+
+/// Extracts the text of `"key": <value>` from `chunk` (the value up to the
+/// next `,` or closing brace). The JSON is our own `bencheval` output, so
+/// a scanner is enough — no parser dependency.
+fn json_value<'a>(chunk: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[start..];
+    if let Some(inner) = rest.strip_prefix('{') {
+        return Some(&inner[..inner.find('}')?]);
+    }
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn parse_baseline(json: &str) -> Vec<BaselineCell> {
+    let mut cells = Vec::new();
+    // Row chunks start at every `"dataset"` key; the config header has none.
+    for chunk in json.split("\"dataset\"").skip(1) {
+        let chunk = format!("\"dataset\"{chunk}");
+        let parse = || -> Option<BaselineCell> {
+            let pruned = json_value(&chunk, "pruned")?;
+            if pruned.trim() == "null" {
+                return None;
+            }
+            Some(BaselineCell {
+                dataset: json_value(&chunk, "dataset")?.trim_matches('"').to_owned(),
+                sequence: json_value(&chunk, "sequence")?.parse().ok()?,
+                atoms: json_value(&chunk, "atoms")?.parse().ok()?,
+                strategy: json_value(&chunk, "strategy")?.trim_matches('"').to_owned(),
+                pruned_secs: json_value(pruned, "seconds")?.parse().ok()?,
+                pruned_generated: json_value(pruned, "generated_tuples")?.parse().ok()?,
+            })
+        };
+        if let Some(cell) = parse() {
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// Re-measures every committed `BENCH_eval.json` cell with the pruned
+/// goal-directed engine and compares against the baseline: tuple counts
+/// must match exactly (the injection sites must not change semantics) and
+/// the best-of-3 time must stay within a generous regression bound
+/// (`2.5× + 50 ms`, absorbing machine noise while catching a forgotten
+/// always-on fault check in a hot loop).
+fn benchguard(cfg: &Config) {
+    let json = std::fs::read_to_string("BENCH_eval.json").unwrap_or_else(|e| {
+        eprintln!("error: benchguard needs the committed BENCH_eval.json in the cwd: {e}");
+        std::process::exit(2);
+    });
+    let baseline = parse_baseline(&json);
+    if baseline.is_empty() {
+        eprintln!("error: no baseline cells found in BENCH_eval.json");
+        std::process::exit(2);
+    }
+    // Cells are only comparable at the scale they were recorded at.
+    let scale = json_value(&json, "scale").and_then(|s| s.parse().ok()).unwrap_or(cfg.scale);
+    let sys = paper_system();
+    let opts = EvalOptions { timeout: Some(cfg.timeout), ..EvalOptions::default() };
+    let pruned_cfg = EngineConfig { threads: 1, ..EngineConfig::default() };
+    println!(
+        "== benchguard: current build vs committed BENCH_eval.json \
+         (pruned engine, scale {scale}) ==\n"
+    );
+    let header: Vec<String> =
+        ["dataset", "query", "strategy", "base s", "now s", "ratio", "tuples", "verdict"]
+            .map(String::from)
+            .to_vec();
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    let mut worst_ratio = 0.0f64;
+    for cell in &baseline {
+        let ds = cell.dataset.trim_end_matches(".ttl").parse::<usize>().unwrap_or(1) - 1;
+        let data = dataset(&sys, ds, scale);
+        let db = Database::new(&data);
+        let q = prefix_query(&sys, cell.sequence - 1, cell.atoms);
+        let strategy = EVAL_STRATEGIES
+            .iter()
+            .chain(FIG2_STRATEGIES.iter())
+            .find(|s| s.to_string() == cell.strategy)
+            .copied();
+        let Some(strategy) = strategy else {
+            eprintln!("skipping unknown strategy {}", cell.strategy);
+            continue;
+        };
+        let Ok(prepared) = sys.prepare(&q, strategy) else {
+            continue;
+        };
+        let Some((secs, res)) =
+            time_engine(&mut || prepared.execute_engine(&db, &opts, &pruned_cfg).ok())
+        else {
+            failures += 1;
+            rows.push(vec![
+                cell.dataset.clone(),
+                format!("s{}:{}", cell.sequence, cell.atoms),
+                cell.strategy.clone(),
+                format!("{:.3}", cell.pruned_secs),
+                ">limit".into(),
+                "-".into(),
+                "-".into(),
+                "BUDGET".into(),
+            ]);
+            continue;
+        };
+        let ratio = secs / cell.pruned_secs.max(1e-9);
+        worst_ratio = worst_ratio.max(ratio);
+        let tuples_ok = res.stats.generated_tuples as u64 == cell.pruned_generated;
+        let time_ok = secs <= cell.pruned_secs * 2.5 + 0.05;
+        if !(tuples_ok && time_ok) {
+            failures += 1;
+        }
+        rows.push(vec![
+            cell.dataset.clone(),
+            format!("s{}:{}", cell.sequence, cell.atoms),
+            cell.strategy.clone(),
+            format!("{:.3}", cell.pruned_secs),
+            format!("{secs:.3}"),
+            format!("{ratio:.2}x"),
+            if tuples_ok { "match".into() } else { "DIFFER".into() },
+            if tuples_ok && time_ok { "ok".into() } else { "REGRESSION".into() },
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+    if failures > 0 {
+        eprintln!("benchguard: {failures} of {} cells regressed", rows.len());
+        std::process::exit(1);
+    }
+    println!(
+        "benchguard: ok — {} cells, worst time ratio {worst_ratio:.2}x, all tuple counts match",
+        rows.len()
+    );
 }
 
 /// One engine measurement: best-of-3 wall clock plus the result stats.

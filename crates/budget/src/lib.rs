@@ -34,6 +34,11 @@ pub enum Resource {
     Tuples,
     /// The cap on materialised chase elements (canonical model) was hit.
     ChaseElements,
+    /// The run was cancelled cooperatively (e.g. a sibling worker
+    /// panicked and the pool must stop); not a resource cap at all, but
+    /// carried in the same channel so every budget check doubles as a
+    /// cancellation point.
+    Cancelled,
 }
 
 impl fmt::Display for Resource {
@@ -44,6 +49,7 @@ impl fmt::Display for Resource {
             Resource::Clauses => write!(f, "clauses"),
             Resource::Tuples => write!(f, "tuples"),
             Resource::ChaseElements => write!(f, "chase elements"),
+            Resource::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -66,6 +72,7 @@ impl fmt::Display for BudgetExceeded {
             Resource::Time => {
                 write!(f, "budget exceeded: {}ms elapsed of {}ms allowed", self.spent, self.limit)
             }
+            Resource::Cancelled => write!(f, "evaluation cancelled after a sibling failure"),
             r => write!(f, "budget exceeded: {} {} of {} allowed", self.spent, r, self.limit),
         }
     }
@@ -408,6 +415,17 @@ impl SharedBudget {
         first
     }
 
+    /// Cancels the pool cooperatively: poisons it with a
+    /// [`Resource::Cancelled`] trip so every worker's next budget check
+    /// fails fast. Used by the panic-isolation path — a worker that
+    /// catches a sibling's panic calls this so the rest of the pool
+    /// stops instead of finishing doomed work. Like [`SharedBudget::trip`],
+    /// an earlier trip wins: cancelling an already-poisoned pool keeps
+    /// the original error.
+    pub fn cancel(&self) -> BudgetExceeded {
+        self.trip(BudgetExceeded { resource: Resource::Cancelled, spent: 0, limit: 0 })
+    }
+
     /// The error another worker tripped on, if any.
     pub fn tripped(&self) -> Option<BudgetExceeded> {
         if !self.poisoned.load(Ordering::Acquire) {
@@ -730,6 +748,31 @@ mod tests {
             }
         }
         assert_eq!(result.unwrap_err().resource, Resource::Steps);
+    }
+
+    #[test]
+    fn cancel_poisons_the_pool_for_every_worker() {
+        let b = Budget::unlimited();
+        let shared = b.share();
+        assert!(shared.tripped().is_none());
+        let e = shared.cancel();
+        assert_eq!(e.resource, Resource::Cancelled);
+        // Every budget check on any worker now fails fast with Cancelled.
+        let mut w = WorkerBudget::new(&shared);
+        assert_eq!(w.flush().unwrap_err().resource, Resource::Cancelled);
+        assert_eq!(w.charge_tuples(1).unwrap_err().resource, Resource::Cancelled);
+        assert_eq!(shared.check_tuple_headroom(0).unwrap_err().resource, Resource::Cancelled);
+    }
+
+    #[test]
+    fn cancel_does_not_overwrite_an_earlier_trip() {
+        let b = Budget::unlimited().max_tuples(1);
+        let shared = b.share();
+        let first = shared.charge_tuples(2).unwrap_err();
+        assert_eq!(first.resource, Resource::Tuples);
+        // Cancelling afterwards reports — and preserves — the first trip.
+        assert_eq!(shared.cancel(), first);
+        assert_eq!(shared.tripped(), Some(first));
     }
 
     #[test]

@@ -28,6 +28,23 @@
 //! assert_eq!(answers.tuples().len(), 1);
 //! ```
 
+/// Fault-injection shim: with the `faults` feature, chase materialisation
+/// calls [`obda_faults::inject`] at its registered site; without it the
+/// site is an empty inline function the optimiser erases.
+pub(crate) mod fault {
+    #[cfg(feature = "faults")]
+    pub use obda_faults::{inject, site};
+
+    #[cfg(not(feature = "faults"))]
+    #[inline(always)]
+    pub fn inject(_site: &'static str) {}
+
+    #[cfg(not(feature = "faults"))]
+    pub mod site {
+        pub const CHASE_STEP: &str = "chase::materialise_step";
+    }
+}
+
 pub mod answer;
 pub mod homomorphism;
 pub mod linear_walk;

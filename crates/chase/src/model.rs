@@ -118,12 +118,17 @@ impl CanonicalModel {
             exceeded: e,
             elements: b.spent_chase_elements() as usize,
         };
+        // One injection point per materialisation phase; each sits before
+        // the phase's work, so an unwind leaves no partial model behind.
+        crate::fault::inject(crate::fault::site::CHASE_STEP);
         let taxonomy = ontology.taxonomy_budgeted(budget).map_err(|e| interrupted(e, budget))?;
+        crate::fault::inject(crate::fault::site::CHASE_STEP);
         let arena = WordArena::new_budgeted(&taxonomy, bound, budget)
             .map_err(|e| interrupted(e, budget))?;
         budget
             .charge_chase_elements(data.num_individuals() as u64)
             .map_err(|e| interrupted(e, budget))?;
+        crate::fault::inject(crate::fault::site::CHASE_STEP);
         let completed =
             data.complete_budgeted(&taxonomy, budget).map_err(|e| interrupted(e, budget))?;
         let exists_class =

@@ -8,13 +8,18 @@
 //!               [--strategy adaptive] [--oracle] [--timeout-secs N]
 //!               [--budget-secs N] [--budget-clauses N] [--budget-tuples N]
 //!               [--budget-steps N] [--budget-chase N] [--no-fallback]
-//!               [--threads N] [--no-prune]
+//!               [--threads N] [--no-prune] [--retries N]
+//!               [--max-concurrency N]
 //! ```
 //!
 //! `answer` evaluates with the goal-directed engine: the rewriting is
 //! relevance-pruned towards the goal (disable with `--no-prune`) and
 //! evaluated stratum-by-stratum on `--threads N` workers (default 1;
-//! `0` = one per CPU) sharing one resource budget.
+//! `0` = one per CPU) sharing one resource budget. Requests run through
+//! the panic-isolated query service: transient faults are retried up to
+//! `--retries N` times (default 2) before degrading down the fallback
+//! ladder, and `--max-concurrency N` (default 1) bounds the service's
+//! admission gate.
 //!
 //! Strategies: `lin`, `log`, `tw`, `twstar`, `ucq`, `twucq`, `presto`,
 //! `adaptive` (default).
@@ -31,9 +36,12 @@
 //! | 5    | evaluation failed (not a budget trip)                     |
 //! | 6    | resource budget exhausted (every fallback attempt, too)   |
 //! | 7    | oracle disagreement (`--oracle`)                          |
+//! | 8    | a panic was caught and isolated inside the pipeline       |
+//! | 9    | the query service refused admission (overloaded)          |
 
 use obda::budget::BudgetSpec;
-use obda::{ObdaError, ObdaSystem, Strategy};
+use obda::cq::query::Cq;
+use obda::{ObdaError, ObdaSystem, QueryService, RetryPolicy, ServiceConfig, Strategy};
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::program::ProgramDisplay;
 use std::process::ExitCode;
@@ -49,6 +57,8 @@ struct Args {
     no_fallback: bool,
     spec: BudgetSpec,
     engine: EngineConfig,
+    retries: Option<u32>,
+    max_concurrency: Option<usize>,
 }
 
 fn usage() -> ExitCode {
@@ -57,7 +67,7 @@ fn usage() -> ExitCode {
          \x20      [--data FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
          \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
          \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]\n\
-         \x20      [--threads N] [--no-prune]"
+         \x20      [--threads N] [--no-prune] [--retries N] [--max-concurrency N]"
     );
     ExitCode::from(2)
 }
@@ -92,6 +102,8 @@ fn parse_args() -> Option<Args> {
         no_fallback: false,
         spec: BudgetSpec::unlimited(),
         engine: EngineConfig::default(),
+        retries: None,
+        max_concurrency: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -116,6 +128,14 @@ fn parse_args() -> Option<Args> {
             "--budget-chase" => args.spec.max_chase_elements = Some(argv.next()?.parse().ok()?),
             "--threads" => args.engine.threads = argv.next()?.parse().ok()?,
             "--no-prune" => args.engine.prune = false,
+            "--retries" => args.retries = Some(argv.next()?.parse().ok()?),
+            "--max-concurrency" => {
+                let n: usize = argv.next()?.parse().ok()?;
+                if n == 0 {
+                    return None; // a zero-slot service could admit nothing
+                }
+                args.max_concurrency = Some(n);
+            }
             _ => return None,
         }
     }
@@ -136,6 +156,10 @@ enum CliError {
     Budget(String),
     /// The rewriting disagrees with the chase oracle — exit 7.
     Oracle(String),
+    /// A panic was caught and isolated inside the pipeline — exit 8.
+    Panic(String),
+    /// The query service refused admission (at capacity) — exit 9.
+    Overloaded(String),
 }
 
 impl CliError {
@@ -147,6 +171,8 @@ impl CliError {
             CliError::Eval(_) => 5,
             CliError::Budget(_) => 6,
             CliError::Oracle(_) => 7,
+            CliError::Panic(_) => 8,
+            CliError::Overloaded(_) => 9,
         })
     }
 
@@ -157,7 +183,9 @@ impl CliError {
             | CliError::Rewrite(m)
             | CliError::Eval(m)
             | CliError::Budget(m)
-            | CliError::Oracle(m) => m,
+            | CliError::Oracle(m)
+            | CliError::Panic(m)
+            | CliError::Overloaded(m) => m,
         }
     }
 }
@@ -173,6 +201,11 @@ impl From<ObdaError> for CliError {
             ObdaError::Rewrite(_) => CliError::Rewrite(msg),
             ObdaError::Eval(_) => CliError::Eval(msg),
             ObdaError::Chase(_) => CliError::Budget(msg),
+            // A transient fault that survived every retry behaves like an
+            // exhausted evaluation; the dedicated codes cover the other two.
+            ObdaError::Transient { .. } => CliError::Eval(msg),
+            ObdaError::Internal { .. } => CliError::Panic(msg),
+            ObdaError::Overloaded { .. } => CliError::Overloaded(msg),
         }
     }
 }
@@ -212,72 +245,111 @@ fn run(args: &Args) -> Result<(), CliError> {
         }
         "answer" => {
             let data = system.parse_data(&read(&args.data, "data")?)?;
-            let (result, strategy_used) = if args.no_fallback {
-                let res = system.answer_with_budget_engine(
-                    &query,
-                    &data,
-                    args.strategy,
-                    &args.spec,
-                    &args.engine,
-                )?;
-                (res, args.strategy)
-            } else {
-                let report = system.answer_with_fallback_engine(
-                    &query,
-                    &data,
-                    args.strategy,
-                    &args.spec,
-                    &args.engine,
-                );
-                eprint!("{report}");
-                match report.winning_strategy() {
-                    Some(winner) => match report.into_result() {
-                        Some(res) => (res, winner),
-                        None => {
-                            return Err(CliError::Internal("winner without a result".into()));
-                        }
-                    },
-                    None => {
-                        if report.all_exhausted() {
-                            return Err(CliError::Budget(format!(
-                                "budget exhausted: all {} strategies tripped the budget",
-                                report.attempts.len()
-                            )));
-                        }
-                        let err = report.final_error().ok_or_else(|| {
-                            CliError::Budget(
-                                "the deadline passed before any strategy could run".into(),
-                            )
-                        })?;
-                        return Err(err.into());
-                    }
-                }
-            };
-            for tuple in &result.answers {
-                let names: Vec<&str> = tuple.iter().map(|&c| data.constant_name(c)).collect();
-                println!("({})", names.join(", "));
-            }
-            eprintln!(
-                "# {} answers, {} tuples materialised, strategy {}",
-                result.stats.num_answers, result.stats.generated_tuples, strategy_used
-            );
-            if args.oracle {
-                let mut budget = args.spec.start();
-                let oracle = system.certain_answers_budgeted(&query, &data, &mut budget)?.tuples();
-                if oracle == result.answers {
-                    eprintln!("# oracle agrees ✓");
-                } else {
-                    return Err(CliError::Oracle(format!(
-                        "oracle DISAGREES with the rewriting: {} answers vs {} certain",
-                        result.answers.len(),
-                        oracle.len()
-                    )));
-                }
-            }
-            Ok(())
+            run_answer(args, system, &query, &data)
         }
         _ => unreachable!("parse_args admits only known commands"),
     }
+}
+
+/// Either a bare system (`--no-fallback`) or one wrapped in the
+/// admission-gated query service; the oracle check needs the system back
+/// either way.
+enum Host {
+    Bare(Box<ObdaSystem>),
+    Served(Box<QueryService>),
+}
+
+impl Host {
+    fn system(&self) -> &ObdaSystem {
+        match self {
+            Host::Bare(system) => system,
+            Host::Served(service) => service.system(),
+        }
+    }
+}
+
+fn run_answer(
+    args: &Args,
+    system: ObdaSystem,
+    query: &Cq,
+    data: &obda::owlql::abox::DataInstance,
+) -> Result<(), CliError> {
+    let retry = match args.retries {
+        Some(n) => RetryPolicy::with_retries(n),
+        None => RetryPolicy::default(),
+    };
+    let host = if args.no_fallback {
+        Host::Bare(Box::new(system))
+    } else {
+        Host::Served(Box::new(QueryService::new(
+            system,
+            ServiceConfig {
+                max_concurrency: args.max_concurrency.unwrap_or(1),
+                max_queue: 0,
+                budget: args.spec,
+                retry,
+                engine: Some(args.engine.clone()),
+            },
+        )))
+    };
+    let (result, strategy_used) = match &host {
+        Host::Bare(system) => {
+            let res = system.answer_with_budget_engine(
+                query,
+                data,
+                args.strategy,
+                &args.spec,
+                &args.engine,
+            )?;
+            (res, args.strategy)
+        }
+        Host::Served(service) => {
+            let report = service.answer(query, data, args.strategy)?.report;
+            eprint!("{report}");
+            match report.winning_strategy() {
+                Some(winner) => match report.into_result() {
+                    Some(res) => (res, winner),
+                    None => {
+                        return Err(CliError::Internal("winner without a result".into()));
+                    }
+                },
+                None => {
+                    if report.all_exhausted() {
+                        return Err(CliError::Budget(format!(
+                            "budget exhausted: all {} strategies tripped the budget",
+                            report.attempts.len()
+                        )));
+                    }
+                    let err = report.final_error().ok_or_else(|| {
+                        CliError::Budget("the deadline passed before any strategy could run".into())
+                    })?;
+                    return Err(err.into());
+                }
+            }
+        }
+    };
+    for tuple in &result.answers {
+        let names: Vec<&str> = tuple.iter().map(|&c| data.constant_name(c)).collect();
+        println!("({})", names.join(", "));
+    }
+    eprintln!(
+        "# {} answers, {} tuples materialised, strategy {}",
+        result.stats.num_answers, result.stats.generated_tuples, strategy_used
+    );
+    if args.oracle {
+        let mut budget = args.spec.start();
+        let oracle = host.system().certain_answers_budgeted(query, data, &mut budget)?.tuples();
+        if oracle == result.answers {
+            eprintln!("# oracle agrees ✓");
+        } else {
+            return Err(CliError::Oracle(format!(
+                "oracle DISAGREES with the rewriting: {} answers vs {} certain",
+                result.answers.len(),
+                oracle.len()
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -39,20 +39,26 @@
 
 pub mod complexity;
 pub mod pipeline;
+pub mod service;
 
 pub use complexity::{
     classify, combined_complexity, rewriting_size, Complexity, DepthBound, OmqClassification,
     PeSize, QueryClass, Succinctness,
 };
 pub use pipeline::{
-    Attempt, AttemptOutcome, ObdaError, ObdaSystem, PipelineReport, PreparedOmq, Strategy,
+    Attempt, AttemptOutcome, ObdaError, ObdaSystem, PipelineReport, PreparedOmq, RetryPolicy,
+    Strategy,
 };
+pub use service::{QueryService, ServiceConfig, ServiceReport};
 
 // Substrate re-exports.
 pub use obda_budget as budget;
 pub use obda_chase as chase;
 pub use obda_cq as cq;
 pub use obda_datagen as datagen;
+/// Deterministic fault-injection registry (only with the `faults` feature).
+#[cfg(feature = "faults")]
+pub use obda_faults as faults;
 pub use obda_ndl as ndl;
 pub use obda_owlql as owlql;
 pub use obda_rewrite as rewrite;

@@ -25,8 +25,116 @@ use obda_rewrite::{
     LinRewriter, LogRewriter, PrestoLikeRewriter, TwRewriter, TwUcqRewriter, UcqRewriter,
 };
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Renders a panic payload for error reports: string payloads verbatim,
+/// anything else a placeholder.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Classifies a payload caught by `catch_unwind` at the isolation
+/// boundary `site`: an injected transient fault becomes
+/// [`ObdaError::Transient`] (retryable), everything else
+/// [`ObdaError::Internal`] (a bug).
+fn error_from_panic(site: &'static str, payload: Box<dyn std::any::Any + Send>) -> ObdaError {
+    #[cfg(feature = "faults")]
+    if let Some(fault) = payload.downcast_ref::<obda_faults::FaultError>() {
+        return ObdaError::Transient { site: fault.site.to_owned() };
+    }
+    ObdaError::Internal { site: site.to_owned(), payload: describe_panic(payload.as_ref()) }
+}
+
+/// Runs one pipeline request behind a panic-isolation boundary. An unwind
+/// out of any stage — an injected fault, or a genuine bug anywhere in
+/// rewriting or evaluation — becomes a typed [`ObdaError`] instead of
+/// propagating into the caller (for a service worker, that would mean
+/// taking the whole process down). `AssertUnwindSafe` is sound because
+/// every structure the request was building is discarded with the
+/// request: the shared [`Database`] is only read, and mutable state
+/// (budgets, relations under construction) dies with the closure.
+pub(crate) fn isolate<T>(
+    site: &'static str,
+    f: impl FnOnce() -> Result<T, ObdaError>,
+) -> Result<T, ObdaError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(error_from_panic(site, payload)),
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 finaliser) driving the retry
+/// backoff jitter — no global RNG, so a seeded run backs off identically
+/// every time.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Retry policy for transient faults inside the fallback ladder: a
+/// strategy attempt that fails with [`ObdaError::Transient`] is retried
+/// up to `max_retries` times with decorrelated-jitter backoff (each sleep
+/// drawn uniformly from `[base_backoff, 3 × previous]`, capped at
+/// `max_backoff` and at the remaining shared deadline) before the ladder
+/// degrades to the next strategy. Budget trips, refusals and panics are
+/// never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per strategy beyond the first try.
+    pub max_retries: u32,
+    /// Lower bound (and first sleep) of the backoff range.
+    pub base_backoff: Duration,
+    /// Upper cap on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            seed: 0x0bda_5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (fail straight down the ladder).
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// A default policy with the given retry count.
+    pub fn with_retries(max_retries: u32) -> Self {
+        RetryPolicy { max_retries, ..RetryPolicy::default() }
+    }
+
+    /// The `attempt_index`-th backoff sleep given the previous one:
+    /// deterministic decorrelated jitter in `[base, min(cap, 3·prev)]`.
+    fn next_backoff(&self, attempt_index: u64, prev: Duration) -> Duration {
+        let cap = self.max_backoff.as_nanos() as u64;
+        let lo = (self.base_backoff.as_nanos() as u64).min(cap);
+        let hi = (prev.as_nanos() as u64).saturating_mul(3).clamp(lo, cap);
+        if hi <= lo {
+            return Duration::from_nanos(lo);
+        }
+        let r = splitmix64(self.seed ^ attempt_index.wrapping_mul(0x9e3779b97f4a7c15));
+        Duration::from_nanos(lo + r % (hi - lo + 1))
+    }
+}
 
 /// The rewriting strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +220,29 @@ pub enum ObdaError {
     Eval(EvalError),
     /// The chase oracle was interrupted by a resource budget.
     Chase(ChaseError),
+    /// A transient fault interrupted the request; retrying the same
+    /// request may succeed. Raised by `obda-faults` injection sites (and
+    /// reserved for recoverable substrate hiccups).
+    Transient {
+        /// The injection site (or substrate component) that faulted.
+        site: String,
+    },
+    /// A panic escaped a pipeline stage and was caught at an isolation
+    /// boundary: a bug, not a resource problem. Never retried.
+    Internal {
+        /// The isolation boundary that caught the panic.
+        site: String,
+        /// The panic message, when it was a string payload.
+        payload: String,
+    },
+    /// The [`crate::service::QueryService`] refused admission: capacity
+    /// and wait queue are full. Shed load and retry later.
+    Overloaded {
+        /// Requests being answered when admission was refused.
+        active: usize,
+        /// Requests already waiting when admission was refused.
+        queued: usize,
+    },
 }
 
 impl ObdaError {
@@ -125,7 +256,17 @@ impl ObdaError {
                 matches!(e, EvalError::Timeout(_) | EvalError::TupleLimit(_))
             }
             ObdaError::Chase(_) => true,
+            ObdaError::Transient { .. } => false,
+            ObdaError::Internal { .. } => false,
+            ObdaError::Overloaded { .. } => false,
         }
+    }
+
+    /// Whether retrying the same request may succeed: transient faults
+    /// are retryable, everything else (budget trips, refusals, panics,
+    /// overload) is not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ObdaError::Transient { .. })
     }
 }
 
@@ -136,6 +277,13 @@ impl fmt::Display for ObdaError {
             ObdaError::Rewrite(e) => write!(f, "{e}"),
             ObdaError::Eval(e) => write!(f, "{e}"),
             ObdaError::Chase(e) => write!(f, "{e}"),
+            ObdaError::Transient { site } => write!(f, "transient fault at {site}"),
+            ObdaError::Internal { site, payload } => {
+                write!(f, "internal error: panic caught at {site}: {payload}")
+            }
+            ObdaError::Overloaded { active, queued } => {
+                write!(f, "overloaded: {active} active and {queued} queued requests")
+            }
         }
     }
 }
@@ -154,7 +302,14 @@ impl From<RewriteError> for ObdaError {
 }
 impl From<EvalError> for ObdaError {
     fn from(e: EvalError) -> Self {
-        ObdaError::Eval(e)
+        // Lift the evaluator's fault/panic classes into the pipeline's
+        // own, so callers see one taxonomy regardless of which isolation
+        // boundary (engine worker or pipeline entry) caught the unwind.
+        match e {
+            EvalError::Transient(site) => ObdaError::Transient { site: site.to_owned() },
+            EvalError::Internal { site, payload } => ObdaError::Internal { site, payload },
+            other => ObdaError::Eval(other),
+        }
     }
 }
 impl From<ChaseError> for ObdaError {
@@ -168,6 +323,9 @@ impl From<ChaseError> for ObdaError {
 pub struct Attempt {
     /// The strategy tried.
     pub strategy: Strategy,
+    /// Which try of the strategy this was: `0` for the first, `n` for
+    /// the `n`-th transient-fault retry.
+    pub retry: u32,
     /// How the attempt ended.
     pub outcome: AttemptOutcome,
     /// Clauses of the rewriting (final on success, partial on a budgeted
@@ -186,6 +344,20 @@ pub enum AttemptOutcome {
     RewriteFailed(RewriteError),
     /// Rewriting succeeded but evaluation failed.
     EvalFailed(EvalError),
+    /// A transient fault interrupted the attempt; the [`RetryPolicy`]
+    /// decides whether it is retried before the ladder degrades.
+    Transient {
+        /// The injection site that faulted.
+        site: String,
+    },
+    /// A panic was caught at an isolation boundary during the attempt.
+    /// Never retried — it indicates a bug, not a resource problem.
+    Panicked {
+        /// The isolation boundary that caught the panic.
+        site: String,
+        /// The panic message, when it was a string payload.
+        payload: String,
+    },
 }
 
 /// A structured account of a fallback run: every strategy attempted, in
@@ -224,8 +396,8 @@ impl PipelineReport {
     }
 
     /// Whether every attempt failed on a resource budget (no structural
-    /// refusal and no success) — the "the problem instance is too big for
-    /// the budget" verdict.
+    /// refusal, no fault, no panic and no success) — the "the problem
+    /// instance is too big for the budget" verdict.
     pub fn all_exhausted(&self) -> bool {
         self.winner.is_none()
             && self.attempts.iter().all(|a| match &a.outcome {
@@ -234,7 +406,15 @@ impl PipelineReport {
                 AttemptOutcome::EvalFailed(e) => {
                     matches!(e, EvalError::Timeout(_) | EvalError::TupleLimit(_))
                 }
+                AttemptOutcome::Transient { .. } => false,
+                AttemptOutcome::Panicked { .. } => false,
             })
+    }
+
+    /// Number of transient-fault retries across the whole run (attempts
+    /// with `retry > 0`).
+    pub fn num_retries(&self) -> usize {
+        self.attempts.iter().filter(|a| a.retry > 0).count()
     }
 
     /// The last attempt's error as an [`ObdaError`], when no strategy won.
@@ -246,6 +426,10 @@ impl PipelineReport {
             AttemptOutcome::Success(_) => None,
             AttemptOutcome::RewriteFailed(e) => Some(ObdaError::Rewrite(e.clone())),
             AttemptOutcome::EvalFailed(e) => Some(ObdaError::Eval(e.clone())),
+            AttemptOutcome::Transient { site } => Some(ObdaError::Transient { site: site.clone() }),
+            AttemptOutcome::Panicked { site, payload } => {
+                Some(ObdaError::Internal { site: site.clone(), payload: payload.clone() })
+            }
         }
     }
 }
@@ -259,11 +443,16 @@ impl fmt::Display for PipelineReport {
                 }
                 AttemptOutcome::RewriteFailed(e) => format!("rewrite failed: {e}"),
                 AttemptOutcome::EvalFailed(e) => format!("eval failed: {e}"),
+                AttemptOutcome::Transient { site } => format!("transient fault at {site}"),
+                AttemptOutcome::Panicked { site, payload } => {
+                    format!("panicked at {site}: {payload}")
+                }
             };
             let marker = if Some(i) == self.winner { "*" } else { " " };
+            let retry = if a.retry > 0 { format!(" (retry {})", a.retry) } else { String::new() };
             writeln!(
                 f,
-                "{marker} {}: {verdict} [{:.1} ms]",
+                "{marker} {}{retry}: {verdict} [{:.1} ms]",
                 a.strategy,
                 a.duration.as_secs_f64() * 1e3
             )?;
@@ -418,10 +607,12 @@ impl ObdaSystem {
         strategy: Strategy,
         spec: &BudgetSpec,
     ) -> Result<EvalResult, ObdaError> {
-        let mut budget = spec.start();
-        let rewriting = self.rewrite_budgeted(query, strategy, &mut budget)?;
-        let db = Database::new(data);
-        Ok(evaluate_on_budgeted(&rewriting, &db, &mut budget)?)
+        isolate("pipeline::answer_with_budget", || {
+            let mut budget = spec.start();
+            let rewriting = self.rewrite_budgeted(query, strategy, &mut budget)?;
+            let db = Database::new(data);
+            Ok(evaluate_on_budgeted(&rewriting, &db, &mut budget)?)
+        })
     }
 
     /// [`ObdaSystem::answer_with_budget`] evaluated by the parallel,
@@ -438,19 +629,23 @@ impl ObdaSystem {
         spec: &BudgetSpec,
         cfg: &EngineConfig,
     ) -> Result<EvalResult, ObdaError> {
-        let mut budget = spec.start();
-        let rewriting = self.rewrite_budgeted(query, strategy, &mut budget)?;
-        let db = Database::new(data);
-        Ok(evaluate_engine_on_budgeted(&rewriting, &db, &mut budget, cfg)?)
+        isolate("pipeline::answer_with_budget_engine", || {
+            let mut budget = spec.start();
+            let rewriting = self.rewrite_budgeted(query, strategy, &mut budget)?;
+            let db = Database::new(data);
+            Ok(evaluate_engine_on_budgeted(&rewriting, &db, &mut budget, cfg)?)
+        })
     }
 
     /// Answers the OMQ with graceful degradation: tries `preferred` under
     /// the budget; when it exceeds its rewriting or evaluation budget (or
     /// is structurally inapplicable), automatically retries each strategy
-    /// on the [`Strategy::fallback_ladder`]. Every attempt gets fresh
-    /// counters but the *same* absolute wall-clock deadline, so the whole
-    /// run respects the spec's timeout. Always terminates; the report lists
-    /// every attempt and the winner, if any.
+    /// on the [`Strategy::fallback_ladder`]. Transient faults are retried
+    /// per the default [`RetryPolicy`] before degrading. Every attempt
+    /// gets fresh counters but the *same* absolute wall-clock deadline,
+    /// so the whole run respects the spec's timeout. Always terminates;
+    /// the report lists every attempt (retries included) and the winner,
+    /// if any.
     pub fn answer_with_fallback(
         &self,
         query: &Cq,
@@ -458,7 +653,7 @@ impl ObdaSystem {
         preferred: Strategy,
         spec: &BudgetSpec,
     ) -> PipelineReport {
-        self.fallback_ladder_run(query, data, preferred, spec, None)
+        self.fallback_ladder_run(query, data, preferred, spec, None, &RetryPolicy::default())
     }
 
     /// [`ObdaSystem::answer_with_fallback`] with every evaluation stage run
@@ -471,9 +666,68 @@ impl ObdaSystem {
         spec: &BudgetSpec,
         cfg: &EngineConfig,
     ) -> PipelineReport {
-        self.fallback_ladder_run(query, data, preferred, spec, Some(cfg))
+        self.fallback_ladder_run(query, data, preferred, spec, Some(cfg), &RetryPolicy::default())
     }
 
+    /// [`ObdaSystem::answer_with_fallback`] with full control: an optional
+    /// engine configuration and an explicit transient-fault [`RetryPolicy`].
+    pub fn answer_with_fallback_policy(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        preferred: Strategy,
+        spec: &BudgetSpec,
+        engine: Option<&EngineConfig>,
+        retry: &RetryPolicy,
+    ) -> PipelineReport {
+        self.fallback_ladder_run(query, data, preferred, spec, engine, retry)
+    }
+
+    /// One isolated try of one strategy: rewrite + evaluate behind a
+    /// `catch_unwind` boundary, classified into an [`AttemptOutcome`].
+    fn run_attempt(
+        &self,
+        query: &Cq,
+        db: &Database,
+        strategy: Strategy,
+        budget: &mut Budget,
+        engine: Option<&EngineConfig>,
+    ) -> (AttemptOutcome, Option<usize>) {
+        let mut clauses = None;
+        let result = {
+            let clauses = &mut clauses;
+            isolate("pipeline::attempt", || {
+                let rewriting = self.rewrite_budgeted(query, strategy, budget)?;
+                *clauses = Some(rewriting.program.num_clauses());
+                let eval = match engine {
+                    Some(cfg) => evaluate_engine_on_budgeted(&rewriting, db, budget, cfg),
+                    None => evaluate_on_budgeted(&rewriting, db, budget),
+                };
+                Ok(eval?)
+            })
+        };
+        let outcome = match result {
+            Ok(res) => AttemptOutcome::Success(res),
+            Err(ObdaError::Rewrite(re)) => {
+                if let RewriteError::BudgetExceeded { clauses: c, .. } = &re {
+                    clauses = Some(*c);
+                }
+                AttemptOutcome::RewriteFailed(re)
+            }
+            Err(ObdaError::Eval(e)) => AttemptOutcome::EvalFailed(e),
+            Err(ObdaError::Transient { site }) => AttemptOutcome::Transient { site },
+            Err(ObdaError::Internal { site, payload }) => {
+                AttemptOutcome::Panicked { site, payload }
+            }
+            // Parse/Chase/Overloaded cannot arise from rewrite+evaluate;
+            // represent them as a zero-size refusal to keep the report
+            // total, matching the pre-retry behaviour.
+            Err(_) => AttemptOutcome::RewriteFailed(RewriteError::TooLarge(0)),
+        };
+        (outcome, clauses)
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal driver behind the public facades
     fn fallback_ladder_run(
         &self,
         query: &Cq,
@@ -481,49 +735,75 @@ impl ObdaSystem {
         preferred: Strategy,
         spec: &BudgetSpec,
         engine: Option<&EngineConfig>,
+        retry: &RetryPolicy,
     ) -> PipelineReport {
         let master = spec.start();
-        let db = Database::new(data);
-        let mut attempts = Vec::new();
-        let mut winner = None;
-        for strategy in preferred.fallback_ladder() {
-            let mut budget = master.renew();
-            if budget.check_time().is_err() {
-                break; // the global deadline has passed: stop trying
-            }
-            let start = Instant::now();
-            let (outcome, clauses) = match self.rewrite_budgeted(query, strategy, &mut budget) {
-                Err(e) => {
-                    // Only rewrite errors can arise here; represent any
-                    // other failure as a zero-size refusal to keep the
-                    // report total.
-                    let re = match e {
-                        ObdaError::Rewrite(re) => re,
-                        _ => RewriteError::TooLarge(0),
-                    };
-                    let clauses = match &re {
-                        RewriteError::BudgetExceeded { clauses, .. } => Some(*clauses),
-                        _ => None,
-                    };
-                    (AttemptOutcome::RewriteFailed(re), clauses)
-                }
-                Ok(rewriting) => {
-                    let n = rewriting.program.num_clauses();
-                    let eval = match engine {
-                        Some(cfg) => evaluate_engine_on_budgeted(&rewriting, &db, &mut budget, cfg),
-                        None => evaluate_on_budgeted(&rewriting, &db, &mut budget),
-                    };
-                    match eval {
-                        Ok(res) => (AttemptOutcome::Success(res), Some(n)),
-                        Err(e) => (AttemptOutcome::EvalFailed(e), Some(n)),
+        // Loading the data into the shared store is itself a faultable step
+        // (it exercises the storage insert path); an unwind here becomes a
+        // single failed pseudo-attempt instead of escaping the pipeline.
+        let load_start = Instant::now();
+        let db = match isolate("pipeline::load_data", || Ok(Database::new(data))) {
+            Ok(db) => db,
+            Err(e) => {
+                let outcome = match e {
+                    ObdaError::Transient { site } => AttemptOutcome::Transient { site },
+                    ObdaError::Internal { site, payload } => {
+                        AttemptOutcome::Panicked { site, payload }
                     }
+                    other => AttemptOutcome::Panicked {
+                        site: "pipeline::load_data".to_owned(),
+                        payload: other.to_string(),
+                    },
+                };
+                let attempt = Attempt {
+                    strategy: preferred,
+                    retry: 0,
+                    outcome,
+                    clauses: None,
+                    duration: load_start.elapsed(),
+                };
+                return PipelineReport { attempts: vec![attempt], winner: None };
+            }
+        };
+        let mut attempts: Vec<Attempt> = Vec::new();
+        let mut winner = None;
+        'ladder: for strategy in preferred.fallback_ladder() {
+            let mut retry_no = 0u32;
+            let mut backoff = retry.base_backoff;
+            loop {
+                let mut budget = master.renew();
+                if budget.check_time().is_err() {
+                    break 'ladder; // the global deadline has passed: stop trying
                 }
-            };
-            let success = matches!(outcome, AttemptOutcome::Success(_));
-            attempts.push(Attempt { strategy, outcome, clauses, duration: start.elapsed() });
-            if success {
-                winner = Some(attempts.len() - 1);
-                break;
+                let start = Instant::now();
+                let (outcome, clauses) =
+                    self.run_attempt(query, &db, strategy, &mut budget, engine);
+                let success = matches!(outcome, AttemptOutcome::Success(_));
+                let transient = matches!(outcome, AttemptOutcome::Transient { .. });
+                attempts.push(Attempt {
+                    strategy,
+                    retry: retry_no,
+                    outcome,
+                    clauses,
+                    duration: start.elapsed(),
+                });
+                if success {
+                    winner = Some(attempts.len() - 1);
+                    break 'ladder;
+                }
+                if !(transient && retry_no < retry.max_retries) {
+                    break; // not retryable (or retries spent): degrade
+                }
+                retry_no += 1;
+                backoff = retry.next_backoff(attempts.len() as u64, backoff);
+                // Sleep never past the shared absolute deadline.
+                let sleep = match master.deadline() {
+                    Some(d) => backoff.min(d.saturating_duration_since(Instant::now())),
+                    None => backoff,
+                };
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
             }
         }
         PipelineReport { attempts, winner }

@@ -1,0 +1,474 @@
+//! A concurrency-limited query service over prepared OMQs.
+//!
+//! [`QueryService`] wraps an [`ObdaSystem`] behind an *admission gate*: at
+//! most `max_concurrency` requests evaluate at once, at most `max_queue`
+//! more may wait for a slot, and anything beyond that is rejected
+//! immediately with the typed [`ObdaError::Overloaded`] — the service
+//! sheds load instead of piling it up. Admitted requests run the full
+//! panic-isolated fallback ladder (with transient-fault retries per the
+//! configured [`RetryPolicy`]) under a fresh per-request [`Budget`], so a
+//! request that faults, panics or exhausts its budget fails *alone*: the
+//! gate slot is released on every exit path and the service keeps
+//! answering.
+//!
+//! The gate is a plain `Mutex` + `Condvar` semaphore with an explicit
+//! waiter count — no async runtime, no extra dependencies — and the wait
+//! is bounded by the request's own wall-clock deadline, so a queued
+//! request can never outlive the budget it would run under.
+
+use crate::pipeline::{ObdaError, ObdaSystem, PipelineReport, PreparedOmq, RetryPolicy, Strategy};
+use obda_budget::BudgetSpec;
+use obda_cq::query::Cq;
+use obda_ndl::engine::EngineConfig;
+use obda_ndl::eval::EvalResult;
+use obda_owlql::abox::DataInstance;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Requests evaluating concurrently; `0` is coerced to `1`.
+    pub max_concurrency: usize,
+    /// Requests allowed to *wait* for a slot beyond the concurrent ones;
+    /// a request arriving with the queue full is rejected immediately.
+    pub max_queue: usize,
+    /// Per-request resource budget (fresh counters per request; the
+    /// wall-clock deadline also bounds the time spent queued).
+    pub budget: BudgetSpec,
+    /// Transient-fault retry policy for the fallback ladder.
+    pub retry: RetryPolicy,
+    /// Engine configuration for evaluation stages; `None` runs the
+    /// sequential evaluator.
+    pub engine: Option<EngineConfig>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrency: 2,
+            max_queue: 8,
+            budget: BudgetSpec::unlimited(),
+            retry: RetryPolicy::default(),
+            engine: None,
+        }
+    }
+}
+
+/// Handle to a query registered with [`QueryService::prepare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(usize);
+
+/// Per-request outcome and statistics returned by the service.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// The full fallback-ladder report (every attempt, retries included).
+    pub report: PipelineReport,
+    /// Time spent waiting for an execution slot before the pipeline ran.
+    pub queue_wait: Duration,
+    /// Total request latency: queue wait plus pipeline execution.
+    pub latency: Duration,
+}
+
+impl ServiceReport {
+    /// The winning evaluation result, if any attempt succeeded.
+    pub fn result(&self) -> Option<&EvalResult> {
+        self.report.result()
+    }
+
+    /// `true` iff some attempt succeeded.
+    pub fn is_success(&self) -> bool {
+        self.report.winner.is_some()
+    }
+
+    /// Number of attempts made (first tries and retries).
+    pub fn attempts(&self) -> usize {
+        self.report.attempts.len()
+    }
+
+    /// Number of attempts that were retries of a transient fault.
+    pub fn retries(&self) -> usize {
+        self.report.num_retries()
+    }
+
+    /// The typed error of the decisive failed attempt, when no attempt
+    /// succeeded (see [`PipelineReport::final_error`]).
+    pub fn final_error(&self) -> Option<ObdaError> {
+        self.report.final_error()
+    }
+}
+
+/// Cumulative service counters (monotone; useful for liveness checks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted and run to completion with a winning attempt.
+    pub succeeded: u64,
+    /// Requests admitted and run to completion without a winner.
+    pub failed: u64,
+    /// Requests rejected at the gate ([`ObdaError::Overloaded`]).
+    pub rejected: u64,
+}
+
+/// The admission gate: a counting semaphore with a bounded waiter queue.
+/// Plain `Mutex` + `Condvar`; both counters live under the one lock so
+/// admission decisions are atomic.
+struct Gate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GateState {
+    active: usize,
+    queued: usize,
+}
+
+/// RAII execution slot; dropping it (on any exit path, unwinds included)
+/// frees the slot and wakes one waiter.
+struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut s = self.gate.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.active = s.active.saturating_sub(1);
+        drop(s);
+        self.gate.freed.notify_one();
+    }
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate { state: Mutex::new(GateState { active: 0, queued: 0 }), freed: Condvar::new() }
+    }
+
+    /// Acquires an execution slot, waiting (up to `deadline`) in the
+    /// bounded queue when all slots are busy. `Err` carries the load
+    /// observed at rejection time.
+    fn acquire(
+        &self,
+        max_active: usize,
+        max_queue: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Permit<'_>, GateState> {
+        let max_active = max_active.max(1);
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.active < max_active {
+            s.active += 1;
+            return Ok(Permit { gate: self });
+        }
+        if s.queued >= max_queue {
+            return Err(*s);
+        }
+        s.queued += 1;
+        loop {
+            s = match deadline {
+                None => self.freed.wait(s).unwrap_or_else(PoisonError::into_inner),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        s.queued = s.queued.saturating_sub(1);
+                        return Err(*s);
+                    }
+                    let (guard, _timed_out) =
+                        self.freed.wait_timeout(s, d - now).unwrap_or_else(PoisonError::into_inner);
+                    guard
+                }
+            };
+            if s.active < max_active {
+                s.queued = s.queued.saturating_sub(1);
+                s.active += 1;
+                return Ok(Permit { gate: self });
+            }
+        }
+    }
+
+    fn load(&self) -> GateState {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A concurrency-limited, panic-isolated query-answering service.
+///
+/// ```
+/// use obda::{ObdaSystem, QueryService, ServiceConfig, Strategy};
+///
+/// let system = ObdaSystem::from_text("A SubClassOf B\n").unwrap();
+/// let service = QueryService::new(system, ServiceConfig::default());
+/// let query = service.system().parse_query("q(x) :- B(x)").unwrap();
+/// let id = service.prepare(&query, Strategy::Tw).unwrap();
+/// let data = service.system().parse_data("A(a)").unwrap();
+/// let report = service.submit(id, &data).unwrap();
+/// assert_eq!(report.result().unwrap().answers.len(), 1);
+/// ```
+pub struct QueryService {
+    system: ObdaSystem,
+    cfg: ServiceConfig,
+    gate: Gate,
+    prepared: RwLock<Vec<Arc<PreparedOmq>>>,
+    succeeded: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl QueryService {
+    /// Builds a service over `system` with the given gate configuration.
+    pub fn new(system: ObdaSystem, cfg: ServiceConfig) -> Self {
+        QueryService {
+            system,
+            cfg,
+            gate: Gate::new(),
+            prepared: RwLock::new(Vec::new()),
+            succeeded: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying system (for parsing, classification, oracles).
+    pub fn system(&self) -> &ObdaSystem {
+        &self.system
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Registers a query: rewrites it once under the per-request budget
+    /// (panic-isolated, like any request) and caches the [`PreparedOmq`]
+    /// for all future [`QueryService::submit`] calls.
+    pub fn prepare(&self, query: &Cq, strategy: Strategy) -> Result<QueryId, ObdaError> {
+        let mut budget = self.cfg.budget.start();
+        let omq = crate::pipeline::isolate("service::prepare", || {
+            self.system.prepare_budgeted(query, strategy, &mut budget)
+        })?;
+        let mut reg = self.prepared.write().unwrap_or_else(PoisonError::into_inner);
+        reg.push(Arc::new(omq));
+        Ok(QueryId(reg.len() - 1))
+    }
+
+    /// The prepared query behind a handle.
+    pub fn prepared(&self, id: QueryId) -> Option<Arc<PreparedOmq>> {
+        self.prepared.read().unwrap_or_else(PoisonError::into_inner).get(id.0).cloned()
+    }
+
+    /// Answers a registered query over `data`: waits for an execution
+    /// slot (bounded queue, bounded by the request deadline), then runs
+    /// the panic-isolated fallback ladder starting from the prepared
+    /// strategy. Returns [`ObdaError::Overloaded`] without running
+    /// anything when the gate refuses admission.
+    pub fn submit(&self, id: QueryId, data: &DataInstance) -> Result<ServiceReport, ObdaError> {
+        let omq = self.prepared(id).ok_or_else(|| ObdaError::Internal {
+            site: "service::submit".to_owned(),
+            payload: format!("unknown query id {}", id.0),
+        })?;
+        self.run(omq.query(), omq.strategy(), data)
+    }
+
+    /// [`QueryService::submit`] for an ad-hoc query (no registration):
+    /// same gate, same isolation, same retries.
+    pub fn answer(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        strategy: Strategy,
+    ) -> Result<ServiceReport, ObdaError> {
+        self.run(query, strategy, data)
+    }
+
+    /// Cumulative counters since construction.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests currently evaluating and currently queued.
+    pub fn load(&self) -> (usize, usize) {
+        let s = self.gate.load();
+        (s.active, s.queued)
+    }
+
+    fn run(
+        &self,
+        query: &Cq,
+        strategy: Strategy,
+        data: &DataInstance,
+    ) -> Result<ServiceReport, ObdaError> {
+        let arrival = Instant::now();
+        let deadline = self.cfg.budget.timeout.map(|t| arrival + t);
+        let permit = match self.gate.acquire(self.cfg.max_concurrency, self.cfg.max_queue, deadline)
+        {
+            Ok(p) => p,
+            Err(seen) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ObdaError::Overloaded { active: seen.active, queued: seen.queued });
+            }
+        };
+        let queue_wait = arrival.elapsed();
+        // The ladder isolates each attempt itself; this outer boundary is
+        // the per-request backstop so nothing can unwind past the permit.
+        let report = crate::pipeline::isolate("service::request", || {
+            Ok(self.system.answer_with_fallback_policy(
+                query,
+                data,
+                strategy,
+                &self.cfg.budget,
+                self.cfg.engine.as_ref(),
+                &self.cfg.retry,
+            ))
+        })?;
+        drop(permit);
+        let counter = if report.winner.is_some() { &self.succeeded } else { &self.failed };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(ServiceReport { report, queue_wait, latency: arrival.elapsed() })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn service(cfg: ServiceConfig) -> QueryService {
+        let system = ObdaSystem::from_text(
+            "Professor SubClassOf exists teaches\n\
+             exists teaches- SubClassOf Course\n",
+        )
+        .unwrap();
+        QueryService::new(system, cfg)
+    }
+
+    #[test]
+    fn prepared_query_answers_through_the_gate() {
+        let svc = service(ServiceConfig::default());
+        let q = svc.system().parse_query("q(x) :- teaches(x, y), Course(y)").unwrap();
+        let id = svc.prepare(&q, Strategy::Tw).unwrap();
+        let data = svc.system().parse_data("Professor(ada)").unwrap();
+        let report = svc.submit(id, &data).unwrap();
+        assert!(report.is_success());
+        assert_eq!(report.result().unwrap().answers.len(), 1);
+        assert_eq!(report.retries(), 0);
+        assert!(report.latency >= report.queue_wait);
+        assert_eq!(svc.stats(), ServiceStats { succeeded: 1, failed: 0, rejected: 0 });
+    }
+
+    #[test]
+    fn unknown_id_is_a_typed_internal_error() {
+        let svc = service(ServiceConfig::default());
+        let data = svc.system().parse_data("Professor(ada)").unwrap();
+        let err = svc.submit(QueryId(42), &data).unwrap_err();
+        assert!(matches!(err, ObdaError::Internal { .. }));
+    }
+
+    #[test]
+    fn gate_rejects_beyond_capacity_and_queue() {
+        // One slot, no queue: while a request holds the slot, a second
+        // request must be rejected with the typed Overloaded error.
+        let svc = Arc::new(service(ServiceConfig {
+            max_concurrency: 1,
+            max_queue: 0,
+            ..ServiceConfig::default()
+        }));
+        let permit = svc.gate.acquire(1, 0, None).unwrap();
+        let q = svc.system().parse_query("q(x) :- Course(x)").unwrap();
+        let data = svc.system().parse_data("Course(c)").unwrap();
+        let err = svc.answer(&q, &data, Strategy::Tw).unwrap_err();
+        match err {
+            ObdaError::Overloaded { active, queued } => {
+                assert_eq!((active, queued), (1, 0));
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        assert_eq!(svc.stats().rejected, 1);
+        drop(permit);
+        // The slot is free again: the same request now succeeds.
+        assert!(svc.answer(&q, &data, Strategy::Tw).unwrap().is_success());
+    }
+
+    #[test]
+    fn queued_request_waits_for_a_slot() {
+        let svc = Arc::new(service(ServiceConfig {
+            max_concurrency: 1,
+            max_queue: 4,
+            ..ServiceConfig::default()
+        }));
+        let q = svc.system().parse_query("q(x) :- Course(x)").unwrap();
+        let data = svc.system().parse_data("Course(c)").unwrap();
+        let gate_held = Arc::new(Barrier::new(2));
+        let holder = {
+            let svc = Arc::clone(&svc);
+            let gate_held = Arc::clone(&gate_held);
+            std::thread::spawn(move || {
+                let permit = svc.gate.acquire(1, 4, None).unwrap();
+                gate_held.wait();
+                std::thread::sleep(Duration::from_millis(30));
+                drop(permit);
+            })
+        };
+        gate_held.wait();
+        // The slot is busy, so this request queues until the holder lets
+        // go — and then runs to completion.
+        let report = svc.answer(&q, &data, Strategy::Tw).unwrap();
+        assert!(report.is_success());
+        assert!(report.queue_wait >= Duration::from_millis(10));
+        holder.join().unwrap();
+    }
+
+    #[test]
+    fn queued_request_times_out_against_its_deadline() {
+        let svc = service(ServiceConfig {
+            max_concurrency: 1,
+            max_queue: 4,
+            budget: BudgetSpec {
+                timeout: Some(Duration::from_millis(20)),
+                ..BudgetSpec::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let _slot = svc.gate.acquire(1, 4, None).unwrap();
+        let q = svc.system().parse_query("q(x) :- Course(x)").unwrap();
+        let data = svc.system().parse_data("Course(c)").unwrap();
+        let err = svc.answer(&q, &data, Strategy::Tw).unwrap_err();
+        assert!(matches!(err, ObdaError::Overloaded { .. }));
+    }
+
+    #[test]
+    fn concurrent_submissions_respect_the_limit() {
+        let svc = Arc::new(service(ServiceConfig {
+            max_concurrency: 2,
+            max_queue: 64,
+            ..ServiceConfig::default()
+        }));
+        let q = svc.system().parse_query("q(x) :- teaches(x, y), Course(y)").unwrap();
+        let id = svc.prepare(&q, Strategy::Tw).unwrap();
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    let data = svc.system().parse_data(&format!("Professor(p{i})")).unwrap();
+                    let report = svc.submit(id, &data).unwrap();
+                    let (active, _) = svc.load();
+                    peak.fetch_max(active, Ordering::Relaxed);
+                    assert!(report.is_success());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Relaxed) <= 2);
+        assert_eq!(svc.stats().succeeded, 8);
+        let (active, queued) = svc.load();
+        assert_eq!((active, queued), (0, 0));
+    }
+}

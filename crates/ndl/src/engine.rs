@@ -31,14 +31,15 @@
 
 use crate::analysis::topological_order;
 use crate::eval::{
-    budget_error, eval_clause_into, join_order, reachable_from_goal, relation, EvalError,
-    EvalOptions, EvalResult, EvalStats, Halt, Row,
+    eval_clause_into, halt_from_panic, halt_to_error, join_order, reachable_from_goal, relation,
+    EvalError, EvalOptions, EvalResult, EvalStats, Halt, Row,
 };
 use crate::program::{BodyAtom, Clause, NdlQuery, PredId, PredKind};
 use crate::relevance::{prune_for_goal, PrunedQuery};
 use crate::storage::{Database, Relation};
 use obda_budget::{Budget, BudgetOps, SharedBudget, WorkerBudget};
 use obda_owlql::abox::ConstId;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
@@ -143,6 +144,7 @@ fn eval_task<B: BudgetOps>(
     outs: &[Mutex<(Relation, usize)>],
     buf: &mut Vec<Row>,
 ) -> Result<(), Halt> {
+    crate::fault::inject(crate::fault::site::ENGINE_CLAUSE_TASK);
     buf.clear();
     eval_clause_into(
         &query.program,
@@ -170,6 +172,30 @@ fn eval_task<B: BudgetOps>(
         }
     }
     Ok(())
+}
+
+/// Runs one task behind a panic-isolation boundary: an unwind out of the
+/// join kernel — an injected fault or a genuine bug — is converted into a
+/// typed [`Halt`] instead of tearing down `std::thread::scope` (which
+/// would re-raise the panic at the join and take the process down with no
+/// typed error). `AssertUnwindSafe` is sound here because a halted task's
+/// partial state is discarded: the budget only ever undercounts, the
+/// output relations are merged row-at-a-time behind their mutex (whose
+/// poison every lock site clears), and the whole attempt is abandoned.
+#[allow(clippy::too_many_arguments)] // mirrors eval_task
+fn eval_task_isolated<B: BudgetOps>(
+    query: &NdlQuery,
+    db: &Database,
+    idb: &[Relation],
+    budget: &mut B,
+    task: &Task<'_>,
+    outs: &[Mutex<(Relation, usize)>],
+    buf: &mut Vec<Row>,
+) -> Result<(), Halt> {
+    match catch_unwind(AssertUnwindSafe(|| eval_task(query, db, idb, budget, task, outs, buf))) {
+        Ok(result) => result,
+        Err(payload) => Err(halt_from_panic("ndl::engine::clause_task", payload)),
+    }
 }
 
 #[allow(clippy::too_many_arguments)] // internal driver; bundling would just rename the args
@@ -295,7 +321,7 @@ fn run(
             let mut buf = Vec::new();
             tasks
                 .iter()
-                .try_for_each(|t| eval_task(query, db, &idb, budget, t, &outs, &mut buf))
+                .try_for_each(|t| eval_task_isolated(query, db, &idb, budget, t, &outs, &mut buf))
                 .err()
         } else {
             let shared: SharedBudget = budget.share();
@@ -311,11 +337,23 @@ fn run(
                             let t = next.fetch_add(1, Ordering::Relaxed);
                             let Some(task) = tasks.get(t) else { break };
                             if let Err(h) =
-                                eval_task(query, db, &idb, &mut wb, task, &outs, &mut buf)
+                                eval_task_isolated(query, db, &idb, &mut wb, task, &outs, &mut buf)
                             {
+                                // Budget halts already poisoned the shared
+                                // budget; a caught panic has not, so cancel
+                                // the pool explicitly — siblings deep in a
+                                // join observe it at their next budget
+                                // check. Record the halt *first* so the
+                                // Cancelled trips it provokes can never be
+                                // reported as the cause.
+                                let cancel = matches!(h, Halt::Fault(_) | Halt::Panic { .. });
                                 let mut slot =
                                     first_halt.lock().unwrap_or_else(PoisonError::into_inner);
                                 slot.get_or_insert(h);
+                                drop(slot);
+                                if cancel {
+                                    shared.cancel();
+                                }
                                 abort.store(true, Ordering::Relaxed);
                                 break;
                             }
@@ -342,10 +380,7 @@ fn run(
         }
         if let Some(halt) = halt {
             let goal_answers = per_pred[query.goal.0 as usize];
-            return Err(match halt {
-                Halt::Budget(e) => budget_error(e, map_stats(&per_pred, goal_answers)),
-                Halt::Unsafe(msg) => EvalError::Unsafe(msg),
-            });
+            return Err(halt_to_error(halt, map_stats(&per_pred, goal_answers)));
         }
     }
 

@@ -80,6 +80,19 @@ pub enum EvalError {
     /// A clause cannot be range-restricted (e.g. an equality between two
     /// never-bound variables).
     Unsafe(String),
+    /// A transient fault (injected via `obda-faults` or raised by a
+    /// recoverable substrate hiccup) interrupted evaluation; retrying the
+    /// same evaluation may succeed. Carries the originating site tag.
+    Transient(&'static str),
+    /// A panic escaped the evaluation kernel and was caught at an
+    /// isolation boundary. Not retryable: it indicates a bug (or an
+    /// injected deliberate panic exercising the isolation path).
+    Internal {
+        /// The isolation boundary that caught the panic.
+        site: String,
+        /// The panic message, when it was a string payload.
+        payload: String,
+    },
 }
 
 impl std::fmt::Display for EvalError {
@@ -93,6 +106,10 @@ impl std::fmt::Display for EvalError {
             }
             EvalError::Recursive => write!(f, "program is recursive"),
             EvalError::Unsafe(msg) => write!(f, "unsafe clause: {msg}"),
+            EvalError::Transient(site) => write!(f, "transient fault at {site}"),
+            EvalError::Internal { site, payload } => {
+                write!(f, "internal error: panic caught at {site}: {payload}")
+            }
         }
     }
 }
@@ -119,11 +136,56 @@ pub(crate) enum Halt {
     /// The shared [`Budget`] tripped (deadline, step cap or tuple cap).
     Budget(BudgetExceeded),
     Unsafe(String),
+    /// A transient injected fault unwound out of the kernel and was
+    /// downcast back to its typed payload at an isolation boundary. Only
+    /// constructed when the `faults` feature compiles the injection
+    /// sites in; always matched so downstream mapping stays total.
+    #[cfg_attr(not(feature = "faults"), allow(dead_code))]
+    Fault(&'static str),
+    /// A genuine panic was caught at an isolation boundary.
+    Panic {
+        site: &'static str,
+        payload: String,
+    },
 }
 
 impl From<BudgetExceeded> for Halt {
     fn from(e: BudgetExceeded) -> Self {
         Halt::Budget(e)
+    }
+}
+
+/// Renders a panic payload for error reports: string payloads verbatim,
+/// anything else a placeholder.
+pub(crate) fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Classifies a payload caught by `catch_unwind` at the isolation
+/// boundary `site`: an injected transient fault becomes [`Halt::Fault`]
+/// (retryable), everything else [`Halt::Panic`] (a bug).
+pub(crate) fn halt_from_panic(site: &'static str, payload: Box<dyn std::any::Any + Send>) -> Halt {
+    #[cfg(feature = "faults")]
+    if let Some(fault) = payload.downcast_ref::<obda_faults::FaultError>() {
+        return Halt::Fault(fault.site);
+    }
+    Halt::Panic { site, payload: describe_panic(payload.as_ref()) }
+}
+
+/// Maps a [`Halt`] onto the public [`EvalError`] taxonomy, attaching the
+/// partial statistics gathered before the interruption.
+pub(crate) fn halt_to_error(halt: Halt, stats: EvalStats) -> EvalError {
+    match halt {
+        Halt::Budget(e) => budget_error(e, stats),
+        Halt::Unsafe(msg) => EvalError::Unsafe(msg),
+        Halt::Fault(site) => EvalError::Transient(site),
+        Halt::Panic { site, payload } => EvalError::Internal { site: site.to_owned(), payload },
     }
 }
 
@@ -454,12 +516,7 @@ pub fn evaluate_on_budgeted(
                     eval_clause(program, db, &idb, budget, &mut counters, clause, &mut out)
                 {
                     let goal_answers = counters.per_pred[query.goal.0 as usize];
-                    return Err(match halt {
-                        Halt::Budget(e) => {
-                            budget_error(e, stats_at(&counters, goal_answers, start))
-                        }
-                        Halt::Unsafe(msg) => EvalError::Unsafe(msg),
-                    });
+                    return Err(halt_to_error(halt, stats_at(&counters, goal_answers, start)));
                 }
             }
         }

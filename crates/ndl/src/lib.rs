@@ -26,6 +26,25 @@
 //!   with scoped-thread evaluation under a shared [`obda_budget`]
 //!   allowance.
 
+/// Fault-injection shim: with the `faults` feature the substrates call
+/// [`obda_faults::inject`] at registered sites; without it every site is
+/// an empty inline function the optimiser erases.
+pub(crate) mod fault {
+    #[cfg(feature = "faults")]
+    pub use obda_faults::{inject, site};
+
+    #[cfg(not(feature = "faults"))]
+    #[inline(always)]
+    pub fn inject(_site: &'static str) {}
+
+    #[cfg(not(feature = "faults"))]
+    pub mod site {
+        pub const STORAGE_INSERT: &str = "ndl::storage::insert";
+        pub const STORAGE_INDEX_BUILD: &str = "ndl::storage::index_build";
+        pub const ENGINE_CLAUSE_TASK: &str = "ndl::engine::clause_task";
+    }
+}
+
 pub mod analysis;
 pub mod engine;
 pub mod eval;

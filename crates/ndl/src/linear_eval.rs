@@ -16,9 +16,7 @@
 //! in tests and used as an evaluator ablation in the benchmark suite.
 
 use crate::analysis::is_linear;
-use crate::eval::{
-    budget_error, EvalError, EvalOptions, EvalResult, EvalStats, Halt, Row, UNBOUND,
-};
+use crate::eval::{EvalError, EvalOptions, EvalResult, EvalStats, Halt, Row, UNBOUND};
 use crate::program::{BodyAtom, Clause, NdlQuery, PredId, Program};
 use crate::storage::Database;
 use obda_budget::Budget;
@@ -82,9 +80,8 @@ pub fn evaluate_linear_on_budgeted(
         duration: start.elapsed(),
         per_predicate: per_pred.to_vec(),
     };
-    let interrupt = |halt: Halt, generated: usize, per_pred: &[usize]| match halt {
-        Halt::Budget(e) => budget_error(e, stats_at(generated, per_pred, 0)),
-        Halt::Unsafe(msg) => EvalError::Unsafe(msg),
+    let interrupt = |halt: Halt, generated: usize, per_pred: &[usize]| {
+        crate::eval::halt_to_error(halt, stats_at(generated, per_pred, 0))
     };
 
     // Seed: clauses without IDB body atoms.

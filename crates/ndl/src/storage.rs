@@ -148,6 +148,9 @@ impl Relation {
     /// comparing the stored rows.
     pub fn insert_if_new(&mut self, row: &[u32]) -> bool {
         debug_assert_eq!(row.len(), self.arity);
+        // Injection site sits before any mutation: an unwind here leaves
+        // the arena, dedup table and indexes exactly as they were.
+        crate::fault::inject(crate::fault::site::STORAGE_INSERT);
         let h = hash_row(row);
         // Split borrows: the dedup table is (re)built from the row arena,
         // then held mutably while the arena is only read.
@@ -190,6 +193,9 @@ impl Relation {
     pub fn column_index(&self, col: usize) -> &ColumnIndex {
         assert!(col < self.arity, "column {col} out of range for arity {}", self.arity);
         self.indexes[col].get_or_init(|| {
+            // An unwind out of a `OnceLock` initialiser leaves the slot
+            // empty (not poisoned), so a retried evaluation rebuilds it.
+            crate::fault::inject(crate::fault::site::STORAGE_INDEX_BUILD);
             let mut map: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
             for i in 0..self.num_rows {
                 map.entry(self.row(i)[col]).or_default().push(i as u32);

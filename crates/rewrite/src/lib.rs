@@ -19,6 +19,23 @@
 //! [`omq::rewrite_arbitrary`] to lift them to arbitrary instances via the
 //! `*`-transformation (Lemma 3's linear variant when applicable).
 
+/// Fault-injection shim: with the `faults` feature, tree-witness
+/// enumeration calls [`obda_faults::inject`] at its registered site;
+/// without it the site is an empty inline function the optimiser erases.
+pub(crate) mod fault {
+    #[cfg(feature = "faults")]
+    pub use obda_faults::{inject, site};
+
+    #[cfg(not(feature = "faults"))]
+    #[inline(always)]
+    pub fn inject(_site: &'static str) {}
+
+    #[cfg(not(feature = "faults"))]
+    pub mod site {
+        pub const REWRITE_TREE_WITNESS: &str = "rewrite::tree_witness";
+    }
+}
+
 pub mod lin;
 pub mod log;
 pub mod omq;

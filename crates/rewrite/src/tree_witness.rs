@@ -143,6 +143,7 @@ pub fn tree_witnesses_budgeted(
         .collect::<Result<_, _>>()?;
     let mut out = Vec::new();
     for interior in connected_existential_subsets(q, cap) {
+        crate::fault::inject(crate::fault::site::REWRITE_TREE_WITNESS);
         budget.tick()?;
         // t_r: outside neighbours of the interior.
         let roots: BTreeSet<Var> = interior

@@ -1,0 +1,401 @@
+//! Chaos suite (requires `--features faults`): deterministic fault
+//! injection across every registered site, asserting the system-wide
+//! robustness invariants:
+//!
+//! 1. **Never a wrong answer** — under arbitrary injected faults, a
+//!    request returns either exactly the chase-oracle answer or a typed
+//!    error.
+//! 2. **Never an escaped panic** — injected panics (and the transient
+//!    faults raised by unwinding) are always caught at an isolation
+//!    boundary; nothing unwinds out of the public API.
+//! 3. **The service survives** — the admission gate keeps accepting and
+//!    answering after any number of consecutive failed requests.
+
+use obda::budget::BudgetSpec;
+use obda::faults::{site, FaultKind, FaultPlan, FaultSpec, Trigger};
+use obda::ndl::engine::EngineConfig;
+use obda::owlql::abox::ConstId;
+use obda::{
+    AttemptOutcome, ObdaError, ObdaSystem, QueryService, RetryPolicy, ServiceConfig, Strategy,
+};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+use std::time::Duration;
+
+const ONTOLOGY: &str = "Professor SubClassOf exists teaches\n\
+                        exists teaches- SubClassOf Course\n";
+const QUERY: &str = "q(x) :- teaches(x, y), Course(y)";
+const DATA: &str = "Professor(ada)\nProfessor(bob)\nteaches(carol, logic)\nCourse(logic)\n";
+
+/// Routes injected-fault panics to silence (they are the *point* of this
+/// suite) while forwarding genuine panics — assertion failures included —
+/// to the previous hook. Installed once for the whole test binary.
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let injected = p.downcast_ref::<obda::faults::FaultError>().is_some()
+                || p.downcast_ref::<String>().is_some_and(|s| s.starts_with("injected panic at"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A fast retry policy so full-sweep tests do not sleep their time away.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 2,
+        base_backoff: Duration::from_micros(50),
+        max_backoff: Duration::from_millis(1),
+        seed: 0x0bda_5eed,
+    }
+}
+
+fn service(engine: Option<EngineConfig>) -> QueryService {
+    let system = ObdaSystem::from_text(ONTOLOGY).unwrap();
+    QueryService::new(
+        system,
+        ServiceConfig {
+            max_concurrency: 2,
+            max_queue: 8,
+            budget: BudgetSpec::unlimited(),
+            retry: fast_retry(),
+            engine,
+        },
+    )
+}
+
+fn engine_cfg(threads: usize) -> EngineConfig {
+    EngineConfig { threads, prune: true, chunk_min_rows: 16 }
+}
+
+/// Runs one request under the *currently armed* plan and asserts the core
+/// invariants: no escaped panic, and either the oracle answer or a typed
+/// error. Returns whether the request succeeded.
+fn assert_sound(svc: &QueryService, oracle: &[Vec<ConstId>], ctx: &str) -> bool {
+    let query = svc.system().parse_query(QUERY).unwrap();
+    let data = svc.system().parse_data(DATA).unwrap();
+    let caught = catch_unwind(AssertUnwindSafe(|| svc.answer(&query, &data, Strategy::Tw)));
+    let outcome = match caught {
+        Ok(outcome) => outcome,
+        Err(_) => panic!("{ctx}: a fault escaped every isolation boundary"),
+    };
+    match outcome {
+        Ok(report) => match report.result() {
+            Some(res) => {
+                assert_eq!(res.answers, oracle, "{ctx}: wrong answers under faults");
+                true
+            }
+            None => {
+                let err = report.final_error();
+                assert!(
+                    err.is_some(),
+                    "{ctx}: failed request must carry a typed error:\n{}",
+                    report.report
+                );
+                false
+            }
+        },
+        // The gate is idle in these tests, so only typed pipeline errors
+        // may surface here.
+        Err(e) => {
+            assert!(
+                matches!(
+                    e,
+                    ObdaError::Transient { .. } | ObdaError::Internal { .. } | ObdaError::Eval(_)
+                ),
+                "{ctx}: untyped service error {e}"
+            );
+            false
+        }
+    }
+}
+
+fn oracle() -> Vec<Vec<ConstId>> {
+    let sys = ObdaSystem::from_text(ONTOLOGY).unwrap();
+    let q = sys.parse_query(QUERY).unwrap();
+    let d = sys.parse_data(DATA).unwrap();
+    let tuples = sys.certain_answers(&q, &d).tuples();
+    assert!(!tuples.is_empty(), "the fixture must have answers");
+    tuples
+}
+
+// ---------------------------------------------------------------------------
+// Pinned-seed sweep: every site × kind × trigger × engine configuration.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pinned_seed_sweep_is_sound_at_every_site() {
+    quiet_injected_panics();
+    let oracle = oracle();
+    let services = [service(None), service(Some(engine_cfg(1))), service(Some(engine_cfg(4)))];
+    for &seed in &[7u64, 42, 0x0bda_5eed] {
+        for &site in site::ALL.iter() {
+            for kind in [FaultKind::Transient, FaultKind::Panic] {
+                for trigger in [
+                    Trigger::Always,
+                    Trigger::Nth(2),
+                    Trigger::EveryNth(3),
+                    Trigger::Probability(0.4),
+                ] {
+                    let plan = FaultPlan::new(seed).with(site, FaultSpec { kind, trigger });
+                    for (i, svc) in services.iter().enumerate() {
+                        let ctx = format!(
+                            "seed={seed} site={site} kind={kind:?} trigger={trigger:?} svc={i}"
+                        );
+                        let guard = plan.install();
+                        assert_sound(svc, &oracle, &ctx);
+                        drop(guard);
+                    }
+                }
+            }
+        }
+    }
+    // Every service still answers correctly with all plans disarmed.
+    for (i, svc) in services.iter().enumerate() {
+        assert!(assert_sound(svc, &oracle, &format!("disarmed svc={i}")));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oneshot_transient_fault_is_retried_to_success_in_order() {
+    quiet_injected_panics();
+    let oracle = oracle();
+    for threads in [1usize, 4] {
+        let sys = ObdaSystem::from_text(ONTOLOGY).unwrap();
+        let q = sys.parse_query(QUERY).unwrap();
+        let d = sys.parse_data(DATA).unwrap();
+        let plan = FaultPlan::new(1).with(
+            site::ENGINE_CLAUSE_TASK,
+            FaultSpec { kind: FaultKind::Transient, trigger: Trigger::Nth(1) },
+        );
+        let guard = plan.install();
+        let report = sys.answer_with_fallback_policy(
+            &q,
+            &d,
+            Strategy::Tw,
+            &BudgetSpec::unlimited(),
+            Some(&engine_cfg(threads)),
+            &fast_retry(),
+        );
+        drop(guard);
+        assert_eq!(report.winning_strategy(), Some(Strategy::Tw), "threads={threads}\n{report}");
+        assert_eq!(report.result().unwrap().answers, oracle, "threads={threads}");
+        // Attempt 0: the injected fault, typed and site-tagged. Attempt 1:
+        // the successful retry of the *same* strategy, recorded in order.
+        assert_eq!(report.num_retries(), 1, "threads={threads}\n{report}");
+        assert_eq!(report.attempts[0].retry, 0);
+        assert!(
+            matches!(
+                &report.attempts[0].outcome,
+                AttemptOutcome::Transient { site } if site == site::ENGINE_CLAUSE_TASK
+            ),
+            "threads={threads}\n{report}"
+        );
+        assert_eq!(report.attempts[1].retry, 1);
+        assert_eq!(report.attempts[1].strategy, Strategy::Tw);
+        assert!(matches!(&report.attempts[1].outcome, AttemptOutcome::Success(_)));
+    }
+}
+
+#[test]
+fn injected_panics_are_never_retried() {
+    quiet_injected_panics();
+    let sys = ObdaSystem::from_text(ONTOLOGY).unwrap();
+    let q = sys.parse_query(QUERY).unwrap();
+    let d = sys.parse_data(DATA).unwrap();
+    let plan = FaultPlan::always(3, site::ENGINE_CLAUSE_TASK, FaultKind::Panic);
+    let guard = plan.install();
+    let report = sys.answer_with_fallback_policy(
+        &q,
+        &d,
+        Strategy::Tw,
+        &BudgetSpec::unlimited(),
+        Some(&engine_cfg(4)),
+        &fast_retry(),
+    );
+    drop(guard);
+    assert!(report.winner.is_none());
+    assert_eq!(report.num_retries(), 0, "panics are bugs, not resource problems:\n{report}");
+    assert!(!report.all_exhausted(), "panics must not masquerade as budget trips");
+    assert!(report
+        .attempts
+        .iter()
+        .all(|a| matches!(&a.outcome, AttemptOutcome::Panicked { site, .. } if site == site::ENGINE_CLAUSE_TASK)));
+    let err = report.final_error().unwrap();
+    assert!(matches!(err, ObdaError::Internal { .. }), "got {err}");
+}
+
+#[test]
+fn exhausted_retries_degrade_with_a_transient_error() {
+    quiet_injected_panics();
+    let sys = ObdaSystem::from_text(ONTOLOGY).unwrap();
+    let q = sys.parse_query(QUERY).unwrap();
+    let d = sys.parse_data(DATA).unwrap();
+    let plan = FaultPlan::always(5, site::ENGINE_CLAUSE_TASK, FaultKind::Transient);
+    let guard = plan.install();
+    let retry = fast_retry();
+    let report = sys.answer_with_fallback_policy(
+        &q,
+        &d,
+        Strategy::Tw,
+        &BudgetSpec::unlimited(),
+        Some(&engine_cfg(1)),
+        &retry,
+    );
+    drop(guard);
+    assert!(report.winner.is_none());
+    // Every rung of the ladder: one first try plus max_retries retries.
+    let per_strategy = 1 + retry.max_retries as usize;
+    assert_eq!(report.attempts.len() % per_strategy, 0, "{report}");
+    assert!(report.num_retries() > 0);
+    for chunk in report.attempts.chunks(per_strategy) {
+        for (i, a) in chunk.iter().enumerate() {
+            assert_eq!(a.retry, i as u32, "retries recorded in order:\n{report}");
+            assert_eq!(a.strategy, chunk[0].strategy);
+        }
+    }
+    let err = report.final_error().unwrap();
+    assert!(err.is_transient(), "got {err}");
+}
+
+#[test]
+fn identical_plans_produce_identical_reports() {
+    quiet_injected_panics();
+    let sys = ObdaSystem::from_text(ONTOLOGY).unwrap();
+    let q = sys.parse_query(QUERY).unwrap();
+    let d = sys.parse_data(DATA).unwrap();
+    let plan = FaultPlan::new(0xfeed).with(
+        site::STORAGE_INSERT,
+        FaultSpec { kind: FaultKind::Transient, trigger: Trigger::Probability(0.3) },
+    );
+    let mut renders = Vec::new();
+    for _ in 0..2 {
+        let guard = plan.install();
+        let report = sys.answer_with_fallback_policy(
+            &q,
+            &d,
+            Strategy::Tw,
+            &BudgetSpec::unlimited(),
+            Some(&engine_cfg(1)),
+            &fast_retry(),
+        );
+        drop(guard);
+        // Strip the timing column: determinism covers outcomes, not clocks.
+        let render: Vec<String> = report
+            .to_string()
+            .lines()
+            .map(|l| l.split(" [").next().unwrap_or(l).to_owned())
+            .collect();
+        renders.push(render);
+    }
+    assert_eq!(renders[0], renders[1], "a reinstalled plan must replay identically");
+}
+
+// ---------------------------------------------------------------------------
+// Service liveness under sustained failure
+// ---------------------------------------------------------------------------
+
+#[test]
+fn service_keeps_answering_after_sustained_failures() {
+    quiet_injected_panics();
+    let oracle = oracle();
+    let svc = service(Some(engine_cfg(1)));
+    let query = svc.system().parse_query(QUERY).unwrap();
+    let data = svc.system().parse_data(DATA).unwrap();
+    let id = svc.prepare(&query, Strategy::Tw).unwrap();
+
+    // Every data load faults: 60 consecutive requests fail with a typed
+    // error, each leaving the gate clean.
+    let plan = FaultPlan::always(11, site::STORAGE_INSERT, FaultKind::Transient);
+    let guard = plan.install();
+    for i in 0..60 {
+        let report = svc.submit(id, &data).unwrap();
+        assert!(!report.is_success(), "request {i} cannot succeed under an always-fault");
+        let err = report.final_error().unwrap();
+        assert!(err.is_transient(), "request {i}: got {err}");
+        let (active, queued) = svc.load();
+        assert_eq!((active, queued), (0, 0), "request {i} leaked a gate slot");
+    }
+    drop(guard);
+    assert_eq!(svc.stats().failed, 60);
+
+    // The very next request — same service, same prepared query — answers.
+    let report = svc.submit(id, &data).unwrap();
+    assert!(report.is_success(), "the service must answer after sustained failures");
+    assert_eq!(report.result().unwrap().answers, oracle);
+    assert_eq!(svc.stats().succeeded, 1);
+}
+
+#[test]
+fn prepare_under_faults_fails_typed_then_recovers() {
+    quiet_injected_panics();
+    let svc = service(None);
+    let query = svc.system().parse_query(QUERY).unwrap();
+    let plan = FaultPlan::always(13, site::REWRITE_TREE_WITNESS, FaultKind::Panic);
+    let guard = plan.install();
+    let err = svc.prepare(&query, Strategy::Tw).unwrap_err();
+    assert!(matches!(err, ObdaError::Internal { .. }), "got {err}");
+    drop(guard);
+    // Registration works once the fault is gone.
+    assert!(svc.prepare(&query, Strategy::Tw).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Property-based chaos: arbitrary plans over arbitrary sites.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// For an arbitrary seeded plan over any site, kind and trigger, at
+    /// one or four engine threads (or the sequential evaluator), the
+    /// system returns either the oracle answer or a typed error — never a
+    /// wrong answer, never an escaped panic.
+    #[test]
+    fn arbitrary_fault_plans_are_sound(
+        seed in any::<u64>(),
+        site_idx in 0usize..site::ALL.len(),
+        panic_kind in any::<bool>(),
+        trigger_sel in 0u8..4,
+        n in 1u64..5,
+        p_mil in 0u32..1000,
+        engine_sel in 0u8..3,
+    ) {
+        quiet_injected_panics();
+        let oracle = oracle();
+        let kind = if panic_kind { FaultKind::Panic } else { FaultKind::Transient };
+        let trigger = match trigger_sel {
+            0 => Trigger::Always,
+            1 => Trigger::Nth(n),
+            2 => Trigger::EveryNth(n),
+            _ => Trigger::Probability(f64::from(p_mil) / 1000.0),
+        };
+        let engine = match engine_sel {
+            0 => None,
+            1 => Some(engine_cfg(1)),
+            _ => Some(engine_cfg(4)),
+        };
+        let svc = service(engine);
+        let fault_site = site::ALL[site_idx];
+        let plan = FaultPlan::new(seed)
+            .with(fault_site, FaultSpec { kind, trigger });
+        let ctx = format!(
+            "seed={seed} site={fault_site} kind={kind:?} trigger={trigger:?} engine={engine_sel}"
+        );
+        let guard = plan.install();
+        assert_sound(&svc, &oracle, &ctx);
+        drop(guard);
+        // And the same service answers correctly immediately afterwards.
+        prop_assert!(assert_sound(&svc, &oracle, &format!("{ctx} (disarmed)")));
+    }
+}

@@ -180,6 +180,127 @@ fn adaptive_rewriter_survives_per_candidate_budget_trips() {
 }
 
 // ---------------------------------------------------------------------------
+// Panic isolation: a clause task that panics must surface as a typed
+// internal error, never as a process-level panic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panicking_clause_task_is_a_typed_internal_error() {
+    use obda::ndl::engine::{evaluate_engine_on_budgeted, EngineConfig};
+    use obda::ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredKind, Program};
+    use obda::owlql::parser::{parse_data, parse_ontology};
+
+    // The EDB property `R` stores width-2 rows, but this hand-built
+    // program declares it with arity 3 — so the clause task indexes past
+    // the row at runtime. The engine must catch the panic at the task
+    // boundary, cancel any sibling workers and return the typed
+    // `Internal` error.
+    let o = parse_ontology("Property R\n").unwrap();
+    let d = parse_data("R(a, b)\nR(b, c)\n", &o).unwrap();
+    let v = o.vocab();
+    let mut p = Program::new();
+    let r = p.add_pred("R", 3, PredKind::EdbProp(v.get_prop("R").unwrap()));
+    let g = p.add_pred("G", 1, PredKind::Idb);
+    p.add_clause(Clause {
+        head: g,
+        head_args: vec![CVar(0)],
+        body: vec![BodyAtom::Pred(r, vec![CVar(0), CVar(1), CVar(2)])],
+        num_vars: 3,
+    });
+    let q = NdlQuery::new(p, g);
+    let db = Database::new(&d);
+    for threads in [1, 4] {
+        let cfg = EngineConfig { threads, prune: false, chunk_min_rows: 1 };
+        let err = evaluate_engine_on_budgeted(&q, &db, &mut Budget::unlimited(), &cfg).unwrap_err();
+        let EvalError::Internal { site, .. } = &err else {
+            panic!("threads={threads}: expected Internal, got {err}");
+        };
+        assert_eq!(site, "ndl::engine::clause_task", "threads={threads}");
+        // Lifting into the pipeline taxonomy keeps it typed and
+        // non-retryable: a panic is a bug, not a resource problem.
+        let lifted: ObdaError = err.into();
+        assert!(matches!(lifted, ObdaError::Internal { .. }), "threads={threads}");
+        assert!(!lifted.is_budget() && !lifted.is_transient(), "threads={threads}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PipelineReport error paths: mixed retry/degrade attempts expose typed,
+// ordered outcomes through every report helper.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn report_error_paths_expose_typed_outcomes_in_order() {
+    use obda::{Attempt, AttemptOutcome, PipelineReport};
+
+    // A ladder run as the service would record it: Tw faults transiently,
+    // is retried once, faults again; Log then panics. No winner.
+    let attempt = |strategy, retry, outcome| Attempt {
+        strategy,
+        retry,
+        outcome,
+        clauses: Some(12),
+        duration: Duration::from_millis(3),
+    };
+    let report = PipelineReport {
+        attempts: vec![
+            attempt(
+                Strategy::Tw,
+                0,
+                AttemptOutcome::Transient { site: "ndl::storage::insert".into() },
+            ),
+            attempt(
+                Strategy::Tw,
+                1,
+                AttemptOutcome::Transient { site: "ndl::storage::insert".into() },
+            ),
+            attempt(
+                Strategy::Log,
+                0,
+                AttemptOutcome::Panicked {
+                    site: "ndl::engine::clause_task".into(),
+                    payload: "index out of bounds".into(),
+                },
+            ),
+        ],
+        winner: None,
+    };
+    assert_eq!(report.winning_strategy(), None);
+    assert!(report.result().is_none());
+    assert_eq!(report.num_retries(), 1);
+    // Faults and panics are NOT "the instance is too big for the budget".
+    assert!(!report.all_exhausted());
+    // The decisive error is the last attempt's, fully typed.
+    let err = report.final_error().unwrap();
+    let ObdaError::Internal { site, payload } = &err else {
+        panic!("expected Internal, got {err}");
+    };
+    assert_eq!(site, "ndl::engine::clause_task");
+    assert_eq!(payload, "index out of bounds");
+    // Retries are recorded in order and rendered with their retry number.
+    assert_eq!(report.attempts[0].retry, 0);
+    assert_eq!(report.attempts[1].retry, 1);
+    let text = report.to_string();
+    assert!(text.contains("(retry 1)"), "report: {text}");
+    assert!(text.contains("transient fault at ndl::storage::insert"), "report: {text}");
+    assert!(text.contains("panicked at ndl::engine::clause_task"), "report: {text}");
+}
+
+#[test]
+fn report_budget_failures_still_count_as_exhausted() {
+    // A pure budget-trip ladder (no faults) keeps the "all exhausted"
+    // verdict even with retries recorded on other paths.
+    let sys = ObdaSystem::from_text("A SubClassOf exists P\n").unwrap();
+    let q = sys.parse_query("q(x) :- P(x, y)").unwrap();
+    let d = sys.parse_data("A(a)\n").unwrap();
+    let spec = BudgetSpec { max_clauses: Some(1), ..BudgetSpec::unlimited() };
+    let report = sys.answer_with_fallback(&q, &d, Strategy::Adaptive, &spec);
+    assert!(report.all_exhausted());
+    assert_eq!(report.num_retries(), 0, "budget trips are never retried:\n{report}");
+    assert!(report.final_error().is_some_and(|e| !e.is_transient() && e.is_budget()));
+}
+
+// ---------------------------------------------------------------------------
 // Adversarial CLI suite: 1-second budgets, malformed inputs, cyclic and
 // exponential instances. Every run must terminate with a typed exit code.
 // ---------------------------------------------------------------------------
