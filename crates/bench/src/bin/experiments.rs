@@ -30,6 +30,7 @@
 //! — who blows up, who stays linear, who wins where — are the target.
 
 use obda::budget::BudgetSpec;
+use obda::telemetry::{CollectingTracer, Telemetry};
 use obda::Strategy;
 use obda_bench::{
     dataset, dataset_configs, evaluate_cell, paper_system, prefix_query, render_table,
@@ -295,11 +296,62 @@ fn json_engine(timed: &Option<(f64, EvalResult)>) -> String {
     }
 }
 
+/// Per-stage wall-clock breakdown of one traced engine run, extracted
+/// from the collected span tree (milliseconds, summed per span name).
+struct StageBreakdown {
+    eval_ms: f64,
+    schedule_ms: f64,
+    strata_ms: f64,
+    clause_tasks_ms: f64,
+    spans: usize,
+    pretty: String,
+}
+
+/// Runs the pruned engine once with a [`CollectingTracer`] attached and
+/// folds the span tree into a per-stage breakdown. One extra run per row:
+/// the timed measurements above stay untraced.
+fn trace_breakdown(
+    prepared: &obda::PreparedOmq,
+    db: &Database,
+    opts: &EvalOptions,
+    engine_cfg: &EngineConfig,
+) -> Option<StageBreakdown> {
+    let tracer = CollectingTracer::new();
+    let mut budget = opts.to_budget();
+    prepared
+        .execute_engine_traced(db, &mut budget, engine_cfg, Telemetry::new(&tracer, None))
+        .ok()?;
+    let tree = tracer.snapshot();
+    let mut b = StageBreakdown {
+        eval_ms: 0.0,
+        schedule_ms: 0.0,
+        strata_ms: 0.0,
+        clause_tasks_ms: 0.0,
+        spans: 0,
+        pretty: tree.render_pretty(),
+    };
+    for span in tree.iter() {
+        b.spans += 1;
+        let ms = span.duration.as_secs_f64() * 1e3;
+        match span.name {
+            "eval" => b.eval_ms += ms,
+            "stratum-schedule" => b.schedule_ms += ms,
+            "stratum" => b.strata_ms += ms,
+            "clause" | "clause_task" => b.clause_tasks_ms += ms,
+            _ => {}
+        }
+    }
+    Some(b)
+}
+
 /// The engine-comparison benchmark behind `BENCH_eval.json`: for each
 /// Table 2 dataset and a spread of (sequence, strategy) rewritings,
 /// measures the sequential indexed engine against the goal-directed engine
 /// with pruning only (1 thread) and with pruning + `--threads` workers,
-/// checking all three against the budgeted chase oracle.
+/// checking all three against the budgeted chase oracle. Each row also
+/// records a per-stage breakdown (schedule/strata/clause-task times) from
+/// one traced pruned-engine run; the full span trees go to
+/// `BENCH_eval_trace.txt` next to the JSON.
 fn bencheval(cfg: &Config) {
     let sys = paper_system();
     println!(
@@ -317,6 +369,10 @@ fn bencheval(cfg: &Config) {
     let parallel_cfg = EngineConfig { threads: cfg.threads, ..EngineConfig::default() };
     let mut rows_json: Vec<String> = Vec::new();
     let mut table_rows = Vec::new();
+    let mut trace_log = String::from(
+        "Per-row span trees of one traced pruned-engine run each\n\
+         (see BENCH_eval.json \"stages\" for the folded numbers)\n",
+    );
     for ds in 0..4 {
         let data = dataset(&sys, ds, cfg.scale);
         let db = Database::new(&data);
@@ -369,9 +425,25 @@ fn bencheval(cfg: &Config) {
                 pruned_res.stats.generated_tuples.to_string(),
                 oracle_tag.to_owned(),
             ]);
+            let breakdown = trace_breakdown(&prepared, &db, &opts, &pruned_cfg);
+            let stages_json = match &breakdown {
+                Some(b) => format!(
+                    "{{\"eval_ms\": {:.3}, \"schedule_ms\": {:.3}, \"strata_ms\": {:.3}, \"clause_tasks_ms\": {:.3}, \"spans\": {}}}",
+                    b.eval_ms, b.schedule_ms, b.strata_ms, b.clause_tasks_ms, b.spans
+                ),
+                None => "null".to_owned(),
+            };
+            if let Some(b) = &breakdown {
+                trace_log.push_str(&format!(
+                    "\n## {}.ttl s{}:{n} {strategy}\n{}",
+                    ds + 1,
+                    seq + 1,
+                    b.pretty
+                ));
+            }
             let json_opt = |v: Option<String>| v.unwrap_or_else(|| "null".to_owned());
             rows_json.push(format!(
-                "    {{\n      \"dataset\": \"{}.ttl\", \"sequence\": {}, \"atoms\": {n}, \"strategy\": \"{strategy}\",\n      \"sequential\": {},\n      \"pruned\": {},\n      \"parallel\": {},\n      \"speedup_parallel_vs_sequential\": {},\n      \"tuples_saved_by_pruning\": {},\n      \"answers_match\": {answers_match},\n      \"oracle\": \"{oracle_tag}\"\n    }}",
+                "    {{\n      \"dataset\": \"{}.ttl\", \"sequence\": {}, \"atoms\": {n}, \"strategy\": \"{strategy}\",\n      \"sequential\": {},\n      \"pruned\": {},\n      \"parallel\": {},\n      \"stages\": {stages_json},\n      \"speedup_parallel_vs_sequential\": {},\n      \"tuples_saved_by_pruning\": {},\n      \"answers_match\": {answers_match},\n      \"oracle\": \"{oracle_tag}\"\n    }}",
                 ds + 1,
                 seq + 1,
                 json_engine(&seq_run),
@@ -405,7 +477,8 @@ fn bencheval(cfg: &Config) {
         rows_json.join(",\n")
     );
     std::fs::write("BENCH_eval.json", json).expect("write BENCH_eval.json");
-    println!("wrote BENCH_eval.json ({} rows)", table_rows.len());
+    std::fs::write("BENCH_eval_trace.txt", trace_log).expect("write BENCH_eval_trace.txt");
+    println!("wrote BENCH_eval.json ({} rows) and BENCH_eval_trace.txt", table_rows.len());
 }
 
 fn fig1() {

@@ -4,12 +4,13 @@
 //! ```text
 //! obda classify --ontology o.owlql --query q.cq
 //! obda rewrite  --ontology o.owlql --query q.cq [--strategy tw]
+//! obda explain  --ontology o.owlql --query q.cq [--strategy tw]
 //! obda answer   --ontology o.owlql --query q.cq --data d.abox
 //!               [--strategy adaptive] [--oracle] [--timeout-secs N]
 //!               [--budget-secs N] [--budget-clauses N] [--budget-tuples N]
 //!               [--budget-steps N] [--budget-chase N] [--no-fallback]
 //!               [--threads N] [--no-prune] [--retries N]
-//!               [--max-concurrency N]
+//!               [--max-concurrency N] [--trace[=pretty|json]] [--stats]
 //! ```
 //!
 //! `answer` evaluates with the goal-directed engine: the rewriting is
@@ -20,6 +21,18 @@
 //! `--retries N` times (default 2) before degrading down the fallback
 //! ladder, and `--max-concurrency N` (default 1) bounds the service's
 //! admission gate.
+//!
+//! `explain` performs the rewriting without touching data and dumps the
+//! classification, the rewriting, the relevance-pruned program and the
+//! engine's predicted stratum schedule with per-clause join orders and
+//! access paths (scan vs index probe).
+//!
+//! Observability: `--trace` collects nested spans across every pipeline
+//! stage (parse → saturate → rewrite → prune → stratum-schedule → eval,
+//! plus queue wait and per-attempt spans) and prints the tree to stderr,
+//! pretty by default or as JSON with `--trace=json`; `--stats` prints the
+//! metrics registry (counters, gauges, latency histograms) to stderr in
+//! text exposition format after the command finishes.
 //!
 //! Strategies: `lin`, `log`, `tw`, `twstar`, `ucq`, `twucq`, `presto`,
 //! `adaptive` (default).
@@ -41,11 +54,20 @@
 
 use obda::budget::BudgetSpec;
 use obda::cq::query::Cq;
+use obda::telemetry::{CollectingTracer, MetricsRegistry, Telemetry};
 use obda::{ObdaError, ObdaSystem, QueryService, RetryPolicy, ServiceConfig, Strategy};
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::program::ProgramDisplay;
+use obda_ndl::relevance::prune_for_goal;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Output format of the collected span tree (`--trace`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Pretty,
+    Json,
+}
 
 struct Args {
     command: String,
@@ -59,15 +81,18 @@ struct Args {
     engine: EngineConfig,
     retries: Option<u32>,
     max_concurrency: Option<usize>,
+    trace: Option<TraceFormat>,
+    stats: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: obda <classify|rewrite|answer> --ontology FILE --query FILE\n\
+        "usage: obda <classify|rewrite|explain|answer> --ontology FILE --query FILE\n\
          \x20      [--data FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
          \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
          \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]\n\
-         \x20      [--threads N] [--no-prune] [--retries N] [--max-concurrency N]"
+         \x20      [--threads N] [--no-prune] [--retries N] [--max-concurrency N]\n\
+         \x20      [--trace[=pretty|json]] [--stats]"
     );
     ExitCode::from(2)
 }
@@ -89,7 +114,7 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 fn parse_args() -> Option<Args> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next()?;
-    if !matches!(command.as_str(), "classify" | "rewrite" | "answer") {
+    if !matches!(command.as_str(), "classify" | "rewrite" | "explain" | "answer") {
         return None;
     }
     let mut args = Args {
@@ -104,6 +129,8 @@ fn parse_args() -> Option<Args> {
         engine: EngineConfig::default(),
         retries: None,
         max_concurrency: None,
+        trace: None,
+        stats: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -136,6 +163,9 @@ fn parse_args() -> Option<Args> {
                 }
                 args.max_concurrency = Some(n);
             }
+            "--trace" | "--trace=pretty" => args.trace = Some(TraceFormat::Pretty),
+            "--trace=json" => args.trace = Some(TraceFormat::Json),
+            "--stats" => args.stats = true,
             _ => return None,
         }
     }
@@ -210,14 +240,24 @@ impl From<ObdaError> for CliError {
     }
 }
 
-fn run(args: &Args) -> Result<(), CliError> {
+fn run(args: &Args, telem: Telemetry<'_>) -> Result<(), CliError> {
     let read = |path: &Option<String>, what: &str| -> Result<String, CliError> {
         let path = path.as_ref().ok_or_else(|| CliError::Internal(format!("missing --{what}")))?;
         std::fs::read_to_string(path)
             .map_err(|e| CliError::Internal(format!("cannot read {path}: {e}")))
     };
-    let system = ObdaSystem::from_text(&read(&args.ontology, "ontology")?)?;
-    let query = system.parse_query(read(&args.query, "query")?.trim())?;
+    let system = ObdaSystem::from_text_traced(&read(&args.ontology, "ontology")?, telem)?;
+    let qspan = telem.span("parse:query");
+    let query = match system.parse_query(read(&args.query, "query")?.trim()) {
+        Ok(q) => {
+            qspan.end();
+            q
+        }
+        Err(e) => {
+            qspan.error(&e.to_string());
+            return Err(e.into());
+        }
+    };
 
     match args.command.as_str() {
         "classify" => {
@@ -243,12 +283,62 @@ fn run(args: &Args) -> Result<(), CliError> {
             print!("{}", ProgramDisplay { program: &rewriting.program });
             Ok(())
         }
+        "explain" => run_explain(args, &system, &query),
         "answer" => {
-            let data = system.parse_data(&read(&args.data, "data")?)?;
-            run_answer(args, system, &query, &data)
+            let dspan = telem.span("parse:data");
+            let data = match system.parse_data(&read(&args.data, "data")?) {
+                Ok(d) => {
+                    dspan.end();
+                    d
+                }
+                Err(e) => {
+                    dspan.error(&e.to_string());
+                    return Err(e.into());
+                }
+            };
+            run_answer(args, system, &query, &data, telem)
         }
         _ => unreachable!("parse_args admits only known commands"),
     }
+}
+
+/// `obda explain`: classification, rewriting, pruned program, and the
+/// engine's predicted stratum schedule with per-clause join orders.
+fn run_explain(args: &Args, system: &ObdaSystem, query: &Cq) -> Result<(), CliError> {
+    let cell = system.classify(query);
+    println!("== classification ==");
+    println!(
+        "depth {:?}, query class {:?}, complexity {}",
+        cell.depth, cell.query, cell.complexity
+    );
+
+    let mut budget = args.spec.start();
+    let rewriting = system.rewrite_budgeted(query, args.strategy, &mut budget)?;
+    println!();
+    println!(
+        "== rewriting (strategy {}, {} clauses, {} predicates) ==",
+        args.strategy,
+        rewriting.program.num_clauses(),
+        rewriting.program.num_preds()
+    );
+    print!("{}", ProgramDisplay { program: &rewriting.program });
+
+    let pruned = prune_for_goal(&rewriting);
+    println!();
+    println!(
+        "== pruned program ({} -> {} clauses, {} -> {} predicates) ==",
+        pruned.stats.clauses_before,
+        pruned.stats.clauses_after,
+        pruned.stats.preds_before,
+        pruned.stats.preds_after
+    );
+    print!("{}", ProgramDisplay { program: &pruned.query.program });
+
+    let plan = obda_ndl::explain_plan(&pruned.query);
+    println!();
+    println!("== stratum plan ==");
+    print!("{}", plan.display(&pruned.query.program));
+    Ok(())
 }
 
 /// Either a bare system (`--no-fallback`) or one wrapped in the
@@ -273,6 +363,7 @@ fn run_answer(
     system: ObdaSystem,
     query: &Cq,
     data: &obda::owlql::abox::DataInstance,
+    telem: Telemetry<'_>,
 ) -> Result<(), CliError> {
     let retry = match args.retries {
         Some(n) => RetryPolicy::with_retries(n),
@@ -294,18 +385,32 @@ fn run_answer(
     };
     let (result, strategy_used) = match &host {
         Host::Bare(system) => {
-            let res = system.answer_with_budget_engine(
+            let res = system.answer_with_budget_engine_traced(
                 query,
                 data,
                 args.strategy,
                 &args.spec,
                 &args.engine,
+                telem,
             )?;
             (res, args.strategy)
         }
         Host::Served(service) => {
-            let report = service.answer(query, data, args.strategy)?.report;
-            eprint!("{report}");
+            let service_report = service.answer_traced(query, data, args.strategy, telem)?;
+            // One consistent block: every ladder attempt, then the
+            // service-level accounting (queue wait is time the attempts
+            // never see, so the report and the latency line belong
+            // together).
+            eprint!("{}", service_report.report);
+            let queued = service_report.queue_wait;
+            let total = service_report.latency;
+            eprintln!(
+                "# queued {:.1} ms + ran {:.1} ms = {:.1} ms total",
+                queued.as_secs_f64() * 1e3,
+                total.saturating_sub(queued).as_secs_f64() * 1e3,
+                total.as_secs_f64() * 1e3,
+            );
+            let report = service_report.report;
             match report.winning_strategy() {
                 Some(winner) => match report.into_result() {
                     Some(res) => (res, winner),
@@ -337,16 +442,26 @@ fn run_answer(
         result.stats.num_answers, result.stats.generated_tuples, strategy_used
     );
     if args.oracle {
+        let ospan = telem.span("oracle-check");
         let mut budget = args.spec.start();
-        let oracle = host.system().certain_answers_budgeted(query, data, &mut budget)?.tuples();
+        let oracle = match host.system().certain_answers_budgeted(query, data, &mut budget) {
+            Ok(ans) => ans.tuples(),
+            Err(e) => {
+                ospan.error(&e.to_string());
+                return Err(e.into());
+            }
+        };
         if oracle == result.answers {
+            ospan.end();
             eprintln!("# oracle agrees ✓");
         } else {
-            return Err(CliError::Oracle(format!(
+            let msg = format!(
                 "oracle DISAGREES with the rewriting: {} answers vs {} certain",
                 result.answers.len(),
                 oracle.len()
-            )));
+            );
+            ospan.error(&msg);
+            return Err(CliError::Oracle(msg));
         }
     }
     Ok(())
@@ -356,7 +471,30 @@ fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
     };
-    match run(&args) {
+    let tracer = CollectingTracer::new();
+    let registry = MetricsRegistry::new();
+    let telem = match (args.trace.is_some(), args.stats) {
+        (false, false) => Telemetry::disabled(),
+        (true, _) => Telemetry::new(&tracer, Some(&registry)),
+        (false, true) => Telemetry { metrics: Some(&registry), ..Telemetry::disabled() },
+    };
+    let root = telem.span("request");
+    let outcome = run(&args, telem.under(&root));
+    if let Err(e) = &outcome {
+        root.error(e.message());
+    }
+    root.end();
+    if let Some(format) = args.trace {
+        let tree = tracer.snapshot();
+        match format {
+            TraceFormat::Pretty => eprint!("{}", tree.render_pretty()),
+            TraceFormat::Json => eprintln!("{}", tree.render_json()),
+        }
+    }
+    if args.stats {
+        eprint!("{}", registry.render_text());
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {}", e.message());

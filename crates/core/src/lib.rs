@@ -62,3 +62,5 @@ pub use obda_faults as faults;
 pub use obda_ndl as ndl;
 pub use obda_owlql as owlql;
 pub use obda_rewrite as rewrite;
+pub use obda_telemetry as telemetry;
+pub use obda_telemetry::{CollectingTracer, MetricsRegistry, NoopTracer, Telemetry, TraceTree};

@@ -6,9 +6,10 @@ use obda_chase::answer::{certain_answers, certain_answers_budgeted, CertainAnswe
 use obda_chase::model::ChaseError;
 use obda_cq::query::Cq;
 use obda_ndl::analysis::{analyze, Analysis};
-use obda_ndl::engine::{evaluate_engine_on_budgeted, evaluate_pruned_on_budgeted, EngineConfig};
+use obda_ndl::engine::{evaluate_engine_on_traced, evaluate_pruned_on_traced, EngineConfig};
 use obda_ndl::eval::{
-    evaluate, evaluate_on, evaluate_on_budgeted, EvalError, EvalOptions, EvalResult,
+    evaluate, evaluate_on, evaluate_on_budgeted, evaluate_on_traced, EvalError, EvalOptions,
+    EvalResult,
 };
 use obda_ndl::linear_eval::{evaluate_linear_on, evaluate_linear_on_budgeted};
 use obda_ndl::program::NdlQuery;
@@ -24,6 +25,7 @@ use obda_rewrite::twstar::inline_single_definitions;
 use obda_rewrite::{
     LinRewriter, LogRewriter, PrestoLikeRewriter, TwRewriter, TwUcqRewriter, UcqRewriter,
 };
+use obda_telemetry::Telemetry;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
@@ -477,7 +479,26 @@ impl ObdaSystem {
 
     /// Parses the ontology from the textual syntax.
     pub fn from_text(text: &str) -> Result<Self, ObdaError> {
-        Ok(Self::new(obda_owlql::parse_ontology(text)?))
+        Self::from_text_traced(text, Telemetry::disabled())
+    }
+
+    /// Like [`ObdaSystem::from_text`], recording `parse:ontology` and
+    /// `saturate` spans through `telem`.
+    pub fn from_text_traced(text: &str, telem: Telemetry<'_>) -> Result<Self, ObdaError> {
+        let span = telem.span("parse:ontology");
+        let ontology = match obda_owlql::parse_ontology(text) {
+            Ok(o) => o,
+            Err(e) => {
+                span.error(&e.to_string());
+                return Err(e.into());
+            }
+        };
+        span.attr("axioms", ontology.num_axioms() as u64);
+        span.end();
+        let sat = telem.span("saturate");
+        let taxonomy = ontology.taxonomy();
+        sat.end();
+        Ok(ObdaSystem { ontology, taxonomy })
     }
 
     /// The ontology.
@@ -629,11 +650,46 @@ impl ObdaSystem {
         spec: &BudgetSpec,
         cfg: &EngineConfig,
     ) -> Result<EvalResult, ObdaError> {
+        self.answer_with_budget_engine_traced(
+            query,
+            data,
+            strategy,
+            spec,
+            cfg,
+            Telemetry::disabled(),
+        )
+    }
+
+    /// Like [`ObdaSystem::answer_with_budget_engine`], recording `rewrite`,
+    /// `load_data` and engine spans through `telem`.
+    pub fn answer_with_budget_engine_traced(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        strategy: Strategy,
+        spec: &BudgetSpec,
+        cfg: &EngineConfig,
+        telem: Telemetry<'_>,
+    ) -> Result<EvalResult, ObdaError> {
         isolate("pipeline::answer_with_budget_engine", || {
             let mut budget = spec.start();
-            let rewriting = self.rewrite_budgeted(query, strategy, &mut budget)?;
+            let span = telem.span("rewrite");
+            span.attr_str("strategy", &strategy.to_string());
+            let rewriting = match self.rewrite_budgeted(query, strategy, &mut budget) {
+                Ok(r) => {
+                    span.attr("clauses", r.program.num_clauses() as u64);
+                    span.end();
+                    r
+                }
+                Err(e) => {
+                    span.error(&e.to_string());
+                    return Err(e);
+                }
+            };
+            let load = telem.span("load_data");
             let db = Database::new(data);
-            Ok(evaluate_engine_on_budgeted(&rewriting, &db, &mut budget, cfg)?)
+            load.end();
+            Ok(evaluate_engine_on_traced(&rewriting, &db, &mut budget, cfg, telem)?)
         })
     }
 
@@ -653,7 +709,15 @@ impl ObdaSystem {
         preferred: Strategy,
         spec: &BudgetSpec,
     ) -> PipelineReport {
-        self.fallback_ladder_run(query, data, preferred, spec, None, &RetryPolicy::default())
+        self.fallback_ladder_run(
+            query,
+            data,
+            preferred,
+            spec,
+            None,
+            &RetryPolicy::default(),
+            Telemetry::disabled(),
+        )
     }
 
     /// [`ObdaSystem::answer_with_fallback`] with every evaluation stage run
@@ -666,7 +730,15 @@ impl ObdaSystem {
         spec: &BudgetSpec,
         cfg: &EngineConfig,
     ) -> PipelineReport {
-        self.fallback_ladder_run(query, data, preferred, spec, Some(cfg), &RetryPolicy::default())
+        self.fallback_ladder_run(
+            query,
+            data,
+            preferred,
+            spec,
+            Some(cfg),
+            &RetryPolicy::default(),
+            Telemetry::disabled(),
+        )
     }
 
     /// [`ObdaSystem::answer_with_fallback`] with full control: an optional
@@ -680,11 +752,38 @@ impl ObdaSystem {
         engine: Option<&EngineConfig>,
         retry: &RetryPolicy,
     ) -> PipelineReport {
-        self.fallback_ladder_run(query, data, preferred, spec, engine, retry)
+        self.answer_with_fallback_traced(
+            query,
+            data,
+            preferred,
+            spec,
+            engine,
+            retry,
+            Telemetry::disabled(),
+        )
+    }
+
+    /// [`ObdaSystem::answer_with_fallback_policy`] recording per-attempt
+    /// spans through `telem`: each ladder try gets an `attempt` span
+    /// (strategy and retry number attached, error-tagged on failure) whose
+    /// children are the stage spans of rewriting and evaluation.
+    #[allow(clippy::too_many_arguments)] // the traced superset of the policy facade
+    pub fn answer_with_fallback_traced(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        preferred: Strategy,
+        spec: &BudgetSpec,
+        engine: Option<&EngineConfig>,
+        retry: &RetryPolicy,
+        telem: Telemetry<'_>,
+    ) -> PipelineReport {
+        self.fallback_ladder_run(query, data, preferred, spec, engine, retry, telem)
     }
 
     /// One isolated try of one strategy: rewrite + evaluate behind a
     /// `catch_unwind` boundary, classified into an [`AttemptOutcome`].
+    #[allow(clippy::too_many_arguments)] // internal driver behind the public facades
     fn run_attempt(
         &self,
         query: &Cq,
@@ -692,16 +791,28 @@ impl ObdaSystem {
         strategy: Strategy,
         budget: &mut Budget,
         engine: Option<&EngineConfig>,
+        telem: Telemetry<'_>,
     ) -> (AttemptOutcome, Option<usize>) {
         let mut clauses = None;
         let result = {
             let clauses = &mut clauses;
             isolate("pipeline::attempt", || {
-                let rewriting = self.rewrite_budgeted(query, strategy, budget)?;
+                let span = telem.span("rewrite");
+                let rewriting = match self.rewrite_budgeted(query, strategy, budget) {
+                    Ok(r) => {
+                        span.attr("clauses", r.program.num_clauses() as u64);
+                        span.end();
+                        r
+                    }
+                    Err(e) => {
+                        span.error(&e.to_string());
+                        return Err(e);
+                    }
+                };
                 *clauses = Some(rewriting.program.num_clauses());
                 let eval = match engine {
-                    Some(cfg) => evaluate_engine_on_budgeted(&rewriting, db, budget, cfg),
-                    None => evaluate_on_budgeted(&rewriting, db, budget),
+                    Some(cfg) => evaluate_engine_on_traced(&rewriting, db, budget, cfg, telem),
+                    None => evaluate_on_traced(&rewriting, db, budget, telem),
                 };
                 Ok(eval?)
             })
@@ -736,15 +847,21 @@ impl ObdaSystem {
         spec: &BudgetSpec,
         engine: Option<&EngineConfig>,
         retry: &RetryPolicy,
+        telem: Telemetry<'_>,
     ) -> PipelineReport {
         let master = spec.start();
         // Loading the data into the shared store is itself a faultable step
         // (it exercises the storage insert path); an unwind here becomes a
         // single failed pseudo-attempt instead of escaping the pipeline.
         let load_start = Instant::now();
+        let load_span = telem.span("load_data");
         let db = match isolate("pipeline::load_data", || Ok(Database::new(data))) {
-            Ok(db) => db,
+            Ok(db) => {
+                load_span.end();
+                db
+            }
             Err(e) => {
+                load_span.error(&e.to_string());
                 let outcome = match e {
                     ObdaError::Transient { site } => AttemptOutcome::Transient { site },
                     ObdaError::Internal { site, payload } => {
@@ -776,10 +893,35 @@ impl ObdaSystem {
                     break 'ladder; // the global deadline has passed: stop trying
                 }
                 let start = Instant::now();
-                let (outcome, clauses) =
-                    self.run_attempt(query, &db, strategy, &mut budget, engine);
+                let attempt_span = telem.span("attempt");
+                attempt_span.attr_str("strategy", &strategy.to_string());
+                attempt_span.attr("retry", u64::from(retry_no));
+                let (outcome, clauses) = self.run_attempt(
+                    query,
+                    &db,
+                    strategy,
+                    &mut budget,
+                    engine,
+                    telem.under(&attempt_span),
+                );
                 let success = matches!(outcome, AttemptOutcome::Success(_));
                 let transient = matches!(outcome, AttemptOutcome::Transient { .. });
+                match &outcome {
+                    AttemptOutcome::Success(_) => {}
+                    AttemptOutcome::RewriteFailed(e) => {
+                        attempt_span.error(&format!("rewrite failed: {e}"));
+                    }
+                    AttemptOutcome::EvalFailed(e) => {
+                        attempt_span.error(&format!("eval failed: {e}"));
+                    }
+                    AttemptOutcome::Transient { site } => {
+                        attempt_span.error(&format!("transient fault at {site}"));
+                    }
+                    AttemptOutcome::Panicked { site, payload } => {
+                        attempt_span.error(&format!("panicked at {site}: {payload}"));
+                    }
+                }
+                attempt_span.end();
                 attempts.push(Attempt {
                     strategy,
                     retry: retry_no,
@@ -947,10 +1089,23 @@ impl PreparedOmq {
         budget: &mut Budget,
         cfg: &EngineConfig,
     ) -> Result<EvalResult, EvalError> {
+        self.execute_engine_traced(db, budget, cfg, Telemetry::disabled())
+    }
+
+    /// [`PreparedOmq::execute_engine_budgeted`] recording engine spans
+    /// through `telem` (the cached pruning is reused, so no `prune` span
+    /// appears on this path).
+    pub fn execute_engine_traced(
+        &self,
+        db: &Database,
+        budget: &mut Budget,
+        cfg: &EngineConfig,
+        telem: Telemetry<'_>,
+    ) -> Result<EvalResult, EvalError> {
         if cfg.prune {
-            evaluate_pruned_on_budgeted(self.pruned(), db, budget, cfg)
+            evaluate_pruned_on_traced(self.pruned(), db, budget, cfg, telem)
         } else {
-            evaluate_engine_on_budgeted(&self.rewriting, db, budget, cfg)
+            evaluate_engine_on_traced(&self.rewriting, db, budget, cfg, telem)
         }
     }
 

@@ -6,7 +6,8 @@
 //! immediately with the typed [`ObdaError::Overloaded`] — the service
 //! sheds load instead of piling it up. Admitted requests run the full
 //! panic-isolated fallback ladder (with transient-fault retries per the
-//! configured [`RetryPolicy`]) under a fresh per-request [`Budget`], so a
+//! configured [`RetryPolicy`]) under a fresh per-request
+//! [`Budget`](obda_budget::Budget), so a
 //! request that faults, panics or exhausts its budget fails *alone*: the
 //! gate slot is released on every exit path and the service keeps
 //! answering.
@@ -22,9 +23,24 @@ use obda_cq::query::Cq;
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::eval::EvalResult;
 use obda_owlql::abox::DataInstance;
+use obda_telemetry::{MetricsRegistry, Telemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
+
+/// Registry-key suffix for per-strategy metrics (lowercase, no symbols).
+fn strategy_key(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Lin => "lin",
+        Strategy::Log => "log",
+        Strategy::Tw => "tw",
+        Strategy::TwStar => "tw_star",
+        Strategy::Ucq => "ucq",
+        Strategy::TwUcq => "tw_ucq",
+        Strategy::PrestoLike => "presto_like",
+        Strategy::Adaptive => "adaptive",
+    }
+}
 
 /// Configuration of a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -211,6 +227,7 @@ pub struct QueryService {
     succeeded: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl QueryService {
@@ -224,7 +241,16 @@ impl QueryService {
             succeeded: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// The service's metrics registry: queue-wait and per-strategy latency
+    /// histograms, overload/retry counters, active/queued gauges, plus
+    /// whatever the engines record when requests run with the registry
+    /// attached. Render with [`MetricsRegistry::render_text`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The underlying system (for parsing, classification, oracles).
@@ -261,11 +287,21 @@ impl QueryService {
     /// strategy. Returns [`ObdaError::Overloaded`] without running
     /// anything when the gate refuses admission.
     pub fn submit(&self, id: QueryId, data: &DataInstance) -> Result<ServiceReport, ObdaError> {
+        self.submit_traced(id, data, Telemetry::disabled())
+    }
+
+    /// [`QueryService::submit`] recording pipeline spans through `telem`.
+    pub fn submit_traced(
+        &self,
+        id: QueryId,
+        data: &DataInstance,
+        telem: Telemetry<'_>,
+    ) -> Result<ServiceReport, ObdaError> {
         let omq = self.prepared(id).ok_or_else(|| ObdaError::Internal {
             site: "service::submit".to_owned(),
             payload: format!("unknown query id {}", id.0),
         })?;
-        self.run(omq.query(), omq.strategy(), data)
+        self.run(omq.query(), omq.strategy(), data, telem)
     }
 
     /// [`QueryService::submit`] for an ad-hoc query (no registration):
@@ -276,7 +312,18 @@ impl QueryService {
         data: &DataInstance,
         strategy: Strategy,
     ) -> Result<ServiceReport, ObdaError> {
-        self.run(query, strategy, data)
+        self.run(query, strategy, data, Telemetry::disabled())
+    }
+
+    /// [`QueryService::answer`] recording pipeline spans through `telem`.
+    pub fn answer_traced(
+        &self,
+        query: &Cq,
+        data: &DataInstance,
+        strategy: Strategy,
+        telem: Telemetry<'_>,
+    ) -> Result<ServiceReport, ObdaError> {
+        self.run(query, strategy, data, telem)
     }
 
     /// Cumulative counters since construction.
@@ -294,39 +341,78 @@ impl QueryService {
         (s.active, s.queued)
     }
 
+    /// Publishes the gate's current load to the `service_active` /
+    /// `service_queued` gauges.
+    fn publish_load(&self, metrics: &MetricsRegistry) {
+        let s = self.gate.load();
+        metrics.gauge("service_active").set(s.active as i64);
+        metrics.gauge("service_queued").set(s.queued as i64);
+    }
+
     fn run(
         &self,
         query: &Cq,
         strategy: Strategy,
         data: &DataInstance,
+        telem: Telemetry<'_>,
     ) -> Result<ServiceReport, ObdaError> {
+        // Requests always record into a registry, even when the caller
+        // passed no tracer (metrics are always-on; spans are not). A
+        // caller-supplied registry overrides the service's own so that one
+        // exposition covers the gate and the engines together.
+        let telem = Telemetry { metrics: telem.metrics.or(Some(&self.metrics)), ..telem };
+        let metrics = telem.metrics.unwrap_or(&self.metrics);
         let arrival = Instant::now();
         let deadline = self.cfg.budget.timeout.map(|t| arrival + t);
+        let qspan = telem.span("queue_wait");
         let permit = match self.gate.acquire(self.cfg.max_concurrency, self.cfg.max_queue, deadline)
         {
-            Ok(p) => p,
+            Ok(p) => {
+                qspan.end();
+                p
+            }
             Err(seen) => {
+                qspan.error(&format!(
+                    "admission refused: {} active, {} queued",
+                    seen.active, seen.queued
+                ));
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("service_overloaded_total").inc();
                 return Err(ObdaError::Overloaded { active: seen.active, queued: seen.queued });
             }
         };
+        self.publish_load(metrics);
         let queue_wait = arrival.elapsed();
+        metrics.histogram("service_queue_wait_seconds").observe(queue_wait);
         // The ladder isolates each attempt itself; this outer boundary is
         // the per-request backstop so nothing can unwind past the permit.
         let report = crate::pipeline::isolate("service::request", || {
-            Ok(self.system.answer_with_fallback_policy(
+            Ok(self.system.answer_with_fallback_traced(
                 query,
                 data,
                 strategy,
                 &self.cfg.budget,
                 self.cfg.engine.as_ref(),
                 &self.cfg.retry,
+                telem,
             ))
         })?;
         drop(permit);
+        self.publish_load(metrics);
         let counter = if report.winner.is_some() { &self.succeeded } else { &self.failed };
         counter.fetch_add(1, Ordering::Relaxed);
-        Ok(ServiceReport { report, queue_wait, latency: arrival.elapsed() })
+        let latency = arrival.elapsed();
+        metrics.histogram("service_latency_seconds").observe(latency);
+        if let Some(winner) = report.winning_strategy() {
+            metrics
+                .histogram(&format!("service_latency_seconds_{}", strategy_key(winner)))
+                .observe(latency);
+        }
+        let retries = report.num_retries() as u64;
+        if retries > 0 {
+            metrics.counter("service_transient_retries_total").add(retries);
+        }
+        Ok(ServiceReport { report, queue_wait, latency })
     }
 }
 

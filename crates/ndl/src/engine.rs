@@ -31,14 +31,15 @@
 
 use crate::analysis::topological_order;
 use crate::eval::{
-    eval_clause_into, halt_from_panic, halt_to_error, join_order, reachable_from_goal, relation,
-    EvalError, EvalOptions, EvalResult, EvalStats, Halt, Row,
+    error_stats, eval_clause_into, halt_from_panic, halt_to_error, join_order, reachable_from_goal,
+    relation, EvalError, EvalOptions, EvalResult, EvalStats, Halt, JoinCounters, Row,
 };
 use crate::program::{BodyAtom, Clause, NdlQuery, PredId, PredKind};
 use crate::relevance::{prune_for_goal, PrunedQuery};
 use crate::storage::{Database, Relation};
 use obda_budget::{Budget, BudgetOps, SharedBudget, WorkerBudget};
 use obda_owlql::abox::ConstId;
+use obda_telemetry::Telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -98,11 +99,31 @@ pub fn evaluate_engine_on_budgeted(
     budget: &mut Budget,
     cfg: &EngineConfig,
 ) -> Result<EvalResult, EvalError> {
+    evaluate_engine_on_traced(query, db, budget, cfg, Telemetry::disabled())
+}
+
+/// Like [`evaluate_engine_on_budgeted`], recording spans and metrics
+/// through `telem`: a `prune` span (clause counts before/after), then an
+/// `eval` span whose children are `stratum-schedule`, per-stratum
+/// `stratum` spans and per-task `clause_task` spans with join counters.
+pub fn evaluate_engine_on_traced(
+    query: &NdlQuery,
+    db: &Database,
+    budget: &mut Budget,
+    cfg: &EngineConfig,
+    telem: Telemetry<'_>,
+) -> Result<EvalResult, EvalError> {
     if cfg.prune {
+        let span = telem.span("prune");
         let pruned = prune_for_goal(query);
-        evaluate_pruned_on_budgeted(&pruned, db, budget, cfg)
+        span.attr("clauses_before", pruned.stats.clauses_before as u64);
+        span.attr("clauses_after", pruned.stats.clauses_after as u64);
+        span.attr("preds_before", pruned.stats.preds_before as u64);
+        span.attr("preds_after", pruned.stats.preds_after as u64);
+        span.end();
+        evaluate_pruned_on_traced(&pruned, db, budget, cfg, telem)
     } else {
-        run(query, None, query.program.num_preds(), db, budget, cfg)
+        run(query, None, query.program.num_preds(), db, budget, cfg, telem)
     }
 }
 
@@ -116,8 +137,20 @@ pub fn evaluate_pruned_on_budgeted(
     budget: &mut Budget,
     cfg: &EngineConfig,
 ) -> Result<EvalResult, EvalError> {
+    evaluate_pruned_on_traced(pruned, db, budget, cfg, Telemetry::disabled())
+}
+
+/// Like [`evaluate_pruned_on_budgeted`], recording spans and metrics
+/// through `telem`.
+pub fn evaluate_pruned_on_traced(
+    pruned: &PrunedQuery,
+    db: &Database,
+    budget: &mut Budget,
+    cfg: &EngineConfig,
+    telem: Telemetry<'_>,
+) -> Result<EvalResult, EvalError> {
     let orig = pruned.origin.iter().map(|p| p.0 as usize + 1).max().unwrap_or(0);
-    run(&pruned.query, Some(&pruned.origin), orig, db, budget, cfg)
+    run(&pruned.query, Some(&pruned.origin), orig, db, budget, cfg, telem)
 }
 
 /// One unit of stratum work: a clause (optionally restricted to a row
@@ -132,9 +165,11 @@ struct Task<'p> {
 }
 
 /// Evaluates one task into `buf`, then merges the buffer into the
-/// task's output slot, charging newly inserted tuples. Generic over
-/// [`BudgetOps`] so the inline path (exclusive [`Budget`]) and the
-/// worker pool ([`WorkerBudget`]) run identical code.
+/// task's output slot, charging newly inserted tuples. Returns the
+/// number of fresh (previously unseen) rows this task contributed.
+/// Generic over [`BudgetOps`] so the inline path (exclusive [`Budget`])
+/// and the worker pool ([`WorkerBudget`]) run identical code.
+#[allow(clippy::too_many_arguments)] // mirrors eval_clause_into
 fn eval_task<B: BudgetOps>(
     query: &NdlQuery,
     db: &Database,
@@ -143,7 +178,8 @@ fn eval_task<B: BudgetOps>(
     task: &Task<'_>,
     outs: &[Mutex<(Relation, usize)>],
     buf: &mut Vec<Row>,
-) -> Result<(), Halt> {
+    join: &mut JoinCounters,
+) -> Result<usize, Halt> {
     crate::fault::inject(crate::fault::site::ENGINE_CLAUSE_TASK);
     buf.clear();
     eval_clause_into(
@@ -154,6 +190,7 @@ fn eval_task<B: BudgetOps>(
         task.clause,
         &task.order,
         task.range,
+        join,
         &mut |row, budget| {
             budget.check_tuple_headroom(buf.len() as u64 + 1)?;
             buf.push(row);
@@ -161,17 +198,19 @@ fn eval_task<B: BudgetOps>(
         },
     )?;
     if buf.is_empty() {
-        return Ok(());
+        return Ok(0);
     }
     let mut guard = outs[task.slot].lock().unwrap_or_else(PoisonError::into_inner);
     let (rel, fresh) = &mut *guard;
+    let mut new = 0usize;
     for row in buf.iter() {
         if rel.insert_if_new(row) {
             *fresh += 1;
+            new += 1;
             budget.charge_tuples(1)?;
         }
     }
-    Ok(())
+    Ok(new)
 }
 
 /// Runs one task behind a panic-isolation boundary: an unwind out of the
@@ -191,11 +230,39 @@ fn eval_task_isolated<B: BudgetOps>(
     task: &Task<'_>,
     outs: &[Mutex<(Relation, usize)>],
     buf: &mut Vec<Row>,
+    telem: &Telemetry<'_>,
 ) -> Result<(), Halt> {
-    match catch_unwind(AssertUnwindSafe(|| eval_task(query, db, idb, budget, task, outs, buf))) {
+    let span = telem.tracer.enabled().then(|| telem.span("clause_task"));
+    let mut join = JoinCounters::default();
+    let result = match catch_unwind(AssertUnwindSafe(|| {
+        eval_task(query, db, idb, budget, task, outs, buf, &mut join)
+    })) {
         Ok(result) => result,
         Err(payload) => Err(halt_from_panic("ndl::engine::clause_task", payload)),
+    };
+    if let Some(span) = &span {
+        span.attr_str("head", &query.program.pred(task.clause.head).name);
+        if let Some((lo, hi)) = task.range {
+            span.attr("range_lo", lo as u64);
+            span.attr("range_hi", hi as u64);
+        }
+        span.attr("rows_scanned", join.scanned);
+        span.attr("index_hits", join.index_hits);
+        span.attr("rows_emitted", join.emitted);
+        match &result {
+            Ok(new) => span.attr("tuples", *new as u64),
+            Err(halt) => span.error(&format!("{halt:?}")),
+        }
     }
+    result.map(|_| ())
+}
+
+/// Scheduling observability: how many tasks actually ran and how many
+/// clauses were skipped because a body relation was known empty.
+#[derive(Default)]
+struct SchedStats {
+    executed: u64,
+    skipped: u64,
 }
 
 #[allow(clippy::too_many_arguments)] // internal driver; bundling would just rename the args
@@ -206,6 +273,47 @@ fn run(
     db: &Database,
     budget: &mut Budget,
     cfg: &EngineConfig,
+    telem: Telemetry<'_>,
+) -> Result<EvalResult, EvalError> {
+    let span = telem.span("eval");
+    span.attr_str("engine", "parallel");
+    span.attr("threads", cfg.effective_threads() as u64);
+    let ticks_before = budget.spent_steps();
+    let mut sched = SchedStats::default();
+    let result =
+        run_inner(query, origin, orig_num_preds, db, budget, cfg, telem.under(&span), &mut sched);
+    let tuples = match &result {
+        Ok(res) => res.stats.generated_tuples,
+        Err(e) => error_stats(e).map_or(0, |s| s.generated_tuples),
+    };
+    match &result {
+        Ok(res) => {
+            span.attr("tuples", tuples as u64);
+            span.attr("answers", res.stats.num_answers as u64);
+        }
+        Err(e) => span.error(&e.to_string()),
+    }
+    span.attr("tasks_executed", sched.executed);
+    span.attr("clauses_skipped", sched.skipped);
+    if let Some(metrics) = telem.metrics {
+        metrics.counter("ndl_tuples_generated").add(tuples as u64);
+        metrics.counter("ndl_budget_ticks").add(budget.spent_steps().saturating_sub(ticks_before));
+        metrics.counter("engine_tasks_executed").add(sched.executed);
+        metrics.counter("engine_clauses_skipped").add(sched.skipped);
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)] // internal driver; bundling would just rename the args
+fn run_inner(
+    query: &NdlQuery,
+    origin: Option<&[PredId]>,
+    orig_num_preds: usize,
+    db: &Database,
+    budget: &mut Budget,
+    cfg: &EngineConfig,
+    telem: Telemetry<'_>,
+    sched: &mut SchedStats,
 ) -> Result<EvalResult, EvalError> {
     let start = Instant::now();
     let program = &query.program;
@@ -218,6 +326,7 @@ fn run(
     // predicate one level above its deepest body predicate. Predicates
     // in the same level never depend on one another, so a level is a
     // stratum the pool can evaluate concurrently.
+    let sched_span = telem.span("stratum-schedule");
     let mut level = vec![0usize; num_preds];
     let mut num_levels = 1;
     for &p in &order {
@@ -243,6 +352,9 @@ fn run(
             strata[level[p.0 as usize]].push(p);
         }
     }
+    sched_span.attr("strata", strata.iter().filter(|s| !s.is_empty()).count() as u64);
+    sched_span.attr("preds", strata.iter().map(|s| s.len()).sum::<usize>() as u64);
+    sched_span.end();
 
     let mut idb: Vec<Relation> = program
         .pred_ids()
@@ -276,7 +388,17 @@ fn run(
         }
     };
 
-    for stratum in strata.iter().filter(|s| !s.is_empty()) {
+    for (lv, stratum) in strata.iter().enumerate().filter(|(_, s)| !s.is_empty()) {
+        let stratum_span = telem.tracer.enabled().then(|| {
+            let s = telem.span("stratum");
+            s.attr("level", lv as u64);
+            s.attr("preds", stratum.len() as u64);
+            s
+        });
+        let stratum_telem = match &stratum_span {
+            Some(s) => telem.under(s),
+            None => telem,
+        };
         let outs: Vec<Mutex<(Relation, usize)>> = stratum
             .iter()
             .map(|&p| Mutex::new((Relation::new(program.pred(p).arity), 0)))
@@ -289,6 +411,7 @@ fn run(
                     .iter()
                     .any(|a| matches!(a, BodyAtom::Pred(q, _) if empty[q.0 as usize]))
                 {
+                    sched.skipped += 1;
                     continue;
                 }
                 let order = join_order(clause).map_err(EvalError::Unsafe)?;
@@ -319,10 +442,17 @@ fn run(
 
         let halt = if threads <= 1 || tasks.len() <= 1 {
             let mut buf = Vec::new();
-            tasks
-                .iter()
-                .try_for_each(|t| eval_task_isolated(query, db, &idb, budget, t, &outs, &mut buf))
-                .err()
+            let mut halt = None;
+            for t in &tasks {
+                sched.executed += 1;
+                if let Err(h) =
+                    eval_task_isolated(query, db, &idb, budget, t, &outs, &mut buf, &stratum_telem)
+                {
+                    halt = Some(h);
+                    break;
+                }
+            }
+            halt
         } else {
             let shared: SharedBudget = budget.share();
             let next = AtomicUsize::new(0);
@@ -336,9 +466,16 @@ fn run(
                         while !abort.load(Ordering::Relaxed) {
                             let t = next.fetch_add(1, Ordering::Relaxed);
                             let Some(task) = tasks.get(t) else { break };
-                            if let Err(h) =
-                                eval_task_isolated(query, db, &idb, &mut wb, task, &outs, &mut buf)
-                            {
+                            if let Err(h) = eval_task_isolated(
+                                query,
+                                db,
+                                &idb,
+                                &mut wb,
+                                task,
+                                &outs,
+                                &mut buf,
+                                &stratum_telem,
+                            ) {
                                 // Budget halts already poisoned the shared
                                 // budget; a caught panic has not, so cancel
                                 // the pool explicitly — siblings deep in a
@@ -362,6 +499,7 @@ fn run(
                 }
             });
             budget.absorb(&shared);
+            sched.executed += next.load(Ordering::Relaxed).min(tasks.len()) as u64;
             first_halt.into_inner().unwrap_or_else(PoisonError::into_inner)
         };
         // Ticks amortise their cap and clock checks, so a small stratum
@@ -377,6 +515,11 @@ fn run(
             per_pred[p.0 as usize] += fresh;
             empty[p.0 as usize] = rel.is_empty();
             idb[p.0 as usize] = rel;
+        }
+        if let Some(span) = &stratum_span {
+            if let Some(halt) = &halt {
+                span.error(&format!("{halt:?}"));
+            }
         }
         if let Some(halt) = halt {
             let goal_answers = per_pred[query.goal.0 as usize];

@@ -9,7 +9,7 @@
 //!
 //! Clauses are evaluated as bound-pattern-specialised index-nested-loop
 //! joins over the shared [`Database`] of [`crate::storage`]: for every
-//! predicate atom the greedy [`join_order`] determines which argument
+//! predicate atom the greedy `join_order` determines which argument
 //! positions are bound by the time the atom is reached, and the engine
 //! probes the relation's lazy [`crate::storage::ColumnIndex`] on the first
 //! bound column (falling back to a scan when no position is bound),
@@ -23,6 +23,7 @@ use crate::storage::{Database, Relation};
 use obda_budget::{Budget, BudgetExceeded, BudgetOps, Resource};
 use obda_owlql::abox::{ConstId, DataInstance};
 use obda_owlql::util::FxHashSet;
+use obda_telemetry::Telemetry;
 use std::time::{Duration, Instant};
 
 /// Evaluation limits. A convenience facade over [`Budget`]: callers that
@@ -270,6 +271,30 @@ struct Counters {
     per_pred: Vec<usize>,
 }
 
+/// Join-kernel observability counters, accumulated per clause evaluation.
+/// Always counted — a handful of `u64` adds per *batch* of candidate rows,
+/// noise next to the hash probes they sit beside — and attached to the
+/// clause span only when tracing is on (`experiments benchguard` holds the
+/// kernel to this).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct JoinCounters {
+    /// Candidate rows examined, across scan and index-probe paths.
+    pub scanned: u64,
+    /// Candidate rows obtained via a column-index probe (⊆ `scanned`).
+    pub index_hits: u64,
+    /// Head rows handed to the emit callback (before deduplication).
+    pub emitted: u64,
+}
+
+/// Partial statistics carried by an [`EvalError`], when the failure class
+/// has any (budget trips carry the stats at interruption; the rest don't).
+pub(crate) fn error_stats(e: &EvalError) -> Option<&EvalStats> {
+    match e {
+        EvalError::Timeout(stats) | EvalError::TupleLimit(stats) => Some(stats),
+        _ => None,
+    }
+}
+
 /// Evaluates one clause body by index-nested-loop joins in the given
 /// `order`, calling `emit` for every binding that satisfies the body.
 /// When `first_range = Some((lo, hi))` and the first atom of `order` is
@@ -287,6 +312,7 @@ pub(crate) fn eval_clause_into<B: BudgetOps>(
     clause: &Clause,
     order: &[usize],
     first_range: Option<(usize, usize)>,
+    counters: &mut JoinCounters,
     emit: &mut dyn FnMut(Row, &mut B) -> Result<(), Halt>,
 ) -> Result<(), Halt> {
     let mut bindings: Vec<Row> = vec![vec![UNBOUND; clause.num_vars as usize]];
@@ -380,6 +406,7 @@ pub(crate) fn eval_clause_into<B: BudgetOps>(
                         };
                         for binding in &bindings {
                             budget.tick()?;
+                            counters.scanned += (hi - lo) as u64;
                             for r in lo..hi {
                                 extend(binding, rel.row(r), &mut next, budget)?;
                             }
@@ -392,7 +419,10 @@ pub(crate) fn eval_clause_into<B: BudgetOps>(
                         for binding in &bindings {
                             budget.tick()?;
                             let key = binding[args[col].0 as usize];
-                            for &row_id in index.probe(key) {
+                            let hits = index.probe(key);
+                            counters.scanned += hits.len() as u64;
+                            counters.index_hits += hits.len() as u64;
+                            for &row_id in hits {
                                 extend(binding, rel.row(row_id as usize), &mut next, budget)?;
                             }
                         }
@@ -407,6 +437,7 @@ pub(crate) fn eval_clause_into<B: BudgetOps>(
     }
     for binding in bindings {
         budget.tick()?;
+        counters.emitted += 1;
         let row: Row = clause
             .head_args
             .iter()
@@ -422,7 +453,9 @@ pub(crate) fn eval_clause_into<B: BudgetOps>(
 }
 
 /// Evaluates one clause by index-nested-loop joins, inserting derived head
-/// rows into `out`.
+/// rows into `out`. When tracing is on, the clause gets its own join span
+/// carrying the [`JoinCounters`] and the fresh-tuple count.
+#[allow(clippy::too_many_arguments)] // internal driver mirroring the kernel
 fn eval_clause(
     program: &Program,
     db: &Database,
@@ -431,16 +464,41 @@ fn eval_clause(
     counters: &mut Counters,
     clause: &Clause,
     out: &mut Relation,
+    telem: &Telemetry<'_>,
 ) -> Result<(), Halt> {
     let order = join_order(clause).map_err(Halt::Unsafe)?;
-    eval_clause_into(program, db, idb, budget, clause, &order, None, &mut |row, budget| {
-        if out.insert_if_new(&row) {
-            counters.generated += 1;
-            counters.per_pred[clause.head.0 as usize] += 1;
-            budget.charge_tuples(1)?;
+    let span = telem.tracer.enabled().then(|| telem.span("clause"));
+    let mut join = JoinCounters::default();
+    let before = counters.per_pred[clause.head.0 as usize];
+    let result = eval_clause_into(
+        program,
+        db,
+        idb,
+        budget,
+        clause,
+        &order,
+        None,
+        &mut join,
+        &mut |row, budget| {
+            if out.insert_if_new(&row) {
+                counters.generated += 1;
+                counters.per_pred[clause.head.0 as usize] += 1;
+                budget.charge_tuples(1)?;
+            }
+            Ok(())
+        },
+    );
+    if let Some(span) = &span {
+        span.attr_str("head", &program.pred(clause.head).name);
+        span.attr("rows_scanned", join.scanned);
+        span.attr("index_hits", join.index_hits);
+        span.attr("rows_emitted", join.emitted);
+        span.attr("tuples", (counters.per_pred[clause.head.0 as usize] - before) as u64);
+        if let Err(halt) = &result {
+            span.error(&format!("{halt:?}"));
         }
-        Ok(())
-    })
+    }
+    result
 }
 
 /// The IDB predicates reachable from the goal through clause bodies.
@@ -487,6 +545,47 @@ pub fn evaluate_on_budgeted(
     db: &Database,
     budget: &mut Budget,
 ) -> Result<EvalResult, EvalError> {
+    evaluate_on_traced(query, db, budget, Telemetry::disabled())
+}
+
+/// Like [`evaluate_on_budgeted`], recording spans and metrics through
+/// `telem`: one `eval` span with a `clause` child per clause evaluated
+/// (join counters attached), plus `ndl_tuples_generated` and
+/// `ndl_budget_ticks` counters when a registry is present.
+pub fn evaluate_on_traced(
+    query: &NdlQuery,
+    db: &Database,
+    budget: &mut Budget,
+    telem: Telemetry<'_>,
+) -> Result<EvalResult, EvalError> {
+    let span = telem.span("eval");
+    span.attr_str("engine", "sequential");
+    let ticks_before = budget.spent_steps();
+    let result = evaluate_inner(query, db, budget, &telem.under(&span));
+    let tuples = match &result {
+        Ok(res) => res.stats.generated_tuples,
+        Err(e) => error_stats(e).map_or(0, |s| s.generated_tuples),
+    };
+    match &result {
+        Ok(res) => {
+            span.attr("tuples", tuples as u64);
+            span.attr("answers", res.stats.num_answers as u64);
+        }
+        Err(e) => span.error(&e.to_string()),
+    }
+    if let Some(metrics) = telem.metrics {
+        metrics.counter("ndl_tuples_generated").add(tuples as u64);
+        metrics.counter("ndl_budget_ticks").add(budget.spent_steps() - ticks_before);
+    }
+    result
+}
+
+fn evaluate_inner(
+    query: &NdlQuery,
+    db: &Database,
+    budget: &mut Budget,
+    telem: &Telemetry<'_>,
+) -> Result<EvalResult, EvalError> {
     let start = Instant::now();
     let program = &query.program;
     let order = topological_order(program).ok_or(EvalError::Recursive)?;
@@ -513,7 +612,7 @@ pub fn evaluate_on_budgeted(
         for clause in program.clauses() {
             if clause.head == p {
                 if let Err(halt) =
-                    eval_clause(program, db, &idb, budget, &mut counters, clause, &mut out)
+                    eval_clause(program, db, &idb, budget, &mut counters, clause, &mut out, telem)
                 {
                     let goal_answers = counters.per_pred[query.goal.0 as usize];
                     return Err(halt_to_error(halt, stats_at(&counters, goal_answers, start)));

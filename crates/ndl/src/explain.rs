@@ -1,0 +1,290 @@
+//! Query-plan explanation: the stratum schedule and per-clause join
+//! orders the engine *would* use, without evaluating anything.
+//!
+//! [`explain_plan`] replays the planning decisions of [`crate::engine`] —
+//! the longest-path layering into strata and the greedy join order of
+//! every goal-reachable clause — and records, for each body atom, whether
+//! the kernel will probe a column index or fall back to a scan. The CLI's
+//! `obda explain` command renders this for the rewriting and for the
+//! pruned program.
+
+use crate::eval::{join_order, reachable_from_goal};
+use crate::program::{BodyAtom, NdlQuery, PredId, PredKind, Program};
+use obda_owlql::util::FxHashSet;
+
+/// How the join kernel reaches one body atom's candidate rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomAccess {
+    /// Full scan of the atom's relation (no argument bound yet); these
+    /// are the outer loops the engine chunks across workers.
+    Scan,
+    /// Probe of the lazy column index on the given argument position.
+    Probe {
+        /// The argument position whose index is probed.
+        column: usize,
+    },
+    /// An equality atom (filter or variable binding, no relation access).
+    Filter,
+}
+
+/// The planned evaluation of one clause: its join order and the access
+/// path of every body atom, in execution order.
+#[derive(Debug, Clone)]
+pub struct ClausePlan {
+    /// Head predicate.
+    pub head: PredId,
+    /// Body atom indices in the order the kernel joins them.
+    pub order: Vec<usize>,
+    /// Access path per executed atom, parallel to `order`.
+    pub access: Vec<AtomAccess>,
+    /// Human-readable rendering of each executed atom (`R(x0, x1)`).
+    pub atoms: Vec<String>,
+    /// The error, if the clause cannot be ordered (unsafe equality).
+    pub error: Option<String>,
+}
+
+/// One stratum: predicates at the same longest-path level, mutually
+/// independent and evaluated concurrently by the engine.
+#[derive(Debug, Clone)]
+pub struct StratumPlan {
+    /// Longest-path level (1 = depends only on EDB relations).
+    pub level: usize,
+    /// The clause plans of this stratum, grouped by head predicate in
+    /// topological order.
+    pub clauses: Vec<ClausePlan>,
+}
+
+/// The full predicted plan for a query.
+#[derive(Debug, Clone)]
+pub struct PlanExplanation {
+    /// Strata in evaluation order.
+    pub strata: Vec<StratumPlan>,
+    /// Goal-reachable predicates (the ones the engine materialises).
+    pub reachable_preds: usize,
+    /// Total clauses planned.
+    pub clauses: usize,
+}
+
+fn atom_text(program: &Program, atom: &BodyAtom) -> String {
+    match atom {
+        BodyAtom::Pred(p, args) => {
+            let args: Vec<String> = args.iter().map(|v| format!("x{}", v.0)).collect();
+            format!("{}({})", program.pred(*p).name, args.join(", "))
+        }
+        BodyAtom::Eq(a, b) => format!("x{} = x{}", a.0, b.0),
+        BodyAtom::EqConst(a, c) => format!("x{} = #{}", a.0, c.0),
+    }
+}
+
+fn plan_clause(program: &Program, clause: &crate::program::Clause) -> ClausePlan {
+    let order = match join_order(clause) {
+        Ok(order) => order,
+        Err(msg) => {
+            return ClausePlan {
+                head: clause.head,
+                order: Vec::new(),
+                access: Vec::new(),
+                atoms: Vec::new(),
+                error: Some(msg),
+            };
+        }
+    };
+    // Replay the kernel's binding discipline to predict each access path.
+    let mut bound: FxHashSet<crate::program::CVar> = FxHashSet::default();
+    let mut access = Vec::with_capacity(order.len());
+    let mut atoms = Vec::with_capacity(order.len());
+    for &i in &order {
+        let atom = &clause.body[i];
+        atoms.push(atom_text(program, atom));
+        match atom {
+            BodyAtom::Pred(_, args) => {
+                let col = (0..args.len()).find(|&k| bound.contains(&args[k]));
+                access.push(match col {
+                    Some(column) => AtomAccess::Probe { column },
+                    None => AtomAccess::Scan,
+                });
+            }
+            BodyAtom::Eq(..) | BodyAtom::EqConst(..) => access.push(AtomAccess::Filter),
+        }
+        for v in atom.vars() {
+            bound.insert(v);
+        }
+    }
+    ClausePlan { head: clause.head, order, access, atoms, error: None }
+}
+
+/// Predicts the engine's plan for `query`: longest-path strata and the
+/// greedy join order plus access path of every goal-reachable clause.
+/// Mirrors `engine::run` exactly, but performs no evaluation.
+pub fn explain_plan(query: &NdlQuery) -> PlanExplanation {
+    let program = &query.program;
+    let num_preds = program.num_preds();
+    let reachable = reachable_from_goal(query);
+    let order = crate::analysis::topological_order(program).unwrap_or_default();
+
+    let mut level = vec![0usize; num_preds];
+    let mut num_levels = 1;
+    for &p in &order {
+        if !reachable[p.0 as usize] || !program.is_idb(p) {
+            continue;
+        }
+        let mut lv = 1;
+        for clause in program.clauses_for(p) {
+            for atom in &clause.body {
+                if let BodyAtom::Pred(q, _) = atom {
+                    if program.is_idb(*q) {
+                        lv = lv.max(level[q.0 as usize] + 1);
+                    }
+                }
+            }
+        }
+        level[p.0 as usize] = lv;
+        num_levels = num_levels.max(lv + 1);
+    }
+    let mut strata: Vec<Vec<PredId>> = vec![Vec::new(); num_levels];
+    for &p in &order {
+        if reachable[p.0 as usize] && program.is_idb(p) {
+            strata[level[p.0 as usize]].push(p);
+        }
+    }
+
+    let mut plan = PlanExplanation { strata: Vec::new(), reachable_preds: 0, clauses: 0 };
+    plan.reachable_preds = (0..num_preds)
+        .filter(|&i| reachable[i] && matches!(program.pred(PredId(i as u32)).kind, PredKind::Idb))
+        .count();
+    for (lv, stratum) in strata.iter().enumerate() {
+        if stratum.is_empty() {
+            continue;
+        }
+        let mut clauses = Vec::new();
+        for &p in stratum {
+            for clause in program.clauses_for(p) {
+                clauses.push(plan_clause(program, clause));
+            }
+        }
+        plan.clauses += clauses.len();
+        plan.strata.push(StratumPlan { level: lv, clauses });
+    }
+    plan
+}
+
+/// Renders the plan for terminal output, one stratum per block.
+pub struct PlanDisplay<'a> {
+    plan: &'a PlanExplanation,
+    program: &'a Program,
+}
+
+impl PlanExplanation {
+    /// A displayable rendering resolving predicate names via `program`.
+    pub fn display<'a>(&'a self, program: &'a Program) -> PlanDisplay<'a> {
+        PlanDisplay { plan: self, program }
+    }
+}
+
+impl std::fmt::Display for PlanDisplay<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "plan: {} strata, {} clauses, {} reachable predicates",
+            self.plan.strata.len(),
+            self.plan.clauses,
+            self.plan.reachable_preds
+        )?;
+        for stratum in &self.plan.strata {
+            writeln!(f, "stratum {} ({} clauses):", stratum.level, stratum.clauses.len())?;
+            for clause in &stratum.clauses {
+                let head = &self.program.pred(clause.head).name;
+                if let Some(err) = &clause.error {
+                    writeln!(f, "  {head} <- unsafe: {err}")?;
+                    continue;
+                }
+                let steps: Vec<String> = clause
+                    .atoms
+                    .iter()
+                    .zip(&clause.access)
+                    .map(|(atom, access)| match access {
+                        AtomAccess::Scan => format!("scan {atom}"),
+                        AtomAccess::Probe { column } => format!("probe[{column}] {atom}"),
+                        AtomAccess::Filter => format!("filter {atom}"),
+                    })
+                    .collect();
+                writeln!(f, "  {head} <- {}", steps.join(" ; "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CVar, Clause};
+
+    fn sample() -> NdlQuery {
+        let mut p = Program::new();
+        let r = p.add_pred("R", 2, PredKind::Top);
+        let t = p.add_pred("T", 2, PredKind::Idb);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        p.add_clause(Clause {
+            head: t,
+            head_args: vec![CVar(0), CVar(2)],
+            body: vec![
+                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(r, vec![CVar(1), CVar(2)]),
+            ],
+            num_vars: 3,
+        });
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(t, vec![CVar(0), CVar(1)])],
+            num_vars: 2,
+        });
+        NdlQuery::new(p, g)
+    }
+
+    #[test]
+    fn strata_follow_dependencies() {
+        let q = sample();
+        let plan = explain_plan(&q);
+        assert_eq!(plan.strata.len(), 2);
+        assert_eq!(plan.strata[0].level, 1);
+        assert_eq!(plan.strata[1].level, 2);
+        assert_eq!(plan.clauses, 2);
+        assert_eq!(plan.reachable_preds, 2);
+    }
+
+    #[test]
+    fn first_atom_scans_then_probes() {
+        let q = sample();
+        let plan = explain_plan(&q);
+        let t_clause = &plan.strata[0].clauses[0];
+        assert_eq!(t_clause.access[0], AtomAccess::Scan);
+        assert!(matches!(t_clause.access[1], AtomAccess::Probe { .. }));
+    }
+
+    #[test]
+    fn unsafe_clause_reported_not_panicked() {
+        let mut p = Program::new();
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Eq(CVar(0), CVar(1))],
+            num_vars: 2,
+        });
+        let plan = explain_plan(&NdlQuery::new(p, g));
+        assert_eq!(plan.strata.len(), 1);
+        assert!(plan.strata[0].clauses[0].error.is_some());
+    }
+
+    #[test]
+    fn display_renders_access_paths() {
+        let q = sample();
+        let plan = explain_plan(&q);
+        let text = plan.display(&q.program).to_string();
+        assert!(text.contains("stratum 1"), "{text}");
+        assert!(text.contains("scan R("), "{text}");
+        assert!(text.contains("probe["), "{text}");
+    }
+}

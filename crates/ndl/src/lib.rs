@@ -19,7 +19,7 @@
 //!   ([`eval`], the stand-in for RDFox in the experiments, using
 //!   index-nested-loop joins) and Theorem 2's reachability-based evaluator
 //!   for linear programs ([`linear_eval`]);
-//! * the original per-call hash-set engine ([`reference`]), kept for
+//! * the original per-call hash-set engine ([`mod@reference`]), kept for
 //!   differential tests and as the benchmark baseline;
 //! * a goal-directed relevance-pruning pass ([`relevance`]) and a
 //!   parallel stratum-scheduled engine ([`engine`]) combining pruning
@@ -48,6 +48,7 @@ pub(crate) mod fault {
 pub mod analysis;
 pub mod engine;
 pub mod eval;
+pub mod explain;
 pub mod linear_eval;
 pub mod program;
 pub mod reference;
@@ -57,10 +58,14 @@ pub mod star;
 pub mod storage;
 
 pub use analysis::{analyze, Analysis};
-pub use engine::{evaluate_engine_on, evaluate_engine_on_budgeted, EngineConfig};
-pub use eval::{
-    evaluate, evaluate_on, evaluate_on_budgeted, EvalError, EvalOptions, EvalResult, EvalStats,
+pub use engine::{
+    evaluate_engine_on, evaluate_engine_on_budgeted, evaluate_engine_on_traced, EngineConfig,
 };
+pub use eval::{
+    evaluate, evaluate_on, evaluate_on_budgeted, evaluate_on_traced, EvalError, EvalOptions,
+    EvalResult, EvalStats,
+};
+pub use explain::{explain_plan, AtomAccess, ClausePlan, PlanExplanation, StratumPlan};
 pub use linear_eval::{evaluate_linear, evaluate_linear_on, evaluate_linear_on_budgeted};
 pub use program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program, ProgramDisplay};
 pub use reference::evaluate_reference;

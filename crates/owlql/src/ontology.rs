@@ -66,6 +66,11 @@ impl Ontology {
         &self.axioms
     }
 
+    /// Number of axioms including normalisation axioms.
+    pub fn num_axioms(&self) -> usize {
+        self.axioms.len()
+    }
+
     /// The axioms supplied by the user (without normalisation axioms).
     pub fn user_axioms(&self) -> &[Axiom] {
         &self.axioms[..self.num_user_axioms]

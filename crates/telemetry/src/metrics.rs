@@ -1,0 +1,230 @@
+//! A small metrics registry: named atomic counters, gauges, and fixed-bucket
+//! latency histograms, with Prometheus-style text exposition.
+//!
+//! Handles returned by the registry are `Arc`-backed and cheap to clone into
+//! engine workers; updates are single atomic operations, so recording a
+//! metric is safe anywhere, though instrumented code only does so at stage
+//! boundaries, never per row.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Upper bounds (in microseconds) of the latency histogram buckets, from
+/// 100 µs to 10 s; a final implicit `+Inf` bucket catches the rest.
+pub const LATENCY_BUCKETS_MICROS: [u64; 15] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 10_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, active workers).
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; LATENCY_BUCKETS_MICROS.len() + 1],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram (bounds: [`LATENCY_BUCKETS_MICROS`]).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one duration given in microseconds.
+    pub fn observe_micros(&self, micros: u64) {
+        let idx = LATENCY_BUCKETS_MICROS
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(LATENCY_BUCKETS_MICROS.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.0.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket observation counts (not cumulative); the final entry is
+    /// the `+Inf` overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A shared registry of named metrics. Cloning is cheap (one `Arc`); all
+/// clones observe the same cells.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        locked(&self.inner.counters).entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        locked(&self.inner.gauges).entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        locked(&self.inner.histograms).entry(name.to_string()).or_default().clone()
+    }
+
+    /// Render every metric as Prometheus-style text, sorted by name.
+    /// Histogram buckets are cumulative with `le` labels in seconds.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in locked(&self.inner.counters).iter() {
+            out.push_str(&format!("{name} {}\n", c.get()));
+        }
+        for (name, g) in locked(&self.inner.gauges).iter() {
+            out.push_str(&format!("{name} {}\n", g.get()));
+        }
+        for (name, h) in locked(&self.inner.histograms).iter() {
+            let mut cumulative = 0u64;
+            for (i, count) in h.bucket_counts().iter().enumerate() {
+                cumulative += count;
+                let le = match LATENCY_BUCKETS_MICROS.get(i) {
+                    Some(&bound) => format!("{}", bound as f64 / 1e6),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+            out.push_str(&format!("{name}_sum {}\n", h.sum_micros() as f64 / 1e6));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_are_shared_across_clones() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests");
+        c.inc();
+        reg.clone().counter("requests").add(2);
+        assert_eq!(reg.counter("requests").get(), 3);
+        let g = reg.gauge("active");
+        g.set(4);
+        g.add(-1);
+        assert_eq!(reg.gauge("active").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(50)); // first bucket (<= 100us)
+        h.observe(Duration::from_millis(3)); // <= 5ms bucket
+        h.observe(Duration::from_secs(60)); // +Inf overflow
+        assert_eq!(h.count(), 3);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[LATENCY_BUCKETS_MICROS.len()], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn text_exposition_is_sorted_and_cumulative() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_count").inc();
+        reg.counter("a_count").inc();
+        let h = reg.histogram("latency_seconds");
+        h.observe(Duration::from_micros(10));
+        h.observe(Duration::from_micros(10));
+        let text = reg.render_text();
+        let a = text.find("a_count 1").unwrap_or(usize::MAX);
+        let b = text.find("b_count 1").unwrap_or(usize::MAX);
+        assert!(a < b, "names must be sorted: {text}");
+        assert!(text.contains("latency_seconds_bucket{le=\"0.0001\"} 2"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("latency_seconds_count 2"));
+    }
+}

@@ -302,6 +302,71 @@ fn identical_plans_produce_identical_reports() {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry under faults: injected failures must appear as error-tagged
+// spans without corrupting the span tree.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_faults_appear_as_error_tagged_spans() {
+    use obda::{CollectingTracer, Telemetry};
+
+    quiet_injected_panics();
+    let sys = ObdaSystem::from_text(ONTOLOGY).unwrap();
+    let q = sys.parse_query(QUERY).unwrap();
+    let d = sys.parse_data(DATA).unwrap();
+    for kind in [FaultKind::Transient, FaultKind::Panic] {
+        let tracer = CollectingTracer::new();
+        let plan = FaultPlan::always(21, site::ENGINE_CLAUSE_TASK, kind);
+        let guard = plan.install();
+        let report = sys.answer_with_fallback_traced(
+            &q,
+            &d,
+            Strategy::Tw,
+            &BudgetSpec::unlimited(),
+            Some(&engine_cfg(4)),
+            &fast_retry(),
+            Telemetry::new(&tracer, None),
+        );
+        drop(guard);
+        assert!(report.winner.is_none(), "{kind:?}: an always-fault cannot succeed");
+
+        let tree = tracer.snapshot();
+        // The unwind must not corrupt the tree: every span was closed (the
+        // RAII guards run during unwinding), and both renderers still work.
+        assert!(
+            tree.iter().all(|s| s.ended),
+            "{kind:?}: a fault left an unfinished span:\n{}",
+            tree.render_pretty()
+        );
+        assert!(!tree.render_pretty().is_empty());
+        assert!(tree.render_json().starts_with('['));
+
+        // One attempt span per recorded ladder attempt, each error-tagged
+        // with the outcome the report shows (none of them succeeded).
+        let attempts: Vec<_> = tree.iter().filter(|s| s.name == "attempt").collect();
+        assert_eq!(
+            attempts.len(),
+            report.attempts.len(),
+            "{kind:?}: the trace and the report disagree on attempts:\n{}",
+            tree.render_pretty()
+        );
+        assert!(
+            attempts.iter().all(|s| s.error.is_some()),
+            "{kind:?}: every failed attempt must be error-tagged:\n{}",
+            tree.render_pretty()
+        );
+        // The injection site surfaces in the error tags.
+        assert!(
+            tree.iter()
+                .filter_map(|s| s.error.as_deref())
+                .any(|e| e.contains(site::ENGINE_CLAUSE_TASK)),
+            "{kind:?}: no error tag names the faulted site:\n{}",
+            tree.render_pretty()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Service liveness under sustained failure
 // ---------------------------------------------------------------------------
 

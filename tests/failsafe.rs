@@ -476,6 +476,70 @@ fn cli_cyclic_ontology_terminates_with_typed_outcome() {
 }
 
 #[test]
+fn cli_trace_preserves_exit_codes_across_failure_classes() {
+    let fx = Fixture::new("trace_codes");
+    let o = fx.file("o.owlql", "A SubClassOf exists R\n");
+    let q = fx.file("q.cq", "q(x) :- R(x, y)");
+    let d = fx.file("d.abox", "A(a)\n");
+
+    // Success (0): the span tree covers the whole request on stderr and the
+    // answers stay on stdout.
+    let (code, out, err) =
+        run_cli(&["answer", "--ontology", &o, "--query", &q, "--data", &d, "--oracle", "--trace"]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(out.contains("(a)"), "stdout: {out}");
+    for span in ["request", "parse:ontology", "attempt", "eval", "oracle-check"] {
+        assert!(err.contains(span), "missing {span} span in trace:\n{err}");
+    }
+    assert!(!err.contains("!error"), "a clean run must not tag errors:\n{err}");
+
+    // Usage error (2): rejected before a request span can exist.
+    let (code, _, err) = run_cli(&["answer", "--frobnicate", "--trace"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage:"));
+    let (code, _, _) = run_cli(&["answer", "--trace=yaml"]);
+    assert_eq!(code, 2, "unknown trace formats are usage errors");
+
+    // Parse error (3): the request root is error-tagged, exit code unchanged.
+    let bad = fx.file("bad.owlql", "A SubClassOf SubClassOf ((\n");
+    let (code, _, err) =
+        run_cli(&["answer", "--ontology", &bad, "--query", &q, "--data", &d, "--trace"]);
+    assert_eq!(code, 3, "stderr: {err}");
+    assert!(err.contains("request"), "stderr: {err}");
+    assert!(err.contains("!error"), "the failure must be span-tagged: {err}");
+
+    // Budget exhaustion (6) with --trace=json: a machine-readable span tree
+    // still lands on stderr, error field set on the root.
+    let eo = fx.file("eo.owlql", EXPONENTIAL_ONTOLOGY);
+    let eq = fx.file("eq.cq", EXPONENTIAL_QUERY);
+    let ed = fx.file("ed.abox", EXPONENTIAL_DATA);
+    let (code, _, err) = run_cli(&[
+        "answer",
+        "--ontology",
+        &eo,
+        "--query",
+        &eq,
+        "--data",
+        &ed,
+        "--strategy",
+        "ucq",
+        "--no-fallback",
+        "--budget-secs",
+        "1",
+        "--budget-clauses",
+        "5000",
+        "--trace=json",
+    ]);
+    assert_eq!(code, 6, "stderr: {err}");
+    let json = err
+        .lines()
+        .find(|l| l.starts_with('['))
+        .unwrap_or_else(|| panic!("no JSON span tree on stderr:\n{err}"));
+    assert!(json.contains("\"name\":\"request\""), "json: {json}");
+    assert!(json.contains(",\"error\":\""), "the root must carry the failure: {json}");
+}
+
+#[test]
 fn cli_timeout_covers_the_rewriting_stage() {
     // Tw's tree-witness computation materialises generator models; on the
     // deep cyclic ontology only the wall clock can interrupt it, so a
