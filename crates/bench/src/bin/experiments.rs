@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig1] [fig2] [table2] [table3] [table4] [table5]
-//!             [bencheval] [benchguard] [all]
+//!             [bencheval] [benchguard] [benchstore] [all]
 //!             [--scale S] [--max-atoms N] [--timeout-secs T] [--csv DIR]
 //!             [--threads N]
 //! ```
@@ -23,6 +23,13 @@
 //!   or regresses measurably in time — the guard that the compiled-out
 //!   fault-injection sites really are no-ops (run **without**
 //!   `--features faults`; not part of `all`);
+//! * `benchstore` — the snapshot-store load benchmark: for every Table 2
+//!   dataset at scales 0.05 and 0.5, measures text-parse-plus-index time
+//!   against `.obdb` snapshot open time (best of 5, same `Database`
+//!   either way), records process RSS around each phase, asserts the two
+//!   loads hold identical atom counts, and writes `BENCH_store.json` in
+//!   the current directory (run alone for clean RSS numbers; not part of
+//!   `all`);
 //! * defaults: `--scale 0.05 --max-atoms 15 --timeout-secs 10 --threads 4`.
 //!
 //! Absolute numbers differ from the paper (different machine, a naive
@@ -121,6 +128,114 @@ fn main() {
     if cfg.sections.iter().any(|s| s == "benchguard") {
         benchguard(&cfg);
     }
+    // Also not part of `all`: RSS readings only mean something in a
+    // process that has not already run every other section.
+    if cfg.sections.iter().any(|s| s == "benchstore") {
+        benchstore();
+    }
+}
+
+/// `VmRSS` and `VmHWM` in kB from `/proc/self/status`, `(0, 0)` when the
+/// file or the fields are unavailable (non-Linux).
+fn rss_kb() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |name: &str| -> u64 {
+        status
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    (field("VmRSS:"), field("VmHWM:"))
+}
+
+/// The snapshot-store load benchmark behind `BENCH_store.json`: parse
+/// path (text → `DataInstance` → `Database`) vs open path (`.obdb` →
+/// `Database`), best of five each, per Table 2 dataset per scale.
+fn benchstore() {
+    const SCALES: [f64; 2] = [0.05, 0.5];
+    const RUNS: usize = 5;
+    let sys = paper_system();
+    println!("== Snapshot store: parse+index vs .obdb open (best of {RUNS}) ==\n");
+    let header: Vec<String> =
+        ["scale", "dataset", "atoms", "file KiB", "parse ms", "open ms", "speedup"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for scale in SCALES {
+        for idx in 0..obda_datagen::erdos::TABLE_2.len() {
+            let data = dataset(&sys, idx, scale);
+            let text = data.to_text(sys.ontology());
+            let path = std::env::temp_dir()
+                .join(format!("obda-benchstore-{}-{idx}.obdb", std::process::id()));
+            let info =
+                obda::write_snapshot(&path, sys.ontology().vocab(), &data).expect("write snapshot");
+
+            let mut parse_best = Duration::MAX;
+            let mut parsed_atoms = 0;
+            for _ in 0..RUNS {
+                let start = Instant::now();
+                let reparsed = sys.parse_data(&text).expect("reparse generated data");
+                let db = Database::new(&reparsed);
+                parse_best = parse_best.min(start.elapsed());
+                parsed_atoms = db.num_atoms();
+            }
+            let (rss_after_parse, _) = rss_kb();
+
+            let mut open_best = Duration::MAX;
+            let mut opened_atoms = 0;
+            for _ in 0..RUNS {
+                let start = Instant::now();
+                let snap =
+                    obda::Snapshot::open(&path, sys.ontology().vocab()).expect("open snapshot");
+                open_best = open_best.min(start.elapsed());
+                opened_atoms = snap.database().num_atoms();
+            }
+            let (rss_after_open, peak_rss) = rss_kb();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(
+                parsed_atoms, opened_atoms,
+                "snapshot open derived a different atom count than the parse path"
+            );
+
+            let speedup = parse_best.as_secs_f64() / open_best.as_secs_f64().max(1e-9);
+            table_rows.push(vec![
+                format!("{scale}"),
+                format!("{}.ttl", idx + 1),
+                parsed_atoms.to_string(),
+                format!("{:.1}", info.file_bytes as f64 / 1024.0),
+                format!("{:.3}", parse_best.as_secs_f64() * 1e3),
+                format!("{:.3}", open_best.as_secs_f64() * 1e3),
+                format!("{speedup:.1}x"),
+            ]);
+            json_rows.push(format!(
+                "    {{\"scale\": {scale}, \"dataset\": \"{}.ttl\", \"individuals\": {}, \
+                 \"atoms\": {parsed_atoms}, \"file_bytes\": {}, \"parse_seconds\": {:.6}, \
+                 \"open_seconds\": {:.6}, \"speedup\": {speedup:.2}, \
+                 \"rss_after_parse_kb\": {rss_after_parse}, \
+                 \"rss_after_open_kb\": {rss_after_open}, \"peak_rss_kb\": {peak_rss}}}",
+                idx + 1,
+                data.num_individuals(),
+                info.file_bytes,
+                parse_best.as_secs_f64(),
+                open_best.as_secs_f64(),
+            ));
+        }
+    }
+    println!("{}", render_table(&header, &table_rows));
+    let json = format!(
+        "{{\n  \"config\": {{\"scales\": [0.05, 0.5], \"runs\": {RUNS}, \
+         \"parse_path\": \"parse_data + Database::new\", \
+         \"open_path\": \"Snapshot::open (.obdb format v1)\"}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_store.json", json).expect("write BENCH_store.json");
+    println!("wrote BENCH_store.json ({} rows)", table_rows.len());
 }
 
 /// One committed `BENCH_eval.json` cell, keyed by (dataset, sequence,

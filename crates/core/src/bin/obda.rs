@@ -4,14 +4,23 @@
 //! ```text
 //! obda classify --ontology o.owlql --query q.cq
 //! obda rewrite  --ontology o.owlql --query q.cq [--strategy tw]
-//! obda explain  --ontology o.owlql --query q.cq [--strategy tw]
-//! obda answer   --ontology o.owlql --query q.cq --data d.abox
+//! obda explain  --ontology o.owlql --query q.cq [--strategy tw] [--db db.obdb]
+//! obda answer   --ontology o.owlql --query q.cq --data d.abox | --db db.obdb
 //!               [--strategy adaptive] [--oracle] [--timeout-secs N]
 //!               [--budget-secs N] [--budget-clauses N] [--budget-tuples N]
 //!               [--budget-steps N] [--budget-chase N] [--no-fallback]
 //!               [--threads N] [--no-prune] [--retries N]
 //!               [--max-concurrency N] [--trace[=pretty|json]] [--stats]
+//! obda build    --ontology o.owlql --data d.abox -o db.obdb
+//! obda dbinfo   db.obdb
 //! ```
+//!
+//! `build` parses a data file once and writes a dictionary-encoded
+//! `.obdb` snapshot; `answer --db` (and `explain --db`) then reopen it by
+//! bulk column loads — no text parsing, no re-interning — and evaluate
+//! through the same [`obda::StorageBackend`] seam as parsed data.
+//! `dbinfo` prints a snapshot's header, dictionary size and per-relation
+//! row counts without needing the ontology.
 //!
 //! `answer` evaluates with the goal-directed engine: the rewriting is
 //! relevance-pruned towards the goal (disable with `--no-prune`) and
@@ -44,7 +53,9 @@
 //! | 0    | success                                                   |
 //! | 1    | internal error (I/O, invariant violation)                 |
 //! | 2    | usage error (unknown command, flag or flag value)         |
-//! | 3    | parse error in the ontology, query or data file           |
+//! | 3    | parse error in the ontology, query or data file — or a    |
+//! |      | corrupt/incompatible `.obdb` snapshot (truncation, bit    |
+//! |      | flips, bad magic, unknown version, foreign vocabulary)    |
 //! | 4    | rewriting refused structurally (not a budget trip)        |
 //! | 5    | evaluation failed (not a budget trip)                     |
 //! | 6    | resource budget exhausted (every fallback attempt, too)   |
@@ -55,7 +66,10 @@
 use obda::budget::BudgetSpec;
 use obda::cq::query::Cq;
 use obda::telemetry::{CollectingTracer, MetricsRegistry, Telemetry};
-use obda::{ObdaError, ObdaSystem, QueryService, RetryPolicy, ServiceConfig, Strategy};
+use obda::{
+    read_info, write_snapshot, ObdaError, ObdaSystem, QueryService, RetryPolicy, ServiceConfig,
+    Snapshot, StoreError, Strategy,
+};
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::program::ProgramDisplay;
 use obda_ndl::relevance::prune_for_goal;
@@ -74,6 +88,8 @@ struct Args {
     ontology: Option<String>,
     query: Option<String>,
     data: Option<String>,
+    db: Option<String>,
+    out: Option<String>,
     strategy: Strategy,
     oracle: bool,
     no_fallback: bool,
@@ -88,11 +104,13 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: obda <classify|rewrite|explain|answer> --ontology FILE --query FILE\n\
-         \x20      [--data FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
+         \x20      [--data FILE | --db FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
          \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
          \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]\n\
          \x20      [--threads N] [--no-prune] [--retries N] [--max-concurrency N]\n\
-         \x20      [--trace[=pretty|json]] [--stats]"
+         \x20      [--trace[=pretty|json]] [--stats]\n\
+         \x20      obda build --ontology FILE --data FILE (-o|--out) FILE\n\
+         \x20      obda dbinfo FILE"
     );
     ExitCode::from(2)
 }
@@ -114,7 +132,10 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 fn parse_args() -> Option<Args> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next()?;
-    if !matches!(command.as_str(), "classify" | "rewrite" | "explain" | "answer") {
+    if !matches!(
+        command.as_str(),
+        "classify" | "rewrite" | "explain" | "answer" | "build" | "dbinfo"
+    ) {
         return None;
     }
     let mut args = Args {
@@ -122,6 +143,8 @@ fn parse_args() -> Option<Args> {
         ontology: None,
         query: None,
         data: None,
+        db: None,
+        out: None,
         strategy: Strategy::Adaptive,
         oracle: false,
         no_fallback: false,
@@ -137,6 +160,8 @@ fn parse_args() -> Option<Args> {
             "--ontology" => args.ontology = Some(argv.next()?),
             "--query" => args.query = Some(argv.next()?),
             "--data" => args.data = Some(argv.next()?),
+            "--db" => args.db = Some(argv.next()?),
+            "-o" | "--out" => args.out = Some(argv.next()?),
             "--strategy" => args.strategy = parse_strategy(&argv.next()?)?,
             "--oracle" => args.oracle = true,
             "--no-fallback" => args.no_fallback = true,
@@ -166,6 +191,10 @@ fn parse_args() -> Option<Args> {
             "--trace" | "--trace=pretty" => args.trace = Some(TraceFormat::Pretty),
             "--trace=json" => args.trace = Some(TraceFormat::Json),
             "--stats" => args.stats = true,
+            // `dbinfo` takes its snapshot path positionally.
+            other if args.command == "dbinfo" && !other.starts_with('-') && args.db.is_none() => {
+                args.db = Some(other.to_owned());
+            }
             _ => return None,
         }
     }
@@ -220,6 +249,25 @@ impl CliError {
     }
 }
 
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        let msg = e.to_string();
+        match e {
+            // File-system trouble is environmental, not a bad snapshot.
+            StoreError::Io(_) => CliError::Internal(msg),
+            // A budget trip during the load is an exhaustion like any other.
+            StoreError::Budget(_) => CliError::Budget(msg),
+            // An injected transient fault that reached the CLI behaves like
+            // a transient evaluation failure.
+            StoreError::Injected { .. } => CliError::Eval(msg),
+            // Corruption and incompatibility (bad magic, truncation, bit
+            // flips, unknown version, foreign vocabulary) are the snapshot
+            // analogue of a malformed data file.
+            _ => CliError::Parse(msg),
+        }
+    }
+}
+
 impl From<ObdaError> for CliError {
     fn from(e: ObdaError) -> Self {
         let msg = e.to_string();
@@ -246,7 +294,13 @@ fn run(args: &Args, telem: Telemetry<'_>) -> Result<(), CliError> {
         std::fs::read_to_string(path)
             .map_err(|e| CliError::Internal(format!("cannot read {path}: {e}")))
     };
+    if args.command == "dbinfo" {
+        return run_dbinfo(args);
+    }
     let system = ObdaSystem::from_text_traced(&read(&args.ontology, "ontology")?, telem)?;
+    if args.command == "build" {
+        return run_build(args, &system, &read(&args.data, "data")?, telem);
+    }
     let qspan = telem.span("parse:query");
     let query = match system.parse_query(read(&args.query, "query")?.trim()) {
         Ok(q) => {
@@ -285,20 +339,124 @@ fn run(args: &Args, telem: Telemetry<'_>) -> Result<(), CliError> {
         }
         "explain" => run_explain(args, &system, &query),
         "answer" => {
-            let dspan = telem.span("parse:data");
-            let data = match system.parse_data(&read(&args.data, "data")?) {
-                Ok(d) => {
-                    dspan.end();
-                    d
-                }
-                Err(e) => {
-                    dspan.error(&e.to_string());
-                    return Err(e.into());
+            let data = if let Some(db) = &args.db {
+                AnswerData::Snapshot(Box::new(Snapshot::open_traced(
+                    std::path::Path::new(db),
+                    system.ontology().vocab(),
+                    telem,
+                )?))
+            } else {
+                let dspan = telem.span("parse:data");
+                match system.parse_data(&read(&args.data, "data")?) {
+                    Ok(d) => {
+                        dspan.end();
+                        AnswerData::Parsed(d)
+                    }
+                    Err(e) => {
+                        dspan.error(&e.to_string());
+                        return Err(e.into());
+                    }
                 }
             };
             run_answer(args, system, &query, &data, telem)
         }
         _ => unreachable!("parse_args admits only known commands"),
+    }
+}
+
+/// `obda build`: parse the data once and persist the dictionary-encoded
+/// snapshot.
+fn run_build(
+    args: &Args,
+    system: &ObdaSystem,
+    data_text: &str,
+    telem: Telemetry<'_>,
+) -> Result<(), CliError> {
+    let out = args
+        .out
+        .as_ref()
+        .ok_or_else(|| CliError::Internal("missing --out (snapshot path)".into()))?;
+    let dspan = telem.span("parse:data");
+    let data = match system.parse_data(data_text) {
+        Ok(d) => {
+            dspan.end();
+            d
+        }
+        Err(e) => {
+            dspan.error(&e.to_string());
+            return Err(e.into());
+        }
+    };
+    let wspan = telem.span("write_snapshot");
+    let info = match write_snapshot(std::path::Path::new(out), system.ontology().vocab(), &data) {
+        Ok(info) => {
+            wspan.attr("file_bytes", info.file_bytes);
+            wspan.end();
+            info
+        }
+        Err(e) => {
+            wspan.error(&e.to_string());
+            return Err(e.into());
+        }
+    };
+    println!(
+        "wrote {out}: format v{}, {} constants, {} atoms in {} relations, {} bytes",
+        info.version,
+        info.num_consts,
+        info.num_atoms,
+        info.relations.len(),
+        info.file_bytes
+    );
+    Ok(())
+}
+
+/// `obda dbinfo`: decode and print a snapshot's self-description without
+/// needing the ontology.
+fn run_dbinfo(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .db
+        .as_ref()
+        .ok_or_else(|| CliError::Internal("missing snapshot path (obda dbinfo FILE)".into()))?;
+    let info = read_info(std::path::Path::new(path))?;
+    println!("snapshot:       {path}");
+    println!("format version: {}", info.version);
+    println!("flags:          {:#010x}", info.flags);
+    println!("file bytes:     {}", info.file_bytes);
+    println!("payload bytes:  {}", info.payload_bytes);
+    println!("checksum:       {:#018x} (word-folded FNV-1a 64, verified)", info.checksum);
+    println!("dictionary:     {} constants, {} bytes", info.num_consts, info.dict_bytes);
+    println!("atoms:          {}", info.num_atoms);
+    println!("relations:      {}", info.relations.len());
+    for rel in &info.relations {
+        let kind = if rel.arity == 1 { "class" } else { "property" };
+        println!("  {:<10} {} ({} rows)", kind, rel.name, rel.rows);
+    }
+    Ok(())
+}
+
+/// The data a CLI `answer` evaluates over: parsed from text, or reopened
+/// from a snapshot.
+enum AnswerData {
+    Parsed(obda::owlql::abox::DataInstance),
+    Snapshot(Box<Snapshot>),
+}
+
+impl AnswerData {
+    /// Renders a constant id from either dictionary.
+    fn constant_name(&self, c: obda::owlql::abox::ConstId) -> &str {
+        match self {
+            AnswerData::Parsed(d) => d.constant_name(c),
+            AnswerData::Snapshot(s) => s.constant_name(c),
+        }
+    }
+
+    /// The instance view (snapshots materialise it lazily; only the
+    /// chase oracle needs it).
+    fn instance(&self) -> &obda::owlql::abox::DataInstance {
+        match self {
+            AnswerData::Parsed(d) => d,
+            AnswerData::Snapshot(s) => s.data_instance(),
+        }
     }
 }
 
@@ -338,6 +496,24 @@ fn run_explain(args: &Args, system: &ObdaSystem, query: &Cq) -> Result<(), CliEr
     println!();
     println!("== stratum plan ==");
     print!("{}", plan.display(&pruned.query.program));
+
+    // With `--db`, also describe the snapshot the plan would run over —
+    // a structural decode (header, dictionary, per-relation row counts),
+    // no evaluation.
+    if let Some(db) = &args.db {
+        let info = read_info(std::path::Path::new(db))?;
+        println!();
+        println!("== snapshot {db} (format v{}, {} bytes) ==", info.version, info.file_bytes);
+        println!(
+            "{} constants, {} atoms, {} relations:",
+            info.num_consts,
+            info.num_atoms,
+            info.relations.len()
+        );
+        for rel in &info.relations {
+            println!("  {}/{} ({} rows)", rel.name, rel.arity, rel.rows);
+        }
+    }
     Ok(())
 }
 
@@ -362,7 +538,7 @@ fn run_answer(
     args: &Args,
     system: ObdaSystem,
     query: &Cq,
-    data: &obda::owlql::abox::DataInstance,
+    data: &AnswerData,
     telem: Telemetry<'_>,
 ) -> Result<(), CliError> {
     let retry = match args.retries {
@@ -385,18 +561,33 @@ fn run_answer(
     };
     let (result, strategy_used) = match &host {
         Host::Bare(system) => {
-            let res = system.answer_with_budget_engine_traced(
-                query,
-                data,
-                args.strategy,
-                &args.spec,
-                &args.engine,
-                telem,
-            )?;
+            let res = match data {
+                AnswerData::Parsed(d) => system.answer_with_budget_engine_traced(
+                    query,
+                    d,
+                    args.strategy,
+                    &args.spec,
+                    &args.engine,
+                    telem,
+                )?,
+                AnswerData::Snapshot(s) => system.answer_with_budget_engine_backend_traced(
+                    query,
+                    s.as_ref(),
+                    args.strategy,
+                    &args.spec,
+                    &args.engine,
+                    telem,
+                )?,
+            };
             (res, args.strategy)
         }
         Host::Served(service) => {
-            let service_report = service.answer_traced(query, data, args.strategy, telem)?;
+            let service_report = match data {
+                AnswerData::Parsed(d) => service.answer_traced(query, d, args.strategy, telem)?,
+                AnswerData::Snapshot(s) => {
+                    service.answer_backend_traced(query, s.as_ref(), args.strategy, telem)?
+                }
+            };
             // One consistent block: every ladder attempt, then the
             // service-level accounting (queue wait is time the attempts
             // never see, so the report and the latency line belong
@@ -444,13 +635,14 @@ fn run_answer(
     if args.oracle {
         let ospan = telem.span("oracle-check");
         let mut budget = args.spec.start();
-        let oracle = match host.system().certain_answers_budgeted(query, data, &mut budget) {
-            Ok(ans) => ans.tuples(),
-            Err(e) => {
-                ospan.error(&e.to_string());
-                return Err(e.into());
-            }
-        };
+        let oracle =
+            match host.system().certain_answers_budgeted(query, data.instance(), &mut budget) {
+                Ok(ans) => ans.tuples(),
+                Err(e) => {
+                    ospan.error(&e.to_string());
+                    return Err(e.into());
+                }
+            };
         if oracle == result.answers {
             ospan.end();
             eprintln!("# oracle agrees ✓");

@@ -51,6 +51,16 @@ pub use pipeline::{
 };
 pub use service::{QueryService, ServiceConfig, ServiceReport};
 
+// The persistent snapshot store: build `.obdb` files with
+// [`store::write_snapshot`], reopen them with [`Snapshot::open`], and
+// evaluate through the [`StorageBackend`] seam shared with in-memory
+// instances.
+pub use obda_store as store;
+pub use obda_store::{
+    read_info, write_snapshot, MemoryBackend, RelationInfo, Snapshot, SnapshotInfo, StorageBackend,
+    StoreError,
+};
+
 // Substrate re-exports.
 pub use obda_budget as budget;
 pub use obda_chase as chase;

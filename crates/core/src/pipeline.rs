@@ -25,6 +25,7 @@ use obda_rewrite::twstar::inline_single_definitions;
 use obda_rewrite::{
     LinRewriter, LogRewriter, PrestoLikeRewriter, TwRewriter, TwUcqRewriter, UcqRewriter,
 };
+use obda_store::StorageBackend;
 use obda_telemetry::Telemetry;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -71,6 +72,18 @@ pub(crate) fn isolate<T>(
         Ok(result) => result,
         Err(payload) => Err(error_from_panic(site, payload)),
     }
+}
+
+/// Where a pipeline run gets its data: both arms evaluate on the same
+/// [`Database`] type, so the ladder's hot path is identical either way.
+pub(crate) enum DataSource<'a> {
+    /// A freshly parsed instance: the ladder builds the database itself,
+    /// inside the pipeline's isolation boundary (the build exercises the
+    /// faultable storage-insert path).
+    Parse(&'a DataInstance),
+    /// A pre-loaded backend (in-memory or `.obdb` snapshot): the database
+    /// is already built and validated, so the ladder evaluates in place.
+    Backend(&'a dyn StorageBackend),
 }
 
 /// Deterministic 64-bit mix (splitmix64 finaliser) driving the retry
@@ -687,9 +700,44 @@ impl ObdaSystem {
                 }
             };
             let load = telem.span("load_data");
+            load.attr_str("backend", "memory");
             let db = Database::new(data);
             load.end();
             Ok(evaluate_engine_on_traced(&rewriting, &db, &mut budget, cfg, telem)?)
+        })
+    }
+
+    /// [`ObdaSystem::answer_with_budget_engine_traced`] over a pre-loaded
+    /// [`StorageBackend`]: no database build, the engine runs directly on
+    /// the backend's (possibly snapshot-loaded) database.
+    pub fn answer_with_budget_engine_backend_traced(
+        &self,
+        query: &Cq,
+        backend: &dyn StorageBackend,
+        strategy: Strategy,
+        spec: &BudgetSpec,
+        cfg: &EngineConfig,
+        telem: Telemetry<'_>,
+    ) -> Result<EvalResult, ObdaError> {
+        isolate("pipeline::answer_with_budget_engine", || {
+            let mut budget = spec.start();
+            let span = telem.span("rewrite");
+            span.attr_str("strategy", &strategy.to_string());
+            let rewriting = match self.rewrite_budgeted(query, strategy, &mut budget) {
+                Ok(r) => {
+                    span.attr("clauses", r.program.num_clauses() as u64);
+                    span.end();
+                    r
+                }
+                Err(e) => {
+                    span.error(&e.to_string());
+                    return Err(e);
+                }
+            };
+            let load = telem.span("load_data");
+            load.attr_str("backend", backend.kind());
+            load.end();
+            Ok(evaluate_engine_on_traced(&rewriting, backend.database(), &mut budget, cfg, telem)?)
         })
     }
 
@@ -711,7 +759,7 @@ impl ObdaSystem {
     ) -> PipelineReport {
         self.fallback_ladder_run(
             query,
-            data,
+            DataSource::Parse(data),
             preferred,
             spec,
             None,
@@ -732,7 +780,7 @@ impl ObdaSystem {
     ) -> PipelineReport {
         self.fallback_ladder_run(
             query,
-            data,
+            DataSource::Parse(data),
             preferred,
             spec,
             Some(cfg),
@@ -778,7 +826,62 @@ impl ObdaSystem {
         retry: &RetryPolicy,
         telem: Telemetry<'_>,
     ) -> PipelineReport {
-        self.fallback_ladder_run(query, data, preferred, spec, engine, retry, telem)
+        self.fallback_ladder_run(
+            query,
+            DataSource::Parse(data),
+            preferred,
+            spec,
+            engine,
+            retry,
+            telem,
+        )
+    }
+
+    /// [`ObdaSystem::answer_with_fallback`] over a pre-loaded
+    /// [`StorageBackend`] — an in-memory build or an opened `.obdb`
+    /// snapshot. The ladder skips the data-loading step entirely and
+    /// evaluates every attempt on the backend's database, so snapshot-
+    /// backed and parse-backed runs share the exact same hot path.
+    pub fn answer_with_fallback_backend(
+        &self,
+        query: &Cq,
+        backend: &dyn StorageBackend,
+        preferred: Strategy,
+        spec: &BudgetSpec,
+    ) -> PipelineReport {
+        self.fallback_ladder_run(
+            query,
+            DataSource::Backend(backend),
+            preferred,
+            spec,
+            None,
+            &RetryPolicy::default(),
+            Telemetry::disabled(),
+        )
+    }
+
+    /// [`ObdaSystem::answer_with_fallback_backend`] with full control:
+    /// optional engine configuration, retry policy, and telemetry.
+    #[allow(clippy::too_many_arguments)] // the traced superset of the backend facade
+    pub fn answer_with_fallback_backend_traced(
+        &self,
+        query: &Cq,
+        backend: &dyn StorageBackend,
+        preferred: Strategy,
+        spec: &BudgetSpec,
+        engine: Option<&EngineConfig>,
+        retry: &RetryPolicy,
+        telem: Telemetry<'_>,
+    ) -> PipelineReport {
+        self.fallback_ladder_run(
+            query,
+            DataSource::Backend(backend),
+            preferred,
+            spec,
+            engine,
+            retry,
+            telem,
+        )
     }
 
     /// One isolated try of one strategy: rewrite + evaluate behind a
@@ -839,10 +942,10 @@ impl ObdaSystem {
     }
 
     #[allow(clippy::too_many_arguments)] // internal driver behind the public facades
-    fn fallback_ladder_run(
+    pub(crate) fn fallback_ladder_run(
         &self,
         query: &Cq,
-        data: &DataInstance,
+        source: DataSource<'_>,
         preferred: Strategy,
         spec: &BudgetSpec,
         engine: Option<&EngineConfig>,
@@ -850,36 +953,51 @@ impl ObdaSystem {
         telem: Telemetry<'_>,
     ) -> PipelineReport {
         let master = spec.start();
-        // Loading the data into the shared store is itself a faultable step
-        // (it exercises the storage insert path); an unwind here becomes a
-        // single failed pseudo-attempt instead of escaping the pipeline.
+        // Loading parsed data into the shared store is itself a faultable
+        // step (it exercises the storage insert path); an unwind here
+        // becomes a single failed pseudo-attempt instead of escaping the
+        // pipeline. A pre-loaded backend already paid (and traced) its
+        // load at open time, so that arm only records where the data
+        // came from.
         let load_start = Instant::now();
         let load_span = telem.span("load_data");
-        let db = match isolate("pipeline::load_data", || Ok(Database::new(data))) {
-            Ok(db) => {
+        let built;
+        let db: &Database = match source {
+            DataSource::Backend(backend) => {
+                load_span.attr_str("backend", backend.kind());
                 load_span.end();
-                db
+                backend.database()
             }
-            Err(e) => {
-                load_span.error(&e.to_string());
-                let outcome = match e {
-                    ObdaError::Transient { site } => AttemptOutcome::Transient { site },
-                    ObdaError::Internal { site, payload } => {
-                        AttemptOutcome::Panicked { site, payload }
+            DataSource::Parse(data) => {
+                load_span.attr_str("backend", "memory");
+                match isolate("pipeline::load_data", || Ok(Database::new(data))) {
+                    Ok(db) => {
+                        load_span.end();
+                        built = db;
+                        &built
                     }
-                    other => AttemptOutcome::Panicked {
-                        site: "pipeline::load_data".to_owned(),
-                        payload: other.to_string(),
-                    },
-                };
-                let attempt = Attempt {
-                    strategy: preferred,
-                    retry: 0,
-                    outcome,
-                    clauses: None,
-                    duration: load_start.elapsed(),
-                };
-                return PipelineReport { attempts: vec![attempt], winner: None };
+                    Err(e) => {
+                        load_span.error(&e.to_string());
+                        let outcome = match e {
+                            ObdaError::Transient { site } => AttemptOutcome::Transient { site },
+                            ObdaError::Internal { site, payload } => {
+                                AttemptOutcome::Panicked { site, payload }
+                            }
+                            other => AttemptOutcome::Panicked {
+                                site: "pipeline::load_data".to_owned(),
+                                payload: other.to_string(),
+                            },
+                        };
+                        let attempt = Attempt {
+                            strategy: preferred,
+                            retry: 0,
+                            outcome,
+                            clauses: None,
+                            duration: load_start.elapsed(),
+                        };
+                        return PipelineReport { attempts: vec![attempt], winner: None };
+                    }
+                }
             }
         };
         let mut attempts: Vec<Attempt> = Vec::new();
@@ -898,7 +1016,7 @@ impl ObdaSystem {
                 attempt_span.attr("retry", u64::from(retry_no));
                 let (outcome, clauses) = self.run_attempt(
                     query,
-                    &db,
+                    db,
                     strategy,
                     &mut budget,
                     engine,

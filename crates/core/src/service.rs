@@ -17,12 +17,15 @@
 //! is bounded by the request's own wall-clock deadline, so a queued
 //! request can never outlive the budget it would run under.
 
-use crate::pipeline::{ObdaError, ObdaSystem, PipelineReport, PreparedOmq, RetryPolicy, Strategy};
+use crate::pipeline::{
+    DataSource, ObdaError, ObdaSystem, PipelineReport, PreparedOmq, RetryPolicy, Strategy,
+};
 use obda_budget::BudgetSpec;
 use obda_cq::query::Cq;
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::eval::EvalResult;
 use obda_owlql::abox::DataInstance;
+use obda_store::StorageBackend;
 use obda_telemetry::{MetricsRegistry, Telemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
@@ -301,7 +304,33 @@ impl QueryService {
             site: "service::submit".to_owned(),
             payload: format!("unknown query id {}", id.0),
         })?;
-        self.run(omq.query(), omq.strategy(), data, telem)
+        self.run(omq.query(), omq.strategy(), DataSource::Parse(data), telem)
+    }
+
+    /// [`QueryService::submit`] over a pre-loaded [`StorageBackend`]
+    /// (in-memory build or opened `.obdb` snapshot): same gate, same
+    /// isolation, same retries — but no per-request database build.
+    pub fn submit_backend(
+        &self,
+        id: QueryId,
+        backend: &dyn StorageBackend,
+    ) -> Result<ServiceReport, ObdaError> {
+        self.submit_backend_traced(id, backend, Telemetry::disabled())
+    }
+
+    /// [`QueryService::submit_backend`] recording pipeline spans through
+    /// `telem`.
+    pub fn submit_backend_traced(
+        &self,
+        id: QueryId,
+        backend: &dyn StorageBackend,
+        telem: Telemetry<'_>,
+    ) -> Result<ServiceReport, ObdaError> {
+        let omq = self.prepared(id).ok_or_else(|| ObdaError::Internal {
+            site: "service::submit".to_owned(),
+            payload: format!("unknown query id {}", id.0),
+        })?;
+        self.run(omq.query(), omq.strategy(), DataSource::Backend(backend), telem)
     }
 
     /// [`QueryService::submit`] for an ad-hoc query (no registration):
@@ -312,7 +341,7 @@ impl QueryService {
         data: &DataInstance,
         strategy: Strategy,
     ) -> Result<ServiceReport, ObdaError> {
-        self.run(query, strategy, data, Telemetry::disabled())
+        self.run(query, strategy, DataSource::Parse(data), Telemetry::disabled())
     }
 
     /// [`QueryService::answer`] recording pipeline spans through `telem`.
@@ -323,7 +352,29 @@ impl QueryService {
         strategy: Strategy,
         telem: Telemetry<'_>,
     ) -> Result<ServiceReport, ObdaError> {
-        self.run(query, strategy, data, telem)
+        self.run(query, strategy, DataSource::Parse(data), telem)
+    }
+
+    /// [`QueryService::answer`] over a pre-loaded [`StorageBackend`].
+    pub fn answer_backend(
+        &self,
+        query: &Cq,
+        backend: &dyn StorageBackend,
+        strategy: Strategy,
+    ) -> Result<ServiceReport, ObdaError> {
+        self.run(query, strategy, DataSource::Backend(backend), Telemetry::disabled())
+    }
+
+    /// [`QueryService::answer_backend`] recording pipeline spans through
+    /// `telem`.
+    pub fn answer_backend_traced(
+        &self,
+        query: &Cq,
+        backend: &dyn StorageBackend,
+        strategy: Strategy,
+        telem: Telemetry<'_>,
+    ) -> Result<ServiceReport, ObdaError> {
+        self.run(query, strategy, DataSource::Backend(backend), telem)
     }
 
     /// Cumulative counters since construction.
@@ -353,7 +404,7 @@ impl QueryService {
         &self,
         query: &Cq,
         strategy: Strategy,
-        data: &DataInstance,
+        source: DataSource<'_>,
         telem: Telemetry<'_>,
     ) -> Result<ServiceReport, ObdaError> {
         // Requests always record into a registry, even when the caller
@@ -387,9 +438,9 @@ impl QueryService {
         // The ladder isolates each attempt itself; this outer boundary is
         // the per-request backstop so nothing can unwind past the permit.
         let report = crate::pipeline::isolate("service::request", || {
-            Ok(self.system.answer_with_fallback_traced(
+            Ok(self.system.fallback_ladder_run(
                 query,
-                data,
+                source,
                 strategy,
                 &self.cfg.budget,
                 self.cfg.engine.as_ref(),

@@ -67,10 +67,21 @@ pub mod site {
     /// One candidate of the tree-witness enumeration
     /// (`obda_rewrite::tree_witness`).
     pub const REWRITE_TREE_WITNESS: &str = "rewrite::tree_witness";
+    /// The snapshot open path (`obda_store`), after the header is read but
+    /// before any section is decoded — models a snapshot that passes the
+    /// magic check yet fails mid-load (truncation, bit rot, I/O error).
+    /// The store maps a transient unwind here into a typed `StoreError`.
+    pub const STORE_OPEN: &str = "store::open";
 
     /// Every registered site, for exhaustive chaos sweeps.
-    pub const ALL: [&str; 5] =
-        [STORAGE_INSERT, STORAGE_INDEX_BUILD, ENGINE_CLAUSE_TASK, CHASE_STEP, REWRITE_TREE_WITNESS];
+    pub const ALL: [&str; 6] = [
+        STORAGE_INSERT,
+        STORAGE_INDEX_BUILD,
+        ENGINE_CLAUSE_TASK,
+        CHASE_STEP,
+        REWRITE_TREE_WITNESS,
+        STORE_OPEN,
+    ];
 }
 
 /// What an injection site raises when its trigger fires.

@@ -103,6 +103,42 @@ impl Relation {
         r
     }
 
+    /// Builds a relation from decomposed columns of already-distinct rows
+    /// (the snapshot store's bulk-load path: one contiguous copy per
+    /// column, no per-row hashing or dedup, and the per-column hash
+    /// indexes stay lazy behind the usual `OnceLock`s).
+    ///
+    /// Column `c` supplies the `c`-th value of every row, so all columns
+    /// must have equal length; rows are interleaved back into the
+    /// row-major arena.
+    ///
+    /// # Panics
+    /// Panics if the columns have unequal lengths.
+    pub fn from_sorted_columns(arity: usize, columns: &[Vec<u32>]) -> Self {
+        assert_eq!(columns.len(), arity, "expected {arity} columns, got {}", columns.len());
+        let rows = columns.first().map_or(0, Vec::len);
+        for (c, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), rows, "column {c} has {} rows, expected {rows}", col.len());
+        }
+        let mut r = Relation::with_capacity(arity, rows);
+        if let [a, b] = columns {
+            // Binary fast path: a bounds-check-free zip interleave (the
+            // bulk of a snapshot's rows are property pairs).
+            r.data.extend(a.iter().zip(b).flat_map(|(&x, &y)| [x, y]));
+        } else if arity == 1 {
+            // Unary fast path: the column *is* the arena.
+            r.data.extend_from_slice(&columns[0]);
+        } else {
+            for i in 0..rows {
+                for col in columns {
+                    r.data.push(col[i]);
+                }
+            }
+        }
+        r.num_rows = rows;
+        r
+    }
+
     /// The arity.
     pub fn arity(&self) -> usize {
         self.arity
@@ -270,6 +306,41 @@ impl Database {
         }
     }
 
+    /// Assembles a database from pre-built relations (the snapshot store's
+    /// open path, bypassing [`Database::new`]'s per-atom scans). Counts as
+    /// a build for [`Database::build_count`], so load-amortisation
+    /// assertions in the experiment harness see snapshot opens too.
+    ///
+    /// `universe` must be the arity-1 relation of all individuals and
+    /// `num_atoms` the total class + property atom count.
+    pub fn from_relations(
+        classes: FxHashMap<ClassId, Relation>,
+        props: FxHashMap<PropId, Relation>,
+        universe: Relation,
+        num_atoms: usize,
+    ) -> Self {
+        DATABASE_BUILDS.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(universe.arity(), 1, "universe must be unary");
+        Database {
+            classes,
+            props,
+            universe,
+            empty_unary: Relation::new(1),
+            empty_binary: Relation::new(2),
+            num_atoms,
+        }
+    }
+
+    /// Iterates over the non-empty class relations (snapshot export).
+    pub fn class_relations(&self) -> impl Iterator<Item = (ClassId, &Relation)> {
+        self.classes.iter().map(|(&c, r)| (c, r))
+    }
+
+    /// Iterates over the non-empty property relations (snapshot export).
+    pub fn prop_relations(&self) -> impl Iterator<Item = (PropId, &Relation)> {
+        self.props.iter().map(|(&p, r)| (p, r))
+    }
+
     /// The relation of an EDB predicate kind.
     ///
     /// # Panics
@@ -357,6 +428,52 @@ mod tests {
         // Mutation invalidates; the rebuilt index sees the new row.
         r.push(&[1, 30]);
         assert_eq!(r.column_index(0).probe(1), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn from_sorted_columns_interleaves_and_indexes() {
+        let r = Relation::from_sorted_columns(2, &[vec![1, 1, 2], vec![10, 20, 10]]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.row(1), &[1, 20]);
+        assert!(r.contains(&[2, 10]));
+        assert_eq!(r.column_index(0).probe(1), &[0, 1]);
+        assert_eq!(r.column_index(1).probe(10), &[0, 2]);
+        let unary = Relation::from_sorted_columns(1, &[vec![5, 6]]);
+        assert_eq!(unary.len(), 2);
+        assert_eq!(unary.row(0), &[5]);
+        let empty = Relation::from_sorted_columns(2, &[Vec::new(), Vec::new()]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.arity(), 2);
+    }
+
+    #[test]
+    fn from_relations_matches_scanned_build() {
+        let o = parse_ontology("Class A\nProperty P\n").unwrap();
+        let d = parse_data("P(x, y)\nA(x)\n", &o).unwrap();
+        let scanned = Database::new(&d);
+        let before = Database::build_count();
+        let mut classes = FxHashMap::default();
+        let mut props = FxHashMap::default();
+        for (c, r) in scanned.class_relations() {
+            classes
+                .insert(c, Relation::from_sorted_columns(1, &[r.rows().map(|x| x[0]).collect()]));
+        }
+        for (p, r) in scanned.prop_relations() {
+            let cols =
+                [r.rows().map(|x| x[0]).collect::<Vec<_>>(), r.rows().map(|x| x[1]).collect()];
+            props.insert(p, Relation::from_sorted_columns(2, &cols));
+        }
+        let universe = Relation::from_sorted_columns(
+            1,
+            &[scanned.relation(PredKind::Top).rows().map(|x| x[0]).collect()],
+        );
+        let db = Database::from_relations(classes, props, universe, scanned.num_atoms());
+        assert_eq!(Database::build_count(), before + 1);
+        assert_eq!(db.num_atoms(), 2);
+        assert_eq!(db.num_individuals(), 2);
+        let v = o.vocab();
+        let p = db.relation(PredKind::EdbProp(v.get_prop("P").unwrap()));
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

@@ -39,6 +39,29 @@ impl DataInstance {
         self.consts.name(c.0)
     }
 
+    /// Iterates over all constant names in [`ConstId`] order (dictionary
+    /// export: name `i` belongs to `ConstId(i)`).
+    pub fn constant_names(&self) -> impl Iterator<Item = &str> {
+        self.consts.names()
+    }
+
+    /// Rebuilds an instance from an exported dictionary (dictionary
+    /// import): name `i` receives `ConstId(i)`, so identifiers embedded in
+    /// a snapshot's relation segments stay valid. Atoms are added
+    /// afterwards through [`DataInstance::add_class_atom`] and
+    /// [`DataInstance::add_prop_atom`].
+    pub fn from_dictionary<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        DataInstance {
+            consts: Interner::from_names(names),
+            class_atoms: FxHashSet::default(),
+            prop_atoms: FxHashSet::default(),
+        }
+    }
+
     /// Adds the atom `A(a)`.
     pub fn add_class_atom(&mut self, class: ClassId, a: ConstId) {
         self.class_atoms.insert((class, a));
@@ -319,6 +342,23 @@ mod tests {
         assert!(a.has_role_atom(Role::inverse_of(PropId(0)), y, x));
         assert!(!a.has_role_atom(Role::direct(PropId(0)), y, x));
         assert_eq!(a.role_pairs(Role::inverse_of(PropId(0))), vec![(y, x)]);
+    }
+
+    #[test]
+    fn dictionary_roundtrip_preserves_const_ids() {
+        let mut a = DataInstance::new();
+        let x = a.constant("x");
+        let y = a.constant("y");
+        a.add_class_atom(ClassId(0), x);
+        a.add_prop_atom(PropId(1), x, y);
+        let mut b = DataInstance::from_dictionary(a.constant_names());
+        assert_eq!(b.num_individuals(), 2);
+        assert_eq!(b.get_constant("x"), Some(x));
+        assert_eq!(b.constant_name(y), "y");
+        b.add_class_atom(ClassId(0), x);
+        b.add_prop_atom(PropId(1), x, y);
+        assert_eq!(b.num_atoms(), a.num_atoms());
+        assert!(b.has_prop_atom(PropId(1), x, y));
     }
 
     #[test]

@@ -58,6 +58,34 @@ impl Interner {
     pub fn ids(&self) -> impl Iterator<Item = u32> {
         0..self.names.len() as u32
     }
+
+    /// Iterates over all interned names in index order (id `i` is the
+    /// `i`-th name). This is the dictionary-export order used by the
+    /// snapshot store.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Rebuilds an interner from names in index order (dictionary import):
+    /// name `i` of the iterator receives id `i`, so identifiers interned
+    /// before an export remain valid after the matching import.
+    ///
+    /// Duplicate names keep their *first* index in the lookup table, which
+    /// cannot arise from an interner built through [`Interner::intern`].
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Interner::new();
+        for name in names {
+            let name = name.into();
+            let id = out.names.len() as u32;
+            out.index.entry(name.clone()).or_insert(id);
+            out.names.push(name);
+        }
+        out
+    }
 }
 
 /// Identifier of a named class (unary predicate) `A`.
@@ -217,6 +245,20 @@ mod tests {
         assert_eq!(i.get("b"), Some(b));
         assert_eq!(i.get("c"), None);
         assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn interner_export_import_preserves_ids() {
+        let mut i = Interner::new();
+        for name in ["x", "y", "z"] {
+            i.intern(name);
+        }
+        let j = Interner::from_names(i.names());
+        assert_eq!(j.len(), 3);
+        for id in i.ids() {
+            assert_eq!(j.name(id), i.name(id));
+            assert_eq!(j.get(i.name(id)), Some(id));
+        }
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! The `.obdb` wire format: header layout, little-endian primitives, and
+//! the FNV-1a payload checksum.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "OBDB"
+//!      4     4  format version  (u32 LE, currently 1)
+//!      8     4  flags           (u32 LE, reserved, must be 0)
+//!     12     8  payload length  (u64 LE)
+//!     20     8  payload checksum (u64 LE, word-folded FNV-1a 64)
+//!     28     —  payload
+//! ```
+//!
+//! Every integer in the file is little-endian. Strings are a `u32`
+//! byte length followed by UTF-8 bytes. The checksum is FNV-1a 64
+//! folded over little-endian `u64` *words* of the payload (tail
+//! zero-padded, seeded with the byte length so padding cannot alias) —
+//! implemented in-tree, deterministic across platforms, eight bytes per
+//! multiply so hashing megabyte payloads stays off the open path's
+//! critical time, and strong enough to catch the truncation and
+//! bit-flip classes the chaos tests exercise; it is *not* cryptographic
+//! and does not defend against a deliberate forger.
+
+use crate::error::StoreError;
+
+/// The four magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 4] = *b"OBDB";
+
+/// Current (and oldest supported) format version. Compatibility rule:
+/// readers accept exactly the versions they know; a bump means the
+/// payload layout changed incompatibly and old files must be rebuilt
+/// with `obda build`. Additive evolution uses `flags` bits instead.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed header preceding the payload.
+pub const HEADER_LEN: usize = 28;
+
+/// The version-1 payload checksum: FNV-1a 64 (offset basis
+/// `0xcbf29ce484222325`, prime `0x100000001b3`) folded over the
+/// little-endian `u64` words of `bytes`. The state is seeded with the
+/// byte length and the tail word is zero-padded, so payloads that differ
+/// only by trailing zero bytes still hash differently. One multiply per
+/// eight bytes keeps the checksum a rounding error next to the column
+/// decode it protects.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const BASIS: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = (BASIS ^ bytes.len() as u64).wrapping_mul(PRIME);
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        let word = u64::from_le_bytes([w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7]]);
+        h = (h ^ word).wrapping_mul(PRIME);
+    }
+    let rem = words.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// An append-only little-endian payload writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far (the next write's offset).
+    pub fn position(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a `u32` column contiguously (one `extend`, no per-value
+    /// branching — the bulk of a snapshot's bytes go through here).
+    pub fn put_u32_column(&mut self, col: &[u32]) {
+        self.buf.reserve(col.len() * 4);
+        for &v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Finishes the payload: returns the full file image (header +
+    /// payload) with length and checksum filled in.
+    pub fn into_file_bytes(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.buf.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // flags
+        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&checksum64(&self.buf).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        out
+    }
+}
+
+/// A bounds-checked little-endian payload reader. Every accessor returns
+/// [`StoreError::Truncated`] instead of indexing past the end, so a
+/// clipped file can never panic the decoder.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the payload.
+    pub fn position(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| {
+            StoreError::Malformed(format!("length overflow at offset {}", self.pos))
+        })?;
+        if end > self.bytes.len() {
+            return Err(StoreError::Truncated {
+                needed: end as u64,
+                available: self.bytes.len() as u64,
+            });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a `u32` little-endian.
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64` little-endian.
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, StoreError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|e| StoreError::Malformed(format!("non-UTF-8 string: {e}")))
+    }
+
+    /// Reads a `u32` column of `rows` values into a fresh `Vec` (the bulk
+    /// decode path of the open fast path: one bounds check, then a
+    /// chunked conversion).
+    pub fn get_u32_column(&mut self, rows: usize) -> Result<Vec<u32>, StoreError> {
+        let n = rows.checked_mul(4).ok_or_else(|| {
+            StoreError::Malformed(format!("column of {rows} rows overflows the address space"))
+        })?;
+        let raw = self.take(n)?;
+        let mut col = Vec::with_capacity(rows);
+        col.extend(raw.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+        Ok(col)
+    }
+}
+
+/// The decoded fixed header of a snapshot file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version.
+    pub version: u32,
+    /// Reserved flag bits (0 in version 1).
+    pub flags: u32,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// FNV-1a 64 checksum the payload must hash to.
+    pub checksum: u64,
+}
+
+/// Parses and validates the header, returning it and the payload slice.
+/// Verifies, in order: magic, version, declared payload length against
+/// the actual file size, and the payload checksum — so by the time the
+/// payload is decoded, truncation and bit flips are already ruled out
+/// (modulo FNV collisions).
+pub fn parse_file(bytes: &[u8]) -> Result<(Header, &[u8]), StoreError> {
+    if bytes.len() < HEADER_LEN {
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        return Err(StoreError::Truncated {
+            needed: HEADER_LEN as u64,
+            available: bytes.len() as u64,
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut r = Reader::new(&bytes[4..HEADER_LEN]);
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
+    }
+    let flags = r.get_u32()?;
+    if flags != 0 {
+        return Err(StoreError::Malformed(format!("reserved flags set: {flags:#x}")));
+    }
+    let payload_len = r.get_u64()?;
+    let checksum = r.get_u64()?;
+    let available = (bytes.len() - HEADER_LEN) as u64;
+    if payload_len != available {
+        return Err(StoreError::Truncated {
+            needed: HEADER_LEN as u64 + payload_len,
+            available: bytes.len() as u64,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let actual = checksum64(payload);
+    if actual != checksum {
+        return Err(StoreError::ChecksumMismatch { expected: checksum, actual });
+    }
+    Ok((Header { version, flags, payload_len, checksum }, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_deterministic_and_bit_sensitive() {
+        let payload: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        let base = checksum64(&payload);
+        assert_eq!(base, checksum64(&payload), "same bytes, same checksum");
+        // Flipping any single bit anywhere in the payload changes the hash.
+        for byte in 0..payload.len() {
+            let mut flipped = payload.clone();
+            flipped[byte] ^= 1 << (byte % 8);
+            assert_ne!(base, checksum64(&flipped), "bit flip at byte {byte} undetected");
+        }
+        // Length is part of the state: zero-extended payloads differ even
+        // though the tail word would be padded with the same zeros.
+        let mut extended = payload.clone();
+        extended.push(0);
+        assert_ne!(base, checksum64(&extended));
+        assert_ne!(checksum64(b""), checksum64(&[0]));
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u32(7);
+        w.put_str("hello");
+        w.put_u64(u64::MAX);
+        w.put_u32_column(&[1, 2, 3]);
+        let file = w.into_file_bytes();
+        let (h, payload) = parse_file(&file).unwrap();
+        assert_eq!(h.version, FORMAT_VERSION);
+        assert_eq!(h.payload_len as usize, payload.len());
+        let mut r = Reader::new(payload);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_u32_column(3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.position(), h.payload_len);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_typed() {
+        assert!(matches!(parse_file(b"nope"), Err(StoreError::BadMagic)));
+        assert!(matches!(parse_file(b"OBDB"), Err(StoreError::Truncated { .. })));
+        let file = Writer::new().into_file_bytes();
+        assert!(parse_file(&file).is_ok());
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let file = w.into_file_bytes();
+        assert!(matches!(parse_file(&file[..file.len() - 1]), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bit_flip_fails_the_checksum() {
+        let mut w = Writer::new();
+        w.put_u32_column(&[9, 9, 9]);
+        let mut file = w.into_file_bytes();
+        let last = file.len() - 1;
+        file[last] ^= 0x40;
+        assert!(matches!(parse_file(&file), Err(StoreError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_version_is_refused() {
+        let mut file = Writer::new().into_file_bytes();
+        file[4] = 99;
+        assert!(matches!(
+            parse_file(&file),
+            Err(StoreError::UnsupportedVersion { found: 99, supported: FORMAT_VERSION })
+        ));
+    }
+
+    #[test]
+    fn reader_never_reads_past_the_end() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.get_u32(), Err(StoreError::Truncated { .. })));
+        let mut r = Reader::new(&[255, 255, 255, 255]);
+        // Length prefix claims 4 GiB: typed truncation, no panic.
+        assert!(matches!(r.get_str(), Err(StoreError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,742 @@
+//! Snapshot serialisation (`write_snapshot`) and the fast open path
+//! ([`Snapshot::open`]).
+//!
+//! ## Payload layout (format version 1)
+//!
+//! After the fixed header of [`crate::format`]:
+//!
+//! ```text
+//! dictionary   u32 num_consts, then num_consts × string
+//!              (name i belongs to ConstId(i); ids are preserved verbatim)
+//! classes      u32 count, then count × segment(arity = 1)
+//! properties   u32 count, then count × segment(arity = 2)
+//!
+//! segment      string predicate name        (resolved by name on open)
+//!              u64 num_rows
+//!              arity × u64 column offset    (bytes from payload start)
+//!              arity × column               (num_rows × u32 LE each)
+//! ```
+//!
+//! Segments are written in predicate-name order with their rows sorted
+//! lexicographically, so the same instance always serialises to the same
+//! bytes; the open path verifies strict ascending order, which doubles
+//! as a distinctness proof for
+//! [`Relation::from_sorted_columns`]'s no-dedup bulk load.
+
+use crate::backend::StorageBackend;
+use crate::error::StoreError;
+use crate::format::{parse_file, Reader, Writer, FORMAT_VERSION, HEADER_LEN};
+use obda_budget::Budget;
+use obda_ndl::storage::{Database, Relation};
+use obda_owlql::abox::{ConstId, DataInstance};
+use obda_owlql::util::{FxHashMap, FxHashSet};
+use obda_owlql::vocab::{ClassId, PropId, Vocab};
+use obda_telemetry::{Span, Telemetry};
+use std::path::Path;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One relation segment as reported by [`SnapshotInfo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationInfo {
+    /// The predicate name (class or property).
+    pub name: String,
+    /// 1 for classes, 2 for properties.
+    pub arity: usize,
+    /// Number of rows in the segment.
+    pub rows: u64,
+}
+
+/// Structural metadata of a snapshot: everything `obda dbinfo` prints.
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// Format version from the header.
+    pub version: u32,
+    /// Reserved flag bits.
+    pub flags: u32,
+    /// Total file size in bytes (header + payload).
+    pub file_bytes: u64,
+    /// Payload size in bytes.
+    pub payload_bytes: u64,
+    /// Word-folded FNV-1a 64 checksum of the payload.
+    pub checksum: u64,
+    /// Number of dictionary entries (constants).
+    pub num_consts: usize,
+    /// Bytes of the dictionary section.
+    pub dict_bytes: u64,
+    /// Total atoms across all relation segments.
+    pub num_atoms: u64,
+    /// Per-relation name, arity and row count, in file order.
+    pub relations: Vec<RelationInfo>,
+}
+
+/// Serialises `data` into `.obdb` file bytes (in memory). Relations are
+/// exported by *name* through `vocab`, rows sorted lexicographically,
+/// segments sorted by predicate name — the encoding is deterministic.
+pub fn snapshot_bytes(vocab: &Vocab, data: &DataInstance) -> Vec<u8> {
+    let mut w = Writer::new();
+    // Dictionary, in ConstId order.
+    w.put_u32(data.num_individuals() as u32);
+    for name in data.constant_names() {
+        w.put_str(name);
+    }
+
+    let mut classes: Vec<(&str, Vec<u32>)> = data
+        .members_by_class()
+        .into_iter()
+        .map(|(c, members)| {
+            let mut col: Vec<u32> = members.into_iter().map(|a| a.0).collect();
+            col.sort_unstable();
+            (vocab.class_name(c), col)
+        })
+        .collect();
+    classes.sort_unstable_by_key(|&(name, _)| name);
+    w.put_u32(classes.len() as u32);
+    for (name, col) in &classes {
+        w.put_str(name);
+        w.put_u64(col.len() as u64);
+        // One offset per column, each pointing at the column's first byte.
+        let data_start = w.position() + 8;
+        w.put_u64(data_start);
+        w.put_u32_column(col);
+    }
+
+    let mut props: Vec<(&str, Vec<(u32, u32)>)> = data
+        .pairs_by_prop()
+        .into_iter()
+        .map(|(p, pairs)| {
+            let mut rows: Vec<(u32, u32)> = pairs.into_iter().map(|(a, b)| (a.0, b.0)).collect();
+            rows.sort_unstable();
+            (vocab.prop_name(p), rows)
+        })
+        .collect();
+    props.sort_unstable_by_key(|&(name, _)| name);
+    w.put_u32(props.len() as u32);
+    for (name, rows) in &props {
+        w.put_str(name);
+        w.put_u64(rows.len() as u64);
+        let col_bytes = rows.len() as u64 * 4;
+        let data_start = w.position() + 16;
+        w.put_u64(data_start);
+        w.put_u64(data_start + col_bytes);
+        let col0: Vec<u32> = rows.iter().map(|&(a, _)| a).collect();
+        let col1: Vec<u32> = rows.iter().map(|&(_, b)| b).collect();
+        w.put_u32_column(&col0);
+        w.put_u32_column(&col1);
+    }
+    w.into_file_bytes()
+}
+
+/// Serialises `data` to an `.obdb` file at `path`, returning the written
+/// snapshot's [`SnapshotInfo`]. See [`snapshot_bytes`] for the encoding.
+pub fn write_snapshot(
+    path: &Path,
+    vocab: &Vocab,
+    data: &DataInstance,
+) -> Result<SnapshotInfo, StoreError> {
+    let bytes = snapshot_bytes(vocab, data);
+    std::fs::write(path, &bytes)?;
+    info_from_bytes(&bytes)
+}
+
+/// Parses the structural metadata of snapshot `bytes` without resolving
+/// any predicate against a vocabulary (and without building relations).
+fn info_from_bytes(bytes: &[u8]) -> Result<SnapshotInfo, StoreError> {
+    let (header, payload) = parse_file(bytes)?;
+    let mut r = Reader::new(payload);
+    let num_consts = r.get_u32()? as usize;
+    for _ in 0..num_consts {
+        r.get_str()?;
+    }
+    let dict_bytes = r.position();
+    let mut relations = Vec::new();
+    let mut num_atoms = 0u64;
+    for arity in [1usize, 2] {
+        let count = r.get_u32()?;
+        for _ in 0..count {
+            let name = r.get_str()?.to_owned();
+            let rows = r.get_u64()?;
+            for _ in 0..arity {
+                r.get_u64()?; // column offsets; verified by the open path
+            }
+            let bytes_to_skip = rows
+                .checked_mul(4 * arity as u64)
+                .ok_or_else(|| StoreError::Malformed(format!("segment '{name}' row overflow")))?;
+            r.take(usize::try_from(bytes_to_skip).map_err(|_| StoreError::Truncated {
+                needed: r.position() + bytes_to_skip,
+                available: payload.len() as u64,
+            })?)?;
+            num_atoms += rows;
+            relations.push(RelationInfo { name, arity, rows });
+        }
+    }
+    Ok(SnapshotInfo {
+        version: header.version,
+        flags: header.flags,
+        file_bytes: bytes.len() as u64,
+        payload_bytes: header.payload_len,
+        checksum: header.checksum,
+        num_consts,
+        dict_bytes,
+        num_atoms,
+        relations,
+    })
+}
+
+/// Reads the structural metadata of the snapshot at `path` (the `obda
+/// dbinfo` path): header fields, dictionary size, per-relation row
+/// counts. Requires no ontology — predicates stay names.
+pub fn read_info(path: &Path) -> Result<SnapshotInfo, StoreError> {
+    info_from_bytes(&std::fs::read(path)?)
+}
+
+/// The deterministic fault-injection point of the open path. A transient
+/// injected fault is mapped to the typed [`StoreError::Injected`] right
+/// here at the store boundary; a deliberate injected *panic* (the
+/// escaped-panic stand-in) is re-raised so the isolation boundaries
+/// above the store are exercised exactly as for any other substrate.
+fn open_injection_point() -> Result<(), StoreError> {
+    match std::panic::catch_unwind(|| crate::fault::inject(crate::fault::site::STORE_OPEN)) {
+        Ok(()) => Ok(()),
+        Err(payload) => {
+            #[cfg(feature = "faults")]
+            if let Some(fault) = payload.downcast_ref::<obda_faults::FaultError>() {
+                return Err(StoreError::Injected { site: fault.site.to_owned() });
+            }
+            std::panic::resume_unwind(payload)
+        }
+    }
+}
+
+fn fail_span<T>(span: Span<'_>, e: StoreError) -> Result<T, StoreError> {
+    span.error(&e.to_string());
+    Err(e)
+}
+
+/// A loaded snapshot: the constant dictionary plus the fully assembled
+/// [`Database`], sharing the evaluators' hot path with the in-memory
+/// backend. The [`DataInstance`] view (needed only by the chase oracle)
+/// is materialised lazily on first use.
+pub struct Snapshot {
+    dict: Vec<String>,
+    database: Database,
+    info: SnapshotInfo,
+    instance: OnceLock<DataInstance>,
+}
+
+impl Snapshot {
+    /// Opens the snapshot at `path` against `vocab` (untraced, unlimited
+    /// budget).
+    pub fn open(path: &Path, vocab: &Vocab) -> Result<Self, StoreError> {
+        Self::open_budgeted(path, vocab, &mut Budget::unlimited(), Telemetry::disabled())
+    }
+
+    /// [`Snapshot::open`] recording `load_data` → `open`/`dict`/`segments`
+    /// spans and the `store_open_seconds`/`store_bytes` metrics.
+    pub fn open_traced(
+        path: &Path,
+        vocab: &Vocab,
+        telem: Telemetry<'_>,
+    ) -> Result<Self, StoreError> {
+        Self::open_budgeted(path, vocab, &mut Budget::unlimited(), telem)
+    }
+
+    /// The full open path: bulk-loads the dictionary and every relation
+    /// segment, ticking `budget` as it decodes so a pipeline deadline
+    /// interrupts the load with a typed error instead of overshooting.
+    pub fn open_budgeted(
+        path: &Path,
+        vocab: &Vocab,
+        budget: &mut Budget,
+        telem: Telemetry<'_>,
+    ) -> Result<Self, StoreError> {
+        let start = Instant::now();
+        let load = telem.span("load_data");
+        load.attr_str("backend", "snapshot");
+        let t = telem.under(&load);
+
+        // open: raw read + header and checksum verification.
+        let open_span = t.span("open");
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => return fail_span(open_span, e.into()),
+        };
+        open_span.attr("file_bytes", bytes.len() as u64);
+        let payload = match parse_file(&bytes) {
+            Ok((_, p)) => p,
+            Err(e) => return fail_span(open_span, e),
+        };
+        if let Err(e) = open_injection_point() {
+            return fail_span(open_span, e);
+        }
+        open_span.end();
+
+        // dict: the constant dictionary, ids preserved verbatim.
+        let dict_span = t.span("dict");
+        let mut r = Reader::new(payload);
+        let dict = match Self::load_dict(&mut r, budget) {
+            Ok(d) => d,
+            Err(e) => return fail_span(dict_span, e),
+        };
+        dict_span.attr("consts", dict.len() as u64);
+        dict_span.end();
+
+        // segments: one bulk column load per relation.
+        let seg_span = t.span("segments");
+        let (database, relations) =
+            match Self::load_segments(&mut r, vocab, dict.len() as u32, budget) {
+                Ok(out) => out,
+                Err(e) => return fail_span(seg_span, e),
+            };
+        if r.position() != payload.len() as u64 {
+            let e = StoreError::Malformed(format!(
+                "{} trailing bytes after the last segment",
+                payload.len() as u64 - r.position()
+            ));
+            return fail_span(seg_span, e);
+        }
+        seg_span.attr("relations", relations.len() as u64);
+        seg_span.attr("atoms", database.num_atoms() as u64);
+        seg_span.end();
+        load.end();
+
+        if let Some(metrics) = telem.metrics {
+            metrics.histogram("store_open_seconds").observe(start.elapsed());
+            metrics.gauge("store_bytes").set(bytes.len() as i64);
+        }
+
+        let (header, _) = parse_file(&bytes)?;
+        let num_atoms = database.num_atoms() as u64;
+        let dict_bytes = {
+            // Recompute the dictionary section length for the info block.
+            let mut probe = Reader::new(payload);
+            let n = probe.get_u32()? as usize;
+            for _ in 0..n {
+                probe.get_str()?;
+            }
+            probe.position()
+        };
+        Ok(Snapshot {
+            info: SnapshotInfo {
+                version: header.version,
+                flags: header.flags,
+                file_bytes: bytes.len() as u64,
+                payload_bytes: header.payload_len,
+                checksum: header.checksum,
+                num_consts: dict.len(),
+                dict_bytes,
+                num_atoms,
+                relations,
+            },
+            dict,
+            database,
+            instance: OnceLock::new(),
+        })
+    }
+
+    /// Decodes the dictionary as a plain id-ordered name table. The open
+    /// path deliberately does *not* rebuild a name→id interner — rendering
+    /// answers only ever goes id→name, and the lazy [`DataInstance`]
+    /// materialisation re-interns for the one caller (the chase oracle)
+    /// that needs the reverse direction. Duplicates are rejected with a
+    /// borrow-only `FxHashSet` pass over the payload slices, so the whole
+    /// load is one `String` allocation per constant.
+    fn load_dict(r: &mut Reader<'_>, budget: &mut Budget) -> Result<Vec<String>, StoreError> {
+        let num_consts = r.get_u32()? as usize;
+        let mut raw = Vec::with_capacity(num_consts);
+        for _ in 0..num_consts {
+            budget.tick()?;
+            raw.push(r.get_str()?);
+        }
+        let mut seen = FxHashSet::default();
+        seen.reserve(num_consts);
+        for &name in &raw {
+            if !seen.insert(name) {
+                return Err(StoreError::Malformed("duplicate dictionary entries".to_owned()));
+            }
+        }
+        Ok(raw.into_iter().map(str::to_owned).collect())
+    }
+
+    fn load_segments(
+        r: &mut Reader<'_>,
+        vocab: &Vocab,
+        num_consts: u32,
+        budget: &mut Budget,
+    ) -> Result<(Database, Vec<RelationInfo>), StoreError> {
+        let mut relations = Vec::new();
+        let mut num_atoms = 0usize;
+
+        let mut classes: FxHashMap<ClassId, Relation> = FxHashMap::default();
+        let num_classes = r.get_u32()?;
+        for _ in 0..num_classes {
+            budget.tick()?;
+            let (name, cols) = Self::load_segment(r, 1, num_consts, budget)?;
+            let class = vocab.get_class(&name).ok_or_else(|| StoreError::UnknownPredicate {
+                kind: "class",
+                name: name.clone(),
+            })?;
+            num_atoms += cols[0].len();
+            relations.push(RelationInfo { name, arity: 1, rows: cols[0].len() as u64 });
+            classes.insert(class, Relation::from_sorted_columns(1, &cols));
+        }
+
+        let mut props: FxHashMap<PropId, Relation> = FxHashMap::default();
+        let num_props = r.get_u32()?;
+        for _ in 0..num_props {
+            budget.tick()?;
+            let (name, cols) = Self::load_segment(r, 2, num_consts, budget)?;
+            let prop = vocab.get_prop(&name).ok_or_else(|| StoreError::UnknownPredicate {
+                kind: "property",
+                name: name.clone(),
+            })?;
+            num_atoms += cols[0].len();
+            relations.push(RelationInfo { name, arity: 2, rows: cols[0].len() as u64 });
+            props.insert(prop, Relation::from_sorted_columns(2, &cols));
+        }
+
+        // The universe (⊤) is the whole dictionary: ConstId(0)..ConstId(n).
+        let universe = Relation::from_sorted_columns(1, &[(0..num_consts).collect()]);
+        Ok((Database::from_relations(classes, props, universe, num_atoms), relations))
+    }
+
+    /// Decodes one segment: name, row count, per-column offsets (verified
+    /// against the actual positions), then one bulk load per column.
+    /// Validates that every value is a dictionary id and that rows are
+    /// strictly ascending — which proves them distinct, the precondition
+    /// of [`Relation::from_sorted_columns`]'s no-dedup load.
+    fn load_segment(
+        r: &mut Reader<'_>,
+        arity: usize,
+        num_consts: u32,
+        budget: &mut Budget,
+    ) -> Result<(String, Vec<Vec<u32>>), StoreError> {
+        let name = r.get_str()?.to_owned();
+        let rows_u64 = r.get_u64()?;
+        let rows = usize::try_from(rows_u64)
+            .map_err(|_| StoreError::Malformed(format!("segment '{name}' row overflow")))?;
+        let mut offsets = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            offsets.push(r.get_u64()?);
+        }
+        let mut cols = Vec::with_capacity(arity);
+        for (c, &offset) in offsets.iter().enumerate() {
+            if offset != r.position() {
+                return Err(StoreError::Malformed(format!(
+                    "segment '{name}' column {c} offset {offset} != position {}",
+                    r.position()
+                )));
+            }
+            budget.charge_steps_for_rows(rows)?;
+            let col = r.get_u32_column(rows)?;
+            // One vectorisable max pass; only a corrupt column pays a
+            // second scan to name the offending value.
+            if col.iter().copied().max().is_some_and(|max| max >= num_consts) {
+                let bad = col.iter().copied().find(|&v| v >= num_consts).unwrap_or(u32::MAX);
+                return Err(StoreError::Malformed(format!(
+                    "segment '{name}' references constant {bad} outside the dictionary of {num_consts}"
+                )));
+            }
+            cols.push(col);
+        }
+        // Strictly-ascending rows prove distinctness (the precondition of
+        // the no-dedup bulk load). Specialised per arity so the hot loop
+        // compares `u32`s in place — no per-row allocation.
+        let sorted = match cols.as_slice() {
+            [] => true,
+            [col] => col.windows(2).all(|w| w[0] < w[1]),
+            [a, b] => (1..rows).all(|i| (a[i - 1], b[i - 1]) < (a[i], b[i])),
+            _ => (1..rows).all(|i| {
+                cols.iter().map(|c| c[i - 1]).cmp(cols.iter().map(|c| c[i]))
+                    == std::cmp::Ordering::Less
+            }),
+        };
+        if !sorted {
+            let row = (1..rows)
+                .find(|&i| {
+                    cols.iter().map(|c| c[i - 1]).cmp(cols.iter().map(|c| c[i]))
+                        != std::cmp::Ordering::Less
+                })
+                .unwrap_or(0);
+            return Err(StoreError::Malformed(format!(
+                "segment '{name}' rows not strictly sorted at row {row}"
+            )));
+        }
+        Ok((name, cols))
+    }
+
+    /// The loaded database, sharing the in-memory backend's eval hot path.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Structural metadata of the opened snapshot.
+    pub fn info(&self) -> &SnapshotInfo {
+        &self.info
+    }
+
+    /// The name of a constant (dictionary lookup).
+    ///
+    /// # Panics
+    /// Panics if `c` is not a dictionary id, mirroring
+    /// [`DataInstance::constant_name`].
+    pub fn constant_name(&self, c: ConstId) -> &str {
+        &self.dict[c.0 as usize]
+    }
+
+    /// The instance view, materialised from the loaded relations on first
+    /// use (only the chase oracle needs it; the hot path never does).
+    pub fn data_instance(&self) -> &DataInstance {
+        self.instance.get_or_init(|| {
+            let mut data = DataInstance::from_dictionary(self.dict.iter().map(String::as_str));
+            for (c, rel) in self.database.class_relations() {
+                for row in rel.rows() {
+                    data.add_class_atom(c, ConstId(row[0]));
+                }
+            }
+            for (p, rel) in self.database.prop_relations() {
+                for row in rel.rows() {
+                    data.add_prop_atom(p, ConstId(row[0]), ConstId(row[1]));
+                }
+            }
+            data
+        })
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("consts", &self.info.num_consts)
+            .field("atoms", &self.info.num_atoms)
+            .field("file_bytes", &self.info.file_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StorageBackend for Snapshot {
+    fn database(&self) -> &Database {
+        Snapshot::database(self)
+    }
+
+    fn data_instance(&self) -> &DataInstance {
+        Snapshot::data_instance(self)
+    }
+
+    fn constant_name(&self, c: ConstId) -> &str {
+        Snapshot::constant_name(self, c)
+    }
+
+    fn kind(&self) -> &'static str {
+        "snapshot"
+    }
+}
+
+/// Bulk-decode budget accounting: one [`Budget::tick`] per 1024 rows so
+/// decoding a large column stays interruptible without per-value cost.
+trait ColumnBudget {
+    fn charge_steps_for_rows(&mut self, rows: usize) -> Result<(), obda_budget::BudgetExceeded>;
+}
+
+impl ColumnBudget for Budget {
+    fn charge_steps_for_rows(&mut self, rows: usize) -> Result<(), obda_budget::BudgetExceeded> {
+        for _ in 0..(rows / 1024 + 1) {
+            self.tick()?;
+        }
+        Ok(())
+    }
+}
+
+/// Sanity constant re-exported for tests: header length in bytes.
+pub const SNAPSHOT_HEADER_LEN: usize = HEADER_LEN;
+
+/// Current snapshot format version (see [`crate::format::FORMAT_VERSION`]).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = FORMAT_VERSION;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use obda_owlql::parser::{parse_data, parse_ontology};
+    use obda_owlql::Ontology;
+    use obda_telemetry::CollectingTracer;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "obda-store-{}-{tag}-{}.obdb",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn example() -> (Ontology, DataInstance) {
+        let o = parse_ontology("Class A\nClass B\nProperty P\nProperty Q\n").unwrap();
+        let d = parse_data("A(x)\nA(y)\nB(z)\nP(x, y)\nP(y, z)\nQ(z, x)\n", &o).unwrap();
+        (o, d)
+    }
+
+    fn sorted_rows(rel: &Relation) -> Vec<Vec<u32>> {
+        let mut rows: Vec<Vec<u32>> = rel.rows().map(<[u32]>::to_vec).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Everything observable about a database, in canonical order.
+    fn fingerprint(
+        db: &Database,
+    ) -> (Vec<(ClassId, Vec<Vec<u32>>)>, Vec<(PropId, Vec<Vec<u32>>)>, Vec<Vec<u32>>, usize) {
+        let mut classes: Vec<_> = db.class_relations().map(|(c, r)| (c, sorted_rows(r))).collect();
+        classes.sort_unstable_by_key(|&(c, _)| c);
+        let mut props: Vec<_> = db.prop_relations().map(|(p, r)| (p, sorted_rows(r))).collect();
+        props.sort_unstable_by_key(|&(p, _)| p);
+        let top = sorted_rows(db.relation(obda_ndl::program::PredKind::Top));
+        (classes, props, top, db.num_atoms())
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_the_database() {
+        let (o, d) = example();
+        let path = temp_path("roundtrip");
+        let info = write_snapshot(&path, o.vocab(), &d).unwrap();
+        assert_eq!(info.version, SNAPSHOT_FORMAT_VERSION);
+        assert_eq!(info.num_consts, 3);
+        assert_eq!(info.num_atoms, 6);
+        let snap = Snapshot::open(&path, o.vocab()).unwrap();
+        assert_eq!(fingerprint(snap.database()), fingerprint(&Database::new(&d)));
+        // Dictionary ids preserved verbatim.
+        for c in d.individuals() {
+            assert_eq!(snap.constant_name(c), d.constant_name(c));
+        }
+        // The lazy instance view is atom-for-atom the original.
+        assert_eq!(snap.data_instance().to_text(&o), d.to_text(&o));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let (o, d) = example();
+        assert_eq!(snapshot_bytes(o.vocab(), &d), snapshot_bytes(o.vocab(), &d));
+    }
+
+    #[test]
+    fn read_info_reports_relations_without_a_vocab() {
+        let (o, d) = example();
+        let path = temp_path("info");
+        write_snapshot(&path, o.vocab(), &d).unwrap();
+        let info = read_info(&path).unwrap();
+        assert_eq!(info.file_bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(info.payload_bytes + SNAPSHOT_HEADER_LEN as u64, info.file_bytes);
+        let names: Vec<(&str, usize, u64)> =
+            info.relations.iter().map(|r| (r.name.as_str(), r.arity, r.rows)).collect();
+        assert_eq!(names, vec![("A", 1, 2), ("B", 1, 1), ("P", 2, 2), ("Q", 2, 1)]);
+        assert!(info.dict_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_predicate_is_a_typed_error() {
+        let (o, d) = example();
+        let path = temp_path("vocab");
+        write_snapshot(&path, o.vocab(), &d).unwrap();
+        let other = parse_ontology("Class A\nProperty P\n").unwrap(); // lacks B and Q
+        let err = Snapshot::open(&path, other.vocab()).unwrap_err();
+        assert!(matches!(err, StoreError::UnknownPredicate { kind: "class", .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_are_typed_errors() {
+        let (o, d) = example();
+        let bytes = snapshot_bytes(o.vocab(), &d);
+        // Truncate at every prefix length: always a typed error, never a panic.
+        let path = temp_path("trunc");
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 2, bytes.len() - 5] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = Snapshot::open(&path, o.vocab()).unwrap_err();
+            assert!(
+                matches!(err, StoreError::BadMagic | StoreError::Truncated { .. }),
+                "cut={cut}: {err}"
+            );
+        }
+        // Flip one payload bit: the checksum catches it.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = Snapshot::open(&path, o.vocab()).unwrap_err();
+        assert!(matches!(err, StoreError::ChecksumMismatch { .. }), "{err}");
+        // A missing file is a typed I/O error.
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(Snapshot::open(&path, o.vocab()), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn budget_interrupts_the_open() {
+        let (o, d) = example();
+        let path = temp_path("budget");
+        write_snapshot(&path, o.vocab(), &d).unwrap();
+        let mut budget = Budget::unlimited().max_steps(1);
+        let err = Snapshot::open_budgeted(&path, o.vocab(), &mut budget, Telemetry::disabled())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Budget(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_records_spans_and_metrics() {
+        let (o, d) = example();
+        let path = temp_path("telem");
+        write_snapshot(&path, o.vocab(), &d).unwrap();
+        let tracer = CollectingTracer::new();
+        let metrics = obda_telemetry::MetricsRegistry::new();
+        let telem = Telemetry::new(&tracer, Some(&metrics));
+        Snapshot::open_traced(&path, o.vocab(), telem).unwrap();
+        let tree = tracer.snapshot();
+        let load = &tree.roots[0];
+        assert_eq!(load.name, "load_data");
+        assert_eq!(load.attr_str("backend"), Some("snapshot"));
+        let children: Vec<&str> = load.children.iter().map(|s| s.name).collect();
+        assert_eq!(children, vec!["open", "dict", "segments"]);
+        assert!(load.children[0].attr("file_bytes").unwrap() > 0);
+        assert_eq!(load.children[1].attr("consts"), Some(3));
+        assert_eq!(load.children[2].attr("atoms"), Some(6));
+        assert_eq!(metrics.histogram("store_open_seconds").count(), 1);
+        assert!(metrics.gauge("store_bytes").get() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_and_snapshot_backends_share_the_seam() {
+        let (o, d) = example();
+        let path = temp_path("seam");
+        write_snapshot(&path, o.vocab(), &d).unwrap();
+        let snap = Snapshot::open(&path, o.vocab()).unwrap();
+        let mem = MemoryBackend::new(d);
+        let backends: [&dyn StorageBackend; 2] = [&mem, &snap];
+        assert_eq!(backends[0].kind(), "memory");
+        assert_eq!(backends[1].kind(), "snapshot");
+        for b in backends {
+            assert_eq!(b.database().num_atoms(), 6);
+            assert_eq!(b.database().num_individuals(), 3);
+            assert_eq!(b.data_instance().num_atoms(), 6);
+        }
+        let x = mem.data().get_constant("x").unwrap();
+        assert_eq!(snap.constant_name(x), "x");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_instance_roundtrips() {
+        let o = parse_ontology("Class A\n").unwrap();
+        let d = DataInstance::new();
+        let path = temp_path("empty");
+        let info = write_snapshot(&path, o.vocab(), &d).unwrap();
+        assert_eq!(info.num_atoms, 0);
+        let snap = Snapshot::open(&path, o.vocab()).unwrap();
+        assert_eq!(snap.database().num_individuals(), 0);
+        assert_eq!(snap.database().num_atoms(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -416,6 +416,122 @@ fn prepare_under_faults_fails_typed_then_recovers() {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshot store chaos: injected faults on the `.obdb` open path, plus
+// systematically truncated and bit-flipped files. The invariants mirror
+// the pipeline's: typed errors, no escaped panics (except the deliberate
+// injected-panic stand-in, which must unwind cleanly), full recovery
+// once the fault is gone.
+// ---------------------------------------------------------------------------
+
+fn store_temp_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "obda-chaos-{}-{}.obdb",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Writes the fixture data as a snapshot and returns the system that owns
+/// the vocabulary it was written against.
+fn store_fixture(path: &std::path::Path) -> ObdaSystem {
+    let sys = ObdaSystem::from_text(ONTOLOGY).unwrap();
+    let data = sys.parse_data(DATA).unwrap();
+    obda::write_snapshot(path, sys.ontology().vocab(), &data).unwrap();
+    sys
+}
+
+#[test]
+fn store_open_transient_fault_is_typed_then_recovers() {
+    use obda::{Snapshot, StoreError};
+
+    quiet_injected_panics();
+    let path = store_temp_path();
+    let sys = store_fixture(&path);
+    let plan = FaultPlan::always(17, site::STORE_OPEN, FaultKind::Transient);
+    let guard = plan.install();
+    let err = Snapshot::open(&path, sys.ontology().vocab()).unwrap_err();
+    assert!(matches!(&err, StoreError::Injected { site } if site == site::STORE_OPEN), "got {err}");
+    drop(guard);
+
+    // Disarmed, the very same file opens and answers exactly the oracle.
+    let snap = Snapshot::open(&path, sys.ontology().vocab()).unwrap();
+    std::fs::remove_file(&path).ok();
+    let q = sys.parse_query(QUERY).unwrap();
+    let d = sys.parse_data(DATA).unwrap();
+    let report =
+        sys.answer_with_fallback_backend(&q, &snap, Strategy::Tw, &BudgetSpec::unlimited());
+    assert_eq!(
+        report.result().expect("recovered open must answer").answers,
+        sys.certain_answers(&q, &d).tuples()
+    );
+}
+
+#[test]
+fn store_open_injected_panic_unwinds_cleanly() {
+    use obda::Snapshot;
+
+    quiet_injected_panics();
+    let path = store_temp_path();
+    let sys = store_fixture(&path);
+    let plan = FaultPlan::always(19, site::STORE_OPEN, FaultKind::Panic);
+    let guard = plan.install();
+    // The store deliberately re-raises injected *panics* (they model bugs,
+    // not I/O failures) so the caller's isolation boundary is exercised;
+    // the unwind must not poison the file or the vocabulary.
+    let caught = catch_unwind(AssertUnwindSafe(|| Snapshot::open(&path, sys.ontology().vocab())));
+    assert!(caught.is_err(), "an always-panic plan must unwind out of open");
+    drop(guard);
+    let snap = Snapshot::open(&path, sys.ontology().vocab()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(snap.database().num_atoms() > 0);
+}
+
+/// Every truncation point and a sweep of single-bit flips: `open` must
+/// return a typed [`StoreError`] — never a panic, never a successful open
+/// of corrupted bytes (flips inside the payload are caught by the
+/// checksum; flips in the header by its field checks).
+#[test]
+fn truncated_and_bit_flipped_snapshots_fail_typed() {
+    use obda::{Snapshot, StoreError};
+
+    quiet_injected_panics();
+    let path = store_temp_path();
+    let sys = store_fixture(&path);
+    let original = std::fs::read(&path).unwrap();
+
+    let open_corrupt = |bytes: &[u8], ctx: &str| {
+        std::fs::write(&path, bytes).unwrap();
+        let caught =
+            catch_unwind(AssertUnwindSafe(|| Snapshot::open(&path, sys.ontology().vocab())));
+        let result = caught.unwrap_or_else(|_| panic!("{ctx}: open panicked"));
+        let err = result.err().unwrap_or_else(|| panic!("{ctx}: corrupted snapshot opened"));
+        assert!(
+            !matches!(err, StoreError::Injected { .. } | StoreError::Io(_)),
+            "{ctx}: corruption must surface as a format error, got {err}"
+        );
+    };
+
+    for len in 0..original.len() {
+        open_corrupt(&original[..len], &format!("truncated to {len} bytes"));
+    }
+    for pos in (0..original.len()).step_by(7) {
+        for bit in [0u8, 3, 7] {
+            let mut flipped = original.clone();
+            flipped[pos] ^= 1 << bit;
+            open_corrupt(&flipped, &format!("bit {bit} flipped at byte {pos}"));
+        }
+    }
+
+    // The pristine bytes still open: corruption detection has no memory.
+    std::fs::write(&path, &original).unwrap();
+    let snap = Snapshot::open(&path, sys.ontology().vocab()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(snap.database().num_atoms() > 0);
+}
+
+// ---------------------------------------------------------------------------
 // Property-based chaos: arbitrary plans over arbitrary sites.
 // ---------------------------------------------------------------------------
 

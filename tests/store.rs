@@ -1,0 +1,189 @@
+//! Differential tests for the snapshot store: an `.obdb`-backed
+//! [`StorageBackend`] must be answer-for-answer indistinguishable from
+//! the in-memory parse path, and both must match the chase oracle — on
+//! the paper's own Table-2 workload (Appendix D.2), scaled down so the
+//! oracle stays cheap.
+//!
+//! The chain pinned here is `snapshot ≡ memory ≡ oracle`, closed over
+//! every Table-2 dataset, the fallback ladder, the parallel engine and
+//! the query service.
+
+use obda::budget::BudgetSpec;
+use obda::datagen::erdos::TABLE_2;
+use obda::datagen::sequences::{example_11_ontology, word_query};
+use obda::ndl::engine::EngineConfig;
+use obda::owlql::abox::DataInstance;
+use obda::{
+    read_info, write_snapshot, MemoryBackend, ObdaSystem, QueryService, ServiceConfig, Snapshot,
+    StorageBackend, Strategy,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Small enough that the chase oracle answers in milliseconds, large
+/// enough that every dataset has edges, markers and nonempty answers.
+const SCALE: f64 = 0.003;
+
+/// Query words over `{R, S}`: the shortest prefixes of Sequence 1 plus
+/// two `S`-leading words, so both the concrete `R`-part and the
+/// anonymous-witness `S`-part of the rewriting are exercised.
+const WORDS: [&str; 5] = ["R", "S", "RR", "SR", "RRS"];
+
+fn temp_path() -> std::path::PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "obda-store-diff-{}-{}.obdb",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn paper_system() -> ObdaSystem {
+    ObdaSystem::new(example_11_ontology())
+}
+
+fn table2_dataset(sys: &ObdaSystem, idx: usize) -> DataInstance {
+    TABLE_2[idx].scaled(SCALE).generate(sys.ontology())
+}
+
+/// Writes `data` to a fresh temp snapshot and reopens it.
+fn snapshot_of(sys: &ObdaSystem, data: &DataInstance) -> Snapshot {
+    let path = temp_path();
+    write_snapshot(&path, sys.ontology().vocab(), data).unwrap();
+    let snap = Snapshot::open(&path, sys.ontology().vocab()).unwrap();
+    std::fs::remove_file(&path).ok();
+    snap
+}
+
+/// The tentpole differential: on every Table-2 dataset and every query
+/// word, the snapshot-backed ladder, the parse-backed ladder and the
+/// chase oracle produce identical answer sets.
+#[test]
+fn table2_snapshot_memory_and_oracle_agree() {
+    let sys = paper_system();
+    let spec = BudgetSpec::unlimited();
+    for idx in 0..TABLE_2.len() {
+        let data = table2_dataset(&sys, idx);
+        assert!(data.num_atoms() > 0, "dataset {idx} is empty at scale {SCALE}");
+        let snap = snapshot_of(&sys, &data);
+        for word in WORDS {
+            let q = word_query(sys.ontology(), word);
+            let oracle = sys.certain_answers(&q, &data).tuples();
+            let memory = sys.answer_with_fallback(&q, &data, Strategy::Tw, &spec);
+            let backed = sys.answer_with_fallback_backend(&q, &snap, Strategy::Tw, &spec);
+            assert_eq!(
+                memory.result().map(|r| &r.answers),
+                Some(&oracle),
+                "dataset {idx} word {word}: parse path vs oracle"
+            );
+            assert_eq!(
+                backed.result().map(|r| &r.answers),
+                Some(&oracle),
+                "dataset {idx} word {word}: snapshot path vs oracle"
+            );
+        }
+    }
+}
+
+/// The parallel engine runs the same hot path on a snapshot database as
+/// on a parsed one: identical answers at one and four threads.
+#[test]
+fn parallel_engine_on_snapshot_matches_oracle() {
+    let sys = paper_system();
+    let spec = BudgetSpec::unlimited();
+    let data = table2_dataset(&sys, 0);
+    let snap = snapshot_of(&sys, &data);
+    for word in WORDS {
+        let q = word_query(sys.ontology(), word);
+        let oracle = sys.certain_answers(&q, &data).tuples();
+        for threads in [1usize, 4] {
+            let cfg = EngineConfig { threads, ..EngineConfig::default() };
+            let res = sys
+                .answer_with_budget_engine_backend_traced(
+                    &q,
+                    &snap,
+                    Strategy::Tw,
+                    &spec,
+                    &cfg,
+                    obda::Telemetry::disabled(),
+                )
+                .unwrap();
+            assert_eq!(res.answers, oracle, "threads={threads} word={word}");
+        }
+    }
+}
+
+/// The service's backend entry points answer exactly like its parse
+/// entry points, for both prepared (`submit_backend`) and one-shot
+/// (`answer_backend`) requests.
+#[test]
+fn service_backend_requests_match_parse_requests() {
+    let sys = paper_system();
+    let data = table2_dataset(&sys, 1);
+    let snap = snapshot_of(&sys, &data);
+    let svc = QueryService::new(
+        sys,
+        ServiceConfig { max_concurrency: 2, max_queue: 4, ..ServiceConfig::default() },
+    );
+    let q = word_query(svc.system().ontology(), "RS");
+    let id = svc.prepare(&q, Strategy::Tw).unwrap();
+
+    let parsed = svc.submit(id, &data).unwrap();
+    let backed = svc.submit_backend(id, &snap).unwrap();
+    let answers = parsed.result().expect("parse path answers").answers.clone();
+    assert_eq!(backed.result().expect("snapshot path answers").answers, answers);
+
+    let oneshot = svc.answer_backend(&q, &snap, Strategy::Tw).unwrap();
+    assert_eq!(oneshot.result().expect("one-shot answers").answers, answers);
+    assert_eq!(svc.stats().succeeded, 3);
+}
+
+/// `MemoryBackend` gives parsed data the same seam as snapshots: the
+/// backend-routed ladder equals the parse-routed ladder, and the two
+/// backend kinds agree on every accessor the pipeline uses.
+#[test]
+fn memory_backend_is_the_parse_path_behind_the_seam() {
+    let sys = paper_system();
+    let spec = BudgetSpec::unlimited();
+    let data = table2_dataset(&sys, 2);
+    let snap = snapshot_of(&sys, &data);
+    let mem = MemoryBackend::new(data.clone());
+    assert_eq!(mem.kind(), "memory");
+    assert_eq!(snap.kind(), "snapshot");
+    assert_eq!(mem.database().num_atoms(), snap.database().num_atoms());
+    for c in data.individuals() {
+        assert_eq!(mem.constant_name(c), snap.constant_name(c), "dictionary ids must agree");
+    }
+    assert_eq!(
+        snap.data_instance().to_text(sys.ontology()),
+        data.to_text(sys.ontology()),
+        "the lazy instance view must reconstruct the original"
+    );
+    for word in WORDS {
+        let q = word_query(sys.ontology(), word);
+        let via_mem = sys.answer_with_fallback_backend(&q, &mem, Strategy::Tw, &spec);
+        let via_parse = sys.answer_with_fallback(&q, &data, Strategy::Tw, &spec);
+        assert_eq!(
+            via_mem.result().map(|r| &r.answers),
+            via_parse.result().map(|r| &r.answers),
+            "word {word}"
+        );
+    }
+}
+
+/// `read_info` (the `dbinfo` entry point) reports the structure the
+/// writer recorded, without loading any segment data.
+#[test]
+fn read_info_matches_the_written_snapshot() {
+    let sys = paper_system();
+    let data = table2_dataset(&sys, 3);
+    let path = temp_path();
+    let written = write_snapshot(&path, sys.ontology().vocab(), &data).unwrap();
+    let info = read_info(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(info.num_consts, data.num_individuals());
+    assert_eq!(info.num_atoms as usize, data.num_atoms());
+    assert_eq!(info.num_consts, written.num_consts);
+    assert_eq!(info.num_atoms, written.num_atoms);
+    assert_eq!(info.relations.len(), written.relations.len());
+    assert_eq!(info.relations.iter().map(|r| r.rows).sum::<u64>(), info.num_atoms);
+}
