@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig1] [fig2] [table2] [table3] [table4] [table5]
-//!             [bencheval] [benchguard] [benchstore] [all]
+//!             [bencheval] [benchguard] [benchstore] [benchserve] [all]
 //!             [--scale S] [--max-atoms N] [--timeout-secs T] [--csv DIR]
 //!             [--threads N]
 //! ```
@@ -30,6 +30,12 @@
 //!   loads hold identical atom counts, and writes `BENCH_store.json` in
 //!   the current directory (run alone for clean RSS numbers; not part of
 //!   `all`);
+//! * `benchserve` — the HTTP serving benchmark: boots the in-process
+//!   `obda serve` server over the scale-0.05 Table 2 dataset, drives it
+//!   with three concurrent tenants over real TCP, and writes per-query
+//!   throughput plus p50/p95/p99 client-observed latency (and the
+//!   first-request cache-miss cost) to `BENCH_serve.json` (timing-noise
+//!   sensitive, so not part of `all`);
 //! * defaults: `--scale 0.05 --max-atoms 15 --timeout-secs 10 --threads 4`.
 //!
 //! Absolute numbers differ from the paper (different machine, a naive
@@ -133,6 +139,145 @@ fn main() {
     if cfg.sections.iter().any(|s| s == "benchstore") {
         benchstore();
     }
+    // Wall-clock-sensitive like the other two: run alone.
+    if cfg.sections.iter().any(|s| s == "benchserve") {
+        benchserve(&cfg);
+    }
+}
+
+/// The HTTP serving benchmark behind `BENCH_serve.json`: an in-process
+/// `obda serve` server over the Table 2 dataset, driven by three
+/// concurrent tenants over real TCP. Per query word it reports
+/// throughput and the client-observed latency distribution (via the
+/// telemetry histogram's quantile estimator, the same estimator the
+/// serving metrics expose), plus the first-request cost — the cache miss
+/// that pays for classification, rewriting and pruning once.
+fn benchserve(cfg: &Config) {
+    use obda::server::client;
+    use obda::telemetry::Histogram;
+    use obda::{MemoryBackend, QueryService, Server, ServerConfig, ServiceConfig};
+
+    const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+    const REQUESTS_PER_TENANT: usize = 60;
+    const WORDS: [&str; 3] = ["R", "RR", "RRS"];
+
+    let sys = paper_system();
+    let data = dataset(&sys, 0, cfg.scale);
+    let service = QueryService::new(
+        paper_system(),
+        ServiceConfig {
+            max_concurrency: cfg.threads.max(1),
+            max_queue: 64,
+            budget: BudgetSpec::unlimited(),
+            retry: obda::RetryPolicy::default(),
+            engine: None,
+        },
+    );
+    let server = Server::bind(
+        service,
+        Box::new(MemoryBackend::new(data)),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_timeout: cfg.timeout,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind benchserve server");
+    let handle = server.start();
+    let addr = handle.addr();
+
+    println!(
+        "== obda serve: {} tenants x {REQUESTS_PER_TENANT} requests over TCP \
+         (scale {}, {} worker slots) ==\n",
+        TENANTS.len(),
+        cfg.scale,
+        cfg.threads.max(1)
+    );
+    let header: Vec<String> =
+        ["word", "requests", "first ms", "p50 ms", "p95 ms", "p99 ms", "req/s"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for word in WORDS {
+        let query = {
+            let n = word.len();
+            let atoms: Vec<String> =
+                word.chars().enumerate().map(|(i, c)| format!("{c}(x{i}, x{})", i + 1)).collect();
+            format!("q(x0, x{n}) :- {}", atoms.join(", "))
+        };
+        // The cache-miss request: classification + rewriting + pruning.
+        let first = Instant::now();
+        let warm = client::request(addr, "POST", "/query", &[], &query, cfg.timeout)
+            .expect("warm-up request");
+        let first_ms = first.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(warm.status, 200, "warm-up failed: {}", warm.body);
+        let answers: usize = warm.header("x-obda-answers").unwrap_or("0").parse().unwrap_or(0);
+
+        let hist = Histogram::default();
+        let wall = Instant::now();
+        std::thread::scope(|scope| {
+            for tenant in TENANTS {
+                let query = &query;
+                let hist = &hist;
+                scope.spawn(move || {
+                    for _ in 0..REQUESTS_PER_TENANT {
+                        let start = Instant::now();
+                        let resp = client::request(
+                            addr,
+                            "POST",
+                            "/query",
+                            &[("X-Obda-Tenant", tenant)],
+                            query,
+                            cfg.timeout,
+                        )
+                        .expect("benchserve request");
+                        assert_eq!(resp.status, 200, "request failed: {}", resp.body);
+                        hist.observe(start.elapsed());
+                    }
+                });
+            }
+        });
+        let wall = wall.elapsed();
+        let total = TENANTS.len() * REQUESTS_PER_TENANT;
+        let throughput = total as f64 / wall.as_secs_f64().max(1e-9);
+        let q_ms = |q: f64| hist.quantile(q).unwrap_or(0.0) * 1e3;
+        table_rows.push(vec![
+            word.to_owned(),
+            total.to_string(),
+            format!("{first_ms:.3}"),
+            format!("{:.3}", q_ms(0.5)),
+            format!("{:.3}", q_ms(0.95)),
+            format!("{:.3}", q_ms(0.99)),
+            format!("{throughput:.0}"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"word\": \"{word}\", \"requests\": {total}, \"answers\": {answers}, \
+             \"first_request_seconds\": {:.6}, \"p50_seconds\": {:.6}, \
+             \"p95_seconds\": {:.6}, \"p99_seconds\": {:.6}, \
+             \"wall_seconds\": {:.6}, \"throughput_rps\": {throughput:.1}}}",
+            first_ms / 1e3,
+            q_ms(0.5) / 1e3,
+            q_ms(0.95) / 1e3,
+            q_ms(0.99) / 1e3,
+            wall.as_secs_f64(),
+        ));
+    }
+    handle.trigger().shutdown();
+    assert!(handle.join(), "benchserve server must drain cleanly");
+    println!("{}", render_table(&header, &table_rows));
+    let json = format!(
+        "{{\n  \"config\": {{\"tenants\": {}, \"requests_per_tenant\": {REQUESTS_PER_TENANT}, \
+         \"scale\": {}, \"worker_slots\": {}, \"transport\": \"HTTP/1.1 over loopback TCP, \
+         connection per request\"}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        TENANTS.len(),
+        cfg.scale,
+        cfg.threads.max(1),
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json ({} rows)", table_rows.len());
 }
 
 /// `VmRSS` and `VmHWM` in kB from `/proc/self/status`, `(0, 0)` when the

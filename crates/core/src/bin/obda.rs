@@ -13,6 +13,11 @@
 //!               [--max-concurrency N] [--trace[=pretty|json]] [--stats]
 //! obda build    --ontology o.owlql --data d.abox -o db.obdb
 //! obda dbinfo   db.obdb
+//! obda serve    --ontology o.owlql (--db db.obdb | --data d.abox)
+//!               [--addr HOST:PORT] [--max-concurrency N] [--max-queue N]
+//!               [--timeout-secs N] [--quota-rate N] [--quota-burst N]
+//!               [--quota-concurrency N] [--drain-secs N] [--cache-capacity N]
+//! obda --help
 //! ```
 //!
 //! `build` parses a data file once and writes a dictionary-encoded
@@ -43,6 +48,16 @@
 //! metrics registry (counters, gauges, latency histograms) to stderr in
 //! text exposition format after the command finishes.
 //!
+//! `serve` runs the hardened multi-tenant HTTP query server over a
+//! snapshot (`--db`) or parsed data file (`--data`): `POST /query` with
+//! the OMQ text as the body (headers `X-Obda-Tenant`, `X-Obda-Timeout-Ms`,
+//! `X-Obda-Strategy`), plus `GET /explain`, `GET /metrics`,
+//! `GET /healthz`, `GET /readyz` and `POST /shutdown`. Per-tenant
+//! token-bucket quotas (`--quota-rate`/`--quota-burst`, requests per
+//! second) and concurrency caps (`--quota-concurrency`) answer 429 with
+//! `Retry-After`; the global admission gate answers 503. Shutdown drains
+//! gracefully on `POST /shutdown`, stdin EOF or a `shutdown` stdin line.
+//!
 //! Strategies: `lin`, `log`, `tw`, `twstar`, `ucq`, `twucq`, `presto`,
 //! `adaptive` (default).
 //!
@@ -67,8 +82,9 @@ use obda::budget::BudgetSpec;
 use obda::cq::query::Cq;
 use obda::telemetry::{CollectingTracer, MetricsRegistry, Telemetry};
 use obda::{
-    read_info, write_snapshot, ObdaError, ObdaSystem, QueryService, RetryPolicy, ServiceConfig,
-    Snapshot, StoreError, Strategy,
+    read_info, write_snapshot, MemoryBackend, ObdaError, ObdaSystem, QueryService, RetryPolicy,
+    Server, ServerConfig, ServiceConfig, Snapshot, StorageBackend, StoreError, Strategy,
+    TenantQuota,
 };
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::program::ProgramDisplay;
@@ -99,34 +115,66 @@ struct Args {
     max_concurrency: Option<usize>,
     trace: Option<TraceFormat>,
     stats: bool,
+    addr: Option<String>,
+    max_queue: Option<usize>,
+    quota_rate: Option<f64>,
+    quota_burst: Option<f64>,
+    quota_concurrency: Option<usize>,
+    drain_secs: Option<f64>,
+    cache_capacity: Option<usize>,
 }
 
+const USAGE: &str = "usage: obda <classify|rewrite|explain|answer> --ontology FILE --query FILE\n\
+    \x20      [--data FILE | --db FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
+    \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
+    \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]\n\
+    \x20      [--threads N] [--no-prune] [--retries N] [--max-concurrency N]\n\
+    \x20      [--trace[=pretty|json]] [--stats]\n\
+    \x20      obda build --ontology FILE --data FILE (-o|--out) FILE\n\
+    \x20      obda dbinfo FILE\n\
+    \x20      obda serve --ontology FILE (--db FILE | --data FILE) [--addr HOST:PORT]\n\
+    \x20      [--max-concurrency N] [--max-queue N] [--timeout-secs N]\n\
+    \x20      [--quota-rate N] [--quota-burst N] [--quota-concurrency N]\n\
+    \x20      [--drain-secs N] [--cache-capacity N]\n\
+    \x20      obda --help";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: obda <classify|rewrite|explain|answer> --ontology FILE --query FILE\n\
-         \x20      [--data FILE | --db FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
-         \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
-         \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]\n\
-         \x20      [--threads N] [--no-prune] [--retries N] [--max-concurrency N]\n\
-         \x20      [--trace[=pretty|json]] [--stats]\n\
-         \x20      obda build --ontology FILE --data FILE (-o|--out) FILE\n\
-         \x20      obda dbinfo FILE"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
-fn parse_strategy(name: &str) -> Option<Strategy> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "lin" => Strategy::Lin,
-        "log" => Strategy::Log,
-        "tw" => Strategy::Tw,
-        "twstar" | "tw*" => Strategy::TwStar,
-        "ucq" | "perfectref" => Strategy::Ucq,
-        "twucq" => Strategy::TwUcq,
-        "presto" | "prestolike" => Strategy::PrestoLike,
-        "adaptive" => Strategy::Adaptive,
-        _ => return None,
-    })
+/// `obda --help`: the full flag reference plus the complete exit-code
+/// table. The failsafe suite asserts this text names every code 0–9, so
+/// a new `CliError` variant cannot ship without documenting its code.
+fn print_help() {
+    println!("{USAGE}");
+    println!(
+        "\ncommands:\n\
+         \x20 classify   place the OMQ in the Figure 1 complexity landscape\n\
+         \x20 rewrite    print the NDL rewriting for a strategy\n\
+         \x20 explain    classification, rewriting, pruned program, stratum plan\n\
+         \x20 answer     rewrite and evaluate over --data or a --db snapshot\n\
+         \x20 build      compile a data file into a dictionary-encoded .obdb snapshot\n\
+         \x20 dbinfo     print a snapshot's header and per-relation row counts\n\
+         \x20 serve      hardened multi-tenant HTTP query server over --db/--data\n\
+         \nserve endpoints: POST /query (headers X-Obda-Tenant, X-Obda-Timeout-Ms,\n\
+         X-Obda-Strategy), GET /explain?query=..., GET /metrics, GET /healthz,\n\
+         GET /readyz, POST /shutdown. Tenant quota refusals answer 429 with\n\
+         Retry-After; overload answers 503; budget exhaustion answers 504.\n\
+         \nstrategies: lin, log, tw, twstar, ucq, twucq, presto, adaptive (default)\n\
+         \nexit codes:\n\
+         \x20 0  success\n\
+         \x20 1  internal error (I/O, invariant violation)\n\
+         \x20 2  usage error (unknown command, flag or flag value)\n\
+         \x20 3  parse error in the ontology, query or data file, or a corrupt\n\
+         \x20    or incompatible .obdb snapshot\n\
+         \x20 4  rewriting refused structurally (not a budget trip)\n\
+         \x20 5  evaluation failed (not a budget trip)\n\
+         \x20 6  resource budget exhausted (every fallback attempt, too)\n\
+         \x20 7  oracle disagreement (--oracle)\n\
+         \x20 8  a panic was caught and isolated inside the pipeline\n\
+         \x20 9  the query service refused admission (overloaded)"
+    );
 }
 
 fn parse_args() -> Option<Args> {
@@ -134,7 +182,7 @@ fn parse_args() -> Option<Args> {
     let command = argv.next()?;
     if !matches!(
         command.as_str(),
-        "classify" | "rewrite" | "explain" | "answer" | "build" | "dbinfo"
+        "classify" | "rewrite" | "explain" | "answer" | "build" | "dbinfo" | "serve"
     ) {
         return None;
     }
@@ -154,6 +202,13 @@ fn parse_args() -> Option<Args> {
         max_concurrency: None,
         trace: None,
         stats: false,
+        addr: None,
+        max_queue: None,
+        quota_rate: None,
+        quota_burst: None,
+        quota_concurrency: None,
+        drain_secs: None,
+        cache_capacity: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -162,7 +217,7 @@ fn parse_args() -> Option<Args> {
             "--data" => args.data = Some(argv.next()?),
             "--db" => args.db = Some(argv.next()?),
             "-o" | "--out" => args.out = Some(argv.next()?),
-            "--strategy" => args.strategy = parse_strategy(&argv.next()?)?,
+            "--strategy" => args.strategy = Strategy::parse(&argv.next()?)?,
             "--oracle" => args.oracle = true,
             "--no-fallback" => args.no_fallback = true,
             // Both spellings feed the unified budget: the wall clock covers
@@ -187,6 +242,43 @@ fn parse_args() -> Option<Args> {
                     return None; // a zero-slot service could admit nothing
                 }
                 args.max_concurrency = Some(n);
+            }
+            "--addr" => args.addr = Some(argv.next()?),
+            "--max-queue" => args.max_queue = Some(argv.next()?.parse().ok()?),
+            "--quota-rate" => {
+                let rate: f64 = argv.next()?.parse().ok()?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return None;
+                }
+                args.quota_rate = Some(rate);
+            }
+            "--quota-burst" => {
+                let burst: f64 = argv.next()?.parse().ok()?;
+                if !burst.is_finite() || burst < 1.0 {
+                    return None; // a burst below one token could admit nothing
+                }
+                args.quota_burst = Some(burst);
+            }
+            "--quota-concurrency" => {
+                let n: usize = argv.next()?.parse().ok()?;
+                if n == 0 {
+                    return None;
+                }
+                args.quota_concurrency = Some(n);
+            }
+            "--drain-secs" => {
+                let secs: f64 = argv.next()?.parse().ok()?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return None;
+                }
+                args.drain_secs = Some(secs);
+            }
+            "--cache-capacity" => {
+                let n: usize = argv.next()?.parse().ok()?;
+                if n == 0 {
+                    return None;
+                }
+                args.cache_capacity = Some(n);
             }
             "--trace" | "--trace=pretty" => args.trace = Some(TraceFormat::Pretty),
             "--trace=json" => args.trace = Some(TraceFormat::Json),
@@ -284,6 +376,9 @@ impl From<ObdaError> for CliError {
             ObdaError::Transient { .. } => CliError::Eval(msg),
             ObdaError::Internal { .. } => CliError::Panic(msg),
             ObdaError::Overloaded { .. } => CliError::Overloaded(msg),
+            // The CLI never configures tenant quotas, but the mapping is
+            // total: a quota refusal is an admission refusal.
+            ObdaError::QuotaExceeded { .. } => CliError::Overloaded(msg),
         }
     }
 }
@@ -300,6 +395,9 @@ fn run(args: &Args, telem: Telemetry<'_>) -> Result<(), CliError> {
     let system = ObdaSystem::from_text_traced(&read(&args.ontology, "ontology")?, telem)?;
     if args.command == "build" {
         return run_build(args, &system, &read(&args.data, "data")?, telem);
+    }
+    if args.command == "serve" {
+        return run_serve(args, system, telem);
     }
     let qspan = telem.span("parse:query");
     let query = match system.parse_query(read(&args.query, "query")?.trim()) {
@@ -517,6 +615,85 @@ fn run_explain(args: &Args, system: &ObdaSystem, query: &Cq) -> Result<(), CliEr
     Ok(())
 }
 
+/// `obda serve`: the hardened multi-tenant HTTP query server. Binds,
+/// prints the resolved address on stdout (so scripts binding `:0` can
+/// discover the port), then serves until a shutdown signal — `POST
+/// /shutdown`, stdin EOF, or a literal `shutdown` line on stdin — and
+/// drains gracefully.
+fn run_serve(args: &Args, system: ObdaSystem, telem: Telemetry<'_>) -> Result<(), CliError> {
+    use std::io::BufRead;
+    use std::io::Write as _;
+
+    let backend: Box<dyn StorageBackend + Send + Sync> = if let Some(db) = &args.db {
+        Box::new(Snapshot::open_traced(std::path::Path::new(db), system.ontology().vocab(), telem)?)
+    } else if let Some(path) = &args.data {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Internal(format!("cannot read {path}: {e}")))?;
+        Box::new(MemoryBackend::new(system.parse_data(&text)?))
+    } else {
+        return Err(CliError::Internal("serve needs --db or --data".into()));
+    };
+    let retry = match args.retries {
+        Some(n) => RetryPolicy::with_retries(n),
+        None => RetryPolicy::default(),
+    };
+    let service = QueryService::new(
+        system,
+        ServiceConfig {
+            max_concurrency: args.max_concurrency.unwrap_or(4),
+            max_queue: args.max_queue.unwrap_or(16),
+            budget: args.spec,
+            retry,
+            engine: Some(args.engine.clone()),
+        },
+    );
+    let defaults = ServerConfig::default();
+    let quota = TenantQuota {
+        rate_per_sec: args.quota_rate.unwrap_or(f64::INFINITY),
+        // An explicit rate without a burst gets a burst of the same size:
+        // one second of credit, the least surprising default.
+        burst: args.quota_burst.or(args.quota_rate).unwrap_or(f64::INFINITY),
+        max_concurrency: args.quota_concurrency.unwrap_or(usize::MAX),
+    };
+    let cfg = ServerConfig {
+        addr: args.addr.clone().unwrap_or(defaults.addr),
+        max_timeout: args.spec.timeout.unwrap_or(defaults.max_timeout),
+        budget: args.spec,
+        drain_timeout: args
+            .drain_secs
+            .map(Duration::from_secs_f64)
+            .unwrap_or(defaults.drain_timeout),
+        cache_capacity: args.cache_capacity.unwrap_or(defaults.cache_capacity),
+        default_quota: quota,
+        ..defaults
+    };
+    let server = Server::bind(service, backend, cfg)
+        .map_err(|e| CliError::Internal(format!("cannot bind: {e}")))?;
+    println!("listening on http://{}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let handle = server.start();
+    let trigger = handle.trigger();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if line.trim() == "shutdown" => break,
+                Ok(_) => {}
+            }
+        }
+        trigger.shutdown();
+    });
+    if handle.join() {
+        eprintln!("# drained cleanly");
+        Ok(())
+    } else {
+        Err(CliError::Internal("drain timed out with requests still in flight".into()))
+    }
+}
+
 /// Either a bare system (`--no-fallback`) or one wrapped in the
 /// admission-gated query service; the oracle check needs the system back
 /// either way.
@@ -660,6 +837,10 @@ fn run_answer(
 }
 
 fn main() -> ExitCode {
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
     let Some(args) = parse_args() else {
         return usage();
     };

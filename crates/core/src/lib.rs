@@ -39,6 +39,7 @@
 
 pub mod complexity;
 pub mod pipeline;
+pub mod server;
 pub mod service;
 
 pub use complexity::{
@@ -49,7 +50,11 @@ pub use pipeline::{
     Attempt, AttemptOutcome, ObdaError, ObdaSystem, PipelineReport, PreparedOmq, RetryPolicy,
     Strategy,
 };
-pub use service::{QueryService, ServiceConfig, ServiceReport};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use service::{
+    PreparedRun, QueryService, RejectReason, ServiceConfig, ServiceReport, ServiceStats,
+    TenantGovernor, TenantPermit, TenantQuota,
+};
 
 // The persistent snapshot store: build `.obdb` files with
 // [`store::write_snapshot`], reopen them with [`Snapshot::open`], and

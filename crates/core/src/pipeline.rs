@@ -139,7 +139,7 @@ impl RetryPolicy {
 
     /// The `attempt_index`-th backoff sleep given the previous one:
     /// deterministic decorrelated jitter in `[base, min(cap, 3·prev)]`.
-    fn next_backoff(&self, attempt_index: u64, prev: Duration) -> Duration {
+    pub(crate) fn next_backoff(&self, attempt_index: u64, prev: Duration) -> Duration {
         let cap = self.max_backoff.as_nanos() as u64;
         let lo = (self.base_backoff.as_nanos() as u64).min(cap);
         let hi = (prev.as_nanos() as u64).saturating_mul(3).clamp(lo, cap);
@@ -190,6 +190,24 @@ impl Strategy {
     /// data instances (the baselines rewrite atoms internally).
     pub fn produces_arbitrary(self) -> bool {
         matches!(self, Strategy::Ucq | Strategy::PrestoLike)
+    }
+
+    /// Parses a strategy name as accepted by the CLI (`--strategy`) and
+    /// the HTTP server (`"strategy"` request field): case-insensitive,
+    /// with the aliases `tw*` (Tw*), `perfectref` (UCQ) and `prestolike`
+    /// (Presto-like). Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Strategy> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "lin" => Strategy::Lin,
+            "log" => Strategy::Log,
+            "tw" => Strategy::Tw,
+            "twstar" | "tw*" => Strategy::TwStar,
+            "ucq" | "perfectref" => Strategy::Ucq,
+            "twucq" => Strategy::TwUcq,
+            "presto" | "prestolike" => Strategy::PrestoLike,
+            "adaptive" => Strategy::Adaptive,
+            _ => return None,
+        })
     }
 
     /// The degradation ladder starting from this strategy: the strategy
@@ -258,6 +276,16 @@ pub enum ObdaError {
         /// Requests already waiting when admission was refused.
         queued: usize,
     },
+    /// A per-tenant quota refused the request (token bucket drained or
+    /// tenant concurrency cap reached) while the service as a whole still
+    /// has capacity. Retry after the indicated pause.
+    QuotaExceeded {
+        /// The tenant whose quota was exhausted.
+        tenant: String,
+        /// How long until the token bucket refills enough to admit one
+        /// request (zero when a concurrency cap, not the bucket, refused).
+        retry_after: std::time::Duration,
+    },
 }
 
 impl ObdaError {
@@ -274,6 +302,7 @@ impl ObdaError {
             ObdaError::Transient { .. } => false,
             ObdaError::Internal { .. } => false,
             ObdaError::Overloaded { .. } => false,
+            ObdaError::QuotaExceeded { .. } => false,
         }
     }
 
@@ -298,6 +327,13 @@ impl fmt::Display for ObdaError {
             }
             ObdaError::Overloaded { active, queued } => {
                 write!(f, "overloaded: {active} active and {queued} queued requests")
+            }
+            ObdaError::QuotaExceeded { tenant, retry_after } => {
+                write!(
+                    f,
+                    "quota exceeded for tenant '{tenant}': retry after {:.3}s",
+                    retry_after.as_secs_f64()
+                )
             }
         }
     }

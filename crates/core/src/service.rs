@@ -27,7 +27,8 @@ use obda_ndl::eval::EvalResult;
 use obda_owlql::abox::DataInstance;
 use obda_store::StorageBackend;
 use obda_telemetry::{MetricsRegistry, Telemetry};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -118,6 +119,21 @@ impl ServiceReport {
     }
 }
 
+/// Outcome of one prepared-OMQ execution through the gate
+/// ([`QueryService::execute_prepared_backend_traced`]): the evaluation
+/// result plus the same timing split as [`ServiceReport`].
+#[derive(Debug)]
+pub struct PreparedRun {
+    /// The winning evaluation result.
+    pub result: EvalResult,
+    /// Time spent waiting for an execution slot.
+    pub queue_wait: Duration,
+    /// Total latency: queue wait plus evaluation (retries included).
+    pub latency: Duration,
+    /// Transient-fault retries consumed before the result.
+    pub retries: u32,
+}
+
 /// Cumulative service counters (monotone; useful for liveness checks).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -125,8 +141,29 @@ pub struct ServiceStats {
     pub succeeded: u64,
     /// Requests admitted and run to completion without a winner.
     pub failed: u64,
-    /// Requests rejected at the gate ([`ObdaError::Overloaded`]).
+    /// Requests rejected at the gate ([`ObdaError::Overloaded`]): the sum
+    /// of the by-reason breakdown below (kept as a total so existing
+    /// liveness checks stay valid).
     pub rejected: u64,
+    /// Rejections because every slot was busy and the wait queue full.
+    pub rejected_overloaded: u64,
+    /// Rejections because the request's own deadline expired while it
+    /// waited in the queue (a slot never freed in time).
+    pub rejected_deadline: u64,
+    /// Rejections because the service was draining for shutdown.
+    pub rejected_draining: u64,
+}
+
+/// Why the admission gate refused a request (carried alongside the load
+/// observed at rejection time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Every slot busy and the bounded wait queue full.
+    QueueFull,
+    /// The request's deadline passed while it waited for a slot.
+    DeadlineExpired,
+    /// The service is draining: no new admissions.
+    Draining,
 }
 
 /// The admission gate: a counting semaphore with a bounded waiter queue.
@@ -141,10 +178,12 @@ struct Gate {
 struct GateState {
     active: usize,
     queued: usize,
+    draining: bool,
 }
 
 /// RAII execution slot; dropping it (on any exit path, unwinds included)
-/// frees the slot and wakes one waiter.
+/// frees the slot and wakes every waiter — queued acquirers *and* a
+/// drainer blocked in [`Gate::drain`] both listen on the same condvar.
 struct Permit<'a> {
     gate: &'a Gate,
 }
@@ -154,32 +193,38 @@ impl Drop for Permit<'_> {
         let mut s = self.gate.state.lock().unwrap_or_else(PoisonError::into_inner);
         s.active = s.active.saturating_sub(1);
         drop(s);
-        self.gate.freed.notify_one();
+        self.gate.freed.notify_all();
     }
 }
 
 impl Gate {
     fn new() -> Self {
-        Gate { state: Mutex::new(GateState { active: 0, queued: 0 }), freed: Condvar::new() }
+        Gate {
+            state: Mutex::new(GateState { active: 0, queued: 0, draining: false }),
+            freed: Condvar::new(),
+        }
     }
 
     /// Acquires an execution slot, waiting (up to `deadline`) in the
     /// bounded queue when all slots are busy. `Err` carries the load
-    /// observed at rejection time.
+    /// observed at rejection time and the reason admission was refused.
     fn acquire(
         &self,
         max_active: usize,
         max_queue: usize,
         deadline: Option<Instant>,
-    ) -> Result<Permit<'_>, GateState> {
+    ) -> Result<Permit<'_>, (GateState, RejectReason)> {
         let max_active = max_active.max(1);
         let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.draining {
+            return Err((*s, RejectReason::Draining));
+        }
         if s.active < max_active {
             s.active += 1;
             return Ok(Permit { gate: self });
         }
         if s.queued >= max_queue {
-            return Err(*s);
+            return Err((*s, RejectReason::QueueFull));
         }
         s.queued += 1;
         loop {
@@ -189,18 +234,47 @@ impl Gate {
                     let now = Instant::now();
                     if now >= d {
                         s.queued = s.queued.saturating_sub(1);
-                        return Err(*s);
+                        self.freed.notify_all(); // a drainer may be waiting on us
+                        return Err((*s, RejectReason::DeadlineExpired));
                     }
                     let (guard, _timed_out) =
                         self.freed.wait_timeout(s, d - now).unwrap_or_else(PoisonError::into_inner);
                     guard
                 }
             };
+            if s.draining {
+                s.queued = s.queued.saturating_sub(1);
+                self.freed.notify_all();
+                return Err((*s, RejectReason::Draining));
+            }
             if s.active < max_active {
                 s.queued = s.queued.saturating_sub(1);
                 s.active += 1;
                 return Ok(Permit { gate: self });
             }
+        }
+    }
+
+    /// Flips the gate into draining mode (idempotent): new acquisitions
+    /// are refused and queued waiters are woken to bail out, then waits
+    /// up to `timeout` for every in-flight request to finish. Returns
+    /// `true` when the gate emptied within the timeout.
+    fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.draining = true;
+        self.freed.notify_all();
+        loop {
+            if s.active == 0 && s.queued == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timed_out) =
+                self.freed.wait_timeout(s, deadline - now).unwrap_or_else(PoisonError::into_inner);
+            s = guard;
         }
     }
 
@@ -229,7 +303,9 @@ pub struct QueryService {
     prepared: RwLock<Vec<Arc<PreparedOmq>>>,
     succeeded: AtomicU64,
     failed: AtomicU64,
-    rejected: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_draining: AtomicU64,
     metrics: MetricsRegistry,
 }
 
@@ -243,7 +319,9 @@ impl QueryService {
             prepared: RwLock::new(Vec::new()),
             succeeded: AtomicU64::new(0),
             failed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
             metrics: MetricsRegistry::new(),
         }
     }
@@ -333,6 +411,95 @@ impl QueryService {
         self.run(omq.query(), omq.strategy(), DataSource::Backend(backend), telem)
     }
 
+    /// Executes an already-prepared OMQ over a pre-loaded backend under a
+    /// *per-request* budget — the server's hot path. Unlike
+    /// [`QueryService::submit_backend`], no ladder runs and nothing is
+    /// re-rewritten: the cached rewriting (and its cached pruning)
+    /// evaluates directly, so the per-OMQ cost of classification,
+    /// rewriting and pruning is paid once per [`PreparedOmq`], not per
+    /// request. The gate still admits (bounded by `spec.timeout` as the
+    /// queue-wait deadline), the attempt is panic-isolated, and transient
+    /// faults are retried per the configured [`RetryPolicy`] as long as
+    /// the request's own deadline has not passed.
+    pub fn execute_prepared_backend_traced(
+        &self,
+        omq: &PreparedOmq,
+        backend: &dyn StorageBackend,
+        spec: &BudgetSpec,
+        telem: Telemetry<'_>,
+    ) -> Result<PreparedRun, ObdaError> {
+        let telem = Telemetry { metrics: telem.metrics.or(Some(&self.metrics)), ..telem };
+        let metrics = telem.metrics.unwrap_or(&self.metrics);
+        let arrival = Instant::now();
+        let deadline = spec.timeout.map(|t| arrival + t);
+        let qspan = telem.span("queue_wait");
+        let permit = match self.gate.acquire(self.cfg.max_concurrency, self.cfg.max_queue, deadline)
+        {
+            Ok(p) => {
+                qspan.end();
+                p
+            }
+            Err((seen, reason)) => {
+                qspan.error(&format!(
+                    "admission refused ({reason:?}): {} active, {} queued",
+                    seen.active, seen.queued
+                ));
+                return Err(self.book_rejection(seen, reason, metrics));
+            }
+        };
+        self.publish_load(metrics);
+        let queue_wait = arrival.elapsed();
+        metrics.histogram("service_queue_wait_seconds").observe(queue_wait);
+        let engine = self.cfg.engine.clone().unwrap_or_default();
+        let mut retries = 0u32;
+        let mut backoff = self.cfg.retry.base_backoff;
+        let outcome = loop {
+            // The request's wall clock keeps running across queue wait and
+            // retries: every attempt gets the *remaining* allowance, never
+            // a fresh one.
+            let mut attempt_spec = *spec;
+            if let Some(d) = deadline {
+                attempt_spec.timeout = Some(d.saturating_duration_since(Instant::now()));
+            }
+            let attempt = crate::pipeline::isolate("service::prepared", || {
+                let mut budget = attempt_spec.start();
+                Ok(omq.execute_engine_traced(backend.database(), &mut budget, &engine, telem)?)
+            });
+            match attempt {
+                Err(e)
+                    if e.is_transient()
+                        && retries < self.cfg.retry.max_retries
+                        && deadline.is_none_or(|d| Instant::now() < d) =>
+                {
+                    retries += 1;
+                    backoff = self.cfg.retry.next_backoff(u64::from(retries), backoff);
+                    std::thread::sleep(backoff);
+                }
+                other => break other,
+            }
+        };
+        drop(permit);
+        self.publish_load(metrics);
+        if retries > 0 {
+            metrics.counter("service_transient_retries_total").add(u64::from(retries));
+        }
+        let latency = arrival.elapsed();
+        match outcome {
+            Ok(result) => {
+                self.succeeded.fetch_add(1, Ordering::Relaxed);
+                metrics.histogram("service_latency_seconds").observe(latency);
+                metrics
+                    .histogram(&format!("service_latency_seconds_{}", strategy_key(omq.strategy())))
+                    .observe(latency);
+                Ok(PreparedRun { result, queue_wait, latency, retries })
+            }
+            Err(e) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
     /// [`QueryService::submit`] for an ad-hoc query (no registration):
     /// same gate, same isolation, same retries.
     pub fn answer(
@@ -379,10 +546,16 @@ impl QueryService {
 
     /// Cumulative counters since construction.
     pub fn stats(&self) -> ServiceStats {
+        let rejected_overloaded = self.rejected_overloaded.load(Ordering::Relaxed);
+        let rejected_deadline = self.rejected_deadline.load(Ordering::Relaxed);
+        let rejected_draining = self.rejected_draining.load(Ordering::Relaxed);
         ServiceStats {
             succeeded: self.succeeded.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            rejected: rejected_overloaded + rejected_deadline + rejected_draining,
+            rejected_overloaded,
+            rejected_deadline,
+            rejected_draining,
         }
     }
 
@@ -390,6 +563,43 @@ impl QueryService {
     pub fn load(&self) -> (usize, usize) {
         let s = self.gate.load();
         (s.active, s.queued)
+    }
+
+    /// Whether [`QueryService::drain`] has begun: a draining service
+    /// refuses every new request with [`ObdaError::Overloaded`].
+    pub fn is_draining(&self) -> bool {
+        self.gate.load().draining
+    }
+
+    /// Begins graceful shutdown (idempotent): the gate stops admitting —
+    /// queued requests are woken and rejected, in-flight requests finish
+    /// under their own deadlines — and this call blocks up to `timeout`
+    /// for the gate to empty. Returns `true` when every in-flight request
+    /// completed within the timeout, `false` when stragglers remain.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let drained = self.gate.drain(timeout);
+        self.publish_load(&self.metrics);
+        drained
+    }
+
+    /// Books one gate rejection: per-reason counter, total, metric, and
+    /// the typed error the caller returns.
+    fn book_rejection(
+        &self,
+        seen: GateState,
+        reason: RejectReason,
+        metrics: &MetricsRegistry,
+    ) -> ObdaError {
+        let (cell, metric) = match reason {
+            RejectReason::QueueFull => (&self.rejected_overloaded, "service_overloaded_total"),
+            RejectReason::DeadlineExpired => {
+                (&self.rejected_deadline, "service_rejected_deadline_total")
+            }
+            RejectReason::Draining => (&self.rejected_draining, "service_rejected_draining_total"),
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+        metrics.counter(metric).inc();
+        ObdaError::Overloaded { active: seen.active, queued: seen.queued }
     }
 
     /// Publishes the gate's current load to the `service_active` /
@@ -422,14 +632,12 @@ impl QueryService {
                 qspan.end();
                 p
             }
-            Err(seen) => {
+            Err((seen, reason)) => {
                 qspan.error(&format!(
-                    "admission refused: {} active, {} queued",
+                    "admission refused ({reason:?}): {} active, {} queued",
                     seen.active, seen.queued
                 ));
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                metrics.counter("service_overloaded_total").inc();
-                return Err(ObdaError::Overloaded { active: seen.active, queued: seen.queued });
+                return Err(self.book_rejection(seen, reason, metrics));
             }
         };
         self.publish_load(metrics);
@@ -467,11 +675,178 @@ impl QueryService {
     }
 }
 
+/// Per-tenant admission limits: a token bucket (sustained rate plus
+/// burst) and a concurrency cap, layered *in front of* the service's
+/// global gate by the HTTP server. `f64::INFINITY` rate/burst and
+/// `usize::MAX` concurrency make a tenant effectively unlimited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained admissions per second (token-bucket refill rate).
+    pub rate_per_sec: f64,
+    /// Bucket capacity: how many requests may arrive at once after idle.
+    pub burst: f64,
+    /// Requests of this tenant evaluating concurrently.
+    pub max_concurrency: usize,
+}
+
+impl TenantQuota {
+    /// A quota that never refuses (the default for unknown tenants).
+    pub fn unlimited() -> Self {
+        TenantQuota {
+            rate_per_sec: f64::INFINITY,
+            burst: f64::INFINITY,
+            max_concurrency: usize::MAX,
+        }
+    }
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// A tenant's live admission state: the token bucket under a mutex, the
+/// concurrency count as an atomic (decremented by [`TenantPermit`] drop).
+#[derive(Debug)]
+struct TenantState {
+    quota: TenantQuota,
+    /// `(tokens, last_refill)` — tokens are fractional so sub-second
+    /// rates refill smoothly.
+    bucket: Mutex<(f64, Instant)>,
+    active: AtomicUsize,
+}
+
+/// RAII tenant-concurrency slot; dropping it (on any exit path) releases
+/// the tenant's concurrency count.
+#[derive(Debug)]
+pub struct TenantPermit {
+    state: Arc<TenantState>,
+}
+
+impl Drop for TenantPermit {
+    fn drop(&mut self) {
+        self.state.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-tenant admission control: one token bucket and concurrency cap
+/// per tenant name, with a configurable quota for tenants that were
+/// never explicitly registered. Layered in front of the global gate by
+/// `obda serve`, so one noisy tenant is refused (typed
+/// [`ObdaError::QuotaExceeded`] → HTTP 429) while the others keep their
+/// share of the service's capacity.
+#[derive(Debug)]
+pub struct TenantGovernor {
+    tenants: RwLock<HashMap<String, Arc<TenantState>>>,
+    default_quota: TenantQuota,
+}
+
+impl Default for TenantGovernor {
+    fn default() -> Self {
+        Self::new(TenantQuota::unlimited())
+    }
+}
+
+impl TenantGovernor {
+    /// A governor applying `default_quota` to tenants not explicitly
+    /// registered with [`TenantGovernor::set_quota`].
+    pub fn new(default_quota: TenantQuota) -> Self {
+        TenantGovernor { tenants: RwLock::new(HashMap::new()), default_quota }
+    }
+
+    /// Registers (or replaces) `tenant`'s quota. The bucket starts full.
+    pub fn set_quota(&self, tenant: &str, quota: TenantQuota) {
+        let state = Arc::new(TenantState {
+            quota,
+            bucket: Mutex::new((quota.burst, Instant::now())),
+            active: AtomicUsize::new(0),
+        });
+        self.tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(tenant.to_owned(), state);
+    }
+
+    /// The quota currently applied to `tenant`.
+    pub fn quota(&self, tenant: &str) -> TenantQuota {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(tenant)
+            .map(|s| s.quota)
+            .unwrap_or(self.default_quota)
+    }
+
+    /// Requests of `tenant` currently holding a [`TenantPermit`].
+    pub fn active(&self, tenant: &str) -> usize {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(tenant)
+            .map(|s| s.active.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    fn state_of(&self, tenant: &str) -> Arc<TenantState> {
+        if let Some(s) = self.tenants.read().unwrap_or_else(PoisonError::into_inner).get(tenant) {
+            return Arc::clone(s);
+        }
+        let mut w = self.tenants.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(w.entry(tenant.to_owned()).or_insert_with(|| {
+            Arc::new(TenantState {
+                quota: self.default_quota,
+                bucket: Mutex::new((self.default_quota.burst, Instant::now())),
+                active: AtomicUsize::new(0),
+            })
+        }))
+    }
+
+    /// Admits one request of `tenant`, or refuses with the typed
+    /// [`ObdaError::QuotaExceeded`]. Refusal reasons, in check order: the
+    /// tenant's concurrency cap is reached (`retry_after` zero — retry as
+    /// soon as one of its own requests finishes), or its token bucket is
+    /// empty (`retry_after` = the refill time until one whole token).
+    /// The returned permit must be held for the request's whole lifetime.
+    pub fn admit(&self, tenant: &str) -> Result<TenantPermit, ObdaError> {
+        let state = self.state_of(tenant);
+        // Concurrency first: a tenant at its cap should not also drain
+        // its bucket for a request that will not run.
+        let prev = state.active.fetch_add(1, Ordering::Relaxed);
+        if prev >= state.quota.max_concurrency {
+            state.active.fetch_sub(1, Ordering::Relaxed);
+            return Err(ObdaError::QuotaExceeded {
+                tenant: tenant.to_owned(),
+                retry_after: Duration::ZERO,
+            });
+        }
+        let mut bucket = state.bucket.lock().unwrap_or_else(PoisonError::into_inner);
+        let now = Instant::now();
+        let (ref mut tokens, ref mut last) = *bucket;
+        *tokens = (*tokens + now.duration_since(*last).as_secs_f64() * state.quota.rate_per_sec)
+            .min(state.quota.burst);
+        *last = now;
+        if *tokens < 1.0 {
+            let deficit = 1.0 - *tokens;
+            drop(bucket);
+            state.active.fetch_sub(1, Ordering::Relaxed);
+            let retry_after = if state.quota.rate_per_sec > 0.0 {
+                Duration::from_secs_f64((deficit / state.quota.rate_per_sec).min(3600.0))
+            } else {
+                Duration::from_secs(3600)
+            };
+            return Err(ObdaError::QuotaExceeded { tenant: tenant.to_owned(), retry_after });
+        }
+        *tokens -= 1.0;
+        drop(bucket);
+        Ok(TenantPermit { state })
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
     use std::sync::Barrier;
 
     fn service(cfg: ServiceConfig) -> QueryService {
@@ -494,7 +869,7 @@ mod tests {
         assert_eq!(report.result().unwrap().answers.len(), 1);
         assert_eq!(report.retries(), 0);
         assert!(report.latency >= report.queue_wait);
-        assert_eq!(svc.stats(), ServiceStats { succeeded: 1, failed: 0, rejected: 0 });
+        assert_eq!(svc.stats(), ServiceStats { succeeded: 1, ..ServiceStats::default() });
     }
 
     #[test]
@@ -575,6 +950,133 @@ mod tests {
         let data = svc.system().parse_data("Course(c)").unwrap();
         let err = svc.answer(&q, &data, Strategy::Tw).unwrap_err();
         assert!(matches!(err, ObdaError::Overloaded { .. }));
+    }
+
+    #[test]
+    fn rejection_reasons_are_broken_out_in_stats() {
+        let svc =
+            service(ServiceConfig { max_concurrency: 1, max_queue: 0, ..ServiceConfig::default() });
+        let q = svc.system().parse_query("q(x) :- Course(x)").unwrap();
+        let data = svc.system().parse_data("Course(c)").unwrap();
+        // Queue full while the one slot is held.
+        {
+            let _slot = svc.gate.acquire(1, 0, None).unwrap();
+            svc.answer(&q, &data, Strategy::Tw).unwrap_err();
+        }
+        // Deadline expires while queued.
+        let svc2 = service(ServiceConfig {
+            max_concurrency: 1,
+            max_queue: 4,
+            budget: BudgetSpec {
+                timeout: Some(Duration::from_millis(10)),
+                ..BudgetSpec::default()
+            },
+            ..ServiceConfig::default()
+        });
+        {
+            let _slot = svc2.gate.acquire(1, 4, None).unwrap();
+            svc2.answer(&q, &data, Strategy::Tw).unwrap_err();
+        }
+        assert_eq!(svc.stats().rejected_overloaded, 1);
+        assert_eq!(svc.stats().rejected, 1);
+        assert_eq!(svc2.stats().rejected_deadline, 1);
+        assert_eq!(svc2.stats().rejected, 1);
+    }
+
+    #[test]
+    fn drain_refuses_new_requests_and_waits_for_inflight() {
+        let svc = Arc::new(service(ServiceConfig {
+            max_concurrency: 2,
+            max_queue: 4,
+            ..ServiceConfig::default()
+        }));
+        let q = svc.system().parse_query("q(x) :- Course(x)").unwrap();
+        let data = svc.system().parse_data("Course(c)").unwrap();
+        // An in-flight permit is held while drain begins: drain must wait
+        // for it, then report the gate empty.
+        let holder = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                let permit = svc.gate.acquire(2, 4, None).unwrap();
+                std::thread::sleep(Duration::from_millis(40));
+                drop(permit);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!svc.is_draining());
+        assert!(svc.drain(Duration::from_secs(5)), "in-flight must finish inside the timeout");
+        assert!(svc.is_draining());
+        // After drain: every new request is refused, typed, and counted.
+        let err = svc.answer(&q, &data, Strategy::Tw).unwrap_err();
+        assert!(matches!(err, ObdaError::Overloaded { .. }));
+        assert_eq!(svc.stats().rejected_draining, 1);
+        holder.join().unwrap();
+        // Draining again is idempotent and immediate.
+        assert!(svc.drain(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn prepared_execution_reuses_the_rewriting() {
+        let svc = service(ServiceConfig::default());
+        let q = svc.system().parse_query("q(x) :- teaches(x, y), Course(y)").unwrap();
+        let omq = svc.system().prepare(&q, Strategy::Tw).unwrap();
+        let data = svc.system().parse_data("Professor(ada)").unwrap();
+        let backend = obda_store::MemoryBackend::new(data);
+        let run = svc
+            .execute_prepared_backend_traced(
+                &omq,
+                &backend,
+                &BudgetSpec::unlimited(),
+                Telemetry::disabled(),
+            )
+            .unwrap();
+        assert_eq!(run.result.answers.len(), 1);
+        assert_eq!(run.retries, 0);
+        assert!(run.latency >= run.queue_wait);
+        assert_eq!(svc.stats().succeeded, 1);
+        assert_eq!(svc.metrics().histogram("service_latency_seconds").count(), 1);
+    }
+
+    #[test]
+    fn tenant_governor_enforces_burst_and_refills() {
+        let gov =
+            TenantGovernor::new(TenantQuota { rate_per_sec: 5.0, burst: 2.0, max_concurrency: 8 });
+        // The burst admits two immediately; the third is refused with a
+        // refill hint below one second (deficit 1 token at 5/s = 200ms).
+        let _a = gov.admit("t").unwrap();
+        let _b = gov.admit("t").unwrap();
+        let err = gov.admit("t").unwrap_err();
+        match err {
+            ObdaError::QuotaExceeded { tenant, retry_after } => {
+                assert_eq!(tenant, "t");
+                assert!(retry_after > Duration::ZERO && retry_after <= Duration::from_secs(1));
+            }
+            other => panic!("expected QuotaExceeded, got {other}"),
+        }
+        // Another tenant is unaffected (default quota = unlimited).
+        assert!(gov.admit("other").is_ok());
+        // After the refill interval a token is back.
+        std::thread::sleep(Duration::from_millis(250));
+        assert!(gov.admit("t").is_ok());
+    }
+
+    #[test]
+    fn tenant_concurrency_cap_is_released_by_permit_drop() {
+        let gov = TenantGovernor::default();
+        gov.set_quota(
+            "t",
+            TenantQuota { rate_per_sec: f64::INFINITY, burst: f64::INFINITY, max_concurrency: 1 },
+        );
+        let permit = gov.admit("t").unwrap();
+        assert_eq!(gov.active("t"), 1);
+        let err = gov.admit("t").unwrap_err();
+        assert!(
+            matches!(err, ObdaError::QuotaExceeded { ref tenant, retry_after } if tenant == "t" && retry_after == Duration::ZERO),
+            "{err}"
+        );
+        drop(permit);
+        assert_eq!(gov.active("t"), 0);
+        assert!(gov.admit("t").is_ok());
     }
 
     #[test]

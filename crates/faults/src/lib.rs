@@ -72,15 +72,23 @@ pub mod site {
     /// magic check yet fails mid-load (truncation, bit rot, I/O error).
     /// The store maps a transient unwind here into a typed `StoreError`.
     pub const STORE_OPEN: &str = "store::open";
+    /// One HTTP request handler of `obda serve` (`obda::server`), after
+    /// the request is parsed and admitted but before the pipeline runs —
+    /// models a request that poisons its own handler. The server's
+    /// per-connection isolation boundary must turn a transient unwind
+    /// into a typed 503 and a deliberate panic into a 500, never kill
+    /// the accept loop.
+    pub const SERVER_HANDLE: &str = "server::handle";
 
     /// Every registered site, for exhaustive chaos sweeps.
-    pub const ALL: [&str; 6] = [
+    pub const ALL: [&str; 7] = [
         STORAGE_INSERT,
         STORAGE_INDEX_BUILD,
         ENGINE_CLAUSE_TASK,
         CHASE_STEP,
         REWRITE_TREE_WITNESS,
         STORE_OPEN,
+        SERVER_HANDLE,
     ];
 }
 

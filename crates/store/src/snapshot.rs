@@ -129,14 +129,53 @@ pub fn snapshot_bytes(vocab: &Vocab, data: &DataInstance) -> Vec<u8> {
 
 /// Serialises `data` to an `.obdb` file at `path`, returning the written
 /// snapshot's [`SnapshotInfo`]. See [`snapshot_bytes`] for the encoding.
+///
+/// The write is **atomic**: the bytes go to a temporary file in the
+/// target directory first, are fsynced, and only then renamed over
+/// `path`. A crash (or fault) at any point mid-write leaves either the
+/// old snapshot or the new one — never a torn `.obdb`. The temporary
+/// file is removed on every failure path.
 pub fn write_snapshot(
     path: &Path,
     vocab: &Vocab,
     data: &DataInstance,
 ) -> Result<SnapshotInfo, StoreError> {
     let bytes = snapshot_bytes(vocab, data);
-    std::fs::write(path, &bytes)?;
+    let tmp = temp_sibling(path);
+    let write_and_rename = || -> Result<(), StoreError> {
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &bytes)?;
+            // The rename must never publish a file whose bytes are still
+            // in the page cache only; fsync before the rename makes the
+            // temp durable, so the renamed snapshot is too.
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Best effort: persist the directory entry as well, so the rename
+        // itself survives a crash (ignored where directories cannot be
+        // fsynced, e.g. some non-Unix filesystems).
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    };
+    if let Err(e) = write_and_rename() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
     info_from_bytes(&bytes)
+}
+
+/// The temporary-file path `write_snapshot` stages into: a dotted
+/// sibling in the same directory (so the final rename never crosses a
+/// filesystem), keyed by process id so concurrent builders of *different*
+/// snapshots in one directory cannot collide with each other.
+pub fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
 }
 
 /// Parses the structural metadata of snapshot `bytes` without resolving
@@ -725,6 +764,40 @@ mod tests {
         let x = mem.data().get_constant("x").unwrap();
         assert_eq!(snap.constant_name(x), "x");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_temp_write_never_corrupts_the_published_snapshot() {
+        let (o, d) = example();
+        let path = temp_path("atomic");
+        write_snapshot(&path, o.vocab(), &d).unwrap();
+        // A successful write leaves no staging file behind.
+        assert!(!temp_sibling(&path).exists(), "temp file must not linger");
+        // Simulate a crash mid-write of the *next* build: a torn (truncated)
+        // temp file appears next to the snapshot. The published `.obdb`
+        // must stay fully openable — the torn bytes were never renamed in.
+        std::fs::write(temp_sibling(&path), b"torn").unwrap();
+        let snap = Snapshot::open(&path, o.vocab()).unwrap();
+        assert_eq!(snap.info().num_atoms, 6);
+        // And a subsequent successful write overwrites the torn temp,
+        // publishes atomically, and cleans up again.
+        write_snapshot(&path, o.vocab(), &d).unwrap();
+        assert!(!temp_sibling(&path).exists());
+        assert_eq!(Snapshot::open(&path, o.vocab()).unwrap().info().num_atoms, 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_write_cleans_up_its_temp_file() {
+        let (o, d) = example();
+        // Writing into a missing directory fails — and must not strand a
+        // temp file anywhere (there is no directory to strand it in, but
+        // the error must be the typed I/O error, not a panic).
+        let path = std::env::temp_dir().join("obda-no-such-dir").join("x.obdb");
+        std::fs::remove_dir_all(std::env::temp_dir().join("obda-no-such-dir")).ok();
+        let err = write_snapshot(&path, o.vocab(), &d).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        assert!(!temp_sibling(&path).exists());
     }
 
     #[test]

@@ -113,6 +113,64 @@ impl Histogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
+
+    /// Estimated `q`-quantile in seconds (`q` in `[0, 1]`), by linear
+    /// interpolation inside the bucket that holds the `q`-th observation —
+    /// the standard Prometheus `histogram_quantile` estimate. Returns
+    /// `None` when the histogram is empty. Observations in the `+Inf`
+    /// overflow bucket are reported as the largest finite bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, count) in self.bucket_counts().into_iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += count;
+            if (seen as f64) < rank {
+                continue;
+            }
+            let Some(&upper) = LATENCY_BUCKETS_MICROS.get(i) else {
+                // +Inf bucket: the best finite statement is the last bound.
+                return Some(*LATENCY_BUCKETS_MICROS.last()? as f64 / 1e6);
+            };
+            let lower = if i == 0 { 0 } else { LATENCY_BUCKETS_MICROS[i - 1] };
+            let within = (rank - before as f64) / count as f64;
+            return Some((lower as f64 + (upper - lower) as f64 * within) / 1e6);
+        }
+        Some(*LATENCY_BUCKETS_MICROS.last()? as f64 / 1e6)
+    }
+}
+
+/// Sanitises `raw` into a metric-name suffix: every run of characters
+/// outside `[a-zA-Z0-9_]` collapses to one `_`, uppercase folds to
+/// lowercase, and the result is capped at 48 characters — so untrusted
+/// strings (tenant names, strategy labels) can be embedded in registry
+/// keys without producing unparseable exposition lines.
+pub fn metric_suffix(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len().min(48));
+    let mut last_was_sep = false;
+    for c in raw.chars() {
+        if out.len() >= 48 {
+            break;
+        }
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c.to_ascii_lowercase());
+            last_was_sep = false;
+        } else if !last_was_sep {
+            out.push('_');
+            last_was_sep = true;
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 #[derive(Default)]
@@ -209,6 +267,35 @@ mod tests {
         assert_eq!(counts[0], 1);
         assert_eq!(counts[LATENCY_BUCKETS_MICROS.len()], 1);
         assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 100 observations at ~200µs: they all land in the (100, 250]µs
+        // bucket, so every quantile interpolates inside it.
+        for _ in 0..100 {
+            h.observe(Duration::from_micros(200));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((0.0001..=0.00025).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= p50 && p99 <= 0.00025, "p99 = {p99}");
+        // A tail observation beyond the last bound clamps to it.
+        h.observe(Duration::from_secs(100));
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((p100 - 10.0).abs() < 1e-9, "overflow clamps to 10s: {p100}");
+    }
+
+    #[test]
+    fn metric_suffix_sanitises_untrusted_names() {
+        assert_eq!(metric_suffix("tenant-a"), "tenant_a");
+        assert_eq!(metric_suffix("Hot Tenant!!"), "hot_tenant_");
+        assert_eq!(metric_suffix("ok_name9"), "ok_name9");
+        assert_eq!(metric_suffix(""), "_");
+        assert_eq!(metric_suffix("é£é"), "_");
+        assert!(metric_suffix(&"x".repeat(200)).len() <= 48);
     }
 
     #[test]

@@ -372,6 +372,45 @@ fn cli_rejects_unknown_commands_and_flags_with_usage() {
     assert_eq!(code, 2);
 }
 
+/// The drift guard for the CLI's exit-code contract: `--help` must exit 0
+/// and its exit-code table must name every code 0–9 with the right
+/// meaning, so a new `CliError` variant cannot ship undocumented.
+#[test]
+fn cli_help_names_every_exit_code() {
+    let (code, out, _) = run_cli(&["--help"]);
+    assert_eq!(code, 0, "--help must exit 0, not be treated as a usage error");
+    assert!(out.contains("exit codes:"), "help lacks the exit-code table:\n{out}");
+    let table: Vec<&str> = out.lines().skip_while(|l| !l.contains("exit codes:")).collect();
+    for (digit, hint) in [
+        ("0", "success"),
+        ("1", "internal"),
+        ("2", "usage"),
+        ("3", "parse"),
+        ("4", "rewriting"),
+        ("5", "evaluation"),
+        ("6", "budget"),
+        ("7", "oracle"),
+        ("8", "panic"),
+        ("9", "admission"),
+    ] {
+        let row = table
+            .iter()
+            .find(|l| l.trim_start().starts_with(&format!("{digit} ")))
+            .unwrap_or_else(|| panic!("help does not document exit code {digit}:\n{out}"));
+        assert!(row.contains(hint), "exit code {digit} row should mention '{hint}': {row}");
+    }
+    // Every subcommand is listed, including the server.
+    for cmd in ["classify", "rewrite", "explain", "answer", "build", "dbinfo", "serve"] {
+        assert!(out.contains(cmd), "help does not mention the '{cmd}' command:\n{out}");
+    }
+    // `-h` is the same door, and `--help` wins even next to other args.
+    let (code, short, _) = run_cli(&["-h"]);
+    assert_eq!(code, 0);
+    assert_eq!(short, out);
+    let (code, _, _) = run_cli(&["serve", "--help"]);
+    assert_eq!(code, 0);
+}
+
 #[test]
 fn cli_reports_malformed_inputs_as_parse_errors() {
     let fx = Fixture::new("malformed");
