@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [fig1] [fig2] [table2] [table3] [table4] [table5]
-//!             [bencheval] [benchguard] [benchstore] [benchserve] [all]
+//!             [bencheval] [benchguard] [benchjoin] [benchstore]
+//!             [benchserve] [all]
 //!             [--scale S] [--max-atoms N] [--timeout-secs T] [--csv DIR]
 //!             [--threads N]
 //! ```
@@ -23,6 +24,13 @@
 //!   or regresses measurably in time — the guard that the compiled-out
 //!   fault-injection sites really are no-ops (run **without**
 //!   `--features faults`; not part of `all`);
+//! * `benchjoin` — the join-planning comparison: the pruned engine with
+//!   the cost-based join order vs the syntactic order (`plan: false`),
+//!   asserting identical answers and tuple counts, with per-clause
+//!   estimated-vs-actual cardinalities from one executed explain;
+//!   spliced into `BENCH_eval.json` as a `"benchjoin"` section next to
+//!   the bencheval rows (part of the CI quality gate alongside
+//!   `benchguard`; not part of `all`);
 //! * `benchstore` — the snapshot-store load benchmark: for every Table 2
 //!   dataset at scales 0.05 and 0.5, measures text-parse-plus-index time
 //!   against `.obdb` snapshot open time (best of 5, same `Database`
@@ -133,6 +141,11 @@ fn main() {
     // non-zero), while `all` regenerates documentation artefacts.
     if cfg.sections.iter().any(|s| s == "benchguard") {
         benchguard(&cfg);
+    }
+    // Splices into (and asserts against) the committed BENCH_eval.json,
+    // so it runs on request like benchguard, not under `all`.
+    if cfg.sections.iter().any(|s| s == "benchjoin") {
+        benchjoin(&cfg);
     }
     // Also not part of `all`: RSS readings only mean something in a
     // process that has not already run every other section.
@@ -602,6 +615,136 @@ fn trace_breakdown(
         }
     }
     Some(b)
+}
+
+/// The join-planning benchmark behind the `"benchjoin"` section of
+/// `BENCH_eval.json`: for every bencheval cell it times the pruned
+/// goal-directed engine (1 thread) with the cost-based join order
+/// against the syntactic order (`plan: false`), asserts that answers
+/// and generated tuples are identical either way, and records
+/// per-clause estimated vs actual cardinalities from one executed
+/// explain of the pruned rewriting. The section is spliced into the
+/// committed `BENCH_eval.json` without touching the bencheval rows
+/// (benchguard's baseline); re-running replaces a previous section.
+fn benchjoin(cfg: &Config) {
+    let sys = paper_system();
+    println!(
+        "== Join planning: cost-based vs syntactic order (pruned engine, 1 thread, scale {}) ==\n",
+        cfg.scale
+    );
+    let combos: [(usize, usize, Strategy); 4] = [
+        (0, 6, Strategy::Tw),
+        (0, 6, Strategy::Log),
+        (1, 5, Strategy::TwUcq),
+        (1, 5, Strategy::PrestoLike),
+    ];
+    let opts = EvalOptions { timeout: Some(cfg.timeout), ..EvalOptions::default() };
+    let planned_cfg = EngineConfig { threads: 1, ..EngineConfig::default() };
+    let syntactic_cfg = EngineConfig { threads: 1, plan: false, ..EngineConfig::default() };
+    let mut rows_json: Vec<String> = Vec::new();
+    let mut table_rows = Vec::new();
+    for ds in 0..4 {
+        let data = dataset(&sys, ds, cfg.scale);
+        let db = Database::new(&data);
+        for &(seq, n, strategy) in &combos {
+            let q = prefix_query(&sys, seq, n);
+            let Ok(prepared) = sys.prepare(&q, strategy) else {
+                continue;
+            };
+            let planned =
+                time_engine(&mut || prepared.execute_engine(&db, &opts, &planned_cfg).ok());
+            let syntactic =
+                time_engine(&mut || prepared.execute_engine(&db, &opts, &syntactic_cfg).ok());
+            let (Some((plan_secs, plan_res)), Some((syn_secs, syn_res))) = (&planned, &syntactic)
+            else {
+                continue;
+            };
+            // The planner may only change the order, never the semantics.
+            assert_eq!(plan_res.answers, syn_res.answers, "join order changed the answers");
+            assert_eq!(
+                plan_res.stats.generated_tuples, syn_res.stats.generated_tuples,
+                "join order changed the generated tuples"
+            );
+            let speedup = syn_secs / plan_secs.max(1e-9);
+            // Per-join estimated vs actual cardinalities, from one
+            // executed explain of the pruned rewriting (multi-atom
+            // clauses only; single-atom clauses have no order to choose).
+            let pruned_query = &prepared.pruned().query;
+            let mut joins = Vec::new();
+            if let Ok((expl, _)) =
+                obda_ndl::explain_plan_executed(pruned_query, &db, &mut opts.to_budget())
+            {
+                for stratum in &expl.strata {
+                    for clause in &stratum.clauses {
+                        if clause.order.len() < 2 {
+                            continue;
+                        }
+                        let est: Vec<String> =
+                            clause.est_rows.iter().map(|e| format!("{e:.1}")).collect();
+                        let actual: Vec<String> =
+                            clause.actual_rows.iter().map(u64::to_string).collect();
+                        joins.push(format!(
+                            "{{\"head\": \"{}\", \"est\": [{}], \"actual\": [{}]}}",
+                            pruned_query.program.pred(clause.head).name,
+                            est.join(", "),
+                            actual.join(", ")
+                        ));
+                    }
+                }
+            }
+            table_rows.push(vec![
+                format!("{}.ttl", ds + 1),
+                format!("s{}:{}", seq + 1, n),
+                strategy.to_string(),
+                format!("{syn_secs:.3}"),
+                format!("{plan_secs:.3}"),
+                format!("{speedup:.2}x"),
+                plan_res.stats.generated_tuples.to_string(),
+                joins.len().to_string(),
+            ]);
+            rows_json.push(format!(
+                "      {{\n        \"cell\": \"{}.ttl s{}:{n} {strategy}\",\n        \
+                 \"syntactic\": {{\"seconds\": {syn_secs:.6}}},\n        \
+                 \"planned\": {{\"seconds\": {plan_secs:.6}}},\n        \
+                 \"speedup_planned_vs_syntactic\": {speedup:.3},\n        \
+                 \"answers\": {}, \"generated_tuples\": {},\n        \
+                 \"joins\": [{}]\n      }}",
+                ds + 1,
+                seq + 1,
+                plan_res.answers.len(),
+                plan_res.stats.generated_tuples,
+                joins.join(", ")
+            ));
+        }
+    }
+    let header: Vec<String> =
+        ["dataset", "query", "strategy", "syn s", "plan s", "speedup", "tuples", "joins"]
+            .map(String::from)
+            .to_vec();
+    println!("{}", render_table(&header, &table_rows));
+    let base = std::fs::read_to_string("BENCH_eval.json").unwrap_or_else(|e| {
+        eprintln!("error: benchjoin splices into BENCH_eval.json (run bencheval first): {e}");
+        std::process::exit(2);
+    });
+    // Idempotence: drop a previously spliced section before re-adding.
+    let base = match base.find(",\n  \"benchjoin\":") {
+        Some(i) => format!("{}\n}}\n", base[..i].trim_end()),
+        None => base,
+    };
+    let Some(idx) = base.rfind('}') else {
+        eprintln!("error: malformed BENCH_eval.json");
+        std::process::exit(2);
+    };
+    let out = format!(
+        "{},\n  \"benchjoin\": {{\n    \"config\": {{\"scale\": {}, \"threads\": 1, \
+         \"runs_per_engine\": 3, \"engine\": \"goal-directed, relevance pruning\"}},\n    \
+         \"rows\": [\n{}\n    ]\n  }}\n}}\n",
+        base[..idx].trim_end(),
+        cfg.scale,
+        rows_json.join(",\n")
+    );
+    std::fs::write("BENCH_eval.json", out).expect("write BENCH_eval.json");
+    println!("spliced \"benchjoin\" into BENCH_eval.json ({} rows)", table_rows.len());
 }
 
 /// The engine-comparison benchmark behind `BENCH_eval.json`: for each

@@ -4,12 +4,13 @@
 //! ```text
 //! obda classify --ontology o.owlql --query q.cq
 //! obda rewrite  --ontology o.owlql --query q.cq [--strategy tw]
-//! obda explain  --ontology o.owlql --query q.cq [--strategy tw] [--db db.obdb]
+//! obda explain  --ontology o.owlql --query q.cq [--strategy tw]
+//!               [--data d.abox | --db db.obdb]
 //! obda answer   --ontology o.owlql --query q.cq --data d.abox | --db db.obdb
 //!               [--strategy adaptive] [--oracle] [--timeout-secs N]
 //!               [--budget-secs N] [--budget-clauses N] [--budget-tuples N]
 //!               [--budget-steps N] [--budget-chase N] [--no-fallback]
-//!               [--threads N] [--no-prune] [--retries N]
+//!               [--threads N] [--no-prune] [--no-plan] [--retries N]
 //!               [--max-concurrency N] [--trace[=pretty|json]] [--stats]
 //! obda build    --ontology o.owlql --data d.abox -o db.obdb
 //! obda dbinfo   db.obdb
@@ -28,7 +29,9 @@
 //! row counts without needing the ontology.
 //!
 //! `answer` evaluates with the goal-directed engine: the rewriting is
-//! relevance-pruned towards the goal (disable with `--no-prune`) and
+//! relevance-pruned towards the goal (disable with `--no-prune`), each
+//! clause's joins run in the cost-based order chosen from relation
+//! statistics (disable with `--no-plan` to keep the syntactic order) and
 //! evaluated stratum-by-stratum on `--threads N` workers (default 1;
 //! `0` = one per CPU) sharing one resource budget. Requests run through
 //! the panic-isolated query service: transient faults are retried up to
@@ -36,10 +39,12 @@
 //! ladder, and `--max-concurrency N` (default 1) bounds the service's
 //! admission gate.
 //!
-//! `explain` performs the rewriting without touching data and dumps the
-//! classification, the rewriting, the relevance-pruned program and the
-//! engine's predicted stratum schedule with per-clause join orders and
-//! access paths (scan vs index probe).
+//! `explain` dumps the classification, the rewriting, the
+//! relevance-pruned program and the engine's stratum schedule with
+//! per-clause join orders and access paths (scan, index probe, merge).
+//! Given `--data` or `--db` the schedule is the cost-based plan and the
+//! query is executed once so every step reports its estimated *and*
+//! actual cardinality; without data the syntactic order is shown.
 //!
 //! Observability: `--trace` collects nested spans across every pipeline
 //! stage (parse → saturate → rewrite → prune → stratum-schedule → eval,
@@ -128,7 +133,7 @@ const USAGE: &str = "usage: obda <classify|rewrite|explain|answer> --ontology FI
     \x20      [--data FILE | --db FILE] [--strategy NAME] [--oracle] [--timeout-secs N]\n\
     \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
     \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]\n\
-    \x20      [--threads N] [--no-prune] [--retries N] [--max-concurrency N]\n\
+    \x20      [--threads N] [--no-prune] [--no-plan] [--retries N] [--max-concurrency N]\n\
     \x20      [--trace[=pretty|json]] [--stats]\n\
     \x20      obda build --ontology FILE --data FILE (-o|--out) FILE\n\
     \x20      obda dbinfo FILE\n\
@@ -235,6 +240,7 @@ fn parse_args() -> Option<Args> {
             "--budget-chase" => args.spec.max_chase_elements = Some(argv.next()?.parse().ok()?),
             "--threads" => args.engine.threads = argv.next()?.parse().ok()?,
             "--no-prune" => args.engine.prune = false,
+            "--no-plan" => args.engine.plan = false,
             "--retries" => args.retries = Some(argv.next()?.parse().ok()?),
             "--max-concurrency" => {
                 let n: usize = argv.next()?.parse().ok()?;
@@ -435,7 +441,7 @@ fn run(args: &Args, telem: Telemetry<'_>) -> Result<(), CliError> {
             print!("{}", ProgramDisplay { program: &rewriting.program });
             Ok(())
         }
-        "explain" => run_explain(args, &system, &query),
+        "explain" => run_explain(args, &system, &query, telem),
         "answer" => {
             let data = if let Some(db) = &args.db {
                 AnswerData::Snapshot(Box::new(Snapshot::open_traced(
@@ -523,6 +529,7 @@ fn run_dbinfo(args: &Args) -> Result<(), CliError> {
     println!("payload bytes:  {}", info.payload_bytes);
     println!("checksum:       {:#018x} (word-folded FNV-1a 64, verified)", info.checksum);
     println!("dictionary:     {} constants, {} bytes", info.num_consts, info.dict_bytes);
+    println!("stats:          {}", info.stats_source());
     println!("atoms:          {}", info.num_atoms);
     println!("relations:      {}", info.relations.len());
     for rel in &info.relations {
@@ -559,8 +566,16 @@ impl AnswerData {
 }
 
 /// `obda explain`: classification, rewriting, pruned program, and the
-/// engine's predicted stratum schedule with per-clause join orders.
-fn run_explain(args: &Args, system: &ObdaSystem, query: &Cq) -> Result<(), CliError> {
+/// engine's stratum schedule with per-clause join plans. Without data
+/// the plan is syntactic; with `--data` or `--db` the cost-based plan
+/// is shown with estimated *and* actual per-atom cardinalities (the
+/// query is executed once, on the sequential engine).
+fn run_explain(
+    args: &Args,
+    system: &ObdaSystem,
+    query: &Cq,
+    telem: Telemetry<'_>,
+) -> Result<(), CliError> {
     let cell = system.classify(query);
     println!("== classification ==");
     println!(
@@ -590,23 +605,55 @@ fn run_explain(args: &Args, system: &ObdaSystem, query: &Cq) -> Result<(), CliEr
     );
     print!("{}", ProgramDisplay { program: &pruned.query.program });
 
-    let plan = obda_ndl::explain_plan(&pruned.query);
+    // With data on hand the planner can cost the joins against real
+    // relation statistics, and one sequential execution annotates every
+    // step with the cardinality it actually produced. Without data the
+    // schedule falls back to the syntactic join order.
+    let backend: Option<Box<dyn StorageBackend>> = if let Some(db) = &args.db {
+        Some(Box::new(Snapshot::open_traced(
+            std::path::Path::new(db),
+            system.ontology().vocab(),
+            telem,
+        )?))
+    } else if let Some(path) = &args.data {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Internal(format!("cannot read {path}: {e}")))?;
+        Some(Box::new(MemoryBackend::new(system.parse_data(&text)?)))
+    } else {
+        None
+    };
     println!();
-    println!("== stratum plan ==");
-    print!("{}", plan.display(&pruned.query.program));
+    match &backend {
+        Some(backend) => {
+            let (plan, result) =
+                obda_ndl::explain_plan_executed(&pruned.query, backend.database(), &mut budget)
+                    .map_err(|e| CliError::from(ObdaError::from(e)))?;
+            println!(
+                "== stratum plan (cost-based, executed: {} answers, {} tuples) ==",
+                result.answers.len(),
+                result.stats.generated_tuples
+            );
+            print!("{}", plan.display(&pruned.query.program));
+        }
+        None => {
+            let plan = obda_ndl::explain_plan(&pruned.query);
+            println!("== stratum plan (syntactic; add --data or --db for cost-based) ==");
+            print!("{}", plan.display(&pruned.query.program));
+        }
+    }
 
-    // With `--db`, also describe the snapshot the plan would run over —
-    // a structural decode (header, dictionary, per-relation row counts),
-    // no evaluation.
+    // With `--db`, also describe the snapshot the plan ran over — the
+    // structural header decode (dictionary, per-relation row counts).
     if let Some(db) = &args.db {
         let info = read_info(std::path::Path::new(db))?;
         println!();
         println!("== snapshot {db} (format v{}, {} bytes) ==", info.version, info.file_bytes);
         println!(
-            "{} constants, {} atoms, {} relations:",
+            "{} constants, {} atoms, {} relations (stats {}):",
             info.num_consts,
             info.num_atoms,
-            info.relations.len()
+            info.relations.len(),
+            info.stats_source()
         );
         for rel in &info.relations {
             println!("  {}/{} ({} rows)", rel.name, rel.arity, rel.rows);

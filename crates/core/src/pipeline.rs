@@ -6,12 +6,16 @@ use obda_chase::answer::{certain_answers, certain_answers_budgeted, CertainAnswe
 use obda_chase::model::ChaseError;
 use obda_cq::query::Cq;
 use obda_ndl::analysis::{analyze, Analysis};
-use obda_ndl::engine::{evaluate_engine_on_traced, evaluate_pruned_on_traced, EngineConfig};
+use obda_ndl::engine::{
+    evaluate_engine_on_traced, evaluate_pruned_planned_on_traced, EngineConfig,
+};
 use obda_ndl::eval::{
     evaluate, evaluate_on, evaluate_on_budgeted, evaluate_on_traced, EvalError, EvalOptions,
     EvalResult,
 };
+use obda_ndl::explain::{explain_plan_with, PlanExplanation};
 use obda_ndl::linear_eval::{evaluate_linear_on, evaluate_linear_on_budgeted};
+use obda_ndl::planner::{plan_query, QueryPlan};
 use obda_ndl::program::NdlQuery;
 use obda_ndl::relevance::{prune_for_goal, PruneStats, PrunedQuery};
 use obda_ndl::storage::Database;
@@ -29,7 +33,8 @@ use obda_store::StorageBackend;
 use obda_telemetry::Telemetry;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Renders a panic payload for error reports: string payloads verbatim,
@@ -1146,6 +1151,8 @@ impl ObdaSystem {
             analysis,
             rewriting,
             pruned: OnceLock::new(),
+            plans: Mutex::new(Vec::new()),
+            plans_built: AtomicUsize::new(0),
         })
     }
 }
@@ -1153,7 +1160,7 @@ impl ObdaSystem {
 /// A rewritten OMQ ready for repeated evaluation: the NDL rewriting, its
 /// structural [`Analysis`], and the goal metadata, computed once by
 /// [`ObdaSystem::prepare`] and reused across data instances.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PreparedOmq {
     query: Cq,
     strategy: Strategy,
@@ -1162,6 +1169,36 @@ pub struct PreparedOmq {
     /// Goal-directed pruning of the rewriting, computed lazily on the
     /// first engine execution and then reused across data instances.
     pruned: OnceLock<PrunedQuery>,
+    /// Cost-based plans of the *pruned* rewriting keyed by
+    /// [`Database::id`]: a plan is a pure function of (program, data), so
+    /// it is computed once per database and reused across executions.
+    /// Small LRU — prepared queries typically serve a handful of live
+    /// databases at a time.
+    plans: Mutex<Vec<(u64, Arc<QueryPlan>)>>,
+    /// Number of plans actually computed (cache misses), for tests and
+    /// the server's `/explain` endpoint.
+    plans_built: AtomicUsize,
+}
+
+/// How many per-database plans a [`PreparedOmq`] keeps before evicting
+/// the least recently used one.
+const PLAN_CACHE_CAP: usize = 4;
+
+impl Clone for PreparedOmq {
+    /// Clones the cached rewriting and pruning; the per-database plan
+    /// cache starts empty (plans are cheap to recompute and keyed by
+    /// database identity, which the clone may never see again).
+    fn clone(&self) -> Self {
+        PreparedOmq {
+            query: self.query.clone(),
+            strategy: self.strategy,
+            analysis: self.analysis.clone(),
+            rewriting: self.rewriting.clone(),
+            pruned: self.pruned.clone(),
+            plans: Mutex::new(Vec::new()),
+            plans_built: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl PreparedOmq {
@@ -1222,6 +1259,40 @@ impl PreparedOmq {
         self.pruned().stats
     }
 
+    /// The cost-based join plan of the pruned rewriting for `db`,
+    /// computed on first use per database and cached (a small LRU keyed
+    /// by [`Database::id`]).
+    pub fn query_plan(&self, db: &Database) -> Arc<QueryPlan> {
+        let mut cache = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(pos) = cache.iter().position(|(id, _)| *id == db.id()) {
+            let entry = cache.remove(pos);
+            let plan = Arc::clone(&entry.1);
+            cache.push(entry);
+            return plan;
+        }
+        // Planning is a few passes over relation stats — cheap enough to
+        // hold the lock, which keeps the built-plan count deterministic.
+        let plan = Arc::new(plan_query(&self.pruned().query, db));
+        self.plans_built.fetch_add(1, Ordering::Relaxed);
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((db.id(), Arc::clone(&plan)));
+        plan
+    }
+
+    /// Number of cost-based plans this prepared query has computed so
+    /// far (i.e. plan-cache misses across all executions).
+    pub fn plans_built(&self) -> usize {
+        self.plans_built.load(Ordering::Relaxed)
+    }
+
+    /// The plan explanation (access paths and estimated cardinalities)
+    /// of the pruned rewriting for `db`, built from the cached plan.
+    pub fn plan_explanation(&self, db: &Database) -> PlanExplanation {
+        explain_plan_with(&self.pruned().query, &self.query_plan(db))
+    }
+
     /// Evaluates with the parallel, goal-directed engine. When
     /// `cfg.prune` is set the pruning pass runs once per prepared query
     /// (cached), not once per execution; per-predicate statistics are
@@ -1257,7 +1328,15 @@ impl PreparedOmq {
         telem: Telemetry<'_>,
     ) -> Result<EvalResult, EvalError> {
         if cfg.prune {
-            evaluate_pruned_on_traced(self.pruned(), db, budget, cfg, telem)
+            let plan = cfg.plan.then(|| self.query_plan(db));
+            evaluate_pruned_planned_on_traced(
+                self.pruned(),
+                db,
+                budget,
+                cfg,
+                plan.as_deref(),
+                telem,
+            )
         } else {
             evaluate_engine_on_traced(&self.rewriting, db, budget, cfg, telem)
         }
@@ -1389,6 +1468,49 @@ mod tests {
         let prepared = sys.prepare(&q, Strategy::Tw).unwrap();
         let res = prepared.validate_against_oracle(&sys, &d, &db).unwrap();
         assert_eq!(res.answers.len(), res.stats.num_answers);
+    }
+
+    #[test]
+    fn prepared_omq_plans_once_per_database() {
+        let sys = system();
+        let q = sys.parse_query("q(x0, x2) :- R(x0, x1), S(x1, x2)").unwrap();
+        let d = sys.parse_data("P(w, a)\nR(a, b)\nS(b, c)\n").unwrap();
+        let prepared = sys.prepare(&q, Strategy::Tw).unwrap();
+        assert_eq!(prepared.plans_built(), 0, "planning is lazy");
+
+        let db = Database::new(&d);
+        let cfg = EngineConfig::default();
+        let oracle = sys.certain_answers(&q, &d).tuples();
+        for _ in 0..3 {
+            let res = prepared.execute_engine(&db, &EvalOptions::default(), &cfg).unwrap();
+            assert_eq!(res.answers, oracle);
+        }
+        assert_eq!(prepared.plans_built(), 1, "same database reuses the cached plan");
+
+        // A different database (even over the same instance) gets its own
+        // plan — stats are a property of the database, not the query.
+        let db2 = Database::new(&d);
+        prepared.execute_engine(&db2, &EvalOptions::default(), &cfg).unwrap();
+        assert_eq!(prepared.plans_built(), 2);
+        prepared.execute_engine(&db, &EvalOptions::default(), &cfg).unwrap();
+        assert_eq!(prepared.plans_built(), 2, "older entry still cached");
+
+        // The explanation is built from the same cached plan.
+        let expl = prepared.plan_explanation(&db);
+        let text = expl.display(&prepared.pruned().query.program).to_string();
+        assert!(text.contains("est\u{2248}"), "{text}");
+        assert_eq!(prepared.plans_built(), 2);
+
+        // Clones start with an empty cache.
+        let cloned = prepared.clone();
+        assert_eq!(cloned.plans_built(), 0);
+
+        // Disabling planning skips the cache entirely.
+        let fresh = sys.prepare(&q, Strategy::Tw).unwrap();
+        let noplan = EngineConfig { plan: false, ..EngineConfig::default() };
+        let res = fresh.execute_engine(&db, &EvalOptions::default(), &noplan).unwrap();
+        assert_eq!(res.answers, oracle);
+        assert_eq!(fresh.plans_built(), 0);
     }
 
     #[test]

@@ -838,8 +838,12 @@ fn handle_explain(inner: &ServerInner, req: &Request) -> HttpOut {
         let query = omq.query().clone();
         let cell = inner.service.system().classify(&query);
         let stats = omq.prune_stats();
-        Ok(format!(
-            "strategy:    {}\ndepth:       {:?}\nquery class: {:?}\ncomplexity:  {}\nclauses:     {}\npruned:      {} -> {} clauses, {} -> {} predicates\nbackend:     {} ({} atoms)\n",
+        // The cost-based plan for the served database comes from the
+        // prepared query's plan cache, so repeated /explain (and /query)
+        // requests reuse one plan; `plans built` exposes the miss count.
+        let plan = omq.plan_explanation(inner.backend.database());
+        let mut body = format!(
+            "strategy:    {}\ndepth:       {:?}\nquery class: {:?}\ncomplexity:  {}\nclauses:     {}\npruned:      {} -> {} clauses, {} -> {} predicates\nbackend:     {} ({} atoms)\nplans built: {}\n",
             omq.strategy(),
             cell.depth,
             cell.query,
@@ -851,7 +855,10 @@ fn handle_explain(inner: &ServerInner, req: &Request) -> HttpOut {
             stats.preds_after,
             inner.backend.kind(),
             inner.backend.database().num_atoms(),
-        ))
+            omq.plans_built(),
+        );
+        body.push_str(&plan.display(&omq.pruned().query.program).to_string());
+        Ok(body)
     });
     match outcome {
         Ok(body) => HttpOut::new(200, "OK", body),

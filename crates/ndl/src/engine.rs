@@ -31,9 +31,10 @@
 
 use crate::analysis::topological_order;
 use crate::eval::{
-    error_stats, eval_clause_into, halt_from_panic, halt_to_error, join_order, reachable_from_goal,
-    relation, EvalError, EvalOptions, EvalResult, EvalStats, Halt, JoinCounters, Row,
+    error_stats, eval_clause_into, halt_from_panic, halt_to_error, reachable_from_goal, relation,
+    EvalError, EvalOptions, EvalResult, EvalStats, Halt, JoinCounters,
 };
+use crate::planner::{plan_query, syntactic_query_plan, JoinPlan, PlannedAccess, QueryPlan};
 use crate::program::{BodyAtom, Clause, NdlQuery, PredId, PredKind};
 use crate::relevance::{prune_for_goal, PrunedQuery};
 use crate::storage::{Database, Relation};
@@ -57,11 +58,15 @@ pub struct EngineConfig {
     /// per-worker row ranges. Tests lower this to exercise chunking on
     /// small data.
     pub chunk_min_rows: usize,
+    /// Use the cost-based [`crate::planner`] (`true`, the default) or
+    /// fall back to syntactic join order. Answers are identical either
+    /// way; this knob exists for benchmarking and differential tests.
+    pub plan: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { threads: 1, prune: true, chunk_min_rows: 1024 }
+        EngineConfig { threads: 1, prune: true, chunk_min_rows: 1024, plan: true }
     }
 }
 
@@ -123,7 +128,7 @@ pub fn evaluate_engine_on_traced(
         span.end();
         evaluate_pruned_on_traced(&pruned, db, budget, cfg, telem)
     } else {
-        run(query, None, query.program.num_preds(), db, budget, cfg, telem)
+        run(query, None, query.program.num_preds(), db, budget, cfg, None, telem)
     }
 }
 
@@ -149,8 +154,24 @@ pub fn evaluate_pruned_on_traced(
     cfg: &EngineConfig,
     telem: Telemetry<'_>,
 ) -> Result<EvalResult, EvalError> {
+    evaluate_pruned_planned_on_traced(pruned, db, budget, cfg, None, telem)
+}
+
+/// Like [`evaluate_pruned_on_traced`], but optionally reusing a
+/// [`QueryPlan`] computed earlier for the *pruned* program (callers such
+/// as `PreparedOmq` cache plans per database alongside the pruned query,
+/// amortising planning across repeated executions). With `qplan = None`
+/// the engine plans per [`EngineConfig::plan`].
+pub fn evaluate_pruned_planned_on_traced(
+    pruned: &PrunedQuery,
+    db: &Database,
+    budget: &mut Budget,
+    cfg: &EngineConfig,
+    qplan: Option<&QueryPlan>,
+    telem: Telemetry<'_>,
+) -> Result<EvalResult, EvalError> {
     let orig = pruned.origin.iter().map(|p| p.0 as usize + 1).max().unwrap_or(0);
-    run(&pruned.query, Some(&pruned.origin), orig, db, budget, cfg, telem)
+    run(&pruned.query, Some(&pruned.origin), orig, db, budget, cfg, qplan, telem)
 }
 
 /// One unit of stratum work: a clause (optionally restricted to a row
@@ -158,7 +179,7 @@ pub fn evaluate_pruned_on_traced(
 /// head's output relation.
 struct Task<'p> {
     clause: &'p Clause,
-    order: Vec<usize>,
+    plan: &'p JoinPlan,
     range: Option<(usize, usize)>,
     /// Index into the stratum's output slots.
     slot: usize,
@@ -177,37 +198,52 @@ fn eval_task<B: BudgetOps>(
     budget: &mut B,
     task: &Task<'_>,
     outs: &[Mutex<(Relation, usize)>],
-    buf: &mut Vec<Row>,
+    buf: &mut Vec<u32>,
     join: &mut JoinCounters,
 ) -> Result<usize, Halt> {
     crate::fault::inject(crate::fault::site::ENGINE_CLAUSE_TASK);
+    // Derived rows are buffered flat (head-arity strided) so the hot
+    // emit path is a memcpy, not a per-row heap allocation.
+    let arity = task.clause.head_args.len();
     buf.clear();
+    let mut rows = 0u64;
     eval_clause_into(
         &query.program,
         db,
         idb,
         budget,
         task.clause,
-        &task.order,
+        task.plan,
         task.range,
         join,
         &mut |row, budget| {
-            budget.check_tuple_headroom(buf.len() as u64 + 1)?;
-            buf.push(row);
+            rows += 1;
+            budget.check_tuple_headroom(rows)?;
+            buf.extend_from_slice(row);
             Ok(())
         },
     )?;
-    if buf.is_empty() {
+    if rows == 0 {
         return Ok(0);
     }
     let mut guard = outs[task.slot].lock().unwrap_or_else(PoisonError::into_inner);
     let (rel, fresh) = &mut *guard;
     let mut new = 0usize;
-    for row in buf.iter() {
+    let mut merge = |rel: &mut Relation, row: &[u32]| -> Result<(), Halt> {
         if rel.insert_if_new(row) {
             *fresh += 1;
             new += 1;
             budget.charge_tuples(1)?;
+        }
+        Ok(())
+    };
+    if arity == 0 {
+        // Boolean heads buffer no columns; every derived row is the
+        // empty tuple, so a single merge settles all of them.
+        merge(rel, &[])?;
+    } else {
+        for row in buf.chunks_exact(arity) {
+            merge(rel, row)?;
         }
     }
     Ok(new)
@@ -229,7 +265,7 @@ fn eval_task_isolated<B: BudgetOps>(
     budget: &mut B,
     task: &Task<'_>,
     outs: &[Mutex<(Relation, usize)>],
-    buf: &mut Vec<Row>,
+    buf: &mut Vec<u32>,
     telem: &Telemetry<'_>,
 ) -> Result<(), Halt> {
     let span = telem.tracer.enabled().then(|| telem.span("clause_task"));
@@ -249,6 +285,10 @@ fn eval_task_isolated<B: BudgetOps>(
         span.attr("rows_scanned", join.scanned);
         span.attr("index_hits", join.index_hits);
         span.attr("rows_emitted", join.emitted);
+        if task.plan.costed {
+            span.attr("est_rows", task.plan.est_out.round().max(0.0) as u64);
+            span.attr("actual_rows", join.emitted);
+        }
         match &result {
             Ok(new) => span.attr("tuples", *new as u64),
             Err(halt) => span.error(&format!("{halt:?}")),
@@ -273,6 +313,7 @@ fn run(
     db: &Database,
     budget: &mut Budget,
     cfg: &EngineConfig,
+    qplan: Option<&QueryPlan>,
     telem: Telemetry<'_>,
 ) -> Result<EvalResult, EvalError> {
     let span = telem.span("eval");
@@ -280,8 +321,17 @@ fn run(
     span.attr("threads", cfg.effective_threads() as u64);
     let ticks_before = budget.spent_steps();
     let mut sched = SchedStats::default();
-    let result =
-        run_inner(query, origin, orig_num_preds, db, budget, cfg, telem.under(&span), &mut sched);
+    let result = run_inner(
+        query,
+        origin,
+        orig_num_preds,
+        db,
+        budget,
+        cfg,
+        qplan,
+        telem.under(&span),
+        &mut sched,
+    );
     let tuples = match &result {
         Ok(res) => res.stats.generated_tuples,
         Err(e) => error_stats(e).map_or(0, |s| s.generated_tuples),
@@ -312,6 +362,7 @@ fn run_inner(
     db: &Database,
     budget: &mut Budget,
     cfg: &EngineConfig,
+    qplan: Option<&QueryPlan>,
     telem: Telemetry<'_>,
     sched: &mut SchedStats,
 ) -> Result<EvalResult, EvalError> {
@@ -321,6 +372,16 @@ fn run_inner(
     let order = topological_order(program).ok_or(EvalError::Recursive)?;
     let reachable = reachable_from_goal(query);
     let threads = cfg.effective_threads().max(1);
+    // Resolve the query plan: a caller-cached plan wins; otherwise plan
+    // here (cost-based by default, syntactic when `cfg.plan` is off).
+    let computed;
+    let qplan = match qplan {
+        Some(p) => p,
+        None => {
+            computed = if cfg.plan { plan_query(query, db) } else { syntactic_query_plan(query) };
+            &computed
+        }
+    };
 
     // Longest-path layering: EDB relations sit at level 0, an IDB
     // predicate one level above its deepest body predicate. Predicates
@@ -405,7 +466,10 @@ fn run_inner(
             .collect();
         let mut tasks: Vec<Task<'_>> = Vec::new();
         for (slot, &p) in stratum.iter().enumerate() {
-            for clause in program.clauses_for(p) {
+            for (ci, clause) in program.clauses().iter().enumerate() {
+                if clause.head != p {
+                    continue;
+                }
                 if clause
                     .body
                     .iter()
@@ -414,28 +478,28 @@ fn run_inner(
                     sched.skipped += 1;
                     continue;
                 }
-                let order = join_order(clause).map_err(EvalError::Unsafe)?;
-                // Split a large outer scan into per-worker row ranges.
-                let outer_rows = order.first().and_then(|&i| match &clause.body[i] {
-                    BodyAtom::Pred(q, _) => Some(relation(program, db, &idb, *q).len()),
+                let plan = qplan.clauses[ci].as_ref().map_err(|e| EvalError::Unsafe(e.clone()))?;
+                // Split a large outer scan into per-worker row ranges —
+                // only when the plan opens with a full scan (a probe or
+                // merge first step seeds from the single empty binding).
+                let outer_rows = match (plan.order.first(), plan.access.first()) {
+                    (Some(&i), Some(PlannedAccess::Scan)) => match &clause.body[i] {
+                        BodyAtom::Pred(q, _) => Some(relation(program, db, &idb, *q).len()),
+                        _ => None,
+                    },
                     _ => None,
-                });
+                };
                 match outer_rows {
                     Some(n) if threads > 1 && n >= cfg.chunk_min_rows.max(1) => {
                         let chunk = n.div_ceil(threads * 2).max(1);
                         let mut lo = 0;
                         while lo < n {
                             let hi = (lo + chunk).min(n);
-                            tasks.push(Task {
-                                clause,
-                                order: order.clone(),
-                                range: Some((lo, hi)),
-                                slot,
-                            });
+                            tasks.push(Task { clause, plan, range: Some((lo, hi)), slot });
                             lo = hi;
                         }
                     }
-                    _ => tasks.push(Task { clause, order, range: None, slot }),
+                    _ => tasks.push(Task { clause, plan, range: None, slot }),
                 }
             }
         }
@@ -596,13 +660,18 @@ mod tests {
         let base = evaluate_on(&q, &db, &EvalOptions::default()).unwrap();
         for threads in [1, 2, 4, 8] {
             for prune in [false, true] {
-                let cfg = EngineConfig { threads, prune, chunk_min_rows: 16 };
-                let res = evaluate_engine_on(&q, &db, &EvalOptions::default(), &cfg).unwrap();
-                assert_eq!(res.answers, base.answers, "threads={threads} prune={prune}");
-                assert!(res.stats.generated_tuples <= base.stats.generated_tuples);
-                if !prune {
-                    assert_eq!(res.stats.generated_tuples, base.stats.generated_tuples);
-                    assert_eq!(res.stats.per_predicate, base.stats.per_predicate);
+                for plan in [false, true] {
+                    let cfg = EngineConfig { threads, prune, chunk_min_rows: 16, plan };
+                    let res = evaluate_engine_on(&q, &db, &EvalOptions::default(), &cfg).unwrap();
+                    assert_eq!(
+                        res.answers, base.answers,
+                        "threads={threads} prune={prune} plan={plan}"
+                    );
+                    assert!(res.stats.generated_tuples <= base.stats.generated_tuples);
+                    if !prune {
+                        assert_eq!(res.stats.generated_tuples, base.stats.generated_tuples);
+                        assert_eq!(res.stats.per_predicate, base.stats.per_predicate);
+                    }
                 }
             }
         }
@@ -616,7 +685,7 @@ mod tests {
             &q,
             &db,
             &EvalOptions::default(),
-            &EngineConfig { threads: 1, prune: true, chunk_min_rows: 8 },
+            &EngineConfig { threads: 1, prune: true, chunk_min_rows: 8, plan: true },
         )
         .unwrap();
         for threads in [2, 3, 4, 7] {
@@ -624,7 +693,7 @@ mod tests {
                 &q,
                 &db,
                 &EvalOptions::default(),
-                &EngineConfig { threads, prune: true, chunk_min_rows: 8 },
+                &EngineConfig { threads, prune: true, chunk_min_rows: 8, plan: true },
             )
             .unwrap();
             assert_eq!(res.answers, reference.answers);
@@ -642,7 +711,7 @@ mod tests {
             &q,
             &db,
             &opts,
-            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8 },
+            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8, plan: true },
         )
         .unwrap_err();
         assert!(matches!(err, EvalError::Timeout(_)), "got {err:?}");
@@ -657,7 +726,7 @@ mod tests {
             &q,
             &db,
             &opts,
-            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8 },
+            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8, plan: true },
         )
         .unwrap_err();
         match err {
@@ -768,7 +837,7 @@ mod tests {
             &q,
             &db,
             &mut budget,
-            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8 },
+            &EngineConfig { threads: 4, prune: false, chunk_min_rows: 8, plan: true },
         )
         .unwrap_err();
         assert!(matches!(err, EvalError::Timeout(_)));

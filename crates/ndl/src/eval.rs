@@ -18,6 +18,7 @@
 //! differential tests and benchmarks.
 
 use crate::analysis::topological_order;
+use crate::planner::{plan_query, JoinPlan, PlannedAccess, QueryPlan};
 use crate::program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program};
 use crate::storage::{Database, Relation};
 use obda_budget::{Budget, BudgetExceeded, BudgetOps, Resource};
@@ -202,10 +203,15 @@ pub(crate) fn budget_error(e: BudgetExceeded, stats: EvalStats) -> EvalError {
 
 /// Greedy join order for a clause body: equalities as soon as one side is
 /// bound (a constant side is always bound), otherwise the predicate atom
-/// with the most bound variables.
+/// with the most bound variables, preferring constant-bound variables on
+/// ties.
 pub(crate) fn join_order(clause: &Clause) -> Result<Vec<usize>, String> {
     let mut remaining: Vec<usize> = (0..clause.body.len()).collect();
     let mut bound: FxHashSet<CVar> = FxHashSet::default();
+    // Variables pinned to a constant (directly by an `EqConst`, or
+    // transitively through an applied `Eq`): probing on one touches a
+    // single key, so ties between equally-bound atoms break towards them.
+    let mut const_bound: FxHashSet<CVar> = FxHashSet::default();
     let mut order = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
         // Equality with a bound side first.
@@ -215,6 +221,18 @@ pub(crate) fn join_order(clause: &Clause) -> Result<Vec<usize>, String> {
             _ => false,
         }) {
             let i = remaining.remove(pos);
+            match &clause.body[i] {
+                BodyAtom::EqConst(a, _) => {
+                    const_bound.insert(*a);
+                }
+                BodyAtom::Eq(a, b) => {
+                    if const_bound.contains(a) || const_bound.contains(b) {
+                        const_bound.insert(*a);
+                        const_bound.insert(*b);
+                    }
+                }
+                BodyAtom::Pred(..) => {}
+            }
             for v in clause.body[i].vars() {
                 bound.insert(v);
             }
@@ -224,7 +242,9 @@ pub(crate) fn join_order(clause: &Clause) -> Result<Vec<usize>, String> {
         // Otherwise the predicate atom with the most bound variables,
         // breaking ties towards the fewest *unbound* variables (keeps the
         // first join of a clause on a small binary relation instead of a
-        // wide intermediate predicate).
+        // wide intermediate predicate), then towards the most
+        // constant-bound variables (a constant-pinned probe touches one
+        // key; a join-bound probe touches one key per binding).
         let best = remaining
             .iter()
             .enumerate()
@@ -234,7 +254,8 @@ pub(crate) fn join_order(clause: &Clause) -> Result<Vec<usize>, String> {
                 let bound_count = vars.iter().filter(|v| bound.contains(v)).count();
                 let unbound: std::collections::BTreeSet<_> =
                     vars.iter().filter(|v| !bound.contains(v)).collect();
-                (bound_count, std::cmp::Reverse(unbound.len()))
+                let const_count = vars.iter().filter(|v| const_bound.contains(v)).count();
+                (bound_count, std::cmp::Reverse(unbound.len()), const_count)
             });
         match best {
             Some((pos, _)) => {
@@ -276,7 +297,7 @@ struct Counters {
 /// noise next to the hash probes they sit beside — and attached to the
 /// clause span only when tracing is on (`experiments benchguard` holds the
 /// kernel to this).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct JoinCounters {
     /// Candidate rows examined, across scan and index-probe paths.
     pub scanned: u64,
@@ -284,6 +305,26 @@ pub(crate) struct JoinCounters {
     pub index_hits: u64,
     /// Head rows handed to the emit callback (before deduplication).
     pub emitted: u64,
+    /// Binding-batch size after each executed plan step, parallel to the
+    /// plan's `order` (the *actual* counterpart of the plan's `est_rows`;
+    /// shorter if the batch emptied early).
+    pub atom_rows: Vec<u64>,
+}
+
+impl JoinCounters {
+    /// Accumulates `other` (a chunk task's counters) into `self`;
+    /// per-step batch sizes add element-wise.
+    pub fn absorb(&mut self, other: &JoinCounters) {
+        self.scanned += other.scanned;
+        self.index_hits += other.index_hits;
+        self.emitted += other.emitted;
+        if self.atom_rows.len() < other.atom_rows.len() {
+            self.atom_rows.resize(other.atom_rows.len(), 0);
+        }
+        for (a, &b) in self.atom_rows.iter_mut().zip(&other.atom_rows) {
+            *a += b;
+        }
+    }
 }
 
 /// Partial statistics carried by an [`EvalError`], when the failure class
@@ -295,14 +336,62 @@ pub(crate) fn error_stats(e: &EvalError) -> Option<&EvalStats> {
     }
 }
 
-/// Evaluates one clause body by index-nested-loop joins in the given
-/// `order`, calling `emit` for every binding that satisfies the body.
-/// When `first_range = Some((lo, hi))` and the first atom of `order` is
-/// a full-scan predicate atom, only rows `lo..hi` of its relation seed
-/// the join — the parallel engine partitions large outer loops this
-/// way. Generic over [`BudgetOps`] so the sequential engine (exclusive
-/// [`Budget`]) and the worker pool (`WorkerBudget` over a shared atomic
-/// allowance) run the same kernel.
+/// Verifies `row` against `binding` and, on success, appends the
+/// extended binding to the flat `next` arena. Every argument position is
+/// checked — bound slots must match, and repeated variables inside the
+/// atom must agree — so the kernel is correct for *any* atom order and
+/// access path the planner chooses.
+#[inline]
+fn extend_binding<B: BudgetOps>(
+    binding: &[u32],
+    row: &[u32],
+    args: &[CVar],
+    next: &mut Vec<u32>,
+    next_len: &mut usize,
+    budget: &mut B,
+) -> Result<(), Halt> {
+    budget.tick()?;
+    for (k, &var) in args.iter().enumerate() {
+        let slot = binding[var.0 as usize];
+        if slot != UNBOUND {
+            if slot != row[k] {
+                return Ok(());
+            }
+        } else if let Some(j) = args[..k].iter().position(|&w| w == var) {
+            if row[j] != row[k] {
+                return Ok(());
+            }
+        }
+    }
+    let base = next.len();
+    next.extend_from_slice(binding);
+    for (k, &var) in args.iter().enumerate() {
+        next[base + var.0 as usize] = row[k];
+    }
+    *next_len += 1;
+    // Intermediate join results count against the tuple budget too — a
+    // join can explode without ever reaching the head.
+    budget.check_tuple_headroom(*next_len as u64)?;
+    Ok(())
+}
+
+/// The kernel's row sink: called once per satisfying head binding, with
+/// the budget threaded through so emission can halt the join.
+pub(crate) type EmitFn<'a, B> = dyn FnMut(&[u32], &mut B) -> Result<(), Halt> + 'a;
+
+/// Evaluates one clause body batch-at-a-time along `plan`, calling
+/// `emit` for every binding that satisfies the body. Bindings live in a
+/// flat `num_vars`-strided arena ping-ponged between two buffers — no
+/// per-row allocation — and each plan step processes the whole batch
+/// against one relation: a chunked scan, a hash-index probe on the
+/// planned column, or a binary-search merge on sorted column 0.
+///
+/// When `first_range = Some((lo, hi))` and the first planned step is a
+/// scan, only rows `lo..hi` of its relation seed the join — the
+/// parallel engine partitions large outer loops this way. Generic over
+/// [`BudgetOps`] so the sequential engine (exclusive [`Budget`]) and
+/// the worker pool (`WorkerBudget` over a shared atomic allowance) run
+/// the same kernel.
 #[allow(clippy::too_many_arguments)] // one kernel shared by both engines
 pub(crate) fn eval_clause_into<B: BudgetOps>(
     program: &Program,
@@ -310,151 +399,205 @@ pub(crate) fn eval_clause_into<B: BudgetOps>(
     idb: &[Relation],
     budget: &mut B,
     clause: &Clause,
-    order: &[usize],
+    plan: &JoinPlan,
     first_range: Option<(usize, usize)>,
     counters: &mut JoinCounters,
-    emit: &mut dyn FnMut(Row, &mut B) -> Result<(), Halt>,
+    emit: &mut EmitFn<'_, B>,
 ) -> Result<(), Halt> {
-    let mut bindings: Vec<Row> = vec![vec![UNBOUND; clause.num_vars as usize]];
-    let mut bound: FxHashSet<CVar> = FxHashSet::default();
-    for (oi, &i) in order.iter().enumerate() {
-        if bindings.is_empty() {
+    // `stride` may be 0 (Boolean clauses), so the row count is explicit.
+    let stride = clause.num_vars as usize;
+    let mut cur: Vec<u32> = vec![UNBOUND; stride];
+    let mut cur_len: usize = 1;
+    let mut next: Vec<u32> = Vec::new();
+    for (oi, (&i, access)) in plan.order.iter().zip(&plan.access).enumerate() {
+        if cur_len == 0 {
             break;
         }
         match &clause.body[i] {
             BodyAtom::Eq(a, b) => {
-                let (a, b) = (*a, *b);
-                let mut next = Vec::with_capacity(bindings.len());
-                for mut binding in bindings {
+                let (a, b) = (a.0 as usize, b.0 as usize);
+                let mut w = 0usize;
+                for r in 0..cur_len {
                     budget.tick()?;
-                    let va = binding[a.0 as usize];
-                    let vb = binding[b.0 as usize];
-                    match (va == UNBOUND, vb == UNBOUND) {
-                        (false, false) => {
-                            if va == vb {
-                                next.push(binding);
-                            }
-                        }
+                    let base = r * stride;
+                    let va = cur[base + a];
+                    let vb = cur[base + b];
+                    let keep = match (va == UNBOUND, vb == UNBOUND) {
+                        (false, false) => va == vb,
                         (false, true) => {
-                            binding[b.0 as usize] = va;
-                            next.push(binding);
+                            cur[base + b] = va;
+                            true
                         }
                         (true, false) => {
-                            binding[a.0 as usize] = vb;
-                            next.push(binding);
+                            cur[base + a] = vb;
+                            true
                         }
                         (true, true) => unreachable!("join order binds one side first"),
+                    };
+                    if keep {
+                        if w != r {
+                            cur.copy_within(base..base + stride, w * stride);
+                        }
+                        w += 1;
                     }
                 }
-                bindings = next;
-                bound.insert(a);
-                bound.insert(b);
+                cur_len = w;
+                cur.truncate(cur_len * stride);
             }
             BodyAtom::EqConst(a, c) => {
-                let (a, c) = (*a, c.0);
-                let mut next = Vec::with_capacity(bindings.len());
-                for mut binding in bindings {
+                let (a, c) = (a.0 as usize, c.0);
+                let mut w = 0usize;
+                for r in 0..cur_len {
                     budget.tick()?;
-                    let va = binding[a.0 as usize];
-                    if va == UNBOUND {
-                        binding[a.0 as usize] = c;
-                        next.push(binding);
-                    } else if va == c {
-                        next.push(binding);
+                    let base = r * stride;
+                    let va = cur[base + a];
+                    let keep = if va == UNBOUND {
+                        cur[base + a] = c;
+                        true
+                    } else {
+                        va == c
+                    };
+                    if keep {
+                        if w != r {
+                            cur.copy_within(base..base + stride, w * stride);
+                        }
+                        w += 1;
                     }
                 }
-                bindings = next;
-                bound.insert(a);
+                cur_len = w;
+                cur.truncate(cur_len * stride);
             }
             BodyAtom::Pred(p, args) => {
                 let rel = relation(program, db, idb, *p);
-                let bound_positions: Vec<usize> =
-                    (0..args.len()).filter(|&k| bound.contains(&args[k])).collect();
-                let mut next = Vec::new();
-                // Extends `binding` with `row`, verifying every position
-                // (both the remaining bound columns and repeated variables).
-                let extend = |binding: &Row,
-                              row: &[u32],
-                              next: &mut Vec<Row>,
-                              budget: &mut B|
-                 -> Result<(), Halt> {
-                    budget.tick()?;
-                    let mut extended = binding.clone();
-                    for (k, &var) in args.iter().enumerate() {
-                        let slot = &mut extended[var.0 as usize];
-                        if *slot == UNBOUND {
-                            *slot = row[k];
-                        } else if *slot != row[k] {
-                            return Ok(());
-                        }
-                    }
-                    next.push(extended);
-                    // Intermediate join results count against the tuple
-                    // budget too — a join can explode without ever
-                    // reaching the head.
-                    budget.check_tuple_headroom(next.len() as u64)?;
-                    Ok(())
-                };
-                match bound_positions.first() {
-                    // No bound position: scan the relation — or, when
-                    // this is the partitioned first atom, just the
-                    // worker's slice of it.
-                    None => {
+                next.clear();
+                let mut next_len = 0usize;
+                match access {
+                    PlannedAccess::Scan => {
                         let (lo, hi) = match first_range {
                             Some(range) if oi == 0 => range,
                             _ => (0, rel.len()),
                         };
-                        for binding in &bindings {
+                        for r in 0..cur_len {
                             budget.tick()?;
                             counters.scanned += (hi - lo) as u64;
-                            for r in lo..hi {
-                                extend(binding, rel.row(r), &mut next, budget)?;
+                            let binding = &cur[r * stride..r * stride + stride];
+                            for rr in lo..hi {
+                                extend_binding(
+                                    binding,
+                                    rel.row(rr),
+                                    args,
+                                    &mut next,
+                                    &mut next_len,
+                                    budget,
+                                )?;
                             }
                         }
                     }
-                    // Probe the lazy index on the first bound column; the
-                    // remaining bound columns are verified per candidate.
-                    Some(&col) => {
+                    PlannedAccess::Probe { column } => {
+                        let col = *column;
                         let index = rel.column_index(col);
-                        for binding in &bindings {
+                        let key_var = args[col].0 as usize;
+                        for r in 0..cur_len {
                             budget.tick()?;
-                            let key = binding[args[col].0 as usize];
-                            let hits = index.probe(key);
+                            let binding = &cur[r * stride..r * stride + stride];
+                            let hits = index.probe(binding[key_var]);
                             counters.scanned += hits.len() as u64;
                             counters.index_hits += hits.len() as u64;
                             for &row_id in hits {
-                                extend(binding, rel.row(row_id as usize), &mut next, budget)?;
+                                extend_binding(
+                                    binding,
+                                    rel.row(row_id as usize),
+                                    args,
+                                    &mut next,
+                                    &mut next_len,
+                                    budget,
+                                )?;
+                            }
+                        }
+                    }
+                    PlannedAccess::SortMerge if rel.stats().sorted_col0 => {
+                        // Binary-search merge on sorted column 0; the
+                        // last key's range is memoised, so batches with
+                        // key locality pay one search per distinct key.
+                        let key_var = args[0].0 as usize;
+                        let mut memo: Option<(u32, (usize, usize))> = None;
+                        for r in 0..cur_len {
+                            budget.tick()?;
+                            let binding = &cur[r * stride..r * stride + stride];
+                            let key = binding[key_var];
+                            let (lo, hi) = match memo {
+                                Some((k, range)) if k == key => range,
+                                _ => {
+                                    let range = rel.equal_range_col0(key);
+                                    memo = Some((key, range));
+                                    range
+                                }
+                            };
+                            counters.scanned += (hi - lo) as u64;
+                            for rr in lo..hi {
+                                extend_binding(
+                                    binding,
+                                    rel.row(rr),
+                                    args,
+                                    &mut next,
+                                    &mut next_len,
+                                    budget,
+                                )?;
+                            }
+                        }
+                    }
+                    // A merge planned against a relation that is no
+                    // longer sorted (the plan outlived a mutation), or a
+                    // filter access on a predicate atom: fall back to
+                    // the always-correct probe on the first bound-able
+                    // column 0 — correctness never depends on the plan.
+                    PlannedAccess::SortMerge | PlannedAccess::Filter => {
+                        let index = rel.column_index(0);
+                        let key_var = args[0].0 as usize;
+                        for r in 0..cur_len {
+                            budget.tick()?;
+                            let binding = &cur[r * stride..r * stride + stride];
+                            let hits = index.probe(binding[key_var]);
+                            counters.scanned += hits.len() as u64;
+                            counters.index_hits += hits.len() as u64;
+                            for &row_id in hits {
+                                extend_binding(
+                                    binding,
+                                    rel.row(row_id as usize),
+                                    args,
+                                    &mut next,
+                                    &mut next_len,
+                                    budget,
+                                )?;
                             }
                         }
                     }
                 }
-                bindings = next;
-                for &v in args {
-                    bound.insert(v);
-                }
+                std::mem::swap(&mut cur, &mut next);
+                cur_len = next_len;
             }
         }
+        counters.atom_rows.push(cur_len as u64);
     }
-    for binding in bindings {
+    let mut head_row: Row = vec![0u32; clause.head_args.len()];
+    for r in 0..cur_len {
         budget.tick()?;
         counters.emitted += 1;
-        let row: Row = clause
-            .head_args
-            .iter()
-            .map(|&v| {
-                let val = binding[v.0 as usize];
-                debug_assert_ne!(val, UNBOUND, "head variable left unbound");
-                val
-            })
-            .collect();
-        emit(row, budget)?;
+        let base = r * stride;
+        for (j, &v) in clause.head_args.iter().enumerate() {
+            let val = cur[base + v.0 as usize];
+            debug_assert_ne!(val, UNBOUND, "head variable left unbound");
+            head_row[j] = val;
+        }
+        emit(&head_row, budget)?;
     }
     Ok(())
 }
 
-/// Evaluates one clause by index-nested-loop joins, inserting derived head
-/// rows into `out`. When tracing is on, the clause gets its own join span
-/// carrying the [`JoinCounters`] and the fresh-tuple count.
+/// Evaluates one clause along its plan, inserting derived head rows into
+/// `out`. When tracing is on, the clause gets its own join span carrying
+/// the [`JoinCounters`] plus the plan's estimated vs. actual output rows
+/// (`est_rows` / `actual_rows`, for misestimation tracking).
 #[allow(clippy::too_many_arguments)] // internal driver mirroring the kernel
 fn eval_clause(
     program: &Program,
@@ -463,10 +606,12 @@ fn eval_clause(
     budget: &mut Budget,
     counters: &mut Counters,
     clause: &Clause,
+    plan: &Result<JoinPlan, String>,
     out: &mut Relation,
     telem: &Telemetry<'_>,
+    obs: Option<&mut JoinCounters>,
 ) -> Result<(), Halt> {
-    let order = join_order(clause).map_err(Halt::Unsafe)?;
+    let plan = plan.as_ref().map_err(|e| Halt::Unsafe(e.clone()))?;
     let span = telem.tracer.enabled().then(|| telem.span("clause"));
     let mut join = JoinCounters::default();
     let before = counters.per_pred[clause.head.0 as usize];
@@ -476,11 +621,11 @@ fn eval_clause(
         idb,
         budget,
         clause,
-        &order,
+        plan,
         None,
         &mut join,
         &mut |row, budget| {
-            if out.insert_if_new(&row) {
+            if out.insert_if_new(row) {
                 counters.generated += 1;
                 counters.per_pred[clause.head.0 as usize] += 1;
                 budget.charge_tuples(1)?;
@@ -493,10 +638,17 @@ fn eval_clause(
         span.attr("rows_scanned", join.scanned);
         span.attr("index_hits", join.index_hits);
         span.attr("rows_emitted", join.emitted);
+        if plan.costed {
+            span.attr("est_rows", plan.est_out.round().max(0.0) as u64);
+            span.attr("actual_rows", join.emitted);
+        }
         span.attr("tuples", (counters.per_pred[clause.head.0 as usize] - before) as u64);
         if let Err(halt) = &result {
             span.error(&format!("{halt:?}"));
         }
+    }
+    if let Some(obs) = obs {
+        obs.absorb(&join);
     }
     result
 }
@@ -561,7 +713,8 @@ pub fn evaluate_on_traced(
     let span = telem.span("eval");
     span.attr_str("engine", "sequential");
     let ticks_before = budget.spent_steps();
-    let result = evaluate_inner(query, db, budget, &telem.under(&span));
+    let qplan = plan_query(query, db);
+    let result = evaluate_inner(query, db, budget, &telem.under(&span), &qplan, None);
     let tuples = match &result {
         Ok(res) => res.stats.generated_tuples,
         Err(e) => error_stats(e).map_or(0, |s| s.generated_tuples),
@@ -580,11 +733,28 @@ pub fn evaluate_on_traced(
     result
 }
 
+/// Like [`evaluate_on_budgeted`], but also returning the accumulated
+/// per-clause [`JoinCounters`] (indexed by clause position). The CLI's
+/// costed `explain` uses this to print estimated vs. actual
+/// cardinalities from one real evaluation.
+pub(crate) fn evaluate_collecting(
+    query: &NdlQuery,
+    db: &Database,
+    budget: &mut Budget,
+    qplan: &QueryPlan,
+) -> Result<(EvalResult, Vec<JoinCounters>), EvalError> {
+    let mut obs = vec![JoinCounters::default(); query.program.clauses().len()];
+    let res = evaluate_inner(query, db, budget, &Telemetry::disabled(), qplan, Some(&mut obs))?;
+    Ok((res, obs))
+}
+
 fn evaluate_inner(
     query: &NdlQuery,
     db: &Database,
     budget: &mut Budget,
     telem: &Telemetry<'_>,
+    qplan: &QueryPlan,
+    mut obs: Option<&mut Vec<JoinCounters>>,
 ) -> Result<EvalResult, EvalError> {
     let start = Instant::now();
     let program = &query.program;
@@ -609,11 +779,20 @@ fn evaluate_inner(
             continue;
         }
         let mut out = Relation::new(program.pred(p).arity);
-        for clause in program.clauses() {
+        for (ci, clause) in program.clauses().iter().enumerate() {
             if clause.head == p {
-                if let Err(halt) =
-                    eval_clause(program, db, &idb, budget, &mut counters, clause, &mut out, telem)
-                {
+                if let Err(halt) = eval_clause(
+                    program,
+                    db,
+                    &idb,
+                    budget,
+                    &mut counters,
+                    clause,
+                    &qplan.clauses[ci],
+                    &mut out,
+                    telem,
+                    obs.as_deref_mut().map(|v| &mut v[ci]),
+                ) {
                     let goal_answers = counters.per_pred[query.goal.0 as usize];
                     return Err(halt_to_error(halt, stats_at(&counters, goal_answers, start)));
                 }
@@ -885,6 +1064,47 @@ mod tests {
             num_vars: 2,
         };
         assert_eq!(join_order(&clause).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn join_order_prefers_constant_bound_atoms_on_ties() {
+        // After the EqConst pins x and R(x, y) probes on it, P(x, u, w)
+        // and Q(y, v, z) are equally bound (one bound, two unbound
+        // variables each) — but P's bound variable is pinned to a
+        // constant, so its probe touches a single key. The tie must
+        // break towards P, not syntactic position (which would pick Q).
+        let clause = Clause {
+            head: PredId(3),
+            head_args: vec![],
+            body: vec![
+                BodyAtom::EqConst(CVar(0), ConstId(1)),
+                BodyAtom::Pred(PredId(0), vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(PredId(1), vec![CVar(0), CVar(2), CVar(3)]),
+                BodyAtom::Pred(PredId(2), vec![CVar(1), CVar(4), CVar(5)]),
+            ],
+            num_vars: 6,
+        };
+        assert_eq!(join_order(&clause).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn join_order_propagates_constant_bounds_through_equalities() {
+        // x0 = c, x1 = x0: x1 is constant-bound *transitively*, so the
+        // ternary probing on x1 beats the equally-bound ternary probing
+        // on the join-bound x2 (the old tie-break picked the later atom).
+        let clause = Clause {
+            head: PredId(3),
+            head_args: vec![],
+            body: vec![
+                BodyAtom::EqConst(CVar(0), ConstId(1)),
+                BodyAtom::Eq(CVar(1), CVar(0)),
+                BodyAtom::Pred(PredId(0), vec![CVar(1), CVar(2)]),
+                BodyAtom::Pred(PredId(1), vec![CVar(1), CVar(3), CVar(4)]),
+                BodyAtom::Pred(PredId(2), vec![CVar(2), CVar(5), CVar(6)]),
+            ],
+            num_vars: 7,
+        };
+        assert_eq!(join_order(&clause).unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

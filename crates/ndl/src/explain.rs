@@ -1,16 +1,26 @@
 //! Query-plan explanation: the stratum schedule and per-clause join
-//! orders the engine *would* use, without evaluating anything.
+//! plans the engine will use.
 //!
-//! [`explain_plan`] replays the planning decisions of [`crate::engine`] —
-//! the longest-path layering into strata and the greedy join order of
-//! every goal-reachable clause — and records, for each body atom, whether
-//! the kernel will probe a column index or fall back to a scan. The CLI's
-//! `obda explain` command renders this for the rewriting and for the
-//! pruned program.
+//! Three entry points at increasing fidelity (and cost):
+//!
+//! * [`explain_plan`] — static, database-free: the longest-path
+//!   layering into strata and the *syntactic* join order of every
+//!   goal-reachable clause (the seed engine's greedy order);
+//! * [`explain_plan_on`] — the cost-based plan the engines actually
+//!   run against a given [`Database`], with the planner's estimated
+//!   batch cardinality after every step;
+//! * [`explain_plan_executed`] — additionally evaluates the query,
+//!   recording the *actual* batch cardinality after every step, so
+//!   misestimation is visible per atom.
+//!
+//! The CLI's `obda explain` command renders these for the rewriting and
+//! for the pruned program.
 
-use crate::eval::{join_order, reachable_from_goal};
+use crate::eval::{evaluate_collecting, reachable_from_goal, EvalError, EvalResult, JoinCounters};
+use crate::planner::{plan_query, syntactic_query_plan, JoinPlan, PlannedAccess, QueryPlan};
 use crate::program::{BodyAtom, NdlQuery, PredId, PredKind, Program};
-use obda_owlql::util::FxHashSet;
+use crate::storage::Database;
+use obda_budget::Budget;
 
 /// How the join kernel reaches one body atom's candidate rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +35,9 @@ pub enum AtomAccess {
     },
     /// An equality atom (filter or variable binding, no relation access).
     Filter,
+    /// Binary-search merge on column 0 of a relation sorted on it (no
+    /// hash index build).
+    SortMerge,
 }
 
 /// The planned evaluation of one clause: its join order and the access
@@ -39,6 +52,13 @@ pub struct ClausePlan {
     pub access: Vec<AtomAccess>,
     /// Human-readable rendering of each executed atom (`R(x0, x1)`).
     pub atoms: Vec<String>,
+    /// Estimated binding-batch size after each executed atom, parallel
+    /// to `order`; empty when the plan was not costed (static explain).
+    pub est_rows: Vec<f64>,
+    /// Observed binding-batch size after each executed atom, parallel
+    /// to `order`; empty unless the query was actually evaluated
+    /// ([`explain_plan_executed`]).
+    pub actual_rows: Vec<u64>,
     /// The error, if the clause cannot be ordered (unsafe equality).
     pub error: Option<String>,
 }
@@ -76,47 +96,88 @@ fn atom_text(program: &Program, atom: &BodyAtom) -> String {
     }
 }
 
-fn plan_clause(program: &Program, clause: &crate::program::Clause) -> ClausePlan {
-    let order = match join_order(clause) {
-        Ok(order) => order,
+fn clause_plan_from(
+    program: &Program,
+    clause: &crate::program::Clause,
+    plan: &Result<JoinPlan, String>,
+    actual: Vec<u64>,
+) -> ClausePlan {
+    let jp = match plan {
+        Ok(jp) => jp,
         Err(msg) => {
             return ClausePlan {
                 head: clause.head,
                 order: Vec::new(),
                 access: Vec::new(),
                 atoms: Vec::new(),
-                error: Some(msg),
+                est_rows: Vec::new(),
+                actual_rows: Vec::new(),
+                error: Some(msg.clone()),
             };
         }
     };
-    // Replay the kernel's binding discipline to predict each access path.
-    let mut bound: FxHashSet<crate::program::CVar> = FxHashSet::default();
-    let mut access = Vec::with_capacity(order.len());
-    let mut atoms = Vec::with_capacity(order.len());
-    for &i in &order {
-        let atom = &clause.body[i];
-        atoms.push(atom_text(program, atom));
-        match atom {
-            BodyAtom::Pred(_, args) => {
-                let col = (0..args.len()).find(|&k| bound.contains(&args[k]));
-                access.push(match col {
-                    Some(column) => AtomAccess::Probe { column },
-                    None => AtomAccess::Scan,
-                });
-            }
-            BodyAtom::Eq(..) | BodyAtom::EqConst(..) => access.push(AtomAccess::Filter),
-        }
-        for v in atom.vars() {
-            bound.insert(v);
-        }
+    let atoms = jp.order.iter().map(|&i| atom_text(program, &clause.body[i])).collect();
+    let access = jp
+        .access
+        .iter()
+        .map(|a| match a {
+            PlannedAccess::Filter => AtomAccess::Filter,
+            PlannedAccess::Scan => AtomAccess::Scan,
+            PlannedAccess::Probe { column } => AtomAccess::Probe { column: *column },
+            PlannedAccess::SortMerge => AtomAccess::SortMerge,
+        })
+        .collect();
+    ClausePlan {
+        head: clause.head,
+        order: jp.order.clone(),
+        access,
+        atoms,
+        est_rows: jp.est_rows.clone(),
+        actual_rows: actual,
+        error: None,
     }
-    ClausePlan { head: clause.head, order, access, atoms, error: None }
 }
 
-/// Predicts the engine's plan for `query`: longest-path strata and the
-/// greedy join order plus access path of every goal-reachable clause.
-/// Mirrors `engine::run` exactly, but performs no evaluation.
+/// Predicts the engine's *syntactic* plan for `query` without touching
+/// any data: longest-path strata and the greedy join order plus access
+/// path of every goal-reachable clause. Mirrors `engine::run` with
+/// [`crate::engine::EngineConfig::plan`] disabled.
 pub fn explain_plan(query: &NdlQuery) -> PlanExplanation {
+    build_explanation(query, &syntactic_query_plan(query), None)
+}
+
+/// The cost-based plan the engines run for `query` against `db`,
+/// including the planner's estimated cardinality after every step.
+pub fn explain_plan_on(query: &NdlQuery, db: &Database) -> PlanExplanation {
+    build_explanation(query, &plan_query(query, db), None)
+}
+
+/// [`explain_plan_on`] from an already-computed [`QueryPlan`] for
+/// `query`, for callers that cache plans (e.g. prepared queries). The
+/// plan must have been built for this `query`'s program.
+pub fn explain_plan_with(query: &NdlQuery, qplan: &QueryPlan) -> PlanExplanation {
+    build_explanation(query, qplan, None)
+}
+
+/// Plans *and evaluates* `query` on `db`, returning the explanation
+/// with both estimated and actual per-step cardinalities, alongside the
+/// evaluation result. The evaluation runs on the sequential engine
+/// under `budget`.
+pub fn explain_plan_executed(
+    query: &NdlQuery,
+    db: &Database,
+    budget: &mut Budget,
+) -> Result<(PlanExplanation, EvalResult), EvalError> {
+    let qplan = plan_query(query, db);
+    let (result, obs) = evaluate_collecting(query, db, budget, &qplan)?;
+    Ok((build_explanation(query, &qplan, Some(&obs)), result))
+}
+
+fn build_explanation(
+    query: &NdlQuery,
+    qplan: &QueryPlan,
+    actuals: Option<&[JoinCounters]>,
+) -> PlanExplanation {
     let program = &query.program;
     let num_preds = program.num_preds();
     let reachable = reachable_from_goal(query);
@@ -158,8 +219,12 @@ pub fn explain_plan(query: &NdlQuery) -> PlanExplanation {
         }
         let mut clauses = Vec::new();
         for &p in stratum {
-            for clause in program.clauses_for(p) {
-                clauses.push(plan_clause(program, clause));
+            for (ci, clause) in program.clauses().iter().enumerate() {
+                if clause.head != p {
+                    continue;
+                }
+                let actual = actuals.map(|a| a[ci].atom_rows.clone()).unwrap_or_default();
+                clauses.push(clause_plan_from(program, clause, &qplan.clauses[ci], actual));
             }
         }
         plan.clauses += clauses.len();
@@ -202,10 +267,21 @@ impl std::fmt::Display for PlanDisplay<'_> {
                     .atoms
                     .iter()
                     .zip(&clause.access)
-                    .map(|(atom, access)| match access {
-                        AtomAccess::Scan => format!("scan {atom}"),
-                        AtomAccess::Probe { column } => format!("probe[{column}] {atom}"),
-                        AtomAccess::Filter => format!("filter {atom}"),
+                    .enumerate()
+                    .map(|(k, (atom, access))| {
+                        let mut s = match access {
+                            AtomAccess::Scan => format!("scan {atom}"),
+                            AtomAccess::Probe { column } => format!("probe[{column}] {atom}"),
+                            AtomAccess::Filter => format!("filter {atom}"),
+                            AtomAccess::SortMerge => format!("merge[0] {atom}"),
+                        };
+                        if let Some(est) = clause.est_rows.get(k) {
+                            s.push_str(&format!(" est\u{2248}{}", est.round().max(0.0) as u64));
+                        }
+                        if let Some(actual) = clause.actual_rows.get(k) {
+                            s.push_str(&format!(" actual={actual}"));
+                        }
+                        s
                     })
                     .collect();
                 writeln!(f, "  {head} <- {}", steps.join(" ; "))?;
@@ -286,5 +362,62 @@ mod tests {
         assert!(text.contains("stratum 1"), "{text}");
         assert!(text.contains("scan R("), "{text}");
         assert!(text.contains("probe["), "{text}");
+        // Static explain carries no cardinalities.
+        assert!(!text.contains("est\u{2248}"), "{text}");
+        assert!(!text.contains("actual="), "{text}");
+    }
+
+    fn sample_db() -> (NdlQuery, Database) {
+        use obda_owlql::parser::{parse_data, parse_ontology};
+        let o = parse_ontology("Property R\n").unwrap();
+        let d = parse_data("R(a, b)\nR(b, c)\nR(c, d)\n", &o).unwrap();
+        let v = o.vocab();
+        let mut p = Program::new();
+        let r = p.edb_prop(v.get_prop("R").unwrap(), v);
+        let t = p.add_pred("T", 2, PredKind::Idb);
+        let g = p.add_pred("G", 1, PredKind::Idb);
+        p.add_clause(Clause {
+            head: t,
+            head_args: vec![CVar(0), CVar(2)],
+            body: vec![
+                BodyAtom::Pred(r, vec![CVar(0), CVar(1)]),
+                BodyAtom::Pred(r, vec![CVar(1), CVar(2)]),
+            ],
+            num_vars: 3,
+        });
+        p.add_clause(Clause {
+            head: g,
+            head_args: vec![CVar(0)],
+            body: vec![BodyAtom::Pred(t, vec![CVar(0), CVar(1)])],
+            num_vars: 2,
+        });
+        (NdlQuery::new(p, g), Database::new(&d))
+    }
+
+    #[test]
+    fn costed_explain_carries_estimates() {
+        let (q, db) = sample_db();
+        let plan = explain_plan_on(&q, &db);
+        let t_clause = &plan.strata[0].clauses[0];
+        assert_eq!(t_clause.est_rows.len(), t_clause.order.len());
+        assert!(t_clause.actual_rows.is_empty());
+        let text = plan.display(&q.program).to_string();
+        assert!(text.contains("est\u{2248}"), "{text}");
+        assert!(!text.contains("actual="), "{text}");
+    }
+
+    #[test]
+    fn executed_explain_reports_est_and_actual() {
+        let (q, db) = sample_db();
+        let mut budget = Budget::unlimited();
+        let (plan, result) = explain_plan_executed(&q, &db, &mut budget).unwrap();
+        assert_eq!(result.answers.len(), 2, "a and b reach a 2-chain");
+        let t_clause = &plan.strata[0].clauses[0];
+        assert_eq!(t_clause.actual_rows.len(), t_clause.order.len());
+        // R ⋈ R over the 3-row chain leaves 2 bindings after the probe.
+        assert_eq!(t_clause.actual_rows[1], 2);
+        let text = plan.display(&q.program).to_string();
+        assert!(text.contains("est\u{2248}"), "{text}");
+        assert!(text.contains("actual="), "{text}");
     }
 }

@@ -24,7 +24,12 @@
 //! * a goal-directed relevance-pruning pass ([`relevance`]) and a
 //!   parallel stratum-scheduled engine ([`engine`]) combining pruning
 //!   with scoped-thread evaluation under a shared [`obda_budget`]
-//!   allowance.
+//!   allowance;
+//! * per-relation cardinality statistics ([`stats`]) feeding a
+//!   cost-based clause planner ([`planner`]) that both engines consume:
+//!   greedy cost-ordered joins with a dynamic-programming refinement for
+//!   small clauses, choosing per-atom access paths (scan, hash probe,
+//!   sorted merge) over the columnar storage.
 
 /// Fault-injection shim: with the `faults` feature the substrates call
 /// [`obda_faults::inject`] at registered sites; without it every site is
@@ -50,26 +55,36 @@ pub mod engine;
 pub mod eval;
 pub mod explain;
 pub mod linear_eval;
+pub mod planner;
 pub mod program;
 pub mod reference;
 pub mod relevance;
 pub mod skinny;
 pub mod star;
+pub mod stats;
 pub mod storage;
 
 pub use analysis::{analyze, Analysis};
 pub use engine::{
-    evaluate_engine_on, evaluate_engine_on_budgeted, evaluate_engine_on_traced, EngineConfig,
+    evaluate_engine_on, evaluate_engine_on_budgeted, evaluate_engine_on_traced,
+    evaluate_pruned_planned_on_traced, EngineConfig,
 };
 pub use eval::{
     evaluate, evaluate_on, evaluate_on_budgeted, evaluate_on_traced, EvalError, EvalOptions,
     EvalResult, EvalStats,
 };
-pub use explain::{explain_plan, AtomAccess, ClausePlan, PlanExplanation, StratumPlan};
+pub use explain::{
+    explain_plan, explain_plan_executed, explain_plan_on, explain_plan_with, AtomAccess,
+    ClausePlan, PlanExplanation, StratumPlan,
+};
 pub use linear_eval::{evaluate_linear, evaluate_linear_on, evaluate_linear_on_budgeted};
+pub use planner::{
+    plan_query, plans_built, syntactic_query_plan, JoinPlan, PlannedAccess, QueryPlan,
+};
 pub use program::{BodyAtom, CVar, Clause, NdlQuery, PredId, PredKind, Program, ProgramDisplay};
 pub use reference::evaluate_reference;
 pub use relevance::{prune_for_goal, PruneStats, PrunedQuery};
 pub use skinny::to_skinny;
 pub use star::{linear_star_transform, star_transform};
+pub use stats::RelStats;
 pub use storage::{ColumnIndex, Database, Relation};

@@ -36,6 +36,7 @@
 //! external exclusion for writers, exactly matching `&`/`&mut` semantics.
 
 use crate::program::PredKind;
+use crate::stats::RelStats;
 use obda_owlql::abox::DataInstance;
 use obda_owlql::util::{FxHashMap, FxHasher};
 use obda_owlql::vocab::{ClassId, PropId};
@@ -82,6 +83,10 @@ pub struct Relation {
     dedup: Option<FxHashMap<u64, Vec<u32>>>,
     /// Lazily built per-column indexes, invalidated on mutation.
     indexes: Vec<OnceLock<ColumnIndex>>,
+    /// Lazily computed cardinality statistics, invalidated on mutation.
+    /// The snapshot store presets this slot from the persisted stats
+    /// section so reopening never re-scans the columns.
+    stats: OnceLock<RelStats>,
 }
 
 impl Relation {
@@ -93,6 +98,7 @@ impl Relation {
             data: Vec::new(),
             dedup: None,
             indexes: (0..arity).map(|_| OnceLock::new()).collect(),
+            stats: OnceLock::new(),
         }
     }
 
@@ -220,6 +226,55 @@ impl Relation {
         self.rows().any(|r| r == row)
     }
 
+    /// The cardinality statistics, computed on first use (one pass per
+    /// column) and cached until the relation is mutated. Safe to call
+    /// concurrently on a shared `&Relation`, like [`Relation::column_index`].
+    pub fn stats(&self) -> &RelStats {
+        self.stats.get_or_init(|| RelStats::compute(self))
+    }
+
+    /// Presets the stats slot from persisted values (the snapshot open
+    /// path). Ignored if stats were already computed, or if `distinct`
+    /// does not match the arity / exceeds the row count (a forged or
+    /// stale section must not poison planning — the lazy recompute wins).
+    pub fn preset_stats(&self, distinct: Vec<u64>, sorted_col0: bool) {
+        let rows = self.num_rows as u64;
+        if distinct.len() != self.arity || distinct.iter().any(|&d| d > rows) {
+            return;
+        }
+        let _ = self.stats.set(RelStats::from_persisted(self.num_rows, distinct, sorted_col0));
+    }
+
+    /// Whether the hash index of `col` has already been built (the
+    /// planner folds the build cost into its access-path estimates).
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.get(col).is_some_and(|slot| slot.get().is_some())
+    }
+
+    /// The row range whose column 0 equals `key`, by binary search.
+    /// Only meaningful when the relation is sorted on column 0
+    /// ([`RelStats::sorted_col0`]); the kernel's merge access path uses
+    /// this instead of building a hash index.
+    pub fn equal_range_col0(&self, key: u32) -> (usize, usize) {
+        debug_assert!(self.arity > 0);
+        let lo = self.partition_point_col0(|v| v < key);
+        let hi = self.partition_point_col0(|v| v <= key);
+        (lo, hi)
+    }
+
+    fn partition_point_col0(&self, pred: impl Fn(u32) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, self.num_rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.data[mid * self.arity]) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
     /// The hash index of a column, built on first use and cached until the
     /// relation is mutated.
     ///
@@ -250,6 +305,9 @@ impl Relation {
                 *slot = OnceLock::new();
             }
         }
+        if self.stats.get().is_some() {
+            self.stats = OnceLock::new();
+        }
     }
 }
 
@@ -257,6 +315,9 @@ impl Relation {
 /// experiment harness to assert that dataset loading is amortised (at most
 /// one build per dataset, shared across all strategies).
 static DATABASE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Monotone id source for [`Database::id`]; never reused within a process.
+static DATABASE_IDS: AtomicUsize = AtomicUsize::new(1);
 
 /// Every EDB relation of a data instance, loaded and indexed once, shared
 /// across evaluations.
@@ -269,6 +330,8 @@ pub struct Database {
     empty_unary: Relation,
     empty_binary: Relation,
     num_atoms: usize,
+    /// Process-unique instance id; plan caches key on it.
+    id: u64,
 }
 
 impl Database {
@@ -303,6 +366,7 @@ impl Database {
             empty_unary: Relation::new(1),
             empty_binary: Relation::new(2),
             num_atoms: data.num_atoms(),
+            id: DATABASE_IDS.fetch_add(1, Ordering::Relaxed) as u64,
         }
     }
 
@@ -328,7 +392,15 @@ impl Database {
             empty_unary: Relation::new(1),
             empty_binary: Relation::new(2),
             num_atoms,
+            id: DATABASE_IDS.fetch_add(1, Ordering::Relaxed) as u64,
         }
+    }
+
+    /// A process-unique id for this database instance. Query-plan caches
+    /// key on it: two databases never share an id, so a plan computed
+    /// against one can never be replayed against another's statistics.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Iterates over the non-empty class relations (snapshot export).
@@ -474,6 +546,67 @@ mod tests {
         let v = o.vocab();
         let p = db.relation(PredKind::EdbProp(v.get_prop("P").unwrap()));
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn stats_cached_preset_and_invalidated() {
+        let mut r = Relation::new(2);
+        r.push(&[1, 10]);
+        r.push(&[2, 10]);
+        let s = r.stats();
+        assert_eq!((s.rows, s.distinct.clone()), (2, vec![2, 1]));
+        assert!(std::ptr::eq(r.stats(), r.stats()), "computed once");
+        // A computed slot wins over a later preset.
+        r.preset_stats(vec![9, 9], false);
+        assert_eq!(r.stats().distinct, vec![2, 1]);
+        // Mutation invalidates; the recomputed stats see the new row.
+        r.push(&[3, 20]);
+        assert_eq!(r.stats().distinct, vec![3, 2]);
+
+        let mut p = Relation::new(2);
+        p.push(&[1, 10]);
+        p.push(&[2, 10]);
+        p.preset_stats(vec![2, 1], true);
+        assert_eq!(p.stats().distinct, vec![2, 1]);
+        assert!(p.stats().sorted_col0);
+        // Implausible persisted counts are rejected, falling back to lazy.
+        let q = Relation::from_sorted_columns(1, &[vec![4, 5]]);
+        q.preset_stats(vec![77], true);
+        assert_eq!(q.stats().distinct, vec![2]);
+    }
+
+    #[test]
+    fn equal_range_col0_binary_searches_sorted_rows() {
+        let r = Relation::from_sorted_columns(2, &[vec![1, 1, 3, 3, 3, 7], vec![0; 6]]);
+        assert!(r.stats().sorted_col0);
+        assert_eq!(r.equal_range_col0(1), (0, 2));
+        assert_eq!(r.equal_range_col0(3), (2, 5));
+        assert_eq!(r.equal_range_col0(7), (5, 6));
+        assert_eq!(r.equal_range_col0(2), (2, 2));
+        assert_eq!(r.equal_range_col0(9), (6, 6));
+        assert_eq!(r.equal_range_col0(0), (0, 0));
+    }
+
+    #[test]
+    fn has_index_tracks_lazy_builds() {
+        let mut r = Relation::new(2);
+        r.push(&[1, 2]);
+        assert!(!r.has_index(0));
+        r.column_index(0);
+        assert!(r.has_index(0));
+        assert!(!r.has_index(1));
+        r.push(&[3, 4]);
+        assert!(!r.has_index(0), "mutation invalidates");
+    }
+
+    #[test]
+    fn database_ids_are_unique() {
+        let o = parse_ontology("Class A\n").unwrap();
+        let d = parse_data("A(a)\n", &o).unwrap();
+        let a = Database::new(&d);
+        let b = Database::new(&d);
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.id(), 0);
     }
 
     #[test]

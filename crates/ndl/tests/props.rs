@@ -8,6 +8,7 @@
 use obda_ndl::analysis::is_linear;
 use obda_ndl::engine::{evaluate_engine_on, EngineConfig};
 use obda_ndl::eval::{evaluate_on, EvalOptions};
+use obda_ndl::explain::explain_plan_executed;
 use obda_ndl::linear_eval::evaluate_linear_on;
 use obda_ndl::program::{BodyAtom, CVar, Clause, NdlQuery, PredKind, Program};
 use obda_ndl::reference::evaluate_reference;
@@ -137,6 +138,72 @@ fn test_threads() -> Vec<usize> {
     }
 }
 
+/// A heavily skewed join column defeats the planner's uniformity
+/// assumption — one hub key holds most of `P0`'s rows, so the per-key
+/// estimate `rows/distinct` undershoots badly — yet the planned engine
+/// still answers exactly like the syntactic order and the reference
+/// engine, and the executed explain records the misestimation.
+#[test]
+fn skewed_columns_misestimate_but_stay_correct() {
+    let v = vocab();
+    let mut d = DataInstance::new();
+    let hub = d.constant("hub");
+    let t = d.constant("t");
+    // P0 col 0: 10 distinct keys over 50 rows, 41 of them on `hub`.
+    for i in 0..41 {
+        let s = d.constant(&format!("s{i}"));
+        d.add_prop_atom(PropId(0), hub, s);
+    }
+    for j in 0..9 {
+        let k = d.constant(&format!("k{j}"));
+        let u = d.constant(&format!("u{j}"));
+        d.add_prop_atom(PropId(0), k, u);
+    }
+    // P1: a single row from the hub, so the plan scans P1 and probes P0
+    // on its skewed first column.
+    d.add_prop_atom(PropId(1), hub, t);
+
+    let mut p = Program::new();
+    let p0 = p.edb_prop(PropId(0), &v);
+    let p1 = p.edb_prop(PropId(1), &v);
+    let g = p.add_pred("G", 2, PredKind::Idb);
+    p.add_clause(Clause {
+        head: g,
+        head_args: vec![CVar(1), CVar(2)],
+        body: vec![
+            BodyAtom::Pred(p0, vec![CVar(0), CVar(1)]),
+            BodyAtom::Pred(p1, vec![CVar(0), CVar(2)]),
+        ],
+        num_vars: 3,
+    });
+    let q = NdlQuery::new(p, g);
+
+    let db = Database::new(&d);
+    let opts = EvalOptions::default();
+    let reference = evaluate_reference(&q, &d, &opts).unwrap();
+    assert_eq!(reference.answers.len(), 41, "all hub spokes join the single P1 row");
+    for plan in [false, true] {
+        let cfg = EngineConfig { threads: 2, plan, chunk_min_rows: 2, ..EngineConfig::default() };
+        let res = evaluate_engine_on(&q, &db, &opts, &cfg).unwrap();
+        assert_eq!(res.answers, reference.answers, "plan={plan}");
+    }
+
+    let (expl, result) =
+        explain_plan_executed(&q, &db, &mut obda_budget::Budget::unlimited()).unwrap();
+    assert_eq!(result.answers, reference.answers);
+    let clause = &expl.strata[0].clauses[0];
+    assert_eq!(clause.order.len(), 2);
+    // The probe into the skewed column: estimated ~5 rows per key
+    // (50 rows / 10 distinct), actually 41.
+    let est = clause.est_rows[1];
+    let actual = clause.actual_rows[1];
+    assert_eq!(actual, 41);
+    assert!(
+        (actual as f64) >= 5.0 * est,
+        "skew must make the uniform estimate undershoot: est={est}, actual={actual}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
 
@@ -184,6 +251,44 @@ proptest! {
                     ),
                 }
             }
+        }
+    }
+
+    /// Cost-based join planning is invisible in the results: on random
+    /// programs the planned engine, the syntactic-order engine
+    /// (`plan: false`) and the reference engine agree at every thread
+    /// count, with identical generated-tuple accounting.
+    #[test]
+    fn planned_and_syntactic_engines_agree_with_reference(
+        specs in prop::collection::vec(
+            (0u8..3, prop::collection::vec((0u8..5, 0u8..4, 0u8..4), 1..4),
+             any::<bool>(), 0u8..3, 0u8..4, 0u8..4),
+            1..6,
+        ),
+        atoms in prop::collection::vec((0u8..6, 0u8..4, 0u8..4), 0..10),
+    ) {
+        let q = build_program(&specs);
+        let data = build_data(&atoms);
+        let db = Database::new(&data);
+        let opts = EvalOptions::default();
+        let reference = evaluate_reference(&q, &data, &opts).unwrap();
+        for threads in test_threads() {
+            let mut fingerprints = Vec::new();
+            for plan in [false, true] {
+                let cfg = EngineConfig {
+                    threads, plan, chunk_min_rows: 2, ..EngineConfig::default()
+                };
+                let res = evaluate_engine_on(&q, &db, &opts, &cfg).unwrap();
+                prop_assert_eq!(
+                    &res.answers, &reference.answers,
+                    "threads={} plan={}", threads, plan
+                );
+                fingerprints.push((res.stats.generated_tuples, res.stats.per_predicate.clone()));
+            }
+            prop_assert_eq!(
+                &fingerprints[0], &fingerprints[1],
+                "join order must not change the generated tuples (threads={})", threads
+            );
         }
     }
 

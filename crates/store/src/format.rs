@@ -5,7 +5,7 @@
 //! offset  size  field
 //!      0     4  magic  "OBDB"
 //!      4     4  format version  (u32 LE, currently 1)
-//!      8     4  flags           (u32 LE, reserved, must be 0)
+//!      8     4  flags           (u32 LE, known bits only; bit 0 = stats section)
 //!     12     8  payload length  (u64 LE)
 //!     20     8  payload checksum (u64 LE, word-folded FNV-1a 64)
 //!     28     —  payload
@@ -31,6 +31,16 @@ pub const MAGIC: [u8; 4] = *b"OBDB";
 /// payload layout changed incompatibly and old files must be rebuilt
 /// with `obda build`. Additive evolution uses `flags` bits instead.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Flag bit: a per-segment statistics section (one `u64` distinct count
+/// per column of every segment, in segment order) follows the segment
+/// data. Readers without the bit set fall back to deriving stats on
+/// open; files carrying unknown bits are refused.
+pub const FLAG_STATS: u32 = 1 << 0;
+
+/// Every flag bit this reader understands; anything else is from a
+/// newer writer and makes the payload undecodable.
+pub const KNOWN_FLAGS: u32 = FLAG_STATS;
 
 /// Size of the fixed header preceding the payload.
 pub const HEADER_LEN: usize = 28;
@@ -103,12 +113,19 @@ impl Writer {
     }
 
     /// Finishes the payload: returns the full file image (header +
-    /// payload) with length and checksum filled in.
+    /// payload) with length and checksum filled in, flags clear.
     pub fn into_file_bytes(self) -> Vec<u8> {
+        self.into_file_bytes_flagged(0)
+    }
+
+    /// Like [`Writer::into_file_bytes`], declaring the given flag bits
+    /// in the header (the caller asserts the payload actually carries
+    /// the sections those bits announce).
+    pub fn into_file_bytes_flagged(self, flags: u32) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.buf.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&0u32.to_le_bytes()); // flags
+        out.extend_from_slice(&flags.to_le_bytes());
         out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
         out.extend_from_slice(&checksum64(&self.buf).to_le_bytes());
         out.extend_from_slice(&self.buf);
@@ -190,7 +207,8 @@ impl<'a> Reader<'a> {
 pub struct Header {
     /// Format version.
     pub version: u32,
-    /// Reserved flag bits (0 in version 1).
+    /// Flag bits announcing optional payload sections (see
+    /// [`FLAG_STATS`]); unknown bits are refused at parse time.
     pub flags: u32,
     /// Payload length in bytes.
     pub payload_len: u64,
@@ -222,8 +240,11 @@ pub fn parse_file(bytes: &[u8]) -> Result<(Header, &[u8]), StoreError> {
         return Err(StoreError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
     }
     let flags = r.get_u32()?;
-    if flags != 0 {
-        return Err(StoreError::Malformed(format!("reserved flags set: {flags:#x}")));
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(StoreError::Malformed(format!(
+            "unknown flags set: {:#x}",
+            flags & !KNOWN_FLAGS
+        )));
     }
     let payload_len = r.get_u64()?;
     let checksum = r.get_u64()?;
@@ -304,6 +325,15 @@ mod tests {
         let last = file.len() - 1;
         file[last] ^= 0x40;
         assert!(matches!(parse_file(&file), Err(StoreError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn known_flags_accepted_unknown_refused() {
+        let file = Writer::new().into_file_bytes_flagged(FLAG_STATS);
+        let (h, _) = parse_file(&file).unwrap();
+        assert_eq!(h.flags, FLAG_STATS);
+        let file = Writer::new().into_file_bytes_flagged(1 << 7);
+        assert!(matches!(parse_file(&file), Err(StoreError::Malformed(_))));
     }
 
     #[test]

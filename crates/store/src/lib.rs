@@ -67,7 +67,11 @@ pub mod snapshot;
 
 pub use backend::{MemoryBackend, StorageBackend};
 pub use error::StoreError;
-pub use snapshot::{read_info, temp_sibling, write_snapshot, RelationInfo, Snapshot, SnapshotInfo};
+pub use format::FLAG_STATS;
+pub use snapshot::{
+    read_info, snapshot_bytes, snapshot_bytes_legacy, temp_sibling, write_snapshot, RelationInfo,
+    Snapshot, SnapshotInfo,
+};
 
 // Re-exported so downstream callers name the dictionary types through one
 // crate when working with snapshots.

@@ -15,6 +15,11 @@
 //!              u64 num_rows
 //!              arity × u64 column offset    (bytes from payload start)
 //!              arity × column               (num_rows × u32 LE each)
+//!
+//! stats        (only when header flag FLAG_STATS is set)
+//!              per class segment, in file order:    u64 distinct(col 0)
+//!              per property segment, in file order: u64 distinct(col 0),
+//!                                                   u64 distinct(col 1)
 //! ```
 //!
 //! Segments are written in predicate-name order with their rows sorted
@@ -22,10 +27,15 @@
 //! bytes; the open path verifies strict ascending order, which doubles
 //! as a distinctness proof for
 //! [`Relation::from_sorted_columns`]'s no-dedup bulk load.
+//!
+//! The stats section feeds the cost-based planner: distinct counts are
+//! preset into every loaded [`Relation`] so reopening a snapshot never
+//! re-scans the columns. Pre-stats files (flags 0) still open — stats
+//! are then derived lazily on first use.
 
 use crate::backend::StorageBackend;
 use crate::error::StoreError;
-use crate::format::{parse_file, Reader, Writer, FORMAT_VERSION, HEADER_LEN};
+use crate::format::{parse_file, Reader, Writer, FLAG_STATS, FORMAT_VERSION, HEADER_LEN};
 use obda_budget::Budget;
 use obda_ndl::storage::{Database, Relation};
 use obda_owlql::abox::{ConstId, DataInstance};
@@ -66,14 +76,42 @@ pub struct SnapshotInfo {
     pub dict_bytes: u64,
     /// Total atoms across all relation segments.
     pub num_atoms: u64,
+    /// Whether the file carries the persisted statistics section
+    /// (`FLAG_STATS`); when `false`, planner stats are derived on open.
+    pub has_stats: bool,
     /// Per-relation name, arity and row count, in file order.
     pub relations: Vec<RelationInfo>,
+}
+
+impl SnapshotInfo {
+    /// Where the planner statistics come from: `"embedded"` when the
+    /// file carries the stats section, `"derived"` otherwise.
+    pub fn stats_source(&self) -> &'static str {
+        if self.has_stats {
+            "embedded"
+        } else {
+            "derived"
+        }
+    }
 }
 
 /// Serialises `data` into `.obdb` file bytes (in memory). Relations are
 /// exported by *name* through `vocab`, rows sorted lexicographically,
 /// segments sorted by predicate name — the encoding is deterministic.
+/// Carries the per-segment statistics section (`FLAG_STATS`).
 pub fn snapshot_bytes(vocab: &Vocab, data: &DataInstance) -> Vec<u8> {
+    snapshot_bytes_with(vocab, data, true)
+}
+
+/// The pre-stats encoding (flags 0, no statistics section), exactly as
+/// written before the stats section existed. Kept public so
+/// compatibility tests can produce legacy files and prove they still
+/// open (with stats derived on open).
+pub fn snapshot_bytes_legacy(vocab: &Vocab, data: &DataInstance) -> Vec<u8> {
+    snapshot_bytes_with(vocab, data, false)
+}
+
+fn snapshot_bytes_with(vocab: &Vocab, data: &DataInstance, with_stats: bool) -> Vec<u8> {
     let mut w = Writer::new();
     // Dictionary, in ConstId order.
     w.put_u32(data.num_individuals() as u32);
@@ -124,7 +162,30 @@ pub fn snapshot_bytes(vocab: &Vocab, data: &DataInstance) -> Vec<u8> {
         w.put_u32_column(&col0);
         w.put_u32_column(&col1);
     }
-    w.into_file_bytes()
+    if !with_stats {
+        return w.into_file_bytes();
+    }
+
+    // Statistics section, segment order. Class columns are strictly
+    // ascending, so every value is distinct; property columns count
+    // col-0 runs (rows are lex-sorted) and hash col 1.
+    for (_, col) in &classes {
+        w.put_u64(col.len() as u64);
+    }
+    for (_, rows) in &props {
+        let mut d0 = 0u64;
+        let mut prev = None;
+        for &(a, _) in rows.iter() {
+            if prev != Some(a) {
+                d0 += 1;
+                prev = Some(a);
+            }
+        }
+        let d1: FxHashSet<u32> = rows.iter().map(|&(_, b)| b).collect();
+        w.put_u64(d0);
+        w.put_u64(d1.len() as u64);
+    }
+    w.into_file_bytes_flagged(FLAG_STATS)
 }
 
 /// Serialises `data` to an `.obdb` file at `path`, returning the written
@@ -209,6 +270,12 @@ fn info_from_bytes(bytes: &[u8]) -> Result<SnapshotInfo, StoreError> {
             relations.push(RelationInfo { name, arity, rows });
         }
     }
+    let has_stats = header.flags & FLAG_STATS != 0;
+    if has_stats {
+        // One u64 distinct count per column of every segment.
+        let words: u64 = relations.iter().map(|ri| ri.arity as u64).sum();
+        r.take((words * 8) as usize)?;
+    }
     Ok(SnapshotInfo {
         version: header.version,
         flags: header.flags,
@@ -218,6 +285,7 @@ fn info_from_bytes(bytes: &[u8]) -> Result<SnapshotInfo, StoreError> {
         num_consts,
         dict_bytes,
         num_atoms,
+        has_stats,
         relations,
     })
 }
@@ -301,10 +369,11 @@ impl Snapshot {
             Err(e) => return fail_span(open_span, e.into()),
         };
         open_span.attr("file_bytes", bytes.len() as u64);
-        let payload = match parse_file(&bytes) {
-            Ok((_, p)) => p,
+        let (header, payload) = match parse_file(&bytes) {
+            Ok(out) => out,
             Err(e) => return fail_span(open_span, e),
         };
+        let has_stats = header.flags & FLAG_STATS != 0;
         if let Err(e) = open_injection_point() {
             return fail_span(open_span, e);
         }
@@ -323,7 +392,7 @@ impl Snapshot {
         // segments: one bulk column load per relation.
         let seg_span = t.span("segments");
         let (database, relations) =
-            match Self::load_segments(&mut r, vocab, dict.len() as u32, budget) {
+            match Self::load_segments(&mut r, vocab, dict.len() as u32, has_stats, budget) {
                 Ok(out) => out,
                 Err(e) => return fail_span(seg_span, e),
             };
@@ -344,7 +413,6 @@ impl Snapshot {
             metrics.gauge("store_bytes").set(bytes.len() as i64);
         }
 
-        let (header, _) = parse_file(&bytes)?;
         let num_atoms = database.num_atoms() as u64;
         let dict_bytes = {
             // Recompute the dictionary section length for the info block.
@@ -365,6 +433,7 @@ impl Snapshot {
                 num_consts: dict.len(),
                 dict_bytes,
                 num_atoms,
+                has_stats,
                 relations,
             },
             dict,
@@ -401,12 +470,13 @@ impl Snapshot {
         r: &mut Reader<'_>,
         vocab: &Vocab,
         num_consts: u32,
+        has_stats: bool,
         budget: &mut Budget,
     ) -> Result<(Database, Vec<RelationInfo>), StoreError> {
         let mut relations = Vec::new();
         let mut num_atoms = 0usize;
 
-        let mut classes: FxHashMap<ClassId, Relation> = FxHashMap::default();
+        let mut class_rels: Vec<(ClassId, Relation)> = Vec::new();
         let num_classes = r.get_u32()?;
         for _ in 0..num_classes {
             budget.tick()?;
@@ -417,10 +487,10 @@ impl Snapshot {
             })?;
             num_atoms += cols[0].len();
             relations.push(RelationInfo { name, arity: 1, rows: cols[0].len() as u64 });
-            classes.insert(class, Relation::from_sorted_columns(1, &cols));
+            class_rels.push((class, Relation::from_sorted_columns(1, &cols)));
         }
 
-        let mut props: FxHashMap<PropId, Relation> = FxHashMap::default();
+        let mut prop_rels: Vec<(PropId, Relation)> = Vec::new();
         let num_props = r.get_u32()?;
         for _ in 0..num_props {
             budget.tick()?;
@@ -431,11 +501,30 @@ impl Snapshot {
             })?;
             num_atoms += cols[0].len();
             relations.push(RelationInfo { name, arity: 2, rows: cols[0].len() as u64 });
-            props.insert(prop, Relation::from_sorted_columns(2, &cols));
+            prop_rels.push((prop, Relation::from_sorted_columns(2, &cols)));
         }
 
-        // The universe (⊤) is the whole dictionary: ConstId(0)..ConstId(n).
+        // Persisted planner statistics: preset into every relation so
+        // reopening a snapshot never re-scans the columns. Segment rows
+        // are sorted by construction, so column 0 always is.
+        if has_stats {
+            for (_, rel) in &class_rels {
+                let d0 = r.get_u64()?;
+                rel.preset_stats(vec![d0], true);
+            }
+            for (_, rel) in &prop_rels {
+                let d0 = r.get_u64()?;
+                let d1 = r.get_u64()?;
+                rel.preset_stats(vec![d0, d1], true);
+            }
+        }
+
+        // The universe (⊤) is the whole dictionary: ConstId(0)..ConstId(n),
+        // trivially all-distinct and sorted.
         let universe = Relation::from_sorted_columns(1, &[(0..num_consts).collect()]);
+        universe.preset_stats(vec![num_consts as u64], true);
+        let classes: FxHashMap<ClassId, Relation> = class_rels.into_iter().collect();
+        let props: FxHashMap<PropId, Relation> = prop_rels.into_iter().collect();
         Ok((Database::from_relations(classes, props, universe, num_atoms), relations))
     }
 
@@ -657,6 +746,59 @@ mod tests {
     fn encoding_is_deterministic() {
         let (o, d) = example();
         assert_eq!(snapshot_bytes(o.vocab(), &d), snapshot_bytes(o.vocab(), &d));
+        assert_eq!(snapshot_bytes_legacy(o.vocab(), &d), snapshot_bytes_legacy(o.vocab(), &d));
+    }
+
+    #[test]
+    fn stats_section_roundtrips_into_relation_stats() {
+        let (o, d) = example();
+        let path = temp_path("stats");
+        let info = write_snapshot(&path, o.vocab(), &d).unwrap();
+        assert!(info.has_stats);
+        assert_eq!(info.stats_source(), "embedded");
+        let snap = Snapshot::open(&path, o.vocab()).unwrap();
+        assert!(snap.info().has_stats);
+        // P = {(x,y), (y,z)}: 2 distinct subjects, 2 distinct objects.
+        let p = o.vocab().get_prop("P").unwrap();
+        let rel = snap.database().prop_relations().find(|&(q, _)| q == p).unwrap().1;
+        let s = rel.stats();
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.distinct, vec![2, 2]);
+        assert!(s.sorted_col0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_snapshot_without_stats_opens_and_derives() {
+        let (o, d) = example();
+        let legacy = snapshot_bytes_legacy(o.vocab(), &d);
+        let current = snapshot_bytes(o.vocab(), &d);
+        assert!(legacy.len() < current.len(), "stats section adds bytes");
+        let path = temp_path("legacy");
+        std::fs::write(&path, &legacy).unwrap();
+        let info = read_info(&path).unwrap();
+        assert!(!info.has_stats);
+        assert_eq!(info.stats_source(), "derived");
+        let snap = Snapshot::open(&path, o.vocab()).unwrap();
+        assert!(!snap.info().has_stats);
+        // Same database as the stats-carrying encoding; stats derive
+        // lazily from the columns and agree with the persisted ones.
+        assert_eq!(fingerprint(snap.database()), fingerprint(&Database::new(&d)));
+        let p = o.vocab().get_prop("P").unwrap();
+        let rel = snap.database().prop_relations().find(|&(q, _)| q == p).unwrap().1;
+        assert_eq!(rel.stats().distinct, vec![2, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_and_legacy_info_report_the_same_structure() {
+        let (o, d) = example();
+        let with = info_from_bytes(&snapshot_bytes(o.vocab(), &d)).unwrap();
+        let without = info_from_bytes(&snapshot_bytes_legacy(o.vocab(), &d)).unwrap();
+        assert_eq!(with.relations, without.relations);
+        assert_eq!(with.num_atoms, without.num_atoms);
+        assert_eq!(with.num_consts, without.num_consts);
+        assert!(with.has_stats && !without.has_stats);
     }
 
     #[test]

@@ -71,7 +71,7 @@ fn service(engine: Option<EngineConfig>) -> QueryService {
 }
 
 fn engine_cfg(threads: usize) -> EngineConfig {
-    EngineConfig { threads, prune: true, chunk_min_rows: 16 }
+    EngineConfig { threads, prune: true, chunk_min_rows: 16, plan: true }
 }
 
 /// Runs one request under the *currently armed* plan and asserts the core

@@ -210,7 +210,7 @@ fn panicking_clause_task_is_a_typed_internal_error() {
     let q = NdlQuery::new(p, g);
     let db = Database::new(&d);
     for threads in [1, 4] {
-        let cfg = EngineConfig { threads, prune: false, chunk_min_rows: 1 };
+        let cfg = EngineConfig { threads, prune: false, chunk_min_rows: 1, plan: true };
         let err = evaluate_engine_on_budgeted(&q, &db, &mut Budget::unlimited(), &cfg).unwrap_err();
         let EvalError::Internal { site, .. } = &err else {
             panic!("threads={threads}: expected Internal, got {err}");

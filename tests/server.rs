@@ -207,6 +207,39 @@ fn metrics_explain_and_cache_are_observable() {
     assert!(handle.join());
 }
 
+#[test]
+fn explain_surfaces_cached_join_plan() {
+    let (handle, _, _) = start_server(SCALE, |_| {}, &[]);
+    let addr = handle.addr();
+    let query = word_query_text("RS");
+    let path = format!("/explain?query={}", percent_encode(&query));
+
+    // The first /explain costs the join plan against the served database.
+    let first = get(addr, &path);
+    assert_eq!(first.status, 200, "explain failed: {}", first.body);
+    assert!(first.body.contains("plans built: 1"), "body: {}", first.body);
+    assert!(
+        first.body.contains("est\u{2248}"),
+        "plan steps must carry cardinality estimates: {}",
+        first.body
+    );
+    assert!(first.body.contains("stratum"), "body: {}", first.body);
+
+    // Answering the same OMQ and explaining again reuse the cached
+    // PreparedOmq *and* its per-database plan: the miss count stays 1.
+    assert_eq!(post_query(addr, "t", &query).status, 200);
+    let second = get(addr, &path);
+    assert_eq!(second.status, 200);
+    assert!(
+        second.body.contains("plans built: 1"),
+        "the plan must be computed once and reused: {}",
+        second.body
+    );
+
+    handle.trigger().shutdown();
+    assert!(handle.join());
+}
+
 /// Minimal percent-encoding for test URLs (everything non-alphanumeric).
 fn percent_encode(s: &str) -> String {
     s.bytes()

@@ -112,6 +112,54 @@ fn parallel_engine_on_snapshot_matches_oracle() {
     }
 }
 
+/// Forward compatibility with pre-stats snapshots: a legacy file (no
+/// stats section, flags 0) opens cleanly, derives its relation
+/// statistics on first use, and the cost-based planner over those
+/// derived stats answers exactly like the chase oracle.
+#[test]
+fn pre_stats_snapshot_opens_and_derives_statistics() {
+    let sys = paper_system();
+    let data = table2_dataset(&sys, 0);
+    let vocab = sys.ontology().vocab();
+
+    let legacy = obda::store::snapshot_bytes_legacy(vocab, &data);
+    let current = obda::store::snapshot_bytes(vocab, &data);
+    assert!(legacy.len() < current.len(), "the stats section must be optional");
+
+    let path = temp_path();
+    std::fs::write(&path, &legacy).unwrap();
+    let info = read_info(&path).unwrap();
+    assert_eq!(info.flags, 0, "legacy snapshots set no format flags");
+    assert_eq!(info.stats_source(), "derived", "dbinfo must report derived stats");
+
+    let snap = Snapshot::open(&path, vocab).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(snap.info().stats_source(), "derived");
+
+    let spec = BudgetSpec::unlimited();
+    for word in WORDS {
+        let q = word_query(sys.ontology(), word);
+        let oracle = sys.certain_answers(&q, &data).tuples();
+        let res = sys
+            .answer_with_budget_engine_backend_traced(
+                &q,
+                &snap,
+                Strategy::Tw,
+                &spec,
+                &EngineConfig::default(),
+                obda::Telemetry::disabled(),
+            )
+            .unwrap();
+        assert_eq!(res.answers, oracle, "legacy snapshot, word {word}");
+    }
+
+    // The current writer embeds the stats section and reports so.
+    let path = temp_path();
+    std::fs::write(&path, &current).unwrap();
+    assert_eq!(read_info(&path).unwrap().stats_source(), "embedded");
+    std::fs::remove_file(&path).ok();
+}
+
 /// The service's backend entry points answer exactly like its parse
 /// entry points, for both prepared (`submit_backend`) and one-shot
 /// (`answer_backend`) requests.
