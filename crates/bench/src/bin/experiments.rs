@@ -3,9 +3,9 @@
 //! ```text
 //! experiments [fig1] [fig2] [table2] [table3] [table4] [table5]
 //!             [bencheval] [benchguard] [benchjoin] [benchstore]
-//!             [benchserve] [all]
+//!             [benchserve] [benchsoak] [all]
 //!             [--scale S] [--max-atoms N] [--timeout-secs T] [--csv DIR]
-//!             [--threads N]
+//!             [--threads N] [--quick]
 //! ```
 //!
 //! * `fig1`   — the complexity landscape of Figure 1(a);
@@ -44,6 +44,15 @@
 //!   throughput plus p50/p95/p99 client-observed latency (and the
 //!   first-request cache-miss cost) to `BENCH_serve.json` (timing-noise
 //!   sensitive, so not part of `all`);
+//! * `benchsoak` — the sustained-load soak: the server with the full
+//!   adaptive overload stack (cost admission, circuit breakers,
+//!   brownout, watchdog) driven over TCP by two well-behaved tenants and
+//!   one abusive tenant while deterministic faults fire server-side;
+//!   asserts every `200` body is oracle-exact and the server survives,
+//!   and writes per-tenant status/latency breakdowns, per-second
+//!   trajectories and the overload counters to `BENCH_soak.json`
+//!   (needs `--features faults`; ~2 min, or seconds with `--quick`;
+//!   never part of `all`);
 //! * defaults: `--scale 0.05 --max-atoms 15 --timeout-secs 10 --threads 4`.
 //!
 //! Absolute numbers differ from the paper (different machine, a naive
@@ -70,6 +79,7 @@ struct Config {
     csv_dir: Option<String>,
     sections: Vec<String>,
     threads: usize,
+    quick: bool,
 }
 
 fn parse_args() -> Config {
@@ -80,10 +90,12 @@ fn parse_args() -> Config {
         csv_dir: None,
         sections: Vec::new(),
         threads: 4,
+        quick: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--quick" => cfg.quick = true,
             "--scale" => cfg.scale = numeric_arg(&mut args, "--scale"),
             "--max-atoms" => cfg.max_atoms = numeric_arg(&mut args, "--max-atoms"),
             "--timeout-secs" => {
@@ -156,6 +168,12 @@ fn main() {
     if cfg.sections.iter().any(|s| s == "benchserve") {
         benchserve(&cfg);
     }
+    // The sustained-load soak under injected faults; needs `--features
+    // faults` and runs for minutes (seconds with `--quick`), so never
+    // under `all`.
+    if cfg.sections.iter().any(|s| s == "benchsoak") {
+        benchsoak(&cfg);
+    }
 }
 
 /// The HTTP serving benchmark behind `BENCH_serve.json`: an in-process
@@ -184,6 +202,7 @@ fn benchserve(cfg: &Config) {
             budget: BudgetSpec::unlimited(),
             retry: obda::RetryPolicy::default(),
             engine: None,
+            overload: obda::OverloadConfig::default(),
         },
     );
     let server = Server::bind(
@@ -291,6 +310,402 @@ fn benchserve(cfg: &Config) {
     );
     std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json ({} rows)", table_rows.len());
+}
+
+/// `benchsoak` without `--features faults` refuses loudly: a soak that
+/// cannot inject faults would not exercise the overload machinery it
+/// exists to prove.
+#[cfg(not(feature = "faults"))]
+fn benchsoak(_cfg: &Config) {
+    eprintln!(
+        "error: benchsoak needs the deterministic fault registry; \
+         rebuild with `--features faults`"
+    );
+    std::process::exit(2);
+}
+
+/// The sustained-load soak behind `BENCH_soak.json`: the in-process
+/// server with the full adaptive overload stack enabled (cost admission,
+/// strategy and tenant circuit breakers, brownout, watchdog), driven
+/// over real TCP by two well-behaved tenants and one abusive tenant
+/// whose requests carry deadlines their queries cannot meet — all while
+/// deterministic faults (transient evaluation failures plus handler
+/// panics) fire server-side.
+///
+/// Phase 1 measures the *unloaded* latency profile of the well-behaved
+/// tenants; phase 2 is the soak. The harness asserts the two hard
+/// invariants (every `200` body is oracle-exact; the accept loop
+/// survives to answer `/healthz`) and records per-tenant status
+/// breakdowns, per-second trajectories and the overload counters so the
+/// committed JSON shows the abusive tenant being shed with typed
+/// `429`/`503` while the well-behaved tenants' tail latency holds.
+#[cfg(feature = "faults")]
+fn benchsoak(cfg: &Config) {
+    use obda::faults::{site, FaultKind, FaultPlan, FaultSpec, Trigger};
+    use obda::server::client;
+    use obda::telemetry::Histogram;
+    use obda::{
+        BreakerConfig, BrownoutConfig, CostAdmissionConfig, MemoryBackend, OverloadConfig,
+        QueryService, Server, ServerConfig, ServiceConfig, WatchdogConfig,
+    };
+    use std::collections::BTreeMap;
+
+    // Injected panics are the point of the soak: keep them off stderr
+    // while letting genuine panics (assertion failures) through.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let p = info.payload();
+        let injected = p.downcast_ref::<obda::faults::FaultError>().is_some()
+            || p.downcast_ref::<String>().is_some_and(|s| s.starts_with("injected panic at"));
+        if !injected {
+            prev(info);
+        }
+    }));
+
+    let (baseline_requests, soak) = if cfg.quick {
+        (100usize, Duration::from_secs(6))
+    } else {
+        (400, Duration::from_secs(120))
+    };
+    let good_pause = Duration::from_millis(if cfg.quick { 5 } else { 10 });
+    let client_timeout = Duration::from_secs(10);
+
+    let sys = paper_system();
+    let data = dataset(&sys, 0, cfg.scale);
+    let service = QueryService::new(
+        paper_system(),
+        ServiceConfig {
+            max_concurrency: cfg.threads.max(2),
+            max_queue: 32,
+            budget: BudgetSpec::unlimited(),
+            retry: obda::RetryPolicy::default(),
+            engine: None,
+            overload: OverloadConfig {
+                breaker: Some(BreakerConfig::default()),
+                cost: Some(CostAdmissionConfig::default()),
+                brownout: Some(BrownoutConfig {
+                    queue_high: Duration::from_millis(50),
+                    ..BrownoutConfig::default()
+                }),
+                watchdog: Some(WatchdogConfig::default()),
+            },
+        },
+    );
+    let server = Server::bind(
+        service,
+        Box::new(MemoryBackend::new(data.clone())),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_timeout: cfg.timeout,
+            tenant_breaker: Some(BreakerConfig::default()),
+            shed_priority_below: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind benchsoak server");
+    // The abusive tenant is first against the wall when brownout sheds.
+    server.governor().set_priority("greedy", 0);
+    let handle = server.start();
+    let addr = handle.addr();
+
+    // (tenant, query word, client deadline header, pause between sends).
+    // greedy's one-millisecond deadline is one its six-atom query cannot
+    // meet: every admitted attempt burns its budget, so the typed
+    // overload machinery — tenant breaker, cost admission, brownout —
+    // is what keeps it from starving everyone else.
+    let word_query = |word: &str| {
+        let n = word.len();
+        let atoms: Vec<String> =
+            word.chars().enumerate().map(|(i, c)| format!("{c}(x{i}, x{})", i + 1)).collect();
+        format!("q(x0, x{n}) :- {}", atoms.join(", "))
+    };
+    let oracle_of = |query: &str| -> Vec<String> {
+        let q = sys.parse_query(query).expect("parse soak query");
+        let mut lines: Vec<String> = sys
+            .certain_answers(&q, &data)
+            .tuples()
+            .iter()
+            .map(|t| {
+                let names: Vec<&str> = t.iter().map(|&c| data.constant_name(c)).collect();
+                format!("({})", names.join(", "))
+            })
+            .collect();
+        lines.sort();
+        lines
+    };
+    struct Lane {
+        tenant: &'static str,
+        query: String,
+        oracle: Vec<String>,
+        timeout_ms: Option<&'static str>,
+        pause: Duration,
+    }
+    let lanes: Vec<Lane> = vec![
+        Lane {
+            tenant: "alpha",
+            query: word_query("RR"),
+            oracle: oracle_of(&word_query("RR")),
+            timeout_ms: None,
+            pause: good_pause,
+        },
+        Lane {
+            tenant: "beta",
+            query: word_query("RRS"),
+            oracle: oracle_of(&word_query("RRS")),
+            timeout_ms: None,
+            pause: good_pause,
+        },
+        Lane {
+            tenant: "greedy",
+            query: word_query("RSRSRS"),
+            oracle: oracle_of(&word_query("RSRSRS")),
+            timeout_ms: Some("1"),
+            pause: Duration::from_millis(2),
+        },
+    ];
+
+    #[derive(Default)]
+    struct LaneStats {
+        requests: u64,
+        statuses: BTreeMap<u16, u64>,
+        wrong_200: u64,
+        io_errors: u64,
+        hist: Histogram,
+        // Per-second [200, 429, 503, 504, other] counts.
+        trajectory: Vec<[u64; 5]>,
+    }
+    let drive = |lane: &Lane, stats: &mut LaneStats, epoch: Instant| {
+        let mut headers: Vec<(&str, &str)> = vec![("X-Obda-Tenant", lane.tenant)];
+        if let Some(ms) = lane.timeout_ms {
+            headers.push(("X-Obda-Timeout-Ms", ms));
+        }
+        let second = epoch.elapsed().as_secs() as usize;
+        let start = Instant::now();
+        let resp =
+            match client::request(addr, "POST", "/query", &headers, &lane.query, client_timeout) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    stats.io_errors += 1;
+                    return;
+                }
+            };
+        stats.requests += 1;
+        *stats.statuses.entry(resp.status).or_insert(0) += 1;
+        if stats.trajectory.len() <= second {
+            stats.trajectory.resize(second + 1, [0; 5]);
+        }
+        let slot = match resp.status {
+            200 => 0,
+            429 => 1,
+            503 => 2,
+            504 => 3,
+            _ => 4,
+        };
+        stats.trajectory[second][slot] += 1;
+        if resp.status == 200 {
+            stats.hist.observe(start.elapsed());
+            let mut lines: Vec<String> = resp.body.lines().map(str::to_owned).collect();
+            lines.sort();
+            if lines != lane.oracle {
+                stats.wrong_200 += 1;
+            }
+        }
+    };
+
+    // Both phases drive their lanes concurrently with the lane's own
+    // pacing; each worker stops after `requests` sends or when the
+    // deadline passes, whichever comes first.
+    let run_lanes = |subset: Vec<&Lane>, requests: usize, deadline: Duration| {
+        let epoch = Instant::now();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = subset
+                .into_iter()
+                .map(|lane| {
+                    let drive = &drive;
+                    scope.spawn(move || {
+                        let mut stats = LaneStats::default();
+                        while stats.requests + stats.io_errors < requests as u64
+                            && epoch.elapsed() < deadline
+                        {
+                            drive(lane, &mut stats, epoch);
+                            std::thread::sleep(lane.pause);
+                        }
+                        (lane.tenant, stats)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("soak worker"))
+                .collect::<Vec<(&str, LaneStats)>>()
+        })
+    };
+
+    // Phase 1: the unloaded baseline — the well-behaved tenants run
+    // concurrently at their soak pacing, but with no abusive tenant and
+    // no faults. The p99 ratio below then isolates what the overloaded,
+    // faulted soak costs them, not what mere co-tenancy costs.
+    println!(
+        "== obda serve soak: 2 well-behaved + 1 abusive tenant, faulted, \
+         {}s (scale {}, {} slots) ==\n",
+        soak.as_secs(),
+        cfg.scale,
+        cfg.threads.max(2)
+    );
+    let baseline = run_lanes(
+        lanes.iter().filter(|l| l.timeout_ms.is_none()).collect(),
+        baseline_requests,
+        soak,
+    );
+    for (tenant, stats) in &baseline {
+        assert_eq!(stats.wrong_200, 0, "baseline for {tenant} must be oracle-exact");
+    }
+
+    // Phase 2: the soak. Deterministic server-side faults fire while all
+    // three tenants hammer concurrently until the clock runs out.
+    let plan = FaultPlan::new(0x0bda_5eed)
+        .with(
+            site::ENGINE_CLAUSE_TASK,
+            FaultSpec { kind: FaultKind::Transient, trigger: Trigger::Probability(0.02) },
+        )
+        .with(
+            site::SERVER_HANDLE,
+            FaultSpec { kind: FaultKind::Panic, trigger: Trigger::Probability(0.002) },
+        );
+    let guard = plan.install();
+    let soak_stats = run_lanes(lanes.iter().collect(), usize::MAX, soak);
+    drop(guard);
+
+    // The accept loop must have survived everything the soak threw at it.
+    let health = client::request(addr, "GET", "/healthz", &[], "", client_timeout);
+    let alive = health.map(|r| r.status).unwrap_or(0) == 200;
+    let metrics_text = client::request(addr, "GET", "/metrics", &[], "", client_timeout)
+        .map(|r| r.body)
+        .unwrap_or_default();
+    handle.trigger().shutdown();
+    let drained = handle.join();
+    let metric = |name: &str| -> u64 {
+        metrics_text
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+            .unwrap_or(0)
+    };
+
+    // Render + JSON.
+    let header: Vec<String> =
+        ["tenant", "phase", "requests", "200", "429", "503", "504", "other", "p50 ms", "p99 ms"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    let count = |s: &LaneStats, code: u16| s.statuses.get(&code).copied().unwrap_or(0);
+    let other = |s: &LaneStats| {
+        s.statuses.iter().filter(|(c, _)| ![200, 429, 503, 504].contains(*c)).map(|(_, n)| n).sum()
+    };
+    let mut wrong_total = 0u64;
+    let mut io_total = 0u64;
+    for (phase, set) in [("baseline", &baseline), ("soak", &soak_stats)] {
+        for (tenant, s) in set.iter() {
+            let q_ms = |q: f64| s.hist.quantile(q).unwrap_or(0.0) * 1e3;
+            wrong_total += s.wrong_200;
+            io_total += s.io_errors;
+            let other: u64 = other(s);
+            rows.push(vec![
+                (*tenant).to_owned(),
+                phase.to_owned(),
+                s.requests.to_string(),
+                count(s, 200).to_string(),
+                count(s, 429).to_string(),
+                count(s, 503).to_string(),
+                count(s, 504).to_string(),
+                other.to_string(),
+                format!("{:.3}", q_ms(0.5)),
+                format!("{:.3}", q_ms(0.99)),
+            ]);
+            json_rows.push(format!(
+                "    {{\"tenant\": \"{tenant}\", \"phase\": \"{phase}\", \
+                 \"requests\": {}, \"ok\": {}, \"r429\": {}, \"r503\": {}, \
+                 \"r504\": {}, \"other\": {other}, \"wrong_200\": {}, \
+                 \"io_errors\": {}, \"p50_seconds\": {:.6}, \"p99_seconds\": {:.6}}}",
+                s.requests,
+                count(s, 200),
+                count(s, 429),
+                count(s, 503),
+                count(s, 504),
+                s.wrong_200,
+                s.io_errors,
+                q_ms(0.5) / 1e3,
+                q_ms(0.99) / 1e3,
+            ));
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+
+    // The headline ratio: well-behaved p99 under faulted overload vs
+    // unloaded, per tenant.
+    let mut ratios: Vec<String> = Vec::new();
+    for (tenant, base) in &baseline {
+        if let Some((_, loaded)) = soak_stats.iter().find(|(t, _)| t == tenant) {
+            let b = base.hist.quantile(0.99).unwrap_or(0.0);
+            let l = loaded.hist.quantile(0.99).unwrap_or(0.0);
+            let ratio = if b > 0.0 { l / b } else { 0.0 };
+            println!(
+                "tenant {tenant}: p99 {:.3} ms unloaded -> {:.3} ms soaked ({ratio:.2}x)",
+                b * 1e3,
+                l * 1e3
+            );
+            ratios.push(format!("    {{\"tenant\": \"{tenant}\", \"p99_ratio\": {ratio:.3}}}"));
+        }
+    }
+    let trajectory: Vec<String> = soak_stats
+        .iter()
+        .flat_map(|(tenant, s)| {
+            s.trajectory.iter().enumerate().map(move |(sec, b)| {
+                format!(
+                    "    {{\"second\": {sec}, \"tenant\": \"{tenant}\", \"ok\": {}, \
+                     \"r429\": {}, \"r503\": {}, \"r504\": {}, \"other\": {}}}",
+                    b[0], b[1], b[2], b[3], b[4]
+                )
+            })
+        })
+        .collect();
+    let escaped_panics = u64::from(!(alive && drained));
+    let json = format!(
+        "{{\n  \"config\": {{\"scale\": {}, \"soak_seconds\": {}, \"quick\": {}, \
+         \"worker_slots\": {}, \"fault_seed\": 195948269, \
+         \"faults\": \"engine transient p=0.02, handler panic p=0.002\"}},\n  \
+         \"phases\": [\n{}\n  ],\n  \"p99_ratios\": [\n{}\n  ],\n  \
+         \"overload_counters\": {{\"tenant_breaker_opened_greedy\": {}, \
+         \"tenant_breaker_rejected_greedy\": {}, \"shed_greedy\": {}, \
+         \"cost_rejected\": {}, \"brownout_entered\": {}, \"brownout_exited\": {}, \
+         \"watchdog_stalls\": {}, \"panics_past_isolation\": {}}},\n  \
+         \"invariants\": {{\"wrong_200s\": {wrong_total}, \"io_errors\": {io_total}, \
+         \"escaped_panics\": {escaped_panics}}},\n  \"trajectory\": [\n{}\n  ]\n}}\n",
+        cfg.scale,
+        soak.as_secs(),
+        cfg.quick,
+        cfg.threads.max(2),
+        json_rows.join(",\n"),
+        ratios.join(",\n"),
+        metric("server_tenant_breaker_opened_total_greedy "),
+        metric("server_tenant_breaker_rejected_total_greedy "),
+        metric("server_shed_total_greedy "),
+        metric("service_cost_rejected_total "),
+        metric("service_brownout_entered_total "),
+        metric("service_brownout_exited_total "),
+        metric("service_watchdog_stalls_total "),
+        metric("server_panics_total "),
+        trajectory.join(",\n"),
+    );
+    std::fs::write("BENCH_soak.json", json).expect("write BENCH_soak.json");
+    println!("wrote BENCH_soak.json");
+
+    // The hard invariants the CI smoke greps for: zero wrong 200s, and
+    // no escaped panic (the accept loop answered /healthz and drained).
+    assert_eq!(wrong_total, 0, "a 200 body disagreed with the chase oracle");
+    assert!(alive, "/healthz must answer 200 after the soak");
+    assert!(drained, "the soaked server must still drain cleanly");
 }
 
 /// `VmRSS` and `VmHWM` in kB from `/proc/self/status`, `(0, 0)` when the

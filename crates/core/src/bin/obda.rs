@@ -18,6 +18,9 @@
 //!               [--addr HOST:PORT] [--max-concurrency N] [--max-queue N]
 //!               [--timeout-secs N] [--quota-rate N] [--quota-burst N]
 //!               [--quota-concurrency N] [--drain-secs N] [--cache-capacity N]
+//!               [--brownout-queue-ms N] [--brownout-shed-below P]
+//!               [--breaker-window N] [--breaker-threshold N]
+//!               [--watchdog-stall-ms N] [--tenant-priority NAME=P]...
 //! obda --help
 //! ```
 //!
@@ -63,6 +66,17 @@
 //! `Retry-After`; the global admission gate answers 503. Shutdown drains
 //! gracefully on `POST /shutdown`, stdin EOF or a `shutdown` stdin line.
 //!
+//! The server runs the adaptive overload stack by default: cost-based
+//! admission (429 when the estimated work exceeds the remaining
+//! deadline), per-strategy and per-tenant circuit breakers
+//! (`--breaker-window`/`--breaker-threshold`), brownout degradation when
+//! queue wait exceeds `--brownout-queue-ms` (polynomial strategies
+//! forced, budgets shrunk, tenants with priority below
+//! `--brownout-shed-below` shed with 503, responses stamped
+//! `X-Obda-Degraded: 1`), and a stuck-evaluation watchdog
+//! (`--watchdog-stall-ms`). `--tenant-priority NAME=P` (repeatable)
+//! ranks tenants for shedding; unnamed tenants default to priority 1.
+//!
 //! Strategies: `lin`, `log`, `tw`, `twstar`, `ucq`, `twucq`, `presto`,
 //! `adaptive` (default).
 //!
@@ -87,9 +101,9 @@ use obda::budget::BudgetSpec;
 use obda::cq::query::Cq;
 use obda::telemetry::{CollectingTracer, MetricsRegistry, Telemetry};
 use obda::{
-    read_info, write_snapshot, MemoryBackend, ObdaError, ObdaSystem, QueryService, RetryPolicy,
-    Server, ServerConfig, ServiceConfig, Snapshot, StorageBackend, StoreError, Strategy,
-    TenantQuota,
+    read_info, write_snapshot, BreakerConfig, BrownoutConfig, MemoryBackend, ObdaError, ObdaSystem,
+    OverloadConfig, QueryService, RetryPolicy, Server, ServerConfig, ServiceConfig, Snapshot,
+    StorageBackend, StoreError, Strategy, TenantQuota, WatchdogConfig,
 };
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::program::ProgramDisplay;
@@ -127,6 +141,12 @@ struct Args {
     quota_concurrency: Option<usize>,
     drain_secs: Option<f64>,
     cache_capacity: Option<usize>,
+    brownout_queue_ms: Option<f64>,
+    brownout_shed_below: Option<u8>,
+    breaker_window: Option<usize>,
+    breaker_threshold: Option<usize>,
+    watchdog_stall_ms: Option<f64>,
+    tenant_priorities: Vec<(String, u8)>,
 }
 
 const USAGE: &str = "usage: obda <classify|rewrite|explain|answer> --ontology FILE --query FILE\n\
@@ -140,7 +160,9 @@ const USAGE: &str = "usage: obda <classify|rewrite|explain|answer> --ontology FI
     \x20      obda serve --ontology FILE (--db FILE | --data FILE) [--addr HOST:PORT]\n\
     \x20      [--max-concurrency N] [--max-queue N] [--timeout-secs N]\n\
     \x20      [--quota-rate N] [--quota-burst N] [--quota-concurrency N]\n\
-    \x20      [--drain-secs N] [--cache-capacity N]\n\
+    \x20      [--drain-secs N] [--cache-capacity N] [--brownout-queue-ms N]\n\
+    \x20      [--brownout-shed-below P] [--breaker-window N] [--breaker-threshold N]\n\
+    \x20      [--watchdog-stall-ms N] [--tenant-priority NAME=P]...\n\
     \x20      obda --help";
 
 fn usage() -> ExitCode {
@@ -166,6 +188,17 @@ fn print_help() {
          X-Obda-Strategy), GET /explain?query=..., GET /metrics, GET /healthz,\n\
          GET /readyz, POST /shutdown. Tenant quota refusals answer 429 with\n\
          Retry-After; overload answers 503; budget exhaustion answers 504.\n\
+         \nserve overload control (on by default, tuned with the flags below):\n\
+         cost-based admission rejects requests whose estimated work exceeds\n\
+         the remaining deadline (429), per-strategy and per-tenant circuit\n\
+         breakers fail fast after repeated failures (503), brownout mode\n\
+         forces polynomial strategies, shrinks budgets and sheds tenants with\n\
+         priority below --brownout-shed-below when queue wait exceeds\n\
+         --brownout-queue-ms (degraded responses carry X-Obda-Degraded: 1),\n\
+         and a watchdog cancels evaluations stalled for --watchdog-stall-ms.\n\
+         --tenant-priority NAME=P (repeatable, default priority 1) ranks\n\
+         tenants for shedding; --breaker-window/--breaker-threshold tune how\n\
+         many failures in the rolling window trip a breaker.\n\
          \nstrategies: lin, log, tw, twstar, ucq, twucq, presto, adaptive (default)\n\
          \nexit codes:\n\
          \x20 0  success\n\
@@ -214,6 +247,12 @@ fn parse_args() -> Option<Args> {
         quota_concurrency: None,
         drain_secs: None,
         cache_capacity: None,
+        brownout_queue_ms: None,
+        brownout_shed_below: None,
+        breaker_window: None,
+        breaker_threshold: None,
+        watchdog_stall_ms: None,
+        tenant_priorities: Vec::new(),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -254,6 +293,12 @@ fn parse_args() -> Option<Args> {
             "--quota-rate" => {
                 let rate: f64 = argv.next()?.parse().ok()?;
                 if !rate.is_finite() || rate <= 0.0 {
+                    // A zero (or negative) refill rate would starve every
+                    // tenant forever; say so instead of a bare usage line.
+                    eprintln!(
+                        "error: --quota-rate must be a positive number of requests \
+                         per second (got {rate}); a rate of 0 would admit nothing"
+                    );
                     return None;
                 }
                 args.quota_rate = Some(rate);
@@ -261,7 +306,13 @@ fn parse_args() -> Option<Args> {
             "--quota-burst" => {
                 let burst: f64 = argv.next()?.parse().ok()?;
                 if !burst.is_finite() || burst < 1.0 {
-                    return None; // a burst below one token could admit nothing
+                    // A bucket that cannot hold one whole token can never
+                    // admit a request.
+                    eprintln!(
+                        "error: --quota-burst must be at least 1 token (got {burst}); \
+                         a burst below 1 would admit nothing"
+                    );
+                    return None;
                 }
                 args.quota_burst = Some(burst);
             }
@@ -285,6 +336,47 @@ fn parse_args() -> Option<Args> {
                     return None;
                 }
                 args.cache_capacity = Some(n);
+            }
+            "--brownout-queue-ms" => {
+                let ms: f64 = argv.next()?.parse().ok()?;
+                if !ms.is_finite() || ms < 0.0 {
+                    return None;
+                }
+                args.brownout_queue_ms = Some(ms);
+            }
+            "--brownout-shed-below" => {
+                args.brownout_shed_below = Some(argv.next()?.parse().ok()?);
+            }
+            "--breaker-window" => {
+                let n: usize = argv.next()?.parse().ok()?;
+                if n == 0 {
+                    return None;
+                }
+                args.breaker_window = Some(n);
+            }
+            "--breaker-threshold" => {
+                let n: usize = argv.next()?.parse().ok()?;
+                if n == 0 {
+                    return None;
+                }
+                args.breaker_threshold = Some(n);
+            }
+            "--watchdog-stall-ms" => {
+                let ms: f64 = argv.next()?.parse().ok()?;
+                if !ms.is_finite() || ms <= 0.0 {
+                    return None;
+                }
+                args.watchdog_stall_ms = Some(ms);
+            }
+            // Repeatable NAME=PRIORITY pairs; higher priorities survive
+            // brownout shedding longer.
+            "--tenant-priority" => {
+                let pair = argv.next()?;
+                let (name, prio) = pair.split_once('=')?;
+                if name.is_empty() {
+                    return None;
+                }
+                args.tenant_priorities.push((name.to_owned(), prio.parse().ok()?));
             }
             "--trace" | "--trace=pretty" => args.trace = Some(TraceFormat::Pretty),
             "--trace=json" => args.trace = Some(TraceFormat::Json),
@@ -385,6 +477,14 @@ impl From<ObdaError> for CliError {
             // The CLI never configures tenant quotas, but the mapping is
             // total: a quota refusal is an admission refusal.
             ObdaError::QuotaExceeded { .. } => CliError::Overloaded(msg),
+            // Cost-based admission and circuit-breaker refusals are
+            // admission refusals like any other: the work was never run.
+            ObdaError::CostRejected { .. } | ObdaError::BreakerOpen { .. } => {
+                CliError::Overloaded(msg)
+            }
+            // A stalled evaluation was cancelled by the watchdog: the
+            // evaluation failed, it did not exhaust its budget.
+            ObdaError::Stalled { .. } => CliError::Eval(msg),
         }
     }
 }
@@ -684,6 +784,28 @@ fn run_serve(args: &Args, system: ObdaSystem, telem: Telemetry<'_>) -> Result<()
         Some(n) => RetryPolicy::with_retries(n),
         None => RetryPolicy::default(),
     };
+    // The server gets the full adaptive overload stack by default; the
+    // flags only retune it. One shared breaker shape serves both the
+    // per-strategy and the per-tenant breaker sets.
+    let breaker = BreakerConfig {
+        window: args.breaker_window.unwrap_or(BreakerConfig::default().window),
+        threshold: args.breaker_threshold.unwrap_or(BreakerConfig::default().threshold),
+        ..BreakerConfig::default()
+    };
+    let mut overload = OverloadConfig::enabled();
+    overload.breaker = Some(breaker.clone());
+    if let Some(ms) = args.brownout_queue_ms {
+        overload.brownout = Some(BrownoutConfig {
+            queue_high: Duration::from_secs_f64(ms / 1e3),
+            ..BrownoutConfig::default()
+        });
+    }
+    if let Some(ms) = args.watchdog_stall_ms {
+        overload.watchdog = Some(WatchdogConfig {
+            stall_after: Duration::from_secs_f64(ms / 1e3),
+            ..WatchdogConfig::default()
+        });
+    }
     let service = QueryService::new(
         system,
         ServiceConfig {
@@ -692,6 +814,7 @@ fn run_serve(args: &Args, system: ObdaSystem, telem: Telemetry<'_>) -> Result<()
             budget: args.spec,
             retry,
             engine: Some(args.engine.clone()),
+            overload,
         },
     );
     let defaults = ServerConfig::default();
@@ -712,10 +835,15 @@ fn run_serve(args: &Args, system: ObdaSystem, telem: Telemetry<'_>) -> Result<()
             .unwrap_or(defaults.drain_timeout),
         cache_capacity: args.cache_capacity.unwrap_or(defaults.cache_capacity),
         default_quota: quota,
+        tenant_breaker: Some(breaker),
+        shed_priority_below: args.brownout_shed_below.unwrap_or(defaults.shed_priority_below),
         ..defaults
     };
     let server = Server::bind(service, backend, cfg)
         .map_err(|e| CliError::Internal(format!("cannot bind: {e}")))?;
+    for (tenant, priority) in &args.tenant_priorities {
+        server.governor().set_priority(tenant, *priority);
+    }
     println!("listening on http://{}", server.local_addr());
     let _ = std::io::stdout().flush();
     let handle = server.start();
@@ -780,6 +908,9 @@ fn run_answer(
                 budget: args.spec,
                 retry,
                 engine: Some(args.engine.clone()),
+                // One-shot CLI answers keep the overload machinery off:
+                // there is no sustained load to adapt to.
+                overload: OverloadConfig::default(),
             },
         )))
     };

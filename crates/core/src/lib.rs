@@ -47,13 +47,15 @@ pub use complexity::{
     PeSize, QueryClass, Succinctness,
 };
 pub use pipeline::{
-    Attempt, AttemptOutcome, ObdaError, ObdaSystem, PipelineReport, PreparedOmq, RetryPolicy,
-    Strategy,
+    Attempt, AttemptClass, AttemptOutcome, ObdaError, ObdaSystem, PipelineReport, PreparedOmq,
+    RetryPolicy, Strategy, StrategyGate,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use service::breaker::{BreakerConfig, BreakerSet, CircuitBreaker, Transition};
 pub use service::{
-    PreparedRun, QueryService, RejectReason, ServiceConfig, ServiceReport, ServiceStats,
-    TenantGovernor, TenantPermit, TenantQuota,
+    BrownoutConfig, CostAdmissionConfig, OverloadConfig, PreparedRun, QueryService, RejectReason,
+    ServiceConfig, ServiceReport, ServiceStats, TenantGovernor, TenantPermit, TenantQuota,
+    WatchdogConfig, DEFAULT_TENANT_PRIORITY,
 };
 
 // The persistent snapshot store: build `.obdb` files with

@@ -94,7 +94,7 @@ pub(crate) enum DataSource<'a> {
 /// Deterministic 64-bit mix (splitmix64 finaliser) driving the retry
 /// backoff jitter — no global RNG, so a seeded run backs off identically
 /// every time.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -291,6 +291,35 @@ pub enum ObdaError {
         /// request (zero when a concurrency cap, not the bucket, refused).
         retry_after: std::time::Duration,
     },
+    /// Cost-based admission refused the request *before* evaluation: the
+    /// planner's calibrated estimate of the work exceeds what the
+    /// remaining deadline could absorb, so running it would only burn a
+    /// slot into a guaranteed timeout. Retry with a longer deadline, a
+    /// cheaper query, or after load subsides.
+    CostRejected {
+        /// The planner's total cost estimate (cost-model units).
+        estimated_cost: f64,
+        /// The estimated wall-clock the work would take.
+        estimated: std::time::Duration,
+        /// The deadline allowance that was left at admission time.
+        remaining: std::time::Duration,
+    },
+    /// A circuit breaker is open for `scope` (a strategy or tenant whose
+    /// recent attempts kept failing on budget or panics), so the request
+    /// was refused without burning any budget. Retry after the cooldown.
+    BreakerOpen {
+        /// What the breaker guards: a strategy name or tenant.
+        scope: String,
+        /// Time left until the breaker half-opens for a probe.
+        retry_after: std::time::Duration,
+    },
+    /// The stuck-evaluation watchdog cancelled the request: its budget
+    /// progress counters stopped ticking for the configured window. A
+    /// typed outcome — never a wrong answer, never an aborted process.
+    Stalled {
+        /// How long the evaluation made no observable progress.
+        stalled_for: std::time::Duration,
+    },
 }
 
 impl ObdaError {
@@ -308,6 +337,11 @@ impl ObdaError {
             ObdaError::Internal { .. } => false,
             ObdaError::Overloaded { .. } => false,
             ObdaError::QuotaExceeded { .. } => false,
+            // Admission refusals and watchdog stalls are load-control
+            // verdicts, not "the instance is too big for the budget".
+            ObdaError::CostRejected { .. } => false,
+            ObdaError::BreakerOpen { .. } => false,
+            ObdaError::Stalled { .. } => false,
         }
     }
 
@@ -338,6 +372,29 @@ impl fmt::Display for ObdaError {
                     f,
                     "quota exceeded for tenant '{tenant}': retry after {:.3}s",
                     retry_after.as_secs_f64()
+                )
+            }
+            ObdaError::CostRejected { estimated_cost, estimated, remaining } => {
+                write!(
+                    f,
+                    "cost admission refused: estimated {:.3}s of work (cost {estimated_cost:.0}) \
+                     against {:.3}s of remaining deadline",
+                    estimated.as_secs_f64(),
+                    remaining.as_secs_f64()
+                )
+            }
+            ObdaError::BreakerOpen { scope, retry_after } => {
+                write!(
+                    f,
+                    "circuit breaker open for {scope}: retry after {:.3}s",
+                    retry_after.as_secs_f64()
+                )
+            }
+            ObdaError::Stalled { stalled_for } => {
+                write!(
+                    f,
+                    "evaluation stalled: no progress for {:.3}s, cancelled by the watchdog",
+                    stalled_for.as_secs_f64()
                 )
             }
         }
@@ -414,6 +471,41 @@ pub enum AttemptOutcome {
         /// The panic message, when it was a string payload.
         payload: String,
     },
+    /// The strategy never ran: its circuit breaker was open from recent
+    /// failures, so the ladder degraded past it instead of re-burning
+    /// budget on a strategy that keeps dying.
+    Skipped {
+        /// What the breaker guards (the strategy name).
+        scope: String,
+        /// Time left until the breaker half-opens for a probe.
+        retry_after: Duration,
+    },
+}
+
+/// The breaker-relevant classification of one ladder attempt, reported
+/// through [`StrategyGate::record_strategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptClass {
+    /// The attempt produced answers.
+    Success,
+    /// The attempt burned its budget or died (budget trip, stall,
+    /// panic) — the signal that trips a breaker.
+    Failure,
+    /// Outcomes that say nothing about the strategy's health:
+    /// structural refusals (a per-query property) and injected
+    /// transients (substrate hiccups, retried anyway).
+    Neutral,
+}
+
+/// Consulted by the fallback ladder before and after each strategy: an
+/// open circuit breaker skips the strategy (the ladder records a
+/// [`AttemptOutcome::Skipped`] row and degrades), and every admitted
+/// attempt's outcome feeds back into the breaker state machine.
+pub trait StrategyGate: Sync {
+    /// `Some(retry_after)` skips the strategy; `None` admits it.
+    fn admit_strategy(&self, strategy: Strategy) -> Option<Duration>;
+    /// Reports how an admitted attempt ended.
+    fn record_strategy(&self, strategy: Strategy, class: AttemptClass);
 }
 
 /// A structured account of a fallback run: every strategy attempted, in
@@ -464,6 +556,7 @@ impl PipelineReport {
                 }
                 AttemptOutcome::Transient { .. } => false,
                 AttemptOutcome::Panicked { .. } => false,
+                AttemptOutcome::Skipped { .. } => false,
             })
     }
 
@@ -486,6 +579,9 @@ impl PipelineReport {
             AttemptOutcome::Panicked { site, payload } => {
                 Some(ObdaError::Internal { site: site.clone(), payload: payload.clone() })
             }
+            AttemptOutcome::Skipped { scope, retry_after } => {
+                Some(ObdaError::BreakerOpen { scope: scope.clone(), retry_after: *retry_after })
+            }
         }
     }
 }
@@ -502,6 +598,9 @@ impl fmt::Display for PipelineReport {
                 AttemptOutcome::Transient { site } => format!("transient fault at {site}"),
                 AttemptOutcome::Panicked { site, payload } => {
                     format!("panicked at {site}: {payload}")
+                }
+                AttemptOutcome::Skipped { scope, .. } => {
+                    format!("skipped: circuit breaker open for {scope}")
                 }
             };
             let marker = if Some(i) == self.winner { "*" } else { " " };
@@ -993,6 +1092,26 @@ impl ObdaSystem {
         retry: &RetryPolicy,
         telem: Telemetry<'_>,
     ) -> PipelineReport {
+        self.fallback_ladder_run_gated(query, source, preferred, spec, engine, retry, telem, None)
+    }
+
+    /// [`ObdaSystem::fallback_ladder_run`] consulting a [`StrategyGate`]
+    /// (per-strategy circuit breakers): a rung whose breaker is open is
+    /// recorded as [`AttemptOutcome::Skipped`] and the ladder degrades
+    /// past it without spending any budget; every admitted attempt's
+    /// outcome is fed back to drive the breaker state machine.
+    #[allow(clippy::too_many_arguments)] // internal driver behind the public facades
+    pub(crate) fn fallback_ladder_run_gated(
+        &self,
+        query: &Cq,
+        source: DataSource<'_>,
+        preferred: Strategy,
+        spec: &BudgetSpec,
+        engine: Option<&EngineConfig>,
+        retry: &RetryPolicy,
+        telem: Telemetry<'_>,
+        gate: Option<&dyn StrategyGate>,
+    ) -> PipelineReport {
         let master = spec.start();
         // Loading parsed data into the shared store is itself a faultable
         // step (it exercises the storage insert path); an unwind here
@@ -1044,6 +1163,21 @@ impl ObdaSystem {
         let mut attempts: Vec<Attempt> = Vec::new();
         let mut winner = None;
         'ladder: for strategy in preferred.fallback_ladder() {
+            if let Some(g) = gate {
+                if let Some(retry_after) = g.admit_strategy(strategy) {
+                    attempts.push(Attempt {
+                        strategy,
+                        retry: 0,
+                        outcome: AttemptOutcome::Skipped {
+                            scope: format!("strategy {strategy}"),
+                            retry_after,
+                        },
+                        clauses: None,
+                        duration: Duration::ZERO,
+                    });
+                    continue 'ladder;
+                }
+            }
             let mut retry_no = 0u32;
             let mut backoff = retry.base_backoff;
             loop {
@@ -1079,6 +1213,32 @@ impl ObdaSystem {
                     AttemptOutcome::Panicked { site, payload } => {
                         attempt_span.error(&format!("panicked at {site}: {payload}"));
                     }
+                    // Skipped rows are pushed before the attempt loop runs.
+                    AttemptOutcome::Skipped { .. } => unreachable!("skip happens before attempts"),
+                }
+                if let Some(g) = gate {
+                    let class = match &outcome {
+                        AttemptOutcome::Success(_) => AttemptClass::Success,
+                        AttemptOutcome::EvalFailed(e) => {
+                            if matches!(e, EvalError::Timeout(_) | EvalError::TupleLimit(_)) {
+                                AttemptClass::Failure
+                            } else {
+                                AttemptClass::Neutral
+                            }
+                        }
+                        AttemptOutcome::RewriteFailed(e) => {
+                            if e.is_budget() {
+                                AttemptClass::Failure
+                            } else {
+                                AttemptClass::Neutral
+                            }
+                        }
+                        AttemptOutcome::Panicked { .. } => AttemptClass::Failure,
+                        AttemptOutcome::Transient { .. } | AttemptOutcome::Skipped { .. } => {
+                            AttemptClass::Neutral
+                        }
+                    };
+                    g.record_strategy(strategy, class);
                 }
                 attempt_span.end();
                 attempts.push(Attempt {

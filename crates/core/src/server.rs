@@ -52,10 +52,21 @@
 //! | `Transient` (retries exhausted)             | 503 + `Retry-After`     |
 //! | `Overloaded` (gate)                         | 503 + `Retry-After`     |
 //! | `QuotaExceeded` (tenant)                    | 429 + `Retry-After`     |
+//! | `CostRejected` (admission estimate)         | 429 + `Retry-After`     |
+//! | `BreakerOpen` (strategy or tenant breaker)  | 503 + `Retry-After`     |
+//! | `Stalled` (watchdog cancellation)           | 503 + `Retry-After`     |
+//! | brownout shed (low-priority tenant)         | 503 + `Retry-After`     |
 //! | draining                                    | 503 + `Retry-After`     |
 //! | oversized body / slow read / malformed HTTP | 413 / 408 / 400         |
+//!
+//! `Retry-After` values that stem from a typed refusal carry
+//! deterministic seeded jitter (base + up to 50%), so a herd of
+//! synchronized clients spreads its retries instead of re-spiking the
+//! governor in lockstep. While brownout is active every `/query`
+//! response additionally carries `X-Obda-Degraded: 1`.
 
-use crate::pipeline::{ObdaError, PreparedOmq, Strategy};
+use crate::pipeline::{AttemptClass, ObdaError, PreparedOmq, Strategy};
+use crate::service::breaker::{BreakerConfig, BreakerSet};
 use crate::service::{QueryService, TenantGovernor, TenantQuota};
 use obda_budget::BudgetSpec;
 use obda_store::StorageBackend;
@@ -63,7 +74,7 @@ use obda_telemetry::{metric_suffix, Telemetry};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -106,6 +117,14 @@ pub struct ServerConfig {
     pub drain_timeout: Duration,
     /// Quota applied to tenants never registered explicitly.
     pub default_quota: TenantQuota,
+    /// Per-tenant circuit breakers: a tenant whose requests keep burning
+    /// budget (or stalling) is refused fast instead of re-occupying
+    /// slots. `None` disables.
+    pub tenant_breaker: Option<BreakerConfig>,
+    /// While brownout is active, tenants whose
+    /// [`priority`](TenantGovernor::priority) is *below* this threshold
+    /// are shed with 503. `0` (the default) never sheds.
+    pub shed_priority_below: u8,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +139,8 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             drain_timeout: Duration::from_secs(5),
             default_quota: TenantQuota::unlimited(),
+            tenant_breaker: None,
+            shed_priority_below: 0,
         }
     }
 }
@@ -182,6 +203,12 @@ struct ServerInner {
     stopped: AtomicBool,
     open_conns: AtomicUsize,
     shutdown: (Mutex<bool>, Condvar),
+    /// Per-tenant circuit breakers (when `cfg.tenant_breaker` is set).
+    tenant_breakers: Option<BreakerSet>,
+    /// Monotone salt for the seeded `Retry-After` jitter: each refusal
+    /// draws a fresh position in the jitter stream, so a herd of
+    /// rejected clients gets *different* hints deterministically.
+    retry_salt: AtomicU64,
 }
 
 /// A bound-but-not-yet-serving server: [`Server::bind`] reserves the
@@ -250,6 +277,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let governor = TenantGovernor::new(cfg.default_quota);
         let cache = Mutex::new(PreparedCache::new(cfg.cache_capacity));
+        let tenant_breakers = cfg.tenant_breaker.clone().map(BreakerSet::new);
         let inner = Arc::new(ServerInner {
             service,
             backend,
@@ -260,6 +288,8 @@ impl Server {
             stopped: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
             shutdown: (Mutex::new(false), Condvar::new()),
+            tenant_breakers,
+            retry_salt: AtomicU64::new(0),
         });
         Ok(Server { inner, listener, addr })
     }
@@ -599,13 +629,24 @@ impl HttpOut {
     }
 }
 
-/// `Retry-After` rendering: whole seconds, rounded up, at least 1.
-fn retry_after_secs(d: Duration) -> u64 {
-    (d.as_secs_f64().ceil() as u64).max(1)
+/// Seed of the `Retry-After` jitter stream (xored with a per-refusal
+/// salt so consecutive refusals walk the stream deterministically).
+const RETRY_JITTER_SEED: u64 = 0x0bda_5eed;
+
+/// `Retry-After` rendering with deterministic seeded jitter: the base is
+/// the hint in whole seconds (rounded up, at least 1), plus up to 50%
+/// drawn from a [`splitmix64`](crate::pipeline) stream keyed by `salt`.
+/// A bare ceil would tell every rejected client the same number and
+/// their synchronized retries would re-spike the governor; the jitter
+/// spreads the herd while staying reproducible for tests.
+fn jittered_retry_after(d: Duration, salt: u64) -> u64 {
+    let base = (d.as_secs_f64().ceil() as u64).max(1);
+    base + crate::pipeline::splitmix64(RETRY_JITTER_SEED ^ salt) % (base / 2 + 1)
 }
 
 /// Maps a typed pipeline error onto the documented HTTP status table.
-fn error_response(e: &ObdaError) -> HttpOut {
+/// `salt` positions refusal hints in the `Retry-After` jitter stream.
+fn error_response(e: &ObdaError, salt: u64) -> HttpOut {
     let body = format!("error: {e}\n");
     if e.is_budget() {
         return HttpOut::new(504, "Gateway Timeout", body);
@@ -622,8 +663,16 @@ fn error_response(e: &ObdaError) -> HttpOut {
         }
         ObdaError::QuotaExceeded { retry_after, .. } => {
             HttpOut::new(429, "Too Many Requests", body)
-                .with("Retry-After", retry_after_secs(*retry_after))
+                .with("Retry-After", jittered_retry_after(*retry_after, salt))
         }
+        ObdaError::CostRejected { .. } => HttpOut::new(429, "Too Many Requests", body)
+            .with("Retry-After", jittered_retry_after(Duration::from_secs(1), salt)),
+        ObdaError::BreakerOpen { retry_after, .. } => {
+            HttpOut::new(503, "Service Unavailable", body)
+                .with("Retry-After", jittered_retry_after(*retry_after, salt))
+        }
+        ObdaError::Stalled { .. } => HttpOut::new(503, "Service Unavailable", body)
+            .with("Retry-After", jittered_retry_after(Duration::from_secs(1), salt)),
     }
 }
 
@@ -672,6 +721,7 @@ fn route(inner: &ServerInner, req: &Request) -> HttpOut {
         ("GET", "/explain") => handle_explain(inner, req),
         ("POST", "/query") => handle_query(inner, req),
         ("POST", "/shutdown") => {
+            inner.service.metrics().counter("server_shutdown_requests_total").inc();
             inner.request_shutdown();
             HttpOut::new(202, "Accepted", "draining\n")
         }
@@ -740,10 +790,23 @@ fn prepared_omq(
     Ok(omq)
 }
 
+/// The failures a tenant *caused* — budget exhaustion, cost rejections,
+/// stalls — count against its breaker; infrastructure noise (transients,
+/// injected panics) does not, so chaos testing cannot shed a
+/// well-behaved tenant.
+fn tenant_breaker_class(e: &ObdaError) -> AttemptClass {
+    if e.is_budget() || matches!(e, ObdaError::CostRejected { .. } | ObdaError::Stalled { .. }) {
+        AttemptClass::Failure
+    } else {
+        AttemptClass::Neutral
+    }
+}
+
 fn handle_query(inner: &ServerInner, req: &Request) -> HttpOut {
     let arrival = Instant::now();
     let metrics = inner.service.metrics();
     metrics.counter("server_requests_total").inc();
+    let salt = inner.retry_salt.fetch_add(1, Ordering::Relaxed);
     if inner.draining.load(Ordering::SeqCst) {
         metrics.counter("server_rejected_draining_total").inc();
         return HttpOut::new(503, "Service Unavailable", "error: draining\n")
@@ -752,20 +815,57 @@ fn handle_query(inner: &ServerInner, req: &Request) -> HttpOut {
     let tenant = req.header("x-obda-tenant").unwrap_or("anonymous").to_owned();
     let suffix = metric_suffix(&tenant);
     metrics.counter(&format!("server_requests_total_{suffix}")).inc();
+    let degraded = inner.service.degraded();
+    // Brownout sheds the lowest-priority tenants first: while degraded,
+    // anyone below the threshold is refused before any budget is spent.
+    if degraded && inner.governor.priority(&tenant) < inner.cfg.shed_priority_below {
+        metrics.counter("server_shed_total").inc();
+        metrics.counter(&format!("server_shed_total_{suffix}")).inc();
+        return HttpOut::new(503, "Service Unavailable", "error: shedding low-priority tenants\n")
+            .with("Retry-After", jittered_retry_after(Duration::from_secs(1), salt))
+            .with("X-Obda-Degraded", 1);
+    }
     let timeout = match effective_timeout(req, inner.cfg.max_timeout) {
         Ok(t) => t,
         Err(out) => return out,
     };
-    let strategy = match requested_strategy(req, None) {
+    let mut strategy = match requested_strategy(req, None) {
         Ok(s) => s,
         Err(out) => return out,
     };
+    // Brownout forces the polynomial strategy: the exponential rewriters
+    // are exactly the requests that dig the hole deeper.
+    if degraded && matches!(strategy, Strategy::Ucq | Strategy::PrestoLike) {
+        strategy = Strategy::Tw;
+        metrics.counter("server_brownout_forced_total").inc();
+    }
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return HttpOut::new(400, "Bad Request", "error: body is not UTF-8\n");
     };
     let text = text.trim();
     if text.is_empty() {
         return HttpOut::new(400, "Bad Request", "error: empty query body\n");
+    }
+    // Tenant circuit breaker: a tenant whose requests keep burning their
+    // budget is refused *before* its token bucket is charged — failing
+    // fast here keeps its tokens for when the breaker half-opens.
+    let brk = inner.tenant_breakers.as_ref().map(|set| set.breaker(&tenant));
+    if let Some(b) = &brk {
+        match b.admit(Instant::now()) {
+            Ok(Some(tr)) => {
+                metrics
+                    .counter(&format!("server_tenant_breaker_{}_total_{suffix}", tr.name()))
+                    .inc();
+            }
+            Ok(None) => {}
+            Err(retry_after) => {
+                metrics.counter("server_tenant_breaker_rejected_total").inc();
+                metrics.counter(&format!("server_tenant_breaker_rejected_total_{suffix}")).inc();
+                let e = ObdaError::BreakerOpen { scope: format!("tenant {tenant}"), retry_after };
+                let out = error_response(&e, salt);
+                return if degraded { out.with("X-Obda-Degraded", 1) } else { out };
+            }
+        }
     }
     // Tenant admission: the token bucket charges *before* any expensive
     // work, so a starved tenant cannot occupy a slot, and the permit is
@@ -774,9 +874,13 @@ fn handle_query(inner: &ServerInner, req: &Request) -> HttpOut {
     let _tenant_permit = match inner.governor.admit(&tenant) {
         Ok(p) => p,
         Err(e) => {
+            if let Some(b) = &brk {
+                b.record(AttemptClass::Neutral, Instant::now());
+            }
             metrics.counter("server_rejected_quota_total").inc();
             metrics.counter(&format!("server_rejected_quota_total_{suffix}")).inc();
-            return error_response(&e);
+            let out = error_response(&e, salt);
+            return if degraded { out.with("X-Obda-Degraded", 1) } else { out };
         }
     };
     let deadline = arrival + timeout;
@@ -798,10 +902,19 @@ fn handle_query(inner: &ServerInner, req: &Request) -> HttpOut {
         )
     });
     inflight.add(-1);
+    if let Some(b) = &brk {
+        let class = match &outcome {
+            Ok(_) => AttemptClass::Success,
+            Err(e) => tenant_breaker_class(e),
+        };
+        if let Some(tr) = b.record(class, Instant::now()) {
+            metrics.counter(&format!("server_tenant_breaker_{}_total_{suffix}", tr.name())).inc();
+        }
+    }
     let latency = arrival.elapsed();
     metrics.histogram("server_latency_seconds").observe(latency);
     metrics.histogram(&format!("server_latency_seconds_{suffix}")).observe(latency);
-    match outcome {
+    let out = match outcome {
         Ok(run) => {
             let mut body = String::new();
             for tuple in &run.result.answers {
@@ -819,8 +932,13 @@ fn handle_query(inner: &ServerInner, req: &Request) -> HttpOut {
         }
         Err(e) => {
             metrics.counter("server_errors_total").inc();
-            error_response(&e)
+            error_response(&e, salt)
         }
+    };
+    if degraded {
+        out.with("X-Obda-Degraded", 1)
+    } else {
+        out
     }
 }
 
@@ -862,7 +980,7 @@ fn handle_explain(inner: &ServerInner, req: &Request) -> HttpOut {
     });
     match outcome {
         Ok(body) => HttpOut::new(200, "OK", body),
-        Err(e) => error_response(&e),
+        Err(e) => error_response(&e, inner.retry_salt.fetch_add(1, Ordering::Relaxed)),
     }
 }
 
@@ -1008,16 +1126,54 @@ mod tests {
             tenant: "t".into(),
             retry_after: Duration::from_millis(1500),
         };
-        let out = error_response(&quota);
+        let out = error_response(&quota, 0);
         assert_eq!(out.status, 429);
-        assert_eq!(out.extra, vec![("Retry-After".to_owned(), "2".to_owned())]);
+        // Base ceil(1.5s) = 2, plus seeded jitter of at most 50%.
+        let hint: u64 = out.extra[0].1.parse().unwrap();
+        assert_eq!(out.extra[0].0, "Retry-After");
+        assert!((2..=3).contains(&hint), "jittered hint out of range: {hint}");
         let overload = ObdaError::Overloaded { active: 1, queued: 0 };
-        assert_eq!(error_response(&overload).status, 503);
+        assert_eq!(error_response(&overload, 0).status, 503);
         let internal = ObdaError::Internal { site: "x".into(), payload: "y".into() };
-        assert_eq!(error_response(&internal).status, 500);
+        assert_eq!(error_response(&internal, 0).status, 500);
         let transient = ObdaError::Transient { site: "x".into() };
-        let out = error_response(&transient);
+        let out = error_response(&transient, 0);
         assert_eq!(out.status, 503);
         assert!(out.extra.iter().any(|(k, _)| k == "Retry-After"));
+        let cost = ObdaError::CostRejected {
+            estimated_cost: 10.0,
+            estimated: Duration::from_secs(3),
+            remaining: Duration::from_millis(10),
+        };
+        let out = error_response(&cost, 0);
+        assert_eq!(out.status, 429);
+        assert!(out.extra.iter().any(|(k, _)| k == "Retry-After"));
+        let breaker = ObdaError::BreakerOpen {
+            scope: "tenant t".into(),
+            retry_after: Duration::from_secs(4),
+        };
+        let out = error_response(&breaker, 0);
+        assert_eq!(out.status, 503);
+        let hint: u64 = out.extra[0].1.parse().unwrap();
+        assert!((4..=6).contains(&hint), "base 4 + up to 50%: {hint}");
+        let stalled = ObdaError::Stalled { stalled_for: Duration::from_secs(2) };
+        let out = error_response(&stalled, 0);
+        assert_eq!(out.status, 503);
+        assert!(out.extra.iter().any(|(k, _)| k == "Retry-After"));
+    }
+
+    #[test]
+    fn retry_after_jitter_is_deterministic_and_spreads_the_herd() {
+        let d = Duration::from_millis(1500); // base = ceil(1.5) = 2
+        let hint = jittered_retry_after(d, 7);
+        assert_eq!(hint, jittered_retry_after(d, 7), "same salt → same hint");
+        assert!((2..=3).contains(&hint));
+        // Different salts must not all agree — that lockstep is the bug
+        // this jitter fixes.
+        let spread: std::collections::HashSet<u64> =
+            (0..16).map(|salt| jittered_retry_after(d, salt)).collect();
+        assert!(spread.len() > 1, "sixteen salts all in lockstep: {spread:?}");
+        // Sub-second hints floor at 1 with no room to jitter (base/2 = 0).
+        assert_eq!(jittered_retry_after(Duration::from_millis(10), 3), 1);
     }
 }

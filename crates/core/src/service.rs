@@ -17,18 +17,22 @@
 //! is bounded by the request's own wall-clock deadline, so a queued
 //! request can never outlive the budget it would run under.
 
+pub mod breaker;
+
 use crate::pipeline::{
-    DataSource, ObdaError, ObdaSystem, PipelineReport, PreparedOmq, RetryPolicy, Strategy,
+    AttemptClass, DataSource, ObdaError, ObdaSystem, PipelineReport, PreparedOmq, RetryPolicy,
+    Strategy, StrategyGate,
 };
-use obda_budget::BudgetSpec;
+use breaker::{BreakerConfig, BreakerSet};
+use obda_budget::{BudgetSpec, ProgressMeter};
 use obda_cq::query::Cq;
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::eval::EvalResult;
 use obda_owlql::abox::DataInstance;
 use obda_store::StorageBackend;
-use obda_telemetry::{MetricsRegistry, Telemetry};
+use obda_telemetry::{Ewma, MetricsRegistry, Telemetry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -43,6 +47,103 @@ fn strategy_key(s: Strategy) -> &'static str {
         Strategy::TwUcq => "tw_ucq",
         Strategy::PrestoLike => "presto_like",
         Strategy::Adaptive => "adaptive",
+    }
+}
+
+/// Cost-based admission control: calibrate plan-cost units against
+/// observed wall time and refuse requests whose estimated work cannot
+/// fit their remaining deadline (typed [`ObdaError::CostRejected`]).
+#[derive(Debug, Clone)]
+pub struct CostAdmissionConfig {
+    /// Completed calibration samples required before anything is
+    /// refused — a cold model admits everything.
+    pub min_samples: u64,
+    /// Refuse when the estimate exceeds `headroom ×` the remaining
+    /// deadline; values above 1 tolerate estimation error in the
+    /// request's favour.
+    pub headroom: f64,
+    /// EWMA smoothing factor for the seconds-per-cost-unit calibration.
+    pub alpha: f64,
+}
+
+impl Default for CostAdmissionConfig {
+    fn default() -> Self {
+        CostAdmissionConfig { min_samples: 16, headroom: 2.0, alpha: 0.2 }
+    }
+}
+
+/// Brownout mode: when the queue-wait EWMA crosses `queue_high` the
+/// service degrades gracefully — per-attempt wall budgets shrink by
+/// `budget_factor`, and the embedding server may force polynomial
+/// strategies and shed low-priority tenants — instead of queueing into a
+/// timeout storm. Hysteresis: brownout exits only when the EWMA falls
+/// below `queue_high × exit_factor`.
+#[derive(Debug, Clone)]
+pub struct BrownoutConfig {
+    /// Queue-wait EWMA watermark that enters brownout.
+    pub queue_high: Duration,
+    /// Exit watermark as a fraction of `queue_high` (hysteresis).
+    pub exit_factor: f64,
+    /// Multiplier applied to per-attempt wall budgets while degraded.
+    pub budget_factor: f64,
+    /// EWMA smoothing factor for the queue-wait signal.
+    pub alpha: f64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            queue_high: Duration::from_millis(250),
+            exit_factor: 0.5,
+            budget_factor: 0.5,
+            alpha: 0.2,
+        }
+    }
+}
+
+/// The stuck-evaluation watchdog: a background thread that cancels
+/// evaluations whose progress counters stop ticking (the cancellation
+/// poisons the budget, first trip wins — a typed error, never an abort).
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Cancel an evaluation whose progress counter has not moved for
+    /// this long.
+    pub stall_after: Duration,
+    /// Watchdog poll interval.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig { stall_after: Duration::from_secs(2), poll: Duration::from_millis(50) }
+    }
+}
+
+/// The overload-control switchboard: each mechanism is independently
+/// optional and `None` disables it. The all-`None` default keeps the
+/// library behaviour identical to a service without overload control;
+/// `obda serve` runs [`OverloadConfig::enabled`].
+#[derive(Debug, Clone, Default)]
+pub struct OverloadConfig {
+    /// Per-strategy circuit breakers (prepared path and fallback ladder).
+    pub breaker: Option<BreakerConfig>,
+    /// Cost-based admission against the remaining deadline.
+    pub cost: Option<CostAdmissionConfig>,
+    /// Brownout degradation on queue pressure.
+    pub brownout: Option<BrownoutConfig>,
+    /// Stuck-evaluation watchdog.
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+impl OverloadConfig {
+    /// Every mechanism on, with default tuning.
+    pub fn enabled() -> Self {
+        OverloadConfig {
+            breaker: Some(BreakerConfig::default()),
+            cost: Some(CostAdmissionConfig::default()),
+            brownout: Some(BrownoutConfig::default()),
+            watchdog: Some(WatchdogConfig::default()),
+        }
     }
 }
 
@@ -62,6 +163,9 @@ pub struct ServiceConfig {
     /// Engine configuration for evaluation stages; `None` runs the
     /// sequential evaluator.
     pub engine: Option<EngineConfig>,
+    /// Adaptive overload control (breakers, cost admission, brownout,
+    /// watchdog); everything off by default.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +176,7 @@ impl Default for ServiceConfig {
             budget: BudgetSpec::unlimited(),
             retry: RetryPolicy::default(),
             engine: None,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -283,6 +388,266 @@ impl Gate {
     }
 }
 
+/// Adaptive plan-cost calibration: an EWMA of observed seconds per
+/// cost-model unit over successful requests, consulted at admission to
+/// turn a plan's [`total_cost`](obda_ndl::planner::QueryPlan::total_cost)
+/// into a wall-time estimate.
+#[derive(Debug)]
+struct CostModel {
+    cfg: CostAdmissionConfig,
+    secs_per_unit: Ewma,
+    samples: AtomicU64,
+}
+
+impl CostModel {
+    fn new(cfg: CostAdmissionConfig) -> Self {
+        let alpha = cfg.alpha;
+        CostModel { cfg, secs_per_unit: Ewma::new(alpha), samples: AtomicU64::new(0) }
+    }
+
+    /// Folds one completed request into the calibration.
+    fn observe(&self, cost: f64, latency: Duration) {
+        if cost > 0.0 {
+            self.secs_per_unit.observe(latency.as_secs_f64() / cost);
+            self.samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Estimated wall time for a plan of the given cost; `None` while
+    /// the model is cold (under `min_samples` calibration points).
+    fn estimate(&self, cost: f64) -> Option<Duration> {
+        if self.samples.load(Ordering::Relaxed) < self.cfg.min_samples {
+            return None;
+        }
+        let secs = cost.max(0.0) * self.secs_per_unit.get()?;
+        Some(Duration::from_secs_f64(secs.min(3600.0)))
+    }
+}
+
+/// The brownout latch: a queue-wait EWMA against a watermark, with
+/// hysteresis so the service doesn't flap at the boundary.
+#[derive(Debug)]
+struct Brownout {
+    cfg: BrownoutConfig,
+    wait: Ewma,
+    degraded: AtomicBool,
+}
+
+impl Brownout {
+    fn new(cfg: BrownoutConfig) -> Self {
+        let alpha = cfg.alpha;
+        Brownout { cfg, wait: Ewma::new(alpha), degraded: AtomicBool::new(false) }
+    }
+
+    /// Folds one queue wait into the EWMA, flips the latch when a
+    /// watermark is crossed (booking the transition as metrics), and
+    /// returns whether the service is degraded now.
+    fn observe(&self, queue_wait: Duration, metrics: &MetricsRegistry) -> bool {
+        self.wait.observe(queue_wait.as_secs_f64());
+        let avg = self.wait.get().unwrap_or(0.0);
+        let high = self.cfg.queue_high.as_secs_f64();
+        let was = self.degraded.load(Ordering::Relaxed);
+        let now = if was { avg > high * self.cfg.exit_factor } else { avg >= high };
+        if now != was && self.degraded.swap(now, Ordering::Relaxed) == was {
+            let booked = if now {
+                "service_brownout_entered_total"
+            } else {
+                "service_brownout_exited_total"
+            };
+            metrics.counter(booked).inc();
+            metrics.gauge("service_brownout").set(i64::from(now));
+        }
+        now
+    }
+
+    fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+}
+
+/// One evaluation watched for forward progress.
+struct WatchEntry {
+    id: u64,
+    meter: Arc<ProgressMeter>,
+    last_progress: u64,
+    last_change: Instant,
+}
+
+struct WatchShared {
+    cfg: WatchdogConfig,
+    entries: Mutex<Vec<WatchEntry>>,
+    next_id: AtomicU64,
+    stop: AtomicBool,
+    wake: Condvar,
+}
+
+/// The stuck-evaluation watchdog thread. Evaluations register their
+/// [`ProgressMeter`] for the duration of an attempt (RAII
+/// [`WatchGuard`]); the thread polls every [`WatchdogConfig::poll`] and
+/// cancels any meter that hasn't moved for
+/// [`WatchdogConfig::stall_after`] — cancellation poisons the budget at
+/// its next check (first trip wins), so the evaluation unwinds through
+/// the normal typed-error path, never an abort.
+struct Watchdog {
+    shared: Arc<WatchShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// RAII registration of one meter with the watchdog; dropping it (on any
+/// exit path) stops the watching.
+struct WatchGuard {
+    shared: Arc<WatchShared>,
+    id: u64,
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        locked(&self.shared.entries).retain(|e| e.id != self.id);
+    }
+}
+
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Watchdog {
+    fn new(cfg: WatchdogConfig) -> Self {
+        let cfg = WatchdogConfig {
+            stall_after: cfg.stall_after.max(Duration::from_millis(1)),
+            poll: cfg.poll.max(Duration::from_millis(1)),
+        };
+        let shared = Arc::new(WatchShared {
+            cfg,
+            entries: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("obda-watchdog".to_owned())
+            .spawn(move || Watchdog::run(&thread_shared))
+            .ok();
+        Watchdog { shared, handle }
+    }
+
+    fn run(shared: &WatchShared) {
+        let mut guard = locked(&shared.entries);
+        loop {
+            if shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let now = Instant::now();
+            for e in guard.iter_mut() {
+                let p = e.meter.progress();
+                if p != e.last_progress {
+                    e.last_progress = p;
+                    e.last_change = now;
+                    continue;
+                }
+                let idle = now.saturating_duration_since(e.last_change);
+                if idle >= shared.cfg.stall_after {
+                    e.meter.cancel_stalled(idle);
+                }
+            }
+            let (g, _timed_out) = shared
+                .wake
+                .wait_timeout(guard, shared.cfg.poll)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+    }
+
+    fn register(&self, meter: &Arc<ProgressMeter>) -> WatchGuard {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        locked(&self.shared.entries).push(WatchEntry {
+            id,
+            meter: Arc::clone(meter),
+            last_progress: meter.progress(),
+            last_change: Instant::now(),
+        });
+        WatchGuard { shared: Arc::clone(&self.shared), id }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The overload-control runtime built from an [`OverloadConfig`].
+struct OverloadState {
+    strategy_breakers: Option<BreakerSet>,
+    cost: Option<CostModel>,
+    brownout: Option<Brownout>,
+    watchdog: Option<Watchdog>,
+}
+
+impl OverloadState {
+    fn new(cfg: &OverloadConfig) -> Self {
+        OverloadState {
+            strategy_breakers: cfg.breaker.clone().map(BreakerSet::new),
+            cost: cfg.cost.clone().map(CostModel::new),
+            brownout: cfg.brownout.clone().map(Brownout::new),
+            watchdog: cfg.watchdog.clone().map(Watchdog::new),
+        }
+    }
+}
+
+/// Books one breaker transition as a per-scope counter.
+fn book_transition(metrics: &MetricsRegistry, key: &str, tr: breaker::Transition) {
+    metrics.counter(&format!("service_breaker_{}_total_{key}", tr.name())).inc();
+}
+
+/// The failure classes that trip a *strategy* breaker: budget
+/// exhaustion, stalls, and panics — evidence the strategy itself is
+/// unhealthy on this workload. Transient faults and semantic errors are
+/// neutral.
+fn breaker_class(e: &ObdaError) -> AttemptClass {
+    if e.is_budget() || matches!(e, ObdaError::Stalled { .. } | ObdaError::Internal { .. }) {
+        AttemptClass::Failure
+    } else {
+        AttemptClass::Neutral
+    }
+}
+
+/// Adapter presenting a [`BreakerSet`] to the fallback ladder as its
+/// [`StrategyGate`], booking transitions as metrics along the way.
+struct LadderGate<'a> {
+    set: &'a BreakerSet,
+    metrics: &'a MetricsRegistry,
+}
+
+impl StrategyGate for LadderGate<'_> {
+    fn admit_strategy(&self, strategy: Strategy) -> Option<Duration> {
+        let key = strategy_key(strategy);
+        match self.set.breaker(key).admit(Instant::now()) {
+            Ok(transition) => {
+                if let Some(tr) = transition {
+                    book_transition(self.metrics, key, tr);
+                }
+                None
+            }
+            Err(retry_after) => {
+                self.metrics.counter(&format!("service_breaker_skipped_total_{key}")).inc();
+                Some(retry_after)
+            }
+        }
+    }
+
+    fn record_strategy(&self, strategy: Strategy, class: AttemptClass) {
+        let key = strategy_key(strategy);
+        if let Some(tr) = self.set.breaker(key).record(class, Instant::now()) {
+            book_transition(self.metrics, key, tr);
+        }
+    }
+}
+
 /// A concurrency-limited, panic-isolated query-answering service.
 ///
 /// ```
@@ -307,11 +672,13 @@ pub struct QueryService {
     rejected_deadline: AtomicU64,
     rejected_draining: AtomicU64,
     metrics: MetricsRegistry,
+    overload: OverloadState,
 }
 
 impl QueryService {
     /// Builds a service over `system` with the given gate configuration.
     pub fn new(system: ObdaSystem, cfg: ServiceConfig) -> Self {
+        let overload = OverloadState::new(&cfg.overload);
         QueryService {
             system,
             cfg,
@@ -323,7 +690,14 @@ impl QueryService {
             rejected_deadline: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
             metrics: MetricsRegistry::new(),
+            overload,
         }
+    }
+
+    /// Whether brownout mode is active (the queue-wait EWMA is above the
+    /// configured watermark); always `false` when brownout is off.
+    pub fn degraded(&self) -> bool {
+        self.overload.brownout.as_ref().is_some_and(Brownout::degraded)
     }
 
     /// The service's metrics registry: queue-wait and per-strategy latency
@@ -432,6 +806,48 @@ impl QueryService {
         let metrics = telem.metrics.unwrap_or(&self.metrics);
         let arrival = Instant::now();
         let deadline = spec.timeout.map(|t| arrival + t);
+        let skey = strategy_key(omq.strategy());
+        // Circuit breaker first: a strategy that keeps dying on this
+        // workload fails fast, before any queueing or planning.
+        let brk = self.overload.strategy_breakers.as_ref().map(|set| set.breaker(skey));
+        if let Some(b) = &brk {
+            match b.admit(arrival) {
+                Ok(Some(tr)) => book_transition(metrics, skey, tr),
+                Ok(None) => {}
+                Err(retry_after) => {
+                    metrics.counter(&format!("service_breaker_skipped_total_{skey}")).inc();
+                    return Err(ObdaError::BreakerOpen {
+                        scope: format!("strategy {}", omq.strategy()),
+                        retry_after,
+                    });
+                }
+            }
+        }
+        // From here the breaker admitted us: every early exit must report
+        // back (Neutral when the request never actually ran).
+        // Cost admission: refuse work the calibrated model says cannot fit
+        // the remaining deadline, instead of burning a slot to time out.
+        let plan_cost = self
+            .overload
+            .cost
+            .as_ref()
+            .and_then(|_| omq.query_plan(backend.database()).total_cost());
+        if let (Some(model), Some(cost), Some(d)) = (&self.overload.cost, plan_cost, deadline) {
+            if let Some(estimated) = model.estimate(cost) {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if estimated > remaining.mul_f64(model.cfg.headroom) {
+                    metrics.counter("service_cost_rejected_total").inc();
+                    if let Some(b) = &brk {
+                        b.record(AttemptClass::Neutral, Instant::now());
+                    }
+                    return Err(ObdaError::CostRejected {
+                        estimated_cost: cost,
+                        estimated,
+                        remaining,
+                    });
+                }
+            }
+        }
         let qspan = telem.span("queue_wait");
         let permit = match self.gate.acquire(self.cfg.max_concurrency, self.cfg.max_queue, deadline)
         {
@@ -444,27 +860,63 @@ impl QueryService {
                     "admission refused ({reason:?}): {} active, {} queued",
                     seen.active, seen.queued
                 ));
+                if let Some(b) = &brk {
+                    b.record(AttemptClass::Neutral, Instant::now());
+                }
                 return Err(self.book_rejection(seen, reason, metrics));
             }
         };
         self.publish_load(metrics);
         let queue_wait = arrival.elapsed();
         metrics.histogram("service_queue_wait_seconds").observe(queue_wait);
+        let degraded = match &self.overload.brownout {
+            Some(b) => b.observe(queue_wait, metrics),
+            None => false,
+        };
+        let budget_factor =
+            self.overload.brownout.as_ref().map_or(1.0, |b| b.cfg.budget_factor.clamp(0.01, 1.0));
         let engine = self.cfg.engine.clone().unwrap_or_default();
         let mut retries = 0u32;
         let mut backoff = self.cfg.retry.base_backoff;
         let outcome = loop {
             // The request's wall clock keeps running across queue wait and
             // retries: every attempt gets the *remaining* allowance, never
-            // a fresh one.
+            // a fresh one. Brownout shrinks that allowance further so a
+            // degraded service turns work away early instead of late.
             let mut attempt_spec = *spec;
             if let Some(d) = deadline {
-                attempt_spec.timeout = Some(d.saturating_duration_since(Instant::now()));
+                let mut remaining = d.saturating_duration_since(Instant::now());
+                if degraded {
+                    remaining = remaining.mul_f64(budget_factor);
+                }
+                attempt_spec.timeout = Some(remaining);
             }
+            let meter = self.overload.watchdog.as_ref().map(|w| {
+                let m = Arc::new(ProgressMeter::new());
+                (w.register(&m), m)
+            });
             let attempt = crate::pipeline::isolate("service::prepared", || {
                 let mut budget = attempt_spec.start();
+                if let Some((_guard, m)) = &meter {
+                    budget = budget.with_meter(Arc::clone(m));
+                }
                 Ok(omq.execute_engine_traced(backend.database(), &mut budget, &engine, telem)?)
             });
+            // A budget-class failure on a watchdog-cancelled meter is the
+            // stall surfacing: convert it to the typed outcome.
+            let attempt = match attempt {
+                Err(e)
+                    if e.is_budget() && meter.as_ref().is_some_and(|(_, m)| m.is_cancelled()) =>
+                {
+                    metrics.counter("service_watchdog_stalls_total").inc();
+                    let stalled_for = meter
+                        .as_ref()
+                        .map(|(_, m)| Duration::from_millis(m.stalled_error().spent))
+                        .unwrap_or_default();
+                    Err(ObdaError::Stalled { stalled_for })
+                }
+                other => other,
+            };
             match attempt {
                 Err(e)
                     if e.is_transient()
@@ -484,8 +936,20 @@ impl QueryService {
             metrics.counter("service_transient_retries_total").add(u64::from(retries));
         }
         let latency = arrival.elapsed();
+        if let Some(b) = &brk {
+            let class = match &outcome {
+                Ok(_) => AttemptClass::Success,
+                Err(e) => breaker_class(e),
+            };
+            if let Some(tr) = b.record(class, Instant::now()) {
+                book_transition(metrics, skey, tr);
+            }
+        }
         match outcome {
             Ok(result) => {
+                if let (Some(model), Some(cost)) = (&self.overload.cost, plan_cost) {
+                    model.observe(cost, latency);
+                }
                 self.succeeded.fetch_add(1, Ordering::Relaxed);
                 metrics.histogram("service_latency_seconds").observe(latency);
                 metrics
@@ -643,17 +1107,30 @@ impl QueryService {
         self.publish_load(metrics);
         let queue_wait = arrival.elapsed();
         metrics.histogram("service_queue_wait_seconds").observe(queue_wait);
+        let degraded = match &self.overload.brownout {
+            Some(b) => b.observe(queue_wait, metrics),
+            None => false,
+        };
+        let mut budget_spec = self.cfg.budget;
+        if degraded {
+            if let (Some(t), Some(b)) = (budget_spec.timeout, &self.overload.brownout) {
+                budget_spec.timeout = Some(t.mul_f64(b.cfg.budget_factor.clamp(0.01, 1.0)));
+            }
+        }
+        let ladder_gate =
+            self.overload.strategy_breakers.as_ref().map(|set| LadderGate { set, metrics });
         // The ladder isolates each attempt itself; this outer boundary is
         // the per-request backstop so nothing can unwind past the permit.
         let report = crate::pipeline::isolate("service::request", || {
-            Ok(self.system.fallback_ladder_run(
+            Ok(self.system.fallback_ladder_run_gated(
                 query,
                 source,
                 strategy,
-                &self.cfg.budget,
+                &budget_spec,
                 self.cfg.engine.as_ref(),
                 &self.cfg.retry,
                 telem,
+                ladder_gate.as_ref().map(|g| g as &dyn StrategyGate),
             ))
         })?;
         drop(permit);
@@ -740,7 +1217,12 @@ impl Drop for TenantPermit {
 pub struct TenantGovernor {
     tenants: RwLock<HashMap<String, Arc<TenantState>>>,
     default_quota: TenantQuota,
+    priorities: RwLock<HashMap<String, u8>>,
 }
+
+/// The brownout-shedding priority applied to tenants that were never
+/// given one with [`TenantGovernor::set_priority`].
+pub const DEFAULT_TENANT_PRIORITY: u8 = 1;
 
 impl Default for TenantGovernor {
     fn default() -> Self {
@@ -752,7 +1234,32 @@ impl TenantGovernor {
     /// A governor applying `default_quota` to tenants not explicitly
     /// registered with [`TenantGovernor::set_quota`].
     pub fn new(default_quota: TenantQuota) -> Self {
-        TenantGovernor { tenants: RwLock::new(HashMap::new()), default_quota }
+        TenantGovernor {
+            tenants: RwLock::new(HashMap::new()),
+            default_quota,
+            priorities: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registers `tenant`'s brownout-shedding priority: while the
+    /// service is degraded, the server refuses tenants whose priority
+    /// falls below its shedding threshold. Higher keeps service longer.
+    pub fn set_priority(&self, tenant: &str, priority: u8) {
+        self.priorities
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(tenant.to_owned(), priority);
+    }
+
+    /// The priority applied to `tenant`
+    /// ([`DEFAULT_TENANT_PRIORITY`] when never registered).
+    pub fn priority(&self, tenant: &str) -> u8 {
+        self.priorities
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(tenant)
+            .copied()
+            .unwrap_or(DEFAULT_TENANT_PRIORITY)
     }
 
     /// Registers (or replaces) `tenant`'s quota. The bucket starts full.
@@ -1109,5 +1616,167 @@ mod tests {
         assert_eq!(svc.stats().succeeded, 8);
         let (active, queued) = svc.load();
         assert_eq!((active, queued), (0, 0));
+    }
+
+    #[test]
+    fn strategy_breaker_fails_fast_on_the_prepared_path() {
+        use obda_store::MemoryBackend;
+        let svc = service(ServiceConfig {
+            overload: OverloadConfig {
+                breaker: Some(breaker::BreakerConfig {
+                    window: 2,
+                    threshold: 1,
+                    cooldown: Duration::from_secs(60),
+                    probes: 1,
+                    seed: 1,
+                }),
+                ..OverloadConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let q = svc.system().parse_query("q(x) :- teaches(x, y), Course(y)").unwrap();
+        let id = svc.prepare(&q, Strategy::Tw).unwrap();
+        let omq = svc.prepared(id).unwrap();
+        let backend = MemoryBackend::new(svc.system().parse_data("Professor(ada)").unwrap());
+        // A zero-tuple allowance trips the budget on the first derived
+        // tuple; one failure in a window of two crosses the threshold.
+        let strict = BudgetSpec { max_tuples: Some(0), ..BudgetSpec::unlimited() };
+        let err = svc
+            .execute_prepared_backend_traced(&omq, &backend, &strict, Telemetry::disabled())
+            .unwrap_err();
+        assert!(err.is_budget(), "{err}");
+        // The breaker is now open: the next request fails fast with the
+        // typed refusal, without burning a slot.
+        let err = svc
+            .execute_prepared_backend_traced(
+                &omq,
+                &backend,
+                &BudgetSpec::unlimited(),
+                Telemetry::disabled(),
+            )
+            .unwrap_err();
+        match err {
+            ObdaError::BreakerOpen { scope, retry_after } => {
+                assert_eq!(scope, "strategy Tw");
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected BreakerOpen, got {other}"),
+        }
+        assert_eq!(svc.metrics().counter("service_breaker_opened_total_tw").get(), 1);
+        assert_eq!(svc.metrics().counter("service_breaker_skipped_total_tw").get(), 1);
+    }
+
+    #[test]
+    fn cost_admission_sheds_expensive_requests_once_calibrated() {
+        use obda_store::MemoryBackend;
+        let svc = service(ServiceConfig {
+            overload: OverloadConfig {
+                cost: Some(CostAdmissionConfig { min_samples: 1, headroom: 1.0, alpha: 1.0 }),
+                ..OverloadConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let q = svc.system().parse_query("q(x) :- teaches(x, y), Course(y)").unwrap();
+        let id = svc.prepare(&q, Strategy::Tw).unwrap();
+        let omq = svc.prepared(id).unwrap();
+        let data = (0..64).map(|i| format!("Professor(p{i})")).collect::<Vec<_>>().join("\n");
+        let backend = MemoryBackend::new(svc.system().parse_data(&data).unwrap());
+        // Calibration: one successful run with no deadline teaches the
+        // model this plan's seconds-per-cost-unit.
+        svc.execute_prepared_backend_traced(
+            &omq,
+            &backend,
+            &BudgetSpec::unlimited(),
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        // A one-nanosecond deadline cannot fit the calibrated estimate:
+        // the request is shed before queueing, typed.
+        let strict =
+            BudgetSpec { timeout: Some(Duration::from_nanos(1)), ..BudgetSpec::unlimited() };
+        let err = svc
+            .execute_prepared_backend_traced(&omq, &backend, &strict, Telemetry::disabled())
+            .unwrap_err();
+        match err {
+            ObdaError::CostRejected { estimated_cost, estimated, remaining } => {
+                assert!(estimated_cost > 0.0);
+                assert!(estimated > remaining);
+            }
+            other => panic!("expected CostRejected, got {other}"),
+        }
+        assert_eq!(svc.metrics().counter("service_cost_rejected_total").get(), 1);
+    }
+
+    #[test]
+    fn brownout_latch_has_hysteresis_between_the_watermarks() {
+        let b = Brownout::new(BrownoutConfig {
+            queue_high: Duration::from_millis(100),
+            exit_factor: 0.5,
+            budget_factor: 0.5,
+            alpha: 1.0, // the EWMA is exactly the last sample
+        });
+        let metrics = MetricsRegistry::new();
+        assert!(!b.observe(Duration::from_millis(50), &metrics));
+        // At the watermark: enter.
+        assert!(b.observe(Duration::from_millis(100), &metrics));
+        // Below the entry watermark but above the exit one: stay degraded.
+        assert!(b.observe(Duration::from_millis(60), &metrics));
+        // At the exit watermark (high × exit_factor): recover.
+        assert!(!b.observe(Duration::from_millis(50), &metrics));
+        assert_eq!(metrics.counter("service_brownout_entered_total").get(), 1);
+        assert_eq!(metrics.counter("service_brownout_exited_total").get(), 1);
+    }
+
+    #[test]
+    fn brownout_degrades_the_service_on_queue_pressure() {
+        // A zero watermark means the first observed queue wait (always
+        // > 0) enters brownout, and a zero exit factor pins it there —
+        // the deterministic way to observe the latch end to end.
+        let svc = service(ServiceConfig {
+            overload: OverloadConfig {
+                brownout: Some(BrownoutConfig {
+                    queue_high: Duration::ZERO,
+                    exit_factor: 0.0,
+                    budget_factor: 1.0,
+                    alpha: 1.0,
+                }),
+                ..OverloadConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        assert!(!svc.degraded());
+        let q = svc.system().parse_query("q(x) :- teaches(x, y), Course(y)").unwrap();
+        let id = svc.prepare(&q, Strategy::Tw).unwrap();
+        let data = svc.system().parse_data("Professor(ada)").unwrap();
+        assert!(svc.submit(id, &data).unwrap().is_success());
+        assert!(svc.degraded());
+        assert_eq!(svc.metrics().counter("service_brownout_entered_total").get(), 1);
+        assert_eq!(svc.metrics().gauge("service_brownout").get(), 1);
+    }
+
+    #[test]
+    fn watchdog_cancels_idle_meters_but_not_progressing_ones() {
+        let state = OverloadState::new(&OverloadConfig {
+            watchdog: Some(WatchdogConfig {
+                stall_after: Duration::from_millis(50),
+                poll: Duration::from_millis(5),
+            }),
+            ..OverloadConfig::default()
+        });
+        let watchdog = state.watchdog.as_ref().unwrap();
+        let idle = Arc::new(ProgressMeter::new());
+        let busy = Arc::new(ProgressMeter::new());
+        let _idle_guard = watchdog.register(&idle);
+        let _busy_guard = watchdog.register(&busy);
+        // 200 ms of life: the busy meter advances every 10 ms (well
+        // under the 50 ms stall window), the idle one never does.
+        for _ in 0..20 {
+            std::thread::sleep(Duration::from_millis(10));
+            busy.bump(1);
+        }
+        assert!(idle.is_cancelled(), "an idle meter must be cancelled");
+        assert!(!busy.is_cancelled(), "a progressing meter must survive");
+        // The cancelled meter reports how long it sat idle.
+        assert!(idle.stalled_error().spent >= 50);
     }
 }

@@ -95,6 +95,28 @@ pub struct QueryPlan {
     pub costed: bool,
 }
 
+impl QueryPlan {
+    /// The plan's total estimated work in cost-model units (row accesses
+    /// plus emitted rows, summed over every plannable clause) — the
+    /// admission-control signal: callers calibrate observed latency per
+    /// unit and refuse requests whose estimate cannot fit the remaining
+    /// deadline. `None` when the plan fell back to the syntactic order
+    /// (no statistics, or a recursive program), whose costs are not
+    /// comparable across queries.
+    pub fn total_cost(&self) -> Option<f64> {
+        if !self.costed {
+            return None;
+        }
+        let total: f64 = self
+            .clauses
+            .iter()
+            .filter_map(|c| c.as_ref().ok())
+            .map(|p| if p.costed { p.cost + p.est_out } else { 0.0 })
+            .sum();
+        total.is_finite().then_some(total)
+    }
+}
+
 /// Total query plans built in this process (monotone; tests assert
 /// caching with it).
 static PLANS_BUILT: AtomicUsize = AtomicUsize::new(0);
@@ -540,6 +562,18 @@ mod tests {
         let syn = syntactic_plan(&q.program.clauses()[ci]).unwrap();
         assert_eq!(syn.order, vec![1, 0]);
         assert!(!syn.costed);
+    }
+
+    #[test]
+    fn total_cost_sums_costed_clauses_and_refuses_syntactic_plans() {
+        let (q, db, ci) = skew_setup();
+        let plan = plan_query(&q, &db);
+        let jp = plan.clauses[ci].as_ref().unwrap();
+        let total = plan.total_cost().expect("costed plan must report work");
+        assert!(total > 0.0);
+        assert_eq!(total, jp.cost + jp.est_out);
+        let syn = syntactic_query_plan(&q);
+        assert_eq!(syn.total_cost(), None);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 pub mod metrics;
 
-pub use metrics::{metric_suffix, Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{metric_suffix, Counter, Ewma, Gauge, Histogram, MetricsRegistry};
 
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};

@@ -60,6 +60,73 @@ impl Gauge {
     }
 }
 
+/// An exponentially-weighted moving average over an arbitrary `f64`
+/// signal (queue waits, per-cost-unit latencies). The value is stored as
+/// `f64` bits in an `AtomicU64` and updated with a CAS loop, so readers
+/// and writers never block; `None` until the first observation.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    bits: Arc<AtomicU64>,
+    alpha: f64,
+}
+
+/// Sentinel for "no observation yet": a quiet NaN payload no real
+/// observation can produce (observations are finite by construction).
+const EWMA_EMPTY: u64 = f64::NAN.to_bits() ^ 0x0bda;
+
+impl Ewma {
+    /// A fresh average with smoothing factor `alpha` in `(0, 1]`; larger
+    /// values weight recent observations more heavily.
+    pub fn new(alpha: f64) -> Self {
+        Ewma { bits: Arc::new(AtomicU64::new(EWMA_EMPTY)), alpha: alpha.clamp(1e-6, 1.0) }
+    }
+
+    /// Fold one observation into the average. Non-finite samples are
+    /// ignored so a pathological input cannot poison the signal.
+    pub fn observe(&self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == EWMA_EMPTY {
+                sample
+            } else {
+                let prev = f64::from_bits(cur);
+                prev + self.alpha * (sample - prev)
+            };
+            match self.bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The current average, or `None` before the first observation.
+    pub fn get(&self) -> Option<f64> {
+        let bits = self.bits.load(Ordering::Relaxed);
+        (bits != EWMA_EMPTY).then(|| f64::from_bits(bits))
+    }
+
+    /// Forget all observations (used when leaving a degraded mode so the
+    /// next episode starts from fresh evidence).
+    pub fn reset(&self) {
+        self.bits.store(EWMA_EMPTY, Ordering::Relaxed);
+    }
+}
+
+impl Default for Ewma {
+    /// `alpha = 0.2`: roughly a 5-sample memory, the registry default.
+    fn default() -> Self {
+        Ewma::new(0.2)
+    }
+}
+
 #[derive(Debug)]
 struct HistogramInner {
     buckets: [AtomicU64; LATENCY_BUCKETS_MICROS.len() + 1],
@@ -177,6 +244,7 @@ pub fn metric_suffix(raw: &str) -> String {
 struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
+    ewmas: Mutex<BTreeMap<String, Ewma>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
@@ -207,6 +275,15 @@ impl MetricsRegistry {
         locked(&self.inner.gauges).entry(name.to_string()).or_default().clone()
     }
 
+    /// The EWMA named `name`, registering it on first use with smoothing
+    /// factor `alpha` (ignored for an already-registered name).
+    pub fn ewma(&self, name: &str, alpha: f64) -> Ewma {
+        locked(&self.inner.ewmas)
+            .entry(name.to_string())
+            .or_insert_with(|| Ewma::new(alpha))
+            .clone()
+    }
+
     /// The histogram named `name`, registering it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
         locked(&self.inner.histograms).entry(name.to_string()).or_default().clone()
@@ -221,6 +298,9 @@ impl MetricsRegistry {
         }
         for (name, g) in locked(&self.inner.gauges).iter() {
             out.push_str(&format!("{name} {}\n", g.get()));
+        }
+        for (name, e) in locked(&self.inner.ewmas).iter() {
+            out.push_str(&format!("{name} {}\n", e.get().unwrap_or(0.0)));
         }
         for (name, h) in locked(&self.inner.histograms).iter() {
             let mut cumulative = 0u64;
@@ -286,6 +366,27 @@ mod tests {
         h.observe(Duration::from_secs(100));
         let p100 = h.quantile(1.0).unwrap();
         assert!((p100 - 10.0).abs() < 1e-9, "overflow clamps to 10s: {p100}");
+    }
+
+    #[test]
+    fn ewma_smooths_and_shares_across_clones() {
+        let e = Ewma::new(0.5);
+        assert_eq!(e.get(), None, "no observation yet");
+        e.observe(100.0);
+        assert_eq!(e.get(), Some(100.0), "first observation seeds the average");
+        e.clone().observe(0.0);
+        assert_eq!(e.get(), Some(50.0), "clones share the same cell");
+        e.observe(f64::NAN);
+        e.observe(f64::INFINITY);
+        assert_eq!(e.get(), Some(50.0), "non-finite samples are ignored");
+        e.reset();
+        assert_eq!(e.get(), None);
+        // Registry path: alpha is fixed on first registration.
+        let reg = MetricsRegistry::new();
+        reg.ewma("queue_wait", 0.5).observe(10.0);
+        reg.ewma("queue_wait", 0.9).observe(20.0);
+        assert_eq!(reg.ewma("queue_wait", 0.5).get(), Some(15.0));
+        assert!(reg.render_text().contains("queue_wait 15\n"));
     }
 
     #[test]

@@ -16,7 +16,8 @@ use obda::faults::{site, FaultKind, FaultPlan, FaultSpec, Trigger};
 use obda::ndl::engine::EngineConfig;
 use obda::owlql::abox::ConstId;
 use obda::{
-    AttemptOutcome, ObdaError, ObdaSystem, QueryService, RetryPolicy, ServiceConfig, Strategy,
+    AttemptOutcome, ObdaError, ObdaSystem, OverloadConfig, QueryService, RetryPolicy,
+    ServiceConfig, Strategy,
 };
 use proptest::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -66,6 +67,7 @@ fn service(engine: Option<EngineConfig>) -> QueryService {
             budget: BudgetSpec::unlimited(),
             retry: fast_retry(),
             engine,
+            overload: OverloadConfig::default(),
         },
     )
 }
@@ -233,6 +235,66 @@ fn injected_panics_are_never_retried() {
         .all(|a| matches!(&a.outcome, AttemptOutcome::Panicked { site, .. } if site == site::ENGINE_CLAUSE_TASK)));
     let err = report.final_error().unwrap();
     assert!(matches!(err, ObdaError::Internal { .. }), "got {err}");
+}
+
+#[test]
+fn ladder_skips_strategies_whose_breaker_is_open() {
+    use obda::BreakerConfig;
+    quiet_injected_panics();
+    let svc = QueryService::new(
+        ObdaSystem::from_text(ONTOLOGY).unwrap(),
+        ServiceConfig {
+            max_concurrency: 2,
+            max_queue: 8,
+            budget: BudgetSpec::unlimited(),
+            retry: fast_retry(),
+            engine: Some(engine_cfg(1)),
+            overload: OverloadConfig {
+                breaker: Some(BreakerConfig {
+                    window: 4,
+                    threshold: 1,
+                    cooldown: Duration::from_secs(60),
+                    probes: 1,
+                    seed: 1,
+                }),
+                ..OverloadConfig::default()
+            },
+        },
+    );
+    let q = svc.system().parse_query(QUERY).unwrap();
+    let d = svc.system().parse_data(DATA).unwrap();
+
+    // Round 1: every rung of the ladder panics (a breaker failure), so
+    // every attempted strategy trips its breaker open.
+    let guard = FaultPlan::always(3, site::ENGINE_CLAUSE_TASK, FaultKind::Panic).install();
+    let stormy = svc.answer(&q, &d, Strategy::Tw).unwrap();
+    drop(guard);
+    assert!(!stormy.is_success());
+    assert!(
+        stormy.report.attempts.iter().all(|a| matches!(a.outcome, AttemptOutcome::Panicked { .. })),
+        "{}",
+        stormy.report
+    );
+
+    // Round 2, faults gone: the ladder fails fast — every rung is
+    // recorded as Skipped, nothing evaluates, and the final error is
+    // the typed breaker refusal, not a budget trip.
+    let skipped = svc.answer(&q, &d, Strategy::Tw).unwrap();
+    assert!(!skipped.is_success());
+    assert!(
+        !skipped.report.attempts.is_empty()
+            && skipped
+                .report
+                .attempts
+                .iter()
+                .all(|a| matches!(a.outcome, AttemptOutcome::Skipped { .. })),
+        "all rungs must be skipped while their breakers are open:\n{}",
+        skipped.report
+    );
+    assert!(!skipped.report.all_exhausted(), "skips must not masquerade as budget trips");
+    let err = skipped.report.final_error().unwrap();
+    assert!(matches!(err, ObdaError::BreakerOpen { .. }), "got {err}");
+    assert!(svc.metrics().counter("service_breaker_skipped_total_tw").get() >= 1);
 }
 
 #[test]

@@ -372,6 +372,29 @@ fn cli_rejects_unknown_commands_and_flags_with_usage() {
     assert_eq!(code, 2);
 }
 
+/// A quota that can never admit anything is a configuration mistake, not
+/// a valid hardening choice: the CLI must refuse it up front with a clear
+/// message, not boot a server that 429s every request forever.
+#[test]
+fn cli_rejects_unadmittable_quotas_with_a_clear_error() {
+    for (flag, value, hint) in [
+        ("--quota-rate", "0", "--quota-rate must be a positive number"),
+        ("--quota-rate", "-3", "--quota-rate must be a positive number"),
+        ("--quota-burst", "0", "--quota-burst must be at least 1"),
+        ("--quota-burst", "0.5", "--quota-burst must be at least 1"),
+    ] {
+        let (code, _, err) = run_cli(&["serve", flag, value]);
+        assert_eq!(code, 2, "{flag} {value} must be a usage error, stderr: {err}");
+        assert!(err.contains(hint), "{flag} {value} needs a clear message, got: {err}");
+        assert!(err.contains("admit nothing"), "{flag} {value} should say why: {err}");
+        assert!(err.contains("usage:"), "the usage line still prints: {err}");
+    }
+    // Positive values still parse (the server then fails later only for
+    // the missing --ontology, which is not a usage error).
+    let (code, _, err) = run_cli(&["serve", "--quota-rate", "5", "--quota-burst", "10"]);
+    assert_ne!(code, 2, "valid quotas must not be usage errors, stderr: {err}");
+}
+
 /// The drift guard for the CLI's exit-code contract: `--help` must exit 0
 /// and its exit-code table must name every code 0–9 with the right
 /// meaning, so a new `CliError` variant cannot ship undocumented.

@@ -20,8 +20,8 @@ use obda::datagen::erdos::TABLE_2;
 use obda::owlql::abox::DataInstance;
 use obda::server::client::{self, HttpResponse};
 use obda::{
-    write_snapshot, MemoryBackend, ObdaSystem, QueryService, RetryPolicy, Server, ServerConfig,
-    ServerHandle, ServiceConfig, TenantQuota,
+    write_snapshot, MemoryBackend, ObdaSystem, OverloadConfig, QueryService, RetryPolicy, Server,
+    ServerConfig, ServerHandle, ServiceConfig, TenantQuota,
 };
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -97,6 +97,7 @@ fn start_server(
                 seed: 0x0bda_5eed,
             },
             engine: None,
+            overload: OverloadConfig::default(),
         },
     );
     let mut cfg = ServerConfig {
@@ -406,6 +407,174 @@ fn shutdown_endpoint_triggers_the_drain() {
     let resp = client::request(addr, "POST", "/shutdown", &[], "", CLIENT_TIMEOUT).unwrap();
     assert_eq!(resp.status, 202);
     assert!(handle.is_draining());
+    assert!(handle.join());
+}
+
+#[test]
+fn concurrent_shutdown_requests_drain_exactly_once() {
+    let (handle, sys, data) = start_server(SCALE, |_| {}, &[]);
+    let addr = handle.addr();
+    let query = word_query_text("RS");
+    let want = oracle_lines(&sys, &data, &query);
+    assert_eq!(get(addr, "/readyz").status, 200);
+
+    // A request in flight while two shutdown triggers race.
+    let inflight = std::thread::spawn(move || post_query(addr, "steady", &query));
+    std::thread::sleep(Duration::from_millis(5));
+    let shutdowns: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                client::request(addr, "POST", "/shutdown", &[], "", CLIENT_TIMEOUT).unwrap()
+            })
+        })
+        .collect();
+    for t in shutdowns {
+        // The trigger is idempotent: both racers are accepted.
+        assert_eq!(t.join().unwrap().status, 202);
+    }
+    assert!(handle.is_draining());
+
+    // Readiness has flipped exactly once — it refuses now and keeps
+    // refusing; liveness is unaffected; the metrics counter shows both
+    // triggers were seen while the drain began only once.
+    assert_eq!(get(addr, "/readyz").status, 503);
+    assert_eq!(get(addr, "/healthz").status, 200);
+    assert_eq!(get(addr, "/readyz").status, 503);
+    let metrics = get(addr, "/metrics").body;
+    assert!(
+        metrics.contains("server_shutdown_requests_total 2"),
+        "both shutdown requests must be counted: {metrics}"
+    );
+
+    // The in-flight request still completes correctly (or is shed typed).
+    let resp = inflight.join().unwrap();
+    assert!(resp.status == 200 || resp.status == 503, "got {}", resp.status);
+    if resp.status == 200 {
+        assert_eq!(body_lines(&resp), want);
+    }
+    // One clean drain; `join` consumes the handle, so a double-join
+    // cannot even compile.
+    assert!(handle.join(), "concurrent triggers must still drain cleanly");
+}
+
+// ---------------------------------------------------------------------------
+// Overload control over HTTP: tenant breakers and brownout
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tenant_circuit_breaker_isolates_the_abusive_tenant() {
+    use obda::BreakerConfig;
+    // Every query trips the budget on its first derived tuple, and one
+    // failure inside the window opens a tenant's breaker.
+    let (handle, _, _) = start_server(
+        SCALE,
+        |cfg| {
+            cfg.budget = BudgetSpec { max_tuples: Some(0), ..BudgetSpec::unlimited() };
+            cfg.tenant_breaker = Some(BreakerConfig {
+                window: 2,
+                threshold: 1,
+                cooldown: Duration::from_secs(60),
+                probes: 1,
+                seed: 7,
+            });
+        },
+        &[],
+    );
+    let addr = handle.addr();
+    let query = word_query_text("RS");
+
+    // greedy's first request burns its budget: a typed 504.
+    assert_eq!(post_query(addr, "greedy", &query).status, 504);
+    // Its breaker is open now: the next request fails fast with 503 and
+    // a jittered Retry-After, without burning anything.
+    let refused = post_query(addr, "greedy", &query);
+    assert_eq!(refused.status, 503, "{}", refused.body);
+    assert!(refused.header("retry-after").is_some());
+    assert!(refused.body.contains("circuit breaker"), "{}", refused.body);
+    // Breakers are per tenant: alpha's first request reaches evaluation
+    // (and trips the shared budget as a 504) instead of being refused.
+    assert_eq!(post_query(addr, "alpha", &query).status, 504);
+
+    let metrics = get(addr, "/metrics").body;
+    assert!(metrics.contains("server_tenant_breaker_rejected_total_greedy 1"), "{metrics}");
+    assert!(metrics.contains("server_tenant_breaker_opened_total_greedy 1"), "{metrics}");
+    handle.trigger().shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn brownout_stamps_forces_and_sheds_over_http() {
+    use obda::BrownoutConfig;
+    // A zero watermark (and zero exit factor) enters brownout on the
+    // first served request and pins it — deterministic degradation.
+    let sys = paper_system();
+    let data = table2_data(&sys, 0, SCALE);
+    let service = QueryService::new(
+        paper_system(),
+        ServiceConfig {
+            max_concurrency: 2,
+            max_queue: 8,
+            budget: BudgetSpec::unlimited(),
+            retry: RetryPolicy::default(),
+            engine: None,
+            overload: OverloadConfig {
+                brownout: Some(BrownoutConfig {
+                    queue_high: Duration::ZERO,
+                    exit_factor: 0.0,
+                    budget_factor: 1.0,
+                    alpha: 1.0,
+                }),
+                ..OverloadConfig::default()
+            },
+        },
+    );
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_secs(5),
+        shed_priority_below: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(service, Box::new(MemoryBackend::new(data.clone())), cfg).unwrap();
+    server.governor().set_priority("lowly", 0);
+    let handle = server.start();
+    let addr = handle.addr();
+    let query = word_query_text("RS");
+    let want = oracle_lines(&sys, &data, &query);
+
+    // The first request serves normally and tips the latch.
+    let first = post_query(addr, "alpha", &query);
+    assert_eq!(first.status, 200);
+    // From now on every response is stamped degraded; answers stay
+    // oracle-correct.
+    let second = post_query(addr, "alpha", &query);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-obda-degraded"), Some("1"));
+    assert_eq!(body_lines(&second), want);
+    // Exponential strategies are forced down to the polynomial one.
+    let forced = client::request(
+        addr,
+        "POST",
+        "/query",
+        &[("X-Obda-Tenant", "alpha"), ("X-Obda-Strategy", "ucq")],
+        &query,
+        CLIENT_TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(forced.status, 200);
+    assert_eq!(forced.header("x-obda-strategy"), Some("Tw"));
+    // The lowest-priority tenant is shed before spending any budget.
+    let shed = post_query(addr, "lowly", &query);
+    assert_eq!(shed.status, 503, "{}", shed.body);
+    assert_eq!(shed.header("x-obda-degraded"), Some("1"));
+    assert!(shed.header("retry-after").is_some());
+    assert!(shed.body.contains("shedding"), "{}", shed.body);
+
+    let metrics = get(addr, "/metrics").body;
+    assert!(metrics.contains("service_brownout_entered_total 1"), "{metrics}");
+    assert!(metrics.contains("server_brownout_forced_total 1"), "{metrics}");
+    assert!(metrics.contains("server_shed_total_lowly 1"), "{metrics}");
+    handle.trigger().shutdown();
     assert!(handle.join());
 }
 

@@ -202,7 +202,7 @@ fn sequential_and_parallel_traces_agree_on_totals() {
 
 #[test]
 fn service_request_produces_a_complete_span_tree_and_metrics() {
-    use obda::{QueryService, RetryPolicy, ServiceConfig};
+    use obda::{OverloadConfig, QueryService, RetryPolicy, ServiceConfig};
 
     let sys = ObdaSystem::from_text(ONTOLOGY).unwrap();
     let svc = QueryService::new(
@@ -213,6 +213,7 @@ fn service_request_produces_a_complete_span_tree_and_metrics() {
             budget: BudgetSpec::unlimited(),
             retry: RetryPolicy::default(),
             engine: Some(EngineConfig { threads: 2, prune: true, ..EngineConfig::default() }),
+            overload: OverloadConfig::default(),
         },
     );
     let q = svc.system().parse_query(QUERY).unwrap();
