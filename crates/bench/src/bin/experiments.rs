@@ -5,7 +5,7 @@
 //!             [bencheval] [benchguard] [benchjoin] [benchstore]
 //!             [benchserve] [benchsoak] [all]
 //!             [--scale S] [--max-atoms N] [--timeout-secs T] [--csv DIR]
-//!             [--threads N] [--quick]
+//!             [--threads N] [--quick] [--sweep]
 //! ```
 //!
 //! * `fig1`   — the complexity landscape of Figure 1(a);
@@ -37,7 +37,12 @@
 //!   either way), records process RSS around each phase, asserts the two
 //!   loads hold identical atom counts, and writes `BENCH_store.json` in
 //!   the current directory (run alone for clean RSS numbers; not part of
-//!   `all`);
+//!   `all`). With `--sweep` it first runs the lazy-hydration scale sweep
+//!   on the largest dataset at scales 0.05/0.5/2.0: lazy vs eager open
+//!   time, bytes/columns hydrated after touching a single predicate, and
+//!   the RSS delta across a lazy open, with in-binary gates that fail
+//!   (exit ≠ 0) on super-linear open time or a resident footprint beyond
+//!   the touched-columns budget — the CI scale gate;
 //! * `benchserve` — the HTTP serving benchmark: boots the in-process
 //!   `obda serve` server over the scale-0.05 Table 2 dataset, drives it
 //!   with three concurrent tenants over real TCP, and writes per-query
@@ -80,6 +85,7 @@ struct Config {
     sections: Vec<String>,
     threads: usize,
     quick: bool,
+    sweep: bool,
 }
 
 fn parse_args() -> Config {
@@ -91,11 +97,13 @@ fn parse_args() -> Config {
         sections: Vec::new(),
         threads: 4,
         quick: false,
+        sweep: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cfg.quick = true,
+            "--sweep" => cfg.sweep = true,
             "--scale" => cfg.scale = numeric_arg(&mut args, "--scale"),
             "--max-atoms" => cfg.max_atoms = numeric_arg(&mut args, "--max-atoms"),
             "--timeout-secs" => {
@@ -162,7 +170,7 @@ fn main() {
     // Also not part of `all`: RSS readings only mean something in a
     // process that has not already run every other section.
     if cfg.sections.iter().any(|s| s == "benchstore") {
-        benchstore();
+        benchstore(&cfg);
     }
     // Wall-clock-sensitive like the other two: run alone.
     if cfg.sections.iter().any(|s| s == "benchserve") {
@@ -725,13 +733,230 @@ fn rss_kb() -> (u64, u64) {
     (field("VmRSS:"), field("VmHWM:"))
 }
 
+/// One measured point of the lazy-hydration scale sweep.
+struct SweepPoint {
+    scale: f64,
+    atoms: usize,
+    file_bytes: u64,
+    lazy_seconds: f64,
+    eager_seconds: f64,
+    touched_predicate: String,
+    touched_columns: u64,
+    touched_bytes: u64,
+    touched_budget_bytes: u64,
+    full_bytes: u64,
+    rss_delta_kb: u64,
+    rss_budget_kb: u64,
+}
+
+/// The lazy-hydration scale sweep and its CI gates: the largest Table 2
+/// dataset at scales 0.05 → 0.5 → 2.0, measuring lazy vs eager open
+/// time (best of 5), the bytes/columns hydrated after touching exactly
+/// one predicate, and the RSS delta across a lazy open. Asserts (so the
+/// process exits non-zero and fails CI) that
+///
+/// * open time stays O(file bytes): between consecutive scales the open
+///   time may grow at most `1.6×` faster than the file, with a 1 ms
+///   noise floor on both sides of the ratio;
+/// * resident bytes stay O(touched columns): touching one predicate
+///   hydrates no more than that predicate's column + index blocks
+///   (plus slack), and strictly less than the full data section;
+/// * the RSS delta across a lazy open plus a one-predicate touch stays
+///   under half the file size plus an 8 MiB allocator/page-cache slack.
+///
+/// Returns the rendered `"sweep"` JSON object for `BENCH_store.json`.
+fn store_sweep(sys: &obda::ObdaSystem) -> String {
+    use obda_ndl::program::PredKind;
+
+    const SWEEP_SCALES: [f64; 3] = [0.05, 0.5, 2.0];
+    const RUNS: usize = 5;
+    // The largest Table 2 dataset: 20 000 vertices at scale 1, so scale
+    // 2.0 is 4× the previous benchmark maximum (dataset 4 at 0.5).
+    const DATASET: usize = 3;
+
+    let vocab = sys.ontology().vocab();
+    println!("== Lazy-hydration scale sweep: dataset {}.ttl (best of {RUNS}) ==\n", DATASET + 1);
+    let header: Vec<String> = [
+        "scale",
+        "atoms",
+        "file KiB",
+        "lazy open ms",
+        "eager open ms",
+        "touched",
+        "touched KiB",
+        "full KiB",
+        "rss delta KiB",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for scale in SWEEP_SCALES {
+        let data = dataset(sys, DATASET, scale);
+        let path = std::env::temp_dir()
+            .join(format!("obda-benchsweep-{}-{scale}.obdb", std::process::id()));
+        let info = obda::write_snapshot(&path, vocab, &data).expect("write snapshot");
+        drop(data);
+
+        // The smallest relation is the one-predicate touch target: its
+        // budget is the exact column bytes plus the CSR index blocks'
+        // upper bound (num_keys + keys + starts + rowids words per
+        // column) plus a page of slack.
+        let smallest = info
+            .relations
+            .iter()
+            .min_by_key(|r| r.rows * r.arity as u64)
+            .expect("snapshot holds at least one relation");
+        let arity = smallest.arity as u64;
+        let touched_budget_bytes =
+            smallest.rows * arity * 4 + arity * 4 * (3 * smallest.rows + 2) + 4096;
+        let kind = if smallest.arity == 1 {
+            PredKind::EdbClass(vocab.get_class(&smallest.name).expect("class in vocab"))
+        } else {
+            PredKind::EdbProp(vocab.get_prop(&smallest.name).expect("property in vocab"))
+        };
+
+        let mut lazy_best = Duration::MAX;
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            let snap = obda::Snapshot::open(&path, vocab).expect("lazy open");
+            lazy_best = lazy_best.min(start.elapsed());
+            drop(snap);
+        }
+
+        let (rss_before, _) = rss_kb();
+        let snap = obda::Snapshot::open(&path, vocab).expect("lazy open");
+        let _ = snap.database().relation(kind);
+        let (rss_after, _) = rss_kb();
+        let (touched_bytes, touched_columns) = (snap.bytes_touched(), snap.columns_touched());
+        drop(snap);
+        let rss_delta_kb = rss_after.saturating_sub(rss_before);
+        let rss_budget_kb = (info.file_bytes / 2 + 8 * 1024 * 1024) / 1024;
+
+        let mut eager_best = Duration::MAX;
+        let (mut full_bytes, mut atoms) = (0u64, 0usize);
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            let eager = obda::Snapshot::open_eager(&path, vocab).expect("eager open");
+            eager_best = eager_best.min(start.elapsed());
+            full_bytes = eager.bytes_touched();
+            atoms = eager.database().num_atoms();
+        }
+        std::fs::remove_file(&path).ok();
+
+        assert!(
+            touched_bytes <= touched_budget_bytes,
+            "touching one predicate ('{}') hydrated {touched_bytes} bytes, over its \
+             column+index budget of {touched_budget_bytes}",
+            smallest.name,
+        );
+        assert!(
+            touched_bytes < full_bytes,
+            "lazy hydration of one predicate ('{}') touched the whole data section \
+             ({touched_bytes} of {full_bytes} bytes)",
+            smallest.name,
+        );
+        assert!(
+            rss_delta_kb <= rss_budget_kb,
+            "RSS grew {rss_delta_kb} KiB across a lazy open + one-predicate touch, \
+             over the budget of {rss_budget_kb} KiB (file is {} bytes)",
+            info.file_bytes,
+        );
+
+        table_rows.push(vec![
+            format!("{scale}"),
+            atoms.to_string(),
+            format!("{:.1}", info.file_bytes as f64 / 1024.0),
+            format!("{:.3}", lazy_best.as_secs_f64() * 1e3),
+            format!("{:.3}", eager_best.as_secs_f64() * 1e3),
+            smallest.name.clone(),
+            format!("{:.1}", touched_bytes as f64 / 1024.0),
+            format!("{:.1}", full_bytes as f64 / 1024.0),
+            rss_delta_kb.to_string(),
+        ]);
+        points.push(SweepPoint {
+            scale,
+            atoms,
+            file_bytes: info.file_bytes,
+            lazy_seconds: lazy_best.as_secs_f64(),
+            eager_seconds: eager_best.as_secs_f64(),
+            touched_predicate: smallest.name.clone(),
+            touched_columns,
+            touched_bytes,
+            touched_budget_bytes,
+            full_bytes,
+            rss_delta_kb,
+            rss_budget_kb,
+        });
+    }
+    println!("{}", render_table(&header, &table_rows));
+
+    // The super-linearity gate: with a 1 ms noise floor, open time may
+    // grow at most 1.6× faster than the file between consecutive scales.
+    const FLOOR: f64 = 1e-3;
+    const SLACK: f64 = 1.6;
+    for pair in points.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let bytes_ratio = b.file_bytes as f64 / a.file_bytes as f64;
+        for (label, ta, tb) in
+            [("lazy", a.lazy_seconds, b.lazy_seconds), ("eager", a.eager_seconds, b.eager_seconds)]
+        {
+            let time_ratio = tb.max(FLOOR) / ta.max(FLOOR);
+            assert!(
+                time_ratio <= bytes_ratio * SLACK,
+                "super-linear {label} open time between scales {} and {}: time grew \
+                 {time_ratio:.2}x while the file grew {bytes_ratio:.2}x",
+                a.scale,
+                b.scale,
+            );
+        }
+    }
+    println!("sweep gates passed: open time O(bytes), residency O(touched columns)\n");
+
+    let json_points: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\"scale\": {}, \"atoms\": {}, \"file_bytes\": {}, \
+                 \"open_lazy_seconds\": {:.6}, \"open_eager_seconds\": {:.6}, \
+                 \"touched_predicate\": \"{}\", \"touched_columns\": {}, \
+                 \"touched_bytes\": {}, \"touched_budget_bytes\": {}, \
+                 \"full_bytes\": {}, \"rss_delta_kb\": {}, \"rss_budget_kb\": {}}}",
+                p.scale,
+                p.atoms,
+                p.file_bytes,
+                p.lazy_seconds,
+                p.eager_seconds,
+                p.touched_predicate,
+                p.touched_columns,
+                p.touched_bytes,
+                p.touched_budget_bytes,
+                p.full_bytes,
+                p.rss_delta_kb,
+                p.rss_budget_kb,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"dataset\": \"{}.ttl\", \"runs\": {RUNS}, \
+         \"gates\": {{\"open_time_slack\": {SLACK}, \"noise_floor_seconds\": {FLOOR}}},\n    \
+         \"rows\": [\n{}\n    ]\n  }}",
+        DATASET + 1,
+        json_points.join(",\n")
+    )
+}
+
 /// The snapshot-store load benchmark behind `BENCH_store.json`: parse
 /// path (text → `DataInstance` → `Database`) vs open path (`.obdb` →
-/// `Database`), best of five each, per Table 2 dataset per scale.
-fn benchstore() {
+/// `Database`), best of five each, per Table 2 dataset per scale. With
+/// `--sweep`, runs [`store_sweep`] first (while RSS is clean) and
+/// splices its rows and gate parameters into the JSON.
+fn benchstore(cfg: &Config) {
     const SCALES: [f64; 2] = [0.05, 0.5];
     const RUNS: usize = 5;
     let sys = paper_system();
+    let sweep_json = cfg.sweep.then(|| store_sweep(&sys));
     println!("== Snapshot store: parse+index vs .obdb open (best of {RUNS}) ==\n");
     let header: Vec<String> =
         ["scale", "dataset", "atoms", "file KiB", "parse ms", "open ms", "speedup"]
@@ -801,10 +1026,15 @@ fn benchstore() {
         }
     }
     println!("{}", render_table(&header, &table_rows));
+    let sweep_section = match &sweep_json {
+        Some(sweep) => format!(",\n  \"sweep\": {sweep}"),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"config\": {{\"scales\": [0.05, 0.5], \"runs\": {RUNS}, \
          \"parse_path\": \"parse_data + Database::new\", \
-         \"open_path\": \"Snapshot::open (.obdb format v1)\"}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"open_path\": \"Snapshot::open (.obdb v2, mmap lazy hydration)\"}},\n  \
+         \"rows\": [\n{}\n  ]{sweep_section}\n}}\n",
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_store.json", json).expect("write BENCH_store.json");

@@ -11,7 +11,8 @@
 //!               [--budget-secs N] [--budget-clauses N] [--budget-tuples N]
 //!               [--budget-steps N] [--budget-chase N] [--no-fallback]
 //!               [--threads N] [--no-prune] [--no-plan] [--retries N]
-//!               [--max-concurrency N] [--trace[=pretty|json]] [--stats]
+//!               [--max-concurrency N] [--mmap | --eager]
+//!               [--trace[=pretty|json]] [--stats]
 //! obda build    --ontology o.owlql --data d.abox -o db.obdb
 //! obda dbinfo   db.obdb
 //! obda serve    --ontology o.owlql (--db db.obdb | --data d.abox)
@@ -25,11 +26,15 @@
 //! ```
 //!
 //! `build` parses a data file once and writes a dictionary-encoded
-//! `.obdb` snapshot; `answer --db` (and `explain --db`) then reopen it by
-//! bulk column loads — no text parsing, no re-interning — and evaluate
-//! through the same [`obda::StorageBackend`] seam as parsed data.
-//! `dbinfo` prints a snapshot's header, dictionary size and per-relation
-//! row counts without needing the ontology.
+//! `.obdb` snapshot; `answer --db` (and `explain --db`) then reopen it
+//! memory-mapped — no text parsing, no re-interning — and evaluate
+//! through the same [`obda::StorageBackend`] seam as parsed data. By
+//! default segments hydrate *lazily*, on first touch, so a pruned query
+//! faults in only the columns it actually joins (`--mmap` names this
+//! default explicitly; `--eager` is the A/B switch that decodes and
+//! verifies every segment at open time). `dbinfo` prints a snapshot's
+//! header, flag bits, layout, dictionary size and per-relation row
+//! counts without needing the ontology.
 //!
 //! `answer` evaluates with the goal-directed engine: the rewriting is
 //! relevance-pruned towards the goal (disable with `--no-prune`), each
@@ -99,11 +104,12 @@
 
 use obda::budget::BudgetSpec;
 use obda::cq::query::Cq;
+use obda::store::{flag_names, unknown_flags};
 use obda::telemetry::{CollectingTracer, MetricsRegistry, Telemetry};
 use obda::{
-    read_info, write_snapshot, BreakerConfig, BrownoutConfig, MemoryBackend, ObdaError, ObdaSystem,
-    OverloadConfig, QueryService, RetryPolicy, Server, ServerConfig, ServiceConfig, Snapshot,
-    StorageBackend, StoreError, Strategy, TenantQuota, WatchdogConfig,
+    read_info, write_snapshot, BreakerConfig, BrownoutConfig, Hydration, MemoryBackend, ObdaError,
+    ObdaSystem, OverloadConfig, QueryService, RetryPolicy, Server, ServerConfig, ServiceConfig,
+    Snapshot, StorageBackend, StoreError, Strategy, TenantQuota, WatchdogConfig,
 };
 use obda_ndl::engine::EngineConfig;
 use obda_ndl::program::ProgramDisplay;
@@ -132,6 +138,7 @@ struct Args {
     engine: EngineConfig,
     retries: Option<u32>,
     max_concurrency: Option<usize>,
+    hydration: Option<Hydration>,
     trace: Option<TraceFormat>,
     stats: bool,
     addr: Option<String>,
@@ -154,7 +161,7 @@ const USAGE: &str = "usage: obda <classify|rewrite|explain|answer> --ontology FI
     \x20      [--budget-secs N] [--budget-clauses N] [--budget-tuples N]\n\
     \x20      [--budget-steps N] [--budget-chase N] [--no-fallback]\n\
     \x20      [--threads N] [--no-prune] [--no-plan] [--retries N] [--max-concurrency N]\n\
-    \x20      [--trace[=pretty|json]] [--stats]\n\
+    \x20      [--mmap | --eager] [--trace[=pretty|json]] [--stats]\n\
     \x20      obda build --ontology FILE --data FILE (-o|--out) FILE\n\
     \x20      obda dbinfo FILE\n\
     \x20      obda serve --ontology FILE (--db FILE | --data FILE) [--addr HOST:PORT]\n\
@@ -182,7 +189,7 @@ fn print_help() {
          \x20 explain    classification, rewriting, pruned program, stratum plan\n\
          \x20 answer     rewrite and evaluate over --data or a --db snapshot\n\
          \x20 build      compile a data file into a dictionary-encoded .obdb snapshot\n\
-         \x20 dbinfo     print a snapshot's header and per-relation row counts\n\
+         \x20 dbinfo     print a snapshot's header, flags, layout and row counts\n\
          \x20 serve      hardened multi-tenant HTTP query server over --db/--data\n\
          \nserve endpoints: POST /query (headers X-Obda-Tenant, X-Obda-Timeout-Ms,\n\
          X-Obda-Strategy), GET /explain?query=..., GET /metrics, GET /healthz,\n\
@@ -199,6 +206,10 @@ fn print_help() {
          --tenant-priority NAME=P (repeatable, default priority 1) ranks\n\
          tenants for shedding; --breaker-window/--breaker-threshold tune how\n\
          many failures in the rolling window trip a breaker.\n\
+         \nsnapshot hydration (answer with --db): segments hydrate lazily on\n\
+         first touch by default, so resident bytes track the columns a query\n\
+         actually joins; --mmap names that default explicitly and --eager\n\
+         decodes and verifies every segment at open time (the A/B switch).\n\
          \nstrategies: lin, log, tw, twstar, ucq, twucq, presto, adaptive (default)\n\
          \nexit codes:\n\
          \x20 0  success\n\
@@ -238,6 +249,7 @@ fn parse_args() -> Option<Args> {
         engine: EngineConfig::default(),
         retries: None,
         max_concurrency: None,
+        hydration: None,
         trace: None,
         stats: false,
         addr: None,
@@ -378,6 +390,17 @@ fn parse_args() -> Option<Args> {
                 }
                 args.tenant_priorities.push((name.to_owned(), prio.parse().ok()?));
             }
+            // The snapshot hydration A/B pair: `--mmap` names the lazy
+            // default explicitly, `--eager` decodes and verifies every
+            // segment at open time. Asking for both is a contradiction.
+            "--mmap" => match args.hydration {
+                Some(Hydration::Eager) => return None,
+                _ => args.hydration = Some(Hydration::Lazy),
+            },
+            "--eager" => match args.hydration {
+                Some(Hydration::Lazy) => return None,
+                _ => args.hydration = Some(Hydration::Eager),
+            },
             "--trace" | "--trace=pretty" => args.trace = Some(TraceFormat::Pretty),
             "--trace=json" => args.trace = Some(TraceFormat::Json),
             "--stats" => args.stats = true,
@@ -544,10 +567,12 @@ fn run(args: &Args, telem: Telemetry<'_>) -> Result<(), CliError> {
         "explain" => run_explain(args, &system, &query, telem),
         "answer" => {
             let data = if let Some(db) = &args.db {
-                AnswerData::Snapshot(Box::new(Snapshot::open_traced(
+                AnswerData::Snapshot(Box::new(Snapshot::open_with(
                     std::path::Path::new(db),
                     system.ontology().vocab(),
+                    &mut obda::budget::Budget::unlimited(),
                     telem,
+                    args.hydration.unwrap_or_default(),
                 )?))
             } else {
                 let dspan = telem.span("parse:data");
@@ -622,14 +647,41 @@ fn run_dbinfo(args: &Args) -> Result<(), CliError> {
         .as_ref()
         .ok_or_else(|| CliError::Internal("missing snapshot path (obda dbinfo FILE)".into()))?;
     let info = read_info(std::path::Path::new(path))?;
+    // Name every flag bit we understand and call out the ones we do not:
+    // optional (upper-half) bits from a newer writer still open here, and
+    // the operator deserves to see them rather than a bare hex word.
+    let named = flag_names(info.flags);
+    let known = if named.is_empty() { "none".to_owned() } else { named.join(", ") };
+    let unknown = unknown_flags(info.flags);
+    let layout = if info.version < 2 {
+        "flat (v1)"
+    } else if info.footer {
+        if info.appended {
+            "footer (appendable, has appended segments)"
+        } else {
+            "footer (appendable)"
+        }
+    } else {
+        "inline"
+    };
     println!("snapshot:       {path}");
     println!("format version: {}", info.version);
-    println!("flags:          {:#010x}", info.flags);
+    if unknown == 0 {
+        println!("flags:          {:#010x} (known: {known})", info.flags);
+    } else {
+        println!(
+            "flags:          {:#010x} (known: {known}; unknown: {unknown:#010x}, \
+             optional bits tolerated)",
+            info.flags
+        );
+    }
+    println!("layout:         {layout}");
     println!("file bytes:     {}", info.file_bytes);
     println!("payload bytes:  {}", info.payload_bytes);
     println!("checksum:       {:#018x} (word-folded FNV-1a 64, verified)", info.checksum);
     println!("dictionary:     {} constants, {} bytes", info.num_consts, info.dict_bytes);
     println!("stats:          {}", info.stats_source());
+    println!("indexes:        {}", info.index_source());
     println!("atoms:          {}", info.num_atoms);
     println!("relations:      {}", info.relations.len());
     for rel in &info.relations {
@@ -987,6 +1039,15 @@ fn run_answer(
         "# {} answers, {} tuples materialised, strategy {}",
         result.stats.num_answers, result.stats.generated_tuples, strategy_used
     );
+    // The lazy snapshot's whole point, made visible: how much of the file
+    // this query actually faulted in (everything, under --eager).
+    if let AnswerData::Snapshot(s) = data {
+        eprintln!(
+            "# snapshot resident: {} bytes across {} hydrated columns",
+            s.bytes_touched(),
+            s.columns_touched()
+        );
+    }
     if args.oracle {
         let ospan = telem.span("oracle-check");
         let mut budget = args.spec.start();

@@ -91,6 +91,18 @@ pub(crate) enum DataSource<'a> {
     Backend(&'a dyn StorageBackend),
 }
 
+/// Exports a backend's resident footprint as the `store_resident_bytes`
+/// gauge after an evaluation. For a lazily hydrated snapshot this is the
+/// data and index bytes the run actually faulted in — cumulative per
+/// backend, so repeated queries show the working set growing towards (at
+/// most) the file size. Backends without the notion (in-memory) export
+/// nothing.
+fn export_resident_bytes(backend: &dyn StorageBackend, telem: Telemetry<'_>) {
+    if let (Some(metrics), Some(bytes)) = (telem.metrics, backend.resident_bytes()) {
+        metrics.gauge("store_resident_bytes").set(bytes as i64);
+    }
+}
+
 /// Deterministic 64-bit mix (splitmix64 finaliser) driving the retry
 /// backoff jitter — no global RNG, so a seeded run backs off identically
 /// every time.
@@ -877,7 +889,10 @@ impl ObdaSystem {
             let load = telem.span("load_data");
             load.attr_str("backend", backend.kind());
             load.end();
-            Ok(evaluate_engine_on_traced(&rewriting, backend.database(), &mut budget, cfg, telem)?)
+            let result =
+                evaluate_engine_on_traced(&rewriting, backend.database(), &mut budget, cfg, telem)?;
+            export_resident_bytes(backend, telem);
+            Ok(result)
         })
     }
 
@@ -1113,6 +1128,10 @@ impl ObdaSystem {
         gate: Option<&dyn StrategyGate>,
     ) -> PipelineReport {
         let master = spec.start();
+        let resident_source: Option<&dyn StorageBackend> = match &source {
+            DataSource::Backend(b) => Some(*b),
+            DataSource::Parse(_) => None,
+        };
         // Loading parsed data into the shared store is itself a faultable
         // step (it exercises the storage insert path); an unwind here
         // becomes a single failed pseudo-attempt instead of escaping the
@@ -1266,6 +1285,9 @@ impl ObdaSystem {
                     std::thread::sleep(sleep);
                 }
             }
+        }
+        if let Some(backend) = resident_source {
+            export_resident_bytes(backend, telem);
         }
         PipelineReport { attempts, winner }
     }

@@ -72,6 +72,12 @@ pub mod site {
     /// magic check yet fails mid-load (truncation, bit rot, I/O error).
     /// The store maps a transient unwind here into a typed `StoreError`.
     pub const STORE_OPEN: &str = "store::open";
+    /// The column mapping path (`obda_store::map`), when a snapshot's
+    /// bytes are memory-mapped (or read, on the fallback path) before
+    /// any metadata is decoded — models `mmap`/read failures on an
+    /// otherwise intact file. The store maps a transient unwind here
+    /// into a typed `StoreError`, exactly like `store::open`.
+    pub const STORE_MAP: &str = "store::map";
     /// One HTTP request handler of `obda serve` (`obda::server`), after
     /// the request is parsed and admitted but before the pipeline runs —
     /// models a request that poisons its own handler. The server's
@@ -81,13 +87,14 @@ pub mod site {
     pub const SERVER_HANDLE: &str = "server::handle";
 
     /// Every registered site, for exhaustive chaos sweeps.
-    pub const ALL: [&str; 7] = [
+    pub const ALL: [&str; 8] = [
         STORAGE_INSERT,
         STORAGE_INDEX_BUILD,
         ENGINE_CLAUSE_TASK,
         CHASE_STEP,
         REWRITE_TREE_WITNESS,
         STORE_OPEN,
+        STORE_MAP,
         SERVER_HANDLE,
     ];
 }

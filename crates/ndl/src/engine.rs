@@ -170,6 +170,21 @@ pub fn evaluate_pruned_planned_on_traced(
     qplan: Option<&QueryPlan>,
     telem: Telemetry<'_>,
 ) -> Result<EvalResult, EvalError> {
+    // Hydrate exactly the EDB relations the pruned program mentions, so a
+    // lazily loaded snapshot faults in only the columns this query joins
+    // (already-hydrated slots and parse-path databases cost nothing).
+    let program = &pruned.query.program;
+    let relevant = program
+        .pred_ids()
+        .map(|p| program.pred(p).kind)
+        .filter(|k| matches!(k, PredKind::EdbClass(_) | PredKind::EdbProp(_)));
+    let (relations, columns) = db.prefetch(relevant);
+    if relations > 0 {
+        let span = telem.span("hydrate");
+        span.attr("relations", relations);
+        span.attr("columns", columns);
+        span.end();
+    }
     let orig = pruned.origin.iter().map(|p| p.0 as usize + 1).max().unwrap_or(0);
     run(&pruned.query, Some(&pruned.origin), orig, db, budget, cfg, qplan, telem)
 }

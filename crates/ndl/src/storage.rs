@@ -34,6 +34,26 @@
 //! `Mutex` and are only promoted to the shared, read-only set at the
 //! stratum barrier — i.e. `Relation` is `Sync` for readers and requires
 //! external exclusion for writers, exactly matching `&`/`&mut` semantics.
+//!
+//! ## Shared arenas and lazy hydration
+//!
+//! A relation's row arena is either *owned* (a plain `Vec<u32>`: the
+//! parse path and every mutable relation) or *shared* (a read-only
+//! [`ArenaWords`] view, e.g. a memory-mapped snapshot column — see
+//! [`Relation::from_shared`]). The immutability contract above extends
+//! unchanged: mutating a shared-arena relation first copies the words
+//! into an owned arena under `&mut` (copy-on-write), so shared words
+//! are never written through.
+//!
+//! [`Database`] slots are [`LazyRelation`]s: the parse path fills them
+//! eagerly, while the snapshot store installs *hydrators* that decode a
+//! relation on first touch. Hydration runs inside a `OnceLock`
+//! initialiser through `&Database`, sound for the same reason lazy
+//! column indexes are — every reader serialises on the slot and
+//! observes the one hydrated relation, and mutation would require the
+//! `&mut` access that cannot coexist with readers. [`Database::prefetch`]
+//! hydrates a predicate set up front (the relevance pruner's relevant
+//! set), so a pruned query faults in only the columns it joins.
 
 use crate::program::PredKind;
 use crate::stats::RelStats;
@@ -42,7 +62,7 @@ use obda_owlql::util::{FxHashMap, FxHasher};
 use obda_owlql::vocab::{ClassId, PropId};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 fn hash_row(row: &[u32]) -> u64 {
     let mut h = FxHasher::default();
@@ -52,21 +72,146 @@ fn hash_row(row: &[u32]) -> u64 {
     h.finish()
 }
 
-/// A hash index over one column of a [`Relation`]: value → row numbers.
-#[derive(Debug, Clone, Default)]
+/// Read-only word storage that can back a [`Relation`]'s row arena
+/// without being copied into it — the seam the snapshot store threads
+/// its memory-mapped columns through. Implementations must return the
+/// same immutable slice for the lifetime of the value.
+pub trait ArenaWords: Send + Sync {
+    /// The row-major words (`num_rows × arity` values).
+    fn words(&self) -> &[u32];
+}
+
+impl ArenaWords for Vec<u32> {
+    fn words(&self) -> &[u32] {
+        self
+    }
+}
+
+/// A relation's row arena: owned words, or a shared read-only view.
+enum Arena {
+    Owned(Vec<u32>),
+    Shared(Arc<dyn ArenaWords>),
+}
+
+impl Arena {
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Arena::Owned(v) => v,
+            Arena::Shared(s) => s.words(),
+        }
+    }
+
+    /// The owned words, copying a shared arena first (copy-on-write;
+    /// requires `&mut`, so no shared view of the old words survives).
+    fn to_mut(&mut self) -> &mut Vec<u32> {
+        if let Arena::Shared(s) = self {
+            *self = Arena::Owned(s.words().to_vec());
+        }
+        match self {
+            Arena::Owned(v) => v,
+            Arena::Shared(_) => unreachable!("converted to Owned above"),
+        }
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::Owned(Vec::new())
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arena::Owned(v) => write!(f, "Owned({} words)", v.len()),
+            Arena::Shared(s) => write!(f, "Shared({} words)", s.words().len()),
+        }
+    }
+}
+
+/// An index over one column of a [`Relation`]: value → row numbers.
+///
+/// Two representations behind one probe API: the lazily built hash map,
+/// and a CSR (compressed-sparse-rows) form decoded from a snapshot's
+/// persisted index section — sorted distinct keys, a prefix-offset
+/// array, and one flat row-id arena, probed by binary search.
+#[derive(Debug, Clone)]
 pub struct ColumnIndex {
-    map: FxHashMap<u32, Vec<u32>>,
+    repr: IndexRepr,
+}
+
+#[derive(Debug, Clone)]
+enum IndexRepr {
+    Hash(FxHashMap<u32, Vec<u32>>),
+    Csr {
+        /// Distinct column values, strictly ascending.
+        keys: Vec<u32>,
+        /// `keys.len() + 1` prefix offsets into `rows`.
+        starts: Vec<u32>,
+        /// Row numbers grouped by key.
+        rows: Vec<u32>,
+    },
+}
+
+impl Default for ColumnIndex {
+    fn default() -> Self {
+        ColumnIndex { repr: IndexRepr::Hash(FxHashMap::default()) }
+    }
 }
 
 impl ColumnIndex {
+    /// Builds a CSR index from decoded arrays, validating the
+    /// representation invariants: strictly ascending keys and exactly
+    /// `keys.len() + 1` monotone offsets running from `0` to
+    /// `rows.len()`. Returns `None` on any violation — a forged or
+    /// stale persisted index must not be installed (the lazy hash
+    /// build wins instead).
+    pub fn from_csr(keys: Vec<u32>, starts: Vec<u32>, rows: Vec<u32>) -> Option<Self> {
+        if starts.len() != keys.len() + 1
+            || !keys.windows(2).all(|w| w[0] < w[1])
+            || starts.first() != Some(&0)
+            || starts.windows(2).any(|w| w[0] > w[1])
+            || *starts.last()? as usize != rows.len()
+        {
+            return None;
+        }
+        Some(ColumnIndex { repr: IndexRepr::Csr { keys, starts, rows } })
+    }
+
     /// The rows whose indexed column equals `key`.
     pub fn probe(&self, key: u32) -> &[u32] {
-        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        match &self.repr {
+            IndexRepr::Hash(map) => map.get(&key).map(Vec::as_slice).unwrap_or(&[]),
+            IndexRepr::Csr { keys, starts, rows } => match keys.binary_search(&key) {
+                Ok(i) => &rows[starts[i] as usize..starts[i + 1] as usize],
+                Err(_) => &[],
+            },
+        }
     }
 
     /// Number of distinct keys.
     pub fn num_keys(&self) -> usize {
-        self.map.len()
+        match &self.repr {
+            IndexRepr::Hash(map) => map.len(),
+            IndexRepr::Csr { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Total row references across all keys.
+    fn total_rows(&self) -> usize {
+        match &self.repr {
+            IndexRepr::Hash(map) => map.values().map(Vec::len).sum(),
+            IndexRepr::Csr { rows, .. } => rows.len(),
+        }
+    }
+
+    /// The largest row number referenced, if any.
+    fn max_row(&self) -> Option<u32> {
+        match &self.repr {
+            IndexRepr::Hash(map) => map.values().flatten().copied().max(),
+            IndexRepr::Csr { rows, .. } => rows.iter().copied().max(),
+        }
     }
 }
 
@@ -76,7 +221,7 @@ impl ColumnIndex {
 pub struct Relation {
     arity: usize,
     num_rows: usize,
-    data: Vec<u32>,
+    data: Arena,
     /// Exact dedup: row hash → candidate row numbers. Built lazily by the
     /// first [`Relation::insert_if_new`]; plain [`Relation::push`] loading
     /// of already-distinct rows never pays for it.
@@ -95,7 +240,7 @@ impl Relation {
         Relation {
             arity,
             num_rows: 0,
-            data: Vec::new(),
+            data: Arena::Owned(Vec::new()),
             dedup: None,
             indexes: (0..arity).map(|_| OnceLock::new()).collect(),
             stats: OnceLock::new(),
@@ -105,8 +250,39 @@ impl Relation {
     /// An empty relation with room for `rows` rows.
     pub fn with_capacity(arity: usize, rows: usize) -> Self {
         let mut r = Relation::new(arity);
-        r.data.reserve(rows * arity);
+        r.data.to_mut().reserve(rows * arity);
         r
+    }
+
+    /// A relation borrowing its row-major arena from shared read-only
+    /// storage (the snapshot store's zero-copy hydration path: the words
+    /// stay in the memory-mapped file, never copied into the heap).
+    /// Indexes and stats are lazy exactly as for an owned relation;
+    /// mutation copies the words out first (copy-on-write).
+    ///
+    /// # Panics
+    /// Panics if `arena.words().len() != arity * num_rows` — the caller
+    /// must have validated the segment's declared geometry already.
+    pub fn from_shared(arity: usize, num_rows: usize, arena: Arc<dyn ArenaWords>) -> Self {
+        assert_eq!(
+            arena.words().len(),
+            arity * num_rows,
+            "shared arena has {} words, expected {arity}×{num_rows}",
+            arena.words().len()
+        );
+        Relation {
+            arity,
+            num_rows,
+            data: Arena::Shared(arena),
+            dedup: None,
+            indexes: (0..arity).map(|_| OnceLock::new()).collect(),
+            stats: OnceLock::new(),
+        }
+    }
+
+    /// Whether the row arena is a shared view rather than owned words.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Arena::Shared(_))
     }
 
     /// Builds a relation from decomposed columns of already-distinct rows
@@ -127,17 +303,18 @@ impl Relation {
             assert_eq!(col.len(), rows, "column {c} has {} rows, expected {rows}", col.len());
         }
         let mut r = Relation::with_capacity(arity, rows);
+        let data = r.data.to_mut();
         if let [a, b] = columns {
             // Binary fast path: a bounds-check-free zip interleave (the
             // bulk of a snapshot's rows are property pairs).
-            r.data.extend(a.iter().zip(b).flat_map(|(&x, &y)| [x, y]));
+            data.extend(a.iter().zip(b).flat_map(|(&x, &y)| [x, y]));
         } else if arity == 1 {
             // Unary fast path: the column *is* the arena.
-            r.data.extend_from_slice(&columns[0]);
+            data.extend_from_slice(&columns[0]);
         } else {
             for i in 0..rows {
                 for col in columns {
-                    r.data.push(col[i]);
+                    data.push(col[i]);
                 }
             }
         }
@@ -162,7 +339,7 @@ impl Relation {
 
     /// The `i`-th row.
     pub fn row(&self, i: usize) -> &[u32] {
-        &self.data[i * self.arity..(i + 1) * self.arity]
+        &self.data.as_slice()[i * self.arity..(i + 1) * self.arity]
     }
 
     /// Iterates over the rows.
@@ -170,7 +347,8 @@ impl Relation {
         // `chunks_exact(0)` panics, so arity-0 relations (Boolean goals)
         // yield `num_rows` empty rows explicitly.
         let arity = self.arity;
-        (0..self.num_rows).map(move |i| &self.data[i * arity..i * arity + arity])
+        let data = self.data.as_slice();
+        (0..self.num_rows).map(move |i| &data[i * arity..i * arity + arity])
     }
 
     /// Appends a row without checking for duplicates (bulk loading of rows
@@ -181,7 +359,7 @@ impl Relation {
         if let Some(dedup) = &mut self.dedup {
             dedup.entry(hash_row(row)).or_default().push(self.num_rows as u32);
         }
-        self.data.extend_from_slice(row);
+        self.data.to_mut().extend_from_slice(row);
         self.num_rows += 1;
     }
 
@@ -195,8 +373,9 @@ impl Relation {
         crate::fault::inject(crate::fault::site::STORAGE_INSERT);
         let h = hash_row(row);
         // Split borrows: the dedup table is (re)built from the row arena,
-        // then held mutably while the arena is only read.
-        let (arity, data) = (self.arity, &mut self.data);
+        // then held mutably while the arena is only read. `to_mut` first:
+        // a shared arena is copied out before any mutation is attempted.
+        let (arity, data) = (self.arity, self.data.to_mut());
         let dedup = self.dedup.get_or_insert_with(|| {
             let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
             for i in 0..self.num_rows {
@@ -263,10 +442,11 @@ impl Relation {
     }
 
     fn partition_point_col0(&self, pred: impl Fn(u32) -> bool) -> usize {
+        let data = self.data.as_slice();
         let (mut lo, mut hi) = (0usize, self.num_rows);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if pred(self.data[mid * self.arity]) {
+            if pred(data[mid * self.arity]) {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -291,8 +471,24 @@ impl Relation {
             for i in 0..self.num_rows {
                 map.entry(self.row(i)[col]).or_default().push(i as u32);
             }
-            ColumnIndex { map }
+            ColumnIndex { repr: IndexRepr::Hash(map) }
         })
+    }
+
+    /// Presets a column's index slot from a persisted index (the snapshot
+    /// open path, mirroring [`Relation::preset_stats`]). Ignored if the
+    /// column is out of range, an index was already built, or the
+    /// candidate is implausible — it must reference exactly `len()` rows,
+    /// all in range — so a forged or stale persisted index can never
+    /// corrupt probes; the lazy hash build wins instead.
+    pub fn preset_index(&self, col: usize, idx: ColumnIndex) {
+        if col >= self.arity || idx.total_rows() != self.num_rows {
+            return;
+        }
+        if idx.max_row().is_some_and(|m| m as usize >= self.num_rows) {
+            return;
+        }
+        let _ = self.indexes[col].set(idx);
     }
 
     /// Drops every cached column index. Called by all mutating methods
@@ -319,12 +515,64 @@ static DATABASE_BUILDS: AtomicUsize = AtomicUsize::new(0);
 /// Monotone id source for [`Database::id`]; never reused within a process.
 static DATABASE_IDS: AtomicUsize = AtomicUsize::new(1);
 
+/// A [`Database`] slot that hydrates its [`Relation`] on first touch.
+///
+/// The parse path fills slots eagerly ([`LazyRelation::ready`]); the
+/// snapshot store installs a hydrator closure ([`LazyRelation::lazy`])
+/// that decodes the relation from the mapped file when some evaluation
+/// first asks for it. Hydration is serialised by a `OnceLock`, so
+/// concurrent first readers observe exactly one relation, and a panic
+/// out of the hydrator leaves the slot empty for a retried evaluation.
+pub struct LazyRelation {
+    cell: OnceLock<Relation>,
+    init: Option<Box<dyn Fn() -> Relation + Send + Sync>>,
+}
+
+impl LazyRelation {
+    /// An already-hydrated slot (the parse path).
+    pub fn ready(rel: Relation) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(rel);
+        LazyRelation { cell, init: None }
+    }
+
+    /// A slot hydrated by `init` on first access (the snapshot path).
+    pub fn lazy(init: impl Fn() -> Relation + Send + Sync + 'static) -> Self {
+        LazyRelation { cell: OnceLock::new(), init: Some(Box::new(init)) }
+    }
+
+    /// Whether the relation has been hydrated already.
+    pub fn is_hydrated(&self) -> bool {
+        self.cell.get().is_some()
+    }
+
+    /// The relation, hydrating it first if needed.
+    pub fn get(&self) -> &Relation {
+        self.cell.get_or_init(|| match &self.init {
+            Some(init) => init(),
+            // Unreachable: `ready` pre-fills the cell and `lazy` sets
+            // `init`, so an empty cell always has a hydrator.
+            None => panic!("LazyRelation with neither relation nor hydrator"),
+        })
+    }
+}
+
+impl std::fmt::Debug for LazyRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cell.get() {
+            Some(rel) => f.debug_tuple("Hydrated").field(rel).finish(),
+            None => f.write_str("Pending"),
+        }
+    }
+}
+
 /// Every EDB relation of a data instance, loaded and indexed once, shared
-/// across evaluations.
+/// across evaluations. Slots hydrate lazily when built via
+/// [`Database::from_lazy_relations`]; all other constructors are eager.
 #[derive(Debug)]
 pub struct Database {
-    classes: FxHashMap<ClassId, Relation>,
-    props: FxHashMap<PropId, Relation>,
+    classes: FxHashMap<ClassId, LazyRelation>,
+    props: FxHashMap<PropId, LazyRelation>,
     /// The active domain `⊤` (all individuals), arity 1.
     universe: Relation,
     empty_unary: Relation,
@@ -345,7 +593,7 @@ impl Database {
             for a in members {
                 rel.push(&[a.0]);
             }
-            classes.insert(c, rel);
+            classes.insert(c, LazyRelation::ready(rel));
         }
         let mut props = FxHashMap::default();
         for (p, pairs) in data.pairs_by_prop() {
@@ -353,7 +601,7 @@ impl Database {
             for (a, b) in pairs {
                 rel.push(&[a.0, b.0]);
             }
-            props.insert(p, rel);
+            props.insert(p, LazyRelation::ready(rel));
         }
         let mut universe = Relation::with_capacity(1, data.num_individuals());
         for a in data.individuals() {
@@ -383,6 +631,27 @@ impl Database {
         universe: Relation,
         num_atoms: usize,
     ) -> Self {
+        Database::from_lazy_relations(
+            classes.into_iter().map(|(c, r)| (c, LazyRelation::ready(r))).collect(),
+            props.into_iter().map(|(p, r)| (p, LazyRelation::ready(r))).collect(),
+            universe,
+            num_atoms,
+        )
+    }
+
+    /// Assembles a database whose relation slots may hydrate lazily (the
+    /// snapshot store's mmap open path: each [`LazyRelation`] decodes its
+    /// segment columns on first touch). Counts as one build regardless of
+    /// how many slots ever hydrate.
+    ///
+    /// `universe` must be the arity-1 relation of all individuals and
+    /// `num_atoms` the total class + property atom count.
+    pub fn from_lazy_relations(
+        classes: FxHashMap<ClassId, LazyRelation>,
+        props: FxHashMap<PropId, LazyRelation>,
+        universe: Relation,
+        num_atoms: usize,
+    ) -> Self {
         DATABASE_BUILDS.fetch_add(1, Ordering::Relaxed);
         assert_eq!(universe.arity(), 1, "universe must be unary");
         Database {
@@ -403,28 +672,59 @@ impl Database {
         self.id
     }
 
-    /// Iterates over the non-empty class relations (snapshot export).
+    /// Iterates over the non-empty class relations (snapshot export;
+    /// hydrates every class slot).
     pub fn class_relations(&self) -> impl Iterator<Item = (ClassId, &Relation)> {
-        self.classes.iter().map(|(&c, r)| (c, r))
+        self.classes.iter().map(|(&c, r)| (c, r.get()))
     }
 
-    /// Iterates over the non-empty property relations (snapshot export).
+    /// Iterates over the non-empty property relations (snapshot export;
+    /// hydrates every property slot).
     pub fn prop_relations(&self) -> impl Iterator<Item = (PropId, &Relation)> {
-        self.props.iter().map(|(&p, r)| (p, r))
+        self.props.iter().map(|(&p, r)| (p, r.get()))
     }
 
-    /// The relation of an EDB predicate kind.
+    /// The relation of an EDB predicate kind, hydrating a lazy slot on
+    /// first touch.
     ///
     /// # Panics
     /// Panics on [`PredKind::Idb`]: IDB relations are computed by the
     /// evaluators, not stored.
     pub fn relation(&self, kind: PredKind) -> &Relation {
         match kind {
-            PredKind::EdbClass(c) => self.classes.get(&c).unwrap_or(&self.empty_unary),
-            PredKind::EdbProp(p) => self.props.get(&p).unwrap_or(&self.empty_binary),
+            PredKind::EdbClass(c) => {
+                self.classes.get(&c).map_or(&self.empty_unary, LazyRelation::get)
+            }
+            PredKind::EdbProp(p) => {
+                self.props.get(&p).map_or(&self.empty_binary, LazyRelation::get)
+            }
             PredKind::Top => &self.universe,
             PredKind::Idb => panic!("IDB relations are computed, not stored"),
         }
+    }
+
+    /// Hydrates every not-yet-hydrated slot among `kinds`, returning
+    /// `(relations, columns)` newly hydrated. The engine seeds this from
+    /// the relevance pruner's relevant-predicate set so a pruned query
+    /// faults in only the columns it joins; already-hydrated and
+    /// absent-from-data predicates cost nothing.
+    pub fn prefetch(&self, kinds: impl IntoIterator<Item = PredKind>) -> (u64, u64) {
+        let (mut relations, mut columns) = (0u64, 0u64);
+        for kind in kinds {
+            let slot = match kind {
+                PredKind::EdbClass(c) => self.classes.get(&c),
+                PredKind::EdbProp(p) => self.props.get(&p),
+                PredKind::Top | PredKind::Idb => None,
+            };
+            if let Some(slot) = slot {
+                if !slot.is_hydrated() {
+                    let rel = slot.get();
+                    relations += 1;
+                    columns += rel.arity() as u64;
+                }
+            }
+        }
+        (relations, columns)
     }
 
     /// Number of individuals (rows of `⊤`).
@@ -597,6 +897,131 @@ mod tests {
         assert!(!r.has_index(1));
         r.push(&[3, 4]);
         assert!(!r.has_index(0), "mutation invalidates");
+    }
+
+    #[test]
+    fn shared_arena_reads_and_copies_on_write() {
+        let arena: Arc<dyn ArenaWords> = Arc::new(vec![1u32, 10, 2, 20]);
+        let mut r = Relation::from_shared(2, 2, Arc::clone(&arena));
+        assert!(r.is_shared());
+        assert_eq!(r.row(1), &[2, 20]);
+        assert_eq!(r.column_index(0).probe(2), &[1]);
+        assert!(r.contains(&[1, 10]));
+        // Mutation copies the words out; the shared arena is untouched.
+        r.push(&[3, 30]);
+        assert!(!r.is_shared());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.row(2), &[3, 30]);
+        assert_eq!(arena.words(), &[1, 10, 2, 20]);
+        // insert_if_new on a fresh shared relation also copies out.
+        let mut s = Relation::from_shared(1, 2, Arc::new(vec![5u32, 6]));
+        assert!(!s.insert_if_new(&[5]));
+        assert!(s.insert_if_new(&[7]));
+        assert!(!s.is_shared());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared arena")]
+    fn shared_arena_geometry_is_checked() {
+        let _ = Relation::from_shared(2, 2, Arc::new(vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn csr_index_probes_like_the_hash_index() {
+        let idx =
+            ColumnIndex::from_csr(vec![1, 2], vec![0, 2, 3], vec![0, 1, 2]).expect("valid CSR");
+        assert_eq!(idx.probe(1), &[0, 1]);
+        assert_eq!(idx.probe(2), &[2]);
+        assert_eq!(idx.probe(9), &[] as &[u32]);
+        assert_eq!(idx.num_keys(), 2);
+        // Invariant violations are rejected.
+        assert!(ColumnIndex::from_csr(vec![2, 1], vec![0, 1, 2], vec![0, 1]).is_none());
+        assert!(ColumnIndex::from_csr(vec![1], vec![0], vec![0]).is_none());
+        assert!(ColumnIndex::from_csr(vec![1], vec![1, 1], vec![]).is_none());
+        assert!(ColumnIndex::from_csr(vec![1], vec![0, 2], vec![0]).is_none());
+        assert!(ColumnIndex::from_csr(vec![1, 2], vec![0, 2, 1], vec![0, 1]).is_none());
+    }
+
+    #[test]
+    fn preset_index_accepts_plausible_rejects_forged() {
+        let r = Relation::from_sorted_columns(2, &[vec![1, 1, 2], vec![10, 20, 10]]);
+        let good = ColumnIndex::from_csr(vec![1, 2], vec![0, 2, 3], vec![0, 1, 2]).unwrap();
+        r.preset_index(0, good);
+        assert!(r.has_index(0), "plausible persisted index installed");
+        assert_eq!(r.column_index(0).probe(1), &[0, 1]);
+        // Wrong total row count → rejected, lazy build wins.
+        let short = ColumnIndex::from_csr(vec![10], vec![0, 1], vec![0]).unwrap();
+        r.preset_index(1, short);
+        assert!(!r.has_index(1));
+        assert_eq!(r.column_index(1).probe(10), &[0, 2]);
+        // Out-of-range row id → rejected.
+        let s = Relation::from_sorted_columns(1, &[vec![4]]);
+        let oob = ColumnIndex::from_csr(vec![4], vec![0, 1], vec![9]).unwrap();
+        s.preset_index(0, oob);
+        assert!(!s.has_index(0));
+        // Out-of-range column → ignored, no panic.
+        let valid = ColumnIndex::from_csr(vec![4], vec![0, 1], vec![0]).unwrap();
+        s.preset_index(5, valid);
+    }
+
+    #[test]
+    fn lazy_relations_hydrate_once_on_first_touch() {
+        let hydrations = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hydrations);
+        let lazy = LazyRelation::lazy(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+            Relation::from_sorted_columns(1, &[vec![7, 8]])
+        });
+        assert!(!lazy.is_hydrated());
+        assert_eq!(hydrations.load(Ordering::Relaxed), 0, "construction does not hydrate");
+        assert_eq!(lazy.get().len(), 2);
+        assert!(lazy.is_hydrated());
+        assert_eq!(lazy.get().row(0), &[7]);
+        assert_eq!(hydrations.load(Ordering::Relaxed), 1, "hydrated exactly once");
+        let ready = LazyRelation::ready(Relation::new(2));
+        assert!(ready.is_hydrated());
+        assert!(ready.get().is_empty());
+    }
+
+    #[test]
+    fn database_prefetch_hydrates_only_named_slots() {
+        let o = parse_ontology("Class A\nProperty P\n").unwrap();
+        let d = parse_data("P(x, y)\nA(x)\nA(y)\n", &o).unwrap();
+        let eager = Database::new(&d);
+        let v = o.vocab();
+        let (a, p) = (v.get_class("A").unwrap(), v.get_prop("P").unwrap());
+        let touched = Arc::new(AtomicUsize::new(0));
+        let mk = |rel: Relation, touched: &Arc<AtomicUsize>| {
+            let t = Arc::clone(touched);
+            let cols: Vec<Vec<u32>> =
+                (0..rel.arity()).map(|c| rel.rows().map(|r| r[c]).collect()).collect();
+            let arity = rel.arity();
+            LazyRelation::lazy(move || {
+                t.fetch_add(1, Ordering::Relaxed);
+                Relation::from_sorted_columns(arity, &cols)
+            })
+        };
+        let mut classes = FxHashMap::default();
+        classes.insert(a, mk(Relation::from_sorted_columns(1, &[vec![0, 1]]), &touched));
+        let mut props = FxHashMap::default();
+        props.insert(p, mk(Relation::from_sorted_columns(2, &[vec![0], vec![1]]), &touched));
+        let universe = Relation::from_sorted_columns(1, &[vec![0, 1]]);
+        let db = Database::from_lazy_relations(classes, props, universe, 3);
+        assert_eq!(touched.load(Ordering::Relaxed), 0, "open hydrates nothing");
+        // Prefetching only the class touches one relation / one column.
+        let (rels, cols) = db.prefetch([PredKind::EdbClass(a), PredKind::Top]);
+        assert_eq!((rels, cols), (1, 1));
+        assert_eq!(touched.load(Ordering::Relaxed), 1);
+        // Re-prefetching is free; the property hydrates on demand.
+        assert_eq!(db.prefetch([PredKind::EdbClass(a)]), (0, 0));
+        assert_eq!(db.relation(PredKind::EdbProp(p)).len(), 1);
+        assert_eq!(touched.load(Ordering::Relaxed), 2);
+        // Answers match the eager build.
+        assert_eq!(
+            db.relation(PredKind::EdbClass(a)).len(),
+            eager.relation(PredKind::EdbClass(a)).len()
+        );
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub trait StorageBackend: Sync {
 
     /// `"memory"` or `"snapshot"`, for spans and reports.
     fn kind(&self) -> &'static str;
+
+    /// Bytes of backing storage actually resident because of this
+    /// backend — for a lazily hydrated snapshot, the data and index
+    /// bytes touched so far. `None` when the notion does not apply
+    /// (the in-memory backend owns its data outright); the pipeline
+    /// exports `Some` values as the `store_resident_bytes` gauge.
+    fn resident_bytes(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The in-memory backend: owns a parsed [`DataInstance`] and the

@@ -4,46 +4,126 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "OBDB"
-//!      4     4  format version  (u32 LE, currently 1)
-//!      8     4  flags           (u32 LE, known bits only; bit 0 = stats section)
+//!      4     4  format version  (u32 LE, 1 or 2)
+//!      8     4  flags           (u32 LE; bits 0–15 required, 16–31 optional)
 //!     12     8  payload length  (u64 LE)
-//!     20     8  payload checksum (u64 LE, word-folded FNV-1a 64)
+//!     20     8  checksum        (u64 LE, word-folded FNV-1a 64)
 //!     28     —  payload
 //! ```
 //!
 //! Every integer in the file is little-endian. Strings are a `u32`
 //! byte length followed by UTF-8 bytes. The checksum is FNV-1a 64
-//! folded over little-endian `u64` *words* of the payload (tail
-//! zero-padded, seeded with the byte length so padding cannot alias) —
-//! implemented in-tree, deterministic across platforms, eight bytes per
-//! multiply so hashing megabyte payloads stays off the open path's
-//! critical time, and strong enough to catch the truncation and
-//! bit-flip classes the chaos tests exercise; it is *not* cryptographic
-//! and does not defend against a deliberate forger.
+//! folded over little-endian `u64` *words* (tail zero-padded, seeded
+//! with the byte length so padding cannot alias) — implemented in-tree,
+//! deterministic across platforms, eight bytes per multiply, strong
+//! enough to catch the truncation and bit-flip classes the chaos tests
+//! exercise; it is *not* cryptographic and does not defend against a
+//! deliberate forger.
+//!
+//! ## Versions
+//!
+//! * **v1** — one flat payload, decoded front to back; the header
+//!   checksum covers the whole payload. Still written by
+//!   `snapshot_bytes_v1` and read forever.
+//! * **v2** — the metadata (dictionary + segment directory) and the
+//!   page-aligned segment data blocks are separate regions, so a reader
+//!   can decode the directory without touching a single data page (the
+//!   lazy mmap open path). The header checksum covers **only the
+//!   metadata region**; every data block carries its own checksum in
+//!   the directory, verified when (and only when) the block hydrates.
+//!   Without [`FLAG_FOOTER`] the payload starts with a `u64` metadata
+//!   length followed by the metadata; with it, the data blocks come
+//!   first and the metadata sits at the end, located by a trailing
+//!   `u64` payload offset — the appendable form: new blocks overwrite
+//!   the old footer and a fresh footer is written after them.
+//!
+//! ## Flags
+//!
+//! Bits 0–15 are *required*: a reader that does not understand one
+//! cannot decode the payload and must refuse the file. Bits 16–31 are
+//! *optional* (informational): unknown ones are tolerated and surfaced
+//! by `dbinfo`, so older builds keep reading files that newer writers
+//! have annotated.
 
 use crate::error::StoreError;
 
 /// The four magic bytes every snapshot starts with.
 pub const MAGIC: [u8; 4] = *b"OBDB";
 
-/// Current (and oldest supported) format version. Compatibility rule:
-/// readers accept exactly the versions they know; a bump means the
-/// payload layout changed incompatibly and old files must be rebuilt
-/// with `obda build`. Additive evolution uses `flags` bits instead.
+/// The original flat-payload format version, still fully supported.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// Flag bit: a per-segment statistics section (one `u64` distinct count
-/// per column of every segment, in segment order) follows the segment
-/// data. Readers without the bit set fall back to deriving stats on
-/// open; files carrying unknown bits are refused.
+/// The metadata/data split format version written by the current
+/// builder (see the module docs). Readers accept both versions; a
+/// future bump means the layout changed incompatibly and old files
+/// must be rebuilt with `obda build`. Additive evolution uses `flags`
+/// bits instead.
+pub const FORMAT_VERSION_V2: u32 = 2;
+
+/// Flag bit (required): a per-segment statistics section. In v1 files
+/// the distinct counts follow the segment data; in v2 they are embedded
+/// in the directory. Readers without the bit derive stats on open.
 pub const FLAG_STATS: u32 = 1 << 0;
 
-/// Every flag bit this reader understands; anything else is from a
-/// newer writer and makes the payload undecodable.
-pub const KNOWN_FLAGS: u32 = FLAG_STATS;
+/// Flag bit (required, v2 only): the directory carries per-column hash
+/// index blocks (CSR-encoded), so warm starts skip the index builds.
+/// Files without the bit derive indexes lazily, as always.
+pub const FLAG_INDEXES: u32 = 1 << 1;
+
+/// Flag bit (required, v2 only): the appendable *footer* form — data
+/// blocks first, metadata at the end of the payload, located by a
+/// trailing `u64` payload offset.
+pub const FLAG_FOOTER: u32 = 1 << 2;
+
+/// Flag bit (optional): the file has been grown in place by the segment
+/// appender at least once since its last full rebuild. Purely
+/// informational — readers decode appended files exactly like any other
+/// footer-form file.
+pub const FLAG_APPENDED: u32 = 1 << 16;
+
+/// The required half of the flag space: a file carrying a bit in this
+/// mask that the reader does not know is refused as undecodable.
+pub const REQUIRED_FLAGS_MASK: u32 = 0xFFFF;
+
+/// Every *required* flag bit this reader understands.
+pub const KNOWN_FLAGS: u32 = FLAG_STATS | FLAG_INDEXES | FLAG_FOOTER;
+
+/// Every *optional* flag bit this reader understands (unknown optional
+/// bits are tolerated, not refused).
+pub const KNOWN_OPTIONAL_FLAGS: u32 = FLAG_APPENDED;
 
 /// Size of the fixed header preceding the payload.
 pub const HEADER_LEN: usize = 28;
+
+/// Alignment (in file bytes) of every v2 segment data block: one page,
+/// so a memory-mapped column view starts page-aligned and hydrating a
+/// segment touches exactly its own pages.
+pub const SEGMENT_ALIGN: u64 = 4096;
+
+/// The names of the known flag bits set in `flags`, for `dbinfo`.
+pub fn flag_names(flags: u32) -> Vec<&'static str> {
+    let mut names = Vec::new();
+    if flags & FLAG_STATS != 0 {
+        names.push("stats");
+    }
+    if flags & FLAG_INDEXES != 0 {
+        names.push("indexes");
+    }
+    if flags & FLAG_FOOTER != 0 {
+        names.push("footer");
+    }
+    if flags & FLAG_APPENDED != 0 {
+        names.push("appended");
+    }
+    names
+}
+
+/// The flag bits set in `flags` that this reader does not understand.
+/// After a successful [`parse_file`] only *optional* (bit 16–31) ones
+/// can remain — required unknowns are refused at parse time.
+pub fn unknown_flags(flags: u32) -> u32 {
+    flags & !(KNOWN_FLAGS | KNOWN_OPTIONAL_FLAGS)
+}
 
 /// The version-1 payload checksum: FNV-1a 64 (offset basis
 /// `0xcbf29ce484222325`, prime `0x100000001b3`) folded over the
@@ -112,6 +192,26 @@ impl Writer {
         }
     }
 
+    /// Appends raw bytes verbatim (the appender's block copies).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Zero-pads until the *file* offset of the next write (header +
+    /// payload position) is a multiple of `align`, returning that file
+    /// offset. The v2 builder calls this before every segment data
+    /// block with [`SEGMENT_ALIGN`].
+    pub fn pad_to_file_alignment(&mut self, align: u64) -> u64 {
+        let mut file_off = HEADER_LEN as u64 + self.position();
+        let rem = file_off % align;
+        if rem != 0 {
+            let pad = (align - rem) as usize;
+            self.buf.resize(self.buf.len() + pad, 0);
+            file_off += pad as u64;
+        }
+        file_off
+    }
+
     /// Finishes the payload: returns the full file image (header +
     /// payload) with length and checksum filled in, flags clear.
     pub fn into_file_bytes(self) -> Vec<u8> {
@@ -120,17 +220,45 @@ impl Writer {
 
     /// Like [`Writer::into_file_bytes`], declaring the given flag bits
     /// in the header (the caller asserts the payload actually carries
-    /// the sections those bits announce).
+    /// the sections those bits announce). Always writes format version
+    /// 1: the checksum covers the whole payload.
     pub fn into_file_bytes_flagged(self, flags: u32) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_LEN + self.buf.len());
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&flags.to_le_bytes());
-        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
-        out.extend_from_slice(&checksum64(&self.buf).to_le_bytes());
+        let checksum = checksum64(&self.buf);
+        let mut out = file_header(FORMAT_VERSION, flags, self.buf.len() as u64, checksum).to_vec();
+        out.reserve(self.buf.len());
         out.extend_from_slice(&self.buf);
         out
     }
+
+    /// Finishes a **version-2** payload whose header checksum covers
+    /// only `checked` (the metadata region; see the module docs). The
+    /// declared payload length still covers the whole payload, so
+    /// truncation anywhere in the data region is caught by the length
+    /// check even though the data pages are never hashed on open.
+    ///
+    /// # Panics
+    /// Panics if `checked` is out of the payload's bounds — a builder
+    /// bug, not a file-corruption condition.
+    pub fn into_file_bytes_v2(self, flags: u32, checked: std::ops::Range<usize>) -> Vec<u8> {
+        let checksum = checksum64(&self.buf[checked]);
+        let mut out =
+            file_header(FORMAT_VERSION_V2, flags, self.buf.len() as u64, checksum).to_vec();
+        out.reserve(self.buf.len());
+        out.extend_from_slice(&self.buf);
+        out
+    }
+}
+
+/// Encodes the fixed 28-byte header (used by the writer finishers and
+/// by the segment appender when it patches a grown file in place).
+pub fn file_header(version: u32, flags: u32, payload_len: u64, checksum: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..8].copy_from_slice(&version.to_le_bytes());
+    h[8..12].copy_from_slice(&flags.to_le_bytes());
+    h[12..20].copy_from_slice(&payload_len.to_le_bytes());
+    h[20..28].copy_from_slice(&checksum.to_le_bytes());
+    h
 }
 
 /// A bounds-checked little-endian payload reader. Every accessor returns
@@ -207,21 +335,41 @@ impl<'a> Reader<'a> {
 pub struct Header {
     /// Format version.
     pub version: u32,
-    /// Flag bits announcing optional payload sections (see
-    /// [`FLAG_STATS`]); unknown bits are refused at parse time.
+    /// Flag bits announcing payload sections and layout (see
+    /// [`FLAG_STATS`] and friends); unknown *required* bits are refused
+    /// at parse time, unknown optional bits are tolerated.
     pub flags: u32,
     /// Payload length in bytes.
     pub payload_len: u64,
-    /// FNV-1a 64 checksum the payload must hash to.
+    /// FNV-1a 64 checksum: of the whole payload (v1) or of the metadata
+    /// region (v2).
     pub checksum: u64,
 }
 
-/// Parses and validates the header, returning it and the payload slice.
-/// Verifies, in order: magic, version, declared payload length against
-/// the actual file size, and the payload checksum — so by the time the
-/// payload is decoded, truncation and bit flips are already ruled out
-/// (modulo FNV collisions).
-pub fn parse_file(bytes: &[u8]) -> Result<(Header, &[u8]), StoreError> {
+/// A parsed and checksum-verified snapshot file.
+#[derive(Debug, Clone, Copy)]
+pub struct Parsed<'a> {
+    /// The decoded fixed header.
+    pub header: Header,
+    /// The whole payload (everything after the header).
+    pub payload: &'a [u8],
+    /// The checksum-verified metadata region: the whole payload for v1
+    /// files, the dictionary + directory bytes for v2 files (excluding
+    /// the locator words that framed them).
+    pub meta: &'a [u8],
+}
+
+/// Parses and validates the header, returning the payload and the
+/// verified metadata region. Verifies, in order: magic, version, flags
+/// (unknown *required* bits refused, unknown optional bits tolerated),
+/// declared payload length against the actual file size, and the
+/// checksum — over the whole payload for v1 files, over the metadata
+/// region only for v2 files (each v2 data block carries its own
+/// checksum in the directory, verified at hydration). Either way,
+/// truncation anywhere in the file is ruled out before any section is
+/// decoded; v1 additionally rules out data bit flips here, v2 defers
+/// that to the per-block hydration check so open stays O(metadata).
+pub fn parse_file(bytes: &[u8]) -> Result<Parsed<'_>, StoreError> {
     if bytes.len() < HEADER_LEN {
         if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
             return Err(StoreError::BadMagic);
@@ -236,14 +384,23 @@ pub fn parse_file(bytes: &[u8]) -> Result<(Header, &[u8]), StoreError> {
     }
     let mut r = Reader::new(&bytes[4..HEADER_LEN]);
     let version = r.get_u32()?;
-    if version != FORMAT_VERSION {
-        return Err(StoreError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
+    if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION_V2,
+        });
     }
     let flags = r.get_u32()?;
-    if flags & !KNOWN_FLAGS != 0 {
+    let unknown_required = flags & REQUIRED_FLAGS_MASK & !KNOWN_FLAGS;
+    if unknown_required != 0 {
         return Err(StoreError::Malformed(format!(
-            "unknown flags set: {:#x}",
-            flags & !KNOWN_FLAGS
+            "unknown required flags set: {unknown_required:#x}"
+        )));
+    }
+    if version == FORMAT_VERSION && flags & (FLAG_INDEXES | FLAG_FOOTER) != 0 {
+        return Err(StoreError::Malformed(format!(
+            "v1 file declares v2-only flags {:#x}",
+            flags & (FLAG_INDEXES | FLAG_FOOTER)
         )));
     }
     let payload_len = r.get_u64()?;
@@ -256,11 +413,54 @@ pub fn parse_file(bytes: &[u8]) -> Result<(Header, &[u8]), StoreError> {
         });
     }
     let payload = &bytes[HEADER_LEN..];
-    let actual = checksum64(payload);
+    let (meta, checked): (&[u8], &[u8]) = if version == FORMAT_VERSION {
+        (payload, payload)
+    } else if flags & FLAG_FOOTER != 0 {
+        // Footer form: the last 8 payload bytes locate the metadata;
+        // the checksum covers metadata + locator, so a corrupted
+        // locator cannot point the reader at plausible garbage.
+        if payload.len() < 8 {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN as u64 + 8,
+                available: bytes.len() as u64,
+            });
+        }
+        let tail = &payload[payload.len() - 8..];
+        let meta_start = u64::from_le_bytes([
+            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+        ]);
+        let meta_start =
+            usize::try_from(meta_start).ok().filter(|&s| s <= payload.len() - 8).ok_or_else(
+                || StoreError::Malformed(format!("footer locator {meta_start} out of payload")),
+            )?;
+        (&payload[meta_start..payload.len() - 8], &payload[meta_start..])
+    } else {
+        // Inline form: a leading u64 metadata length; the checksum
+        // covers the length word + metadata.
+        if payload.len() < 8 {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN as u64 + 8,
+                available: bytes.len() as u64,
+            });
+        }
+        let meta_len = u64::from_le_bytes([
+            payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
+            payload[7],
+        ]);
+        let meta_end = usize::try_from(meta_len)
+            .ok()
+            .and_then(|l| l.checked_add(8))
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| {
+                StoreError::Malformed(format!("metadata length {meta_len} out of payload"))
+            })?;
+        (&payload[8..meta_end], &payload[..meta_end])
+    };
+    let actual = checksum64(checked);
     if actual != checksum {
         return Err(StoreError::ChecksumMismatch { expected: checksum, actual });
     }
-    Ok((Header { version, flags, payload_len, checksum }, payload))
+    Ok(Parsed { header: Header { version, flags, payload_len, checksum }, payload, meta })
 }
 
 #[cfg(test)]
@@ -294,15 +494,76 @@ mod tests {
         w.put_u64(u64::MAX);
         w.put_u32_column(&[1, 2, 3]);
         let file = w.into_file_bytes();
-        let (h, payload) = parse_file(&file).unwrap();
-        assert_eq!(h.version, FORMAT_VERSION);
-        assert_eq!(h.payload_len as usize, payload.len());
-        let mut r = Reader::new(payload);
+        let p = parse_file(&file).unwrap();
+        assert_eq!(p.header.version, FORMAT_VERSION);
+        assert_eq!(p.header.payload_len as usize, p.payload.len());
+        assert_eq!(p.meta, p.payload, "v1 metadata is the whole payload");
+        let mut r = Reader::new(p.payload);
         assert_eq!(r.get_u32().unwrap(), 7);
         assert_eq!(r.get_str().unwrap(), "hello");
         assert_eq!(r.get_u64().unwrap(), u64::MAX);
         assert_eq!(r.get_u32_column(3).unwrap(), vec![1, 2, 3]);
-        assert_eq!(r.position(), h.payload_len);
+        assert_eq!(r.position(), p.header.payload_len);
+    }
+
+    #[test]
+    fn v2_inline_parse_verifies_only_the_metadata() {
+        let mut w = Writer::new();
+        let meta = b"directory bytes";
+        w.put_u64(meta.len() as u64);
+        w.put_bytes(meta);
+        let data_at = w.pad_to_file_alignment(SEGMENT_ALIGN);
+        assert_eq!(data_at % SEGMENT_ALIGN, 0);
+        w.put_u32_column(&[1, 2, 3, 4]);
+        let meta_end = 8 + meta.len();
+        let mut file = w.into_file_bytes_v2(FLAG_STATS, 0..meta_end);
+        let p = parse_file(&file).unwrap();
+        assert_eq!(p.header.version, FORMAT_VERSION_V2);
+        assert_eq!(p.meta, meta);
+        // Flipping a *data* bit goes unnoticed at parse time (hydration
+        // verifies the per-block checksum instead)…
+        let last = file.len() - 1;
+        file[last] ^= 0x01;
+        assert!(parse_file(&file).is_ok());
+        // …while flipping a *metadata* bit fails the header checksum.
+        file[last] ^= 0x01;
+        file[HEADER_LEN + 9] ^= 0x01;
+        assert!(matches!(parse_file(&file), Err(StoreError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn v2_footer_parse_locates_the_trailing_metadata() {
+        let mut w = Writer::new();
+        w.pad_to_file_alignment(SEGMENT_ALIGN);
+        w.put_u32_column(&[9, 9, 9]);
+        let meta_start = w.position();
+        w.put_bytes(b"footer directory");
+        w.put_u64(meta_start);
+        let checked = meta_start as usize..;
+        let len = w.position() as usize;
+        let file = w.into_file_bytes_v2(FLAG_FOOTER, checked.start..len);
+        let p = parse_file(&file).unwrap();
+        assert_eq!(p.meta, b"footer directory");
+        assert_ne!(p.meta.len(), p.payload.len());
+        // Truncating the tail breaks the payload-length check.
+        assert!(matches!(parse_file(&file[..file.len() - 3]), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn v2_rejects_out_of_range_locators() {
+        // Inline form claiming more metadata than the payload holds.
+        let mut w = Writer::new();
+        w.put_u64(1_000_000);
+        w.put_bytes(b"short");
+        let file = w.into_file_bytes_v2(0, 0..13);
+        assert!(matches!(parse_file(&file), Err(StoreError::Malformed(_))));
+        // Footer form whose locator points past the end.
+        let mut w = Writer::new();
+        w.put_bytes(b"data");
+        w.put_u64(u64::MAX);
+        let len = w.position() as usize;
+        let file = w.into_file_bytes_v2(FLAG_FOOTER, len - 8..len);
+        assert!(matches!(parse_file(&file), Err(StoreError::Malformed(_))));
     }
 
     #[test]
@@ -328,11 +589,28 @@ mod tests {
     }
 
     #[test]
-    fn known_flags_accepted_unknown_refused() {
+    fn known_flags_accepted_unknown_required_refused() {
         let file = Writer::new().into_file_bytes_flagged(FLAG_STATS);
-        let (h, _) = parse_file(&file).unwrap();
-        assert_eq!(h.flags, FLAG_STATS);
+        assert_eq!(parse_file(&file).unwrap().header.flags, FLAG_STATS);
         let file = Writer::new().into_file_bytes_flagged(1 << 7);
+        assert!(matches!(parse_file(&file), Err(StoreError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_optional_flags_are_tolerated() {
+        let exotic = 1 << 31;
+        let file = Writer::new().into_file_bytes_flagged(FLAG_STATS | FLAG_APPENDED | exotic);
+        let p = parse_file(&file).unwrap();
+        assert_eq!(p.header.flags & exotic, exotic);
+        assert_eq!(unknown_flags(p.header.flags), exotic);
+        assert_eq!(flag_names(p.header.flags), vec!["stats", "appended"]);
+    }
+
+    #[test]
+    fn v1_files_cannot_declare_v2_layout_flags() {
+        let file = Writer::new().into_file_bytes_flagged(FLAG_FOOTER);
+        assert!(matches!(parse_file(&file), Err(StoreError::Malformed(_))));
+        let file = Writer::new().into_file_bytes_flagged(FLAG_INDEXES);
         assert!(matches!(parse_file(&file), Err(StoreError::Malformed(_))));
     }
 
@@ -342,7 +620,7 @@ mod tests {
         file[4] = 99;
         assert!(matches!(
             parse_file(&file),
-            Err(StoreError::UnsupportedVersion { found: 99, supported: FORMAT_VERSION })
+            Err(StoreError::UnsupportedVersion { found: 99, supported: FORMAT_VERSION_V2 })
         ));
     }
 

@@ -13,14 +13,20 @@
 //!
 //! * [`write_snapshot`] serialises a [`DataInstance`] into a versioned,
 //!   checksummed `.obdb` file ([`mod@format`]): the constant dictionary in
-//!   [`ConstId`] order plus one *sorted columnar segment* per non-empty
-//!   EDB relation, with per-column byte offsets in the directory;
-//! * [`Snapshot::open`] reconstructs the [`Database`] by bulk column
-//!   loads — [`obda_ndl::storage::Relation::from_sorted_columns`] copies
-//!   each column once and leaves the hash indexes lazy — without touching
-//!   the Turtle parser. Predicates are resolved *by name* against the
-//!   current ontology's [`Vocab`], so a snapshot survives re-interning;
-//!   constants keep their dense ids verbatim;
+//!   [`ConstId`] order plus one *sorted, page-aligned segment* per
+//!   non-empty EDB relation, with per-segment checksums, statistics and
+//!   CSR index blocks in the directory ([`write_snapshot_footer`] emits
+//!   the appendable footer form [`append_snapshot`] grows in place);
+//! * [`Snapshot::open`] memory-maps the file ([`mod@map`]) and decodes
+//!   *only* the metadata: every relation enters the [`Database`] as a
+//!   lazy segment hydrated — verified, zero-copy where the platform
+//!   allows — on first touch, so open time is O(metadata) and resident
+//!   bytes track the columns a query actually joins
+//!   ([`Snapshot::open_eager`] restores the decode-everything
+//!   behaviour; version-1 flat files still open through it). Predicates
+//!   are resolved *by name* against the current ontology's [`Vocab`],
+//!   so a snapshot survives re-interning; constants keep their dense
+//!   ids verbatim;
 //! * [`StorageBackend`] is the seam the pipeline evaluates through:
 //!   [`MemoryBackend`] (parse path) and [`Snapshot`] (open path) expose
 //!   the *same* [`Database`], so both share one eval hot path.
@@ -57,20 +63,24 @@ pub(crate) mod fault {
     #[cfg(not(feature = "faults"))]
     pub mod site {
         pub const STORE_OPEN: &str = "store::open";
+        pub const STORE_MAP: &str = "store::map";
     }
 }
 
 pub mod backend;
 pub mod error;
 pub mod format;
+pub mod map;
 pub mod snapshot;
 
 pub use backend::{MemoryBackend, StorageBackend};
 pub use error::StoreError;
-pub use format::FLAG_STATS;
+pub use format::{flag_names, unknown_flags, FLAG_APPENDED, FLAG_FOOTER, FLAG_INDEXES, FLAG_STATS};
+pub use map::Mapping;
 pub use snapshot::{
-    read_info, snapshot_bytes, snapshot_bytes_legacy, temp_sibling, write_snapshot, RelationInfo,
-    Snapshot, SnapshotInfo,
+    append_snapshot, read_info, snapshot_bytes, snapshot_bytes_footer, snapshot_bytes_legacy,
+    snapshot_bytes_v1, temp_sibling, write_snapshot, write_snapshot_footer, Hydration,
+    RelationInfo, Snapshot, SnapshotInfo,
 };
 
 // Re-exported so downstream callers name the dictionary types through one

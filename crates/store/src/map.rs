@@ -1,0 +1,333 @@
+//! Read-only byte mappings of snapshot files.
+//!
+//! [`Mapping::open`] puts a whole `.obdb` file behind one immutable byte
+//! slice. With the `mmap` cargo feature on a Unix target the bytes are
+//! memory-mapped (`mmap(2)`, `PROT_READ`/`MAP_PRIVATE`, via a minimal
+//! in-tree FFI shim — no external crate): pages fault in on first touch,
+//! so a lazily hydrated snapshot keeps its resident set proportional to
+//! the columns actually read, not the file size. Without the feature (or
+//! on non-Unix targets, or when the kernel refuses the map) the same API
+//! is served by an aligned in-heap read, so every caller runs one code
+//! shape — the differential CI entry builds with `--no-default-features`
+//! to keep that fallback green.
+//!
+//! ## Safety and SIGBUS avoidance
+//!
+//! A memory map over a file that shrinks underneath the process raises
+//! `SIGBUS` on touch. The store rules that class of crash out *before*
+//! any page is dereferenced: [`Mapping::open`] captures the file length
+//! once, the snapshot open path validates every declared segment range
+//! against that length (see `snapshot.rs`), and the mapping never spans
+//! bytes beyond the captured length. A file truncated *after* open by an
+//! external writer violates the snapshot contract (snapshots are
+//! immutable once published; `write_snapshot` replaces them atomically
+//! by rename), which is why the store never remaps or re-stats.
+//!
+//! The `store::map` fault-injection site sits at the top of
+//! [`Mapping::open`], modelling `mmap`/read failures on an otherwise
+//! intact file; a transient injected fault surfaces as the typed
+//! [`StoreError::Injected`] at this boundary.
+
+use crate::error::StoreError;
+use std::io::Read;
+use std::path::Path;
+
+#[cfg(all(unix, feature = "mmap"))]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// `MAP_FAILED` is `(void *)-1` on every supported Unix.
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+enum Repr {
+    /// A live `mmap(2)` region of `len` bytes, unmapped on drop.
+    #[cfg(all(unix, feature = "mmap"))]
+    Mapped { ptr: *mut std::os::raw::c_void, len: usize },
+    /// The fallback: file bytes copied into a `u64`-backed heap buffer,
+    /// guaranteeing 8-byte alignment so `u32` views work identically on
+    /// both representations.
+    Heap(Vec<u64>),
+}
+
+/// An immutable, read-only mapping of a snapshot file's bytes.
+///
+/// `Send + Sync`: the bytes never change after `open` (the region is
+/// mapped `PROT_READ`; the heap fallback is never written again), so
+/// shared references from any number of threads are sound.
+pub struct Mapping {
+    repr: Repr,
+    /// Valid byte length (the file length at open time; the heap buffer
+    /// and the mapped region may be padded beyond it).
+    len: usize,
+}
+
+// SAFETY: the mapped region is read-only for the lifetime of the value
+// and freed exactly once in `Drop`; the heap variant is an ordinary Vec.
+unsafe impl Send for Mapping {}
+// SAFETY: no interior mutability; all access is through `&self` reads.
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps the file at `path` read-only. Prefers `mmap(2)` (feature
+    /// `mmap`, Unix targets, non-empty files) and falls back to an
+    /// aligned heap read everywhere else — including when the kernel
+    /// refuses the map, so `open` only fails on real I/O errors.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        map_injection_point()?;
+        let mut file = std::fs::File::open(path)?;
+        let meta = file.metadata()?;
+        let len = usize::try_from(meta.len())
+            .map_err(|_| StoreError::Malformed("file too large to map".to_owned()))?;
+        if len == 0 {
+            return Ok(Mapping { repr: Repr::Heap(Vec::new()), len: 0 });
+        }
+
+        #[cfg(all(unix, feature = "mmap"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is valid for the duration of the call; len > 0;
+            // a PROT_READ/MAP_PRIVATE mapping of a regular file has no
+            // aliasing obligations towards the rest of the process.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr != sys::map_failed() {
+                return Ok(Mapping { repr: Repr::Mapped { ptr, len }, len });
+            }
+            // Fall through to the heap read: some filesystems (and some
+            // sandboxes) refuse mmap; the snapshot must still open.
+        }
+
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        {
+            // SAFETY: the Vec owns `words * 8 >= len` initialised bytes;
+            // viewing them as `&mut [u8]` for the read is plain type
+            // punning of POD data.
+            let bytes =
+                unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+            file.read_exact(bytes)?;
+        }
+        Ok(Mapping { repr: Repr::Heap(buf), len })
+    }
+
+    /// The mapped bytes (exactly the file's bytes at open time).
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(all(unix, feature = "mmap"))]
+            // SAFETY: `ptr` is a live PROT_READ mapping of at least
+            // `self.len` bytes, unmapped only in `Drop`.
+            Repr::Mapped { ptr, .. } => unsafe {
+                std::slice::from_raw_parts(ptr.cast::<u8>().cast_const(), self.len)
+            },
+            Repr::Heap(buf) => {
+                // SAFETY: the buffer holds >= self.len initialised bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), self.len) }
+            }
+        }
+    }
+
+    /// Byte length of the mapping.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the bytes are genuinely memory-mapped (as opposed to the
+    /// heap fallback) — reported by `dbinfo` and the bench sweep.
+    pub fn is_mmapped(&self) -> bool {
+        match &self.repr {
+            #[cfg(all(unix, feature = "mmap"))]
+            Repr::Mapped { .. } => true,
+            Repr::Heap(_) => false,
+        }
+    }
+
+    /// A zero-copy `&[u32]` view of `count` little-endian words starting
+    /// at `byte_off`. Returns `None` when the range is out of bounds,
+    /// the offset is not 4-byte aligned, or the target is big-endian —
+    /// callers then fall back to a decoding copy of [`Mapping::bytes`].
+    pub fn u32_view(&self, byte_off: usize, count: usize) -> Option<&[u32]> {
+        if cfg!(target_endian = "big") {
+            return None;
+        }
+        let nbytes = count.checked_mul(4)?;
+        let end = byte_off.checked_add(nbytes)?;
+        if end > self.len {
+            return None;
+        }
+        let base = self.bytes().as_ptr();
+        // Alignment is checked on the actual address: mmap bases are
+        // page-aligned and the heap buffer is 8-aligned, so a 4-aligned
+        // offset always lands on a 4-aligned address — but the check is
+        // on the address so the invariant cannot silently rot.
+        let addr = base as usize + byte_off;
+        if !addr.is_multiple_of(std::mem::align_of::<u32>()) {
+            return None;
+        }
+        // SAFETY: range-checked against `self.len` above; the address is
+        // 4-aligned; the bytes are initialised, immutable and live for
+        // `&self`; u32 has no invalid bit patterns.
+        Some(unsafe { std::slice::from_raw_parts((base as usize + byte_off) as *const u32, count) })
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(unix, feature = "mmap"))]
+        if let Repr::Mapped { ptr, len } = self.repr {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once; failure is ignorable (the region
+            // dies with the process anyway).
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("len", &self.len)
+            .field("mmapped", &self.is_mmapped())
+            .finish()
+    }
+}
+
+/// The deterministic fault-injection point of the mapping path, mirroring
+/// `store::open`: a transient injected fault becomes the typed
+/// [`StoreError::Injected`] here at the store boundary; a deliberate
+/// injected *panic* is re-raised for the isolation boundaries above.
+fn map_injection_point() -> Result<(), StoreError> {
+    match std::panic::catch_unwind(|| crate::fault::inject(crate::fault::site::STORE_MAP)) {
+        Ok(()) => Ok(()),
+        Err(payload) => {
+            #[cfg(feature = "faults")]
+            if let Some(fault) = payload.downcast_ref::<obda_faults::FaultError>() {
+                return Err(StoreError::Injected { site: fault.site.to_owned() });
+            }
+            std::panic::resume_unwind(payload)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "obda-map-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn mapping_reflects_the_file_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let p = temp_file("bytes", &data);
+        let m = Mapping::open(&p).unwrap();
+        assert_eq!(m.len(), data.len());
+        assert!(!m.is_empty());
+        assert_eq!(m.bytes(), &data[..]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_bytes() {
+        let p = temp_file("empty", b"");
+        let m = Mapping::open(&p).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), b"");
+        assert!(!m.is_mmapped(), "empty files never mmap");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let p = std::env::temp_dir().join("obda-map-no-such-file");
+        assert!(matches!(Mapping::open(&p), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn u32_view_is_bounds_and_alignment_checked() {
+        let words: Vec<u32> = (0..64u32).collect();
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let p = temp_file("view", &bytes);
+        let m = Mapping::open(&p).unwrap();
+        if cfg!(target_endian = "little") {
+            assert_eq!(m.u32_view(0, 64), Some(&words[..]));
+            assert_eq!(m.u32_view(8, 2), Some(&words[2..4]));
+        }
+        assert!(m.u32_view(1, 1).is_none(), "misaligned offset refused");
+        assert!(m.u32_view(0, 65).is_none(), "overlong view refused");
+        assert!(m.u32_view(256, 1).is_none(), "out-of-bounds view refused");
+        assert_eq!(m.u32_view(256, 0).map(<[u32]>::len), Some(0), "empty view at the end is fine");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[cfg(all(unix, feature = "mmap"))]
+    #[test]
+    fn non_empty_files_prefer_the_memory_map() {
+        let p = temp_file("mmapped", &[1, 2, 3, 4]);
+        let m = Mapping::open(&p).unwrap();
+        assert!(m.is_mmapped());
+        assert_eq!(m.bytes(), &[1, 2, 3, 4]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mappings_are_shareable_across_threads() {
+        let data = vec![7u8; 4096 * 3];
+        let p = temp_file("threads", &data);
+        let m = std::sync::Arc::new(Mapping::open(&p).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || m.bytes().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096 * 3);
+        }
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -31,16 +31,21 @@ const DATA: &str = "Professor(ada)\nProfessor(bob)\nteaches(carol, logic)\nCours
 
 /// Routes injected-fault panics to silence (they are the *point* of this
 /// suite) while forwarding genuine panics — assertion failures included —
-/// to the previous hook. Installed once for the whole test binary.
+/// to the previous hook. The store's typed lazy-hydration panics
+/// ("snapshot segment … failed to hydrate") are silenced too: the
+/// corruption sweeps below raise them deliberately, thousands of times.
+/// Installed once for the whole test binary.
 fn quiet_injected_panics() {
     static QUIET: Once = Once::new();
     QUIET.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             let p = info.payload();
-            let injected = p.downcast_ref::<obda::faults::FaultError>().is_some()
-                || p.downcast_ref::<String>().is_some_and(|s| s.starts_with("injected panic at"));
-            if !injected {
+            let deliberate = p.downcast_ref::<obda::faults::FaultError>().is_some()
+                || p.downcast_ref::<String>().is_some_and(|s| {
+                    s.starts_with("injected panic at") || s.starts_with("snapshot segment ")
+                });
+            if !deliberate {
                 prev(info);
             }
         }));
@@ -550,47 +555,171 @@ fn store_open_injected_panic_unwinds_cleanly() {
     assert!(snap.database().num_atoms() > 0);
 }
 
-/// Every truncation point and a sweep of single-bit flips: `open` must
-/// return a typed [`StoreError`] — never a panic, never a successful open
-/// of corrupted bytes (flips inside the payload are caught by the
-/// checksum; flips in the header by its field checks).
+/// Every truncation point and a sweep of single-bit flips, against both
+/// hydration modes. The invariant is *never a wrong tuple, never an
+/// untyped escape*:
+///
+/// * any truncation fails typed at open, even lazily — every declared
+///   byte range is pre-validated against the mapped length, so a short
+///   file can never SIGBUS a later column touch;
+/// * a bit flip either fails typed (at open, or — lazily — as the typed
+///   "failed to hydrate" panic on first touch, which the pipeline's
+///   isolation boundary catches) or lands in dead padding bytes, in
+///   which case the decoded instance must be byte-identical to the
+///   original.
 #[test]
 fn truncated_and_bit_flipped_snapshots_fail_typed() {
-    use obda::{Snapshot, StoreError};
+    use obda::{Hydration, Snapshot, StoreError};
 
     quiet_injected_panics();
     let path = store_temp_path();
     let sys = store_fixture(&path);
     let original = std::fs::read(&path).unwrap();
+    let expected = sys.parse_data(DATA).unwrap().to_text(sys.ontology());
 
-    let open_corrupt = |bytes: &[u8], ctx: &str| {
-        std::fs::write(&path, bytes).unwrap();
-        let caught =
-            catch_unwind(AssertUnwindSafe(|| Snapshot::open(&path, sys.ontology().vocab())));
-        let result = caught.unwrap_or_else(|_| panic!("{ctx}: open panicked"));
-        let err = result.err().unwrap_or_else(|| panic!("{ctx}: corrupted snapshot opened"));
+    let assert_typed = |err: &StoreError, ctx: &str| {
         assert!(
             !matches!(err, StoreError::Injected { .. } | StoreError::Io(_)),
             "{ctx}: corruption must surface as a format error, got {err}"
         );
     };
+    // Opens the corrupted bytes and decodes every segment (the instance
+    // reconstruction touches all of them). Returns whether anything
+    // succeeded end to end — in which case the data must be pristine.
+    let open_and_touch = |bytes: &[u8], mode: Hydration, ctx: &str| -> bool {
+        std::fs::write(&path, bytes).unwrap();
+        let vocab = sys.ontology().vocab();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            match mode {
+                Hydration::Eager => Snapshot::open_eager(&path, vocab),
+                Hydration::Lazy => Snapshot::open(&path, vocab),
+            }
+            .map(|snap| snap.data_instance().to_text(sys.ontology()))
+        }));
+        match caught {
+            Ok(Ok(text)) => {
+                assert_eq!(text, expected, "{ctx}: corrupted bytes decoded to wrong data");
+                true
+            }
+            Ok(Err(err)) => {
+                assert_typed(&err, ctx);
+                false
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .unwrap_or_else(|| panic!("{ctx}: untyped panic payload"));
+                assert!(
+                    msg.contains("failed to hydrate"),
+                    "{ctx}: panic must be the typed hydration message, got: {msg}"
+                );
+                assert!(
+                    matches!(mode, Hydration::Lazy),
+                    "{ctx}: the eager open must never panic on corruption"
+                );
+                false
+            }
+        }
+    };
 
+    // Truncations fail typed at open in both modes — lazy included,
+    // because range pre-validation runs before any segment is touched.
     for len in 0..original.len() {
-        open_corrupt(&original[..len], &format!("truncated to {len} bytes"));
+        for mode in [Hydration::Lazy, Hydration::Eager] {
+            let ctx = format!("truncated to {len} bytes ({mode:?})");
+            std::fs::write(&path, &original[..len]).unwrap();
+            let vocab = sys.ontology().vocab();
+            let caught = catch_unwind(AssertUnwindSafe(|| match mode {
+                Hydration::Eager => Snapshot::open_eager(&path, vocab),
+                Hydration::Lazy => Snapshot::open(&path, vocab),
+            }));
+            let result = caught.unwrap_or_else(|_| panic!("{ctx}: open panicked"));
+            let err = result.err().unwrap_or_else(|| panic!("{ctx}: truncated snapshot opened"));
+            assert_typed(&err, &ctx);
+        }
     }
+    // Bit flips: typed failure or provably-harmless (dead padding).
     for pos in (0..original.len()).step_by(7) {
         for bit in [0u8, 3, 7] {
             let mut flipped = original.clone();
             flipped[pos] ^= 1 << bit;
-            open_corrupt(&flipped, &format!("bit {bit} flipped at byte {pos}"));
+            for mode in [Hydration::Lazy, Hydration::Eager] {
+                open_and_touch(&flipped, mode, &format!("bit {bit} at byte {pos} ({mode:?})"));
+            }
         }
     }
 
     // The pristine bytes still open: corruption detection has no memory.
-    std::fs::write(&path, &original).unwrap();
+    assert!(open_and_touch(&original, Hydration::Lazy, "pristine bytes"));
+    std::fs::remove_file(&path).ok();
+}
+
+/// The `store::map` site: a transient fault at the mapping boundary is
+/// the typed [`StoreError::Injected`] — lazy and eager alike — and the
+/// very same file maps and answers once the plan is disarmed.
+#[test]
+fn store_map_transient_fault_is_typed_then_recovers() {
+    use obda::{Snapshot, StoreError};
+
+    quiet_injected_panics();
+    let path = store_temp_path();
+    let sys = store_fixture(&path);
+    let plan = FaultPlan::always(23, site::STORE_MAP, FaultKind::Transient);
+    let guard = plan.install();
+    for open in [Snapshot::open, Snapshot::open_eager] {
+        let err = open(&path, sys.ontology().vocab()).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Injected { site } if site == site::STORE_MAP),
+            "got {err}"
+        );
+    }
+    drop(guard);
+
     let snap = Snapshot::open(&path, sys.ontology().vocab()).unwrap();
     std::fs::remove_file(&path).ok();
-    assert!(snap.database().num_atoms() > 0);
+    let q = sys.parse_query(QUERY).unwrap();
+    let d = sys.parse_data(DATA).unwrap();
+    let report =
+        sys.answer_with_fallback_backend(&q, &snap, Strategy::Tw, &BudgetSpec::unlimited());
+    assert_eq!(
+        report.result().expect("recovered map must answer").answers,
+        sys.certain_answers(&q, &d).tuples()
+    );
+}
+
+/// A corrupted segment reached through the *pipeline* (not a direct
+/// touch): the lazy hydration panic is caught at the pipeline's
+/// isolation boundary and recorded as a typed internal error — never an
+/// escaped unwind, never a wrong answer.
+#[test]
+fn lazy_hydration_panic_is_isolated_by_the_pipeline() {
+    use obda::Snapshot;
+
+    quiet_injected_panics();
+    let path = store_temp_path();
+    let sys = store_fixture(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip a byte in the first data block: page-aligned after the
+    // header, so file offset 4096 is segment data, not metadata.
+    assert!(bytes.len() > 4096, "fixture must have a page-aligned data region");
+    bytes[4096] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let snap = Snapshot::open(&path, sys.ontology().vocab()).expect("lazy open reads only meta");
+    std::fs::remove_file(&path).ok();
+    let q = sys.parse_query(QUERY).unwrap();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        sys.answer_with_fallback_backend(&q, &snap, Strategy::Tw, &BudgetSpec::unlimited())
+    }));
+    let report = caught.expect("the hydration panic must not escape the pipeline");
+    assert!(report.result().is_none(), "corrupted segments cannot produce answers");
+    assert!(
+        report.attempts.iter().any(|a| matches!(
+            &a.outcome,
+            AttemptOutcome::Panicked { payload, .. } if payload.contains("failed to hydrate")
+        )),
+        "the typed hydration panic must surface in the report:\n{report}"
+    );
 }
 
 // ---------------------------------------------------------------------------
